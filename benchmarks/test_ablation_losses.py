@@ -1,0 +1,31 @@
+"""Ablation A1 — per-loss contribution (DESIGN.md §5).
+
+Regenerates the test with each of L1-L4 disabled in turn (same reduced
+step budget for all variants) and compares detection rate and neuron
+activation on a shared fault subset.  Expectation: disabling L2 (neuron
+activation of the target set) hurts activation the most.
+"""
+
+from conftest import cached_report, run_once
+
+from repro.experiments import ablation_report, save_report
+
+
+def test_ablation_losses(benchmark, pipelines, results_dir):
+    pipeline = pipelines["shd"]  # cheapest generation; trends carry over
+    variants = [("full", ()), ("no-L1", (1,)), ("no-L2", (2,)), ("no-L3", (3,)), ("no-L4", (4,))]
+    text, payload = run_once(
+        benchmark,
+        lambda: cached_report(
+            results_dir,
+            "ablation_losses",
+            lambda: ablation_report(pipeline, variants=variants, fault_fraction=0.2),
+        ),
+    )
+    print("\n" + text)
+    save_report(results_dir, "ablation_losses", text, payload)
+
+    full = payload["full"]
+    assert full["detection_rate"] > 0.3
+    # L2 drives activation: removing it must not improve activation.
+    assert payload["no-L2"]["activated_fraction"] <= full["activated_fraction"] + 1e-9

@@ -1,0 +1,19 @@
+"""Fig. 7 — snapshots of the optimized test stimulus (IBM-like benchmark,
+as in the paper)."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_report, save_report
+
+
+def test_fig7(benchmark, pipelines, results_dir):
+    pipeline = pipelines["ibm"]
+    text, payload = run_once(benchmark, lambda: fig7_report(pipeline))
+    print("\n" + text)
+    save_report(results_dir, "fig7_snapshots", text, payload)
+
+    # The optimized stimulus is a real event stream: nonzero but sparse.
+    assert 0.0 < payload["spike_density"] < 0.9
+    assert payload["total_steps"] > 0
+    # Both polarities appear in the rendering.
+    assert "+" in text and "-" in text

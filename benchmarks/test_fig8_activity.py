@@ -1,0 +1,26 @@
+"""Fig. 8 — neuron activity maps: optimized test input vs a random
+dataset sample (IBM-like benchmark, as in the paper).
+
+Shape expectation: the optimized input activates a much larger fraction
+of neurons than a dataset sample (paper: 82.81% vs 29%).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig8_report, save_report
+
+
+def test_fig8(benchmark, pipelines, results_dir, scale):
+    pipeline = pipelines["ibm"]
+    text, payload = run_once(benchmark, lambda: fig8_report(pipeline))
+    print("\n" + text)
+    save_report(results_dir, "fig8_activity", text, payload)
+
+    # The full margin (paper: 82.81% vs 29%) needs a real optimisation
+    # budget; tiny scale only checks the direction of the effect.
+    margin = 1.05 if scale == "tiny" else 1.5
+    assert payload["optimized_fraction"] > payload["sample_fraction"] * margin, (
+        "optimized input should activate more neurons than a dataset sample"
+    )
+    if scale != "tiny":
+        assert payload["optimized_fraction"] > 0.5

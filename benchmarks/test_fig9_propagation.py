@@ -1,0 +1,23 @@
+"""Fig. 9 — per-class spike-count-difference distribution over detected
+faults (IBM-like benchmark, as in the paper).
+
+Shape expectation: while one spike of difference suffices for detection,
+most detected faults corrupt the output far more heavily (wide tails).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig9_report, save_report
+
+
+def test_fig9(benchmark, pipelines, results_dir):
+    pipeline = pipelines["ibm"]
+    text, payload = run_once(benchmark, lambda: fig9_report(pipeline))
+    print("\n" + text)
+    save_report(results_dir, "fig9_propagation", text, payload)
+
+    assert payload["detected_faults"] > 0
+    # Most detected faults corrupt the output by more than one spike.
+    assert payload["fraction_gt_one"] > 0.5
+    # The distribution has a heavy tail (paper breaks the x-axis to show it).
+    assert payload["max_diff"] > 4 * max(payload["median_diff"], 1.0)

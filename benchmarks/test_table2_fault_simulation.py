@@ -1,0 +1,29 @@
+"""Table II — fault-simulation (criticality labelling) results.
+
+Runs the full criticality-labelling campaign per benchmark.  This is the
+paper's multi-day campaign (scaled); its wall time should dwarf the
+proposed method's generation runtime (checked against Table III by the
+comparison bench).
+"""
+
+from conftest import run_once
+
+from repro.experiments import save_report, table2_report
+
+
+def test_table2(benchmark, pipelines, results_dir):
+    text, payload = run_once(benchmark, lambda: table2_report(pipelines))
+    print("\n" + text)
+    save_report(results_dir, "table2_fault_simulation", text, payload)
+
+    for name, stats in payload.items():
+        total = (
+            stats["critical_neuron"]
+            + stats["benign_neuron"]
+            + stats["critical_synapse"]
+            + stats["benign_synapse"]
+        )
+        assert total > 0
+        # Both fault classes exist in a trained network.
+        assert stats["critical_neuron"] + stats["critical_synapse"] > 0
+        assert stats["benign_neuron"] + stats["benign_synapse"] > 0

@@ -1,0 +1,54 @@
+"""Table IV — comparison with prior test-generation strategies on the
+NMNIST benchmark.
+
+Shape expectations vs. the paper: the proposed method needs (a) fewer
+fault simulations during generation by orders of magnitude, (b) a much
+shorter test than the candidate-pool baselines for comparable coverage,
+and (c) a single test configuration.
+"""
+
+from conftest import cached_report, run_once
+
+from repro.experiments import save_report, table4_report
+
+
+def test_table4(benchmark, pipelines, results_dir, scale):
+    pipeline = pipelines["nmnist"]
+    text, payload = run_once(
+        benchmark,
+        lambda: cached_report(
+            results_dir, "table4_comparison", lambda: table4_report(pipeline)
+        ),
+    )
+    print("\n" + text)
+    save_report(results_dir, "table4_comparison", text, payload)
+
+    proposed = payload["This work"]
+    baselines = {k: v for k, v in payload.items() if k not in ("This work", "comparison_faults")}
+
+    # (a) Fault-simulation economy: baselines need many in-the-loop sims.
+    for name, stats in baselines.items():
+        assert stats["fault_simulations"] > proposed["fault_simulations"], name
+
+    # (c) Single configuration.
+    assert proposed["configurations"] == 1
+
+    # Duration-efficiency and coverage claims need a well-trained model;
+    # tiny-scale nets are near chance, so gate them on the real scales.
+    if scale != "tiny":
+        # (b) The proposed test is the most duration-efficient: coverage
+        # achieved per test step (the paper's "minimum time" axis).
+        proposed_efficiency = proposed["coverage"] / proposed["duration_steps"]
+        for name, stats in baselines.items():
+            efficiency = stats["coverage"] / max(stats["duration_steps"], 1)
+            assert proposed_efficiency > efficiency, (
+                f"{name} more duration-efficient than the proposed method"
+            )
+        # (d) On *critical* faults — the coverage the paper targets — the
+        # proposed short test is at least as good as every (much longer)
+        # baseline test.  Overall coverage can favour long random tests
+        # because the comparison set is dominated by benign faults.
+        for name, stats in baselines.items():
+            assert proposed["critical_coverage"] >= stats["critical_coverage"] - 0.02, (
+                f"{name} beats the proposed method on critical-fault coverage"
+            )

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Post-manufacturing test flow for an event-camera gesture accelerator.
+
+Scenario: a neuromorphic accelerator ships programmed with a DVS-gesture
+SNN (the paper's IBM DVS128 Gesture case study).  Production test needs a
+stimulus that is (a) short — tester time is money — and (b) high-coverage
+for *critical* faults, i.e. those that would change predictions in the
+field.  This example:
+
+1. trains the gesture SNN (stands in for the shipped model);
+2. labels a fault sample as critical/benign against held-out data — the
+   expensive ground-truth campaign a test engineer runs once;
+3. generates the compact optimized test;
+4. reports the production-relevant metrics: test time, coverage split by
+   criticality, and the worst accuracy loss an escaping fault could cause.
+
+Runs in a few minutes on CPU:
+
+    python examples/dvs_gesture_accelerator_test.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table, format_percent, format_seconds
+from repro.core import TestGenConfig, TestGenerator
+from repro.datasets import DVSGestureLike
+from repro.faults import FaultModelConfig, FaultSimulator, build_catalog
+from repro.snn import (
+    ConvSpec,
+    DenseSpec,
+    FlattenSpec,
+    LIFParameters,
+    NetworkSpec,
+    PoolSpec,
+    build_network,
+)
+from repro.training import Trainer
+
+
+def main() -> None:
+    rng = np.random.default_rng
+    # 1. The shipped model (scaled DVS128-Gesture network).
+    dataset = DVSGestureLike(train_size=88, test_size=33, size=16, steps=32, seed=0)
+    spec = NetworkSpec(
+        name="gesture-accelerator",
+        input_shape=dataset.input_shape,
+        layers=(
+            ConvSpec(out_channels=6, kernel=3, padding=1, weight_scale=4.0),
+            PoolSpec(2),
+            ConvSpec(out_channels=8, kernel=3, padding=1, weight_scale=4.0),
+            PoolSpec(2),
+            FlattenSpec(),
+            DenseSpec(out_features=32),
+            DenseSpec(out_features=dataset.num_classes),
+        ),
+        lif=LIFParameters(threshold=1.0, leak=0.9, refractory_steps=1),
+    )
+    network = build_network(spec, rng(0))
+    training = Trainer(network, dataset, lr=0.025, batch_size=16).fit(
+        epochs=6, rng=rng(1)
+    )
+    print(f"shipped model accuracy: {format_percent(training.test_accuracy)}")
+    print(network.describe())
+
+    # 2. Ground-truth criticality labelling (one-time engineering cost).
+    fault_config = FaultModelConfig(
+        neuron_sample_fraction=0.15, synapse_sample_fraction=0.05
+    )
+    catalog = build_catalog(network, fault_config, rng=rng(2))
+    simulator = FaultSimulator(network, fault_config)
+    inputs, labels = dataset.subset(12, "test")
+    classification = simulator.classify(inputs, labels, catalog.faults)
+    print(
+        f"labelled {len(catalog)} faults in {format_seconds(classification.wall_time)}: "
+        f"{classification.critical_count} critical, {classification.benign_count} benign"
+    )
+
+    # 3. Compact optimized test.
+    config = TestGenConfig(steps_stage1=120, probe_steps=150, max_iterations=5,
+                           time_limit_s=900)
+    generation = TestGenerator(network, config, rng=rng(3), log=print).generate()
+    stimulus = generation.stimulus
+
+    # 4. Production metrics.
+    detection = simulator.detect(stimulus.assembled(), catalog.faults)
+    coverage = FaultSimulator.coverage(detection, classification)
+
+    report = Table("Production test report", ["Metric", "Value"])
+    report.add_row("Test generation runtime", format_seconds(generation.runtime_s))
+    report.add_row("Test application time (steps)", stimulus.duration_steps)
+    report.add_row(
+        "Test application time (samples-equivalent)",
+        f"{stimulus.duration_samples(dataset.steps):.2f}",
+    )
+    report.add_row("Activated neurons", format_percent(generation.activated_fraction))
+    report.add_row("FC critical neuron faults", format_percent(coverage.fc_critical_neuron))
+    report.add_row("FC critical synapse faults", format_percent(coverage.fc_critical_synapse))
+    report.add_row("FC benign neuron faults", format_percent(coverage.fc_benign_neuron))
+    report.add_row("FC benign synapse faults", format_percent(coverage.fc_benign_synapse))
+    report.add_row(
+        "Worst accuracy drop of a test escape",
+        format_percent(
+            max(coverage.max_drop_undetected_neuron, coverage.max_drop_undetected_synapse)
+        ),
+    )
+    print("\n" + report.render())
+
+
+if __name__ == "__main__":
+    main()

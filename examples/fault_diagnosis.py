@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Diagnosing a failing device with a fault dictionary.
+
+After the optimized test flags a device as faulty, the *same* detection
+campaign that verified coverage doubles as a fault dictionary: each
+detected fault's output signature (per-class spike-count difference) is
+stored, and a failing device's observed signature ranks the candidate
+faults.  This example:
+
+1. builds the test and its fault dictionary;
+2. simulates field returns: devices with randomly chosen hidden faults;
+3. diagnoses each return and reports how often the true fault is ranked
+   among the top candidates.
+
+    python examples/fault_diagnosis.py
+"""
+
+import numpy as np
+
+from repro.core import TestGenConfig, TestGenerator
+from repro.datasets import SHDLike
+from repro.faults import (
+    FaultDictionary,
+    FaultModelConfig,
+    FaultSimulator,
+    build_catalog,
+    inject,
+    observed_signature,
+)
+from repro.snn import DenseSpec, LIFParameters, NetworkSpec, build_network
+from repro.training import Trainer
+
+
+def main() -> None:
+    rng = np.random.default_rng
+    dataset = SHDLike(train_size=120, test_size=40, channels=48, steps=24, seed=0)
+    spec = NetworkSpec(
+        name="diagnosis",
+        input_shape=dataset.input_shape,
+        layers=(DenseSpec(out_features=32), DenseSpec(out_features=dataset.num_classes)),
+        lif=LIFParameters(threshold=1.0, leak=0.9, refractory_steps=1),
+    )
+    network = build_network(spec, rng(0))
+    Trainer(network, dataset, lr=0.03, batch_size=16).fit(epochs=6, rng=rng(1))
+
+    # Generate the test and build the dictionary from its verification run.
+    config = TestGenConfig(steps_stage1=150, probe_steps=200, max_iterations=5,
+                           time_limit_s=600, l4_include_input=True)
+    generation = TestGenerator(network, config, rng=rng(2)).generate()
+    stimulus = generation.stimulus.assembled()
+
+    fault_config = FaultModelConfig(synapse_sample_fraction=0.1)
+    catalog = build_catalog(network, fault_config, rng=rng(3))
+    simulator = FaultSimulator(network, fault_config)
+    detection = simulator.detect(stimulus, catalog.faults)
+    dictionary = FaultDictionary.from_detection(detection)
+    print(
+        f"dictionary: {len(dictionary)} detected faults, "
+        f"diagnostic resolution {dictionary.resolution() * 100:.1f}%"
+    )
+
+    # Simulate field returns and diagnose them.
+    golden = network.run(stimulus)
+    detected_faults = dictionary.faults
+    returns = rng(4).choice(len(detected_faults), size=12, replace=False)
+    hits_top1 = hits_top5 = 0
+    for return_index in returns:
+        true_fault = detected_faults[int(return_index)]
+        with inject(network, true_fault, fault_config):
+            response = network.run(stimulus)
+        signature = observed_signature(golden, response)
+        candidates = dictionary.diagnose(signature, top=5)
+        ranked = [f.describe() for f, _ in candidates]
+        if ranked and ranked[0] == true_fault.describe():
+            hits_top1 += 1
+        if true_fault.describe() in ranked:
+            hits_top5 += 1
+        print(f"device with {true_fault.describe():<42} -> top match {ranked[0]}")
+
+    print(f"\ntop-1 diagnosis accuracy: {hits_top1}/{len(returns)}")
+    print(f"top-5 diagnosis accuracy: {hits_top5}/{len(returns)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Render a compact paper-vs-measured summary from results/*.json.
+
+Used to refresh the measured columns quoted in EXPERIMENTS.md after a
+benchmark run:
+
+    python scripts/summarize_results.py [results_dir]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def load(results: Path, name: str):
+    path = results / f"{name}.json"
+    if not path.exists():
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main() -> int:
+    results = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    t1 = load(results, "table1_benchmarks")
+    t2 = load(results, "table2_fault_simulation")
+    t3 = load(results, "table3_test_generation")
+    t4 = load(results, "table4_comparison")
+    f8 = load(results, "fig8_activity")
+    f9 = load(results, "fig9_propagation")
+
+    if t1:
+        print("== Table I (accuracy / neurons / synapses) ==")
+        for name, s in t1.items():
+            print(f"  {name}: {s['accuracy']:.2%} / {s['neurons']} / {s['synapses']}")
+    if t2:
+        print("== Table II (crit neuron / benign neuron / crit syn / benign syn / time s) ==")
+        for name, s in t2.items():
+            print(
+                f"  {name}: {s['critical_neuron']} / {s['benign_neuron']} / "
+                f"{s['critical_synapse']} / {s['benign_synapse']} / {s['wall_time_s']:.0f}"
+            )
+    if t3:
+        print("== Table III ==")
+        for name, s in t3.items():
+            print(
+                f"  {name}: gen {s['runtime_s']:.0f}s, ~{s['duration_samples']:.2f} samples, "
+                f"act {s['activated_fraction']:.2%}, FC crit n/s "
+                f"{s['fc_critical_neuron']:.2%}/{s['fc_critical_synapse']:.2%}, "
+                f"benign n/s {s['fc_benign_neuron']:.2%}/{s['fc_benign_synapse']:.2%}, "
+                f"max drop n/s {s['max_drop_neuron']:.2%}/{s['max_drop_synapse']:.2%}"
+            )
+    if t4:
+        print("== Table IV ==")
+        for name, s in t4.items():
+            if name == "comparison_faults":
+                print(f"  comparison fault list: {s}")
+                continue
+            print(
+                f"  {name}: {s['generation_time_s']:.0f}s gen, "
+                f"{s['fault_simulations']} sims, {s['configurations']} configs, "
+                f"~{s['duration_samples']:.2f} samples, FC {s['coverage']:.2%}"
+            )
+    if f8:
+        print(
+            f"== Fig. 8 == optimized {f8['optimized_fraction']:.2%} vs "
+            f"sample {f8['sample_fraction']:.2%}"
+        )
+    if f9:
+        print(
+            f"== Fig. 9 == detected {f9['detected_faults']}, corruption > 1 spike: "
+            f"{f9['fraction_gt_one']:.1%}, mean {f9['mean_diff']:.1f}, max {f9['max_diff']:.0f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""repro — reproduction of "Minimum Time Maximum Fault Coverage Testing of
+Spiking Neural Networks" (Raptis & Stratigopoulos, DATE 2025).
+
+The package is organised as a stack of substrates with the paper's
+contribution at the top:
+
+- :mod:`repro.autograd` — reverse-mode tensor autodiff engine (numpy) with
+  surrogate spike gradients, Gumbel-Softmax, straight-through estimator,
+  Adam, and annealing schedules.
+- :mod:`repro.snn` — discrete-time leaky-integrate-and-fire simulator with
+  dense / convolutional / recurrent layers and a fast inference path.
+- :mod:`repro.faults` — behavioural fault models, catalog enumeration,
+  reversible injection, and fault-simulation campaigns.
+- :mod:`repro.datasets` — synthetic spiking benchmarks standing in for
+  NMNIST, IBM DVS128 Gesture, and SHD.
+- :mod:`repro.training` — surrogate-gradient training used to produce the
+  benchmark models.
+- :mod:`repro.core` — the paper's test-generation algorithm (losses L1–L5,
+  two-stage input optimization, iteration control, test assembly).
+- :mod:`repro.baselines` — prior-work test-generation strategies used in
+  the Table IV comparison.
+- :mod:`repro.analysis` — figure/table reproduction helpers.
+- :mod:`repro.experiments` — the benchmark model zoo and per-table runners.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

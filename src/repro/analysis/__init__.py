@@ -1,0 +1,38 @@
+"""Reproduction helpers for the paper's figures and tables.
+
+Figures are reproduced as structured data plus ASCII renderings (this
+environment has no display): Fig. 7 stimulus snapshots, Fig. 8 neuron
+activity maps, Fig. 9 per-class spike-count-difference distributions.
+"""
+
+from repro.analysis.tables import Table, format_percent, format_seconds
+from repro.analysis.activity import (
+    ActivityMap,
+    activation_percentage,
+    activity_map,
+    render_activity,
+)
+from repro.analysis.snapshots import render_snapshot, snapshot_times
+from repro.analysis.propagation import (
+    PropagationHistogram,
+    propagation_histogram,
+    render_histogram,
+)
+from repro.analysis.curves import CoverageCurve, coverage_vs_chunks
+
+__all__ = [
+    "Table",
+    "format_percent",
+    "format_seconds",
+    "ActivityMap",
+    "activity_map",
+    "activation_percentage",
+    "render_activity",
+    "snapshot_times",
+    "render_snapshot",
+    "PropagationHistogram",
+    "propagation_histogram",
+    "render_histogram",
+    "CoverageCurve",
+    "coverage_vs_chunks",
+]

@@ -1,0 +1,82 @@
+"""Fig. 8 reproduction: per-layer neuron activity maps.
+
+The paper shows a grid of all neurons coloured by whether they were
+activated (fired at least once) by a stimulus.  Here the map is returned
+as structured arrays and rendered as an ASCII grid ('#' activated, '.'
+silent), one block per layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.snn.network import SNN
+
+
+@dataclass
+class ActivityMap:
+    """Activation state of every neuron under one stimulus."""
+
+    layer_names: List[str]
+    layer_shapes: List[Tuple[int, ...]]
+    activated: List[np.ndarray]  # bool arrays, structured per layer
+
+    @property
+    def total_neurons(self) -> int:
+        return int(sum(a.size for a in self.activated))
+
+    @property
+    def total_activated(self) -> int:
+        return int(sum(a.sum() for a in self.activated))
+
+    @property
+    def fraction(self) -> float:
+        return self.total_activated / self.total_neurons if self.total_neurons else 0.0
+
+
+def activity_map(network: SNN, stimulus: np.ndarray, threshold: int = 1) -> ActivityMap:
+    """Which neurons fire >= ``threshold`` spikes under ``stimulus``."""
+    records = network.run_spiking_layers(stimulus)
+    names, shapes, activated = [], [], []
+    for module, record in zip(network.spiking_modules, records):
+        counts = record[:, 0, :].sum(axis=0)
+        names.append(module.name)
+        shapes.append(module.neuron_shape)
+        activated.append((counts >= threshold).reshape(module.neuron_shape))
+    return ActivityMap(layer_names=names, layer_shapes=shapes, activated=activated)
+
+
+def activation_percentage(network: SNN, stimulus: np.ndarray, threshold: int = 1) -> float:
+    """Fraction of all neurons activated by ``stimulus``."""
+    return activity_map(network, stimulus, threshold).fraction
+
+
+def _render_grid(active: np.ndarray, columns: int = 64) -> str:
+    """Render a flat bool array as '#'/'.' rows of at most ``columns``."""
+    flat = active.reshape(-1)
+    lines = []
+    for start in range(0, flat.size, columns):
+        lines.append("".join("#" if v else "." for v in flat[start : start + columns]))
+    return "\n".join(lines)
+
+
+def render_activity(amap: ActivityMap, columns: int = 64) -> str:
+    """ASCII rendering of the Fig. 8 activity grid."""
+    blocks = [
+        f"total activated: {amap.total_activated}/{amap.total_neurons} "
+        f"({amap.fraction * 100:.2f}%)"
+    ]
+    for name, shape, active in zip(amap.layer_names, amap.layer_shapes, amap.activated):
+        pct = active.mean() * 100.0
+        blocks.append(f"\n[{name}] shape={shape} activated={pct:.1f}%")
+        if len(shape) == 3:
+            # One grid per channel row, channels side by side if they fit.
+            for channel in range(shape[0]):
+                blocks.append(f"channel {channel}:")
+                blocks.append(_render_grid(active[channel], columns=shape[2]))
+        else:
+            blocks.append(_render_grid(active, columns=columns))
+    return "\n".join(blocks)

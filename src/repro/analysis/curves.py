@@ -1,0 +1,78 @@
+"""Coverage-vs-test-length curves.
+
+The "minimum time" half of the paper's title: coverage should saturate
+after a few chunks, which is why the final test is only a handful of
+samples long.  :func:`coverage_vs_chunks` fault-simulates every prefix of
+the chunk sequence and returns the cumulative detection-rate curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.testset import TestStimulus
+from repro.faults.model import FaultModelConfig
+from repro.faults.simulator import FaultSimulator
+from repro.snn.network import SNN
+
+
+@dataclass
+class CoverageCurve:
+    """Cumulative detection rate after each chunk of a test stimulus."""
+
+    chunk_durations: List[int]
+    cumulative_steps: List[int]
+    detection_rates: List[float]
+
+    @property
+    def final_rate(self) -> float:
+        return self.detection_rates[-1] if self.detection_rates else 0.0
+
+    def saturation_chunk(self, tolerance: float = 0.01) -> int:
+        """Index of the first chunk after which coverage stays within
+        ``tolerance`` of the final rate (0-based)."""
+        target = self.final_rate - tolerance
+        for index, rate in enumerate(self.detection_rates):
+            if rate >= target:
+                return index
+        return len(self.detection_rates) - 1
+
+    def render(self, width: int = 40) -> str:
+        lines = ["chunk | steps | detection rate"]
+        for index, (steps, rate) in enumerate(
+            zip(self.cumulative_steps, self.detection_rates)
+        ):
+            bar = "#" * int(round(width * rate))
+            lines.append(f"{index:5d} | {steps:5d} | {rate * 100:6.2f}% {bar}")
+        return "\n".join(lines)
+
+
+def coverage_vs_chunks(
+    network: SNN,
+    stimulus: TestStimulus,
+    faults: Sequence,
+    fault_config: Optional[FaultModelConfig] = None,
+) -> CoverageCurve:
+    """Detection rate of every prefix test {I¹..I^j} (Eq. 7 assembly).
+
+    Runs one detection campaign per prefix; a fault counts as detected by
+    prefix j if the prefix's assembled application differs from the
+    fault-free response.
+    """
+    simulator = FaultSimulator(network, fault_config)
+    durations = stimulus.chunk_durations
+    rates: List[float] = []
+    cumulative: List[int] = []
+    for j in range(1, len(durations) + 1):
+        prefix = TestStimulus(chunks=stimulus.chunks[:j], input_shape=stimulus.input_shape)
+        result = simulator.detect(prefix.assembled(), faults)
+        rates.append(result.detection_rate())
+        cumulative.append(prefix.duration_steps)
+    return CoverageCurve(
+        chunk_durations=list(durations),
+        cumulative_steps=cumulative,
+        detection_rates=rates,
+    )

@@ -1,0 +1,59 @@
+"""Fig. 7 reproduction: snapshots of the optimized test stimulus.
+
+For two-polarity event inputs, '+' marks an ON spike, '-' an OFF spike,
+'#' both polarities at once, and '.' silence.  For flat (audio-style)
+inputs a channelxtime raster is rendered instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def snapshot_times(total_steps: int, count: int = 4) -> List[int]:
+    """Evenly spaced snapshot time stamps, like the paper's four panels."""
+    if count < 1 or total_steps < 1:
+        raise ShapeError("need total_steps >= 1 and count >= 1")
+    count = min(count, total_steps)
+    return [int(round(i * (total_steps - 1) / max(count - 1, 1))) for i in range(count)]
+
+
+def render_snapshot(stimulus: np.ndarray, time_step: int) -> str:
+    """Render one time slice of a ``(T, 1, ...)`` stimulus."""
+    if stimulus.ndim < 3 or stimulus.shape[1] != 1:
+        raise ShapeError(f"stimulus must be (T, 1, ...), got {stimulus.shape}")
+    if not 0 <= time_step < stimulus.shape[0]:
+        raise ShapeError(f"time step {time_step} out of range [0, {stimulus.shape[0]})")
+    frame = stimulus[time_step, 0]
+    if frame.ndim == 3 and frame.shape[0] == 2:
+        on, off = frame[0] > 0, frame[1] > 0
+        rows = []
+        for y in range(frame.shape[1]):
+            row = []
+            for x in range(frame.shape[2]):
+                if on[y, x] and off[y, x]:
+                    row.append("#")
+                elif on[y, x]:
+                    row.append("+")
+                elif off[y, x]:
+                    row.append("-")
+                else:
+                    row.append(".")
+            rows.append("".join(row))
+        return "\n".join(rows)
+    flat = frame.reshape(-1)
+    return "".join("|" if v > 0 else "." for v in flat)
+
+
+def render_snapshot_series(stimulus: np.ndarray, count: int = 4) -> str:
+    """The full Fig. 7 panel: several labelled snapshots."""
+    blocks = []
+    for t in snapshot_times(stimulus.shape[0], count):
+        blocks.append(f"t = {t} steps:")
+        blocks.append(render_snapshot(stimulus, t))
+        blocks.append("")
+    return "\n".join(blocks)

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """0.9972 -> '99.72%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_seconds(value: float) -> str:
+    """Human-readable duration: seconds, minutes, or hours."""
+    if value < 1.0:
+        return f"{value * 1000:.0f} ms"
+    if value < 120.0:
+        return f"{value:.1f} s"
+    if value < 7200.0:
+        return f"{value / 60.0:.1f} min"
+    return f"{value / 3600.0:.2f} h"
+
+
+@dataclass
+class Table:
+    """A simple left-aligned ASCII table with a title row.
+
+    Mirrors the paper's table structure: a metric column followed by one
+    column per benchmark.
+    """
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        cells = [str(c) for c in cells]
+        if len(cells) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        separator = "-+-".join("-" * w for w in widths)
+        out = [self.title, "=" * len(self.title), line(self.headers), separator]
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)

@@ -1,0 +1,37 @@
+"""A small reverse-mode automatic-differentiation engine over numpy.
+
+This substrate replaces PyTorch in the reproduction.  It provides exactly
+what the paper's pipeline needs: differentiable tensor algebra, surrogate
+gradients for the non-differentiable spike function, the Gumbel-Softmax
+relaxation and straight-through estimator used to optimise binary inputs,
+the Adam optimiser, and annealing schedules for learning rate and
+temperature.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, tensor
+from repro.autograd import functional
+from repro.autograd.optim import SGD, Adam, Optimizer
+from repro.autograd.schedule import (
+    ConstantSchedule,
+    CosineAnnealing,
+    ExponentialAnnealing,
+    LinearAnnealing,
+    Schedule,
+    StepDecay,
+)
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "functional",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Schedule",
+    "ConstantSchedule",
+    "LinearAnnealing",
+    "ExponentialAnnealing",
+    "CosineAnnealing",
+    "StepDecay",
+]

@@ -1,0 +1,106 @@
+"""Gradient-descent optimisers over :class:`~repro.autograd.tensor.Tensor`.
+
+The paper's input optimisation (Fig. 3) and the benchmark training both use
+Adam; plain SGD is provided for tests and baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.autograd.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimiser: holds parameters and clears their gradients."""
+
+    def __init__(self, params: Iterable[Tensor]) -> None:
+        self.params: List[Tensor] = [p for p in params]
+        if not self.params:
+            raise ConfigurationError("optimizer constructed with no parameters")
+        for p in self.params:
+            if not p.requires_grad:
+                raise ConfigurationError(
+                    "optimizer given a parameter with requires_grad=False"
+                )
+
+    def zero_grad(self) -> None:
+        """Clear the gradient buffers of all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one SGD update using the accumulated gradients."""
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015) with bias correction.
+
+    The learning rate is exposed as a mutable attribute so annealing
+    schedules (Section V-C of the paper) can adjust it between steps.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigurationError(f"betas must be in [0, 1), got {betas}")
+        self.lr = lr
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

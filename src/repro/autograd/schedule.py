@@ -1,0 +1,94 @@
+"""Annealing schedules for learning rate and Gumbel-Softmax temperature.
+
+Section V-C of the paper: "For the temperature tau in the Gumbel-Softmax
+function we use an annealing schedule with maximum value 0.9.  The initial
+learning rate lr in the Adam optimizer is set to 0.1 and adjusts based on
+an annealing schedule."  The exact schedules are not specified, so several
+standard ones are provided and the defaults are documented in
+:mod:`repro.core.config`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+class Schedule:
+    """A scalar schedule: ``value(step)`` for integer ``step >= 0``."""
+
+    def value(self, step: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ConfigurationError(f"schedule step must be >= 0, got {step}")
+        return self.value(step)
+
+
+class ConstantSchedule(Schedule):
+    """Always returns the same value."""
+
+    def __init__(self, value: float) -> None:
+        self._value = float(value)
+
+    def value(self, step: int) -> float:
+        return self._value
+
+
+class LinearAnnealing(Schedule):
+    """Linear interpolation from ``start`` to ``end`` over ``total_steps``."""
+
+    def __init__(self, start: float, end: float, total_steps: int) -> None:
+        if total_steps < 1:
+            raise ConfigurationError(f"total_steps must be >= 1, got {total_steps}")
+        self.start, self.end, self.total_steps = float(start), float(end), int(total_steps)
+
+    def value(self, step: int) -> float:
+        frac = min(step / self.total_steps, 1.0)
+        return self.start + (self.end - self.start) * frac
+
+
+class ExponentialAnnealing(Schedule):
+    """Exponential decay from ``start`` towards ``end``: never crosses ``end``."""
+
+    def __init__(self, start: float, end: float, decay: float) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1), got {decay}")
+        self.start, self.end, self.decay = float(start), float(end), float(decay)
+
+    def value(self, step: int) -> float:
+        return self.end + (self.start - self.end) * self.decay ** step
+
+
+class CosineAnnealing(Schedule):
+    """Half-cosine decay from ``start`` to ``end`` over ``total_steps``."""
+
+    def __init__(self, start: float, end: float, total_steps: int) -> None:
+        if total_steps < 1:
+            raise ConfigurationError(f"total_steps must be >= 1, got {total_steps}")
+        self.start, self.end, self.total_steps = float(start), float(end), int(total_steps)
+
+    def value(self, step: int) -> float:
+        frac = min(step / self.total_steps, 1.0)
+        return self.end + 0.5 * (self.start - self.end) * (1.0 + math.cos(math.pi * frac))
+
+
+class StepDecay(Schedule):
+    """Multiply ``start`` by ``factor`` every ``period`` steps."""
+
+    def __init__(self, start: float, factor: float, period: int, floor: float = 0.0) -> None:
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(f"factor must be in (0, 1], got {factor}")
+        self.start, self.factor, self.period, self.floor = (
+            float(start),
+            float(factor),
+            int(period),
+            float(floor),
+        )
+
+    def value(self, step: int) -> float:
+        return max(self.start * self.factor ** (step // self.period), self.floor)

@@ -1,0 +1,30 @@
+"""Prior-work test-generation strategies (the Table IV comparison).
+
+All prior methods share one structure: build a pool of candidate inputs —
+dataset samples [18], adversarial examples [17]/[19], or random patterns
+[20] — then greedily add candidates to the test set, verifying coverage by
+*fault simulation in the loop*, until coverage saturates.  Their cost is
+therefore proportional to (candidates × faults), which is exactly what the
+paper's loss-driven method avoids.
+
+- :mod:`repro.baselines.greedy_dataset` — compact functional testing from
+  dataset samples ([18], the paper's only quantitative comparator).
+- :mod:`repro.baselines.adversarial` — adversarial-example candidates
+  ([17], [19]-style).
+- :mod:`repro.baselines.random_search` — random patterns with multiple
+  test configurations ([20]-style).
+"""
+
+from repro.baselines.common import BaselineResult, greedy_select
+from repro.baselines.greedy_dataset import greedy_dataset_baseline
+from repro.baselines.adversarial import adversarial_baseline, craft_adversarial
+from repro.baselines.random_search import random_pattern_baseline
+
+__all__ = [
+    "BaselineResult",
+    "greedy_select",
+    "greedy_dataset_baseline",
+    "adversarial_baseline",
+    "craft_adversarial",
+    "random_pattern_baseline",
+]

@@ -1,0 +1,58 @@
+"""Random-pattern test generation with configuration switching
+([20]-style test compression for neuromorphic chips).
+
+Candidates are Bernoulli random spike patterns at several densities.  The
+prior method also reloads different network configurations onto the chip;
+that cost is modelled by ``num_configurations`` and a per-switch overhead
+added to the test application time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, greedy_select
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultModelConfig
+from repro.snn.network import SNN
+
+
+def random_pattern_baseline(
+    network: SNN,
+    steps: int,
+    faults: Sequence,
+    rng: np.random.Generator,
+    fault_config: Optional[FaultModelConfig] = None,
+    pool_size: int = 40,
+    densities: Tuple[float, ...] = (0.05, 0.1, 0.2, 0.4),
+    target_coverage: float = 1.0,
+    max_inputs: Optional[int] = None,
+    num_configurations: int = 4,
+    switch_overhead_steps: int = 50,
+    log=None,
+) -> BaselineResult:
+    """Generate random candidates at mixed densities, then greedy-select."""
+    if pool_size < 1:
+        raise ConfigurationError("pool_size must be >= 1")
+    if not densities:
+        raise ConfigurationError("need at least one density")
+    candidates: List[np.ndarray] = []
+    for i in range(pool_size):
+        density = densities[i % len(densities)]
+        candidates.append(
+            (rng.random((steps, 1) + network.input_shape) < density).astype(np.float64)
+        )
+    return greedy_select(
+        network,
+        candidates,
+        faults,
+        fault_config,
+        target_coverage=target_coverage,
+        max_inputs=max_inputs,
+        name="random[20]",
+        num_configurations=num_configurations,
+        switch_overhead_steps=switch_overhead_steps,
+        log=log,
+    )

@@ -1,0 +1,235 @@
+"""Command-line interface.
+
+Every pipeline stage and report is reachable from the shell::
+
+    repro info
+    repro train nmnist --scale small
+    repro faultsim nmnist
+    repro generate nmnist
+    repro verify nmnist
+    repro pack nmnist -o stored_test.npz
+    repro report table3
+    repro report all
+
+Stages cache under ``<results>/cache`` exactly like the benchmark
+harness, so the CLI and ``pytest benchmarks/`` share artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro._version import __version__
+from repro.analysis.tables import format_percent, format_seconds
+from repro.experiments import (
+    BENCHMARK_NAMES,
+    SCALES,
+    ExperimentPipeline,
+    get_benchmark,
+)
+from repro.experiments.pipeline import default_results_dir
+from repro.experiments.reports import (
+    ablation_report,
+    fig7_report,
+    fig8_report,
+    fig9_report,
+    save_report,
+    table1_report,
+    table2_report,
+    table3_report,
+    table4_report,
+)
+
+REPORTS = ("table1", "table2", "table3", "table4", "fig7", "fig8", "fig9", "ablation")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Minimum-time maximum-fault-coverage SNN test generation "
+        "(DATE 2025 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list benchmarks, scales, and reports")
+
+    def add_pipeline_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+        p.add_argument("--scale", choices=SCALES, default="small")
+        p.add_argument("--results", type=Path, default=None,
+                       help="results root (default: $REPRO_RESULTS or ./results)")
+        p.add_argument("--seed", type=int, default=0)
+
+    add_pipeline_args(sub.add_parser("train", help="train and cache the benchmark model"))
+    add_pipeline_args(sub.add_parser(
+        "faultsim", help="run the criticality-labelling fault-simulation campaign"))
+    add_pipeline_args(sub.add_parser("generate", help="run the proposed test generation"))
+    add_pipeline_args(sub.add_parser(
+        "verify", help="fault-simulate the generated test and print coverage"))
+
+    pack = sub.add_parser("pack", help="build the on-chip StoredTest artifact")
+    add_pipeline_args(pack)
+    pack.add_argument("-o", "--output", type=Path, required=True)
+
+    compact = sub.add_parser(
+        "compact", help="drop chunks whose fault detections are subsumed"
+    )
+    add_pipeline_args(compact)
+    compact.add_argument("--tolerance", type=float, default=0.0,
+                         help="allowed union-coverage drop (fraction of faults)")
+
+    report = sub.add_parser("report", help="regenerate a paper table/figure report")
+    report.add_argument("name", choices=REPORTS + ("all",))
+    report.add_argument("--scale", choices=SCALES, default="small")
+    report.add_argument("--results", type=Path, default=None)
+    report.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _pipeline(args, name: Optional[str] = None) -> ExperimentPipeline:
+    definition = get_benchmark(name or args.benchmark, args.scale)
+    results = args.results if args.results is not None else default_results_dir()
+    return ExperimentPipeline(definition, results_dir=results, seed=args.seed, log=print)
+
+
+def _pipelines(args) -> Dict[str, ExperimentPipeline]:
+    return {name: _pipeline(args, name) for name in BENCHMARK_NAMES}
+
+
+def _cmd_info(args) -> int:
+    print(f"repro {__version__}")
+    print(f"benchmarks: {', '.join(BENCHMARK_NAMES)}")
+    print(f"scales:     {', '.join(SCALES)}")
+    print(f"reports:    {', '.join(REPORTS)}, all")
+    print(f"results:    {default_results_dir()}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    pipeline = _pipeline(args)
+    network = pipeline.network()
+    metrics = pipeline.training_metrics()
+    print(network.describe())
+    print(
+        f"train accuracy {format_percent(metrics.train_accuracy)}, "
+        f"test accuracy {format_percent(metrics.test_accuracy)} "
+        f"({format_seconds(metrics.wall_time)})"
+    )
+    return 0
+
+
+def _cmd_faultsim(args) -> int:
+    pipeline = _pipeline(args)
+    result = pipeline.classification()
+    print(
+        f"{len(result.faults)} faults: {result.critical_count} critical, "
+        f"{result.benign_count} benign "
+        f"(nominal accuracy {format_percent(result.nominal_accuracy)}, "
+        f"{format_seconds(result.wall_time)})"
+    )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    pipeline = _pipeline(args)
+    result = pipeline.generation()
+    dataset = pipeline.dataset()
+    print(
+        f"{result.num_chunks} chunks, T_test {result.stimulus.duration_steps} steps "
+        f"(~{result.stimulus.duration_samples(dataset.steps):.2f} samples), "
+        f"activated {format_percent(result.activated_fraction)}, "
+        f"runtime {format_seconds(result.runtime_s)}"
+    )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    pipeline = _pipeline(args)
+    coverage = pipeline.coverage()
+    for label, value in coverage.rows():
+        print(f"{label}: {format_percent(value)}")
+    print(
+        f"Max accuracy drop of undetected critical faults: "
+        f"neuron {format_percent(coverage.max_drop_undetected_neuron)}, "
+        f"synapse {format_percent(coverage.max_drop_undetected_synapse)}"
+    )
+    return 0
+
+
+def _cmd_pack(args) -> int:
+    from repro.core.storage import StoredTest
+
+    pipeline = _pipeline(args)
+    generation = pipeline.generation()
+    stored = StoredTest.build(pipeline.network(), generation.stimulus)
+    stored.save(str(args.output))
+    print(f"wrote {args.output} ({stored.storage_bytes} bytes on-chip equivalent)")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    from repro.core.compaction import compact_test
+
+    pipeline = _pipeline(args)
+    generation = pipeline.generation()
+    catalog = pipeline.catalog()
+    compacted, report = compact_test(
+        pipeline.network(),
+        generation.stimulus,
+        catalog.faults,
+        pipeline.definition.fault_config,
+        coverage_tolerance=args.tolerance,
+    )
+    print(report.summary())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    results = args.results if args.results is not None else default_results_dir()
+    names = REPORTS if args.name == "all" else (args.name,)
+    pipelines = None
+    for name in names:
+        if name in ("table1", "table2", "table3"):
+            pipelines = pipelines or _pipelines(args)
+            fn = {"table1": table1_report, "table2": table2_report, "table3": table3_report}[name]
+            text, payload = fn(pipelines)
+        elif name == "table4":
+            pipelines = pipelines or _pipelines(args)
+            text, payload = table4_report(pipelines["nmnist"])
+        elif name in ("fig7", "fig8", "fig9"):
+            pipelines = pipelines or _pipelines(args)
+            fn = {"fig7": fig7_report, "fig8": fig8_report, "fig9": fig9_report}[name]
+            text, payload = fn(pipelines["ibm"])
+        else:  # ablation
+            pipelines = pipelines or _pipelines(args)
+            text, payload = ablation_report(pipelines["shd"])
+        print(text)
+        print()
+        save_report(results, f"{name}_cli", text, payload)
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "train": _cmd_train,
+    "faultsim": _cmd_faultsim,
+    "generate": _cmd_generate,
+    "verify": _cmd_verify,
+    "pack": _cmd_pack,
+    "compact": _cmd_compact,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""The paper's contribution: minimum-time maximum-fault-coverage test
+generation for SNNs (Section IV).
+
+Pipeline
+--------
+1. :mod:`repro.core.duration` finds the minimum input duration that can
+   drive every output neuron to spike (the ``T_in,min`` probe of §V-C).
+2. :class:`repro.core.generator.TestGenerator` runs the Fig. 2 loop: each
+   iteration optimises one input chunk in two stages —
+
+   - stage 1 minimises the scalarised losses L1–L4 (fault sensitisation:
+     output activity, neuron activation of the not-yet-activated target
+     set, temporal diversity, synapse-contribution uniformity);
+   - stage 2 minimises L5 (total hidden spikes) while keeping the output
+     spike trains constant, helping fault effects survive refractory
+     information loss and propagate to the output —
+
+   growing the input duration by a doubling increment β whenever a stage
+   fails to activate new neurons.
+3. :mod:`repro.core.testset` assembles the final stimulus: chunks
+   interleaved with equal-length zero "sleep" inputs (Eq. 7/8).
+4. :mod:`repro.core.coverage` verifies the stimulus with one
+   fault-simulation campaign (the only one in the whole flow).
+"""
+
+from repro.core.config import TestGenConfig
+from repro.core.losses import (
+    LossWeights,
+    loss_neuron_activation,
+    loss_output_activity,
+    loss_output_constancy,
+    loss_output_headroom,
+    loss_spike_minimization,
+    loss_synapse_uniformity,
+    loss_temporal_diversity,
+)
+from repro.core.input_param import InputParameterization
+from repro.core.duration import find_minimum_duration
+from repro.core.stage import StageResult, run_stage
+from repro.core.generator import TestGenerationResult, TestGenerator
+from repro.core.testset import TestStimulus
+from repro.core.storage import StoredTest, pack_stimulus, unpack_stimulus
+from repro.core.compaction import CompactionReport, compact_test
+from repro.core.coverage import verify_coverage
+
+__all__ = [
+    "TestGenConfig",
+    "LossWeights",
+    "loss_output_activity",
+    "loss_neuron_activation",
+    "loss_temporal_diversity",
+    "loss_synapse_uniformity",
+    "loss_spike_minimization",
+    "loss_output_constancy",
+    "loss_output_headroom",
+    "InputParameterization",
+    "find_minimum_duration",
+    "run_stage",
+    "StageResult",
+    "TestGenerator",
+    "TestGenerationResult",
+    "TestStimulus",
+    "StoredTest",
+    "pack_stimulus",
+    "unpack_stimulus",
+    "compact_test",
+    "CompactionReport",
+    "verify_coverage",
+]

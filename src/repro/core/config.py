@@ -1,0 +1,175 @@
+"""Configuration of the test-generation algorithm (paper §V-C).
+
+The paper's settings are documented per field; defaults here are scaled to
+CPU-sized benchmarks (our time step plays the role of 1 ms, and our
+networks run tens of steps instead of hundreds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TestGenConfig:
+    """User-defined parameters of the optimisation algorithm.
+
+    Attributes
+    ----------
+    t_in_min:
+        Initial input duration in steps.  ``None`` runs the §V-C probe:
+        the smallest duration whose optimised input makes every output
+        neuron spike (paper starts the search at 1 ms).
+    t_in_start:
+        Starting duration for the probe search.
+    t_in_max:
+        Hard cap on a chunk's duration.
+    td_min:
+        Minimum imposed temporal diversity for L3.  ``None`` uses the
+        paper's rule ``T_in,min / 10`` (at least 2 transitions).
+    steps_stage1:
+        Optimisation steps per stage-1 attempt (paper: 2000; scaled
+        default 250 — our inputs have ~10× fewer free variables).
+    steps_stage2:
+        Stage-2 steps (paper: half of stage 1).  ``None`` → half.
+    beta:
+        Initial duration increment in steps when a stage makes no
+        progress (paper: 10 ms); it doubles on every growth.
+    max_growths:
+        Maximum number of duration growths within one iteration.
+    tau_max / tau_min / tau_decay:
+        Gumbel-Softmax temperature annealing (paper: max 0.9).
+    lr / lr_min / lr_decay:
+        Adam learning-rate annealing (paper: initial 0.1).
+    gumbel_noise:
+        Scale of the logistic noise in the Gumbel-Softmax; 0 makes the
+        relaxation deterministic.
+    init_logit_scale:
+        Standard deviation of the initial ``I_real`` logits.
+    init_logit_bias:
+        Mean of the initial logits; negative starts from a sparse input.
+    stage2_constancy_weight:
+        Weight λ of the output-constancy penalty that enforces the
+        ``constant O^L`` constraint of Eq. 15.
+    time_limit_s:
+        Wall-clock budget for the whole generation (paper: 3 h).
+    max_iterations:
+        Safety cap on the number of chunks.
+    stall_iterations:
+        Stop after this many consecutive iterations with no new
+        activations (the achievable set is exhausted).
+    activation_threshold:
+        Spike count at which a neuron counts as activated.
+    surrogate_slope:
+        If set, the surrogate derivative slope used *during test
+        generation* (restored afterwards).  A wider surrogate (smaller
+        slope) lets gradients reach far-from-threshold neurons, which the
+        hinge losses need; training typically uses a sharper one.
+    probe_steps:
+        Optimisation steps per duration tried by the T_in,min probe.
+    l4_include_input:
+        Extend L4 to the first spiking layer's synapses using the input
+        spike counts.  The paper's Eq. 13 sums over layers 2..L only;
+        enabling this helps benchmarks whose synapses concentrate in the
+        first layer (e.g. SHD-style audio networks).
+    disabled_losses:
+        Loss indices (1-5) to ablate: 1-4 zero the corresponding stage-1
+        weight α_i, 5 skips stage 2 entirely.  Used by the ablation
+        benches; empty for the paper's algorithm.
+    use_headroom_loss / headroom_margin:
+        Enable the L6 extension (paper future work): a stage-1 penalty
+        keeping output spike counts below ``(1 - margin)`` of the
+        refractory-limited ceiling, preserving observability of
+        spike-adding faults.
+    """
+
+    t_in_min: Optional[int] = None
+    t_in_start: int = 4
+    t_in_max: int = 96
+    td_min: Optional[int] = None
+    steps_stage1: int = 250
+    steps_stage2: Optional[int] = None
+    beta: int = 4
+    max_growths: int = 3
+    tau_max: float = 0.9
+    tau_min: float = 0.1
+    tau_decay: float = 0.995
+    lr: float = 0.1
+    lr_min: float = 0.01
+    lr_decay: float = 0.995
+    gumbel_noise: float = 1.0
+    init_logit_scale: float = 1.0
+    init_logit_bias: float = -1.0
+    stage2_constancy_weight: float = 5.0
+    time_limit_s: float = 3600.0
+    max_iterations: int = 24
+    stall_iterations: int = 2
+    activation_threshold: int = 1
+    surrogate_slope: Optional[float] = 2.0
+    probe_steps: int = 200
+    l4_include_input: bool = False
+    disabled_losses: Tuple[int, ...] = ()
+    use_headroom_loss: bool = False
+    headroom_margin: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.t_in_min is not None and self.t_in_min < 1:
+            raise ConfigurationError("t_in_min must be >= 1")
+        if self.t_in_start < 1 or self.t_in_max < self.t_in_start:
+            raise ConfigurationError("need 1 <= t_in_start <= t_in_max")
+        if self.td_min is not None and self.td_min < 0:
+            raise ConfigurationError("td_min must be >= 0")
+        if self.steps_stage1 < 1:
+            raise ConfigurationError("steps_stage1 must be >= 1")
+        if self.steps_stage2 is not None and self.steps_stage2 < 1:
+            raise ConfigurationError("steps_stage2 must be >= 1")
+        if self.beta < 1:
+            raise ConfigurationError("beta must be >= 1")
+        if self.max_growths < 0:
+            raise ConfigurationError("max_growths must be >= 0")
+        if not 0.0 < self.tau_min <= self.tau_max:
+            raise ConfigurationError("need 0 < tau_min <= tau_max")
+        if not 0.0 < self.tau_decay < 1.0:
+            raise ConfigurationError("tau_decay must be in (0, 1)")
+        if self.lr <= 0 or self.lr_min <= 0 or not 0.0 < self.lr_decay < 1.0:
+            raise ConfigurationError("invalid learning-rate annealing")
+        if self.gumbel_noise < 0:
+            raise ConfigurationError("gumbel_noise must be >= 0")
+        if self.stage2_constancy_weight < 0:
+            raise ConfigurationError("stage2_constancy_weight must be >= 0")
+        if self.time_limit_s <= 0:
+            raise ConfigurationError("time_limit_s must be positive")
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        if self.stall_iterations < 1:
+            raise ConfigurationError("stall_iterations must be >= 1")
+        if self.activation_threshold < 1:
+            raise ConfigurationError("activation_threshold must be >= 1")
+        if self.surrogate_slope is not None and self.surrogate_slope <= 0:
+            raise ConfigurationError("surrogate_slope must be positive")
+        if self.probe_steps < 1:
+            raise ConfigurationError("probe_steps must be >= 1")
+        if not set(self.disabled_losses).issubset({1, 2, 3, 4, 5}):
+            raise ConfigurationError(
+                f"disabled_losses must be a subset of {{1..5}}, got {self.disabled_losses}"
+            )
+        if set(self.disabled_losses) >= {1, 2, 3, 4}:
+            raise ConfigurationError("cannot disable all four stage-1 losses")
+        if not 0.0 <= self.headroom_margin < 1.0:
+            raise ConfigurationError("headroom_margin must be in [0, 1)")
+
+    @property
+    def effective_steps_stage2(self) -> int:
+        """Paper rule: N_steps^2 = N_steps^1 / 2 unless overridden."""
+        if self.steps_stage2 is not None:
+            return self.steps_stage2
+        return max(1, self.steps_stage1 // 2)
+
+    def effective_td_min(self, t_in_min: int) -> int:
+        """Paper rule: TD_min = T_in,min / 10 (at least 2 transitions)."""
+        if self.td_min is not None:
+            return self.td_min
+        return max(2, t_in_min // 10)

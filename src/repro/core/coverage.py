@@ -1,0 +1,41 @@
+"""Final coverage verification — the single fault-simulation campaign of
+the proposed flow (paper §IV-B: "fault simulation is circumvented during
+test generation and is performed if needed only once for the final
+optimized test input to verify its fault coverage")."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.testset import TestStimulus
+from repro.faults.model import FaultModelConfig
+from repro.faults.simulator import (
+    ClassificationResult,
+    CoverageBreakdown,
+    DetectionResult,
+    FaultSimulator,
+)
+from repro.snn.network import SNN
+
+
+def verify_coverage(
+    network: SNN,
+    stimulus: TestStimulus,
+    faults: Sequence,
+    fault_config: Optional[FaultModelConfig] = None,
+    classification: Optional[ClassificationResult] = None,
+    progress=None,
+):
+    """Fault-simulate the assembled test stimulus.
+
+    Returns the :class:`DetectionResult`; if ``classification`` labels are
+    provided, also the Table-III-style :class:`CoverageBreakdown`.
+    """
+    simulator = FaultSimulator(network, fault_config)
+    detection = simulator.detect(stimulus.assembled(), faults, progress=progress)
+    if classification is None:
+        return detection, None
+    breakdown = FaultSimulator.coverage(detection, classification)
+    return detection, breakdown

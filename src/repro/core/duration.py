@@ -1,0 +1,82 @@
+"""The T_in,min probe (paper §V-C).
+
+"T_in,min is set as the minimum input duration that produces non-zero
+output for all neurons in the output layer.  Its value is defined by
+performing an initial optimization min_I L1(O^L) starting with
+T_in,min = 1 ms."
+
+The probe optimises L1 alone for a small step budget at increasing
+durations and returns the first duration at which every output neuron
+fires under the optimised (hard) stimulus.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import TestGenConfig
+from repro.core.input_param import InputParameterization
+from repro.core.losses import loss_output_activity
+from repro.core.stage import run_stage
+from repro.errors import TestGenerationError
+from repro.snn.network import SNN
+
+
+def _all_outputs_fire(network: SNN, stimulus: np.ndarray) -> bool:
+    counts = network.run(stimulus)[:, 0, :].sum(axis=0)
+    return bool(np.all(counts >= 1.0))
+
+
+def find_minimum_duration(
+    network: SNN,
+    config: TestGenConfig,
+    rng: np.random.Generator,
+    probe_steps: Optional[int] = None,
+    strict: bool = False,
+    log=None,
+) -> int:
+    """Smallest duration (in steps) whose optimised input drives every
+    output neuron to spike at least once.
+
+    Durations are tried from ``config.t_in_start`` upward (~1.5x per
+    rung), capped at ``config.t_in_max``.  If even the cap cannot activate
+    all output neurons (e.g. a barely-trained network with nearly-dead
+    outputs), the cap is returned and generation proceeds — stage 1's L1
+    keeps pushing output activity — unless ``strict`` is set, in which
+    case a :class:`TestGenerationError` is raised.
+    """
+    probe_steps = probe_steps if probe_steps is not None else config.probe_steps
+    duration = config.t_in_start
+    while True:
+        param = InputParameterization(
+            network.input_shape,
+            duration,
+            rng,
+            init_scale=config.init_logit_scale,
+            init_bias=config.init_logit_bias,
+        )
+        result = run_stage(
+            network,
+            param,
+            objective=lambda record, seq: loss_output_activity(record),
+            steps=probe_steps,
+            config=config,
+        )
+        if _all_outputs_fire(network, result.best_stimulus):
+            return duration
+        if duration >= config.t_in_max:
+            message = (
+                f"no duration <= {config.t_in_max} steps activates all "
+                f"{network.num_classes} output neurons; the network may have "
+                "dead output units"
+            )
+            if strict:
+                raise TestGenerationError(message)
+            if log is not None:
+                log(f"warning: {message}; falling back to t_in_max")
+            return config.t_in_max
+        # Gentle ladder (~1.5x per rung): overshooting T_in,min directly
+        # inflates the final test duration, so prefer extra probe rungs.
+        duration = min(duration + max(config.beta, duration // 2), config.t_in_max)

@@ -1,0 +1,332 @@
+"""The test-generation algorithm (paper Fig. 2 and §IV-C).
+
+Each iteration produces one input chunk:
+
+1. Build the target set N_T = N \\ N_A (neurons not yet activated by any
+   previous chunk) as per-layer masks.
+2. Stage 1: optimise the chunk against the scalarised losses L1–L4
+   (Eq. 14), with α_i balanced to the inverse initial loss magnitudes and
+   duration growth on stagnation.
+3. Stage 2: re-seed the logits from the stage-1 result and minimise L5
+   under an output-constancy penalty (Eq. 15).  The stage-2 stimulus is
+   adopted only if it preserves the stage-1 output spike trains and does
+   not activate fewer new neurons — otherwise the stage-1 stimulus is
+   kept (the constraint of Eq. 15 made explicit).
+4. Record newly activated neurons; stop when all neurons are activated,
+   when ``stall_iterations`` consecutive iterations add none, when the
+   iteration cap is hit, or when the time limit elapses.
+
+The final test is the chunk sequence interleaved with sleep inputs
+(:class:`~repro.core.testset.TestStimulus`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.config import TestGenConfig
+from repro.core.duration import find_minimum_duration
+from repro.core.input_param import InputParameterization
+from repro.core.losses import (
+    LossWeights,
+    loss_output_constancy,
+    loss_output_headroom,
+    loss_spike_minimization,
+)
+from repro.core.stage import StageResult, run_stage
+from repro.core.testset import TestStimulus
+from repro.autograd.tensor import stack
+from repro.errors import TestGenerationError
+from repro.snn.network import SNN
+
+
+@contextlib.contextmanager
+def surrogate_override(network: SNN, slope: Optional[float]):
+    """Temporarily widen the surrogate derivative of every spiking module.
+
+    Generation benefits from a wider surrogate than training: the hinge
+    losses must pull neurons that sit far below threshold, where a sharp
+    surrogate passes almost no gradient.
+    """
+    if slope is None:
+        yield
+        return
+    saved = [m.surrogate_slope for m in network.spiking_modules]
+    for module in network.spiking_modules:
+        module.surrogate_slope = slope
+    try:
+        yield
+    finally:
+        for module, value in zip(network.spiking_modules, saved):
+            module.surrogate_slope = value
+
+
+@dataclass
+class IterationReport:
+    """Diagnostics for one generation iteration."""
+
+    index: int
+    duration: int
+    stage1_loss: float
+    stage2_loss: float
+    stage2_adopted: bool
+    new_activations: int
+    activated_total: int
+    growths: int
+
+
+@dataclass
+class TestGenerationResult:
+    """Everything the algorithm produced."""
+
+    stimulus: TestStimulus
+    t_in_min: int
+    iterations: List[IterationReport] = field(default_factory=list)
+    activated_fraction: float = 0.0
+    activated_per_layer: List[np.ndarray] = field(default_factory=list)
+    runtime_s: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.stimulus.chunks)
+
+
+class TestGenerator:
+    """Runs the full test-generation flow for one network.
+
+    Parameters
+    ----------
+    network:
+        The trained SNN under test (its weights stay fixed throughout).
+    config:
+        Algorithm parameters (§V-C).
+    rng:
+        Source for logit initialisation and Gumbel noise.
+    log:
+        Optional callable receiving progress strings.
+    """
+
+    def __init__(
+        self,
+        network: SNN,
+        config: Optional[TestGenConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.network = network
+        self.config = config or TestGenConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self.log = log or (lambda message: None)
+
+    # ------------------------------------------------------------------
+    def activation_sets(self, stimulus: np.ndarray) -> List[np.ndarray]:
+        """Per spiking layer, which neurons fire >= activation_threshold
+        times under ``stimulus`` (fast path, no gradients)."""
+        records = self.network.run_spiking_layers(stimulus)
+        threshold = float(self.config.activation_threshold)
+        return [rec[:, 0, :].sum(axis=0) >= threshold for rec in records]
+
+    @staticmethod
+    def _count_new(activated: List[np.ndarray], known: List[np.ndarray]) -> int:
+        return int(sum((a & ~k).sum() for a, k in zip(activated, known)))
+
+    # ------------------------------------------------------------------
+    def generate(self) -> TestGenerationResult:
+        """Run the Fig. 2 loop and return the assembled test stimulus."""
+        with surrogate_override(self.network, self.config.surrogate_slope):
+            return self._generate()
+
+    def _generate(self) -> TestGenerationResult:
+        start = time.perf_counter()
+        deadline = start + self.config.time_limit_s
+        network = self.network
+
+        t_in_min = self.config.t_in_min or find_minimum_duration(
+            network, self.config, self.rng, log=self.log
+        )
+        td_min = self.config.effective_td_min(t_in_min)
+        self.log(f"T_in,min = {t_in_min} steps, TD_min = {td_min}")
+
+        total_neurons = sum(m.neuron_count for m in network.spiking_modules)
+        activated = [
+            np.zeros(m.neuron_count, dtype=bool) for m in network.spiking_modules
+        ]
+        chunks: List[np.ndarray] = []
+        reports: List[IterationReport] = []
+        stall = 0
+        timed_out = False
+
+        for iteration in range(self.config.max_iterations):
+            masks = [~a for a in activated]
+            chunk, report = self._run_iteration(
+                iteration, t_in_min, td_min, masks, activated, deadline
+            )
+            chunks.append(chunk)
+            reports.append(report)
+            self.log(
+                f"iteration {iteration}: duration {report.duration}, "
+                f"+{report.new_activations} neurons "
+                f"({report.activated_total}/{total_neurons})"
+            )
+            stall = stall + 1 if report.new_activations == 0 else 0
+            if report.activated_total >= total_neurons:
+                self.log("all neurons activated")
+                break
+            if stall >= self.config.stall_iterations:
+                self.log(f"stopping after {stall} stalled iterations")
+                break
+            if time.perf_counter() > deadline:
+                self.log("time limit reached")
+                timed_out = True
+                break
+
+        if not chunks:
+            raise TestGenerationError("generation produced no chunks")
+        stimulus = TestStimulus(chunks=chunks, input_shape=network.input_shape)
+        activated_total = int(sum(a.sum() for a in activated))
+        return TestGenerationResult(
+            stimulus=stimulus,
+            t_in_min=t_in_min,
+            iterations=reports,
+            activated_fraction=activated_total / total_neurons if total_neurons else 0.0,
+            activated_per_layer=activated,
+            runtime_s=time.perf_counter() - start,
+            timed_out=timed_out,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_iteration(
+        self,
+        iteration: int,
+        t_in_min: int,
+        td_min: int,
+        masks: List[np.ndarray],
+        activated: List[np.ndarray],
+        deadline: float,
+    ):
+        """One Fig. 2 iteration: stage 1, stage 2, activation bookkeeping."""
+        network, config = self.network, self.config
+        param = InputParameterization(
+            network.input_shape,
+            t_in_min,
+            self.rng,
+            init_scale=config.init_logit_scale,
+            init_bias=config.init_logit_bias,
+        )
+
+        # Balance the alpha weights on the initial random stimulus (§V-C).
+        probe_seq = param.sample(config.tau_max, config.gumbel_noise)
+        probe = network.forward(probe_seq)
+        probe_counts = (
+            stack(probe_seq).sum(axis=0) if config.l4_include_input else None
+        )
+        weights = LossWeights.balanced(
+            probe, network, td_min, masks, input_counts=probe_counts
+        )
+        for disabled in config.disabled_losses:  # ablation support
+            if disabled == 1:
+                weights.alpha1 = 0.0
+            elif disabled == 2:
+                weights.alpha2 = 0.0
+            elif disabled == 3:
+                weights.alpha3 = 0.0
+            elif disabled == 4:
+                weights.alpha4 = 0.0
+
+        headroom_alpha = 0.0
+        if config.use_headroom_loss:
+            probe_headroom = loss_output_headroom(
+                probe, network, config.headroom_margin
+            ).item()
+            headroom_alpha = 1.0 / max(probe_headroom, 1.0)
+
+        def stage1_objective(record, seq):
+            counts = stack(seq).sum(axis=0) if config.l4_include_input else None
+            loss = weights.combined(record, network, td_min, masks, input_counts=counts)
+            if config.use_headroom_loss:
+                loss = loss + headroom_alpha * loss_output_headroom(
+                    record, network, config.headroom_margin
+                )
+            return loss
+
+        def stage1_progress(stimulus: np.ndarray) -> bool:
+            return self._count_new(self.activation_sets(stimulus), activated) > 0
+
+        stage1 = run_stage(
+            network,
+            param,
+            stage1_objective,
+            config.steps_stage1,
+            config,
+            progress_check=stage1_progress,
+            deadline=deadline,
+        )
+        stage1_acts = self.activation_sets(stage1.best_stimulus)
+        stage1_new = self._count_new(stage1_acts, activated)
+
+        if 5 in config.disabled_losses:  # stage-2 ablation
+            for known, seen in zip(activated, stage1_acts):
+                known |= seen
+            report = IterationReport(
+                index=iteration,
+                duration=int(stage1.best_stimulus.shape[0]),
+                stage1_loss=stage1.best_loss,
+                stage2_loss=float("nan"),
+                stage2_adopted=False,
+                new_activations=stage1_new,
+                activated_total=int(sum(a.sum() for a in activated)),
+                growths=stage1.growths,
+            )
+            return stage1.best_stimulus, report
+
+        # Stage 2: minimise hidden spikes, keep the output constant.
+        target_output = network.run(stage1.best_stimulus)
+        param.load_hard(stage1.best_stimulus)
+        constancy = config.stage2_constancy_weight
+
+        def stage2_objective(record, seq):
+            return (
+                loss_spike_minimization(record) * (1.0 / max(target_output.size, 1))
+                + loss_output_constancy(record, target_output) * constancy
+            )
+
+        stage2 = run_stage(
+            network,
+            param,
+            stage2_objective,
+            config.effective_steps_stage2,
+            config,
+            progress_check=None,
+            deadline=deadline,
+        )
+        stage2_acts = self.activation_sets(stage2.best_stimulus)
+        stage2_new = self._count_new(stage2_acts, activated)
+        output_preserved = bool(
+            np.array_equal(network.run(stage2.best_stimulus), target_output)
+        )
+        adopt_stage2 = output_preserved and stage2_new >= stage1_new
+
+        if adopt_stage2:
+            chunk, chunk_acts, new_count = stage2.best_stimulus, stage2_acts, stage2_new
+        else:
+            chunk, chunk_acts, new_count = stage1.best_stimulus, stage1_acts, stage1_new
+        for known, seen in zip(activated, chunk_acts):
+            known |= seen
+
+        report = IterationReport(
+            index=iteration,
+            duration=int(chunk.shape[0]),
+            stage1_loss=stage1.best_loss,
+            stage2_loss=stage2.best_loss,
+            stage2_adopted=adopt_stage2,
+            new_activations=new_count,
+            activated_total=int(sum(a.sum() for a in activated)),
+            growths=stage1.growths,
+        )
+        return chunk, report

@@ -1,0 +1,101 @@
+"""Differentiable parameterization of the binary test input (paper Fig. 3).
+
+The stimulus is a binary tensor ``I_in`` of shape ``(T_in, 1, *input_shape)``.
+It is produced from a real-valued logit tensor ``I_real`` through
+
+    I_soft = GumbelSoftmax(I_real, tau)        (Eq. 17)
+    I_in   = STE(I_soft)                        (Eq. 18)
+
+so the forward pass sees crisp spikes while gradients reach ``I_real``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+
+
+class InputParameterization:
+    """Holds and grows the optimisable logits ``I_real``.
+
+    Parameters
+    ----------
+    input_shape:
+        Feature shape of the network input.
+    duration:
+        Initial number of time steps ``T_in``.
+    rng:
+        Source for logit initialisation and Gumbel noise.
+    init_scale / init_bias:
+        Initial logits are ``N(init_bias, init_scale²)``; a negative bias
+        starts from a sparse stimulus.
+    """
+
+    def __init__(
+        self,
+        input_shape: Tuple[int, ...],
+        duration: int,
+        rng: np.random.Generator,
+        init_scale: float = 1.0,
+        init_bias: float = -1.0,
+    ) -> None:
+        if duration < 1:
+            raise ConfigurationError(f"duration must be >= 1, got {duration}")
+        self.input_shape = tuple(input_shape)
+        self.rng = rng
+        self.init_scale = init_scale
+        self.init_bias = init_bias
+        self.logits = Tensor(
+            rng.normal(init_bias, init_scale, (duration, 1) + self.input_shape),
+            requires_grad=True,
+        )
+
+    @property
+    def duration(self) -> int:
+        return int(self.logits.shape[0])
+
+    def sample(self, tau: float, noise_scale: float = 1.0) -> List[Tensor]:
+        """Draw a differentiable binary stimulus: a list over time of
+        ``(1, *input_shape)`` spike tensors wired to ``self.logits``."""
+        soft = F.gumbel_softmax(self.logits, tau, self.rng, noise_scale=noise_scale)
+        binary = F.ste_binarize(soft)
+        return [binary[t] for t in range(self.duration)]
+
+    def hard(self) -> np.ndarray:
+        """Deterministic binarisation of the current logits (no noise):
+        the stimulus that would be stored on-chip.  Shape
+        ``(T_in, 1, *input_shape)``."""
+        return (self.logits.data > 0.0).astype(np.float64)
+
+    def grow(self, extra_steps: int) -> None:
+        """Append ``extra_steps`` freshly-initialised steps (duration
+        growth by β, paper §IV-C3).  Preserves the optimised prefix but
+        resets the optimiser state holder's view — callers must rebuild
+        their optimiser after growth."""
+        if extra_steps < 1:
+            raise ConfigurationError(f"extra_steps must be >= 1, got {extra_steps}")
+        fresh = self.rng.normal(
+            self.init_bias, self.init_scale, (extra_steps, 1) + self.input_shape
+        )
+        self.logits = Tensor(
+            np.concatenate([self.logits.data, fresh], axis=0), requires_grad=True
+        )
+
+    def load_hard(self, stimulus: np.ndarray, magnitude: float = 2.0) -> None:
+        """Re-initialise the logits from a binary stimulus (used by stage 2
+        to fine-tune the stage-1 result): spike → +magnitude, silence →
+        -magnitude."""
+        if stimulus.shape != (self.duration, 1) + self.input_shape:
+            if stimulus.ndim != self.logits.data.ndim:
+                raise ConfigurationError(
+                    f"stimulus shape {stimulus.shape} incompatible with logits "
+                    f"{self.logits.shape}"
+                )
+            # Duration may differ (stage-1 growth): adopt the new duration.
+            self.logits = Tensor(np.zeros_like(stimulus), requires_grad=True)
+        self.logits.data[...] = np.where(stimulus > 0.5, magnitude, -magnitude)

@@ -1,0 +1,310 @@
+"""The five spike-domain loss functions (paper Eqs. 9–16).
+
+All losses take the :class:`~repro.snn.network.ForwardRecord` of a
+batch-size-1 forward pass.  Gradients flow to the input through the
+surrogate spike derivatives, which is what lets the optimiser shape a
+binary stimulus without any fault simulation.
+
+Loss inventory
+--------------
+- :func:`loss_output_activity` (L1, Eq. 9): every output neuron spikes at
+  least once — fault effects need live outputs to show up on.
+- :func:`loss_neuron_activation` (L2, Eq. 10): every *target* neuron
+  spikes — the necessary condition for exposing dead and timing faults.
+- :func:`loss_temporal_diversity` (L3, Eq. 12): target neurons change
+  state often — exposes timing-variation faults.
+- :func:`loss_synapse_uniformity` (L4, Eq. 13): incoming synapse
+  contributions are uniform — prevents strong synapses from masking weak
+  ones' faults.
+- :func:`loss_spike_minimization` (L5, Eq. 16): total hidden activity —
+  minimised in stage 2 so refractory periods drop less fault information.
+- :func:`loss_output_constancy`: penalty enforcing Eq. 15's
+  ``constant O^L`` constraint during stage 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor, concatenate
+from repro.errors import ShapeError
+from repro.snn.layers import ConvLIF, DenseLIF, Flatten, RecurrentLIF, SumPool
+from repro.snn.network import SNN, ForwardRecord
+
+Masks = Optional[Sequence[Optional[np.ndarray]]]
+
+
+def _counts(record: ForwardRecord, layer: int) -> Tensor:
+    """Per-neuron spike counts of layer ``layer``: shape (B, *neurons)."""
+    return record.stacked(layer).sum(axis=0)
+
+
+def _check_batch_one(record: ForwardRecord) -> None:
+    if record.layer_spikes[0][0].shape[0] != 1:
+        raise ShapeError("test-generation losses expect batch size 1")
+
+
+def loss_output_activity(record: ForwardRecord) -> Tensor:
+    """L1 (Eq. 9): hinge pushing every output neuron to >= 1 spike."""
+    _check_batch_one(record)
+    counts = _counts(record, len(record.layer_spikes) - 1).reshape(-1)
+    return (1.0 - counts).maximum(0.0).sum()
+
+
+def loss_neuron_activation(record: ForwardRecord, masks: Masks = None) -> Tensor:
+    """L2 (Eq. 10): hinge pushing every (target) neuron to >= 1 spike.
+
+    ``masks`` restricts the sum to the iteration's target set N_T — one
+    boolean array per spiking layer, or None for all neurons.
+    """
+    _check_batch_one(record)
+    total: Optional[Tensor] = None
+    for layer in range(len(record.layer_spikes)):
+        counts = _counts(record, layer).reshape(-1)
+        hinge = (1.0 - counts).maximum(0.0)
+        if masks is not None and masks[layer] is not None:
+            hinge = hinge * Tensor(masks[layer].astype(np.float64))
+        term = hinge.sum()
+        total = term if total is None else total + term
+    return total
+
+
+def temporal_diversity(record: ForwardRecord, layer: int) -> Tensor:
+    """TD (Eq. 11): number of output state changes per neuron, (neurons,)."""
+    stacked = record.stacked(layer)  # (T, 1, *neurons)
+    if stacked.shape[0] < 2:
+        return Tensor(np.zeros(int(np.prod(stacked.shape[2:]))))
+    diffs = stacked[1:] - stacked[:-1]
+    return diffs.abs().sum(axis=0).reshape(-1)
+
+
+def loss_temporal_diversity(
+    record: ForwardRecord, td_min: int, masks: Masks = None
+) -> Tensor:
+    """L3 (Eq. 12): hinge pushing each target neuron's TD above ``td_min``."""
+    _check_batch_one(record)
+    total: Optional[Tensor] = None
+    for layer in range(len(record.layer_spikes)):
+        td = temporal_diversity(record, layer)
+        hinge = (float(td_min) - td).maximum(0.0)
+        if masks is not None and masks[layer] is not None:
+            hinge = hinge * Tensor(masks[layer].astype(np.float64))
+        term = hinge.sum()
+        total = term if total is None else total + term
+    return total
+
+
+def _masked_variance_sum(contrib: Tensor, nonzero: np.ndarray) -> Tensor:
+    """Sum over postsynaptic neurons of the variance of their incoming
+    nonzero-weight contributions.
+
+    ``contrib`` has shape (presyn, postsyn); ``nonzero`` is the boolean
+    mask of fault-relevant (nonzero-weight) synapses.
+    """
+    mask = Tensor(nonzero.astype(np.float64))
+    counts = np.maximum(nonzero.sum(axis=0), 1.0)  # (postsyn,)
+    mean = (contrib * mask).sum(axis=0) / Tensor(counts)
+    centered = (contrib - mean) * mask
+    variance = (centered * centered).sum(axis=0) / Tensor(counts)
+    return variance.sum()
+
+
+def loss_synapse_uniformity(
+    record: ForwardRecord,
+    network: SNN,
+    include_first_layer: bool = False,
+    input_counts: Optional[Tensor] = None,
+) -> Tensor:
+    """L4 (Eq. 13): variance of synapse contributions to each neuron.
+
+    A synapse's contribution is ``w * |O_presyn|`` — weight times the
+    presynaptic spike count.  Pool and flatten modules between spiking
+    layers are applied to the count tensors (summation commutes with both),
+    so the contributions seen by a layer match its actual inputs.
+
+    For convolutional layers (weight sharing) the contribution of a kernel
+    entry is its weight times the position-averaged spike count of its
+    input channel — the natural per-weight generalisation of Eq. 13.
+
+    Per the paper the sum runs over layers 2..L; pass
+    ``include_first_layer=True`` (with ``input_counts``, the per-input
+    spike-count tensor shaped like one input frame) to also uniformise the
+    first layer's synapses — used in the ablation study.
+    """
+    _check_batch_one(record)
+    total: Optional[Tensor] = None
+    spiking_seen = 0
+    prev_counts: Optional[Tensor] = None  # (1, *feature_shape), tape-connected
+    if include_first_layer:
+        if input_counts is None:
+            raise ShapeError("include_first_layer=True requires input_counts")
+        prev_counts = input_counts
+
+    for module in network.modules:
+        if isinstance(module, SumPool):
+            if prev_counts is not None:
+                prev_counts = F.sum_pool2d(prev_counts, module.window)
+            continue
+        if isinstance(module, Flatten):
+            if prev_counts is not None:
+                prev_counts = prev_counts.reshape(1, -1)
+            continue
+        if not module.has_neurons:
+            continue
+        if prev_counts is not None:
+            term = _module_contribution_variance(module, prev_counts, record, spiking_seen)
+            if term is not None:
+                total = term if total is None else total + term
+        prev_counts = _counts(record, spiking_seen)
+        spiking_seen += 1
+    if total is None:
+        total = Tensor(np.zeros(()))
+    return total
+
+
+def _module_contribution_variance(
+    module, prev_counts: Tensor, record: ForwardRecord, layer_index: int
+) -> Optional[Tensor]:
+    """Contribution-variance term for one receiving spiking module."""
+    if isinstance(module, DenseLIF):
+        weight = Tensor(module.weight.data)  # constant during input optimisation
+        contrib = prev_counts.reshape(-1, 1) * weight  # (in, out)
+        return _masked_variance_sum(contrib, module.weight.data != 0.0)
+    if isinstance(module, RecurrentLIF):
+        w_in = Tensor(module.weight.data)
+        w_rec = Tensor(module.recurrent_weight.data)
+        own_counts = _counts(record, layer_index).reshape(-1, 1)
+        contrib_in = prev_counts.reshape(-1, 1) * w_in  # (in, out)
+        contrib_rec = own_counts * w_rec  # (out, out)
+        contrib = concatenate([contrib_in, contrib_rec], axis=0)
+        nonzero = np.concatenate(
+            [module.weight.data != 0.0, module.recurrent_weight.data != 0.0], axis=0
+        )
+        return _masked_variance_sum(contrib, nonzero)
+    if isinstance(module, ConvLIF):
+        # Channel activity averaged over positions; one contribution per
+        # kernel entry, variance per output filter.
+        positions = float(np.prod(prev_counts.shape[2:]))
+        channel_counts = prev_counts.sum(axis=(2, 3)).reshape(-1) * (1.0 / positions)
+        weight = Tensor(module.weight.data)  # (F, C, kh, kw)
+        filters = module.weight.shape[0]
+        w_flat = weight.reshape(filters, -1).transpose(1, 0)  # (C*kh*kw, F)
+        per_entry_counts = np.repeat(
+            np.arange(module.in_channels), module.kernel * module.kernel
+        )
+        contrib = channel_counts[per_entry_counts].reshape(-1, 1) * w_flat
+        nonzero = module.weight.data.reshape(filters, -1).T != 0.0
+        return _masked_variance_sum(contrib, nonzero)
+    return None
+
+
+def loss_output_headroom(
+    record: ForwardRecord,
+    network: SNN,
+    margin: float = 0.25,
+) -> Tensor:
+    """L6 (extension, paper future work): keep output firing below
+    saturation so fault-induced *increases* stay observable.
+
+    An output neuron with refractory period r can fire at most
+    ``ceil(T / (r + 1))`` times in a T-step window; a neuron already at
+    that ceiling cannot reveal faults that add spikes.  The loss penalises
+    output counts above ``(1 - margin)`` of the ceiling quadratically.
+    """
+    _check_batch_one(record)
+    output_module = network.spiking_modules[-1]
+    steps = len(record.output)
+    refractory = output_module.refractory_steps.reshape(-1).astype(np.float64)
+    ceiling = np.ceil(steps / (refractory + 1.0))
+    allowed = (1.0 - margin) * ceiling
+    counts = _counts(record, len(record.layer_spikes) - 1).reshape(-1)
+    excess = (counts - Tensor(allowed)).maximum(0.0)
+    return (excess * excess).sum()
+
+
+def loss_spike_minimization(record: ForwardRecord) -> Tensor:
+    """L5 (Eq. 16): total spike count of all hidden layers."""
+    _check_batch_one(record)
+    total: Optional[Tensor] = None
+    for layer in range(len(record.layer_spikes) - 1):
+        term = _counts(record, layer).sum()
+        total = term if total is None else total + term
+    if total is None:  # single-layer network: nothing to minimise
+        total = Tensor(np.zeros(()))
+    return total
+
+
+def loss_output_constancy(record: ForwardRecord, target_output: np.ndarray) -> Tensor:
+    """Penalty form of Eq. 15's constraint: L1 distance between the current
+    output spike trains and the stage-1 output ``target_output``."""
+    _check_batch_one(record)
+    stacked = record.stacked_output()
+    flat = stacked.reshape(stacked.shape[0], -1)
+    target = np.asarray(target_output, dtype=np.float64).reshape(flat.shape[0], -1)
+    return (flat - Tensor(target)).abs().sum()
+
+
+@dataclass
+class LossWeights:
+    """Scalarisation weights α_i of Eq. 14.
+
+    The paper sets each α_i to the inverse of the loss's expected
+    magnitude so all four terms contribute comparably.
+    """
+
+    alpha1: float
+    alpha2: float
+    alpha3: float
+    alpha4: float
+
+    @classmethod
+    def balanced(
+        cls,
+        record: ForwardRecord,
+        network: SNN,
+        td_min: int,
+        masks: Masks = None,
+        floor: float = 1e-3,
+        input_counts: Optional[Tensor] = None,
+    ) -> "LossWeights":
+        """Compute α_i = 1 / max(L_i(initial input), floor)."""
+        include_first = input_counts is not None
+        values = [
+            loss_output_activity(record).item(),
+            loss_neuron_activation(record, masks).item(),
+            loss_temporal_diversity(record, td_min, masks).item(),
+            loss_synapse_uniformity(
+                record, network, include_first_layer=include_first, input_counts=input_counts
+            ).item(),
+        ]
+        alphas = [1.0 / max(v, floor) for v in values]
+        return cls(*alphas)
+
+    def combined(
+        self,
+        record: ForwardRecord,
+        network: SNN,
+        td_min: int,
+        masks: Masks = None,
+        input_counts: Optional[Tensor] = None,
+    ) -> Tensor:
+        """The stage-1 objective: Σ α_i L_i (Eq. 14).
+
+        With ``input_counts`` provided, L4 also uniformises the first
+        spiking layer's synapses against the input spike counts (an
+        extension over the paper's ℓ=2..L sum; see the ablation bench).
+        """
+        include_first = input_counts is not None
+        return (
+            loss_output_activity(record) * self.alpha1
+            + loss_neuron_activation(record, masks) * self.alpha2
+            + loss_temporal_diversity(record, td_min, masks) * self.alpha3
+            + loss_synapse_uniformity(
+                record, network, include_first_layer=include_first, input_counts=input_counts
+            )
+            * self.alpha4
+        )

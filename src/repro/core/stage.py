@@ -1,0 +1,103 @@
+"""Within-stage input optimisation (paper Fig. 3 and §IV-C3).
+
+One stage minimises an objective over the input logits with Adam under
+annealed learning rate and Gumbel-Softmax temperature.  If, after the
+stage's step budget, the caller-provided progress check reports no new
+neuron activations, the input duration grows by β steps (β doubling on
+each growth) and the optimisation repeats — up to ``max_growths`` times or
+until the duration cap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.autograd.optim import Adam
+from repro.core.config import TestGenConfig
+from repro.core.input_param import InputParameterization
+from repro.snn.network import SNN, ForwardRecord
+
+#: Maps (forward record, input tensor sequence) to a scalar loss Tensor.
+#: The sequence is tape-connected to the logits, so objectives may use
+#: input statistics (e.g. L4 over first-layer synapses).
+Objective = Callable[[ForwardRecord, List], "object"]
+ProgressCheck = Callable[[np.ndarray], bool]
+
+
+@dataclass
+class StageResult:
+    """Outcome of one stage optimisation."""
+
+    best_stimulus: np.ndarray  # (T, 1, *input_shape), binary
+    best_loss: float
+    steps_run: int = 0
+    growths: int = 0
+    loss_history: List[float] = field(default_factory=list)
+    timed_out: bool = False
+
+    @property
+    def duration(self) -> int:
+        return int(self.best_stimulus.shape[0])
+
+
+def run_stage(
+    network: SNN,
+    param: InputParameterization,
+    objective: Objective,
+    steps: int,
+    config: TestGenConfig,
+    progress_check: Optional[ProgressCheck] = None,
+    deadline: Optional[float] = None,
+) -> StageResult:
+    """Optimise ``param`` against ``objective`` for one stage.
+
+    Parameters
+    ----------
+    objective:
+        Maps a forward record to a scalar loss tensor.
+    progress_check:
+        Called with the best binary stimulus after each optimisation
+        round; returning False triggers duration growth.  ``None``
+        disables growth (used by stage 2, whose output-constancy target
+        has a fixed length).
+    deadline:
+        ``time.perf_counter()`` value after which the stage stops early.
+    """
+    result = StageResult(best_stimulus=param.hard(), best_loss=np.inf)
+    growth_step = config.beta
+    rounds = 1 + (config.max_growths if progress_check is not None else 0)
+
+    for round_index in range(rounds):
+        optimizer = Adam([param.logits], lr=config.lr)
+        for step in range(steps):
+            optimizer.lr = max(config.lr_min, config.lr * config.lr_decay**step)
+            tau = max(config.tau_min, config.tau_max * config.tau_decay**step)
+            seq = param.sample(tau, noise_scale=config.gumbel_noise)
+            record = network.forward(seq)
+            loss = objective(record, seq)
+            value = loss.item()
+            result.loss_history.append(value)
+            result.steps_run += 1
+            if value < result.best_loss:
+                result.best_loss = value
+                result.best_stimulus = np.stack([s.data for s in seq])
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            if deadline is not None and time.perf_counter() > deadline:
+                result.timed_out = True
+                return result
+        if round_index == rounds - 1:
+            break  # no further optimisation round would follow a growth
+        if progress_check is None or progress_check(result.best_stimulus):
+            break
+        if param.duration + growth_step > config.t_in_max:
+            break
+        param.grow(growth_step)
+        growth_step *= 2  # β doubles on every growth (paper §V-C)
+        result.growths += 1
+    return result

@@ -1,0 +1,90 @@
+"""Final test assembly (paper Eqs. 7–8).
+
+The test is the concatenation of the per-iteration input chunks
+interleaved with zero "sleep" inputs whose duration equals the preceding
+chunk — the sleep lets the membrane state decay before the next chunk so
+chunks behave as they did during optimisation:
+
+    I = { I¹, 0¹, I², 0², ..., 0^{d-1}, I^d }           (Eq. 7)
+    T_test = Σ_{j=1}^{d-1} 2 T_j  +  T_d                 (Eq. 8)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import TestGenerationError
+
+
+@dataclass
+class TestStimulus:
+    """The generated compact test stimulus.
+
+    Attributes
+    ----------
+    chunks:
+        Per-iteration binary inputs, each shaped ``(T_j, 1, *input_shape)``.
+    input_shape:
+        The network's input feature shape.
+    """
+
+    chunks: List[np.ndarray]
+    input_shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.chunks:
+            raise TestGenerationError("test stimulus needs at least one chunk")
+        for idx, chunk in enumerate(self.chunks):
+            if chunk.ndim < 3 or chunk.shape[1] != 1 or tuple(chunk.shape[2:]) != tuple(self.input_shape):
+                raise TestGenerationError(
+                    f"chunk {idx} has shape {chunk.shape}, expected "
+                    f"(T, 1, {self.input_shape})"
+                )
+
+    @property
+    def chunk_durations(self) -> List[int]:
+        return [int(c.shape[0]) for c in self.chunks]
+
+    @property
+    def duration_steps(self) -> int:
+        """T_test (Eq. 8): all chunks plus a sleep gap after each non-final
+        chunk equal to that chunk's duration."""
+        durations = self.chunk_durations
+        return int(sum(2 * d for d in durations[:-1]) + durations[-1])
+
+    def duration_samples(self, sample_steps: int) -> float:
+        """Test duration expressed in dataset samples (Table III row 2)."""
+        if sample_steps < 1:
+            raise TestGenerationError(f"sample_steps must be >= 1, got {sample_steps}")
+        return self.duration_steps / sample_steps
+
+    def assembled(self) -> np.ndarray:
+        """The full stimulus (Eq. 7): shape ``(T_test, 1, *input_shape)``."""
+        pieces: List[np.ndarray] = []
+        for chunk in self.chunks[:-1]:
+            pieces.append(chunk)
+            pieces.append(np.zeros_like(chunk))
+        pieces.append(self.chunks[-1])
+        return np.concatenate(pieces, axis=0)
+
+    def storage_bits(self) -> int:
+        """On-chip storage if chunks are bit-packed (the sleep gaps cost
+        nothing — only a duration counter)."""
+        return int(sum(int(np.prod(c.shape)) for c in self.chunks))
+
+    def save(self, path: str) -> None:
+        """Persist chunks to ``.npz`` (bit-efficient uint8)."""
+        arrays = {f"chunk{idx}": chunk.astype(np.uint8) for idx, chunk in enumerate(self.chunks)}
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str, input_shape: Tuple[int, ...]) -> "TestStimulus":
+        """Load chunks saved by :meth:`save`."""
+        with np.load(path) as data:
+            chunks = [
+                data[f"chunk{idx}"].astype(np.float64) for idx in range(len(data.files))
+            ]
+        return cls(chunks=chunks, input_shape=tuple(input_shape))

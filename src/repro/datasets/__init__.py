@@ -1,0 +1,32 @@
+"""Synthetic spiking benchmark datasets.
+
+The paper evaluates on NMNIST, IBM DVS128 Gesture, and SHD — none of which
+can be downloaded in this environment.  Each is replaced by a synthetic,
+structurally faithful stand-in (DESIGN.md §2):
+
+- :mod:`repro.datasets.nmnist` — saccade-rendered digit shapes seen by a
+  simulated DVS (two polarity channels of change events);
+- :mod:`repro.datasets.dvsgesture` — parameterised hand-gesture motions
+  seen by a simulated DVS;
+- :mod:`repro.datasets.shd` — spoken-digit-like cochleagram spike trains
+  with two "languages" per digit.
+
+All datasets are deterministic given a seed, expose the same
+:class:`~repro.datasets.base.SpikingDataset` interface, and store spikes as
+``uint8`` to keep memory small.
+"""
+
+from repro.datasets.base import SpikingDataset
+from repro.datasets.nmnist import NMNISTLike
+from repro.datasets.dvsgesture import DVSGestureLike
+from repro.datasets.shd import SHDLike
+from repro.datasets.aer import from_events, to_events
+
+__all__ = [
+    "SpikingDataset",
+    "NMNISTLike",
+    "DVSGestureLike",
+    "SHDLike",
+    "to_events",
+    "from_events",
+]

@@ -1,0 +1,71 @@
+"""Address-Event Representation (AER) conversion.
+
+Neuromorphic sensors and chips exchange spikes as sparse event tuples
+``(t, address..., polarity)`` rather than dense tensors.  These helpers
+convert between the library's dense ``(T, *feature_shape)`` spike tensors
+and AER event arrays — used to feed recorded event streams in and to
+export generated test stimuli in the format a tester would replay.
+
+Event layout: a structured array with fields ``t`` (time step) and ``addr``
+(flattened feature index).  For two-polarity video features the first
+feature axis is the polarity channel, so the address encodes (p, y, x).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+EVENT_DTYPE = np.dtype([("t", np.int64), ("addr", np.int64)])
+
+
+def to_events(spikes: np.ndarray) -> np.ndarray:
+    """Dense ``(T, *feature_shape)`` binary tensor → sorted AER events."""
+    if spikes.ndim < 2:
+        raise DatasetError(f"expected (T, *features), got shape {spikes.shape}")
+    steps = spikes.shape[0]
+    flat = spikes.reshape(steps, -1)
+    t_idx, addr_idx = np.nonzero(flat)
+    events = np.empty(t_idx.shape[0], dtype=EVENT_DTYPE)
+    events["t"] = t_idx
+    events["addr"] = addr_idx
+    return events
+
+
+def from_events(
+    events: np.ndarray, steps: int, feature_shape: Tuple[int, ...]
+) -> np.ndarray:
+    """AER events → dense ``(steps, *feature_shape)`` binary tensor.
+
+    Events outside the window or address space are rejected.
+    """
+    size = int(np.prod(feature_shape))
+    dense = np.zeros((steps, size))
+    if events.size:
+        t = events["t"]
+        addr = events["addr"]
+        if t.min() < 0 or t.max() >= steps:
+            raise DatasetError(
+                f"event time outside window [0, {steps}): "
+                f"[{t.min()}, {t.max()}]"
+            )
+        if addr.min() < 0 or addr.max() >= size:
+            raise DatasetError(
+                f"event address outside feature space [0, {size})"
+            )
+        dense[t, addr] = 1.0
+    return dense.reshape((steps,) + tuple(feature_shape))
+
+
+def event_count(spikes: np.ndarray) -> int:
+    """Number of AER events a dense tensor would produce."""
+    return int(np.asarray(spikes).sum())
+
+
+def event_rate(spikes: np.ndarray) -> float:
+    """Events per time step (a tester-bandwidth figure of merit)."""
+    spikes = np.asarray(spikes)
+    return float(spikes.sum() / spikes.shape[0]) if spikes.shape[0] else 0.0

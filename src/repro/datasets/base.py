@@ -1,0 +1,119 @@
+"""Common dataset container and batching."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+class SpikingDataset:
+    """A labelled spatio-temporal spike dataset.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name.
+    input_shape:
+        Feature shape of one time step (e.g. ``(2, 16, 16)``).
+    num_classes:
+        Number of labels.
+    steps:
+        Time steps per sample — the paper's ``T_in * f`` for one sample.
+    train_inputs / test_inputs:
+        ``uint8`` arrays of shape ``(steps, N, *input_shape)``.
+    train_labels / test_labels:
+        ``int64`` arrays of shape ``(N,)``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: Tuple[int, ...],
+        num_classes: int,
+        train_inputs: np.ndarray,
+        train_labels: np.ndarray,
+        test_inputs: np.ndarray,
+        test_labels: np.ndarray,
+    ) -> None:
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        self.num_classes = int(num_classes)
+        self.train_inputs = train_inputs
+        self.train_labels = np.asarray(train_labels, dtype=np.int64)
+        self.test_inputs = test_inputs
+        self.test_labels = np.asarray(test_labels, dtype=np.int64)
+        for split, (inputs, labels) in {
+            "train": (train_inputs, self.train_labels),
+            "test": (test_inputs, self.test_labels),
+        }.items():
+            if inputs.shape[1] != labels.shape[0]:
+                raise DatasetError(
+                    f"{name}/{split}: {inputs.shape[1]} inputs vs {labels.shape[0]} labels"
+                )
+            if tuple(inputs.shape[2:]) != self.input_shape:
+                raise DatasetError(
+                    f"{name}/{split}: feature shape {inputs.shape[2:]} != {self.input_shape}"
+                )
+            if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+                raise DatasetError(f"{name}/{split}: labels outside [0, {num_classes})")
+
+    @property
+    def steps(self) -> int:
+        return int(self.train_inputs.shape[0])
+
+    @property
+    def train_size(self) -> int:
+        return int(self.train_inputs.shape[1])
+
+    @property
+    def test_size(self) -> int:
+        return int(self.test_inputs.shape[1])
+
+    def _split(self, split: str) -> Tuple[np.ndarray, np.ndarray]:
+        if split == "train":
+            return self.train_inputs, self.train_labels
+        if split == "test":
+            return self.test_inputs, self.test_labels
+        raise DatasetError(f"unknown split '{split}'")
+
+    def sample(self, index: int, split: str = "test") -> Tuple[np.ndarray, int]:
+        """One sample as ``(steps, 1, *input_shape)`` float64 plus label."""
+        inputs, labels = self._split(split)
+        if not 0 <= index < labels.shape[0]:
+            raise DatasetError(f"sample index {index} out of range for {split}")
+        return inputs[:, index : index + 1].astype(np.float64), int(labels[index])
+
+    def subset(self, count: int, split: str = "test", rng: Optional[np.random.Generator] = None):
+        """A batched ``(steps, count, ...)`` float64 subset with labels.
+
+        Without ``rng`` the first ``count`` samples are taken; with it a
+        random subset is drawn (without replacement).
+        """
+        inputs, labels = self._split(split)
+        total = labels.shape[0]
+        if count > total:
+            raise DatasetError(f"requested {count} samples, split has {total}")
+        if rng is None:
+            idx = np.arange(count)
+        else:
+            idx = np.sort(rng.choice(total, size=count, replace=False))
+        return inputs[:, idx].astype(np.float64), labels[idx]
+
+    def batches(
+        self, split: str, batch_size: int, rng: np.random.Generator
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Shuffled mini-batches of ``(steps, B, ...)`` float64 arrays."""
+        inputs, labels = self._split(split)
+        order = rng.permutation(labels.shape[0])
+        for start in range(0, labels.shape[0], batch_size):
+            idx = order[start : start + batch_size]
+            yield inputs[:, idx].astype(np.float64), labels[idx]
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_classes} classes, {self.steps} steps, "
+            f"input {self.input_shape}, train {self.train_size}, test {self.test_size}"
+        )

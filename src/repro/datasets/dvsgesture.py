@@ -1,0 +1,135 @@
+"""IBM DVS128 Gesture-like synthetic dataset.
+
+The real dataset records 11 hand/arm gestures with a DVS.  The stand-in
+renders an arm-like oriented bar plus a hand blob following one of 11
+parameterised motion programs (swipes, rotations, waves, zoom, etc.) and
+converts the frames to ON/OFF events.  Per-sample jitter in speed, start
+position, and limb size plays the role of the 29 subjects / 3 lighting
+conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.datasets.base import SpikingDataset
+from repro.datasets.generators import frames_to_dvs_events, gaussian_blob, oriented_bar
+from repro.errors import DatasetError
+
+GESTURES = (
+    "hand_clap",
+    "right_wave",
+    "left_wave",
+    "right_cw",
+    "right_ccw",
+    "left_cw",
+    "left_ccw",
+    "arm_roll",
+    "air_drums",
+    "air_guitar",
+    "other",
+)
+
+
+def _motion_program(
+    gesture: int, steps: int, size: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-step (cy, cx, angle) trajectories for a gesture class."""
+    t = np.linspace(0.0, 1.0, steps + 1)
+    mid = size / 2.0
+    span = size * (0.28 + 0.08 * rng.random())
+    speed = 1.0 + 0.3 * rng.normal()
+    phase = rng.random() * 2 * np.pi
+    if gesture == 0:  # hand_clap: two blobs meeting -> model as oscillation in x
+        cx = mid + span * np.cos(2 * np.pi * 2 * speed * t + phase)
+        cy = np.full_like(t, mid)
+        angle = np.full_like(t, np.pi / 2)
+    elif gesture in (1, 2):  # right/left wave: vertical zigzag on one side
+        side = 1.0 if gesture == 1 else -1.0
+        cx = mid + side * span * 0.8 + 0.1 * span * np.sin(2 * np.pi * t)
+        cy = mid + span * np.sin(2 * np.pi * 2 * speed * t + phase)
+        angle = np.full_like(t, 0.0)
+    elif gesture in (3, 4, 5, 6):  # circles: cw/ccw on right/left
+        side = 1.0 if gesture in (3, 4) else -1.0
+        direction = 1.0 if gesture in (3, 5) else -1.0
+        omega = 2 * np.pi * 1.5 * speed
+        cx = mid + side * span * 0.4 + span * 0.6 * np.cos(direction * omega * t + phase)
+        cy = mid + span * 0.6 * np.sin(direction * omega * t + phase)
+        angle = direction * omega * t + phase
+    elif gesture == 7:  # arm_roll: rotating bar around the centre
+        omega = 2 * np.pi * 2.0 * speed
+        cx = np.full_like(t, mid)
+        cy = np.full_like(t, mid)
+        angle = omega * t + phase
+    elif gesture == 8:  # air_drums: sharp vertical strikes
+        cy = mid + span * np.abs(np.sin(2 * np.pi * 3 * speed * t + phase))
+        cx = mid + 0.3 * span * np.sign(np.sin(2 * np.pi * speed * t))
+        angle = np.full_like(t, np.pi / 2)
+    elif gesture == 9:  # air_guitar: diagonal strumming
+        cx = mid + span * 0.6 * np.sin(2 * np.pi * 2.5 * speed * t + phase)
+        cy = mid + span * 0.6 * np.sin(2 * np.pi * 2.5 * speed * t + phase + np.pi / 3)
+        angle = np.full_like(t, np.pi / 4)
+    elif gesture == 10:  # other: slow random drift
+        walk = rng.normal(0.0, 0.8, (steps + 1, 2)).cumsum(axis=0)
+        cy = mid + np.clip(walk[:, 0], -span, span)
+        cx = mid + np.clip(walk[:, 1], -span, span)
+        angle = rng.random() * np.pi * np.ones_like(t)
+    else:
+        raise DatasetError(f"gesture id must be in [0, 10], got {gesture}")
+    return cy, cx, angle
+
+
+def _render_sample(
+    gesture: int, size: int, steps: int, rng: np.random.Generator, noise_rate: float
+) -> np.ndarray:
+    cy, cx, angle = _motion_program(gesture, steps, size, rng)
+    hand_sigma = size * (0.06 + 0.02 * rng.random())
+    arm_length = size * (0.16 + 0.04 * rng.random())
+    frames = np.zeros((steps + 1, size, size))
+    for i in range(steps + 1):
+        hand = gaussian_blob(size, (cy[i], cx[i]), hand_sigma)
+        arm = oriented_bar(size, (cy[i], cx[i]), float(angle[i]), arm_length, hand_sigma * 0.7)
+        frames[i] = np.clip(hand + 0.7 * arm, 0.0, 1.0)
+    return frames_to_dvs_events(frames, threshold=0.12, noise_rate=noise_rate, rng=rng)
+
+
+class DVSGestureLike(SpikingDataset):
+    """Synthetic event-camera gesture dataset (11 classes).
+
+    Defaults are scaled for CPU: 20×20 spatial resolution and 40 time
+    steps versus the real 128×128 × 1.45 s.
+    """
+
+    def __init__(
+        self,
+        train_size: int = 176,
+        test_size: int = 44,
+        size: int = 20,
+        steps: int = 40,
+        noise_rate: float = 0.002,
+        seed: int = 0,
+    ) -> None:
+        if train_size < 1 or test_size < 1:
+            raise DatasetError("split sizes must be >= 1")
+        rng = np.random.default_rng(seed)
+
+        def make_split(count: int) -> tuple:
+            inputs = np.zeros((steps, count, 2, size, size), dtype=np.uint8)
+            labels = np.arange(count) % len(GESTURES)
+            for i in range(count):
+                inputs[:, i] = _render_sample(int(labels[i]), size, steps, rng, noise_rate)
+            return inputs, labels
+
+        train_inputs, train_labels = make_split(train_size)
+        test_inputs, test_labels = make_split(test_size)
+        super().__init__(
+            name="dvsgesture-like",
+            input_shape=(2, size, size),
+            num_classes=len(GESTURES),
+            train_inputs=train_inputs,
+            train_labels=train_labels,
+            test_inputs=test_inputs,
+            test_labels=test_labels,
+        )

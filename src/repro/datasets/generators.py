@@ -1,0 +1,146 @@
+"""Shared synthesis primitives for the synthetic event datasets.
+
+- :func:`digit_bitmap` renders digit glyphs (seven-segment style) used by
+  the NMNIST-like dataset.
+- :func:`frames_to_dvs_events` converts an intensity-frame video into
+  two-polarity DVS change events (ON where brightness rises, OFF where it
+  falls) — the sensing model behind both NMNIST and DVS128 Gesture.
+- :func:`gaussian_blob` renders soft blobs used for gesture shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+# Seven-segment encoding: which segments are lit per digit.
+#     A
+#   F   B
+#     G
+#   E   C
+#     D
+_SEGMENTS: Dict[int, FrozenSet[str]] = {
+    0: frozenset("ABCDEF"),
+    1: frozenset("BC"),
+    2: frozenset("ABGED"),
+    3: frozenset("ABGCD"),
+    4: frozenset("FGBC"),
+    5: frozenset("AFGCD"),
+    6: frozenset("AFGECD"),
+    7: frozenset("ABC"),
+    8: frozenset("ABCDEFG"),
+    9: frozenset("ABCDFG"),
+}
+
+
+def digit_bitmap(digit: int, size: int, thickness: int = 1) -> np.ndarray:
+    """Render digit ``digit`` as a ``size``×``size`` binary bitmap.
+
+    The glyph is a seven-segment figure occupying roughly the central
+    two-thirds of the canvas, leaving a margin for saccade motion.
+    """
+    if not 0 <= digit <= 9:
+        raise DatasetError(f"digit must be in [0, 9], got {digit}")
+    if size < 8:
+        raise DatasetError(f"bitmap size must be >= 8, got {size}")
+    canvas = np.zeros((size, size))
+    top = size // 6
+    bottom = size - size // 6 - 1
+    left = size // 4
+    right = size - size // 4 - 1
+    middle = (top + bottom) // 2
+    t = thickness
+
+    def hline(row: int) -> None:
+        canvas[row : row + t, left : right + 1] = 1.0
+
+    def vline(col: int, r0: int, r1: int) -> None:
+        canvas[r0 : r1 + 1, col : col + t] = 1.0
+
+    segments = _SEGMENTS[digit]
+    if "A" in segments:
+        hline(top)
+    if "G" in segments:
+        hline(middle)
+    if "D" in segments:
+        hline(bottom)
+    if "F" in segments:
+        vline(left, top, middle)
+    if "B" in segments:
+        vline(right, top, middle)
+    if "E" in segments:
+        vline(left, middle, bottom)
+    if "C" in segments:
+        vline(right, middle, bottom)
+    return canvas
+
+
+def shift_frame(frame: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Translate a frame by integer offsets, zero-filling exposed edges."""
+    out = np.zeros_like(frame)
+    h, w = frame.shape
+    src_y = slice(max(0, -dy), min(h, h - dy))
+    src_x = slice(max(0, -dx), min(w, w - dx))
+    dst_y = slice(max(0, dy), min(h, h + dy))
+    dst_x = slice(max(0, dx), min(w, w + dx))
+    out[dst_y, dst_x] = frame[src_y, src_x]
+    return out
+
+
+def frames_to_dvs_events(
+    frames: np.ndarray,
+    threshold: float = 0.1,
+    noise_rate: float = 0.0,
+    rng: np.random.Generator = None,
+) -> np.ndarray:
+    """Convert intensity frames to two-polarity DVS events.
+
+    Parameters
+    ----------
+    frames:
+        Array of shape ``(T + 1, H, W)`` with values in [0, 1].
+    threshold:
+        Minimum brightness change that triggers an event.
+    noise_rate:
+        Probability of a spurious event per pixel, channel, and step
+        (sensor background activity).
+
+    Returns
+    -------
+    Events of shape ``(T, 2, H, W)`` in {0, 1}: channel 0 = ON (brightness
+    increased), channel 1 = OFF (brightness decreased).
+    """
+    if frames.ndim != 3 or frames.shape[0] < 2:
+        raise DatasetError(f"frames must be (T+1, H, W) with T >= 1, got {frames.shape}")
+    diff = frames[1:] - frames[:-1]
+    events = np.zeros((diff.shape[0], 2) + frames.shape[1:], dtype=np.uint8)
+    events[:, 0] = diff > threshold
+    events[:, 1] = diff < -threshold
+    if noise_rate > 0.0:
+        if rng is None:
+            raise DatasetError("noise_rate > 0 requires an rng")
+        noise = rng.random(events.shape) < noise_rate
+        events = np.logical_or(events, noise).astype(np.uint8)
+    return events
+
+
+def gaussian_blob(size: int, center: Tuple[float, float], sigma: float) -> np.ndarray:
+    """A soft round blob with peak 1.0 at ``center`` on a size×size canvas."""
+    ys, xs = np.mgrid[0:size, 0:size]
+    cy, cx = center
+    return np.exp(-((ys - cy) ** 2 + (xs - cx) ** 2) / (2.0 * sigma**2))
+
+
+def oriented_bar(
+    size: int, center: Tuple[float, float], angle: float, length: float, width: float
+) -> np.ndarray:
+    """A soft bar (elongated Gaussian) at ``angle`` radians — a crude hand/arm."""
+    ys, xs = np.mgrid[0:size, 0:size]
+    cy, cx = center
+    dy, dx = ys - cy, xs - cx
+    along = dx * np.cos(angle) + dy * np.sin(angle)
+    across = -dx * np.sin(angle) + dy * np.cos(angle)
+    return np.exp(-(along**2) / (2.0 * length**2) - (across**2) / (2.0 * width**2))

@@ -1,0 +1,111 @@
+"""Spiking-Heidelberg-Digits-like synthetic dataset.
+
+The real SHD converts audio recordings of spoken digits (0–9, German and
+English) into 700-channel cochleagram spike trains.  The stand-in defines
+each (digit, language) class by a trajectory of two formant frequencies
+over time; channel intensities are Gaussian bumps around the formants, and
+spikes are drawn per channel and step.  The "language" dimension shifts
+and time-warps the formant trajectories, giving 20 classes from 10 digits.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.base import SpikingDataset
+from repro.errors import DatasetError
+
+
+def _formant_trajectories(
+    digit: int, language: int, steps: int, channels: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Channel-index trajectories (steps, 2) of the two formants.
+
+    Each digit has characteristic start/end positions for both formants;
+    the second language shifts them upward and compresses them in time.
+    """
+    t = np.linspace(0.0, 1.0, steps)
+    # Digit-specific endpoints spread across the channel axis.
+    f1_start = (0.15 + 0.06 * digit) * channels
+    f1_end = (0.45 - 0.03 * digit) * channels
+    f2_start = (0.85 - 0.05 * digit) * channels
+    f2_end = (0.55 + 0.04 * ((digit * 3) % 7)) * channels
+    curve = np.sin(np.pi * t) * 0.08 * channels * np.sign((digit % 3) - 1)
+    if language == 1:
+        shift = 0.08 * channels
+        warp = t**1.4  # time compression at the start
+    else:
+        shift = 0.0
+        warp = t
+    jitter = rng.normal(0.0, 0.01 * channels, 2)
+    f1 = f1_start + (f1_end - f1_start) * warp + curve + shift + jitter[0]
+    f2 = f2_start + (f2_end - f2_start) * warp - curve + shift + jitter[1]
+    return np.stack([f1, f2], axis=1)
+
+
+def _render_sample(
+    digit: int,
+    language: int,
+    steps: int,
+    channels: int,
+    rng: np.random.Generator,
+    noise_rate: float,
+) -> np.ndarray:
+    formants = _formant_trajectories(digit, language, steps, channels, rng)
+    channel_axis = np.arange(channels)
+    bandwidth = channels * (0.03 + 0.01 * rng.random())
+    intensity = np.zeros((steps, channels))
+    for f in range(formants.shape[1]):
+        distance = channel_axis[None, :] - formants[:, f : f + 1]
+        intensity += np.exp(-(distance**2) / (2.0 * bandwidth**2))
+    intensity = np.clip(intensity, 0.0, 1.0)
+    # Amplitude envelope: onset/offset ramp as in real speech.
+    envelope = np.clip(np.sin(np.pi * np.linspace(0, 1, steps)) * 1.4, 0.0, 1.0)
+    rates = 0.85 * intensity * envelope[:, None]
+    spikes = (rng.random((steps, channels)) < rates).astype(np.uint8)
+    if noise_rate > 0:
+        spikes = np.logical_or(spikes, rng.random(spikes.shape) < noise_rate).astype(np.uint8)
+    return spikes
+
+
+class SHDLike(SpikingDataset):
+    """Synthetic spoken-digit cochleagram dataset (20 classes).
+
+    Class ``k`` encodes digit ``k % 10`` in language ``k // 10``.  Defaults
+    use 128 channels × 40 steps versus the real 700 × ~1 s.
+    """
+
+    def __init__(
+        self,
+        train_size: int = 320,
+        test_size: int = 80,
+        channels: int = 128,
+        steps: int = 40,
+        noise_rate: float = 0.004,
+        seed: int = 0,
+    ) -> None:
+        if train_size < 1 or test_size < 1:
+            raise DatasetError("split sizes must be >= 1")
+        rng = np.random.default_rng(seed)
+
+        def make_split(count: int) -> Tuple[np.ndarray, np.ndarray]:
+            inputs = np.zeros((steps, count, channels), dtype=np.uint8)
+            labels = np.arange(count) % 20
+            for i in range(count):
+                digit, language = int(labels[i]) % 10, int(labels[i]) // 10
+                inputs[:, i] = _render_sample(digit, language, steps, channels, rng, noise_rate)
+            return inputs, labels
+
+        train_inputs, train_labels = make_split(train_size)
+        test_inputs, test_labels = make_split(test_size)
+        super().__init__(
+            name="shd-like",
+            input_shape=(channels,),
+            num_classes=20,
+            train_inputs=train_inputs,
+            train_labels=train_labels,
+            test_inputs=test_inputs,
+            test_labels=test_labels,
+        )

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError):
+    """An array or tensor had an incompatible shape."""
+
+
+class GradientError(ReproError):
+    """Backward pass invoked in an invalid state (e.g. no grad required)."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object or parameter combination is invalid."""
+
+
+class FaultModelError(ReproError):
+    """A fault descriptor is malformed or targets a nonexistent site."""
+
+
+class InjectionError(ReproError):
+    """Fault injection or removal failed (e.g. double injection)."""
+
+
+class DatasetError(ReproError):
+    """A dataset was asked for something it cannot provide."""
+
+
+class TrainingError(ReproError):
+    """Training diverged or was misconfigured."""
+
+
+class TestGenerationError(ReproError):
+    """The test-generation algorithm hit an unrecoverable state."""

@@ -1,0 +1,45 @@
+"""Benchmark model zoo and per-table/figure experiment runners.
+
+:mod:`repro.experiments.benchmarks` defines the three benchmarks (paper
+Table I) at three scales — ``tiny`` (unit tests), ``small`` (the default
+bench scale), ``full`` (longer campaigns) — and
+:mod:`repro.experiments.pipeline` runs and caches the shared pipeline
+stages (train → fault catalog → criticality labelling → test generation →
+final detection) so every table/figure bench reuses the same artifacts.
+"""
+
+from repro.experiments.benchmarks import (
+    BENCHMARK_NAMES,
+    SCALES,
+    BenchmarkDefinition,
+    get_benchmark,
+)
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.reports import (
+    ablation_report,
+    fig7_report,
+    fig8_report,
+    fig9_report,
+    save_report,
+    table1_report,
+    table2_report,
+    table3_report,
+    table4_report,
+)
+
+__all__ = [
+    "BenchmarkDefinition",
+    "get_benchmark",
+    "BENCHMARK_NAMES",
+    "SCALES",
+    "ExperimentPipeline",
+    "table1_report",
+    "table2_report",
+    "table3_report",
+    "table4_report",
+    "fig7_report",
+    "fig8_report",
+    "fig9_report",
+    "ablation_report",
+    "save_report",
+]

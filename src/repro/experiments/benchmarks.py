@@ -1,0 +1,266 @@
+"""Benchmark definitions (paper Table I, scaled for CPU — DESIGN.md §2).
+
+Three benchmarks mirror the paper's:
+
+- ``nmnist``: convolutional net on the NMNIST-like saccadic-digit data;
+- ``ibm``: larger convolutional net on the DVS-Gesture-like data (the
+  biggest network, as in the paper);
+- ``shd``: recurrent net on the SHD-like audio spikes (fewest neurons,
+  synapse-heavy, as in the paper).
+
+Each is defined at three scales; ``small`` is the default used by the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.autograd.schedule import StepDecay
+from repro.core.config import TestGenConfig
+from repro.datasets import DVSGestureLike, NMNISTLike, SHDLike, SpikingDataset
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultModelConfig
+from repro.snn.builder import (
+    ConvSpec,
+    DenseSpec,
+    FlattenSpec,
+    NetworkSpec,
+    PoolSpec,
+    RecurrentSpec,
+)
+from repro.snn.neuron import LIFParameters
+
+BENCHMARK_NAMES = ("nmnist", "ibm", "shd")
+SCALES = ("tiny", "small", "full")
+
+_LIF = LIFParameters(threshold=1.0, leak=0.9, refractory_steps=1)
+
+
+@dataclass(frozen=True)
+class TrainingParams:
+    lr: float
+    batch_size: int
+    epochs: int
+    lr_decay_period: int
+
+
+@dataclass(frozen=True)
+class BenchmarkDefinition:
+    """Everything needed to run one benchmark end to end."""
+
+    name: str
+    scale: str
+    dataset_factory: Callable[[], SpikingDataset]
+    spec: NetworkSpec
+    training: TrainingParams
+    fault_config: FaultModelConfig
+    testgen_config: TestGenConfig
+    classify_samples: int
+    table4_fault_subsample: float = 0.1
+
+    def make_dataset(self) -> SpikingDataset:
+        return self.dataset_factory()
+
+    @property
+    def cache_key(self) -> str:
+        return f"{self.name}-{self.scale}"
+
+
+def _nmnist_spec(size: int, channels: Tuple[int, int], dense: int) -> NetworkSpec:
+    return NetworkSpec(
+        name="nmnist",
+        input_shape=(2, size, size),
+        layers=(
+            ConvSpec(out_channels=channels[0], kernel=3, padding=1, weight_scale=4.0),
+            PoolSpec(2),
+            ConvSpec(out_channels=channels[1], kernel=3, padding=1, weight_scale=4.0),
+            PoolSpec(2),
+            FlattenSpec(),
+            DenseSpec(out_features=dense),
+            DenseSpec(out_features=10),
+        ),
+        lif=_LIF,
+    )
+
+
+def _ibm_spec(size: int, channels: Tuple[int, int], dense: int) -> NetworkSpec:
+    return NetworkSpec(
+        name="ibm",
+        input_shape=(2, size, size),
+        layers=(
+            ConvSpec(out_channels=channels[0], kernel=3, padding=1, weight_scale=4.0),
+            PoolSpec(2),
+            ConvSpec(out_channels=channels[1], kernel=3, padding=1, weight_scale=4.0),
+            PoolSpec(2),
+            FlattenSpec(),
+            DenseSpec(out_features=dense),
+            DenseSpec(out_features=11),
+        ),
+        lif=_LIF,
+    )
+
+
+def _shd_spec(channels: int, hidden: int) -> NetworkSpec:
+    return NetworkSpec(
+        name="shd",
+        input_shape=(channels,),
+        layers=(RecurrentSpec(out_features=hidden), DenseSpec(out_features=20)),
+        lif=_LIF,
+    )
+
+
+def _definitions(scale: str):
+    if scale == "tiny":
+        return {
+            "nmnist": BenchmarkDefinition(
+                name="nmnist",
+                scale=scale,
+                dataset_factory=lambda: NMNISTLike(
+                    train_size=60, test_size=20, size=12, steps=16, seed=0
+                ),
+                spec=_nmnist_spec(12, (3, 4), 16),
+                training=TrainingParams(lr=0.03, batch_size=16, epochs=8, lr_decay_period=4),
+                fault_config=FaultModelConfig(
+                    neuron_sample_fraction=0.1, synapse_sample_fraction=0.03
+                ),
+                testgen_config=TestGenConfig(
+                    steps_stage1=40, probe_steps=60, max_iterations=3, t_in_max=32,
+                    time_limit_s=300,
+                ),
+                classify_samples=8,
+                table4_fault_subsample=1.0,
+            ),
+            "ibm": BenchmarkDefinition(
+                name="ibm",
+                scale=scale,
+                dataset_factory=lambda: DVSGestureLike(
+                    train_size=44, test_size=22, size=12, steps=16, seed=0
+                ),
+                spec=_ibm_spec(12, (4, 6), 24),
+                training=TrainingParams(lr=0.03, batch_size=16, epochs=6, lr_decay_period=4),
+                fault_config=FaultModelConfig(
+                    neuron_sample_fraction=0.1, synapse_sample_fraction=0.03
+                ),
+                testgen_config=TestGenConfig(
+                    steps_stage1=80, probe_steps=80, max_iterations=4, t_in_max=48,
+                    time_limit_s=300,
+                ),
+                classify_samples=8,
+                table4_fault_subsample=1.0,
+            ),
+            "shd": BenchmarkDefinition(
+                name="shd",
+                scale=scale,
+                dataset_factory=lambda: SHDLike(
+                    train_size=60, test_size=30, channels=32, steps=16, seed=0
+                ),
+                spec=_shd_spec(32, 24),
+                training=TrainingParams(lr=0.03, batch_size=16, epochs=4, lr_decay_period=4),
+                fault_config=FaultModelConfig(
+                    neuron_sample_fraction=0.5, synapse_sample_fraction=0.05
+                ),
+                testgen_config=TestGenConfig(
+                    steps_stage1=60, probe_steps=80, max_iterations=4, t_in_max=48,
+                    time_limit_s=300, l4_include_input=True,
+                ),
+                classify_samples=10,
+                table4_fault_subsample=1.0,
+            ),
+        }
+    if scale == "small":
+        return {
+            "nmnist": BenchmarkDefinition(
+                name="nmnist",
+                scale=scale,
+                dataset_factory=lambda: NMNISTLike(
+                    train_size=400, test_size=100, size=16, steps=32, seed=0
+                ),
+                spec=_nmnist_spec(16, (6, 8), 48),
+                training=TrainingParams(lr=0.02, batch_size=16, epochs=24, lr_decay_period=10),
+                fault_config=FaultModelConfig(
+                    neuron_sample_fraction=0.35, synapse_sample_fraction=0.15
+                ),
+                testgen_config=TestGenConfig(
+                    steps_stage1=250, probe_steps=250, max_iterations=8, t_in_max=64,
+                    time_limit_s=1800,
+                ),
+                classify_samples=16,
+                table4_fault_subsample=0.25,
+            ),
+            "ibm": BenchmarkDefinition(
+                name="ibm",
+                scale=scale,
+                dataset_factory=lambda: DVSGestureLike(
+                    train_size=176, test_size=44, size=20, steps=40, seed=0
+                ),
+                spec=_ibm_spec(20, (8, 12), 64),
+                training=TrainingParams(lr=0.02, batch_size=16, epochs=14, lr_decay_period=8),
+                fault_config=FaultModelConfig(
+                    neuron_sample_fraction=0.2, synapse_sample_fraction=0.08
+                ),
+                testgen_config=TestGenConfig(
+                    steps_stage1=180, probe_steps=200, max_iterations=6, t_in_max=64,
+                    time_limit_s=1800,
+                ),
+                classify_samples=12,
+                table4_fault_subsample=0.25,
+            ),
+            "shd": BenchmarkDefinition(
+                name="shd",
+                scale=scale,
+                dataset_factory=lambda: SHDLike(
+                    train_size=320, test_size=80, channels=128, steps=40, seed=0
+                ),
+                spec=_shd_spec(128, 140),
+                training=TrainingParams(lr=0.02, batch_size=16, epochs=12, lr_decay_period=8),
+                fault_config=FaultModelConfig(
+                    neuron_sample_fraction=1.0, synapse_sample_fraction=0.08
+                ),
+                testgen_config=TestGenConfig(
+                    steps_stage1=400, probe_steps=400, max_iterations=10, t_in_max=96,
+                    time_limit_s=1800, l4_include_input=True,
+                ),
+                classify_samples=20,
+                table4_fault_subsample=0.25,
+            ),
+        }
+    if scale == "full":
+        small = _definitions("small")
+        full = {}
+        for name, definition in small.items():
+            full[name] = BenchmarkDefinition(
+                name=name,
+                scale="full",
+                dataset_factory=definition.dataset_factory,
+                spec=definition.spec,
+                training=definition.training,
+                fault_config=FaultModelConfig(
+                    neuron_sample_fraction=1.0,
+                    synapse_sample_fraction=min(
+                        definition.fault_config.synapse_sample_fraction * 3, 1.0
+                    ),
+                ),
+                testgen_config=TestGenConfig(
+                    steps_stage1=definition.testgen_config.steps_stage1 * 2,
+                    probe_steps=definition.testgen_config.probe_steps,
+                    max_iterations=definition.testgen_config.max_iterations + 4,
+                    t_in_max=definition.testgen_config.t_in_max,
+                    time_limit_s=3600,
+                    l4_include_input=definition.testgen_config.l4_include_input,
+                ),
+                classify_samples=definition.classify_samples + 8,
+                table4_fault_subsample=0.5,
+            )
+        return full
+    raise ConfigurationError(f"unknown scale '{scale}', expected one of {SCALES}")
+
+
+def get_benchmark(name: str, scale: str = "small") -> BenchmarkDefinition:
+    """Look up a benchmark definition by name and scale."""
+    if name not in BENCHMARK_NAMES:
+        raise ConfigurationError(f"unknown benchmark '{name}', expected one of {BENCHMARK_NAMES}")
+    return _definitions(scale)[name]

@@ -1,0 +1,259 @@
+"""The shared, cached experiment pipeline.
+
+Every table/figure needs some prefix of the same pipeline:
+
+    dataset -> trained network -> fault catalog -> criticality labels
+            -> generated test stimulus -> final detection campaign
+
+Each stage is cached on disk under ``results/cache/<benchmark>-<scale>/``
+so the per-table benchmark targets can share artifacts: the first bench
+run pays the real cost (recorded in the cached metadata — those wall times
+are what the tables report), later runs reuse the artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd.schedule import StepDecay
+from repro.core.coverage import verify_coverage
+from repro.core.generator import IterationReport, TestGenerationResult, TestGenerator
+from repro.core.testset import TestStimulus
+from repro.datasets.base import SpikingDataset
+from repro.experiments.benchmarks import BenchmarkDefinition
+from repro.faults.catalog import FaultCatalog, build_catalog
+from repro.faults.simulator import (
+    ClassificationResult,
+    CoverageBreakdown,
+    DetectionResult,
+    FaultSimulator,
+)
+from repro.snn.builder import build_network
+from repro.snn.network import SNN
+from repro.training.trainer import Trainer, TrainingResult
+from repro.utils.seeding import SeedSequenceFactory
+
+
+def default_results_dir() -> Path:
+    """Results root: $REPRO_RESULTS or ./results."""
+    return Path(os.environ.get("REPRO_RESULTS", "results"))
+
+
+class ExperimentPipeline:
+    """Runs and caches the pipeline stages for one benchmark definition."""
+
+    def __init__(
+        self,
+        definition: BenchmarkDefinition,
+        results_dir: Optional[Path] = None,
+        seed: int = 0,
+        log=None,
+    ) -> None:
+        self.definition = definition
+        self.seed = seed
+        self.seeds = SeedSequenceFactory(seed)
+        self.results_dir = Path(results_dir) if results_dir is not None else default_results_dir()
+        self.cache_dir = self.results_dir / "cache" / f"{definition.cache_key}-seed{seed}"
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.log = log or (lambda message: None)
+        self._dataset: Optional[SpikingDataset] = None
+        self._network: Optional[SNN] = None
+        self._training: Optional[TrainingResult] = None
+        self._catalog: Optional[FaultCatalog] = None
+
+    # ------------------------------------------------------------------
+    def dataset(self) -> SpikingDataset:
+        if self._dataset is None:
+            self._dataset = self.definition.make_dataset()
+        return self._dataset
+
+    # ------------------------------------------------------------------
+    def network(self) -> SNN:
+        """The trained network, training once and caching weights."""
+        if self._network is not None:
+            return self._network
+        network = build_network(self.definition.spec, self.seeds.rng("weights"))
+        weights_path = self.cache_dir / "weights.npz"
+        metrics_path = self.cache_dir / "training.json"
+        if weights_path.exists() and metrics_path.exists():
+            network.load(str(weights_path))
+            with open(metrics_path) as fh:
+                payload = json.load(fh)
+            self._training = TrainingResult(**payload)
+        else:
+            self.log(f"[{self.definition.cache_key}] training ...")
+            params = self.definition.training
+            trainer = Trainer(
+                network,
+                self.dataset(),
+                lr=params.lr,
+                batch_size=params.batch_size,
+                lr_schedule=StepDecay(params.lr, 0.5, params.lr_decay_period),
+            )
+            self._training = trainer.fit(params.epochs, self.seeds.rng("train"))
+            network.save(str(weights_path))
+            with open(metrics_path, "w") as fh:
+                json.dump(asdict(self._training), fh)
+            self.log(
+                f"[{self.definition.cache_key}] trained: "
+                f"test accuracy {self._training.test_accuracy:.2%}"
+            )
+        self._network = network
+        return network
+
+    def training_metrics(self) -> TrainingResult:
+        self.network()
+        return self._training
+
+    # ------------------------------------------------------------------
+    def catalog(self) -> FaultCatalog:
+        """The fault catalog (deterministic, rebuilt per process)."""
+        if self._catalog is None:
+            self._catalog = build_catalog(
+                self.network(), self.definition.fault_config, self.seeds.rng("catalog")
+            )
+        return self._catalog
+
+    # ------------------------------------------------------------------
+    def classification(self) -> ClassificationResult:
+        """Criticality labels for the catalog (Table II campaign)."""
+        catalog = self.catalog()
+        path = self.cache_dir / "classification.npz"
+        if path.exists():
+            with np.load(path) as data:
+                if data["critical"].shape[0] == len(catalog):
+                    return ClassificationResult(
+                        faults=catalog.faults,
+                        critical=data["critical"].astype(bool),
+                        accuracy_drop=data["accuracy_drop"],
+                        nominal_accuracy=float(data["nominal_accuracy"]),
+                        wall_time=float(data["wall_time"]),
+                    )
+        self.log(f"[{self.definition.cache_key}] labelling {len(catalog)} faults ...")
+        inputs, labels = self.dataset().subset(
+            self.definition.classify_samples, "test"
+        )
+        simulator = FaultSimulator(self.network(), self.definition.fault_config)
+        result = simulator.classify(inputs, labels, catalog.faults)
+        np.savez(
+            path,
+            critical=result.critical,
+            accuracy_drop=result.accuracy_drop,
+            nominal_accuracy=result.nominal_accuracy,
+            wall_time=result.wall_time,
+        )
+        self.log(
+            f"[{self.definition.cache_key}] labelled: {result.critical_count} critical / "
+            f"{result.benign_count} benign in {result.wall_time:.0f}s"
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def generation(self) -> TestGenerationResult:
+        """The proposed algorithm's output (Table III rows 1-4)."""
+        network = self.network()
+        stim_path = self.cache_dir / "stimulus.npz"
+        meta_path = self.cache_dir / "generation.json"
+        acts_path = self.cache_dir / "activated.npz"
+        if stim_path.exists() and meta_path.exists() and acts_path.exists():
+            stimulus = TestStimulus.load(str(stim_path), network.input_shape)
+            with open(meta_path) as fh:
+                meta = json.load(fh)
+            with np.load(acts_path) as data:
+                activated = [data[k].astype(bool) for k in sorted(data.files)]
+            return TestGenerationResult(
+                stimulus=stimulus,
+                t_in_min=meta["t_in_min"],
+                iterations=[IterationReport(**r) for r in meta["iterations"]],
+                activated_fraction=meta["activated_fraction"],
+                activated_per_layer=activated,
+                runtime_s=meta["runtime_s"],
+                timed_out=meta["timed_out"],
+            )
+        self.log(f"[{self.definition.cache_key}] generating test ...")
+        generator = TestGenerator(
+            network, self.definition.testgen_config, self.seeds.rng("generate"), log=self.log
+        )
+        result = generator.generate()
+        result.stimulus.save(str(stim_path))
+        with open(meta_path, "w") as fh:
+            json.dump(
+                {
+                    "t_in_min": result.t_in_min,
+                    "iterations": [asdict(r) for r in result.iterations],
+                    "activated_fraction": result.activated_fraction,
+                    "runtime_s": result.runtime_s,
+                    "timed_out": result.timed_out,
+                },
+                fh,
+            )
+        np.savez(
+            acts_path,
+            **{f"layer{idx:02d}": arr for idx, arr in enumerate(result.activated_per_layer)},
+        )
+        self.log(
+            f"[{self.definition.cache_key}] generated {result.num_chunks} chunks in "
+            f"{result.runtime_s:.0f}s, activation {result.activated_fraction:.2%}"
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def detection(self) -> DetectionResult:
+        """Final fault-simulation campaign on the assembled stimulus."""
+        catalog = self.catalog()
+        path = self.cache_dir / "detection.npz"
+        if path.exists():
+            with np.load(path) as data:
+                if data["detected"].shape[0] == len(catalog):
+                    return DetectionResult(
+                        faults=catalog.faults,
+                        detected=data["detected"].astype(bool),
+                        output_l1=data["output_l1"],
+                        class_count_diff=data["class_count_diff"],
+                        wall_time=float(data["wall_time"]),
+                    )
+        generation = self.generation()
+        self.log(f"[{self.definition.cache_key}] verifying coverage ...")
+        detection, _ = verify_coverage(
+            self.network(),
+            generation.stimulus,
+            catalog.faults,
+            self.definition.fault_config,
+        )
+        np.savez(
+            path,
+            detected=detection.detected,
+            output_l1=detection.output_l1,
+            class_count_diff=detection.class_count_diff,
+            wall_time=detection.wall_time,
+        )
+        self.log(
+            f"[{self.definition.cache_key}] detection rate "
+            f"{detection.detection_rate():.2%} in {detection.wall_time:.0f}s"
+        )
+        return detection
+
+    # ------------------------------------------------------------------
+    def coverage(self) -> CoverageBreakdown:
+        """Table III coverage breakdown, with exact accuracy drops for the
+        undetected critical faults."""
+        detection = self.detection()
+        classification = self.classification()
+        # Fill in exact drops for undetected criticals if any are NaN
+        # (chunked classification) — they feed the Table III bottom row.
+        needs = ~detection.detected & classification.critical
+        if np.isnan(classification.accuracy_drop[needs]).any():
+            simulator = FaultSimulator(self.network(), self.definition.fault_config)
+            inputs, labels = self.dataset().subset(
+                self.definition.classify_samples, "test"
+            )
+            targets = [f for f, n in zip(classification.faults, needs) if n]
+            drops = simulator.accuracy_drops(inputs, labels, targets)
+            classification.accuracy_drop[np.nonzero(needs)[0]] = drops
+        return FaultSimulator.coverage(detection, classification)

@@ -1,0 +1,470 @@
+"""Per-table / per-figure report generation.
+
+Each ``*_report`` function consumes pipeline artifacts and returns
+``(text, payload)``: a rendered plain-text reproduction of the paper's
+table or figure, plus a JSON-serialisable payload with the raw numbers
+(consumed by EXPERIMENTS.md and by assertions in the benches).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.activity import activity_map, render_activity
+from repro.analysis.propagation import propagation_histogram, render_histogram
+from repro.analysis.snapshots import render_snapshot_series
+from repro.analysis.tables import Table, format_percent, format_seconds
+from repro.baselines import (
+    adversarial_baseline,
+    greedy_dataset_baseline,
+    random_pattern_baseline,
+)
+from repro.core.config import TestGenConfig
+from repro.core.generator import TestGenerator
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.faults.simulator import FaultSimulator
+
+Pipelines = Dict[str, ExperimentPipeline]
+BENCH_COLUMNS = ("nmnist", "ibm", "shd")
+
+
+def save_report(results_dir: Path, name: str, text: str, payload: dict) -> None:
+    """Write ``<name>.txt`` and ``<name>.json`` under the results root."""
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    with open(results_dir / f"{name}.json", "w") as fh:
+        json.dump(payload, fh, indent=2, default=float)
+
+
+def _columns(pipelines: Pipelines) -> List[str]:
+    return [name for name in BENCH_COLUMNS if name in pipelines]
+
+
+# ----------------------------------------------------------------------
+def table1_report(pipelines: Pipelines) -> Tuple[str, dict]:
+    """Table I: benchmark SNN characteristics."""
+    names = _columns(pipelines)
+    table = Table("Table I: Benchmark SNNs characteristics", ["Metric"] + names)
+    payload: dict = {}
+    rows = {
+        "Prediction accuracy": [],
+        "# Output classes": [],
+        "# Neurons": [],
+        "# Synapses": [],
+        "Input spatial dimension": [],
+        "Input temporal dimension (steps)": [],
+        "Size training set": [],
+        "Size testing set": [],
+    }
+    for name in names:
+        pipe = pipelines[name]
+        dataset = pipe.dataset()
+        network = pipe.network()
+        metrics = pipe.training_metrics()
+        rows["Prediction accuracy"].append(format_percent(metrics.test_accuracy))
+        rows["# Output classes"].append(network.num_classes)
+        rows["# Neurons"].append(network.neuron_count)
+        rows["# Synapses"].append(network.synapse_count)
+        rows["Input spatial dimension"].append("x".join(map(str, dataset.input_shape)))
+        rows["Input temporal dimension (steps)"].append(dataset.steps)
+        rows["Size training set"].append(dataset.train_size)
+        rows["Size testing set"].append(dataset.test_size)
+        payload[name] = {
+            "accuracy": metrics.test_accuracy,
+            "classes": network.num_classes,
+            "neurons": network.neuron_count,
+            "synapses": network.synapse_count,
+            "input_shape": list(dataset.input_shape),
+            "steps": dataset.steps,
+            "train_size": dataset.train_size,
+            "test_size": dataset.test_size,
+        }
+    for label, cells in rows.items():
+        table.add_row(label, *cells)
+    return table.render(), payload
+
+
+# ----------------------------------------------------------------------
+def table2_report(pipelines: Pipelines) -> Tuple[str, dict]:
+    """Table II: fault-simulation (criticality labelling) results."""
+    names = _columns(pipelines)
+    table = Table("Table II: Fault simulation results", ["Metric"] + names)
+    payload: dict = {}
+    rows = {
+        "# Critical Neuron Faults": [],
+        "# Benign Neuron Faults": [],
+        "# Critical Synapse Faults": [],
+        "# Benign Synapse Faults": [],
+        "Fault Simulation Time": [],
+    }
+    for name in names:
+        pipe = pipelines[name]
+        classification = pipe.classification()
+        is_neuron = np.array([f.is_neuron for f in classification.faults])
+        critical = classification.critical
+        rows["# Critical Neuron Faults"].append(int((critical & is_neuron).sum()))
+        rows["# Benign Neuron Faults"].append(int((~critical & is_neuron).sum()))
+        rows["# Critical Synapse Faults"].append(int((critical & ~is_neuron).sum()))
+        rows["# Benign Synapse Faults"].append(int((~critical & ~is_neuron).sum()))
+        rows["Fault Simulation Time"].append(format_seconds(classification.wall_time))
+        payload[name] = {
+            "critical_neuron": int((critical & is_neuron).sum()),
+            "benign_neuron": int((~critical & is_neuron).sum()),
+            "critical_synapse": int((critical & ~is_neuron).sum()),
+            "benign_synapse": int((~critical & ~is_neuron).sum()),
+            "wall_time_s": classification.wall_time,
+        }
+    for label, cells in rows.items():
+        table.add_row(label, *cells)
+    return table.render(), payload
+
+
+# ----------------------------------------------------------------------
+def table3_report(pipelines: Pipelines) -> Tuple[str, dict]:
+    """Table III: test-generation efficiency metrics."""
+    names = _columns(pipelines)
+    table = Table("Table III: Test generation efficiency metrics", ["Metric"] + names)
+    payload: dict = {}
+    rows: Dict[str, list] = {
+        "Test generation runtime": [],
+        "Test duration (samples)": [],
+        "Test duration (steps)": [],
+        "Activated neurons": [],
+        "FC Critical neuron faults": [],
+        "FC Critical synapse faults": [],
+        "FC Benign neuron faults": [],
+        "FC Benign synapse faults": [],
+        "Max accuracy drop undetected neuron (synapse)": [],
+    }
+    for name in names:
+        pipe = pipelines[name]
+        generation = pipe.generation()
+        coverage = pipe.coverage()
+        dataset = pipe.dataset()
+        samples = generation.stimulus.duration_samples(dataset.steps)
+        rows["Test generation runtime"].append(format_seconds(generation.runtime_s))
+        rows["Test duration (samples)"].append(f"~{samples:.2f}")
+        rows["Test duration (steps)"].append(generation.stimulus.duration_steps)
+        rows["Activated neurons"].append(format_percent(generation.activated_fraction))
+        rows["FC Critical neuron faults"].append(format_percent(coverage.fc_critical_neuron))
+        rows["FC Critical synapse faults"].append(format_percent(coverage.fc_critical_synapse))
+        rows["FC Benign neuron faults"].append(format_percent(coverage.fc_benign_neuron))
+        rows["FC Benign synapse faults"].append(format_percent(coverage.fc_benign_synapse))
+        rows["Max accuracy drop undetected neuron (synapse)"].append(
+            f"{coverage.max_drop_undetected_neuron * 100:.1f}% "
+            f"({coverage.max_drop_undetected_synapse * 100:.1f}%)"
+        )
+        payload[name] = {
+            "runtime_s": generation.runtime_s,
+            "duration_samples": samples,
+            "duration_steps": generation.stimulus.duration_steps,
+            "activated_fraction": generation.activated_fraction,
+            "fc_critical_neuron": coverage.fc_critical_neuron,
+            "fc_critical_synapse": coverage.fc_critical_synapse,
+            "fc_benign_neuron": coverage.fc_benign_neuron,
+            "fc_benign_synapse": coverage.fc_benign_synapse,
+            "max_drop_neuron": coverage.max_drop_undetected_neuron,
+            "max_drop_synapse": coverage.max_drop_undetected_synapse,
+            "counts": coverage.counts,
+        }
+    for label, cells in rows.items():
+        table.add_row(label, *cells)
+    return table.render(), payload
+
+
+# ----------------------------------------------------------------------
+def table4_report(
+    pipeline: ExperimentPipeline,
+    baseline_pool: int = 24,
+    rng_seed: int = 0,
+) -> Tuple[str, dict]:
+    """Table IV: comparison with prior test-generation strategies.
+
+    All methods are compared on the same (sub-sampled) fault list of the
+    NMNIST benchmark.  The proposed method's stimulus comes from the
+    cached pipeline; baselines run their fault-sim-in-the-loop greedy
+    selection here (their generation time *is* the campaign time).
+    """
+    network = pipeline.network()
+    dataset = pipeline.dataset()
+    catalog = pipeline.catalog()
+    generation = pipeline.generation()
+    fault_config = pipeline.definition.fault_config
+    rng = np.random.default_rng(rng_seed)
+
+    fraction = pipeline.definition.table4_fault_subsample
+    indices = np.sort(
+        rng.choice(
+            len(catalog),
+            size=max(1, int(len(catalog) * fraction)),
+            replace=False,
+        )
+    )
+    faults = [catalog.faults[i] for i in indices]
+    # Criticality labels of the comparison faults (Table II campaign).
+    critical_mask = pipeline.classification().critical[indices]
+
+    # Proposed method on the comparison fault list (reuse full detection).
+    detection = pipeline.detection()
+    proposed_cov = float(detection.detected[indices].mean())
+    proposed_crit = (
+        float(detection.detected[indices][critical_mask].mean())
+        if critical_mask.any()
+        else 1.0
+    )
+    proposed = {
+        "stimulus_type": "Optimized",
+        "generation_time_s": generation.runtime_s,
+        "configurations": 1,
+        "duration_steps": generation.stimulus.duration_steps,
+        "duration_samples": generation.stimulus.duration_samples(dataset.steps),
+        "coverage": proposed_cov,
+        "critical_coverage": proposed_crit,
+        "fault_simulations": len(catalog),  # single verification campaign
+    }
+
+    switch = 2 * dataset.steps  # configuration-switch cost in steps
+    results = {
+        "greedy_dataset[18]": greedy_dataset_baseline(
+            network, dataset, faults, fault_config, pool_size=baseline_pool,
+            rng=np.random.default_rng(rng_seed + 1),
+        ),
+        "adversarial[17,19]": adversarial_baseline(
+            network, dataset, faults, fault_config,
+            pool_size=max(4, baseline_pool // 2), craft_steps=20,
+            num_configurations=6, switch_overhead_steps=switch,
+            rng=np.random.default_rng(rng_seed + 2),
+        ),
+        "random[20]": random_pattern_baseline(
+            network, dataset.steps, faults, np.random.default_rng(rng_seed + 3),
+            fault_config=fault_config, pool_size=baseline_pool,
+            num_configurations=8, switch_overhead_steps=switch,
+        ),
+    }
+
+    methods = ["This work"] + list(results.keys())
+    table = Table(
+        "Table IV: Comparison with previous works (NMNIST benchmark)",
+        ["Metric"] + methods,
+    )
+    stim_types = {"greedy_dataset[18]": "Dataset", "adversarial[17,19]": "Adversarial",
+                  "random[20]": "Random"}
+    payload = {"This work": proposed, "comparison_faults": int(len(faults))}
+    table.add_row(
+        "Test stimulus type", "Optimized", *[stim_types[k] for k in results]
+    )
+    table.add_row(
+        "Test generation time",
+        format_seconds(generation.runtime_s),
+        *[format_seconds(r.generation_time_s) for r in results.values()],
+    )
+    table.add_row(
+        "Fault simulations during generation",
+        f"{len(catalog)} (verification only)",
+        *[r.fault_simulations for r in results.values()],
+    )
+    table.add_row(
+        "# Test configurations", 1, *[r.num_configurations for r in results.values()]
+    )
+    table.add_row(
+        "Test duration (samples)",
+        f"~{proposed['duration_samples']:.2f}",
+        *[f"{r.duration_samples(dataset.steps):.2f}" for r in results.values()],
+    )
+    table.add_row(
+        "Test duration (steps)",
+        proposed["duration_steps"],
+        *[r.test_duration_steps for r in results.values()],
+    )
+    table.add_row(
+        "Fault coverage (comparison set)",
+        format_percent(proposed_cov),
+        *[format_percent(r.coverage) for r in results.values()],
+    )
+
+    def critical_coverage(result) -> float:
+        if not critical_mask.any():
+            return 1.0
+        return float(result.detected[critical_mask].mean())
+
+    table.add_row(
+        "Critical-fault coverage",
+        format_percent(proposed_crit),
+        *[format_percent(critical_coverage(r)) for r in results.values()],
+    )
+    for key, result in results.items():
+        payload[key] = {
+            "stimulus_type": stim_types[key],
+            "generation_time_s": result.generation_time_s,
+            "configurations": result.num_configurations,
+            "duration_steps": result.test_duration_steps,
+            "duration_samples": result.duration_samples(dataset.steps),
+            "coverage": result.coverage,
+            "critical_coverage": critical_coverage(result),
+            "num_inputs": result.num_inputs,
+            "fault_simulations": result.fault_simulations,
+        }
+    return table.render(), payload
+
+
+# ----------------------------------------------------------------------
+def fig7_report(pipeline: ExperimentPipeline, snapshots: int = 4) -> Tuple[str, dict]:
+    """Fig. 7: snapshots of the optimized test stimulus."""
+    generation = pipeline.generation()
+    stimulus = generation.stimulus.assembled()
+    text = (
+        f"Fig. 7: Snapshots of the optimized test stimulus "
+        f"({pipeline.definition.name})\n"
+        + "(+ = ON event, - = OFF event, # = both, . = silent)\n\n"
+        + render_snapshot_series(stimulus, count=snapshots)
+    )
+    density = float(stimulus.mean())
+    payload = {
+        "benchmark": pipeline.definition.name,
+        "total_steps": int(stimulus.shape[0]),
+        "spike_density": density,
+        "snapshots": snapshots,
+    }
+    return text, payload
+
+
+def fig8_report(pipeline: ExperimentPipeline, sample_index: int = 0) -> Tuple[str, dict]:
+    """Fig. 8: neuron activity, optimized test vs a random dataset sample."""
+    network = pipeline.network()
+    generation = pipeline.generation()
+    dataset = pipeline.dataset()
+    optimized = activity_map(network, generation.stimulus.assembled())
+    sample, _ = dataset.sample(sample_index, "test")
+    random_sample = activity_map(network, sample)
+    text = (
+        f"Fig. 8: Neuron activity per layer ({pipeline.definition.name})\n\n"
+        "(a) Optimized test input:\n"
+        + render_activity(optimized)
+        + "\n\n(b) Random dataset input sample:\n"
+        + render_activity(random_sample)
+    )
+    payload = {
+        "benchmark": pipeline.definition.name,
+        "optimized_fraction": optimized.fraction,
+        "sample_fraction": random_sample.fraction,
+    }
+    return text, payload
+
+
+def fig9_report(pipeline: ExperimentPipeline) -> Tuple[str, dict]:
+    """Fig. 9: per-class spike-count-difference distribution."""
+    detection = pipeline.detection()
+    hist = propagation_histogram(detection)
+    text = (
+        f"Fig. 9: Per-class spike count difference for detected faults "
+        f"({pipeline.definition.name})\n\n" + render_histogram(hist)
+    )
+    payload = {
+        "benchmark": pipeline.definition.name,
+        "detected_faults": hist.detected_faults,
+        "mean_diff": hist.mean_diff,
+        "median_diff": hist.median_diff,
+        "max_diff": hist.max_diff,
+        "fraction_gt_one": hist.fraction_diff_gt_one,
+        "bin_edges": hist.bin_edges.tolist(),
+        "counts": hist.counts.tolist(),
+    }
+    return text, payload
+
+
+# ----------------------------------------------------------------------
+def _ablation_run(
+    pipeline: ExperimentPipeline,
+    disabled: Tuple[int, ...],
+    fault_indices: np.ndarray,
+    seed: int,
+    max_iterations: int = 6,
+) -> dict:
+    """Generate with some losses disabled and measure detection on the
+    comparison fault subset.
+
+    Generation keeps the benchmark's step budget but caps the iteration
+    count (``max_iterations``) so the multi-variant sweep stays tractable
+    — the same budget applies to every variant, keeping the comparison
+    fair.
+    """
+    import dataclasses
+
+    base = pipeline.definition.testgen_config
+    config = dataclasses.replace(
+        base,
+        disabled_losses=tuple(disabled),
+        max_iterations=min(base.max_iterations, max_iterations),
+    )
+    network = pipeline.network()
+    generator = TestGenerator(network, config, np.random.default_rng(seed))
+    result = generator.generate()
+    catalog = pipeline.catalog()
+    faults = [catalog.faults[i] for i in fault_indices]
+    simulator = FaultSimulator(network, pipeline.definition.fault_config)
+    assembled = result.stimulus.assembled()
+    detection = simulator.detect(assembled, faults)
+    hidden = network.run_spiking_layers(assembled)[:-1]
+    hidden_spikes = float(sum(layer.sum() for layer in hidden))
+    hidden_neurons = max(sum(layer.shape[2] for layer in hidden), 1)
+    return {
+        "disabled": list(disabled),
+        "detection_rate": detection.detection_rate(),
+        "activated_fraction": result.activated_fraction,
+        "duration_steps": result.stimulus.duration_steps,
+        "runtime_s": result.runtime_s,
+        "chunks": result.num_chunks,
+        "hidden_spikes_per_neuron": hidden_spikes / hidden_neurons,
+    }
+
+
+def ablation_report(
+    pipeline: ExperimentPipeline,
+    variants: Optional[List[Tuple[str, Tuple[int, ...]]]] = None,
+    fault_fraction: float = 0.1,
+    seed: int = 123,
+) -> Tuple[str, dict]:
+    """Loss-function and stage-2 ablation (DESIGN.md §5).
+
+    Each variant regenerates the test with some losses disabled and
+    reports detection rate on a shared fault subset.
+    """
+    if variants is None:
+        variants = [
+            ("full", ()),
+            ("no-L1", (1,)),
+            ("no-L2", (2,)),
+            ("no-L3", (3,)),
+            ("no-L4", (4,)),
+            ("no-stage2", (5,)),
+        ]
+    catalog = pipeline.catalog()
+    rng = np.random.default_rng(seed)
+    indices = np.sort(
+        rng.choice(
+            len(catalog), size=max(1, int(len(catalog) * fault_fraction)), replace=False
+        )
+    )
+    table = Table(
+        f"Ablation: loss contributions ({pipeline.definition.name})",
+        ["Variant", "Detection rate", "Activated", "Duration (steps)",
+         "Chunks", "Hidden spikes/neuron"],
+    )
+    payload: dict = {"fault_subset": int(indices.size)}
+    for label, disabled in variants:
+        run = _ablation_run(pipeline, disabled, indices, seed)
+        table.add_row(
+            label,
+            format_percent(run["detection_rate"]),
+            format_percent(run["activated_fraction"]),
+            run["duration_steps"],
+            run["chunks"],
+            f"{run['hidden_spikes_per_neuron']:.1f}",
+        )
+        payload[label] = run
+    return table.render(), payload

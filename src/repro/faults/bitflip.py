@@ -1,0 +1,51 @@
+"""8-bit fixed-point weight quantization and bit-flip arithmetic.
+
+Digital SNN accelerators commonly store synapse weights as signed 8-bit
+fixed-point values.  A memory bit-flip therefore perturbs the weight by a
+power-of-two multiple of the layer's quantization step.  The paper's
+"perturbed value, for example induced by a bit-flip" synapse fault is
+modelled here:
+
+- the layer's weights define a symmetric scale (``max |w| / 127``);
+- a weight is quantized to int8 (two's complement);
+- one bit of the stored code flips;
+- the faulty real-valued weight is the dequantized flipped code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FaultModelError
+
+
+def int8_scale(weights: np.ndarray) -> float:
+    """Symmetric per-tensor quantization scale: max|w| maps to ±127."""
+    peak = float(np.abs(weights).max())
+    if peak == 0.0:
+        return 1.0 / 127.0  # degenerate all-zero layer; any scale works
+    return peak / 127.0
+
+
+def quantize_int8(value: float, scale: float) -> int:
+    """Quantize a real weight to a signed 8-bit code."""
+    if scale <= 0.0:
+        raise FaultModelError(f"quantization scale must be positive, got {scale}")
+    code = int(np.clip(np.round(value / scale), -128, 127))
+    return code
+
+
+def flip_bit(code: int, bit: int) -> int:
+    """Flip one bit of an int8 two's-complement code, returning int8."""
+    if not 0 <= bit <= 7:
+        raise FaultModelError(f"bit must be in [0, 7], got {bit}")
+    if not -128 <= code <= 127:
+        raise FaultModelError(f"code must be int8, got {code}")
+    unsigned = code & 0xFF
+    flipped = unsigned ^ (1 << bit)
+    return flipped - 256 if flipped >= 128 else flipped
+
+
+def bitflip_value(value: float, bit: int, scale: float) -> float:
+    """Real-valued weight after flipping ``bit`` of its stored int8 code."""
+    return flip_bit(quantize_int8(value, scale), bit) * scale

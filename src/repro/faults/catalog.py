@@ -1,0 +1,112 @@
+"""Enumeration of the fault list for a network.
+
+The catalog expands every (site, kind) combination allowed by the
+:class:`~repro.faults.model.FaultModelConfig`, optionally subsampling sites
+per kind to keep campaign sizes tractable.  Sampling is seeded and
+reported, so experiment results remain reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import FaultModelError
+from repro.faults.model import (
+    FaultModelConfig,
+    NeuronFault,
+    NeuronFaultKind,
+    SynapseFault,
+    SynapseFaultKind,
+)
+from repro.snn.network import SNN
+
+Fault = Union[NeuronFault, SynapseFault]
+
+
+@dataclass
+class FaultCatalog:
+    """The enumerated fault list for one network.
+
+    Attributes
+    ----------
+    neuron_faults / synapse_faults:
+        Descriptor lists in deterministic order.
+    config:
+        The fault-model configuration used for enumeration.
+    """
+
+    neuron_faults: List[NeuronFault]
+    synapse_faults: List[SynapseFault]
+    config: FaultModelConfig
+
+    @property
+    def faults(self) -> List[Fault]:
+        """All faults, neurons first."""
+        return list(self.neuron_faults) + list(self.synapse_faults)
+
+    def __len__(self) -> int:
+        return len(self.neuron_faults) + len(self.synapse_faults)
+
+    def summary(self) -> str:
+        return (
+            f"FaultCatalog: {len(self.neuron_faults)} neuron faults, "
+            f"{len(self.synapse_faults)} synapse faults"
+        )
+
+
+def _sample_indices(
+    count: int, fraction: float, rng: Optional[np.random.Generator]
+) -> np.ndarray:
+    """Deterministically subsample ``fraction`` of range(count)."""
+    if fraction >= 1.0:
+        return np.arange(count)
+    if rng is None:
+        raise FaultModelError("sampling fraction < 1 requires an rng")
+    keep = max(1, int(round(count * fraction)))
+    return np.sort(rng.choice(count, size=keep, replace=False))
+
+
+def build_catalog(
+    network: SNN,
+    config: Optional[FaultModelConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> FaultCatalog:
+    """Enumerate the fault list of ``network`` under ``config``.
+
+    Neuron faults: every spiking neuron × every configured neuron kind.
+    Synapse faults: every weight entry × every configured synapse kind.
+    With ``sample_fraction < 1`` a seeded random subset of sites is drawn
+    independently per (module, kind).
+    """
+    config = config or FaultModelConfig()
+    neuron_faults: List[NeuronFault] = []
+    synapse_faults: List[SynapseFault] = []
+
+    for module_index in network.spiking_indices:
+        module = network.modules[module_index]
+        n = module.neuron_count
+        for kind in config.neuron_kinds:
+            for neuron in _sample_indices(n, config.neuron_sample_fraction, rng):
+                neuron_faults.append(NeuronFault(module_index, int(neuron), kind))
+        for parameter_index, param in enumerate(module.parameters()):
+            size = int(param.size)
+            for kind in config.synapse_kinds:
+                for widx in _sample_indices(size, config.synapse_sample_fraction, rng):
+                    if kind is SynapseFaultKind.BITFLIP:
+                        bit = (
+                            config.bitflip_bit
+                            if config.bitflip_bit is not None
+                            else int(rng.integers(0, 8)) if rng is not None
+                            else 6
+                        )
+                        synapse_faults.append(
+                            SynapseFault(module_index, parameter_index, int(widx), kind, bit=bit)
+                        )
+                    else:
+                        synapse_faults.append(
+                            SynapseFault(module_index, parameter_index, int(widx), kind)
+                        )
+    return FaultCatalog(neuron_faults, synapse_faults, config)

@@ -1,0 +1,153 @@
+"""Fault collapsing: structural reduction of the fault catalog.
+
+Classical test generation collapses faults that are provably equivalent or
+undetectable before simulating anything.  The analogous structural rules
+for the behavioural SNN fault model:
+
+- a DEAD synapse fault on a weight that is already (numerically) zero is a
+  no-op — the faulty network equals the fault-free one;
+- a SATURATED synapse fault on a weight already at the saturation value is
+  a no-op;
+- any fault on a *hidden* neuron whose outgoing weights are all zero is
+  undetectable — its spike train never influences the rest of the network
+  (output-layer neurons are excluded: they are directly observed);
+- a BITFLIP whose dequantised faulty value equals the original (possible
+  only for the degenerate all-zero-weight layer scale) is a no-op.
+
+Collapsing never changes coverage semantics: dropped faults are exactly
+those no test could ever detect, so they are reported separately rather
+than counted as coverage losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.faults.bitflip import bitflip_value, int8_scale
+from repro.faults.catalog import FaultCatalog
+from repro.faults.model import (
+    FaultModelConfig,
+    NeuronFault,
+    SynapseFault,
+    SynapseFaultKind,
+)
+from repro.snn.network import SNN
+
+Fault = Union[NeuronFault, SynapseFault]
+
+#: Reasons a fault can be dropped.
+REASON_ZERO_WEIGHT_DEAD = "dead fault on zero weight"
+REASON_ALREADY_SATURATED = "weight already at saturation value"
+REASON_NOOP_BITFLIP = "bit flip does not change the stored value"
+REASON_DISCONNECTED_NEURON = "hidden neuron with all-zero outgoing weights"
+
+
+@dataclass
+class CollapsedCatalog:
+    """Result of :func:`collapse_catalog`."""
+
+    kept: List[Fault]
+    dropped: List[Tuple[Fault, str]]
+    reasons: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def reduction(self) -> float:
+        total = len(self.kept) + len(self.dropped)
+        return len(self.dropped) / total if total else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"collapsed {len(self.dropped)} of {len(self.kept) + len(self.dropped)} "
+            f"faults ({self.reduction * 100:.1f}%)"
+        ]
+        for reason, count in sorted(self.reasons.items()):
+            lines.append(f"  {reason}: {count}")
+        return "\n".join(lines)
+
+
+def _outgoing_weight_norms(network: SNN) -> Dict[int, np.ndarray]:
+    """Per hidden spiking module: L1 norm of each neuron's outgoing weights.
+
+    Only dense/recurrent successors are analysable exactly; a neuron
+    feeding a conv or pool successor is conservatively treated as
+    connected (norm = +inf).
+    """
+    from repro.snn.layers import DenseLIF, Flatten, RecurrentLIF
+
+    norms: Dict[int, np.ndarray] = {}
+    spiking = network.spiking_indices
+    for position, module_index in enumerate(spiking[:-1]):
+        module = network.modules[module_index]
+        # Walk to the next spiking module, tracking only flatten (identity
+        # on connectivity); any pool/conv in between defeats exact analysis.
+        analysable = True
+        for between in network.modules[module_index + 1 : spiking[position + 1]]:
+            if not isinstance(between, Flatten):
+                analysable = False
+                break
+        successor = network.modules[spiking[position + 1]]
+        if not analysable or not isinstance(successor, (DenseLIF, RecurrentLIF)):
+            norms[module_index] = np.full(module.neuron_count, np.inf)
+            continue
+        outgoing = np.abs(successor.weight.data).sum(axis=1)  # (in_features,)
+        if isinstance(module, RecurrentLIF):
+            # Recurrent neurons also feed themselves; include |W_rec| rows.
+            outgoing = outgoing + np.abs(module.recurrent_weight.data).sum(axis=1)
+        norms[module_index] = outgoing
+    return norms
+
+
+def collapse_catalog(
+    network: SNN,
+    catalog: FaultCatalog,
+    atol: float = 0.0,
+) -> CollapsedCatalog:
+    """Drop structurally undetectable faults from ``catalog``.
+
+    Parameters
+    ----------
+    atol:
+        Weights with ``|w| <= atol`` count as zero (0.0 = exact).
+    """
+    config = catalog.config
+    outgoing = _outgoing_weight_norms(network)
+    kept: List[Fault] = []
+    dropped: List[Tuple[Fault, str]] = []
+    reasons: Dict[str, int] = {}
+
+    def drop(fault: Fault, reason: str) -> None:
+        dropped.append((fault, reason))
+        reasons[reason] = reasons.get(reason, 0) + 1
+
+    for fault in catalog.neuron_faults:
+        norms = outgoing.get(fault.module_index)
+        if norms is not None and norms[fault.neuron_index] <= atol:
+            drop(fault, REASON_DISCONNECTED_NEURON)
+        else:
+            kept.append(fault)
+
+    for fault in catalog.synapse_faults:
+        module = network.modules[fault.module_index]
+        weights = module.parameters()[fault.parameter_index].data
+        value = float(weights.reshape(-1)[fault.weight_index])
+        kind = fault.kind
+        if kind is SynapseFaultKind.DEAD and abs(value) <= atol:
+            drop(fault, REASON_ZERO_WEIGHT_DEAD)
+            continue
+        if kind in (SynapseFaultKind.SATURATED_POSITIVE, SynapseFaultKind.SATURATED_NEGATIVE):
+            peak = config.saturation_multiplier * float(np.abs(weights).max())
+            target = peak if kind is SynapseFaultKind.SATURATED_POSITIVE else -peak
+            if abs(value - target) <= atol:
+                drop(fault, REASON_ALREADY_SATURATED)
+                continue
+        if kind is SynapseFaultKind.BITFLIP:
+            scale = int8_scale(weights)
+            if bitflip_value(value, fault.bit, scale) == value:
+                drop(fault, REASON_NOOP_BITFLIP)
+                continue
+        kept.append(fault)
+
+    return CollapsedCatalog(kept=kept, dropped=dropped, reasons=reasons)

@@ -1,0 +1,82 @@
+"""Fault diagnosis via output-signature dictionaries.
+
+Detection answers "is the device faulty?"; diagnosis asks "which fault is
+it?".  A classical fault dictionary maps each modelled fault to the output
+signature it produces under the test stimulus; observing a failing
+device's signature then ranks candidate faults by similarity.
+
+The signature used here is the per-class spike-count difference vector
+(the same quantity Fig. 9 histograms), which the detection campaign
+already computes — building the dictionary costs nothing extra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import FaultModelError
+from repro.faults.model import NeuronFault, SynapseFault
+from repro.faults.simulator import DetectionResult
+
+Fault = Union[NeuronFault, SynapseFault]
+
+
+@dataclass
+class FaultDictionary:
+    """Signature table over the *detected* faults of a campaign."""
+
+    faults: List[Fault]
+    signatures: np.ndarray  # (N, classes) per-class |count delta|
+
+    @classmethod
+    def from_detection(cls, detection: DetectionResult) -> "FaultDictionary":
+        mask = detection.detected
+        faults = [f for f, m in zip(detection.faults, mask) if m]
+        return cls(faults=faults, signatures=detection.class_count_diff[mask])
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def resolution(self) -> float:
+        """Fraction of faults with a unique signature — the dictionary's
+        diagnostic resolution."""
+        if not self.faults:
+            return 0.0
+        _, counts = np.unique(self.signatures, axis=0, return_counts=True)
+        return float((counts == 1).sum() / len(self.faults))
+
+    def diagnose(
+        self, observed_signature: np.ndarray, top: int = 5
+    ) -> List[Tuple[Fault, float]]:
+        """Rank candidate faults by signature distance (L1), closest first.
+
+        ``observed_signature`` is the per-class |spike-count delta| between
+        the failing device's response and the golden response.
+        """
+        observed = np.asarray(observed_signature, dtype=np.float64)
+        if observed.shape != (self.signatures.shape[1],):
+            raise FaultModelError(
+                f"signature has shape {observed.shape}, dictionary expects "
+                f"({self.signatures.shape[1]},)"
+            )
+        if not self.faults:
+            return []
+        distances = np.abs(self.signatures - observed).sum(axis=1)
+        order = np.argsort(distances, kind="stable")[:top]
+        return [(self.faults[i], float(distances[i])) for i in order]
+
+
+def observed_signature(
+    golden_output: np.ndarray, faulty_output: np.ndarray
+) -> np.ndarray:
+    """Per-class |spike-count delta| between two (T, 1, classes) responses."""
+    golden = np.asarray(golden_output)
+    faulty = np.asarray(faulty_output)
+    if golden.shape != faulty.shape:
+        raise FaultModelError(
+            f"response shapes differ: {golden.shape} vs {faulty.shape}"
+        )
+    return np.abs(faulty.sum(axis=0) - golden.sum(axis=0)).reshape(-1)

@@ -1,0 +1,128 @@
+"""Reversible fault injection.
+
+:func:`inject` is a context manager that applies one fault descriptor to a
+concrete network, yields, and restores the exact pre-injection state on
+exit — including on exception.  Injection mutates only fast-path state
+(weight arrays, per-neuron parameter arrays, behavioural mode arrays), so
+it composes with :meth:`repro.snn.network.SNN.run_from` for layer-skip
+fault simulation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Union
+
+import numpy as np
+
+from repro.errors import InjectionError
+from repro.faults.bitflip import bitflip_value, int8_scale
+from repro.faults.model import (
+    FaultModelConfig,
+    NeuronFault,
+    NeuronFaultKind,
+    SynapseFault,
+    SynapseFaultKind,
+)
+from repro.snn.neuron import MODE_DEAD, MODE_NOMINAL, MODE_SATURATED
+from repro.snn.network import SNN
+
+Fault = Union[NeuronFault, SynapseFault]
+
+
+def _spiking_module(network: SNN, fault: Fault):
+    if fault.module_index >= len(network.modules):
+        raise InjectionError(f"{fault.describe()}: module index out of range")
+    module = network.modules[fault.module_index]
+    if not module.has_neurons:
+        raise InjectionError(f"{fault.describe()}: module has no neurons")
+    return module
+
+
+@contextlib.contextmanager
+def inject(network: SNN, fault: Fault, config: FaultModelConfig):
+    """Apply ``fault`` to ``network`` for the duration of the block.
+
+    Timing-variation magnitudes and saturation levels come from ``config``.
+    The context yields the module index at which simulation must restart
+    (everything upstream is unaffected by the fault).
+    """
+    module = _spiking_module(network, fault)
+    if isinstance(fault, NeuronFault):
+        restore = _apply_neuron_fault(module, fault, config)
+    else:
+        restore = _apply_synapse_fault(module, fault, config)
+    try:
+        yield fault.module_index
+    finally:
+        restore()
+
+
+def _apply_neuron_fault(module, fault: NeuronFault, config: FaultModelConfig):
+    idx = np.unravel_index(fault.neuron_index, module.neuron_shape)
+    kind = fault.kind
+    if kind in (NeuronFaultKind.DEAD, NeuronFaultKind.SATURATED):
+        previous = module.mode[idx]
+        if previous != MODE_NOMINAL:
+            raise InjectionError(f"{fault.describe()}: site already faulty")
+        module.mode[idx] = MODE_DEAD if kind is NeuronFaultKind.DEAD else MODE_SATURATED
+
+        def restore():
+            module.mode[idx] = previous
+
+        return restore
+    if kind is NeuronFaultKind.TIMING_THRESHOLD:
+        previous = module.threshold[idx]
+        module.threshold[idx] = previous * config.timing_threshold_factor
+
+        def restore():
+            module.threshold[idx] = previous
+
+        return restore
+    if kind is NeuronFaultKind.TIMING_LEAK:
+        previous = module.leak[idx]
+        module.leak[idx] = previous * config.timing_leak_factor
+
+        def restore():
+            module.leak[idx] = previous
+
+        return restore
+    if kind is NeuronFaultKind.TIMING_REFRACTORY:
+        previous = module.refractory_steps[idx]
+        module.refractory_steps[idx] = previous + config.timing_refractory_extra
+
+        def restore():
+            module.refractory_steps[idx] = previous
+
+        return restore
+    raise InjectionError(f"unhandled neuron fault kind {kind}")
+
+
+def _apply_synapse_fault(module, fault: SynapseFault, config: FaultModelConfig):
+    params = module.parameters()
+    if fault.parameter_index >= len(params):
+        raise InjectionError(f"{fault.describe()}: parameter index out of range")
+    weights = params[fault.parameter_index].data
+    flat = weights.reshape(-1)
+    if fault.weight_index >= flat.size:
+        raise InjectionError(f"{fault.describe()}: weight index out of range")
+    previous = flat[fault.weight_index]
+
+    kind = fault.kind
+    if kind is SynapseFaultKind.DEAD:
+        faulty = 0.0
+    elif kind is SynapseFaultKind.SATURATED_POSITIVE:
+        faulty = config.saturation_multiplier * float(np.abs(weights).max())
+    elif kind is SynapseFaultKind.SATURATED_NEGATIVE:
+        faulty = -config.saturation_multiplier * float(np.abs(weights).max())
+    elif kind is SynapseFaultKind.BITFLIP:
+        faulty = bitflip_value(float(previous), fault.bit, int8_scale(weights))
+    else:
+        raise InjectionError(f"unhandled synapse fault kind {kind}")
+
+    flat[fault.weight_index] = faulty
+
+    def restore():
+        flat[fault.weight_index] = previous
+
+    return restore

@@ -1,0 +1,177 @@
+"""Fault descriptors and the fault-model configuration.
+
+A fault descriptor is an immutable value object naming a *site* (module +
+index within the module) and a *kind*.  Descriptors carry no network
+references — they can be pickled, hashed, and listed in catalogs; the
+injector resolves them against a concrete network.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import FaultModelError
+
+
+class NeuronFaultKind(enum.Enum):
+    """Behavioural neuron fault classes (paper §III, neuron faults a–c)."""
+
+    DEAD = "dead"
+    SATURATED = "saturated"
+    TIMING_THRESHOLD = "timing_threshold"
+    TIMING_LEAK = "timing_leak"
+    TIMING_REFRACTORY = "timing_refractory"
+
+    @property
+    def is_timing(self) -> bool:
+        return self in (
+            NeuronFaultKind.TIMING_THRESHOLD,
+            NeuronFaultKind.TIMING_LEAK,
+            NeuronFaultKind.TIMING_REFRACTORY,
+        )
+
+
+class SynapseFaultKind(enum.Enum):
+    """Behavioural synapse fault classes (paper §III, synapse faults a–c)."""
+
+    DEAD = "dead"
+    SATURATED_POSITIVE = "saturated_positive"
+    SATURATED_NEGATIVE = "saturated_negative"
+    BITFLIP = "bitflip"
+
+
+@dataclass(frozen=True)
+class NeuronFault:
+    """A fault at one neuron.
+
+    Attributes
+    ----------
+    module_index:
+        Index of the spiking module in the network's module list.
+    neuron_index:
+        Flat index of the neuron within the module's neuron array.
+    kind:
+        Which behavioural fault.
+    """
+
+    module_index: int
+    neuron_index: int
+    kind: NeuronFaultKind
+
+    def __post_init__(self) -> None:
+        if self.module_index < 0 or self.neuron_index < 0:
+            raise FaultModelError(f"negative site index in {self}")
+
+    @property
+    def is_neuron(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"neuron[{self.module_index}][{self.neuron_index}]:{self.kind.value}"
+
+
+@dataclass(frozen=True)
+class SynapseFault:
+    """A fault at one synapse (weight entry).
+
+    Attributes
+    ----------
+    module_index:
+        Index of the spiking module owning the weight.
+    parameter_index:
+        0 for the feedforward weight, 1 for a recurrent weight.
+    weight_index:
+        Flat index into the weight array.
+    kind:
+        Which behavioural fault.
+    bit:
+        For BITFLIP faults, the bit position (0 = LSB, 7 = sign bit) of the
+        8-bit fixed-point representation that flips.
+    """
+
+    module_index: int
+    parameter_index: int
+    weight_index: int
+    kind: SynapseFaultKind
+    bit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.module_index < 0 or self.weight_index < 0:
+            raise FaultModelError(f"negative site index in {self}")
+        if self.parameter_index not in (0, 1):
+            raise FaultModelError(f"parameter_index must be 0 or 1 in {self}")
+        if self.kind is SynapseFaultKind.BITFLIP:
+            if self.bit is None or not 0 <= self.bit <= 7:
+                raise FaultModelError(f"BITFLIP fault needs bit in [0, 7], got {self.bit}")
+        elif self.bit is not None:
+            raise FaultModelError(f"bit set on non-BITFLIP fault {self}")
+
+    @property
+    def is_neuron(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        suffix = f":b{self.bit}" if self.bit is not None else ""
+        return (
+            f"synapse[{self.module_index}][p{self.parameter_index}]"
+            f"[{self.weight_index}]:{self.kind.value}{suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultModelConfig:
+    """Parameters of the behavioural fault model.
+
+    The paper leaves magnitudes unspecified; defaults here follow the
+    conventions of the SpikeFI / SpikingJET fault-injection frameworks and
+    are recorded in DESIGN.md §7.
+
+    Attributes
+    ----------
+    neuron_kinds / synapse_kinds:
+        Which fault classes to enumerate.
+    timing_threshold_factor:
+        Multiplier applied to the faulty neuron's threshold (> 1 delays
+        spikes, < 1 advances them).
+    timing_leak_factor:
+        Multiplier applied to the faulty neuron's leak constant.
+    timing_refractory_extra:
+        Extra refractory steps added to the faulty neuron.
+    saturation_multiplier:
+        Saturated-synapse weight magnitude as a multiple of the layer's
+        maximum absolute weight.
+    bitflip_bit:
+        Fixed bit position for BITFLIP faults; None samples a position per
+        fault from the catalog RNG.
+    neuron_sample_fraction / synapse_sample_fraction:
+        Fraction of sites enumerated per kind (1.0 = exhaustive).  Sampling
+        keeps CPU campaigns tractable for the larger benchmarks and is the
+        documented substitute for the paper's multi-day GPU campaigns.
+    """
+
+    neuron_kinds: Tuple[NeuronFaultKind, ...] = tuple(NeuronFaultKind)
+    synapse_kinds: Tuple[SynapseFaultKind, ...] = tuple(SynapseFaultKind)
+    timing_threshold_factor: float = 1.75
+    timing_leak_factor: float = 0.6
+    timing_refractory_extra: int = 2
+    saturation_multiplier: float = 2.0
+    bitflip_bit: Optional[int] = 6
+    neuron_sample_fraction: float = 1.0
+    synapse_sample_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.timing_threshold_factor <= 0:
+            raise FaultModelError("timing_threshold_factor must be positive")
+        if not 0.0 < self.timing_leak_factor <= 1.0:
+            raise FaultModelError("timing_leak_factor must be in (0, 1]")
+        if self.timing_refractory_extra < 0:
+            raise FaultModelError("timing_refractory_extra must be >= 0")
+        if self.saturation_multiplier <= 0:
+            raise FaultModelError("saturation_multiplier must be positive")
+        if self.bitflip_bit is not None and not 0 <= self.bitflip_bit <= 7:
+            raise FaultModelError("bitflip_bit must be in [0, 7]")
+        for fraction in (self.neuron_sample_fraction, self.synapse_sample_fraction):
+            if not 0.0 < fraction <= 1.0:
+                raise FaultModelError("sample fractions must be in (0, 1]")

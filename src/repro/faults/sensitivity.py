@@ -1,0 +1,129 @@
+"""Parameter-sensitivity (reliability) analysis.
+
+Companion analysis in the spirit of the paper's fault-modeling references
+(reliability analysis of SNN accelerators): sweep the magnitude of a
+neuron-parameter perturbation and measure (a) how much accuracy degrades
+and (b) whether a given test stimulus detects it.  This answers the
+question "how large does a timing variation have to be before it matters
+— and does the test flag it before that point?"
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FaultModelError
+from repro.faults.injector import inject
+from repro.faults.model import FaultModelConfig, NeuronFault, NeuronFaultKind
+from repro.snn.network import SNN
+
+
+@dataclass
+class SensitivityPoint:
+    """One sweep point for one fault site."""
+
+    magnitude: float
+    accuracy_drop: float
+    detected: bool
+
+
+@dataclass
+class SensitivityCurve:
+    """Sweep results for one neuron fault site."""
+
+    fault: NeuronFault
+    points: List[SensitivityPoint]
+
+    def detection_threshold(self) -> Optional[float]:
+        """Smallest magnitude the test detects (None if never)."""
+        for point in self.points:
+            if point.detected:
+                return point.magnitude
+        return None
+
+    def criticality_threshold(self, drop: float = 0.0) -> Optional[float]:
+        """Smallest magnitude whose accuracy drop exceeds ``drop``."""
+        for point in self.points:
+            if point.accuracy_drop > drop:
+                return point.magnitude
+        return None
+
+    @property
+    def detected_before_critical(self) -> bool:
+        """True if the test flags the fault at a perturbation no more
+        severe than the one where it starts costing accuracy.
+
+        Sweeps are assumed ordered from mild to severe (the natural order
+        regardless of whether severity means a larger threshold factor or
+        a smaller leak factor), so the comparison is on sweep position.
+        """
+        detect_index = next(
+            (i for i, p in enumerate(self.points) if p.detected), None
+        )
+        critical_index = next(
+            (i for i, p in enumerate(self.points) if p.accuracy_drop > 0), None
+        )
+        if critical_index is None:
+            return True  # never matters; nothing to miss
+        return detect_index is not None and detect_index <= critical_index
+
+
+def _config_for(kind: NeuronFaultKind, magnitude: float) -> FaultModelConfig:
+    if kind is NeuronFaultKind.TIMING_THRESHOLD:
+        return FaultModelConfig(timing_threshold_factor=magnitude)
+    if kind is NeuronFaultKind.TIMING_LEAK:
+        return FaultModelConfig(timing_leak_factor=magnitude)
+    if kind is NeuronFaultKind.TIMING_REFRACTORY:
+        return FaultModelConfig(timing_refractory_extra=int(magnitude))
+    raise FaultModelError(f"sensitivity sweeps apply to timing faults, got {kind}")
+
+
+def sweep_timing_fault(
+    network: SNN,
+    fault: NeuronFault,
+    magnitudes: Sequence[float],
+    stimulus: np.ndarray,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+) -> SensitivityCurve:
+    """Sweep a timing fault's magnitude at one site.
+
+    Parameters
+    ----------
+    fault:
+        A timing-variation neuron fault (threshold / leak / refractory).
+    magnitudes:
+        Perturbation magnitudes in the fault kind's natural units
+        (threshold and leak: multiplicative factor; refractory: extra
+        steps).
+    stimulus:
+        The test stimulus ``(T, 1, *input_shape)`` whose detection power
+        is being evaluated.
+    inputs / labels:
+        Labelled samples for accuracy measurement.
+    """
+    if not fault.kind.is_timing:
+        raise FaultModelError(f"{fault.describe()} is not a timing fault")
+    labels = np.asarray(labels)
+    golden_test = network.run(stimulus)
+    golden_preds = network.predict(inputs)
+    nominal = float((golden_preds == labels).mean())
+
+    points: List[SensitivityPoint] = []
+    for magnitude in magnitudes:
+        config = _config_for(fault.kind, magnitude)
+        with inject(network, fault, config):
+            test_response = network.run(stimulus)
+            preds = network.predict(inputs)
+        points.append(
+            SensitivityPoint(
+                magnitude=float(magnitude),
+                accuracy_drop=nominal - float((preds == labels).mean()),
+                detected=bool(np.abs(test_response - golden_test).sum() > 0),
+            )
+        )
+    return SensitivityCurve(fault=fault, points=points)

@@ -1,0 +1,440 @@
+"""Fault-simulation campaigns.
+
+Two campaigns are provided, mirroring the paper's flow:
+
+- :meth:`FaultSimulator.classify` labels every fault *critical* or
+  *benign* by checking, for each fault, whether the top-1 prediction of any
+  dataset sample changes (paper §III).  This reproduces Table II and is the
+  expensive step the proposed test-generation algorithm avoids during
+  optimisation.
+- :meth:`FaultSimulator.detect` applies one test stimulus and marks a
+  fault detected when the output spike trains differ from the fault-free
+  response (Eq. 3); per-class spike-count differences are recorded for the
+  Fig. 9 reproduction.
+
+Both campaigns exploit the feedforward structure: the fault-free response
+of every module is cached once, and each faulty simulation restarts at the
+module containing the fault site, skipping all upstream work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import FaultModelError
+from repro.faults.injector import inject
+from repro.faults.model import (
+    FaultModelConfig,
+    NeuronFault,
+    NeuronFaultKind,
+    SynapseFault,
+)
+from repro.snn.network import SNN
+from repro.snn.neuron import MODE_DEAD, MODE_SATURATED
+
+Fault = Union[NeuronFault, SynapseFault]
+ProgressFn = Callable[[int, int], None]
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of applying one test stimulus against a fault list.
+
+    Arrays are aligned with ``faults``.
+    """
+
+    faults: List[Fault]
+    detected: np.ndarray  # bool (N_f,)
+    output_l1: np.ndarray  # float (N_f,): ||O_L - O_L(f)||_1 over time and classes
+    class_count_diff: np.ndarray  # float (N_f, classes): |spike-count delta| per class
+    wall_time: float
+
+    @property
+    def detected_count(self) -> int:
+        return int(self.detected.sum())
+
+    def detection_rate(self) -> float:
+        return float(self.detected.mean()) if len(self.faults) else 0.0
+
+
+@dataclass
+class ClassificationResult:
+    """Critical/benign labels (and accuracy impact) for a fault list."""
+
+    faults: List[Fault]
+    critical: np.ndarray  # bool (N_f,)
+    accuracy_drop: np.ndarray  # float (N_f,): nominal minus faulty accuracy
+    nominal_accuracy: float
+    wall_time: float
+
+    @property
+    def critical_count(self) -> int:
+        return int(self.critical.sum())
+
+    @property
+    def benign_count(self) -> int:
+        return int((~self.critical).sum())
+
+
+@dataclass
+class CoverageBreakdown:
+    """Fault coverage split by (critical|benign) × (neuron|synapse).
+
+    Reproduces the FC rows of Table III.  ``max_drop_undetected_*`` is the
+    Table III bottom row: the worst accuracy loss a test escape can cause.
+    """
+
+    fc_critical_neuron: float
+    fc_critical_synapse: float
+    fc_benign_neuron: float
+    fc_benign_synapse: float
+    fc_overall: float
+    counts: Dict[str, int]
+    max_drop_undetected_neuron: float
+    max_drop_undetected_synapse: float
+
+    def rows(self) -> List[tuple]:
+        """(label, value) pairs for table rendering."""
+        return [
+            ("FC Critical neuron faults", self.fc_critical_neuron),
+            ("FC Critical synapse faults", self.fc_critical_synapse),
+            ("FC Benign neuron faults", self.fc_benign_neuron),
+            ("FC Benign synapse faults", self.fc_benign_synapse),
+        ]
+
+
+def _rate(detected: np.ndarray, mask: np.ndarray) -> float:
+    """Detection rate over ``mask``; 1.0 for an empty class (nothing to miss)."""
+    total = int(mask.sum())
+    if total == 0:
+        return 1.0
+    return float(detected[mask].sum() / total)
+
+
+class FaultSimulator:
+    """Runs fault campaigns against one network.
+
+    Parameters
+    ----------
+    network:
+        The (trained) SNN under test.
+    config:
+        Fault-model magnitudes used at injection time.
+    neuron_batch:
+        Neuron faults are simulated in parallel along the batch axis (the
+        per-neuron parameter and mode arrays broadcast per batch row);
+        this sets how many faulty instances share one pass.  Synapse
+        faults mutate shared weights and stay sequential.
+    """
+
+    def __init__(
+        self,
+        network: SNN,
+        config: Optional[FaultModelConfig] = None,
+        neuron_batch: int = 16,
+    ) -> None:
+        self.network = network
+        self.config = config or FaultModelConfig()
+        if neuron_batch < 1:
+            raise FaultModelError(f"neuron_batch must be >= 1, got {neuron_batch}")
+        self.neuron_batch = neuron_batch
+
+    # ------------------------------------------------------------------
+    def _batched_neuron_run(
+        self,
+        module_index: int,
+        group: Sequence[NeuronFault],
+        base_seq: np.ndarray,
+    ) -> np.ndarray:
+        """Simulate ``len(group)`` neuron-faulty instances in one pass.
+
+        ``base_seq`` is the module's input sequence with S base batch rows
+        (1 for detection, the sample count for classification).  Returns
+        output spikes of shape ``(T, K, S, classes)``.
+        """
+        module = self.network.modules[module_index]
+        shape = module.neuron_shape
+        k = len(group)
+        s = base_seq.shape[1]
+        saved = (module.threshold, module.leak, module.refractory_steps, module.mode)
+        # Per-row parameter arrays: (K, 1, *shape) broadcast over samples,
+        # reshaped to (K*S, *shape) to match the tiled batch.
+        threshold = np.broadcast_to(saved[0], (k,) + shape).copy()
+        leak = np.broadcast_to(saved[1], (k,) + shape).copy()
+        refractory = np.broadcast_to(saved[2], (k,) + shape).copy()
+        mode = np.broadcast_to(saved[3], (k,) + shape).copy()
+        config = self.config
+        for row, fault in enumerate(group):
+            idx = (row,) + tuple(np.unravel_index(fault.neuron_index, shape))
+            kind = fault.kind
+            if kind is NeuronFaultKind.DEAD:
+                mode[idx] = MODE_DEAD
+            elif kind is NeuronFaultKind.SATURATED:
+                mode[idx] = MODE_SATURATED
+            elif kind is NeuronFaultKind.TIMING_THRESHOLD:
+                threshold[idx] *= config.timing_threshold_factor
+            elif kind is NeuronFaultKind.TIMING_LEAK:
+                leak[idx] *= config.timing_leak_factor
+            elif kind is NeuronFaultKind.TIMING_REFRACTORY:
+                refractory[idx] += config.timing_refractory_extra
+            else:  # pragma: no cover - enum is closed
+                raise FaultModelError(f"unhandled neuron fault kind {kind}")
+
+        def expand(arr: np.ndarray) -> np.ndarray:
+            return (
+                np.broadcast_to(arr[:, None], (k, s) + shape)
+                .reshape((k * s,) + shape)
+            )
+
+        # Fault-major batch layout: row (fault_k * S + sample_s).
+        tiled = np.tile(base_seq, (1, k) + (1,) * (base_seq.ndim - 2))
+        module.threshold = expand(threshold)
+        module.leak = expand(leak)
+        module.refractory_steps = expand(refractory)
+        module.mode = expand(mode)
+        try:
+            out = self.network.run_from(module_index, tiled)
+        finally:
+            module.threshold, module.leak, module.refractory_steps, module.mode = saved
+        steps = out.shape[0]
+        return out.reshape(steps, k, s, -1)
+
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        stimulus: np.ndarray,
+        faults: Sequence[Fault],
+        progress: Optional[ProgressFn] = None,
+    ) -> DetectionResult:
+        """Fault-simulate ``stimulus`` (shape (T, 1, *input_shape)) against
+        ``faults`` and report which are detected (Eq. 3)."""
+        if stimulus.ndim < 3 or stimulus.shape[1] != 1:
+            raise FaultModelError(
+                f"stimulus must be (T, 1, *input_shape), got {stimulus.shape}"
+            )
+        start = time.perf_counter()
+        golden_modules = self.network.run_modules(stimulus)
+        golden_out = golden_modules[-1].reshape(stimulus.shape[0], -1)  # (T, classes)
+        golden_counts = golden_out.sum(axis=0)
+
+        n_faults = len(faults)
+        detected = np.zeros(n_faults, dtype=bool)
+        output_l1 = np.zeros(n_faults)
+        class_diff = np.zeros((n_faults, golden_out.shape[1]))
+        done = 0
+
+        def tick(count: int) -> None:
+            nonlocal done
+            before = done
+            done += count
+            if progress is not None and done // 1000 > before // 1000:
+                progress(done, n_faults)
+
+        # Neuron faults: batched along the batch axis, grouped by module.
+        neuron_groups: Dict[int, List[int]] = {}
+        for idx, fault in enumerate(faults):
+            if fault.is_neuron:
+                neuron_groups.setdefault(fault.module_index, []).append(idx)
+        for module_index, indices in neuron_groups.items():
+            seq = stimulus if module_index == 0 else golden_modules[module_index - 1]
+            for chunk_start in range(0, len(indices), self.neuron_batch):
+                chunk = indices[chunk_start : chunk_start + self.neuron_batch]
+                out = self._batched_neuron_run(
+                    module_index, [faults[i] for i in chunk], seq
+                )[:, :, 0, :]  # (T, K, classes)
+                for row, idx in enumerate(chunk):
+                    diff = np.abs(out[:, row] - golden_out).sum()
+                    output_l1[idx] = diff
+                    detected[idx] = diff > 0
+                    class_diff[idx] = np.abs(out[:, row].sum(axis=0) - golden_counts)
+                tick(len(chunk))
+
+        # Synapse faults: shared weights, sequential injection.
+        for idx, fault in enumerate(faults):
+            if fault.is_neuron:
+                continue
+            with inject(self.network, fault, self.config) as module_index:
+                seq = stimulus if module_index == 0 else golden_modules[module_index - 1]
+                out = self.network.run_from(module_index, seq)[:, 0, :]
+            diff = np.abs(out - golden_out).sum()
+            output_l1[idx] = diff
+            detected[idx] = diff > 0
+            class_diff[idx] = np.abs(out.sum(axis=0) - golden_counts)
+            tick(1)
+        return DetectionResult(
+            faults=list(faults),
+            detected=detected,
+            output_l1=output_l1,
+            class_count_diff=class_diff,
+            wall_time=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        faults: Sequence[Fault],
+        progress: Optional[ProgressFn] = None,
+        chunk_size: Optional[int] = None,
+    ) -> ClassificationResult:
+        """Label each fault critical (flips any sample's top-1) or benign.
+
+        ``inputs`` is a batched sample tensor ``(T, S, *input_shape)``; all
+        S samples run through each faulty network in one batched pass.
+
+        With ``chunk_size`` set, samples are evaluated in chunks and the
+        per-fault loop exits as soon as one chunk shows a prediction flip
+        (the fault is then known critical).  Early-exited faults get
+        ``accuracy_drop = NaN``; use :meth:`accuracy_drops` to compute
+        exact drops for the (few) faults that need them.
+        """
+        labels = np.asarray(labels)
+        if inputs.ndim < 3 or inputs.shape[1] != labels.shape[0]:
+            raise FaultModelError(
+                f"inputs {inputs.shape} inconsistent with labels {labels.shape}"
+            )
+        start = time.perf_counter()
+        golden_modules = self.network.run_modules(inputs)
+        golden_counts = golden_modules[-1].reshape(
+            inputs.shape[0], inputs.shape[1], -1
+        ).sum(axis=0)
+        golden_preds = golden_counts.argmax(axis=1)
+        nominal_accuracy = float((golden_preds == labels).mean())
+
+        samples = labels.shape[0]
+        chunk = samples if chunk_size is None else max(1, int(chunk_size))
+        chunk_bounds = [(s, min(s + chunk, samples)) for s in range(0, samples, chunk)]
+
+        n_faults = len(faults)
+        critical = np.zeros(n_faults, dtype=bool)
+        accuracy_drop = np.zeros(n_faults)
+        done = 0
+
+        def tick(count: int) -> None:
+            nonlocal done
+            before = done
+            done += count
+            if progress is not None and done // 1000 > before // 1000:
+                progress(done, n_faults)
+
+        # Neuron faults: batched (K faults x S samples per pass).
+        k_max = max(1, min(self.neuron_batch, 192 // max(samples, 1)))
+        neuron_groups: Dict[int, List[int]] = {}
+        for idx, fault in enumerate(faults):
+            if fault.is_neuron:
+                neuron_groups.setdefault(fault.module_index, []).append(idx)
+        for module_index, indices in neuron_groups.items():
+            seq = inputs if module_index == 0 else golden_modules[module_index - 1]
+            for chunk_start in range(0, len(indices), k_max):
+                chunk = indices[chunk_start : chunk_start + k_max]
+                out = self._batched_neuron_run(
+                    module_index, [faults[i] for i in chunk], seq
+                )  # (T, K, S, classes)
+                preds = out.sum(axis=0).argmax(axis=2)  # (K, S)
+                for row, idx in enumerate(chunk):
+                    critical[idx] = bool(np.any(preds[row] != golden_preds))
+                    accuracy_drop[idx] = nominal_accuracy - float(
+                        (preds[row] == labels).mean()
+                    )
+                tick(len(chunk))
+
+        # Synapse faults: sequential, with optional early-exit chunking.
+        for idx, fault in enumerate(faults):
+            if fault.is_neuron:
+                continue
+            mistakes = 0
+            evaluated_all = True
+            with inject(self.network, fault, self.config) as module_index:
+                for lo, hi in chunk_bounds:
+                    if module_index == 0:
+                        seq = inputs[:, lo:hi]
+                    else:
+                        seq = golden_modules[module_index - 1][:, lo:hi]
+                    out = self.network.run_from(module_index, seq)
+                    preds = out.sum(axis=0).argmax(axis=1)
+                    if np.any(preds != golden_preds[lo:hi]):
+                        critical[idx] = True
+                        if chunk_size is not None and hi < samples:
+                            evaluated_all = False
+                            break
+                    mistakes += int((preds != labels[lo:hi]).sum())
+            if evaluated_all:
+                accuracy_drop[idx] = nominal_accuracy - (samples - mistakes) / samples
+            else:
+                accuracy_drop[idx] = np.nan
+            tick(1)
+        return ClassificationResult(
+            faults=list(faults),
+            critical=critical,
+            accuracy_drop=accuracy_drop,
+            nominal_accuracy=nominal_accuracy,
+            wall_time=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def accuracy_drops(
+        self, inputs: np.ndarray, labels: np.ndarray, faults: Sequence[Fault]
+    ) -> np.ndarray:
+        """Exact accuracy drop (nominal minus faulty) for each fault.
+
+        Used after a chunked :meth:`classify` to fill in the drops of the
+        undetected critical faults (the Table III bottom row).
+        """
+        labels = np.asarray(labels)
+        golden_modules = self.network.run_modules(inputs)
+        golden_counts = golden_modules[-1].reshape(
+            inputs.shape[0], inputs.shape[1], -1
+        ).sum(axis=0)
+        nominal_accuracy = float((golden_counts.argmax(axis=1) == labels).mean())
+        drops = np.zeros(len(faults))
+        for idx, fault in enumerate(faults):
+            with inject(self.network, fault, self.config) as module_index:
+                seq = inputs if module_index == 0 else golden_modules[module_index - 1]
+                out = self.network.run_from(module_index, seq)
+            preds = out.sum(axis=0).argmax(axis=1)
+            drops[idx] = nominal_accuracy - float((preds == labels).mean())
+        return drops
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def coverage(
+        detection: DetectionResult,
+        classification: ClassificationResult,
+    ) -> CoverageBreakdown:
+        """Combine a detection campaign with fault labels into the Table III
+        coverage breakdown."""
+        if len(detection.faults) != len(classification.faults):
+            raise FaultModelError("detection and classification fault lists differ")
+        detected = detection.detected
+        critical = classification.critical
+        is_neuron = np.array([f.is_neuron for f in detection.faults], dtype=bool)
+
+        undetected_critical = ~detected & critical
+        drops = classification.accuracy_drop
+
+        def max_drop(mask: np.ndarray) -> float:
+            selected = drops[mask]
+            selected = selected[~np.isnan(selected)]  # early-exited faults
+            return float(selected.max()) if selected.size else 0.0
+
+        counts = {
+            "critical_neuron": int((critical & is_neuron).sum()),
+            "benign_neuron": int((~critical & is_neuron).sum()),
+            "critical_synapse": int((critical & ~is_neuron).sum()),
+            "benign_synapse": int((~critical & ~is_neuron).sum()),
+        }
+        return CoverageBreakdown(
+            fc_critical_neuron=_rate(detected, critical & is_neuron),
+            fc_critical_synapse=_rate(detected, critical & ~is_neuron),
+            fc_benign_neuron=_rate(detected, ~critical & is_neuron),
+            fc_benign_synapse=_rate(detected, ~critical & ~is_neuron),
+            fc_overall=_rate(detected, np.ones_like(detected, dtype=bool)),
+            counts=counts,
+            max_drop_undetected_neuron=max_drop(undetected_critical & is_neuron),
+            max_drop_undetected_synapse=max_drop(undetected_critical & ~is_neuron),
+        )

@@ -1,0 +1,63 @@
+"""Discrete-time spiking neural network simulator.
+
+The simulator implements the LIF neuron of the paper's Fig. 1 — leaky
+integration, threshold firing with reset, and a refractory period — in two
+execution modes that share the same parameters and semantics:
+
+- a *tensor mode* that records the autograd tape, used for training and for
+  the paper's input optimisation (gradients flow through the spike function
+  via surrogate derivatives); and
+- a *numpy fast path* used for fault simulation, which supports behavioural
+  neuron fault overrides (dead / saturated) and per-module execution so a
+  fault-simulation campaign can skip unaffected upstream layers.
+"""
+
+from repro.snn.neuron import LIFParameters, LIFState
+from repro.snn.layers import (
+    ConvLIF,
+    DenseLIF,
+    Flatten,
+    Module,
+    RecurrentLIF,
+    SpikingModule,
+    SumPool,
+)
+from repro.snn.network import SNN, ForwardRecord
+from repro.snn.encoding import poisson_encode, rate_encode, ttfs_encode
+from repro.snn.quantize import QuantizationReport, is_quantized, quantize_network
+from repro.snn.builder import (
+    ConvSpec,
+    DenseSpec,
+    FlattenSpec,
+    NetworkSpec,
+    PoolSpec,
+    RecurrentSpec,
+    build_network,
+)
+
+__all__ = [
+    "LIFParameters",
+    "LIFState",
+    "Module",
+    "SpikingModule",
+    "DenseLIF",
+    "ConvLIF",
+    "RecurrentLIF",
+    "SumPool",
+    "Flatten",
+    "SNN",
+    "ForwardRecord",
+    "rate_encode",
+    "poisson_encode",
+    "ttfs_encode",
+    "quantize_network",
+    "is_quantized",
+    "QuantizationReport",
+    "NetworkSpec",
+    "ConvSpec",
+    "DenseSpec",
+    "RecurrentSpec",
+    "PoolSpec",
+    "FlattenSpec",
+    "build_network",
+]

@@ -1,0 +1,139 @@
+"""Declarative network construction.
+
+Benchmark architectures (paper Figs. 4–6) are described as a
+:class:`NetworkSpec` — a list of layer specs plus an input shape — and
+materialised by :func:`build_network`.  Keeping architecture as data makes
+the experiment definitions in :mod:`repro.experiments` self-documenting
+and lets tests build many variants cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.snn.layers import ConvLIF, DenseLIF, Flatten, Module, RecurrentLIF, SumPool
+from repro.snn.network import SNN
+from repro.snn.neuron import LIFParameters
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """A convolutional LIF layer."""
+
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    weight_scale: float = 3.0
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """A sum-pooling layer."""
+
+    window: int
+
+
+@dataclass(frozen=True)
+class FlattenSpec:
+    """Conv-to-dense transition."""
+
+
+@dataclass(frozen=True)
+class DenseSpec:
+    """A fully-connected LIF layer."""
+
+    out_features: int
+    weight_scale: float = 3.0
+
+
+@dataclass(frozen=True)
+class RecurrentSpec:
+    """A recurrently-connected LIF layer."""
+
+    out_features: int
+    weight_scale: float = 3.0
+    recurrent_scale: float = 0.5
+
+
+LayerSpec = Union[ConvSpec, PoolSpec, FlattenSpec, DenseSpec, RecurrentSpec]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Architecture description: input shape + ordered layer specs."""
+
+    name: str
+    input_shape: Tuple[int, ...]
+    layers: Tuple[LayerSpec, ...]
+    lif: LIFParameters = field(default_factory=LIFParameters)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ConfigurationError("network spec needs at least one layer")
+
+
+def build_network(spec: NetworkSpec, rng: np.random.Generator) -> SNN:
+    """Materialise a :class:`~repro.snn.network.SNN` from a spec.
+
+    Weight initialisation draws from ``rng``, so the same (spec, seed) pair
+    always produces the same network.
+    """
+    modules: List[Module] = []
+    shape = spec.input_shape
+    for layer in spec.layers:
+        if isinstance(layer, ConvSpec):
+            if len(shape) != 3:
+                raise ConfigurationError(
+                    f"conv layer needs (C, H, W) input, current shape is {shape}"
+                )
+            module = ConvLIF(
+                in_channels=shape[0],
+                out_channels=layer.out_channels,
+                input_hw=(shape[1], shape[2]),
+                kernel=layer.kernel,
+                stride=layer.stride,
+                padding=layer.padding,
+                params=spec.lif,
+                rng=rng,
+                weight_scale=layer.weight_scale,
+            )
+        elif isinstance(layer, PoolSpec):
+            module = SumPool(layer.window)
+        elif isinstance(layer, FlattenSpec):
+            module = Flatten()
+        elif isinstance(layer, DenseSpec):
+            if len(shape) != 1:
+                raise ConfigurationError(
+                    f"dense layer needs flat input, current shape is {shape}; "
+                    "insert FlattenSpec first"
+                )
+            module = DenseLIF(
+                in_features=shape[0],
+                out_features=layer.out_features,
+                params=spec.lif,
+                rng=rng,
+                weight_scale=layer.weight_scale,
+            )
+        elif isinstance(layer, RecurrentSpec):
+            if len(shape) != 1:
+                raise ConfigurationError(
+                    f"recurrent layer needs flat input, current shape is {shape}"
+                )
+            module = RecurrentLIF(
+                in_features=shape[0],
+                out_features=layer.out_features,
+                params=spec.lif,
+                rng=rng,
+                weight_scale=layer.weight_scale,
+                recurrent_scale=layer.recurrent_scale,
+            )
+        else:
+            raise ConfigurationError(f"unknown layer spec {layer!r}")
+        shape = module.output_shape(shape)
+        modules.append(module)
+    return SNN(modules, spec.input_shape, name=spec.name)

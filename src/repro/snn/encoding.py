@@ -1,0 +1,83 @@
+"""Spike encoders: turn real-valued intensities into spike trains.
+
+The test-generation algorithm itself is coding-scheme agnostic (Section I),
+but the datasets and baselines need encoders:
+
+- :func:`rate_encode` — deterministic rate coding: intensity sets the
+  fraction of time steps that carry a spike, evenly spread.
+- :func:`poisson_encode` — stochastic rate coding (Bernoulli per step).
+- :func:`ttfs_encode` — time-to-first-spike coding: higher intensity fires
+  earlier, one spike per channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _check_intensity(intensity: np.ndarray) -> np.ndarray:
+    intensity = np.asarray(intensity, dtype=np.float64)
+    if intensity.min() < 0.0 or intensity.max() > 1.0:
+        raise ConfigurationError(
+            f"intensities must lie in [0, 1], got range "
+            f"[{intensity.min():.3f}, {intensity.max():.3f}]"
+        )
+    return intensity
+
+
+def rate_encode(intensity: np.ndarray, steps: int) -> np.ndarray:
+    """Deterministic rate coding.
+
+    A channel with intensity ``p`` spikes on ``round(p * steps)`` steps,
+    evenly spaced across the window.
+
+    Returns an array of shape ``(steps, *intensity.shape)`` with values in
+    {0, 1}.
+    """
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps}")
+    intensity = _check_intensity(intensity)
+    counts = np.round(intensity * steps).astype(np.int64)
+    out = np.zeros((steps,) + intensity.shape)
+    # Spike at evenly spaced phases: t_k = floor((k + 0.5) * steps / count).
+    flat_counts = counts.reshape(-1)
+    flat_out = out.reshape(steps, -1)
+    for channel, count in enumerate(flat_counts):
+        if count <= 0:
+            continue
+        times = np.floor((np.arange(count) + 0.5) * steps / count).astype(np.int64)
+        flat_out[times, channel] = 1.0
+    return out
+
+
+def poisson_encode(
+    intensity: np.ndarray, steps: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Stochastic rate coding: each step spikes with probability equal to
+    the channel intensity (independent Bernoulli draws)."""
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps}")
+    intensity = _check_intensity(intensity)
+    return (rng.random((steps,) + intensity.shape) < intensity).astype(np.float64)
+
+
+def ttfs_encode(intensity: np.ndarray, steps: int) -> np.ndarray:
+    """Time-to-first-spike coding.
+
+    Each channel emits exactly one spike at time
+    ``round((1 - intensity) * (steps - 1))``; zero-intensity channels stay
+    silent.
+    """
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps}")
+    intensity = _check_intensity(intensity)
+    out = np.zeros((steps,) + intensity.shape)
+    times = np.round((1.0 - intensity) * (steps - 1)).astype(np.int64)
+    flat_times = times.reshape(-1)
+    flat_intensity = intensity.reshape(-1)
+    flat_out = out.reshape(steps, -1)
+    active = flat_intensity > 0.0
+    flat_out[flat_times[active], np.nonzero(active)[0]] = 1.0
+    return out

@@ -1,0 +1,376 @@
+"""Network modules: spiking layers, pooling, and flattening.
+
+Every module transforms a spike sequence — shape ``(T, B, *feature_shape)``
+— into another sequence.  Spiking modules (Dense/Conv/Recurrent LIF) own
+
+- a weight :class:`~repro.autograd.tensor.Tensor` (the single source of
+  truth shared by both execution paths),
+- per-neuron parameter arrays (threshold / leak / refractory) so that
+  timing-variation neuron faults can perturb a single neuron, and
+- a per-neuron behavioural ``mode`` array for dead / saturated fault
+  overrides on the fast path.
+
+The synapse-fault site model: each *weight entry* is one fault site.  For
+dense and recurrent layers that is exactly one physical synapse; for
+convolutional layers a kernel entry is shared across spatial positions,
+which models crossbar-style accelerators where the kernel weight is stored
+once (documented in DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError, ShapeError
+from repro.snn.neuron import LIFParameters, LIFState, lif_step_numpy, lif_step_tensor
+
+
+class Module:
+    """Base class for all network modules."""
+
+    #: True for modules that contain LIF neurons (fault sites).
+    has_neurons: bool = False
+    #: Human-readable layer name, set by the network on registration.
+    name: str = ""
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Feature shape produced for a given input feature shape."""
+        raise NotImplementedError
+
+    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
+        """Fast path: map a (T, B, ...) spike array to the output sequence."""
+        raise NotImplementedError
+
+    def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
+        """Autograd path: map a list over time of (B, ...) tensors."""
+        raise NotImplementedError
+
+    def parameters(self) -> List[Tensor]:
+        """Trainable tensors of this module."""
+        return []
+
+    @property
+    def neuron_count(self) -> int:
+        return 0
+
+    @property
+    def synapse_count(self) -> int:
+        return 0
+
+
+class SpikingModule(Module):
+    """Shared machinery for modules containing LIF neurons."""
+
+    has_neurons = True
+
+    def __init__(self, neuron_shape: Tuple[int, ...], params: LIFParameters) -> None:
+        self.params = params
+        # Mutable copies: the test generator may widen the surrogate for
+        # its input optimisation (TestGenConfig.surrogate_slope).
+        self.surrogate = params.surrogate
+        self.surrogate_slope = params.surrogate_slope
+        self.neuron_shape = tuple(neuron_shape)
+        self.threshold = np.full(self.neuron_shape, params.threshold)
+        self.leak = np.full(self.neuron_shape, params.leak)
+        self.refractory_steps = np.full(self.neuron_shape, params.refractory_steps, dtype=np.int64)
+        self.mode = np.zeros(self.neuron_shape, dtype=np.int8)
+
+    @property
+    def neuron_count(self) -> int:
+        return int(np.prod(self.neuron_shape))
+
+    def _state_numpy(self, batch: int) -> LIFState:
+        return LIFState.zeros_numpy((batch,) + self.neuron_shape)
+
+    def _state_tensor(self, batch: int) -> LIFState:
+        return LIFState.zeros_tensor((batch,) + self.neuron_shape)
+
+    def _lif_numpy(self, current: np.ndarray, state: LIFState) -> np.ndarray:
+        return lif_step_numpy(
+            current,
+            state,
+            self.threshold,
+            self.leak,
+            self.refractory_steps,
+            self.mode,
+            self.params.reset_mode,
+        )
+
+    def _lif_tensor(self, current: Tensor, state: LIFState) -> Tensor:
+        return lif_step_tensor(
+            current,
+            state,
+            self.threshold,
+            self.leak,
+            self.refractory_steps,
+            self.surrogate,
+            self.surrogate_slope,
+            self.params.reset_mode,
+        )
+
+
+class DenseLIF(SpikingModule):
+    """Fully-connected layer of LIF neurons.
+
+    Weight shape is ``(in_features, out_features)``; input sequences have
+    feature shape ``(in_features,)``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        params: LIFParameters,
+        rng: Optional[np.random.Generator] = None,
+        weight_scale: float = 3.0,
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ConfigurationError("dense layer sizes must be >= 1")
+        super().__init__((out_features,), params)
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng(0)
+        init = rng.normal(0.0, weight_scale / np.sqrt(in_features), (in_features, out_features))
+        self.weight = Tensor(init, requires_grad=True)
+
+    @property
+    def synapse_count(self) -> int:
+        return self.in_features * self.out_features
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if input_shape != (self.in_features,):
+            raise ShapeError(
+                f"{self.name or 'DenseLIF'}: expected input shape ({self.in_features},), "
+                f"got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
+        steps, batch = seq.shape[:2]
+        state = self._state_numpy(batch)
+        weight = self.weight.data
+        out = np.empty((steps, batch, self.out_features))
+        for t in range(steps):
+            out[t] = self._lif_numpy(seq[t] @ weight, state)
+        return out
+
+    def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
+        batch = seq[0].shape[0]
+        state = self._state_tensor(batch)
+        return [self._lif_tensor(x_t @ self.weight, state) for x_t in seq]
+
+    def parameters(self) -> List[Tensor]:
+        return [self.weight]
+
+
+class RecurrentLIF(SpikingModule):
+    """Recurrently-connected layer of LIF neurons.
+
+    The layer's own spikes from the previous time step are fed back through
+    a recurrent weight matrix, as in the SHD benchmark architecture.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        params: LIFParameters,
+        rng: Optional[np.random.Generator] = None,
+        weight_scale: float = 3.0,
+        recurrent_scale: float = 0.5,
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ConfigurationError("recurrent layer sizes must be >= 1")
+        super().__init__((out_features,), params)
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng(0)
+        self.weight = Tensor(
+            rng.normal(0.0, weight_scale / np.sqrt(in_features), (in_features, out_features)),
+            requires_grad=True,
+        )
+        self.recurrent_weight = Tensor(
+            rng.normal(0.0, recurrent_scale / np.sqrt(out_features), (out_features, out_features)),
+            requires_grad=True,
+        )
+
+    @property
+    def synapse_count(self) -> int:
+        return self.in_features * self.out_features + self.out_features ** 2
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if input_shape != (self.in_features,):
+            raise ShapeError(
+                f"{self.name or 'RecurrentLIF'}: expected input shape "
+                f"({self.in_features},), got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
+        steps, batch = seq.shape[:2]
+        state = self._state_numpy(batch)
+        w_in, w_rec = self.weight.data, self.recurrent_weight.data
+        out = np.empty((steps, batch, self.out_features))
+        previous = np.zeros((batch, self.out_features))
+        for t in range(steps):
+            current = seq[t] @ w_in + previous @ w_rec
+            previous = self._lif_numpy(current, state)
+            out[t] = previous
+        return out
+
+    def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
+        batch = seq[0].shape[0]
+        state = self._state_tensor(batch)
+        previous = Tensor(np.zeros((batch, self.out_features)))
+        outputs: List[Tensor] = []
+        for x_t in seq:
+            current = x_t @ self.weight + previous @ self.recurrent_weight
+            previous = self._lif_tensor(current, state)
+            outputs.append(previous)
+        return outputs
+
+    def parameters(self) -> List[Tensor]:
+        return [self.weight, self.recurrent_weight]
+
+
+class ConvLIF(SpikingModule):
+    """2-D convolutional layer of LIF neurons.
+
+    The neuron grid is the convolution output ``(out_channels, H', W')``
+    computed from the declared ``input_hw``; weights are shared across
+    positions (one fault site per kernel entry).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        input_hw: Tuple[int, int],
+        kernel: int,
+        params: LIFParameters,
+        stride: int = 1,
+        padding: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        weight_scale: float = 3.0,
+    ) -> None:
+        if kernel < 1 or stride < 1 or padding < 0:
+            raise ConfigurationError("invalid conv geometry")
+        height, width = input_hw
+        out_h = (height + 2 * padding - kernel) // stride + 1
+        out_w = (width + 2 * padding - kernel) // stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ConfigurationError(
+                f"conv output empty for input {input_hw}, kernel {kernel}, stride {stride}"
+            )
+        super().__init__((out_channels, out_h, out_w), params)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.input_hw = (height, width)
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        self.weight = Tensor(
+            rng.normal(0.0, weight_scale / np.sqrt(fan_in), (out_channels, in_channels, kernel, kernel)),
+            requires_grad=True,
+        )
+        self._col_indices = None
+
+    @property
+    def synapse_count(self) -> int:
+        return int(self.weight.size)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        expected = (self.in_channels,) + self.input_hw
+        if input_shape != expected:
+            raise ShapeError(
+                f"{self.name or 'ConvLIF'}: expected input shape {expected}, got {input_shape}"
+            )
+        return self.neuron_shape
+
+    def _conv_numpy(self, x: np.ndarray) -> np.ndarray:
+        """Raw-numpy convolution with cached im2col indices (hot path)."""
+        if self._col_indices is None:
+            _, out_h, out_w = self.neuron_shape
+            self._col_indices = F._im2col_indices(
+                self.in_channels, self.kernel, self.kernel, out_h, out_w, self.stride
+            )
+        k, i, j = self._col_indices
+        pad = self.padding
+        x_pad = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
+        cols = x_pad[:, k, i, j]
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        return np.einsum("fk,bkl->bfl", w_mat, cols).reshape((x.shape[0],) + self.neuron_shape)
+
+    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
+        steps, batch = seq.shape[:2]
+        state = self._state_numpy(batch)
+        out = np.empty((steps, batch) + self.neuron_shape)
+        for t in range(steps):
+            out[t] = self._lif_numpy(self._conv_numpy(seq[t]), state)
+        return out
+
+    def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
+        batch = seq[0].shape[0]
+        state = self._state_tensor(batch)
+        return [
+            self._lif_tensor(
+                F.conv2d(x_t, self.weight, stride=self.stride, padding=self.padding), state
+            )
+            for x_t in seq
+        ]
+
+    def parameters(self) -> List[Tensor]:
+        return [self.weight]
+
+
+class SumPool(Module):
+    """Non-overlapping sum pooling: merges spike counts into the next layer.
+
+    The pool has no neurons and no weights — it models fan-in wiring where
+    a block of presynaptic axons converges onto the downstream synapse.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ConfigurationError(f"pool window must be >= 1, got {window}")
+        self.window = window
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ShapeError(f"SumPool expects (C, H, W) input, got {input_shape}")
+        channels, height, width = input_shape
+        if height % self.window or width % self.window:
+            raise ShapeError(
+                f"pool window {self.window} does not divide spatial dims {height}x{width}"
+            )
+        return (channels, height // self.window, width // self.window)
+
+    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
+        steps, batch, channels, height, width = seq.shape
+        window = self.window
+        return seq.reshape(
+            steps, batch, channels, height // window, window, width // window, window
+        ).sum(axis=(4, 6))
+
+    def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
+        return [F.sum_pool2d(x_t, self.window) for x_t in seq]
+
+
+class Flatten(Module):
+    """Reshape (C, H, W) features to a flat vector between conv and dense."""
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
+        steps, batch = seq.shape[:2]
+        return seq.reshape(steps, batch, -1)
+
+    def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
+        return [x_t.reshape(x_t.shape[0], -1) for x_t in seq]

@@ -1,0 +1,241 @@
+"""The SNN container: an ordered stack of modules with two execution paths.
+
+Terminology follows Section IV-A of the paper: the network has L spiking
+layers; ``O^{l}`` is the spike-train record of layer ``l`` and ``O^{L}``
+the output layer's record.  The container also exposes the module-level
+machinery needed by the fault-simulation fast path: per-module execution
+(:meth:`SNN.run_modules`) and resumption from an intermediate module
+(:meth:`SNN.run_from`), which lets a campaign skip every module upstream of
+the fault site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, stack
+from repro.errors import ConfigurationError, ShapeError
+from repro.snn.layers import Module, SpikingModule
+
+
+@dataclass
+class ForwardRecord:
+    """Spike recordings from an autograd-mode forward pass.
+
+    Attributes
+    ----------
+    layer_spikes:
+        One entry per *spiking* module, in network order; each entry is a
+        list over time of ``(B, *neuron_shape)`` tensors.
+    layer_names:
+        Names of the spiking modules, aligned with ``layer_spikes``.
+    """
+
+    layer_spikes: List[List[Tensor]]
+    layer_names: List[str]
+
+    @property
+    def output(self) -> List[Tensor]:
+        """Spike trains of the output layer (list over time)."""
+        return self.layer_spikes[-1]
+
+    def stacked(self, layer: int) -> Tensor:
+        """Stack layer ``layer``'s spike trains into a (T, B, ...) tensor."""
+        return stack(self.layer_spikes[layer], axis=0)
+
+    def stacked_output(self) -> Tensor:
+        return self.stacked(len(self.layer_spikes) - 1)
+
+
+class SNN:
+    """A feedforward (optionally recurrent-layer) spiking neural network.
+
+    Parameters
+    ----------
+    modules:
+        Ordered modules; shapes are validated at construction.
+    input_shape:
+        Feature shape of the input spike tensor, e.g. ``(2, 16, 16)`` for a
+        two-polarity DVS input or ``(128,)`` for audio channels.
+    name:
+        Benchmark name used in reports.
+    """
+
+    def __init__(self, modules: Sequence[Module], input_shape: Tuple[int, ...], name: str = "snn") -> None:
+        if not modules:
+            raise ConfigurationError("network needs at least one module")
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        self.modules: List[Module] = list(modules)
+        shape = self.input_shape
+        for idx, module in enumerate(self.modules):
+            module.name = f"{idx}:{type(module).__name__}"
+            shape = module.output_shape(shape)  # raises ShapeError on mismatch
+        self.output_shape = shape
+        if not self.modules[-1].has_neurons:
+            raise ConfigurationError("the last module must be a spiking layer")
+        self.spiking_indices: List[int] = [
+            i for i, m in enumerate(self.modules) if m.has_neurons
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def spiking_modules(self) -> List[SpikingModule]:
+        return [self.modules[i] for i in self.spiking_indices]
+
+    @property
+    def num_layers(self) -> int:
+        """Number of spiking layers (the paper's L)."""
+        return len(self.spiking_indices)
+
+    @property
+    def num_classes(self) -> int:
+        return int(np.prod(self.modules[-1].neuron_shape))
+
+    @property
+    def neuron_count(self) -> int:
+        return sum(m.neuron_count for m in self.modules)
+
+    @property
+    def synapse_count(self) -> int:
+        return sum(m.synapse_count for m in self.modules)
+
+    def parameters(self) -> List[Tensor]:
+        params: List[Tensor] = []
+        for module in self.modules:
+            params.extend(module.parameters())
+        return params
+
+    def describe(self) -> str:
+        """One line per module: name, neuron and synapse counts."""
+        lines = [f"SNN '{self.name}': input {self.input_shape}"]
+        for module in self.modules:
+            lines.append(
+                f"  {module.name:<24} neurons={module.neuron_count:<7} "
+                f"synapses={module.synapse_count}"
+            )
+        lines.append(
+            f"  total neurons={self.neuron_count}, synapses={self.synapse_count}"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Autograd path
+    # ------------------------------------------------------------------
+    def forward(self, seq: List[Tensor]) -> ForwardRecord:
+        """Run in autograd mode and record every spiking layer.
+
+        Parameters
+        ----------
+        seq:
+            List over time of input tensors shaped ``(B, *input_shape)``.
+        """
+        self._check_feature_shape(tuple(seq[0].shape[1:]))
+        records: List[List[Tensor]] = []
+        names: List[str] = []
+        current = seq
+        for module in self.modules:
+            current = module.forward_sequence(current)
+            if module.has_neurons:
+                records.append(current)
+                names.append(module.name)
+        return ForwardRecord(layer_spikes=records, layer_names=names)
+
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+    def run(self, seq: np.ndarray) -> np.ndarray:
+        """Fast inference: input ``(T, B, *input_shape)`` → output spikes
+        ``(T, B, num_classes)`` (flattened class axis)."""
+        self._check_feature_shape(tuple(seq.shape[2:]))
+        current = seq
+        for module in self.modules:
+            current = module.run_sequence_numpy(current)
+        return current.reshape(current.shape[0], current.shape[1], -1)
+
+    def run_modules(self, seq: np.ndarray) -> List[np.ndarray]:
+        """Fast inference returning every module's output sequence.
+
+        Used to build the golden per-module cache that lets fault
+        simulation start at the fault site's module.
+        """
+        self._check_feature_shape(tuple(seq.shape[2:]))
+        outputs: List[np.ndarray] = []
+        current = seq
+        for module in self.modules:
+            current = module.run_sequence_numpy(current)
+            outputs.append(current)
+        return outputs
+
+    def run_from(self, module_index: int, seq: np.ndarray) -> np.ndarray:
+        """Resume fast inference at ``module_index`` given that module's
+        *input* sequence; returns flattened output spikes."""
+        if not 0 <= module_index < len(self.modules):
+            raise ConfigurationError(
+                f"module_index {module_index} out of range [0, {len(self.modules)})"
+            )
+        current = seq
+        for module in self.modules[module_index:]:
+            current = module.run_sequence_numpy(current)
+        return current.reshape(current.shape[0], current.shape[1], -1)
+
+    def run_spiking_layers(self, seq: np.ndarray) -> List[np.ndarray]:
+        """Fast inference returning each spiking layer's (T, B, N) record."""
+        outputs = self.run_modules(seq)
+        records = []
+        for idx in self.spiking_indices:
+            out = outputs[idx]
+            records.append(out.reshape(out.shape[0], out.shape[1], -1))
+        return records
+
+    def predict(self, seq: np.ndarray) -> np.ndarray:
+        """Top-1 prediction per batch element: argmax of output spike counts."""
+        counts = self.run(seq).sum(axis=0)  # (B, classes)
+        return counts.argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """All trainable weights keyed by module name."""
+        state: Dict[str, np.ndarray] = {}
+        for module in self.modules:
+            for pidx, param in enumerate(module.parameters()):
+                state[f"{module.name}.param{pidx}"] = param.data.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load weights saved by :meth:`state_dict`; shapes must match."""
+        for module in self.modules:
+            for pidx, param in enumerate(module.parameters()):
+                key = f"{module.name}.param{pidx}"
+                if key not in state:
+                    raise ConfigurationError(f"missing parameter '{key}' in state dict")
+                value = np.asarray(state[key])
+                if value.shape != param.data.shape:
+                    raise ShapeError(
+                        f"parameter '{key}': shape {value.shape} != {param.data.shape}"
+                    )
+                param.data[...] = value
+
+    def save(self, path: str) -> None:
+        """Persist weights to an ``.npz`` file."""
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        """Load weights from an ``.npz`` file produced by :meth:`save`."""
+        with np.load(path) as data:
+            self.load_state_dict({k: data[k] for k in data.files})
+
+    # ------------------------------------------------------------------
+    def _check_feature_shape(self, shape: Tuple[int, ...]) -> None:
+        if shape != self.input_shape:
+            raise ShapeError(
+                f"network '{self.name}' expects input feature shape "
+                f"{self.input_shape}, got {shape}"
+            )

@@ -1,0 +1,191 @@
+"""Leaky Integrate-and-Fire neuron dynamics (paper Fig. 1).
+
+The neuron integrates weighted input spikes into a membrane potential that
+leaks over time, fires when the potential crosses a threshold, resets on
+firing, and then ignores input for a refractory period.
+
+Two implementations of one time step are provided:
+
+- :func:`lif_step_tensor` — autograd-aware, used during training and input
+  optimisation; the firing nonlinearity uses a surrogate gradient.
+- :func:`lif_step_numpy` — plain numpy, used by the fault-simulation fast
+  path; supports behavioural overrides for dead and saturated neurons.
+
+Both implement exactly the same update:
+
+    active  = (refractory counter == 0)
+    u[t]    = leak * u[t-1] * (1 - s[t-1]) + current[t] * active
+    s[t]    = H(u[t] - threshold) * active
+    r[t]    = refractory_steps if s[t] else max(r[t-1] - 1, 0)
+
+with reset-to-zero on firing.  Equality of the two paths is pinned by
+tests/snn/test_path_equivalence.py.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+
+#: Values of the per-neuron behavioural mode array.
+MODE_NOMINAL = 0
+MODE_DEAD = 1
+MODE_SATURATED = 2
+
+
+@dataclass(frozen=True)
+class LIFParameters:
+    """Scalar defaults for a layer's LIF neurons.
+
+    Layers expand these into per-neuron arrays so fault injection can
+    perturb an individual neuron's parameters (timing-variation faults).
+
+    Attributes
+    ----------
+    threshold:
+        Firing threshold of the membrane potential.
+    leak:
+        Multiplicative decay of the potential per time step, in (0, 1].
+        1.0 disables the leak (pure integrate-and-fire).
+    refractory_steps:
+        Number of time steps after a spike during which the neuron neither
+        integrates input nor fires.
+    surrogate:
+        Name of the surrogate gradient for the firing nonlinearity.
+    surrogate_slope:
+        Sharpness of the surrogate derivative around the threshold.
+    reset_mode:
+        What happens to the membrane potential on firing: ``"zero"``
+        (hard reset, the paper's Fig. 1 behaviour) or ``"subtract"``
+        (soft reset: the threshold is subtracted, preserving residual
+        charge — common in digital accumulator implementations).
+    """
+
+    threshold: float = 1.0
+    leak: float = 0.9
+    refractory_steps: int = 1
+    surrogate: str = "fast_sigmoid"
+    surrogate_slope: float = 5.0
+    reset_mode: str = "zero"
+
+    def __post_init__(self) -> None:
+        if self.reset_mode not in ("zero", "subtract"):
+            raise ConfigurationError(
+                f"reset_mode must be 'zero' or 'subtract', got {self.reset_mode!r}"
+            )
+        if self.threshold <= 0.0:
+            raise ConfigurationError(f"threshold must be > 0, got {self.threshold}")
+        if not 0.0 < self.leak <= 1.0:
+            raise ConfigurationError(f"leak must be in (0, 1], got {self.leak}")
+        if self.refractory_steps < 0:
+            raise ConfigurationError(
+                f"refractory_steps must be >= 0, got {self.refractory_steps}"
+            )
+        if self.surrogate not in F.SURROGATES:
+            raise ConfigurationError(
+                f"unknown surrogate '{self.surrogate}', expected one of {F.SURROGATES}"
+            )
+
+
+@dataclass
+class LIFState:
+    """Mutable per-call simulation state for a layer of LIF neurons.
+
+    ``potential`` and ``last_spike`` may be numpy arrays (fast path) or
+    Tensors (autograd path); ``refractory`` is always a plain integer array
+    because the refractory gate is treated as a non-differentiable constant
+    in backward (the standard BPTT-through-SNN convention).
+    """
+
+    potential: object
+    last_spike: object
+    refractory: np.ndarray
+
+    @classmethod
+    def zeros_numpy(cls, shape: Tuple[int, ...]) -> "LIFState":
+        return cls(
+            potential=np.zeros(shape),
+            last_spike=np.zeros(shape),
+            refractory=np.zeros(shape, dtype=np.int64),
+        )
+
+    @classmethod
+    def zeros_tensor(cls, shape: Tuple[int, ...]) -> "LIFState":
+        return cls(
+            potential=Tensor(np.zeros(shape)),
+            last_spike=Tensor(np.zeros(shape)),
+            refractory=np.zeros(shape, dtype=np.int64),
+        )
+
+
+def lif_step_tensor(
+    current: Tensor,
+    state: LIFState,
+    threshold: np.ndarray,
+    leak: np.ndarray,
+    refractory_steps: np.ndarray,
+    surrogate: str,
+    surrogate_slope: float,
+    reset_mode: str = "zero",
+) -> Tensor:
+    """Advance one time step in autograd mode; returns the spike tensor.
+
+    The refractory mask and the refractory counter update are computed from
+    spike *values* (detached), while the membrane update and the firing
+    nonlinearity stay on the tape.
+    """
+    active = (state.refractory == 0).astype(np.float64)
+    if reset_mode == "zero":
+        retained = state.potential * (1.0 - state.last_spike)
+    else:  # subtract: residual charge above threshold is preserved
+        retained = state.potential - state.last_spike * Tensor(threshold)
+    potential = retained * Tensor(leak) + current * Tensor(active)
+    spikes = F.spike(potential - Tensor(threshold), surrogate, surrogate_slope) * Tensor(active)
+    state.potential = potential
+    state.last_spike = spikes
+    state.refractory = np.where(
+        spikes.data > 0.0, refractory_steps, np.maximum(state.refractory - 1, 0)
+    )
+    return spikes
+
+
+def lif_step_numpy(
+    current: np.ndarray,
+    state: LIFState,
+    threshold: np.ndarray,
+    leak: np.ndarray,
+    refractory_steps: np.ndarray,
+    mode: Optional[np.ndarray] = None,
+    reset_mode: str = "zero",
+) -> np.ndarray:
+    """Advance one time step on the fast path; returns the spike array.
+
+    Parameters
+    ----------
+    mode:
+        Optional behavioural override array (one of MODE_* per neuron,
+        broadcast over the batch).  Dead neurons never fire; saturated
+        neurons fire every step regardless of input or refractoriness.
+    """
+    active = (state.refractory == 0).astype(np.float64)
+    if reset_mode == "zero":
+        retained = state.potential * (1.0 - state.last_spike)
+    else:
+        retained = state.potential - state.last_spike * threshold
+    potential = retained * leak + current * active
+    spikes = (potential >= threshold).astype(np.float64) * active
+    if mode is not None and mode.any():
+        spikes = np.where(mode == MODE_DEAD, 0.0, spikes)
+        spikes = np.where(mode == MODE_SATURATED, 1.0, spikes)
+    state.potential = potential
+    state.last_spike = spikes
+    state.refractory = np.where(
+        spikes > 0.0, refractory_steps, np.maximum(state.refractory - 1, 0)
+    )
+    return spikes

@@ -1,0 +1,18 @@
+"""Surrogate-gradient training for the benchmark SNNs.
+
+The paper trains its benchmarks with SLAYER; this package provides the
+equivalent for our simulator: backpropagation through time with surrogate
+spike gradients, Adam, and a spike-count cross-entropy readout.
+"""
+
+from repro.training.loss import spike_count_logits, spike_count_loss
+from repro.training.metrics import accuracy
+from repro.training.trainer import Trainer, TrainingResult
+
+__all__ = [
+    "Trainer",
+    "TrainingResult",
+    "spike_count_logits",
+    "spike_count_loss",
+    "accuracy",
+]

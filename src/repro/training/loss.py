@@ -1,0 +1,42 @@
+"""Training losses for spike-count classification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.snn.network import ForwardRecord
+
+
+def spike_count_logits(record: ForwardRecord) -> Tensor:
+    """Class logits: output-layer spike counts summed over time, (B, K).
+
+    Gradients flow back through every output spike via the surrogate
+    derivative, which is what makes count-based training work.
+    """
+    return record.stacked_output().sum(axis=0)
+
+
+def spike_count_loss(
+    record: ForwardRecord,
+    labels: np.ndarray,
+    rate_weight: float = 0.0,
+    target_rate: float = 0.0,
+) -> Tensor:
+    """Cross-entropy on spike-count logits, with optional rate regulariser.
+
+    Parameters
+    ----------
+    rate_weight:
+        Weight of a quadratic penalty pulling each hidden layer's mean
+        firing rate towards ``target_rate`` — keeps hidden activity in a
+        healthy range (neither silent nor saturated).
+    """
+    loss = F.cross_entropy(spike_count_logits(record), labels)
+    if rate_weight > 0.0:
+        for layer_index in range(len(record.layer_spikes) - 1):
+            mean_rate = record.stacked(layer_index).mean()
+            deviation = mean_rate - target_rate
+            loss = loss + rate_weight * deviation * deviation
+    return loss

@@ -1,0 +1,22 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snn.network import SNN
+
+
+def accuracy(
+    network: SNN, inputs: np.ndarray, labels: np.ndarray, batch_size: int = 32
+) -> float:
+    """Top-1 accuracy of ``network`` on a ``(T, N, ...)`` batch, evaluated
+    on the fast path in chunks to bound memory."""
+    labels = np.asarray(labels)
+    total = labels.shape[0]
+    correct = 0
+    for start in range(0, total, batch_size):
+        stop = min(start + batch_size, total)
+        preds = network.predict(inputs[:, start:stop])
+        correct += int((preds == labels[start:stop]).sum())
+    return correct / total if total else 0.0

@@ -1,0 +1,144 @@
+"""BPTT training loop with surrogate gradients.
+
+The trainer is deliberately plain: shuffled mini-batches, Adam, optional
+learning-rate schedule, per-epoch test evaluation on the fast path.  It
+exists to produce the trained benchmark models of Table I, not to chase
+state-of-the-art accuracy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.autograd.optim import Adam
+from repro.autograd.schedule import Schedule
+from repro.autograd.tensor import Tensor
+from repro.datasets.base import SpikingDataset
+from repro.errors import TrainingError
+from repro.snn.network import SNN
+from repro.training.loss import spike_count_loss
+from repro.training.metrics import accuracy
+
+
+@dataclass
+class TrainingResult:
+    """Summary of one training run."""
+
+    loss_history: List[float] = field(default_factory=list)
+    train_accuracy: float = 0.0
+    test_accuracy: float = 0.0
+    epochs_run: int = 0
+    wall_time: float = 0.0
+
+
+class Trainer:
+    """Train an :class:`~repro.snn.network.SNN` on a spiking dataset.
+
+    Parameters
+    ----------
+    network / dataset:
+        The model and data; shapes must agree.
+    lr:
+        Initial Adam learning rate.
+    batch_size:
+        Mini-batch size (time dimension is never batched).
+    rate_weight / target_rate:
+        Hidden-activity regularisation (see
+        :func:`repro.training.loss.spike_count_loss`).
+    lr_schedule:
+        Optional schedule evaluated per epoch.
+    grad_clip:
+        If set, global L2 norm above which gradients are rescaled.
+    """
+
+    def __init__(
+        self,
+        network: SNN,
+        dataset: SpikingDataset,
+        lr: float = 0.01,
+        batch_size: int = 16,
+        rate_weight: float = 0.1,
+        target_rate: float = 0.08,
+        lr_schedule: Optional[Schedule] = None,
+        grad_clip: Optional[float] = 5.0,
+    ) -> None:
+        if tuple(dataset.input_shape) != tuple(network.input_shape):
+            raise TrainingError(
+                f"dataset input {dataset.input_shape} != network input {network.input_shape}"
+            )
+        if dataset.num_classes != network.num_classes:
+            raise TrainingError(
+                f"dataset classes {dataset.num_classes} != network classes {network.num_classes}"
+            )
+        self.network = network
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.rate_weight = rate_weight
+        self.target_rate = target_rate
+        self.lr_schedule = lr_schedule
+        self.grad_clip = grad_clip
+        self.optimizer = Adam(network.parameters(), lr=lr)
+
+    def _clip_gradients(self) -> None:
+        if self.grad_clip is None:
+            return
+        total = 0.0
+        for p in self.optimizer.params:
+            if p.grad is not None:
+                total += float((p.grad**2).sum())
+        norm = np.sqrt(total)
+        if norm > self.grad_clip:
+            scale = self.grad_clip / norm
+            for p in self.optimizer.params:
+                if p.grad is not None:
+                    p.grad *= scale
+
+    def train_batch(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """One optimisation step on a ``(T, B, ...)`` batch; returns loss."""
+        seq = [Tensor(inputs[t]) for t in range(inputs.shape[0])]
+        record = self.network.forward(seq)
+        loss = spike_count_loss(record, labels, self.rate_weight, self.target_rate)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self._clip_gradients()
+        self.optimizer.step()
+        return loss.item()
+
+    def fit(
+        self,
+        epochs: int,
+        rng: np.random.Generator,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> TrainingResult:
+        """Run ``epochs`` passes over the training split."""
+        if epochs < 1:
+            raise TrainingError(f"epochs must be >= 1, got {epochs}")
+        result = TrainingResult()
+        start = time.perf_counter()
+        for epoch in range(epochs):
+            if self.lr_schedule is not None:
+                self.optimizer.lr = self.lr_schedule(epoch)
+            epoch_losses = []
+            for inputs, labels in self.dataset.batches("train", self.batch_size, rng):
+                epoch_losses.append(self.train_batch(inputs, labels))
+            mean_loss = float(np.mean(epoch_losses))
+            result.loss_history.append(mean_loss)
+            result.epochs_run = epoch + 1
+            if log is not None:
+                log(f"epoch {epoch + 1}/{epochs}: loss {mean_loss:.4f}")
+        result.train_accuracy = accuracy(
+            self.network,
+            self.dataset.train_inputs.astype(np.float64),
+            self.dataset.train_labels,
+        )
+        result.test_accuracy = accuracy(
+            self.network,
+            self.dataset.test_inputs.astype(np.float64),
+            self.dataset.test_labels,
+        )
+        result.wall_time = time.perf_counter() - start
+        return result

@@ -1,0 +1,6 @@
+"""Shared utilities: seeding, numeric gradient checking, timing, tables."""
+
+from repro.utils.gradcheck import gradcheck, numeric_gradient
+from repro.utils.seeding import SeedSequenceFactory, make_rng
+
+__all__ = ["gradcheck", "numeric_gradient", "make_rng", "SeedSequenceFactory"]

@@ -1,0 +1,182 @@
+"""Tests for tables, activity maps, snapshots, and propagation histograms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Table,
+    activation_percentage,
+    activity_map,
+    format_percent,
+    format_seconds,
+    propagation_histogram,
+    render_activity,
+    render_histogram,
+    render_snapshot,
+    snapshot_times,
+)
+from repro.analysis.snapshots import render_snapshot_series
+from repro.errors import ConfigurationError, ShapeError
+from repro.faults.simulator import DetectionResult
+from repro.snn import DenseSpec, NetworkSpec, build_network
+
+
+class TestFormatting:
+    def test_percent(self):
+        assert format_percent(0.9972) == "99.72%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_seconds_ranges(self):
+        assert format_seconds(0.5) == "500 ms"
+        assert format_seconds(30) == "30.0 s"
+        assert format_seconds(600) == "10.0 min"
+        assert format_seconds(7200) == "2.00 h"
+
+
+class TestTable:
+    def test_render_aligns(self):
+        table = Table("T", ["a", "bbbb"])
+        table.add_row("x", 1)
+        table.add_row("longer", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert len({len(l) for l in lines[2:]}) == 1  # equal widths
+
+    def test_rejects_wrong_arity(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row("only-one")
+
+    def test_title_rendered(self):
+        table = Table("My Title", ["a"])
+        assert "My Title" in table.render()
+
+
+@pytest.fixture(scope="module")
+def small_net():
+    spec = NetworkSpec(
+        name="a", input_shape=(6,), layers=(DenseSpec(out_features=4), DenseSpec(out_features=3))
+    )
+    return build_network(spec, np.random.default_rng(0))
+
+
+class TestActivity:
+    def test_map_shapes(self, small_net):
+        stim = np.ones((8, 1, 6))
+        amap = activity_map(small_net, stim)
+        assert len(amap.activated) == 2
+        assert amap.activated[0].shape == (4,)
+        assert 0.0 <= amap.fraction <= 1.0
+
+    def test_zero_stimulus_no_activity(self, small_net):
+        amap = activity_map(small_net, np.zeros((8, 1, 6)))
+        assert amap.total_activated == 0
+
+    def test_percentage_matches_map(self, small_net):
+        stim = np.ones((8, 1, 6))
+        assert activation_percentage(small_net, stim) == activity_map(small_net, stim).fraction
+
+    def test_threshold(self, small_net):
+        stim = np.ones((8, 1, 6))
+        relaxed = activity_map(small_net, stim, threshold=1)
+        strict = activity_map(small_net, stim, threshold=100)
+        assert strict.total_activated <= relaxed.total_activated
+
+    def test_render_contains_symbols(self, small_net):
+        text = render_activity(activity_map(small_net, np.ones((8, 1, 6))))
+        assert "total activated" in text
+        assert "#" in text or "." in text
+
+    def test_render_conv_layers(self):
+        from repro.snn import ConvSpec, FlattenSpec, PoolSpec
+
+        spec = NetworkSpec(
+            name="c",
+            input_shape=(2, 4, 4),
+            layers=(ConvSpec(out_channels=2, kernel=3, padding=1), FlattenSpec(),
+                    DenseSpec(out_features=3)),
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        text = render_activity(activity_map(net, np.ones((6, 1, 2, 4, 4))))
+        assert "channel 0" in text
+
+
+class TestSnapshots:
+    def test_times_spread(self):
+        assert snapshot_times(100, 4) == [0, 33, 66, 99]
+
+    def test_times_clamped(self):
+        assert snapshot_times(2, 4) == [0, 1]
+
+    def test_times_validation(self):
+        with pytest.raises(ShapeError):
+            snapshot_times(0, 4)
+
+    def test_polarity_rendering(self):
+        stim = np.zeros((2, 1, 2, 2, 2))
+        stim[0, 0, 0, 0, 0] = 1  # ON at (0,0)
+        stim[0, 0, 1, 1, 1] = 1  # OFF at (1,1)
+        text = render_snapshot(stim, 0)
+        assert text.splitlines()[0][0] == "+"
+        assert text.splitlines()[1][1] == "-"
+
+    def test_both_polarities_hash(self):
+        stim = np.ones((1, 1, 2, 2, 2))
+        assert render_snapshot(stim, 0).splitlines()[0][0] == "#"
+
+    def test_flat_rendering(self):
+        stim = np.zeros((1, 1, 5))
+        stim[0, 0, 2] = 1
+        assert render_snapshot(stim, 0) == "..|.."
+
+    def test_range_checks(self):
+        with pytest.raises(ShapeError):
+            render_snapshot(np.zeros((2, 1, 4)), 5)
+        with pytest.raises(ShapeError):
+            render_snapshot(np.zeros((2, 4)), 0)
+
+    def test_series(self):
+        stim = np.zeros((8, 1, 4))
+        text = render_snapshot_series(stim, count=3)
+        assert text.count("t = ") == 3
+
+
+def _detection(detected, diffs):
+    detected = np.asarray(detected, dtype=bool)
+    diffs = np.asarray(diffs, dtype=float)
+    return DetectionResult(
+        faults=[None] * len(detected),
+        detected=detected,
+        output_l1=diffs.sum(axis=1),
+        class_count_diff=diffs,
+        wall_time=0.0,
+    )
+
+
+class TestPropagation:
+    def test_histogram_counts(self):
+        det = _detection([True, True, False], [[0, 2], [5, 1], [9, 9]])
+        hist = propagation_histogram(det, bins=(0, 1, 4, 100))
+        assert hist.detected_faults == 2
+        # per-class pooled: values 0,2,5,1 -> bins [0,1):1, [1,4):2, [4,100):1
+        assert hist.counts.sum() == 4
+
+    def test_undetected_excluded(self):
+        det = _detection([False, False], [[3, 3], [4, 4]])
+        hist = propagation_histogram(det)
+        assert hist.detected_faults == 0
+        assert hist.counts.sum() == 0
+
+    def test_stats(self):
+        det = _detection([True, True], [[1, 1], [3, 3]])
+        hist = propagation_histogram(det)
+        assert hist.mean_diff == 4.0  # totals 2 and 6
+        assert hist.median_diff == 4.0
+        assert hist.max_diff == 6.0
+        assert hist.fraction_diff_gt_one == 1.0
+
+    def test_render(self):
+        det = _detection([True], [[2, 0]])
+        text = render_histogram(propagation_histogram(det))
+        assert "detected faults: 1" in text
+        assert "#" in text

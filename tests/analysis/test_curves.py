@@ -1,0 +1,65 @@
+"""Tests for coverage-vs-test-length curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.curves import CoverageCurve, coverage_vs_chunks
+from repro.core.testset import TestStimulus
+from repro.faults import FaultModelConfig, build_catalog
+from repro.snn import DenseSpec, LIFParameters, NetworkSpec, build_network
+from repro.training import Trainer
+from repro.datasets import SHDLike
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = SHDLike(train_size=60, test_size=20, channels=20, steps=12, seed=0)
+    spec = NetworkSpec(
+        name="curve",
+        input_shape=(20,),
+        layers=(DenseSpec(out_features=12), DenseSpec(out_features=dataset.num_classes)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    network = build_network(spec, np.random.default_rng(0))
+    Trainer(network, dataset, lr=0.03, batch_size=16).fit(epochs=3, rng=np.random.default_rng(1))
+    config = FaultModelConfig(synapse_sample_fraction=0.1)
+    catalog = build_catalog(network, config, rng=np.random.default_rng(2))
+    rng = np.random.default_rng(3)
+    chunks = [(rng.random((8, 1, 20)) > 0.4).astype(float) for _ in range(3)]
+    stimulus = TestStimulus(chunks=chunks, input_shape=(20,))
+    return network, stimulus, catalog, config
+
+
+class TestCoverageCurve:
+    def test_monotone_nondecreasing(self, setup):
+        network, stimulus, catalog, config = setup
+        curve = coverage_vs_chunks(network, stimulus, catalog.faults, config)
+        assert curve.detection_rates == sorted(curve.detection_rates)
+
+    def test_lengths_match(self, setup):
+        network, stimulus, catalog, config = setup
+        curve = coverage_vs_chunks(network, stimulus, catalog.faults, config)
+        assert len(curve.detection_rates) == len(stimulus.chunks)
+        assert curve.cumulative_steps[-1] == stimulus.duration_steps
+
+    def test_final_rate_matches_full_detection(self, setup):
+        from repro.faults.simulator import FaultSimulator
+
+        network, stimulus, catalog, config = setup
+        curve = coverage_vs_chunks(network, stimulus, catalog.faults, config)
+        full = FaultSimulator(network, config).detect(stimulus.assembled(), catalog.faults)
+        assert curve.final_rate == pytest.approx(full.detection_rate())
+
+    def test_saturation_chunk(self):
+        curve = CoverageCurve(
+            chunk_durations=[4, 4, 4],
+            cumulative_steps=[4, 12, 20],
+            detection_rates=[0.5, 0.79, 0.80],
+        )
+        assert curve.saturation_chunk(tolerance=0.02) == 1
+        assert curve.saturation_chunk(tolerance=0.0) == 2
+
+    def test_render(self):
+        curve = CoverageCurve([4], [4], [0.5])
+        text = curve.render()
+        assert "50.00%" in text

@@ -1,0 +1,86 @@
+"""Hypothesis property tests for the autograd engine: algebraic identities
+must hold for both values and gradients."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd.tensor import Tensor
+
+
+def _finite_arrays(shape=(3,)):
+    return arrays(
+        dtype=np.float64,
+        shape=shape,
+        elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, width=64),
+    )
+
+
+def _grad_of(fn, *inputs):
+    tensors = [Tensor(x, requires_grad=True) for x in inputs]
+    fn(*tensors).sum().backward()
+    return [t.grad if t.grad is not None else np.zeros_like(t.data) for t in tensors]
+
+
+class TestAlgebraicIdentities:
+    @given(_finite_arrays(), _finite_arrays(), _finite_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_distributivity(self, a, b, c):
+        left = _grad_of(lambda a, b, c: (a + b) * c, a, b, c)
+        right = _grad_of(lambda a, b, c: a * c + b * c, a, b, c)
+        for l, r in zip(left, right):
+            assert np.allclose(l, r, atol=1e-10)
+
+    @given(_finite_arrays(), _finite_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_commutativity_of_add(self, a, b):
+        left = _grad_of(lambda a, b: a + b, a, b)
+        right = _grad_of(lambda a, b: b + a, a, b)
+        for l, r in zip(left, right):
+            assert np.allclose(l, r)
+
+    @given(_finite_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_gradient_is_ones(self, a):
+        (grad,) = _grad_of(lambda a: a.sum(), a)
+        assert np.allclose(grad, 1.0)
+
+    @given(_finite_arrays(), st.floats(min_value=-3, max_value=3, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_mul_scales_gradient(self, a, k):
+        (grad,) = _grad_of(lambda a: a * k, a)
+        assert np.allclose(grad, k)
+
+    @given(_finite_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_double_negation_identity(self, a):
+        left = _grad_of(lambda a: -(-a), a)
+        right = _grad_of(lambda a: a * 1.0, a)
+        assert np.allclose(left[0], right[0])
+
+    @given(_finite_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_exp_log_inverse_gradient(self, a):
+        # log(exp(a)) == a, so d/da == 1 everywhere.
+        (grad,) = _grad_of(lambda a: a.exp().log(), a)
+        assert np.allclose(grad, 1.0, atol=1e-8)
+
+    @given(_finite_arrays((2, 3)), _finite_arrays((3, 2)))
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_matches_numpy(self, a, b):
+        out = Tensor(a) @ Tensor(b)
+        assert np.allclose(out.data, a @ b)
+
+    @given(_finite_arrays((4,)))
+    @settings(max_examples=40, deadline=None)
+    def test_reshape_preserves_gradient_mass(self, a):
+        (grad_flat,) = _grad_of(lambda a: a.reshape(2, 2).sum(), a)
+        assert np.allclose(grad_flat, 1.0)
+
+    @given(_finite_arrays((3,)), _finite_arrays((3,)))
+    @settings(max_examples=60, deadline=None)
+    def test_max_min_partition_gradient(self, a, b):
+        # maximum + minimum == a + b elementwise, so gradients sum to 1.
+        ga = _grad_of(lambda a, b: a.maximum(b) + a.minimum(b), a, b)
+        assert np.allclose(ga[0] + ga[1], 2.0)

@@ -1,0 +1,152 @@
+"""Tests for optimisers and annealing schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.autograd.optim import SGD, Adam
+from repro.autograd.schedule import (
+    ConstantSchedule,
+    CosineAnnealing,
+    ExponentialAnnealing,
+    LinearAnnealing,
+    StepDecay,
+)
+from repro.errors import ConfigurationError
+
+
+def _quadratic_param(start):
+    return Tensor(np.array(start, dtype=np.float64), requires_grad=True)
+
+
+def _step(param, opt):
+    opt.zero_grad()
+    loss = ((param - 3.0) * (param - 3.0)).sum()
+    loss.backward()
+    opt.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param([0.0])
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            _step(p, opt)
+        assert np.allclose(p.data, [3.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        p_plain = _quadratic_param([0.0])
+        p_mom = _quadratic_param([0.0])
+        opt_plain = SGD([p_plain], lr=0.01)
+        opt_mom = SGD([p_mom], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            _step(p_plain, opt_plain)
+            _step(p_mom, opt_mom)
+        assert abs(p_mom.item() - 3.0) < abs(p_plain.item() - 3.0)
+
+    def test_skips_params_without_grad(self):
+        p = _quadratic_param([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no backward yet; must not crash or move the param
+        assert np.allclose(p.data, [1.0])
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ConfigurationError):
+            SGD([_quadratic_param([0.0])], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD([_quadratic_param([0.0])], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param([0.0])
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            _step(p, opt)
+        assert np.allclose(p.data, [3.0], atol=1e-2)
+
+    def test_handles_vector_params(self):
+        p = Tensor(np.zeros(5), requires_grad=True)
+        opt = Adam([p], lr=0.2)
+        target = np.arange(5.0)
+        for _ in range(300):
+            opt.zero_grad()
+            diff = p - Tensor(target)
+            (diff * diff).sum().backward()
+            opt.step()
+        assert np.allclose(p.data, target, atol=0.05)
+
+    def test_lr_is_mutable_for_schedules(self):
+        p = _quadratic_param([0.0])
+        opt = Adam([p], lr=0.1)
+        opt.lr = 0.5
+        assert opt.lr == 0.5
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ConfigurationError):
+            Adam([])
+
+    def test_rejects_no_grad_param(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Tensor(np.zeros(2))])
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam([_quadratic_param([0.0])], betas=(1.0, 0.9))
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantSchedule(0.5)
+        assert s(0) == s(100) == 0.5
+
+    def test_linear_endpoints(self):
+        s = LinearAnnealing(1.0, 0.1, total_steps=10)
+        assert s(0) == 1.0
+        assert np.isclose(s(10), 0.1)
+        assert np.isclose(s(20), 0.1)  # clamps after total_steps
+
+    def test_linear_midpoint(self):
+        s = LinearAnnealing(1.0, 0.0, total_steps=10)
+        assert np.isclose(s(5), 0.5)
+
+    def test_exponential_monotone(self):
+        s = ExponentialAnnealing(1.0, 0.1, decay=0.9)
+        values = [s(i) for i in range(50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] >= 0.1
+
+    def test_cosine_endpoints(self):
+        s = CosineAnnealing(1.0, 0.0, total_steps=10)
+        assert np.isclose(s(0), 1.0)
+        assert np.isclose(s(10), 0.0)
+
+    def test_step_decay(self):
+        s = StepDecay(1.0, factor=0.5, period=10)
+        assert s(0) == 1.0
+        assert s(9) == 1.0
+        assert s(10) == 0.5
+        assert s(20) == 0.25
+
+    def test_step_decay_floor(self):
+        s = StepDecay(1.0, factor=0.1, period=1, floor=0.05)
+        assert s(10) == 0.05
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule(1.0)(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            LinearAnnealing(1.0, 0.0, total_steps=0)
+        with pytest.raises(ConfigurationError):
+            ExponentialAnnealing(1.0, 0.0, decay=1.5)
+        with pytest.raises(ConfigurationError):
+            StepDecay(1.0, factor=0.0, period=5)
+        with pytest.raises(ConfigurationError):
+            StepDecay(1.0, factor=0.5, period=0)
+        with pytest.raises(ConfigurationError):
+            CosineAnnealing(1.0, 0.0, total_steps=0)

@@ -1,0 +1,179 @@
+"""Tests for the prior-work baseline strategies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    adversarial_baseline,
+    craft_adversarial,
+    greedy_dataset_baseline,
+    greedy_select,
+    random_pattern_baseline,
+)
+from repro.datasets import SHDLike
+from repro.errors import ConfigurationError
+from repro.faults import FaultModelConfig, build_catalog
+from repro.snn import DenseSpec, LIFParameters, NetworkSpec, build_network
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = SHDLike(train_size=60, test_size=30, channels=24, steps=16, seed=0)
+    spec = NetworkSpec(
+        name="base",
+        input_shape=dataset.input_shape,
+        layers=(DenseSpec(out_features=16), DenseSpec(out_features=dataset.num_classes)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    network = build_network(spec, np.random.default_rng(0))
+    Trainer(network, dataset, lr=0.03, batch_size=16).fit(epochs=3, rng=np.random.default_rng(1))
+    fault_config = FaultModelConfig(synapse_sample_fraction=0.05)
+    catalog = build_catalog(network, fault_config, rng=np.random.default_rng(2))
+    return network, dataset, fault_config, catalog
+
+
+class TestGreedySelect:
+    def test_coverage_monotone(self, setup):
+        network, dataset, fault_config, catalog = setup
+        result = greedy_dataset_baseline(
+            network, dataset, catalog.faults, fault_config, pool_size=8
+        )
+        history = result.coverage_history
+        assert history == sorted(history)
+        assert result.coverage == history[-1]
+
+    def test_selected_are_unique(self, setup):
+        network, dataset, fault_config, catalog = setup
+        result = greedy_dataset_baseline(
+            network, dataset, catalog.faults, fault_config, pool_size=8
+        )
+        assert len(set(result.selected)) == len(result.selected)
+
+    def test_max_inputs_respected(self, setup):
+        network, dataset, fault_config, catalog = setup
+        result = greedy_dataset_baseline(
+            network, dataset, catalog.faults, fault_config, pool_size=8, max_inputs=2
+        )
+        assert result.num_inputs <= 2
+
+    def test_fault_simulation_count(self, setup):
+        network, dataset, fault_config, catalog = setup
+        result = greedy_dataset_baseline(
+            network, dataset, catalog.faults, fault_config, pool_size=6
+        )
+        assert result.fault_simulations == 6 * len(catalog.faults)
+
+    def test_duration_sums_selected(self, setup):
+        network, dataset, fault_config, catalog = setup
+        result = greedy_dataset_baseline(
+            network, dataset, catalog.faults, fault_config, pool_size=6
+        )
+        assert result.test_duration_steps == result.num_inputs * dataset.steps
+        assert result.duration_samples(dataset.steps) == result.num_inputs
+
+    def test_rejects_empty_candidates(self, setup):
+        network, _, fault_config, catalog = setup
+        with pytest.raises(ConfigurationError):
+            greedy_select(network, [], catalog.faults, fault_config)
+
+    def test_rejects_bad_target(self, setup):
+        network, dataset, fault_config, catalog = setup
+        inputs, _ = dataset.subset(2, "train")
+        candidates = [inputs[:, i : i + 1] for i in range(2)]
+        with pytest.raises(ConfigurationError):
+            greedy_select(network, candidates, catalog.faults, fault_config, target_coverage=0.0)
+
+    def test_target_coverage_stops_early(self, setup):
+        network, dataset, fault_config, catalog = setup
+        full = greedy_dataset_baseline(
+            network, dataset, catalog.faults, fault_config, pool_size=8
+        )
+        half = greedy_dataset_baseline(
+            network, dataset, catalog.faults, fault_config, pool_size=8,
+            target_coverage=max(full.coverage_history[0] * 0.5, 0.01),
+        )
+        assert half.num_inputs <= full.num_inputs
+
+
+class TestAdversarial:
+    def test_craft_returns_binary(self, setup):
+        network, dataset, _, _ = setup
+        sample, label = dataset.sample(0, "train")
+        crafted = craft_adversarial(network, sample, label, steps=5)
+        assert crafted.shape == sample.shape
+        assert set(np.unique(crafted)).issubset({0.0, 1.0})
+
+    def test_craft_raises_loss(self, setup):
+        from repro.autograd import functional as F
+        from repro.autograd.tensor import Tensor
+        from repro.training.loss import spike_count_logits
+
+        network, dataset, _, _ = setup
+
+        def loss_of(stimulus, label):
+            seq = [Tensor(stimulus[t]) for t in range(stimulus.shape[0])]
+            record = network.forward(seq)
+            return F.cross_entropy(spike_count_logits(record), np.array([label])).item()
+
+        sample, label = dataset.sample(0, "train")
+        crafted = craft_adversarial(network, sample, label, steps=15)
+        assert loss_of(crafted, label) >= loss_of(sample, label)
+
+    def test_baseline_runs(self, setup):
+        network, dataset, fault_config, catalog = setup
+        result = adversarial_baseline(
+            network, dataset, catalog.faults, fault_config,
+            pool_size=4, craft_steps=5,
+        )
+        assert result.name.startswith("adversarial")
+        assert 0.0 <= result.coverage <= 1.0
+
+
+class TestRandomPatterns:
+    def test_baseline_runs(self, setup):
+        network, _, fault_config, catalog = setup
+        result = random_pattern_baseline(
+            network, steps=16, faults=catalog.faults, rng=np.random.default_rng(0),
+            fault_config=fault_config, pool_size=6,
+        )
+        assert result.num_configurations == 4
+        assert result.coverage > 0.0
+
+    def test_switch_overhead_in_duration(self, setup):
+        network, _, fault_config, catalog = setup
+        result = random_pattern_baseline(
+            network, steps=16, faults=catalog.faults, rng=np.random.default_rng(0),
+            fault_config=fault_config, pool_size=6,
+            num_configurations=3, switch_overhead_steps=100,
+        )
+        base_duration = result.num_inputs * 16
+        assert result.test_duration_steps == base_duration + 200
+
+    def test_rejects_bad_pool(self, setup):
+        network, _, fault_config, catalog = setup
+        with pytest.raises(ConfigurationError):
+            random_pattern_baseline(
+                network, steps=16, faults=catalog.faults,
+                rng=np.random.default_rng(0), pool_size=0,
+            )
+
+    def test_rejects_empty_densities(self, setup):
+        network, _, fault_config, catalog = setup
+        with pytest.raises(ConfigurationError):
+            random_pattern_baseline(
+                network, steps=16, faults=catalog.faults,
+                rng=np.random.default_rng(0), densities=(),
+            )
+
+    def test_deterministic_given_rng(self, setup):
+        network, _, fault_config, catalog = setup
+        a = random_pattern_baseline(
+            network, steps=16, faults=catalog.faults, rng=np.random.default_rng(5),
+            fault_config=fault_config, pool_size=5,
+        )
+        b = random_pattern_baseline(
+            network, steps=16, faults=catalog.faults, rng=np.random.default_rng(5),
+            fault_config=fault_config, pool_size=5,
+        )
+        assert a.selected == b.selected

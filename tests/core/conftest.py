@@ -1,0 +1,29 @@
+"""Shared fixtures: a tiny trained network for core-algorithm tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SHDLike
+from repro.snn import DenseSpec, LIFParameters, NetworkSpec, build_network
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return SHDLike(train_size=60, test_size=30, channels=24, steps=16, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_network(tiny_dataset):
+    """A small trained 3-layer dense SNN (24 -> 16 -> 8 -> 20... scaled)."""
+    spec = NetworkSpec(
+        name="tiny",
+        input_shape=tiny_dataset.input_shape,
+        layers=(DenseSpec(out_features=16), DenseSpec(out_features=tiny_dataset.num_classes)),
+        lif=LIFParameters(threshold=1.0, leak=0.9, refractory_steps=1),
+    )
+    net = build_network(spec, np.random.default_rng(0))
+    Trainer(net, tiny_dataset, lr=0.03, batch_size=16).fit(
+        epochs=4, rng=np.random.default_rng(1)
+    )
+    return net

@@ -1,0 +1,82 @@
+"""Tests for static test compaction."""
+
+import numpy as np
+import pytest
+
+from repro.core.compaction import compact_test
+from repro.core.testset import TestStimulus
+from repro.errors import TestGenerationError
+from repro.faults import FaultModelConfig, build_catalog
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_network):
+    config = FaultModelConfig(synapse_sample_fraction=0.1)
+    catalog = build_catalog(tiny_network, config, rng=np.random.default_rng(0))
+    return tiny_network, config, catalog
+
+
+def _chunks(*densities, seed=1, steps=8, shape=(24,)):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.random((steps, 1) + shape) < density).astype(float) for density in densities
+    ]
+
+
+class TestCompaction:
+    def test_redundant_duplicate_dropped(self, setup):
+        network, config, catalog = setup
+        rng = np.random.default_rng(2)
+        strong = (rng.random((8, 1, 24)) < 0.5).astype(float)
+        stimulus = TestStimulus(chunks=[strong, strong.copy()], input_shape=(24,))
+        compacted, report = compact_test(network, stimulus, catalog.faults, config)
+        assert len(compacted.chunks) == 1
+        assert report.dropped_chunks
+        assert report.compacted_coverage >= report.original_coverage - 1e-9
+
+    def test_lossless_by_default(self, setup):
+        network, config, catalog = setup
+        stimulus = TestStimulus(chunks=_chunks(0.1, 0.4, 0.7), input_shape=(24,))
+        compacted, report = compact_test(network, stimulus, catalog.faults, config)
+        # Union coverage of kept single-chunk sets equals the original union.
+        assert report.compacted_coverage >= report.original_coverage - 1e-9
+
+    def test_order_preserved(self, setup):
+        network, config, catalog = setup
+        stimulus = TestStimulus(chunks=_chunks(0.3, 0.5, 0.2, 0.6), input_shape=(24,))
+        compacted, report = compact_test(network, stimulus, catalog.faults, config)
+        assert report.kept_chunks == sorted(report.kept_chunks)
+
+    def test_steps_never_increase(self, setup):
+        network, config, catalog = setup
+        stimulus = TestStimulus(chunks=_chunks(0.2, 0.4, 0.6), input_shape=(24,))
+        compacted, report = compact_test(network, stimulus, catalog.faults, config)
+        assert report.compacted_steps <= report.original_steps
+        assert compacted.duration_steps == report.compacted_steps
+
+    def test_tolerance_allows_shorter_tests(self, setup):
+        network, config, catalog = setup
+        stimulus = TestStimulus(chunks=_chunks(0.1, 0.3, 0.5, 0.7), input_shape=(24,))
+        _, lossless = compact_test(network, stimulus, catalog.faults, config)
+        _, lossy = compact_test(
+            network, stimulus, catalog.faults, config, coverage_tolerance=0.2
+        )
+        assert len(lossy.kept_chunks) <= len(lossless.kept_chunks)
+
+    def test_rejects_bad_tolerance(self, setup):
+        network, config, catalog = setup
+        stimulus = TestStimulus(chunks=_chunks(0.5), input_shape=(24,))
+        with pytest.raises(TestGenerationError):
+            compact_test(network, stimulus, catalog.faults, config, coverage_tolerance=1.0)
+
+    def test_empty_fault_list(self, setup):
+        network, config, _ = setup
+        stimulus = TestStimulus(chunks=_chunks(0.5, 0.5), input_shape=(24,))
+        compacted, report = compact_test(network, stimulus, [], config)
+        assert len(compacted.chunks) >= 1
+
+    def test_summary(self, setup):
+        network, config, catalog = setup
+        stimulus = TestStimulus(chunks=_chunks(0.4, 0.4), input_shape=(24,))
+        _, report = compact_test(network, stimulus, catalog.faults, config)
+        assert "compaction kept" in report.summary()

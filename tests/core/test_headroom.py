@@ -1,0 +1,89 @@
+"""Tests for the L6 output-headroom extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.core import TestGenConfig, TestGenerator
+from repro.core.losses import loss_output_headroom
+from repro.errors import ConfigurationError
+from repro.snn import DenseSpec, LIFParameters, NetworkSpec, build_network
+from repro.snn.network import ForwardRecord
+
+
+def _record(output_array):
+    spikes = [Tensor(output_array[t]) for t in range(output_array.shape[0])]
+    return ForwardRecord(layer_spikes=[spikes], layer_names=["out"])
+
+
+def _net(refrac=1, outputs=3):
+    spec = NetworkSpec(
+        name="h",
+        input_shape=(4,),
+        layers=(DenseSpec(out_features=outputs),),
+        lif=LIFParameters(refractory_steps=refrac),
+    )
+    return build_network(spec, np.random.default_rng(0))
+
+
+class TestHeadroomLoss:
+    def test_zero_below_ceiling(self):
+        net = _net(refrac=1)
+        # T=8, refrac=1 -> ceiling 4, allowed 3 at margin 0.25.
+        out = np.zeros((8, 1, 3))
+        out[:3, 0, :] = 1.0  # 3 spikes each: exactly at the allowed level
+        assert loss_output_headroom(_record(out), net, margin=0.25).item() == 0.0
+
+    def test_penalises_saturation(self):
+        net = _net(refrac=1)
+        out = np.zeros((8, 1, 3))
+        out[::2, 0, 0] = 1.0  # neuron 0 at the ceiling (4 spikes)
+        value = loss_output_headroom(_record(out), net, margin=0.25).item()
+        assert value == pytest.approx(1.0)  # (4 - 3)^2
+
+    def test_quadratic_growth(self):
+        net = _net(refrac=0)
+        # refrac=0 -> ceiling 8, allowed 6 at margin 0.25.
+        out = np.ones((8, 1, 3))  # counts 8: excess 2 each
+        value = loss_output_headroom(_record(out), net, margin=0.25).item()
+        assert value == pytest.approx(3 * 4.0)
+
+    def test_margin_zero_only_penalises_above_ceiling(self):
+        net = _net(refrac=1)
+        out = np.zeros((8, 1, 3))
+        out[::2, 0, :] = 1.0  # at ceiling
+        assert loss_output_headroom(_record(out), net, margin=0.0).item() == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TestGenConfig(headroom_margin=1.0)
+        TestGenConfig(use_headroom_loss=True, headroom_margin=0.3)
+
+    def test_generation_with_headroom_runs(self, tiny_network):
+        config = TestGenConfig(
+            steps_stage1=30, probe_steps=60, max_iterations=2, t_in_max=24,
+            time_limit_s=60, use_headroom_loss=True,
+        )
+        result = TestGenerator(tiny_network, config, np.random.default_rng(0)).generate()
+        assert result.num_chunks >= 1
+
+    def test_headroom_reduces_output_saturation(self, tiny_network):
+        """With L6 enabled, output spike counts stay further from the
+        refractory ceiling than without it (same seed and budget)."""
+        def run(use_headroom):
+            config = TestGenConfig(
+                steps_stage1=60, probe_steps=80, max_iterations=2, t_in_max=32,
+                time_limit_s=120, use_headroom_loss=use_headroom, headroom_margin=0.4,
+            )
+            gen = TestGenerator(tiny_network, config, np.random.default_rng(5))
+            result = gen.generate()
+            out = tiny_network.run(result.stimulus.assembled())
+            counts = out.sum(axis=0)[0]
+            steps = out.shape[0]
+            refrac = tiny_network.spiking_modules[-1].refractory_steps.reshape(-1)
+            ceiling = np.ceil(steps / (refrac + 1.0))
+            return float((counts / ceiling).max())
+
+        with_l6 = run(True)
+        without_l6 = run(False)
+        assert with_l6 <= without_l6 + 0.05

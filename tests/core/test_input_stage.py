@@ -1,0 +1,194 @@
+"""Tests for the input parameterization, duration probe, and stage loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import InputParameterization, TestGenConfig, find_minimum_duration
+from repro.core.losses import loss_output_activity
+from repro.core.stage import run_stage
+from repro.errors import ConfigurationError, TestGenerationError
+
+
+class TestInputParameterization:
+    def _param(self, duration=6, seed=0):
+        return InputParameterization((5,), duration, np.random.default_rng(seed))
+
+    def test_logit_shape(self):
+        param = self._param()
+        assert param.logits.shape == (6, 1, 5)
+        assert param.duration == 6
+
+    def test_sample_binary(self):
+        param = self._param()
+        seq = param.sample(0.7)
+        assert len(seq) == 6
+        for tensor in seq:
+            assert tensor.shape == (1, 5)
+            assert set(np.unique(tensor.data)).issubset({0.0, 1.0})
+
+    def test_sample_gradient_reaches_logits(self):
+        param = self._param()
+        seq = param.sample(0.7)
+        total = seq[0].sum()
+        for tensor in seq[1:]:
+            total = total + tensor.sum()
+        total.backward()
+        assert param.logits.grad is not None
+
+    def test_hard_deterministic(self):
+        param = self._param()
+        assert np.array_equal(param.hard(), param.hard())
+        assert param.hard().shape == (6, 1, 5)
+
+    def test_hard_thresholds_at_zero(self):
+        param = self._param()
+        param.logits.data[...] = -1.0
+        param.logits.data[0, 0, 0] = 1.0
+        hard = param.hard()
+        assert hard.sum() == 1.0
+        assert hard[0, 0, 0] == 1.0
+
+    def test_grow_appends(self):
+        param = self._param()
+        before = param.logits.data.copy()
+        param.grow(3)
+        assert param.duration == 9
+        assert np.array_equal(param.logits.data[:6], before)
+
+    def test_grow_requires_positive(self):
+        with pytest.raises(ConfigurationError):
+            self._param().grow(0)
+
+    def test_load_hard_same_duration(self):
+        param = self._param()
+        stimulus = np.zeros((6, 1, 5))
+        stimulus[2, 0, 3] = 1.0
+        param.load_hard(stimulus)
+        assert np.array_equal(param.hard(), stimulus)
+
+    def test_load_hard_new_duration(self):
+        param = self._param()
+        stimulus = np.ones((9, 1, 5))
+        param.load_hard(stimulus)
+        assert param.duration == 9
+        assert np.array_equal(param.hard(), stimulus)
+
+    def test_load_hard_bad_rank(self):
+        param = self._param()
+        with pytest.raises(ConfigurationError):
+            param.load_hard(np.ones((6, 5)))
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ConfigurationError):
+            InputParameterization((5,), 0, np.random.default_rng(0))
+
+
+class TestRunStage:
+    def test_loss_improves(self, tiny_network):
+        config = TestGenConfig()
+        param = InputParameterization((24,), 8, np.random.default_rng(0))
+        result = run_stage(
+            tiny_network,
+            param,
+            lambda record, seq: loss_output_activity(record),
+            steps=60,
+            config=config,
+        )
+        assert result.best_loss <= result.loss_history[0]
+        assert result.steps_run == 60
+
+    def test_best_stimulus_binary(self, tiny_network):
+        config = TestGenConfig()
+        param = InputParameterization((24,), 8, np.random.default_rng(0))
+        result = run_stage(
+            tiny_network, param,
+            lambda record, seq: loss_output_activity(record),
+            steps=10, config=config,
+        )
+        assert set(np.unique(result.best_stimulus)).issubset({0.0, 1.0})
+        assert result.best_stimulus.shape == (8, 1, 24)
+
+    def test_growth_on_no_progress(self, tiny_network):
+        config = TestGenConfig(beta=2, max_growths=2, t_in_max=64)
+        param = InputParameterization((24,), 4, np.random.default_rng(0))
+        result = run_stage(
+            tiny_network, param,
+            lambda record, seq: loss_output_activity(record),
+            steps=5, config=config,
+            progress_check=lambda stimulus: False,  # force growth every round
+        )
+        assert result.growths == 2
+        # beta doubles: 4 + 2 + 4 = 10 steps final duration
+        assert param.duration == 10
+
+    def test_growth_respects_cap(self, tiny_network):
+        config = TestGenConfig(beta=8, max_growths=5, t_in_max=10)
+        param = InputParameterization((24,), 4, np.random.default_rng(0))
+        result = run_stage(
+            tiny_network, param,
+            lambda record, seq: loss_output_activity(record),
+            steps=3, config=config,
+            progress_check=lambda stimulus: False,
+        )
+        assert param.duration <= 10
+
+    def test_no_growth_without_progress_check(self, tiny_network):
+        config = TestGenConfig(beta=2, max_growths=3)
+        param = InputParameterization((24,), 4, np.random.default_rng(0))
+        result = run_stage(
+            tiny_network, param,
+            lambda record, seq: loss_output_activity(record),
+            steps=4, config=config,
+        )
+        assert result.growths == 0
+
+    def test_deadline_stops_early(self, tiny_network):
+        import time
+
+        config = TestGenConfig()
+        param = InputParameterization((24,), 8, np.random.default_rng(0))
+        result = run_stage(
+            tiny_network, param,
+            lambda record, seq: loss_output_activity(record),
+            steps=10_000, config=config,
+            deadline=time.perf_counter() + 0.3,
+        )
+        assert result.timed_out
+        assert result.steps_run < 10_000
+
+
+class TestFindMinimumDuration:
+    def test_finds_duration(self, tiny_network):
+        config = TestGenConfig(t_in_start=4, t_in_max=64, probe_steps=120)
+        duration = find_minimum_duration(tiny_network, config, np.random.default_rng(0))
+        assert 4 <= duration <= 64
+
+    def test_raises_for_dead_outputs(self, tiny_dataset):
+        from repro.snn import DenseSpec, NetworkSpec, build_network
+
+        spec = NetworkSpec(
+            name="dead", input_shape=(24,), layers=(DenseSpec(out_features=4),)
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        for p in net.parameters():
+            p.data[...] = 0.0  # nothing can ever fire
+        config = TestGenConfig(t_in_start=4, t_in_max=8, probe_steps=5)
+        with pytest.raises(TestGenerationError):
+            find_minimum_duration(net, config, np.random.default_rng(0), strict=True)
+
+    def test_nonstrict_falls_back_to_cap(self, tiny_dataset):
+        from repro.snn import DenseSpec, NetworkSpec, build_network
+
+        spec = NetworkSpec(
+            name="dead", input_shape=(24,), layers=(DenseSpec(out_features=4),)
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        for p in net.parameters():
+            p.data[...] = 0.0
+        config = TestGenConfig(t_in_start=4, t_in_max=8, probe_steps=5)
+        messages = []
+        duration = find_minimum_duration(
+            net, config, np.random.default_rng(0), log=messages.append
+        )
+        assert duration == 8
+        assert any("falling back" in m for m in messages)

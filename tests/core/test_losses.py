@@ -1,0 +1,239 @@
+"""Tests for the five loss functions (Eqs. 9-16): values on constructed
+spike patterns and gradient flow to the input."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor, stack
+from repro.core.losses import (
+    LossWeights,
+    loss_neuron_activation,
+    loss_output_activity,
+    loss_output_constancy,
+    loss_spike_minimization,
+    loss_synapse_uniformity,
+    loss_temporal_diversity,
+    temporal_diversity,
+)
+from repro.errors import ShapeError
+from repro.snn import DenseSpec, LIFParameters, NetworkSpec, RecurrentSpec, build_network
+from repro.snn.network import ForwardRecord
+
+
+def _record_from_arrays(layers):
+    """Build a ForwardRecord from plain (T, 1, N) arrays."""
+    layer_spikes = []
+    for arr in layers:
+        layer_spikes.append([Tensor(arr[t]) for t in range(arr.shape[0])])
+    return ForwardRecord(layer_spikes=layer_spikes, layer_names=[str(i) for i in range(len(layers))])
+
+
+class TestL1OutputActivity:
+    def test_zero_when_all_fire(self):
+        out = np.zeros((4, 1, 3))
+        out[0] = 1.0
+        record = _record_from_arrays([out])
+        assert loss_output_activity(record).item() == 0.0
+
+    def test_counts_silent_neurons(self):
+        out = np.zeros((4, 1, 3))
+        out[:, 0, 0] = 1.0  # only neuron 0 fires
+        record = _record_from_arrays([out])
+        assert loss_output_activity(record).item() == 2.0
+
+    def test_no_reward_for_extra_spikes(self):
+        # Hinge saturates at zero: 5 spikes is no better than 1.
+        busy = np.ones((5, 1, 2))
+        quiet = np.zeros((5, 1, 2))
+        quiet[0] = 1.0
+        assert (
+            loss_output_activity(_record_from_arrays([busy])).item()
+            == loss_output_activity(_record_from_arrays([quiet])).item()
+            == 0.0
+        )
+
+    def test_rejects_batched_record(self):
+        out = np.zeros((4, 2, 3))
+        with pytest.raises(ShapeError):
+            loss_output_activity(_record_from_arrays([out]))
+
+
+class TestL2NeuronActivation:
+    def test_sums_over_layers(self):
+        hidden = np.zeros((4, 1, 5))
+        out = np.zeros((4, 1, 3))
+        record = _record_from_arrays([hidden, out])
+        assert loss_neuron_activation(record).item() == 8.0
+
+    def test_mask_restricts(self):
+        hidden = np.zeros((4, 1, 5))
+        out = np.zeros((4, 1, 3))
+        record = _record_from_arrays([hidden, out])
+        masks = [np.array([True, False, False, False, False]), np.zeros(3, dtype=bool)]
+        assert loss_neuron_activation(record, masks).item() == 1.0
+
+    def test_none_mask_means_all(self):
+        hidden = np.zeros((2, 1, 4))
+        record = _record_from_arrays([hidden])
+        assert loss_neuron_activation(record, [None]).item() == 4.0
+
+
+class TestL3TemporalDiversity:
+    def test_td_counts_transitions(self):
+        arr = np.zeros((6, 1, 1))
+        arr[[1, 3], 0, 0] = 1.0  # pattern 0 1 0 1 0 0 -> 4 transitions
+        record = _record_from_arrays([arr])
+        assert temporal_diversity(record, 0).data.tolist() == [4.0]
+
+    def test_constant_train_has_zero_td(self):
+        arr = np.ones((6, 1, 2))
+        record = _record_from_arrays([arr])
+        assert temporal_diversity(record, 0).data.tolist() == [0.0, 0.0]
+
+    def test_hinge_at_td_min(self):
+        arr = np.zeros((6, 1, 1))
+        arr[[1, 3], 0, 0] = 1.0  # TD = 4
+        record = _record_from_arrays([arr])
+        assert loss_temporal_diversity(record, td_min=6).item() == 2.0
+        assert loss_temporal_diversity(record, td_min=4).item() == 0.0
+
+    def test_single_step_record(self):
+        arr = np.ones((1, 1, 3))
+        record = _record_from_arrays([arr])
+        assert loss_temporal_diversity(record, td_min=2).item() == 6.0
+
+
+class TestL4SynapseUniformity:
+    def _net(self):
+        spec = NetworkSpec(
+            name="l4",
+            input_shape=(4,),
+            layers=(DenseSpec(out_features=3), DenseSpec(out_features=2)),
+        )
+        return build_network(spec, np.random.default_rng(0))
+
+    def test_uniform_contributions_zero_variance(self):
+        net = self._net()
+        # Make all second-layer weights equal and all first-layer counts equal.
+        net.modules[1].weight.data[...] = 0.5
+        hidden = np.ones((4, 1, 3))  # every neuron spikes every step
+        out = np.zeros((4, 1, 2))
+        record = _record_from_arrays([hidden, out])
+        assert loss_synapse_uniformity(record, net).item() == pytest.approx(0.0)
+
+    def test_nonuniform_contributions_positive(self):
+        net = self._net()
+        net.modules[1].weight.data[...] = 0.5
+        net.modules[1].weight.data[0, 0] = 5.0  # one dominant synapse
+        hidden = np.ones((4, 1, 3))
+        out = np.zeros((4, 1, 2))
+        record = _record_from_arrays([hidden, out])
+        assert loss_synapse_uniformity(record, net).item() > 0.0
+
+    def test_zero_weights_excluded(self):
+        net = self._net()
+        net.modules[1].weight.data[...] = 0.5
+        net.modules[1].weight.data[1, :] = 0.0  # dead synapses must not count
+        hidden = np.ones((4, 1, 3))
+        out = np.zeros((4, 1, 2))
+        record = _record_from_arrays([hidden, out])
+        assert loss_synapse_uniformity(record, net).item() == pytest.approx(0.0)
+
+    def test_first_layer_excluded_by_default(self):
+        # Single spiking layer network: no receiving layer -> loss 0.
+        spec = NetworkSpec(name="one", input_shape=(4,), layers=(DenseSpec(out_features=2),))
+        net = build_network(spec, np.random.default_rng(0))
+        record = _record_from_arrays([np.ones((3, 1, 2))])
+        assert loss_synapse_uniformity(record, net).item() == 0.0
+
+    def test_include_first_layer_requires_counts(self):
+        net = self._net()
+        record = _record_from_arrays([np.ones((3, 1, 3)), np.zeros((3, 1, 2))])
+        with pytest.raises(ShapeError):
+            loss_synapse_uniformity(record, net, include_first_layer=True)
+
+    def test_include_first_layer_adds_term(self):
+        net = self._net()
+        record = _record_from_arrays([np.ones((3, 1, 3)), np.zeros((3, 1, 2))])
+        counts = Tensor(np.array([[3.0, 1.0, 0.0, 2.0]]))
+        base = loss_synapse_uniformity(record, net).item()
+        extended = loss_synapse_uniformity(
+            record, net, include_first_layer=True, input_counts=counts
+        ).item()
+        assert extended >= base
+
+    def test_recurrent_network_supported(self):
+        spec = NetworkSpec(
+            name="rec", input_shape=(4,),
+            layers=(RecurrentSpec(out_features=3), DenseSpec(out_features=2)),
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        record = _record_from_arrays([np.ones((3, 1, 3)), np.zeros((3, 1, 2))])
+        value = loss_synapse_uniformity(record, net).item()
+        assert np.isfinite(value) and value >= 0.0
+
+
+class TestL5AndConstancy:
+    def test_l5_counts_hidden_spikes_only(self):
+        hidden = np.ones((4, 1, 5))  # 20 spikes
+        out = np.ones((4, 1, 3))  # must not count
+        record = _record_from_arrays([hidden, out])
+        assert loss_spike_minimization(record).item() == 20.0
+
+    def test_l5_single_layer_zero(self):
+        record = _record_from_arrays([np.ones((4, 1, 3))])
+        assert loss_spike_minimization(record).item() == 0.0
+
+    def test_constancy_zero_when_equal(self):
+        out = np.zeros((4, 1, 3))
+        out[1] = 1.0
+        record = _record_from_arrays([out])
+        assert loss_output_constancy(record, out).item() == 0.0
+
+    def test_constancy_counts_differences(self):
+        out = np.zeros((4, 1, 3))
+        target = out.copy()
+        target[2, 0, 1] = 1.0
+        record = _record_from_arrays([out])
+        assert loss_output_constancy(record, target).item() == 1.0
+
+
+class TestGradientsReachInput:
+    def test_all_losses_differentiable_through_network(self, tiny_network):
+        from repro.autograd import functional as F
+
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(0, 1, (8, 1, 24)), requires_grad=True)
+        soft = F.gumbel_softmax(logits, 0.7, rng)
+        binary = F.ste_binarize(soft)
+        seq = [binary[t] for t in range(8)]
+        record = tiny_network.forward(seq)
+        input_counts = stack(seq).sum(axis=0)
+        weights = LossWeights(1.0, 1.0, 1.0, 1.0)
+        loss = weights.combined(record, tiny_network, td_min=2, input_counts=input_counts)
+        loss = loss + loss_spike_minimization(record)
+        loss.backward()
+        assert logits.grad is not None
+        assert np.abs(logits.grad).sum() > 0.0
+
+
+class TestLossWeights:
+    def test_balanced_inverse_magnitude(self, tiny_network):
+        rng = np.random.default_rng(1)
+        seq = [Tensor((rng.random((1, 24)) < 0.3).astype(float)) for _ in range(8)]
+        record = tiny_network.forward(seq)
+        weights = LossWeights.balanced(record, tiny_network, td_min=2)
+        for alpha in (weights.alpha1, weights.alpha2, weights.alpha3, weights.alpha4):
+            assert alpha > 0.0
+        # alpha_i * L_i == 1 whenever L_i above the floor
+        value = loss_neuron_activation(record).item()
+        if value > 1e-3:
+            assert weights.alpha2 * value == pytest.approx(1.0)
+
+    def test_floor_prevents_blowup(self, tiny_network):
+        # All-zero record -> L1/L2 large, L3 large, L4 ~0 -> alpha4 = 1/floor
+        record = _record_from_arrays(
+            [np.zeros((4, 1, 16)), np.zeros((4, 1, 20))]
+        )
+        weights = LossWeights.balanced(record, tiny_network, td_min=2, floor=1e-3)
+        assert weights.alpha4 <= 1e3 + 1e-9

@@ -1,0 +1,100 @@
+"""L4 synapse-uniformity tests for convolutional receiving layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.core.losses import loss_synapse_uniformity
+from repro.snn import ConvSpec, DenseSpec, FlattenSpec, NetworkSpec, PoolSpec, build_network
+from repro.snn.network import ForwardRecord
+
+
+def _record_from_arrays(layers):
+    layer_spikes = []
+    for arr in layers:
+        layer_spikes.append([Tensor(arr[t]) for t in range(arr.shape[0])])
+    return ForwardRecord(layer_spikes=layer_spikes, layer_names=[str(i) for i in range(len(layers))])
+
+
+def _conv_net(seed=0):
+    spec = NetworkSpec(
+        name="l4conv",
+        input_shape=(2, 4, 4),
+        layers=(
+            ConvSpec(out_channels=3, kernel=3, padding=1),
+            ConvSpec(out_channels=2, kernel=3, padding=1),
+            FlattenSpec(),
+            DenseSpec(out_features=2),
+        ),
+    )
+    return build_network(spec, np.random.default_rng(seed))
+
+
+def _record_for(net, conv1_pattern):
+    t_steps = 4
+    conv1 = np.broadcast_to(conv1_pattern, (t_steps, 1, 3, 4, 4)).copy()
+    conv2 = np.zeros((t_steps, 1, 2, 4, 4))
+    dense = np.zeros((t_steps, 1, 2))
+    return _record_from_arrays([conv1, conv2, dense])
+
+
+class TestConvL4:
+    def test_uniform_kernel_and_channels_zero_variance(self):
+        net = _conv_net()
+        net.modules[1].weight.data[...] = 0.5  # conv2 kernel uniform
+        record = _record_for(net, np.ones((3, 4, 4)))  # equal channel activity
+        # Only conv2's term is computed (dense receives zero counts, but its
+        # weights are nonuniform -> contributions all zero since counts 0).
+        net.modules[3].weight.data[...] = 0.25
+        value = loss_synapse_uniformity(record, net).item()
+        assert value == pytest.approx(0.0)
+
+    def test_dominant_kernel_entry_penalised(self):
+        net = _conv_net()
+        net.modules[1].weight.data[...] = 0.5
+        net.modules[1].weight.data[0, 0, 0, 0] = 10.0
+        net.modules[3].weight.data[...] = 0.25
+        record = _record_for(net, np.ones((3, 4, 4)))
+        assert loss_synapse_uniformity(record, net).item() > 0.0
+
+    def test_unequal_channel_activity_penalised(self):
+        net = _conv_net()
+        net.modules[1].weight.data[...] = 0.5
+        net.modules[3].weight.data[...] = 0.25
+        pattern = np.ones((3, 4, 4))
+        pattern[1] = 0.0  # channel 1 silent -> its kernel entries contribute 0
+        record = _record_for(net, pattern)
+        assert loss_synapse_uniformity(record, net).item() > 0.0
+
+    def test_gradient_flows_to_presynaptic_counts(self):
+        net = _conv_net()
+        t_steps = 4
+        conv1_arrays = np.ones((t_steps, 1, 3, 4, 4))
+        conv1 = [Tensor(conv1_arrays[t], requires_grad=True) for t in range(t_steps)]
+        conv2 = [Tensor(np.zeros((1, 2, 4, 4))) for _ in range(t_steps)]
+        dense = [Tensor(np.zeros((1, 2))) for _ in range(t_steps)]
+        record = ForwardRecord(layer_spikes=[conv1, conv2, dense], layer_names=["a", "b", "c"])
+        loss = loss_synapse_uniformity(record, net)
+        loss.backward()
+        assert any(t.grad is not None and np.abs(t.grad).sum() > 0 for t in conv1)
+
+    def test_pool_between_layers_transforms_counts(self):
+        spec = NetworkSpec(
+            name="pooled",
+            input_shape=(1, 4, 4),
+            layers=(
+                ConvSpec(out_channels=2, kernel=3, padding=1),
+                PoolSpec(2),
+                FlattenSpec(),
+                DenseSpec(out_features=3),
+            ),
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        t_steps = 3
+        conv = np.ones((t_steps, 1, 2, 4, 4))
+        dense = np.zeros((t_steps, 1, 3))
+        record = _record_from_arrays([conv, dense])
+        # Must not raise: the pooled count tensor (2x2x2 -> flat 8) matches
+        # the dense layer's in_features.
+        value = loss_synapse_uniformity(record, net).item()
+        assert np.isfinite(value)

@@ -1,0 +1,100 @@
+"""Tests for on-chip test storage: bit-packing and golden signatures."""
+
+import numpy as np
+import pytest
+
+from repro.core.storage import StoredTest, pack_stimulus, unpack_stimulus
+from repro.core.testset import TestStimulus
+from repro.errors import TestGenerationError
+from repro.faults.catalog import build_catalog
+from repro.faults.injector import inject
+from repro.faults.model import FaultModelConfig
+
+
+def _stimulus(seed=0, shape=(6,)):
+    rng = np.random.default_rng(seed)
+    chunks = [
+        (rng.random((5, 1) + shape) > 0.5).astype(float),
+        (rng.random((7, 1) + shape) > 0.5).astype(float),
+    ]
+    return TestStimulus(chunks=chunks, input_shape=shape)
+
+
+class TestPacking:
+    def test_round_trip(self):
+        stim = _stimulus()
+        payloads, shapes = pack_stimulus(stim)
+        restored = unpack_stimulus(payloads, shapes, stim.input_shape)
+        for a, b in zip(stim.chunks, restored.chunks):
+            assert np.array_equal(a, b)
+
+    def test_packing_is_8x_smaller(self):
+        stim = _stimulus()
+        payloads, _ = pack_stimulus(stim)
+        packed = sum(len(p) for p in payloads)
+        raw_bits = sum(int(np.prod(c.shape)) for c in stim.chunks)
+        assert packed <= raw_bits // 8 + len(stim.chunks)
+
+    def test_conv_shaped_chunks(self):
+        stim = _stimulus(shape=(2, 4, 4))
+        payloads, shapes = pack_stimulus(stim)
+        restored = unpack_stimulus(payloads, shapes, (2, 4, 4))
+        assert restored.chunks[0].shape == (5, 1, 2, 4, 4)
+
+
+class TestStoredTest:
+    @pytest.fixture()
+    def network(self, tiny_network):
+        return tiny_network
+
+    @pytest.fixture()
+    def stored(self, network):
+        rng = np.random.default_rng(1)
+        chunks = [(rng.random((6, 1, 24)) > 0.5).astype(float) for _ in range(2)]
+        stim = TestStimulus(chunks=chunks, input_shape=(24,))
+        return StoredTest.build(network, stim)
+
+    def test_healthy_device_passes(self, network, stored):
+        assert stored.check(network, exact=True)
+        assert stored.check(network, exact=False)
+
+    def test_fault_fails_exact_check(self, network, stored):
+        catalog = build_catalog(network)
+        config = FaultModelConfig()
+        # A saturated output neuron is always visible.
+        fault = next(
+            f for f in catalog.neuron_faults
+            if f.module_index == network.spiking_indices[-1] and f.kind.value == "saturated"
+        )
+        with inject(network, fault, config):
+            assert not stored.check(network, exact=True)
+        assert stored.check(network, exact=True)  # restored afterwards
+
+    def test_count_signature_detects_saturation(self, network, stored):
+        catalog = build_catalog(network)
+        fault = next(
+            f for f in catalog.neuron_faults
+            if f.module_index == network.spiking_indices[-1] and f.kind.value == "saturated"
+        )
+        with inject(network, fault, FaultModelConfig()):
+            assert not stored.check(network, exact=False)
+
+    def test_storage_accounting(self, stored):
+        assert stored.storage_bytes >= sum(len(p) for p in stored.payloads)
+        # Compact: well under the raw float64 stimulus size.
+        raw = sum(int(np.prod(s)) * 8 for s in stored.shapes)
+        assert stored.storage_bytes < raw / 8
+
+    def test_save_load_round_trip(self, network, stored, tmp_path):
+        path = str(tmp_path / "stored.npz")
+        stored.save(path)
+        loaded = StoredTest.load(path)
+        assert loaded.golden_digest == stored.golden_digest
+        assert np.array_equal(loaded.golden_counts, stored.golden_counts)
+        assert loaded.check(network, exact=True)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        np.savez(path, nothing=np.zeros(1))
+        with pytest.raises(TestGenerationError):
+            StoredTest.load(path)

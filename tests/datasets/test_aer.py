@@ -1,0 +1,76 @@
+"""Tests for AER event conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.aer import event_count, event_rate, from_events, to_events
+from repro.errors import DatasetError
+
+
+class TestAER:
+    def test_round_trip_flat(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((10, 7)) > 0.6).astype(float)
+        events = to_events(dense)
+        assert np.array_equal(from_events(events, 10, (7,)), dense)
+
+    def test_round_trip_video(self):
+        rng = np.random.default_rng(1)
+        dense = (rng.random((6, 2, 4, 4)) > 0.7).astype(float)
+        events = to_events(dense)
+        assert np.array_equal(from_events(events, 6, (2, 4, 4)), dense)
+
+    def test_empty_stream(self):
+        dense = np.zeros((5, 3))
+        events = to_events(dense)
+        assert events.size == 0
+        assert np.array_equal(from_events(events, 5, (3,)), dense)
+
+    def test_event_fields(self):
+        dense = np.zeros((4, 3))
+        dense[2, 1] = 1.0
+        events = to_events(dense)
+        assert events["t"].tolist() == [2]
+        assert events["addr"].tolist() == [1]
+
+    def test_counts_and_rate(self):
+        dense = np.zeros((4, 3))
+        dense[0, 0] = dense[3, 2] = 1.0
+        assert event_count(dense) == 2
+        assert event_rate(dense) == 0.5
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(DatasetError):
+            to_events(np.zeros(5))
+
+    def test_rejects_out_of_window_events(self):
+        dense = np.zeros((4, 3))
+        dense[3, 1] = 1.0
+        events = to_events(dense)
+        with pytest.raises(DatasetError):
+            from_events(events, 2, (3,))
+
+    def test_rejects_out_of_address_events(self):
+        dense = np.zeros((4, 5))
+        dense[0, 4] = 1.0
+        events = to_events(dense)
+        with pytest.raises(DatasetError):
+            from_events(events, 4, (3,))
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip(self, steps, channels):
+        rng = np.random.default_rng(steps * 31 + channels)
+        dense = (rng.random((steps, channels)) > 0.5).astype(float)
+        assert np.array_equal(from_events(to_events(dense), steps, (channels,)), dense)
+
+    def test_generated_stimulus_exportable(self, tmp_path):
+        """A generated test stimulus survives an AER export/import."""
+        dense = (np.random.default_rng(5).random((8, 1, 6)) > 0.5).astype(float)
+        events = to_events(dense[:, 0])
+        np.save(tmp_path / "events.npy", events)
+        loaded = np.load(tmp_path / "events.npy")
+        restored = from_events(loaded, 8, (6,))
+        assert np.array_equal(restored, dense[:, 0])

@@ -1,0 +1,147 @@
+"""Tests for the three synthetic benchmark datasets and the base API."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DVSGestureLike, NMNISTLike, SHDLike, SpikingDataset
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def nmnist():
+    return NMNISTLike(train_size=40, test_size=20, size=16, steps=24, seed=0)
+
+
+@pytest.fixture(scope="module")
+def gestures():
+    return DVSGestureLike(train_size=22, test_size=11, size=16, steps=24, seed=0)
+
+
+@pytest.fixture(scope="module")
+def shd():
+    return SHDLike(train_size=40, test_size=20, channels=48, steps=24, seed=0)
+
+
+class TestShapesAndDeterminism:
+    def test_nmnist_shapes(self, nmnist):
+        assert nmnist.train_inputs.shape == (24, 40, 2, 16, 16)
+        assert nmnist.num_classes == 10
+        assert nmnist.input_shape == (2, 16, 16)
+
+    def test_gesture_shapes(self, gestures):
+        assert gestures.train_inputs.shape == (24, 22, 2, 16, 16)
+        assert gestures.num_classes == 11
+
+    def test_shd_shapes(self, shd):
+        assert shd.train_inputs.shape == (24, 40, 48)
+        assert shd.num_classes == 20
+
+    def test_binary_uint8(self, nmnist, gestures, shd):
+        for ds in (nmnist, gestures, shd):
+            assert ds.train_inputs.dtype == np.uint8
+            assert set(np.unique(ds.train_inputs)).issubset({0, 1})
+
+    def test_nonzero_activity(self, nmnist, gestures, shd):
+        for ds in (nmnist, gestures, shd):
+            per_sample = ds.train_inputs.reshape(ds.steps, ds.train_size, -1).sum(axis=(0, 2))
+            assert np.all(per_sample > 0), f"{ds.name} has silent samples"
+
+    def test_deterministic(self):
+        a = NMNISTLike(train_size=10, test_size=5, size=16, steps=12, seed=3)
+        b = NMNISTLike(train_size=10, test_size=5, size=16, steps=12, seed=3)
+        assert np.array_equal(a.train_inputs, b.train_inputs)
+        assert np.array_equal(a.test_inputs, b.test_inputs)
+
+    def test_seed_changes_data(self):
+        a = NMNISTLike(train_size=10, test_size=5, size=16, steps=12, seed=3)
+        b = NMNISTLike(train_size=10, test_size=5, size=16, steps=12, seed=4)
+        assert not np.array_equal(a.train_inputs, b.train_inputs)
+
+    def test_all_classes_present(self, nmnist, gestures, shd):
+        for ds in (nmnist, gestures, shd):
+            assert set(ds.train_labels.tolist()) == set(range(ds.num_classes))
+
+    def test_classes_distinguishable(self, shd):
+        # Mean spatio-temporal pattern per class should differ between classes.
+        means = []
+        for c in range(4):
+            mask = shd.train_labels == c
+            means.append(shd.train_inputs[:, mask].mean(axis=1))
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert np.abs(means[i] - means[j]).sum() > 1.0
+
+    def test_rejects_empty_split(self):
+        with pytest.raises(DatasetError):
+            NMNISTLike(train_size=0, test_size=5)
+
+
+class TestBaseAPI:
+    def test_sample_shape(self, nmnist):
+        inputs, label = nmnist.sample(0, "test")
+        assert inputs.shape == (24, 1, 2, 16, 16)
+        assert inputs.dtype == np.float64
+        assert 0 <= label < 10
+
+    def test_sample_out_of_range(self, nmnist):
+        with pytest.raises(DatasetError):
+            nmnist.sample(10_000)
+
+    def test_sample_bad_split(self, nmnist):
+        with pytest.raises(DatasetError):
+            nmnist.sample(0, "validation")
+
+    def test_subset_first(self, nmnist):
+        inputs, labels = nmnist.subset(5, "train")
+        assert inputs.shape[1] == 5
+        assert np.array_equal(labels, nmnist.train_labels[:5])
+
+    def test_subset_random(self, nmnist):
+        inputs, labels = nmnist.subset(5, "train", rng=np.random.default_rng(0))
+        assert inputs.shape[1] == 5
+
+    def test_subset_too_large(self, nmnist):
+        with pytest.raises(DatasetError):
+            nmnist.subset(10_000, "train")
+
+    def test_batches_cover_split(self, nmnist):
+        seen = 0
+        for inputs, labels in nmnist.batches("train", 16, np.random.default_rng(0)):
+            assert inputs.shape[0] == nmnist.steps
+            assert inputs.shape[1] == labels.shape[0]
+            seen += labels.shape[0]
+        assert seen == nmnist.train_size
+
+    def test_batches_shuffled(self, nmnist):
+        first_a = next(iter(nmnist.batches("train", 8, np.random.default_rng(0))))[1]
+        first_b = next(iter(nmnist.batches("train", 8, np.random.default_rng(1))))[1]
+        assert not np.array_equal(first_a, first_b)
+
+    def test_describe(self, nmnist):
+        text = nmnist.describe()
+        assert "nmnist-like" in text
+        assert "10 classes" in text
+
+    def test_constructor_validates_labels(self):
+        with pytest.raises(DatasetError):
+            SpikingDataset(
+                name="bad",
+                input_shape=(2,),
+                num_classes=2,
+                train_inputs=np.zeros((3, 2, 2), dtype=np.uint8),
+                train_labels=np.array([0, 5]),
+                test_inputs=np.zeros((3, 1, 2), dtype=np.uint8),
+                test_labels=np.array([0]),
+            )
+
+    def test_constructor_validates_counts(self):
+        with pytest.raises(DatasetError):
+            SpikingDataset(
+                name="bad",
+                input_shape=(2,),
+                num_classes=2,
+                train_inputs=np.zeros((3, 2, 2), dtype=np.uint8),
+                train_labels=np.array([0]),
+                test_inputs=np.zeros((3, 1, 2), dtype=np.uint8),
+                test_labels=np.array([0]),
+            )

@@ -1,0 +1,124 @@
+"""Tests for the shared event-synthesis primitives."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    digit_bitmap,
+    frames_to_dvs_events,
+    gaussian_blob,
+    oriented_bar,
+    shift_frame,
+)
+from repro.errors import DatasetError
+
+
+class TestDigitBitmap:
+    def test_all_digits_render(self):
+        for d in range(10):
+            bitmap = digit_bitmap(d, 16)
+            assert bitmap.shape == (16, 16)
+            assert bitmap.sum() > 0
+
+    def test_digits_distinct(self):
+        bitmaps = [digit_bitmap(d, 16) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.array_equal(bitmaps[i], bitmaps[j]), (i, j)
+
+    def test_eight_superset_of_one(self):
+        eight = digit_bitmap(8, 16)
+        one = digit_bitmap(1, 16)
+        assert np.all(eight >= one)
+
+    def test_margin_left_for_motion(self):
+        bitmap = digit_bitmap(8, 16)
+        assert bitmap[0].sum() == 0  # top row empty
+        assert bitmap[-1].sum() == 0
+
+    def test_rejects_bad_digit(self):
+        with pytest.raises(DatasetError):
+            digit_bitmap(10, 16)
+
+    def test_rejects_small_canvas(self):
+        with pytest.raises(DatasetError):
+            digit_bitmap(3, 4)
+
+
+class TestShiftFrame:
+    def test_identity(self):
+        frame = np.random.default_rng(0).random((5, 5))
+        assert np.array_equal(shift_frame(frame, 0, 0), frame)
+
+    def test_shift_down_right(self):
+        frame = np.zeros((4, 4))
+        frame[0, 0] = 1.0
+        shifted = shift_frame(frame, 1, 2)
+        assert shifted[1, 2] == 1.0
+        assert shifted.sum() == 1.0
+
+    def test_content_leaves_canvas(self):
+        frame = np.zeros((4, 4))
+        frame[3, 3] = 1.0
+        assert shift_frame(frame, 1, 1).sum() == 0.0
+
+    def test_negative_shift(self):
+        frame = np.zeros((4, 4))
+        frame[2, 2] = 1.0
+        shifted = shift_frame(frame, -1, -2)
+        assert shifted[1, 0] == 1.0
+
+
+class TestDVSEvents:
+    def test_on_off_polarity(self):
+        frames = np.zeros((3, 4, 4))
+        frames[1, 1, 1] = 1.0  # appears at t=1 -> ON event
+        # disappears at t=2 -> OFF event
+        events = frames_to_dvs_events(frames, threshold=0.5)
+        assert events[0, 0, 1, 1] == 1  # ON
+        assert events[0, 1, 1, 1] == 0
+        assert events[1, 1, 1, 1] == 1  # OFF
+        assert events[1, 0, 1, 1] == 0
+
+    def test_static_scene_silent(self):
+        frames = np.full((5, 4, 4), 0.7)
+        assert frames_to_dvs_events(frames).sum() == 0
+
+    def test_threshold_filters_small_changes(self):
+        frames = np.zeros((2, 2, 2))
+        frames[1] = 0.05
+        assert frames_to_dvs_events(frames, threshold=0.1).sum() == 0
+
+    def test_noise_adds_events(self):
+        frames = np.zeros((11, 8, 8))
+        rng = np.random.default_rng(0)
+        events = frames_to_dvs_events(frames, noise_rate=0.2, rng=rng)
+        assert events.sum() > 0
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(DatasetError):
+            frames_to_dvs_events(np.zeros((2, 2, 2)), noise_rate=0.1)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(DatasetError):
+            frames_to_dvs_events(np.zeros((1, 2, 2)))
+
+    def test_output_dtype_uint8(self):
+        frames = np.zeros((3, 2, 2))
+        assert frames_to_dvs_events(frames).dtype == np.uint8
+
+
+class TestBlobs:
+    def test_gaussian_blob_peak_at_center(self):
+        blob = gaussian_blob(9, (4.0, 4.0), 1.5)
+        assert blob[4, 4] == blob.max()
+        assert np.isclose(blob[4, 4], 1.0)
+
+    def test_oriented_bar_elongated(self):
+        bar = oriented_bar(15, (7.0, 7.0), 0.0, length=5.0, width=1.0)
+        # Horizontal bar: wider along x than y.
+        assert bar[7, 12] > bar[12, 7]
+
+    def test_oriented_bar_rotates(self):
+        vertical = oriented_bar(15, (7.0, 7.0), np.pi / 2, length=5.0, width=1.0)
+        assert vertical[12, 7] > vertical[7, 12]

@@ -1,0 +1,53 @@
+"""Report-generation tests on a tiny cached pipeline (single benchmark)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentPipeline,
+    ablation_report,
+    fig7_report,
+    fig8_report,
+    fig9_report,
+    get_benchmark,
+    table3_report,
+    table4_report,
+)
+
+
+@pytest.fixture(scope="module")
+def shd_pipeline(tmp_path_factory):
+    results = tmp_path_factory.mktemp("reports")
+    return ExperimentPipeline(get_benchmark("shd", "tiny"), results_dir=results, seed=0)
+
+
+class TestReportsTiny:
+    def test_table3_single_benchmark(self, shd_pipeline):
+        text, payload = table3_report({"shd": shd_pipeline})
+        assert "Table III" in text
+        stats = payload["shd"]
+        assert 0.0 <= stats["activated_fraction"] <= 1.0
+        assert stats["duration_steps"] > 0
+        assert stats["runtime_s"] > 0
+
+    def test_table4_runs_baselines(self, shd_pipeline):
+        text, payload = table4_report(shd_pipeline, baseline_pool=4)
+        assert "This work" in text
+        for key in ("greedy_dataset[18]", "adversarial[17,19]", "random[20]"):
+            assert key in payload
+            assert payload[key]["fault_simulations"] > 0
+
+    def test_fig_reports(self, shd_pipeline):
+        text7, payload7 = fig7_report(shd_pipeline)
+        assert payload7["total_steps"] > 0
+        text8, payload8 = fig8_report(shd_pipeline)
+        assert 0.0 <= payload8["optimized_fraction"] <= 1.0
+        text9, payload9 = fig9_report(shd_pipeline)
+        assert payload9["detected_faults"] >= 0
+
+    def test_ablation_single_variant(self, shd_pipeline):
+        text, payload = ablation_report(
+            shd_pipeline, variants=[("full", ())], fault_fraction=0.3
+        )
+        assert "full" in payload
+        assert 0.0 <= payload["full"]["detection_rate"] <= 1.0

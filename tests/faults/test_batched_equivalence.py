@@ -1,0 +1,117 @@
+"""Batched neuron-fault simulation must agree exactly with sequential
+per-fault injection, on every layer type."""
+
+import numpy as np
+import pytest
+
+from repro.faults.catalog import build_catalog
+from repro.faults.injector import inject
+from repro.faults.model import FaultModelConfig, NeuronFaultKind
+from repro.faults.simulator import FaultSimulator
+from repro.snn.builder import (
+    ConvSpec,
+    DenseSpec,
+    FlattenSpec,
+    NetworkSpec,
+    PoolSpec,
+    RecurrentSpec,
+    build_network,
+)
+from repro.snn.neuron import LIFParameters
+
+
+def _conv_net():
+    spec = NetworkSpec(
+        name="conv",
+        input_shape=(2, 8, 8),
+        layers=(
+            ConvSpec(out_channels=4, kernel=3, padding=1),
+            PoolSpec(2),
+            FlattenSpec(),
+            DenseSpec(out_features=10),
+            DenseSpec(out_features=4),
+        ),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    return build_network(spec, np.random.default_rng(0))
+
+
+def _rec_net():
+    spec = NetworkSpec(
+        name="rec",
+        input_shape=(10,),
+        layers=(RecurrentSpec(out_features=8), DenseSpec(out_features=4)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    return build_network(spec, np.random.default_rng(1))
+
+
+@pytest.mark.parametrize("net_factory,input_shape", [(_conv_net, (2, 8, 8)), (_rec_net, (10,))])
+@pytest.mark.parametrize("neuron_batch", [1, 4, 16])
+def test_detect_matches_sequential(net_factory, input_shape, neuron_batch):
+    net = net_factory()
+    config = FaultModelConfig(synapse_kinds=())
+    catalog = build_catalog(net, config)
+    faults = catalog.neuron_faults[:: max(1, len(catalog.neuron_faults) // 40)]
+    stim = (np.random.default_rng(2).random((10, 1) + input_shape) > 0.6).astype(float)
+
+    simulator = FaultSimulator(net, config, neuron_batch=neuron_batch)
+    result = simulator.detect(stim, faults)
+
+    golden = net.run(stim)[:, 0, :]
+    for fault, detected, l1 in zip(faults, result.detected, result.output_l1):
+        with inject(net, fault, config):
+            out = net.run(stim)[:, 0, :]
+        expected = np.abs(out - golden).sum()
+        assert expected == pytest.approx(l1), fault.describe()
+        assert (expected > 0) == detected
+
+
+@pytest.mark.parametrize("neuron_batch", [1, 8])
+def test_classify_matches_sequential(neuron_batch):
+    net = _conv_net()
+    config = FaultModelConfig(synapse_kinds=())
+    catalog = build_catalog(net, config)
+    faults = catalog.neuron_faults[:: max(1, len(catalog.neuron_faults) // 30)]
+    rng = np.random.default_rng(3)
+    inputs = (rng.random((10, 6, 2, 8, 8)) > 0.6).astype(float)
+    labels = rng.integers(0, 4, size=6)
+
+    simulator = FaultSimulator(net, config, neuron_batch=neuron_batch)
+    result = simulator.classify(inputs, labels, faults)
+
+    golden_preds = net.predict(inputs)
+    for fault, critical, drop in zip(faults, result.critical, result.accuracy_drop):
+        with inject(net, fault, config):
+            preds = net.predict(inputs)
+        assert bool(np.any(preds != golden_preds)) == critical, fault.describe()
+        expected_drop = result.nominal_accuracy - float((preds == labels).mean())
+        assert drop == pytest.approx(expected_drop), fault.describe()
+
+
+def test_timing_faults_batched_exactly():
+    """Timing-variation faults perturb per-neuron parameter arrays; the
+    batched expansion must perturb exactly one row per fault."""
+    net = _rec_net()
+    config = FaultModelConfig(
+        neuron_kinds=(
+            NeuronFaultKind.TIMING_THRESHOLD,
+            NeuronFaultKind.TIMING_LEAK,
+            NeuronFaultKind.TIMING_REFRACTORY,
+        ),
+        synapse_kinds=(),
+    )
+    catalog = build_catalog(net, config)
+    stim = (np.random.default_rng(4).random((12, 1, 10)) > 0.4).astype(float)
+    simulator = FaultSimulator(net, config, neuron_batch=8)
+    result = simulator.detect(stim, catalog.neuron_faults)
+    golden = net.run(stim)[:, 0, :]
+    for fault, detected in zip(catalog.neuron_faults, result.detected):
+        with inject(net, fault, config):
+            out = net.run(stim)[:, 0, :]
+        assert (np.abs(out - golden).sum() > 0) == detected, fault.describe()
+    # Parameter arrays fully restored after the batched campaign.
+    for module in net.spiking_modules:
+        assert np.allclose(module.threshold, module.params.threshold)
+        assert np.allclose(module.leak, module.params.leak)
+        assert np.all(module.refractory_steps == module.params.refractory_steps)

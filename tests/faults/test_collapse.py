@@ -1,0 +1,138 @@
+"""Tests for structural fault collapsing."""
+
+import numpy as np
+import pytest
+
+from repro.faults.catalog import build_catalog
+from repro.faults.collapse import (
+    REASON_ALREADY_SATURATED,
+    REASON_DISCONNECTED_NEURON,
+    REASON_ZERO_WEIGHT_DEAD,
+    collapse_catalog,
+)
+from repro.faults.injector import inject
+from repro.faults.model import FaultModelConfig
+from repro.faults.simulator import FaultSimulator
+from repro.snn.builder import (
+    ConvSpec,
+    DenseSpec,
+    FlattenSpec,
+    NetworkSpec,
+    PoolSpec,
+    RecurrentSpec,
+    build_network,
+)
+
+
+def _dense_net(seed=0):
+    spec = NetworkSpec(
+        name="c",
+        input_shape=(6,),
+        layers=(DenseSpec(out_features=5), DenseSpec(out_features=3)),
+    )
+    return build_network(spec, np.random.default_rng(seed))
+
+
+class TestCollapseRules:
+    def test_nothing_dropped_for_generic_weights(self):
+        net = _dense_net()
+        catalog = build_catalog(net)
+        collapsed = collapse_catalog(net, catalog)
+        assert not collapsed.dropped
+        assert len(collapsed.kept) == len(catalog)
+
+    def test_zero_weight_dead_dropped(self):
+        net = _dense_net()
+        net.modules[0].weight.data.reshape(-1)[3] = 0.0
+        collapsed = collapse_catalog(net, build_catalog(net))
+        assert collapsed.reasons.get(REASON_ZERO_WEIGHT_DEAD) == 1
+
+    def test_already_saturated_dropped(self):
+        net = _dense_net()
+        config = FaultModelConfig(saturation_multiplier=1.0)
+        weights = net.modules[1].weight.data
+        peak_index = int(np.abs(weights).argmax())
+        weights.reshape(-1)[peak_index] = abs(weights.reshape(-1)[peak_index])
+        collapsed = collapse_catalog(net, build_catalog(net, config))
+        assert collapsed.reasons.get(REASON_ALREADY_SATURATED, 0) >= 1
+
+    def test_disconnected_hidden_neuron_dropped(self):
+        net = _dense_net()
+        net.modules[1].weight.data[2, :] = 0.0  # hidden neuron 2 feeds nothing
+        collapsed = collapse_catalog(net, build_catalog(net))
+        disconnected = [
+            f for f, reason in collapsed.dropped if reason == REASON_DISCONNECTED_NEURON
+        ]
+        # All 5 neuron fault kinds for that neuron are dropped.
+        assert len(disconnected) == 5
+        assert all(f.module_index == 0 and f.neuron_index == 2 for f in disconnected)
+
+    def test_output_neurons_never_dropped(self):
+        net = _dense_net()
+        # Even if hypothetically disconnected, output faults are observable.
+        collapsed = collapse_catalog(net, build_catalog(net))
+        output_dropped = [
+            f for f, _ in collapsed.dropped if f.is_neuron and f.module_index == 1
+        ]
+        assert not output_dropped
+
+    def test_conv_predecessors_conservative(self):
+        spec = NetworkSpec(
+            name="conv",
+            input_shape=(1, 4, 4),
+            layers=(ConvSpec(out_channels=2, kernel=3, padding=1), PoolSpec(2),
+                    FlattenSpec(), DenseSpec(out_features=3)),
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        collapsed = collapse_catalog(net, build_catalog(net))
+        # Conv neurons feed a pool: analysis is conservative -> none dropped.
+        assert not any(
+            reason == REASON_DISCONNECTED_NEURON for _, reason in collapsed.dropped
+        )
+
+    def test_recurrent_self_connection_counts(self):
+        spec = NetworkSpec(
+            name="rec",
+            input_shape=(4,),
+            layers=(RecurrentSpec(out_features=3), DenseSpec(out_features=2)),
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        # Zero the dense input rows for neuron 1 but keep its recurrence:
+        # it still influences the network through W_rec -> must be kept.
+        net.modules[1].weight.data[1, :] = 0.0
+        collapsed = collapse_catalog(net, build_catalog(net))
+        dropped_neurons = {
+            (f.module_index, f.neuron_index)
+            for f, reason in collapsed.dropped
+            if reason == REASON_DISCONNECTED_NEURON
+        }
+        assert (0, 1) not in dropped_neurons
+
+    def test_atol_widens_zero_class(self):
+        net = _dense_net()
+        net.modules[0].weight.data.reshape(-1)[0] = 1e-9
+        strict = collapse_catalog(net, build_catalog(net), atol=0.0)
+        loose = collapse_catalog(net, build_catalog(net), atol=1e-6)
+        assert len(loose.dropped) > len(strict.dropped)
+
+    def test_summary_text(self):
+        net = _dense_net()
+        net.modules[0].weight.data.reshape(-1)[3] = 0.0
+        text = collapse_catalog(net, build_catalog(net)).summary()
+        assert "collapsed" in text
+
+
+class TestCollapseSoundness:
+    def test_dropped_faults_truly_undetectable(self):
+        """Every dropped fault must produce a zero output difference for a
+        strong stimulus — the soundness contract of collapsing."""
+        net = _dense_net()
+        net.modules[0].weight.data.reshape(-1)[3] = 0.0
+        net.modules[1].weight.data[2, :] = 0.0
+        catalog = build_catalog(net)
+        collapsed = collapse_catalog(net, catalog)
+        assert collapsed.dropped
+        stimulus = (np.random.default_rng(0).random((16, 1, 6)) > 0.3).astype(float)
+        simulator = FaultSimulator(net)
+        detection = simulator.detect(stimulus, [f for f, _ in collapsed.dropped])
+        assert not detection.detected.any()

@@ -1,0 +1,85 @@
+"""Tests for the fault dictionary / diagnosis module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultModelError
+from repro.faults.catalog import build_catalog
+from repro.faults.diagnosis import FaultDictionary, observed_signature
+from repro.faults.injector import inject
+from repro.faults.model import FaultModelConfig
+from repro.faults.simulator import FaultSimulator
+from repro.snn import DenseSpec, LIFParameters, NetworkSpec, build_network
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = NetworkSpec(
+        name="diag",
+        input_shape=(10,),
+        layers=(DenseSpec(out_features=8), DenseSpec(out_features=4)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    network = build_network(spec, np.random.default_rng(0))
+    config = FaultModelConfig(synapse_sample_fraction=0.2)
+    catalog = build_catalog(network, config, rng=np.random.default_rng(1))
+    stimulus = (np.random.default_rng(2).random((14, 1, 10)) > 0.4).astype(float)
+    simulator = FaultSimulator(network, config)
+    detection = simulator.detect(stimulus, catalog.faults)
+    return network, config, catalog, stimulus, detection
+
+
+class TestFaultDictionary:
+    def test_contains_only_detected(self, setup):
+        _, _, _, _, detection = setup
+        dictionary = FaultDictionary.from_detection(detection)
+        assert len(dictionary) == int(detection.detected.sum())
+
+    def test_resolution_in_range(self, setup):
+        _, _, _, _, detection = setup
+        dictionary = FaultDictionary.from_detection(detection)
+        assert 0.0 <= dictionary.resolution() <= 1.0
+
+    def test_self_diagnosis_top_match(self, setup):
+        """Injecting a detected fault and diagnosing its own signature must
+        rank it at distance zero."""
+        network, config, catalog, stimulus, detection = setup
+        dictionary = FaultDictionary.from_detection(detection)
+        golden = network.run(stimulus)
+        # Pick a detected fault with a distinctive signature.
+        index = int(np.argmax(detection.output_l1))
+        fault = detection.faults[index]
+        with inject(network, fault, config):
+            faulty = network.run(stimulus)
+        signature = observed_signature(golden, faulty)
+        candidates = dictionary.diagnose(signature, top=5)
+        assert candidates[0][1] == 0.0
+        assert any(f == fault for f, d in candidates if d == 0.0)
+
+    def test_diagnose_rejects_bad_shape(self, setup):
+        _, _, _, _, detection = setup
+        dictionary = FaultDictionary.from_detection(detection)
+        with pytest.raises(FaultModelError):
+            dictionary.diagnose(np.zeros(99))
+
+    def test_empty_dictionary(self):
+        from repro.faults.simulator import DetectionResult
+
+        detection = DetectionResult(
+            faults=[], detected=np.zeros(0, dtype=bool),
+            output_l1=np.zeros(0), class_count_diff=np.zeros((0, 4)), wall_time=0.0,
+        )
+        dictionary = FaultDictionary.from_detection(detection)
+        assert dictionary.resolution() == 0.0
+        assert dictionary.diagnose(np.zeros(4)) == []
+
+    def test_observed_signature_shape_check(self):
+        with pytest.raises(FaultModelError):
+            observed_signature(np.zeros((4, 1, 3)), np.zeros((5, 1, 3)))
+
+    def test_observed_signature_values(self):
+        golden = np.zeros((4, 1, 2))
+        faulty = np.zeros((4, 1, 2))
+        faulty[0, 0, 1] = 1.0
+        faulty[2, 0, 1] = 1.0
+        assert observed_signature(golden, faulty).tolist() == [0.0, 2.0]

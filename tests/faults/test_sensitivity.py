@@ -1,0 +1,91 @@
+"""Tests for parameter-sensitivity sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultModelError
+from repro.faults.model import NeuronFault, NeuronFaultKind
+from repro.faults.sensitivity import SensitivityCurve, SensitivityPoint, sweep_timing_fault
+from repro.snn import DenseSpec, LIFParameters, NetworkSpec, build_network
+from repro.datasets import SHDLike
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = SHDLike(train_size=60, test_size=24, channels=20, steps=14, seed=0)
+    spec = NetworkSpec(
+        name="sens",
+        input_shape=(20,),
+        layers=(DenseSpec(out_features=12), DenseSpec(out_features=dataset.num_classes)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    network = build_network(spec, np.random.default_rng(0))
+    Trainer(network, dataset, lr=0.03, batch_size=16).fit(epochs=3, rng=np.random.default_rng(1))
+    stimulus = (np.random.default_rng(2).random((14, 1, 20)) > 0.4).astype(float)
+    inputs, labels = dataset.subset(12, "test")
+    return network, stimulus, inputs, labels
+
+
+class TestSweep:
+    def test_identity_magnitude_not_detected(self, setup):
+        network, stimulus, inputs, labels = setup
+        fault = NeuronFault(0, 0, NeuronFaultKind.TIMING_THRESHOLD)
+        curve = sweep_timing_fault(network, fault, [1.0], stimulus, inputs, labels)
+        # Factor 1.0 changes nothing: not detected, no accuracy impact.
+        assert not curve.points[0].detected
+        assert curve.points[0].accuracy_drop == 0.0
+
+    def test_large_threshold_shift_detected(self, setup):
+        network, stimulus, inputs, labels = setup
+        # Sweep an active neuron: find one that fires under the stimulus.
+        records = network.run_spiking_layers(stimulus)
+        active = int(np.nonzero(records[0][:, 0, :].sum(axis=0))[0][0])
+        fault = NeuronFault(0, active, NeuronFaultKind.TIMING_THRESHOLD)
+        curve = sweep_timing_fault(
+            network, fault, [1.0, 1.5, 3.0, 10.0], stimulus, inputs, labels
+        )
+        assert curve.points[-1].detected  # 10x threshold silences the neuron
+
+    def test_thresholds_monotone_lookup(self):
+        curve = SensitivityCurve(
+            fault=NeuronFault(0, 0, NeuronFaultKind.TIMING_LEAK),
+            points=[
+                SensitivityPoint(1.0, 0.0, False),
+                SensitivityPoint(0.8, 0.0, True),
+                SensitivityPoint(0.5, 0.1, True),
+            ],
+        )
+        assert curve.detection_threshold() == 0.8
+        assert curve.criticality_threshold() == 0.5
+        assert curve.detected_before_critical
+
+    def test_never_critical_is_fine(self):
+        curve = SensitivityCurve(
+            fault=NeuronFault(0, 0, NeuronFaultKind.TIMING_LEAK),
+            points=[SensitivityPoint(0.9, 0.0, False)],
+        )
+        assert curve.criticality_threshold() is None
+        assert curve.detected_before_critical
+
+    def test_missed_critical_flagged(self):
+        curve = SensitivityCurve(
+            fault=NeuronFault(0, 0, NeuronFaultKind.TIMING_LEAK),
+            points=[SensitivityPoint(0.5, 0.2, False)],
+        )
+        assert not curve.detected_before_critical
+
+    def test_rejects_non_timing_fault(self, setup):
+        network, stimulus, inputs, labels = setup
+        fault = NeuronFault(0, 0, NeuronFaultKind.DEAD)
+        with pytest.raises(FaultModelError):
+            sweep_timing_fault(network, fault, [1.0], stimulus, inputs, labels)
+
+    def test_network_restored(self, setup):
+        network, stimulus, inputs, labels = setup
+        fault = NeuronFault(0, 1, NeuronFaultKind.TIMING_REFRACTORY)
+        sweep_timing_fault(network, fault, [1, 3, 5], stimulus, inputs, labels)
+        assert np.all(
+            network.spiking_modules[0].refractory_steps
+            == network.spiking_modules[0].params.refractory_steps
+        )

@@ -1,0 +1,220 @@
+"""Tests for fault-simulation campaigns: detection, classification,
+coverage breakdown, and the layer-skip optimisation's correctness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultModelError
+from repro.faults.catalog import build_catalog
+from repro.faults.injector import inject
+from repro.faults.model import (
+    FaultModelConfig,
+    NeuronFault,
+    NeuronFaultKind,
+    SynapseFault,
+    SynapseFaultKind,
+)
+from repro.faults.simulator import FaultSimulator
+from repro.snn.builder import DenseSpec, NetworkSpec, build_network
+from repro.snn.neuron import LIFParameters
+
+
+def _net(seed=0, sizes=(8, 6, 4)):
+    layers = tuple(DenseSpec(out_features=s) for s in sizes)
+    spec = NetworkSpec(
+        name="sim",
+        input_shape=(10,),
+        layers=layers,
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    return build_network(spec, np.random.default_rng(seed))
+
+
+def _stimulus(seed=1, steps=12, density=0.5):
+    rng = np.random.default_rng(seed)
+    return (rng.random((steps, 1, 10)) < density).astype(float)
+
+
+def _dataset(seed=2, steps=12, samples=6):
+    rng = np.random.default_rng(seed)
+    inputs = (rng.random((steps, samples, 10)) < 0.5).astype(float)
+    labels = rng.integers(0, 4, size=samples)
+    return inputs, labels
+
+
+class TestDetect:
+    def test_saturated_output_neuron_always_detected(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        fault = NeuronFault(2, 0, NeuronFaultKind.SATURATED)
+        result = sim.detect(_stimulus(), [fault])
+        assert result.detected[0]
+        assert result.output_l1[0] > 0
+
+    def test_zero_stimulus_detects_only_saturation(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        faults = [
+            NeuronFault(0, 0, NeuronFaultKind.DEAD),
+            NeuronFault(2, 1, NeuronFaultKind.SATURATED),
+            SynapseFault(0, 0, 0, SynapseFaultKind.SATURATED_POSITIVE),
+        ]
+        zeros = np.zeros((10, 1, 10))
+        result = sim.detect(zeros, faults)
+        # With no input spikes, dead neurons and synapse faults are silent;
+        # a saturated neuron fires regardless and must be detected.
+        assert not result.detected[0]
+        assert result.detected[1]
+        assert not result.detected[2]
+
+    def test_layer_skip_matches_full_simulation(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        stim = _stimulus()
+        catalog = build_catalog(net)
+        subset = catalog.faults[:: max(1, len(catalog.faults) // 50)]
+        result = sim.detect(stim, subset)
+        golden = net.run(stim)[:, 0, :]
+        for fault, fast_detected in zip(subset, result.detected):
+            with inject(net, fault, sim.config):
+                full = net.run(stim)[:, 0, :]  # full re-simulation, no skip
+            assert (np.abs(full - golden).sum() > 0) == fast_detected, fault.describe()
+
+    def test_class_count_diff_shape(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        result = sim.detect(_stimulus(), [NeuronFault(2, 0, NeuronFaultKind.SATURATED)])
+        assert result.class_count_diff.shape == (1, 4)
+
+    def test_network_restored_after_campaign(self):
+        net = _net()
+        before = {k: v.copy() for k, v in net.state_dict().items()}
+        sim = FaultSimulator(net)
+        catalog = build_catalog(net)
+        sim.detect(_stimulus(), catalog.faults[:40])
+        after = net.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+        for module in net.spiking_modules:
+            assert not module.mode.any()
+
+    def test_rejects_batched_stimulus(self):
+        sim = FaultSimulator(_net())
+        with pytest.raises(FaultModelError):
+            sim.detect(np.zeros((5, 2, 10)), [])
+
+    def test_detection_rate_empty(self):
+        sim = FaultSimulator(_net())
+        result = sim.detect(_stimulus(), [])
+        assert result.detection_rate() == 0.0
+
+    def test_progress_callback_invoked(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        calls = []
+        faults = [NeuronFault(0, 0, NeuronFaultKind.DEAD)] * 1000
+        sim.detect(_stimulus(), faults, progress=lambda done, total: calls.append(done))
+        assert len(calls) == 1
+        assert calls[0] >= 1000
+
+
+class TestClassify:
+    def test_output_dead_neuron_usually_critical(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        inputs, labels = _dataset()
+        # Killing an output neuron that wins for some sample flips top-1.
+        golden_preds = net.predict(inputs)
+        winner = int(np.bincount(golden_preds, minlength=4).argmax())
+        fault = NeuronFault(2, winner, NeuronFaultKind.DEAD)
+        result = sim.classify(inputs, labels, [fault])
+        assert result.critical[0]
+
+    def test_accuracy_drop_sign(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        inputs, labels = _dataset()
+        golden_preds = net.predict(inputs)
+        winner = int(np.bincount(golden_preds, minlength=4).argmax())
+        result = sim.classify(inputs, labels, [NeuronFault(2, winner, NeuronFaultKind.DEAD)])
+        # Drop can be negative if the fault "fixes" predictions, but for a
+        # dead winning neuron with these labels it should not be hugely so.
+        assert -1.0 <= result.accuracy_drop[0] <= 1.0
+
+    def test_benign_for_identity_perturbation(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        inputs, labels = _dataset()
+        # A dead fault on an already-zero weight changes nothing.
+        net.modules[0].weight.data.reshape(-1)[0] = 0.0
+        fault = SynapseFault(0, 0, 0, SynapseFaultKind.DEAD)
+        result = sim.classify(inputs, labels, [fault])
+        assert not result.critical[0]
+
+    def test_counts(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        inputs, labels = _dataset()
+        catalog = build_catalog(net, FaultModelConfig(synapse_kinds=()))
+        result = sim.classify(inputs, labels, catalog.faults)
+        assert result.critical_count + result.benign_count == len(catalog.faults)
+
+    def test_rejects_inconsistent_shapes(self):
+        sim = FaultSimulator(_net())
+        with pytest.raises(FaultModelError):
+            sim.classify(np.zeros((5, 3, 10)), np.zeros(4, dtype=int), [])
+
+    def test_classification_layer_skip_consistency(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        inputs, labels = _dataset()
+        catalog = build_catalog(net)
+        subset = catalog.faults[:: max(1, len(catalog.faults) // 30)]
+        result = sim.classify(inputs, labels, subset)
+        golden_preds = net.predict(inputs)
+        for fault, is_critical in zip(subset, result.critical):
+            with inject(net, fault, sim.config):
+                preds = net.predict(inputs)
+            assert bool(np.any(preds != golden_preds)) == is_critical, fault.describe()
+
+
+class TestCoverage:
+    def _results(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        inputs, labels = _dataset()
+        catalog = build_catalog(
+            net, FaultModelConfig(synapse_sample_fraction=0.2), rng=np.random.default_rng(3)
+        )
+        detection = sim.detect(_stimulus(), catalog.faults)
+        classification = sim.classify(inputs, labels, catalog.faults)
+        return detection, classification
+
+    def test_breakdown_fields_in_range(self):
+        detection, classification = self._results()
+        coverage = FaultSimulator.coverage(detection, classification)
+        for _, value in coverage.rows():
+            assert 0.0 <= value <= 1.0
+        assert 0.0 <= coverage.fc_overall <= 1.0
+
+    def test_counts_sum_to_total(self):
+        detection, classification = self._results()
+        coverage = FaultSimulator.coverage(detection, classification)
+        assert sum(coverage.counts.values()) == len(detection.faults)
+
+    def test_mismatched_lists_rejected(self):
+        detection, classification = self._results()
+        classification.faults = classification.faults[:-1]
+        with pytest.raises(FaultModelError):
+            FaultSimulator.coverage(detection, classification)
+
+    def test_empty_class_reports_full_coverage(self):
+        # No benign faults at all -> benign FC defined as 1.0 (vacuous).
+        net = _net()
+        sim = FaultSimulator(net)
+        fault = NeuronFault(2, 0, NeuronFaultKind.SATURATED)
+        detection = sim.detect(_stimulus(), [fault])
+        inputs, labels = _dataset()
+        classification = sim.classify(inputs, labels, [fault])
+        coverage = FaultSimulator.coverage(detection, classification)
+        assert coverage.fc_overall == 1.0

@@ -1,0 +1,90 @@
+"""Tests for spike encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.snn.encoding import poisson_encode, rate_encode, ttfs_encode
+
+
+class TestRateEncode:
+    def test_zero_intensity_silent(self):
+        out = rate_encode(np.zeros((3,)), steps=10)
+        assert out.sum() == 0
+
+    def test_full_intensity_every_step(self):
+        out = rate_encode(np.ones((3,)), steps=10)
+        assert out.sum() == 30
+
+    def test_spike_count_matches_rate(self):
+        out = rate_encode(np.array([0.5]), steps=10)
+        assert out.sum() == 5
+
+    def test_spikes_spread_not_bunched(self):
+        out = rate_encode(np.array([0.5]), steps=10)[:, 0]
+        gaps = np.diff(np.nonzero(out)[0])
+        assert gaps.max() <= 3  # evenly spread, not front-loaded
+
+    def test_preserves_shape(self):
+        out = rate_encode(np.full((2, 3), 0.4), steps=8)
+        assert out.shape == (8, 2, 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            rate_encode(np.array([1.2]), steps=5)
+        with pytest.raises(ConfigurationError):
+            rate_encode(np.array([-0.1]), steps=5)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ConfigurationError):
+            rate_encode(np.array([0.5]), steps=0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_property_count_rounds_rate(self, p, steps):
+        out = rate_encode(np.array([p]), steps=steps)
+        assert out.sum() == round(p * steps)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=1, max_value=32))
+    @settings(max_examples=50, deadline=None)
+    def test_property_binary_output(self, p, steps):
+        out = rate_encode(np.array([p]), steps=steps)
+        assert set(np.unique(out)).issubset({0.0, 1.0})
+
+
+class TestPoissonEncode:
+    def test_statistics(self):
+        rng = np.random.default_rng(0)
+        out = poisson_encode(np.array([0.3]), steps=4000, rng=rng)
+        assert abs(out.mean() - 0.3) < 0.03
+
+    def test_deterministic_given_rng(self):
+        a = poisson_encode(np.full((4,), 0.5), 20, np.random.default_rng(7))
+        b = poisson_encode(np.full((4,), 0.5), 20, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_extremes(self):
+        rng = np.random.default_rng(1)
+        assert poisson_encode(np.zeros(5), 10, rng).sum() == 0
+
+
+class TestTTFSEncode:
+    def test_one_spike_per_active_channel(self):
+        out = ttfs_encode(np.array([0.2, 0.9]), steps=10)
+        assert np.allclose(out.sum(axis=0), [1.0, 1.0])
+
+    def test_zero_channel_silent(self):
+        out = ttfs_encode(np.array([0.0]), steps=10)
+        assert out.sum() == 0
+
+    def test_higher_intensity_fires_earlier(self):
+        out = ttfs_encode(np.array([0.2, 0.9]), steps=20)
+        t_low = np.nonzero(out[:, 0])[0][0]
+        t_high = np.nonzero(out[:, 1])[0][0]
+        assert t_high < t_low
+
+    def test_max_intensity_fires_first_step(self):
+        out = ttfs_encode(np.array([1.0]), steps=10)
+        assert out[0, 0] == 1.0

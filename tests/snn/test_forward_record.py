@@ -1,0 +1,58 @@
+"""Tests for ForwardRecord helpers and network introspection."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.snn import DenseSpec, NetworkSpec, build_network
+from repro.snn.network import ForwardRecord
+
+
+def _record():
+    hidden = [Tensor(np.full((1, 4), t % 2, dtype=float)) for t in range(3)]
+    out = [Tensor(np.full((1, 2), 1.0)) for _ in range(3)]
+    return ForwardRecord(layer_spikes=[hidden, out], layer_names=["h", "o"])
+
+
+class TestForwardRecord:
+    def test_output_is_last_layer(self):
+        record = _record()
+        assert record.output is record.layer_spikes[-1]
+
+    def test_stacked_shape(self):
+        record = _record()
+        assert record.stacked(0).shape == (3, 1, 4)
+
+    def test_stacked_output_equals_stacked_last(self):
+        record = _record()
+        assert np.array_equal(record.stacked_output().data, record.stacked(1).data)
+
+    def test_stacked_values_in_time_order(self):
+        record = _record()
+        stacked = record.stacked(0).data
+        assert stacked[0].sum() == 0.0
+        assert stacked[1].sum() == 4.0
+
+
+class TestNetworkIntrospection:
+    @pytest.fixture()
+    def net(self):
+        spec = NetworkSpec(
+            name="intro", input_shape=(5,),
+            layers=(DenseSpec(out_features=4), DenseSpec(out_features=3)),
+        )
+        return build_network(spec, np.random.default_rng(0))
+
+    def test_module_names_assigned(self, net):
+        assert net.modules[0].name.startswith("0:")
+        assert "DenseLIF" in net.modules[0].name
+
+    def test_spiking_indices(self, net):
+        assert net.spiking_indices == [0, 1]
+        assert len(net.spiking_modules) == 2
+
+    def test_parameters_collected(self, net):
+        assert len(net.parameters()) == 2
+
+    def test_num_classes(self, net):
+        assert net.num_classes == 3

@@ -1,0 +1,274 @@
+"""Tests for layer modules and the SNN container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.snn.layers import ConvLIF, DenseLIF, Flatten, RecurrentLIF, SumPool
+from repro.snn.network import SNN
+from repro.snn.neuron import LIFParameters
+from repro.snn.builder import (
+    ConvSpec,
+    DenseSpec,
+    FlattenSpec,
+    NetworkSpec,
+    PoolSpec,
+    RecurrentSpec,
+    build_network,
+)
+
+PARAMS = LIFParameters(threshold=1.0, leak=0.9, refractory_steps=1)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _small_conv_net(seed=0):
+    spec = NetworkSpec(
+        name="tiny",
+        input_shape=(2, 8, 8),
+        layers=(
+            ConvSpec(out_channels=4, kernel=3, padding=1),
+            PoolSpec(window=2),
+            ConvSpec(out_channels=6, kernel=3, padding=1),
+            PoolSpec(window=2),
+            FlattenSpec(),
+            DenseSpec(out_features=16),
+            DenseSpec(out_features=5),
+        ),
+        lif=PARAMS,
+    )
+    return build_network(spec, _rng(seed))
+
+
+class TestDenseLIF:
+    def test_output_shape(self):
+        layer = DenseLIF(10, 4, PARAMS, rng=_rng())
+        seq = (np.random.default_rng(1).random((6, 2, 10)) > 0.5).astype(float)
+        out = layer.run_sequence_numpy(seq)
+        assert out.shape == (6, 2, 4)
+
+    def test_outputs_binary(self):
+        layer = DenseLIF(10, 4, PARAMS, rng=_rng())
+        seq = np.ones((8, 1, 10))
+        out = layer.run_sequence_numpy(seq)
+        assert set(np.unique(out)).issubset({0.0, 1.0})
+
+    def test_counts(self):
+        layer = DenseLIF(10, 4, PARAMS)
+        assert layer.neuron_count == 4
+        assert layer.synapse_count == 40
+
+    def test_shape_validation(self):
+        layer = DenseLIF(10, 4, PARAMS)
+        with pytest.raises(ShapeError):
+            layer.output_shape((9,))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            DenseLIF(0, 4, PARAMS)
+
+
+class TestRecurrentLIF:
+    def test_output_shape(self):
+        layer = RecurrentLIF(6, 5, PARAMS, rng=_rng())
+        seq = np.zeros((4, 3, 6))
+        assert layer.run_sequence_numpy(seq).shape == (4, 3, 5)
+
+    def test_counts_include_recurrent(self):
+        layer = RecurrentLIF(6, 5, PARAMS)
+        assert layer.synapse_count == 6 * 5 + 25
+
+    def test_recurrence_feeds_back(self):
+        # Strong positive recurrence: once a neuron fires, feedback drives
+        # more firing even with zero external input afterwards.
+        layer = RecurrentLIF(1, 1, LIFParameters(leak=1.0, refractory_steps=0), rng=_rng())
+        layer.weight.data[...] = 2.0
+        layer.recurrent_weight.data[...] = 2.0
+        seq = np.zeros((5, 1, 1))
+        seq[0] = 1.0
+        out = layer.run_sequence_numpy(seq)
+        assert out[0, 0, 0] == 1.0  # driven by input
+        assert out[1:, 0, 0].sum() > 0  # sustained by recurrence
+
+    def test_two_parameters(self):
+        assert len(RecurrentLIF(3, 3, PARAMS).parameters()) == 2
+
+
+class TestConvLIF:
+    def test_output_geometry(self):
+        layer = ConvLIF(2, 4, (8, 8), kernel=3, params=PARAMS, stride=2, padding=1)
+        assert layer.neuron_shape == (4, 4, 4)
+
+    def test_run_shapes(self):
+        layer = ConvLIF(2, 3, (6, 6), kernel=3, params=PARAMS, padding=1, rng=_rng())
+        seq = (np.random.default_rng(2).random((5, 2, 2, 6, 6)) > 0.7).astype(float)
+        assert layer.run_sequence_numpy(seq).shape == (5, 2, 3, 6, 6)
+
+    def test_synapse_count_is_kernel_entries(self):
+        layer = ConvLIF(2, 4, (8, 8), kernel=3, params=PARAMS)
+        assert layer.synapse_count == 4 * 2 * 9
+
+    def test_conv_numpy_matches_functional(self):
+        from repro.autograd import functional as F
+        from repro.autograd.tensor import Tensor
+
+        layer = ConvLIF(2, 3, (6, 6), kernel=3, params=PARAMS, stride=1, padding=1, rng=_rng(5))
+        x = np.random.default_rng(3).random((2, 2, 6, 6))
+        expected = F.conv2d(Tensor(x), Tensor(layer.weight.data), stride=1, padding=1).data
+        assert np.allclose(layer._conv_numpy(x), expected)
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(ConfigurationError):
+            ConvLIF(1, 1, (2, 2), kernel=5, params=PARAMS)
+
+
+class TestPoolFlatten:
+    def test_pool_sums(self):
+        pool = SumPool(2)
+        seq = np.ones((1, 1, 1, 4, 4))
+        out = pool.run_sequence_numpy(seq)
+        assert np.allclose(out, 4.0)
+
+    def test_pool_has_no_neurons(self):
+        assert SumPool(2).neuron_count == 0
+        assert SumPool(2).synapse_count == 0
+
+    def test_pool_shape_validation(self):
+        with pytest.raises(ShapeError):
+            SumPool(2).output_shape((3, 5, 5))
+
+    def test_flatten_round_trip(self):
+        flat = Flatten()
+        seq = np.arange(2 * 1 * 3 * 2 * 2, dtype=float).reshape(2, 1, 3, 2, 2)
+        out = flat.run_sequence_numpy(seq)
+        assert out.shape == (2, 1, 12)
+        assert np.allclose(out[0, 0], seq[0, 0].reshape(-1))
+
+
+class TestSNNContainer:
+    def test_counts_aggregate(self):
+        net = _small_conv_net()
+        expected_neurons = 4 * 8 * 8 + 6 * 4 * 4 + 16 + 5
+        assert net.neuron_count == expected_neurons
+        assert net.num_classes == 5
+        assert net.num_layers == 4
+
+    def test_run_output_shape(self):
+        net = _small_conv_net()
+        seq = (np.random.default_rng(0).random((6, 2, 2, 8, 8)) > 0.6).astype(float)
+        out = net.run(seq)
+        assert out.shape == (6, 2, 5)
+
+    def test_run_modules_chains(self):
+        net = _small_conv_net()
+        seq = (np.random.default_rng(0).random((4, 1, 2, 8, 8)) > 0.6).astype(float)
+        outputs = net.run_modules(seq)
+        assert len(outputs) == len(net.modules)
+        final = outputs[-1].reshape(4, 1, -1)
+        assert np.allclose(final, net.run(seq))
+
+    def test_run_from_matches_full_run(self):
+        net = _small_conv_net()
+        seq = (np.random.default_rng(1).random((4, 1, 2, 8, 8)) > 0.6).astype(float)
+        outputs = net.run_modules(seq)
+        for start in range(1, len(net.modules)):
+            resumed = net.run_from(start, outputs[start - 1])
+            assert np.allclose(resumed, net.run(seq)), f"mismatch from module {start}"
+
+    def test_run_from_bad_index(self):
+        net = _small_conv_net()
+        with pytest.raises(ConfigurationError):
+            net.run_from(99, np.zeros((1, 1, 5)))
+
+    def test_run_spiking_layers_flat(self):
+        net = _small_conv_net()
+        seq = (np.random.default_rng(2).random((3, 1, 2, 8, 8)) > 0.6).astype(float)
+        records = net.run_spiking_layers(seq)
+        assert len(records) == net.num_layers
+        assert records[0].shape == (3, 1, 4 * 8 * 8)
+        assert records[-1].shape == (3, 1, 5)
+
+    def test_predict_shape(self):
+        net = _small_conv_net()
+        seq = (np.random.default_rng(3).random((4, 3, 2, 8, 8)) > 0.5).astype(float)
+        preds = net.predict(seq)
+        assert preds.shape == (3,)
+        assert np.all((preds >= 0) & (preds < 5))
+
+    def test_input_shape_validation(self):
+        net = _small_conv_net()
+        with pytest.raises(ShapeError):
+            net.run(np.zeros((4, 1, 2, 9, 9)))
+
+    def test_last_module_must_spike(self):
+        with pytest.raises(ConfigurationError):
+            SNN([Flatten()], input_shape=(2, 2, 2))
+
+    def test_state_dict_round_trip(self, tmp_path):
+        net_a = _small_conv_net(seed=0)
+        net_b = _small_conv_net(seed=99)
+        path = str(tmp_path / "weights.npz")
+        net_a.save(path)
+        net_b.load(path)
+        seq = (np.random.default_rng(5).random((4, 1, 2, 8, 8)) > 0.5).astype(float)
+        assert np.allclose(net_a.run(seq), net_b.run(seq))
+
+    def test_load_rejects_missing_keys(self):
+        net = _small_conv_net()
+        with pytest.raises(ConfigurationError):
+            net.load_state_dict({})
+
+    def test_load_rejects_bad_shape(self):
+        net = _small_conv_net()
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ShapeError):
+            net.load_state_dict(state)
+
+    def test_describe_mentions_totals(self):
+        text = _small_conv_net().describe()
+        assert "total neurons" in text
+
+
+class TestBuilder:
+    def test_recurrent_spec(self):
+        spec = NetworkSpec(
+            name="shd-like",
+            input_shape=(20,),
+            layers=(RecurrentSpec(out_features=12), DenseSpec(out_features=4)),
+        )
+        net = build_network(spec, _rng())
+        assert net.num_classes == 4
+        assert isinstance(net.modules[0], RecurrentLIF)
+
+    def test_same_seed_same_weights(self):
+        a, b = _small_conv_net(7), _small_conv_net(7)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+    def test_different_seed_different_weights(self):
+        a, b = _small_conv_net(7), _small_conv_net(8)
+        assert not all(
+            np.allclose(pa.data, pb.data) for pa, pb in zip(a.parameters(), b.parameters())
+        )
+
+    def test_dense_needs_flat_input(self):
+        spec = NetworkSpec(
+            name="bad", input_shape=(2, 4, 4), layers=(DenseSpec(out_features=3),)
+        )
+        with pytest.raises(ConfigurationError):
+            build_network(spec, _rng())
+
+    def test_conv_needs_chw_input(self):
+        spec = NetworkSpec(
+            name="bad", input_shape=(16,), layers=(ConvSpec(out_channels=2, kernel=3),)
+        )
+        with pytest.raises(ConfigurationError):
+            build_network(spec, _rng())
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(name="empty", input_shape=(4,), layers=())

@@ -1,0 +1,142 @@
+"""LIF neuron dynamics tests: integration, leak, reset, refractoriness,
+and behavioural fault overrides."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snn.neuron import (
+    MODE_DEAD,
+    MODE_NOMINAL,
+    MODE_SATURATED,
+    LIFParameters,
+    LIFState,
+    lif_step_numpy,
+)
+
+
+def _arrays(n, threshold=1.0, leak=1.0, refrac=0):
+    return (
+        np.full((n,), threshold),
+        np.full((n,), leak),
+        np.full((n,), refrac, dtype=np.int64),
+    )
+
+
+def _run(currents, threshold=1.0, leak=1.0, refrac=0, mode=None):
+    """Drive a single neuron with a list of input currents; return spikes."""
+    theta, lk, rf = _arrays(1, threshold, leak, refrac)
+    state = LIFState.zeros_numpy((1, 1))
+    spikes = []
+    for c in currents:
+        s = lif_step_numpy(np.array([[c]]), state, theta, lk, rf, mode)
+        spikes.append(float(s[0, 0]))
+    return spikes
+
+
+class TestLIFParameters:
+    def test_defaults_valid(self):
+        LIFParameters()
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ConfigurationError):
+            LIFParameters(threshold=0.0)
+
+    def test_rejects_bad_leak(self):
+        with pytest.raises(ConfigurationError):
+            LIFParameters(leak=0.0)
+        with pytest.raises(ConfigurationError):
+            LIFParameters(leak=1.5)
+
+    def test_rejects_negative_refractory(self):
+        with pytest.raises(ConfigurationError):
+            LIFParameters(refractory_steps=-1)
+
+    def test_rejects_unknown_surrogate(self):
+        with pytest.raises(ConfigurationError):
+            LIFParameters(surrogate="bogus")
+
+    def test_frozen(self):
+        p = LIFParameters()
+        with pytest.raises(Exception):
+            p.threshold = 2.0
+
+
+class TestIntegration:
+    def test_subthreshold_no_spike(self):
+        assert _run([0.5], threshold=1.0) == [0.0]
+
+    def test_threshold_crossing_fires(self):
+        assert _run([1.0], threshold=1.0) == [1.0]
+
+    def test_accumulation_without_leak(self):
+        # 0.4 per step, threshold 1.0 -> fires on step 3 (0.4, 0.8, 1.2)
+        assert _run([0.4, 0.4, 0.4], leak=1.0) == [0.0, 0.0, 1.0]
+
+    def test_leak_slows_accumulation(self):
+        # With strong leak the same drive never reaches threshold:
+        # u converges to 0.4 / (1 - 0.5) = 0.8 < 1.0
+        assert _run([0.4] * 10, leak=0.5) == [0.0] * 10
+
+    def test_reset_after_spike(self):
+        # After firing, potential resets to zero: needs to re-accumulate.
+        spikes = _run([0.6, 0.6, 0.6, 0.6], leak=1.0)
+        assert spikes == [0.0, 1.0, 0.0, 1.0]
+
+    def test_negative_current_inhibits(self):
+        spikes = _run([0.6, -0.6, 0.6, 0.6], leak=1.0)
+        # 0.6, 0.0, 0.6, 1.2 -> spike only on the last step
+        assert spikes == [0.0, 0.0, 0.0, 1.0]
+
+
+class TestRefractoriness:
+    def test_refractory_blocks_firing(self):
+        # Strong drive every step; refractory 2 forces a 2-step gap.
+        spikes = _run([2.0] * 6, refrac=2)
+        assert spikes == [1.0, 0.0, 0.0, 1.0, 0.0, 0.0]
+
+    def test_refractory_blocks_integration(self):
+        # Input arriving during refractory must be dropped, not buffered.
+        spikes = _run([2.0, 0.6, 0.6, 0.0], refrac=2, leak=1.0)
+        # Steps 2-3 are refractory; step 4 input is 0 -> no second spike.
+        assert spikes == [1.0, 0.0, 0.0, 0.0]
+
+    def test_zero_refractory_allows_back_to_back(self):
+        assert _run([2.0, 2.0, 2.0], refrac=0) == [1.0, 1.0, 1.0]
+
+
+class TestBehaviouralModes:
+    def test_dead_never_fires(self):
+        mode = np.array([MODE_DEAD], dtype=np.int8)
+        assert _run([5.0] * 4, mode=mode) == [0.0] * 4
+
+    def test_saturated_always_fires(self):
+        mode = np.array([MODE_SATURATED], dtype=np.int8)
+        assert _run([0.0] * 4, mode=mode) == [1.0] * 4
+
+    def test_saturated_overrides_refractory(self):
+        mode = np.array([MODE_SATURATED], dtype=np.int8)
+        assert _run([0.0] * 4, refrac=3, mode=mode) == [1.0] * 4
+
+    def test_nominal_mode_is_transparent(self):
+        mode = np.array([MODE_NOMINAL], dtype=np.int8)
+        assert _run([1.0, 1.0], mode=mode) == _run([1.0, 1.0])
+
+    def test_mode_applies_per_neuron(self):
+        theta, lk, rf = _arrays(3)
+        mode = np.array([MODE_NOMINAL, MODE_DEAD, MODE_SATURATED], dtype=np.int8)
+        state = LIFState.zeros_numpy((1, 3))
+        s = lif_step_numpy(np.array([[2.0, 2.0, 0.0]]), state, theta, lk, rf, mode)
+        assert s.tolist() == [[1.0, 0.0, 1.0]]
+
+
+class TestState:
+    def test_zeros_numpy_shapes(self):
+        state = LIFState.zeros_numpy((2, 5))
+        assert state.potential.shape == (2, 5)
+        assert state.refractory.dtype == np.int64
+
+    def test_zeros_tensor_shapes(self):
+        state = LIFState.zeros_tensor((2, 5))
+        assert state.potential.shape == (2, 5)
+        assert state.last_spike.shape == (2, 5)

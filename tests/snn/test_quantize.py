@@ -1,0 +1,73 @@
+"""Tests for int8 weight quantization."""
+
+import numpy as np
+import pytest
+
+from repro.faults.bitflip import int8_scale
+from repro.snn import DenseSpec, NetworkSpec, build_network
+from repro.snn.quantize import is_quantized, quantize_network
+
+
+def _net(seed=0):
+    spec = NetworkSpec(
+        name="q",
+        input_shape=(8,),
+        layers=(DenseSpec(out_features=6), DenseSpec(out_features=4)),
+    )
+    return build_network(spec, np.random.default_rng(seed))
+
+
+class TestQuantize:
+    def test_fresh_network_not_quantized(self):
+        assert not is_quantized(_net())
+
+    def test_quantize_makes_grid_exact(self):
+        net = _net()
+        report = quantize_network(net)
+        assert is_quantized(net)
+        assert len(report.scales) == 2
+
+    def test_error_bounded_by_half_step(self):
+        net = _net()
+        scales_before = [int8_scale(p.data) for p in net.parameters()]
+        report = quantize_network(net)
+        assert report.max_abs_error <= max(scales_before) / 2 + 1e-12
+
+    def test_idempotent(self):
+        net = _net()
+        quantize_network(net)
+        before = [p.data.copy() for p in net.parameters()]
+        report = quantize_network(net)
+        for a, p in zip(before, net.parameters()):
+            assert np.array_equal(a, p.data)
+        assert report.max_abs_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_behaviour_approximately_preserved(self):
+        net = _net()
+        seq = (np.random.default_rng(1).random((10, 4, 8)) > 0.5).astype(float)
+        before = net.run(seq)
+        quantize_network(net)
+        after = net.run(seq)
+        # int8 has 255 levels: spike trains rarely change, and never much.
+        disagreement = np.abs(before - after).mean()
+        assert disagreement < 0.1
+
+    def test_bitflip_lands_on_grid(self):
+        """After quantization, a bit-flip fault moves the weight to another
+        exactly-representable value (hardware-faithful)."""
+        from repro.faults.injector import inject
+        from repro.faults.model import FaultModelConfig, SynapseFault, SynapseFaultKind
+
+        net = _net()
+        quantize_network(net)
+        weights = net.modules[0].weight.data
+        scale = int8_scale(weights)
+        fault = SynapseFault(0, 0, 5, SynapseFaultKind.BITFLIP, bit=4)
+        with inject(net, fault, FaultModelConfig()):
+            value = weights.reshape(-1)[5]
+            code = value / scale
+            assert np.isclose(code, round(code))
+
+    def test_summary(self):
+        net = _net()
+        assert "int8" in quantize_network(net).summary()

@@ -1,0 +1,81 @@
+"""Tests for the soft-reset (reset-by-subtraction) LIF variant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snn.builder import DenseSpec, NetworkSpec, build_network
+from repro.snn.neuron import LIFParameters, LIFState, lif_step_numpy
+from repro.autograd.tensor import Tensor
+
+
+def _run(currents, reset_mode, leak=1.0, threshold=1.0, refrac=0):
+    theta = np.full((1,), threshold)
+    lk = np.full((1,), leak)
+    rf = np.full((1,), refrac, dtype=np.int64)
+    state = LIFState.zeros_numpy((1, 1))
+    spikes, potentials = [], []
+    for c in currents:
+        s = lif_step_numpy(np.array([[c]]), state, theta, lk, rf, None, reset_mode)
+        spikes.append(float(s[0, 0]))
+        potentials.append(float(state.potential[0, 0]))
+    return spikes, potentials
+
+
+class TestResetModes:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            LIFParameters(reset_mode="bogus")
+        LIFParameters(reset_mode="subtract")  # valid
+
+    def test_zero_reset_discards_residual(self):
+        # Input 1.5 crosses threshold 1.0 with 0.5 residual; hard reset
+        # discards it, so a following 0.6 does not fire.
+        spikes, _ = _run([1.5, 0.6], reset_mode="zero")
+        assert spikes == [1.0, 0.0]
+
+    def test_subtract_reset_preserves_residual(self):
+        # Soft reset keeps the 0.5 residual: 0.5 + 0.6 = 1.1 >= 1.0 fires.
+        spikes, _ = _run([1.5, 0.6], reset_mode="subtract")
+        assert spikes == [1.0, 1.0]
+
+    def test_modes_agree_below_threshold(self):
+        a, _ = _run([0.4, 0.3, 0.2], reset_mode="zero")
+        b, _ = _run([0.4, 0.3, 0.2], reset_mode="subtract")
+        assert a == b == [0.0, 0.0, 0.0]
+
+    def test_subtract_conserves_charge(self):
+        # With leak 1.0 and no refractory, total spikes ~ total charge / theta.
+        drive = [0.7] * 20
+        spikes, _ = _run(drive, reset_mode="subtract")
+        assert sum(spikes) == int(sum(drive) / 1.0)
+
+    def test_paths_agree_subtract(self):
+        spec = NetworkSpec(
+            name="soft",
+            input_shape=(8,),
+            layers=(DenseSpec(out_features=6), DenseSpec(out_features=4)),
+            lif=LIFParameters(leak=0.9, refractory_steps=1, reset_mode="subtract"),
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        seq = (np.random.default_rng(1).random((10, 2, 8)) > 0.5).astype(float)
+        fast = net.run_spiking_layers(seq)
+        record = net.forward([Tensor(seq[t]) for t in range(10)])
+        for layer in range(2):
+            tape = record.stacked(layer).data
+            assert np.array_equal(tape.reshape(tape.shape[0], tape.shape[1], -1), fast[layer])
+
+    def test_generation_works_with_subtract(self):
+        from repro.core import TestGenConfig, TestGenerator
+
+        spec = NetworkSpec(
+            name="soft-gen",
+            input_shape=(8,),
+            layers=(DenseSpec(out_features=6), DenseSpec(out_features=4)),
+            lif=LIFParameters(leak=0.9, refractory_steps=1, reset_mode="subtract"),
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        config = TestGenConfig(steps_stage1=30, probe_steps=60, max_iterations=2,
+                               t_in_max=24, time_limit_s=60)
+        result = TestGenerator(net, config, np.random.default_rng(1)).generate()
+        assert result.num_chunks >= 1

@@ -1,0 +1,90 @@
+"""CLI tests (tiny scale, temp results dir)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    return tmp_path_factory.mktemp("cli-results")
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        code, out = _run(capsys, "info")
+        assert code == 0
+        assert "nmnist" in out and "tiny" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "lenet"])
+
+    def test_train(self, capsys, results):
+        code, out = _run(capsys, "train", "shd", "--scale", "tiny",
+                         "--results", str(results))
+        assert code == 0
+        assert "test accuracy" in out
+
+    def test_faultsim(self, capsys, results):
+        code, out = _run(capsys, "faultsim", "shd", "--scale", "tiny",
+                         "--results", str(results))
+        assert code == 0
+        assert "critical" in out
+
+    def test_generate(self, capsys, results):
+        code, out = _run(capsys, "generate", "shd", "--scale", "tiny",
+                         "--results", str(results))
+        assert code == 0
+        assert "chunks" in out and "activated" in out
+
+    def test_verify(self, capsys, results):
+        code, out = _run(capsys, "verify", "shd", "--scale", "tiny",
+                         "--results", str(results))
+        assert code == 0
+        assert "FC Critical neuron faults" in out
+
+    def test_pack(self, capsys, results, tmp_path):
+        out_file = tmp_path / "stored.npz"
+        code, out = _run(capsys, "pack", "shd", "--scale", "tiny",
+                         "--results", str(results), "-o", str(out_file))
+        assert code == 0
+        assert out_file.exists()
+
+    def test_compact(self, capsys, results):
+        code, out = _run(capsys, "compact", "shd", "--scale", "tiny",
+                         "--results", str(results), "--tolerance", "0.05")
+        assert code == 0
+        assert "compaction kept" in out
+
+    def test_report_table1(self, capsys, results):
+        code, out = _run(capsys, "report", "table1", "--scale", "tiny",
+                         "--results", str(results))
+        assert code == 0
+        assert "Table I" in out
+        assert (results / "table1_cli.txt").exists()
+
+    def test_pack_artifact_checks_clean_device(self, capsys, results, tmp_path):
+        from repro.core.storage import StoredTest
+        from repro.experiments import ExperimentPipeline, get_benchmark
+
+        out_file = tmp_path / "stored.npz"
+        _run(capsys, "pack", "shd", "--scale", "tiny",
+             "--results", str(results), "-o", str(out_file))
+        pipeline = ExperimentPipeline(
+            get_benchmark("shd", "tiny"), results_dir=results, seed=0
+        )
+        stored = StoredTest.load(str(out_file))
+        assert stored.check(pipeline.network(), exact=True)

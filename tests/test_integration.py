@@ -1,0 +1,95 @@
+"""End-to-end integration: the full paper flow on a tiny benchmark.
+
+Mirrors examples/quickstart.py: dataset -> train -> catalog -> generate ->
+verify, asserting the cross-module contracts that unit tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import activation_percentage
+from repro.core import TestGenConfig, TestGenerator, verify_coverage
+from repro.datasets import SHDLike
+from repro.faults import FaultModelConfig, FaultSimulator, build_catalog
+from repro.snn import DenseSpec, LIFParameters, NetworkSpec, build_network
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def flow():
+    dataset = SHDLike(train_size=80, test_size=30, channels=24, steps=16, seed=0)
+    spec = NetworkSpec(
+        name="integration",
+        input_shape=dataset.input_shape,
+        layers=(DenseSpec(out_features=16), DenseSpec(out_features=dataset.num_classes)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    network = build_network(spec, np.random.default_rng(0))
+    training = Trainer(network, dataset, lr=0.03, batch_size=16).fit(
+        epochs=5, rng=np.random.default_rng(1)
+    )
+    fault_config = FaultModelConfig(synapse_sample_fraction=0.1)
+    catalog = build_catalog(network, fault_config, rng=np.random.default_rng(2))
+    config = TestGenConfig(
+        steps_stage1=80, probe_steps=120, max_iterations=4, time_limit_s=120, t_in_max=48
+    )
+    generation = TestGenerator(network, config, rng=np.random.default_rng(3)).generate()
+    return dataset, network, training, fault_config, catalog, generation
+
+
+class TestEndToEnd:
+    def test_model_learned(self, flow):
+        _, _, training, _, _, _ = flow
+        assert training.test_accuracy > 2 / 20
+
+    def test_generation_activates_more_than_sample(self, flow):
+        dataset, network, _, _, _, generation = flow
+        sample, _ = dataset.sample(0, "test")
+        optimized = activation_percentage(network, generation.stimulus.assembled())
+        baseline = activation_percentage(network, sample)
+        assert optimized > baseline
+
+    def test_verification_campaign(self, flow):
+        dataset, network, _, fault_config, catalog, generation = flow
+        simulator = FaultSimulator(network, fault_config)
+        inputs, labels = dataset.subset(10, "test")
+        classification = simulator.classify(inputs, labels, catalog.faults)
+        detection, breakdown = verify_coverage(
+            network, generation.stimulus, catalog.faults, fault_config, classification
+        )
+        # Critical faults are covered better than benign (the paper's core trend).
+        critical_fc = (breakdown.fc_critical_neuron + breakdown.fc_critical_synapse) / 2
+        benign_fc = (breakdown.fc_benign_neuron + breakdown.fc_benign_synapse) / 2
+        assert critical_fc > benign_fc
+        assert critical_fc > 0.5
+
+    def test_optimized_beats_single_sample_detection(self, flow):
+        dataset, network, _, fault_config, catalog, generation = flow
+        simulator = FaultSimulator(network, fault_config)
+        optimized = simulator.detect(generation.stimulus.assembled(), catalog.faults)
+        sample, _ = dataset.sample(0, "test")
+        baseline = simulator.detect(sample, catalog.faults)
+        assert optimized.detection_rate() > baseline.detection_rate()
+
+    def test_stimulus_round_trips_through_storage(self, flow, tmp_path):
+        from repro.core import TestStimulus
+
+        _, network, _, fault_config, catalog, generation = flow
+        path = str(tmp_path / "stimulus.npz")
+        generation.stimulus.save(path)
+        loaded = TestStimulus.load(path, network.input_shape)
+        # Identical detection outcome after a storage round-trip.
+        simulator = FaultSimulator(network, fault_config)
+        subset = catalog.faults[:: max(1, len(catalog.faults) // 60)]
+        a = simulator.detect(generation.stimulus.assembled(), subset)
+        b = simulator.detect(loaded.assembled(), subset)
+        assert np.array_equal(a.detected, b.detected)
+
+    def test_network_untouched_by_whole_flow(self, flow):
+        """The flow must never leave fault state or parameter drift behind."""
+        _, network, _, _, _, _ = flow
+        for module in network.spiking_modules:
+            assert not module.mode.any()
+            assert np.allclose(module.threshold, module.params.threshold)
+            assert np.allclose(module.leak, module.params.leak)
+            assert module.surrogate_slope == module.params.surrogate_slope

@@ -1,0 +1,148 @@
+"""Tests for the surrogate-gradient trainer: losses decrease, accuracy
+beats chance, configuration errors are caught."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.schedule import StepDecay
+from repro.autograd.tensor import Tensor
+from repro.datasets import SHDLike
+from repro.errors import TrainingError
+from repro.snn import DenseSpec, NetworkSpec, RecurrentSpec, build_network, LIFParameters
+from repro.training import Trainer, accuracy, spike_count_logits, spike_count_loss
+
+
+@pytest.fixture(scope="module")
+def tiny_shd():
+    return SHDLike(train_size=80, test_size=40, channels=32, steps=20, seed=0)
+
+
+def _net(tiny_shd, seed=0, hidden=32):
+    spec = NetworkSpec(
+        name="t",
+        input_shape=tiny_shd.input_shape,
+        layers=(DenseSpec(out_features=hidden), DenseSpec(out_features=tiny_shd.num_classes)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    return build_network(spec, np.random.default_rng(seed))
+
+
+class TestLoss:
+    def test_logits_shape(self, tiny_shd):
+        net = _net(tiny_shd)
+        inputs, labels = tiny_shd.subset(4, "train")
+        seq = [Tensor(inputs[t]) for t in range(inputs.shape[0])]
+        record = net.forward(seq)
+        logits = spike_count_logits(record)
+        assert logits.shape == (4, 20)
+
+    def test_loss_scalar_and_finite(self, tiny_shd):
+        net = _net(tiny_shd)
+        inputs, labels = tiny_shd.subset(4, "train")
+        seq = [Tensor(inputs[t]) for t in range(inputs.shape[0])]
+        record = net.forward(seq)
+        loss = spike_count_loss(record, labels, rate_weight=0.1, target_rate=0.1)
+        assert np.isfinite(loss.item())
+
+    def test_rate_regulariser_increases_loss_for_silent_net(self, tiny_shd):
+        net = _net(tiny_shd)
+        # Silence the network by zeroing weights: rate deviates from target.
+        for p in net.parameters():
+            p.data[...] = 0.0
+        inputs, labels = tiny_shd.subset(4, "train")
+        seq = [Tensor(inputs[t]) for t in range(inputs.shape[0])]
+        record = net.forward(seq)
+        base = spike_count_loss(record, labels, rate_weight=0.0)
+        reg = spike_count_loss(record, labels, rate_weight=1.0, target_rate=0.2)
+        assert reg.item() > base.item()
+
+
+class TestTrainer:
+    def test_loss_decreases(self, tiny_shd):
+        net = _net(tiny_shd)
+        trainer = Trainer(net, tiny_shd, lr=0.02, batch_size=16)
+        result = trainer.fit(epochs=4, rng=np.random.default_rng(0))
+        assert result.loss_history[-1] < result.loss_history[0]
+
+    def test_learns_above_chance(self, tiny_shd):
+        net = _net(tiny_shd)
+        trainer = Trainer(net, tiny_shd, lr=0.02, batch_size=16)
+        result = trainer.fit(epochs=6, rng=np.random.default_rng(0))
+        chance = 1.0 / tiny_shd.num_classes
+        assert result.train_accuracy > 3 * chance
+        assert result.test_accuracy > 2 * chance
+
+    def test_lr_schedule_applied(self, tiny_shd):
+        net = _net(tiny_shd)
+        trainer = Trainer(
+            net, tiny_shd, lr=0.05, batch_size=32, lr_schedule=StepDecay(0.05, 0.1, 1)
+        )
+        trainer.fit(epochs=2, rng=np.random.default_rng(0))
+        assert np.isclose(trainer.optimizer.lr, 0.005)
+
+    def test_grad_clip_bounds_norm(self, tiny_shd):
+        net = _net(tiny_shd)
+        trainer = Trainer(net, tiny_shd, lr=0.02, batch_size=8, grad_clip=0.001)
+        inputs, labels = tiny_shd.subset(8, "train")
+        seq = [Tensor(inputs[t]) for t in range(inputs.shape[0])]
+        record = net.forward(seq)
+        loss = spike_count_loss(record, labels)
+        trainer.optimizer.zero_grad()
+        loss.backward()
+        trainer._clip_gradients()
+        total = sum(float((p.grad**2).sum()) for p in net.parameters() if p.grad is not None)
+        assert np.sqrt(total) <= 0.001 + 1e-9
+
+    def test_log_callback(self, tiny_shd):
+        net = _net(tiny_shd)
+        messages = []
+        Trainer(net, tiny_shd, lr=0.02, batch_size=32).fit(
+            epochs=1, rng=np.random.default_rng(0), log=messages.append
+        )
+        assert len(messages) == 1
+
+    def test_rejects_mismatched_shapes(self, tiny_shd):
+        spec = NetworkSpec(
+            name="bad", input_shape=(16,), layers=(DenseSpec(out_features=20),)
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        with pytest.raises(TrainingError):
+            Trainer(net, tiny_shd)
+
+    def test_rejects_mismatched_classes(self, tiny_shd):
+        spec = NetworkSpec(
+            name="bad", input_shape=(32,), layers=(DenseSpec(out_features=7),)
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        with pytest.raises(TrainingError):
+            Trainer(net, tiny_shd)
+
+    def test_rejects_zero_epochs(self, tiny_shd):
+        net = _net(tiny_shd)
+        with pytest.raises(TrainingError):
+            Trainer(net, tiny_shd).fit(epochs=0, rng=np.random.default_rng(0))
+
+    def test_recurrent_network_trains(self, tiny_shd):
+        spec = NetworkSpec(
+            name="rec",
+            input_shape=tiny_shd.input_shape,
+            layers=(RecurrentSpec(out_features=24), DenseSpec(out_features=20)),
+        )
+        net = build_network(spec, np.random.default_rng(0))
+        trainer = Trainer(net, tiny_shd, lr=0.02, batch_size=16)
+        result = trainer.fit(epochs=3, rng=np.random.default_rng(0))
+        assert result.loss_history[-1] < result.loss_history[0]
+
+
+class TestAccuracy:
+    def test_accuracy_range(self, tiny_shd):
+        net = _net(tiny_shd)
+        acc = accuracy(net, tiny_shd.test_inputs.astype(float), tiny_shd.test_labels)
+        assert 0.0 <= acc <= 1.0
+
+    def test_accuracy_batched_consistent(self, tiny_shd):
+        net = _net(tiny_shd)
+        inputs = tiny_shd.test_inputs.astype(float)
+        a = accuracy(net, inputs, tiny_shd.test_labels, batch_size=7)
+        b = accuracy(net, inputs, tiny_shd.test_labels, batch_size=40)
+        assert a == b
