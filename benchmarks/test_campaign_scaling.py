@@ -1,0 +1,123 @@
+"""Campaign-scaling bench: batched-vs-sequential and serial-vs-parallel.
+
+Times the full-catalog detection campaign of the ``nmnist-small``
+benchmark network three ways:
+
+1. sequential reference — ``synapse_batch=1`` (one reversible injection
+   per synapse fault), no neuron splicing;
+2. batched single worker — K-batched synapse faults plus neuron splicing;
+3. parallel — the batched simulator sharded across 2 worker processes.
+
+The batched single-worker campaign must be at least 2x faster than the
+sequential reference (the acceptance bar for the batched synapse path),
+and every variant must produce bit-identical results.  All timings are
+recorded to ``results/campaign_scaling.json`` alongside the hardware
+context pytest-benchmark already captures.
+
+Quick mode (``REPRO_SCALING_QUICK=1``, used by the CI smoke job) shrinks
+the stimulus and subsamples the catalog so the bench finishes in seconds;
+the speedup floor is only asserted in full mode, since a subsampled
+campaign under-utilises the batched paths.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.benchmarks import get_benchmark
+from repro.faults.catalog import build_catalog
+from repro.faults.parallel import parallel_detect
+from repro.faults.simulator import FaultSimulator
+from repro.snn.builder import build_network
+
+QUICK = os.environ.get("REPRO_SCALING_QUICK") == "1"
+
+
+def _campaign_setup():
+    definition = get_benchmark("nmnist", "small")
+    network = build_network(definition.spec, np.random.default_rng(0))
+    catalog = build_catalog(
+        network, definition.fault_config, rng=np.random.default_rng(7)
+    )
+    faults = list(catalog.neuron_faults) + list(catalog.synapse_faults)
+    steps = 12 if QUICK else 48
+    if QUICK:
+        faults = faults[:: max(1, len(faults) // 400)]
+    rng = np.random.default_rng(1)
+    stimulus = (
+        rng.random((steps, 1) + definition.spec.input_shape) > 0.7
+    ).astype(float)
+    return definition, network, faults, stimulus
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_campaign_scaling(benchmark, results_dir):
+    definition, network, faults, stimulus = _campaign_setup()
+    synapse_only = [f for f in faults if not f.is_neuron]
+
+    sequential = FaultSimulator(
+        network, definition.fault_config,
+        synapse_batch=1, neuron_splice=False,
+    )
+    batched = FaultSimulator(network, definition.fault_config)
+
+    # Full catalog, sequential reference vs batched single worker.
+    reference, t_sequential = _timed(lambda: sequential.detect(stimulus, faults))
+    fast, t_batched = run_once(
+        benchmark, lambda: _timed(lambda: batched.detect(stimulus, faults))
+    )
+
+    # Synapse faults alone: isolates the K-batched weight-lifting path.
+    _, t_syn_sequential = _timed(lambda: sequential.detect(stimulus, synapse_only))
+    _, t_syn_batched = _timed(lambda: batched.detect(stimulus, synapse_only))
+
+    # Parallel engine on top of the batched simulator.
+    par, t_parallel = _timed(
+        lambda: parallel_detect(batched, stimulus, faults, workers=2)
+    )
+
+    assert np.array_equal(reference.detected, fast.detected)
+    assert np.array_equal(reference.output_l1, fast.output_l1)
+    assert np.array_equal(reference.detected, par.detected)
+    assert np.array_equal(reference.output_l1, par.output_l1)
+
+    payload = {
+        "benchmark": definition.cache_key,
+        "quick_mode": QUICK,
+        "faults": len(faults),
+        "synapse_faults": len(synapse_only),
+        "stimulus_steps": int(stimulus.shape[0]),
+        "sequential_s": t_sequential,
+        "batched_s": t_batched,
+        "parallel_2_workers_s": t_parallel,
+        "synapse_sequential_s": t_syn_sequential,
+        "synapse_batched_s": t_syn_batched,
+        "batched_speedup": t_sequential / t_batched,
+        "synapse_batched_speedup": t_syn_sequential / t_syn_batched,
+        "parallel_speedup": t_sequential / t_parallel,
+        "cpu_count": os.cpu_count(),
+    }
+    with open(results_dir / "campaign_scaling.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(
+        f"\nfull catalog ({len(faults)} faults, {stimulus.shape[0]} steps): "
+        f"sequential {t_sequential:.2f}s, batched {t_batched:.2f}s "
+        f"({payload['batched_speedup']:.2f}x), "
+        f"parallel(2) {t_parallel:.2f}s ({payload['parallel_speedup']:.2f}x)"
+        f"\nsynapse path alone: {t_syn_sequential:.2f}s -> {t_syn_batched:.2f}s "
+        f"({payload['synapse_batched_speedup']:.2f}x)"
+    )
+
+    if not QUICK:
+        # Acceptance bar: the batched synapse path (single worker) beats
+        # the sequential reference by >= 2x on the full catalog.
+        assert payload["batched_speedup"] >= 2.0, payload
+        assert payload["synapse_batched_speedup"] >= 2.0, payload

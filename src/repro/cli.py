@@ -63,6 +63,9 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--results", type=Path, default=None,
                        help="results root (default: $REPRO_RESULTS or ./results)")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--workers", type=int, default=None,
+                       help="fault-simulation worker processes "
+                       "(default: $REPRO_WORKERS or 1)")
 
     add_pipeline_args(sub.add_parser("train", help="train and cache the benchmark model"))
     add_pipeline_args(sub.add_parser(
@@ -93,7 +96,13 @@ def _build_parser() -> argparse.ArgumentParser:
 def _pipeline(args, name: Optional[str] = None) -> ExperimentPipeline:
     definition = get_benchmark(name or args.benchmark, args.scale)
     results = args.results if args.results is not None else default_results_dir()
-    return ExperimentPipeline(definition, results_dir=results, seed=args.seed, log=print)
+    return ExperimentPipeline(
+        definition,
+        results_dir=results,
+        seed=args.seed,
+        log=print,
+        workers=getattr(args, "workers", None),
+    )
 
 
 def _pipelines(args) -> Dict[str, ExperimentPipeline]:

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.core.testset import TestStimulus
 from repro.faults.model import FaultModelConfig
+from repro.faults.parallel import parallel_detect
 from repro.faults.simulator import (
     ClassificationResult,
     CoverageBreakdown,
@@ -27,14 +28,19 @@ def verify_coverage(
     fault_config: Optional[FaultModelConfig] = None,
     classification: Optional[ClassificationResult] = None,
     progress=None,
+    workers: Optional[int] = None,
 ):
     """Fault-simulate the assembled test stimulus.
 
-    Returns the :class:`DetectionResult`; if ``classification`` labels are
-    provided, also the Table-III-style :class:`CoverageBreakdown`.
+    ``workers`` shards the campaign across processes (``None`` defers to
+    ``$REPRO_WORKERS``; 1 runs serially in-process).  Returns the
+    :class:`DetectionResult`; if ``classification`` labels are provided,
+    also the Table-III-style :class:`CoverageBreakdown`.
     """
     simulator = FaultSimulator(network, fault_config)
-    detection = simulator.detect(stimulus.assembled(), faults, progress=progress)
+    detection = parallel_detect(
+        simulator, stimulus.assembled(), faults, workers=workers, progress=progress
+    )
     if classification is None:
         return detection, None
     breakdown = FaultSimulator.coverage(detection, classification)

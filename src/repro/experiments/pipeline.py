@@ -28,6 +28,7 @@ from repro.core.testset import TestStimulus
 from repro.datasets.base import SpikingDataset
 from repro.experiments.benchmarks import BenchmarkDefinition
 from repro.faults.catalog import FaultCatalog, build_catalog
+from repro.faults.parallel import parallel_classify, resolve_workers
 from repro.faults.simulator import (
     ClassificationResult,
     CoverageBreakdown,
@@ -54,9 +55,11 @@ class ExperimentPipeline:
         results_dir: Optional[Path] = None,
         seed: int = 0,
         log=None,
+        workers: Optional[int] = None,
     ) -> None:
         self.definition = definition
         self.seed = seed
+        self.workers = resolve_workers(workers)
         self.seeds = SeedSequenceFactory(seed)
         self.results_dir = Path(results_dir) if results_dir is not None else default_results_dir()
         self.cache_dir = self.results_dir / "cache" / f"{definition.cache_key}-seed{seed}"
@@ -140,7 +143,9 @@ class ExperimentPipeline:
             self.definition.classify_samples, "test"
         )
         simulator = FaultSimulator(self.network(), self.definition.fault_config)
-        result = simulator.classify(inputs, labels, catalog.faults)
+        result = parallel_classify(
+            simulator, inputs, labels, catalog.faults, workers=self.workers
+        )
         np.savez(
             path,
             critical=result.critical,
@@ -225,6 +230,7 @@ class ExperimentPipeline:
             generation.stimulus,
             catalog.faults,
             self.definition.fault_config,
+            workers=self.workers,
         )
         np.savez(
             path,

@@ -25,7 +25,7 @@ from repro.faults.model import (
 from repro.faults.bitflip import flip_bit, int8_scale, quantize_int8, bitflip_value
 from repro.faults.catalog import FaultCatalog, build_catalog
 from repro.faults.collapse import CollapsedCatalog, collapse_catalog
-from repro.faults.injector import inject
+from repro.faults.injector import inject, synapse_fault_value
 from repro.faults.diagnosis import FaultDictionary, observed_signature
 from repro.faults.sensitivity import (
     SensitivityCurve,
@@ -37,6 +37,12 @@ from repro.faults.simulator import (
     CoverageBreakdown,
     DetectionResult,
     FaultSimulator,
+)
+from repro.faults.parallel import (
+    ParallelFaultSimulator,
+    parallel_classify,
+    parallel_detect,
+    resolve_workers,
 )
 
 __all__ = [
@@ -54,6 +60,7 @@ __all__ = [
     "CollapsedCatalog",
     "collapse_catalog",
     "inject",
+    "synapse_fault_value",
     "SensitivityCurve",
     "SensitivityPoint",
     "sweep_timing_fault",
@@ -63,4 +70,8 @@ __all__ = [
     "DetectionResult",
     "ClassificationResult",
     "CoverageBreakdown",
+    "ParallelFaultSimulator",
+    "parallel_detect",
+    "parallel_classify",
+    "resolve_workers",
 ]

@@ -98,28 +98,40 @@ def _apply_neuron_fault(module, fault: NeuronFault, config: FaultModelConfig):
     raise InjectionError(f"unhandled neuron fault kind {kind}")
 
 
+def synapse_fault_value(
+    weights: np.ndarray, fault: SynapseFault, config: FaultModelConfig
+) -> float:
+    """Faulty value of the targeted weight entry, given the *pristine*
+    weight tensor.
+
+    Shared by the sequential :func:`inject` path and the batched
+    synapse-fault simulation, so both campaigns perturb the weight
+    identically by construction.
+    """
+    flat = weights.reshape(-1)
+    if fault.weight_index >= flat.size:
+        raise InjectionError(f"{fault.describe()}: weight index out of range")
+    previous = flat[fault.weight_index]
+    kind = fault.kind
+    if kind is SynapseFaultKind.DEAD:
+        return 0.0
+    if kind is SynapseFaultKind.SATURATED_POSITIVE:
+        return config.saturation_multiplier * float(np.abs(weights).max())
+    if kind is SynapseFaultKind.SATURATED_NEGATIVE:
+        return -config.saturation_multiplier * float(np.abs(weights).max())
+    if kind is SynapseFaultKind.BITFLIP:
+        return bitflip_value(float(previous), fault.bit, int8_scale(weights))
+    raise InjectionError(f"unhandled synapse fault kind {kind}")
+
+
 def _apply_synapse_fault(module, fault: SynapseFault, config: FaultModelConfig):
     params = module.parameters()
     if fault.parameter_index >= len(params):
         raise InjectionError(f"{fault.describe()}: parameter index out of range")
     weights = params[fault.parameter_index].data
+    faulty = synapse_fault_value(weights, fault, config)
     flat = weights.reshape(-1)
-    if fault.weight_index >= flat.size:
-        raise InjectionError(f"{fault.describe()}: weight index out of range")
     previous = flat[fault.weight_index]
-
-    kind = fault.kind
-    if kind is SynapseFaultKind.DEAD:
-        faulty = 0.0
-    elif kind is SynapseFaultKind.SATURATED_POSITIVE:
-        faulty = config.saturation_multiplier * float(np.abs(weights).max())
-    elif kind is SynapseFaultKind.SATURATED_NEGATIVE:
-        faulty = -config.saturation_multiplier * float(np.abs(weights).max())
-    elif kind is SynapseFaultKind.BITFLIP:
-        faulty = bitflip_value(float(previous), fault.bit, int8_scale(weights))
-    else:
-        raise InjectionError(f"unhandled synapse fault kind {kind}")
-
     flat[fault.weight_index] = faulty
 
     def restore():

@@ -1,0 +1,296 @@
+"""Process-parallel fault campaigns.
+
+Fault-injection campaigns are embarrassingly parallel across faults: every
+fault is simulated against the same fault-free network state, and per-fault
+results never interact.  This module shards a fault list across a
+fork-based :mod:`multiprocessing` pool and merges the shard results back in
+catalog order, so a parallel campaign is *exactly* equal — detected mask,
+L1 norms, criticality labels, accuracy drops — to the serial one (pinned
+by ``tests/faults/test_parallel_equivalence.py``).
+
+Design notes
+------------
+- The golden per-module activations are computed **once in the parent**
+  before the pool is forked; workers inherit them (and the network) through
+  copy-on-write memory, so no worker repeats upstream work and nothing
+  large crosses the pipe except per-shard result arrays.
+- Shards are contiguous index blocks and each worker returns its block's
+  offset, so the merge is order-preserving no matter which worker finishes
+  first.  Determinism does not depend on pool scheduling.
+- Fault simulation mutates network state temporarily (parameter-array
+  swaps, reversible injection); with ``fork`` each worker mutates its own
+  copy-on-write pages, never the parent's.
+- Worker count comes from ``workers=`` or the ``REPRO_WORKERS`` environment
+  variable (default 1).  With ``workers <= 1``, or on platforms without
+  ``fork`` (Windows, macOS spawn-default interpreters), campaigns run
+  serially in-process through the same :class:`FaultSimulator` — the
+  fallback is the reference, not an approximation.
+
+See ``docs/PARALLELISM.md`` for the full worker model.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FaultModelError
+from repro.faults.simulator import (
+    ClassificationResult,
+    DetectionResult,
+    FaultSimulator,
+    Fault,
+    ProgressFn,
+    _ProgressTracker,
+)
+
+#: Environment variable consulted when ``workers`` is not given explicitly.
+WORKERS_ENV = "REPRO_WORKERS"
+
+# Campaign state inherited by forked workers (set in the parent immediately
+# before the pool is created; never mutated while the pool is alive).
+_SHARED: dict = {}
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit ``workers``, else ``$REPRO_WORKERS``,
+    else 1.  Always at least 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise FaultModelError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            workers = 1
+    return max(1, int(workers))
+
+
+def fork_available() -> bool:
+    """Whether the platform supports fork-based pools (required for the
+    copy-on-write golden-state sharing this engine relies on)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def shard_bounds(n_faults: int, workers: int, per_worker: int = 4) -> List[Tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` index blocks covering ``range(n_faults)``.
+
+    More shards than workers (``per_worker`` per worker) keeps the pool
+    busy when shards have uneven cost — synapse-heavy blocks batch much
+    better than timing-fault blocks.
+    """
+    if n_faults <= 0:
+        return []
+    shards = min(n_faults, max(1, workers * per_worker))
+    edges = np.linspace(0, n_faults, shards + 1, dtype=np.int64)
+    return [(int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
+
+
+def _detect_shard(bounds: Tuple[int, int]):
+    lo, hi = bounds
+    shared = _SHARED
+    simulator: FaultSimulator = shared["simulator"]
+    result = simulator.detect(
+        shared["stimulus"],
+        shared["faults"][lo:hi],
+        golden_modules=shared["golden_modules"],
+    )
+    return lo, result.detected, result.output_l1, result.class_count_diff
+
+
+def _classify_shard(bounds: Tuple[int, int]):
+    lo, hi = bounds
+    shared = _SHARED
+    simulator: FaultSimulator = shared["simulator"]
+    result = simulator.classify(
+        shared["inputs"],
+        shared["labels"],
+        shared["faults"][lo:hi],
+        chunk_size=shared["chunk_size"],
+        golden_modules=shared["golden_modules"],
+    )
+    return lo, result.critical, result.accuracy_drop
+
+
+def _run_sharded(worker_fn, shared: dict, n_faults: int, workers: int,
+                 progress: Optional[ProgressFn]):
+    """Fork a pool with ``shared`` campaign state and yield merged shard
+    results, firing aggregated progress as shards complete."""
+    bounds = shard_bounds(n_faults, workers)
+    tracker = _ProgressTracker(progress, n_faults)
+    _SHARED.clear()
+    _SHARED.update(shared)
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=workers) as pool:
+            for payload in pool.imap_unordered(worker_fn, bounds):
+                lo = payload[0]
+                hi = lo + payload[1].shape[0]
+                yield payload
+                tracker.tick(hi - lo)
+    finally:
+        _SHARED.clear()
+    tracker.finish()
+
+
+def parallel_detect(
+    simulator: FaultSimulator,
+    stimulus: np.ndarray,
+    faults: Sequence[Fault],
+    workers: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> DetectionResult:
+    """:meth:`FaultSimulator.detect` sharded across ``workers`` processes.
+
+    Results are merged in fault order and are exactly equal to the serial
+    campaign.  Falls back to the in-process simulator when the effective
+    worker count is 1 or fork is unavailable.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1 or not fork_available() or len(faults) == 0:
+        return simulator.detect(stimulus, faults, progress=progress)
+    start = time.perf_counter()
+    golden_modules = simulator.network.run_modules(stimulus)
+    classes = golden_modules[-1].reshape(stimulus.shape[0], -1).shape[1]
+
+    n_faults = len(faults)
+    detected = np.zeros(n_faults, dtype=bool)
+    output_l1 = np.zeros(n_faults)
+    class_diff = np.zeros((n_faults, classes))
+    shared = dict(
+        simulator=simulator,
+        stimulus=stimulus,
+        faults=list(faults),
+        golden_modules=golden_modules,
+    )
+    for lo, shard_detected, shard_l1, shard_diff in _run_sharded(
+        _detect_shard, shared, n_faults, workers, progress
+    ):
+        hi = lo + shard_detected.shape[0]
+        detected[lo:hi] = shard_detected
+        output_l1[lo:hi] = shard_l1
+        class_diff[lo:hi] = shard_diff
+    return DetectionResult(
+        faults=list(faults),
+        detected=detected,
+        output_l1=output_l1,
+        class_count_diff=class_diff,
+        wall_time=time.perf_counter() - start,
+    )
+
+
+def parallel_classify(
+    simulator: FaultSimulator,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    faults: Sequence[Fault],
+    workers: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    chunk_size: Optional[int] = None,
+) -> ClassificationResult:
+    """:meth:`FaultSimulator.classify` sharded across ``workers`` processes.
+
+    Early-exit (``chunk_size``) semantics are per fault, so sharding does
+    not change any label or NaN-drop marker.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1 or not fork_available() or len(faults) == 0:
+        return simulator.classify(
+            inputs, labels, faults, progress=progress, chunk_size=chunk_size
+        )
+    start = time.perf_counter()
+    labels = np.asarray(labels)
+    golden_modules = simulator.network.run_modules(inputs)
+    golden_counts = golden_modules[-1].reshape(
+        inputs.shape[0], inputs.shape[1], -1
+    ).sum(axis=0)
+    nominal_accuracy = float((golden_counts.argmax(axis=1) == labels).mean())
+
+    n_faults = len(faults)
+    critical = np.zeros(n_faults, dtype=bool)
+    accuracy_drop = np.zeros(n_faults)
+    shared = dict(
+        simulator=simulator,
+        inputs=inputs,
+        labels=labels,
+        faults=list(faults),
+        chunk_size=chunk_size,
+        golden_modules=golden_modules,
+    )
+    for lo, shard_critical, shard_drop in _run_sharded(
+        _classify_shard, shared, n_faults, workers, progress
+    ):
+        hi = lo + shard_critical.shape[0]
+        critical[lo:hi] = shard_critical
+        accuracy_drop[lo:hi] = shard_drop
+    return ClassificationResult(
+        faults=list(faults),
+        critical=critical,
+        accuracy_drop=accuracy_drop,
+        nominal_accuracy=nominal_accuracy,
+        wall_time=time.perf_counter() - start,
+    )
+
+
+class ParallelFaultSimulator:
+    """Drop-in :class:`FaultSimulator` facade that shards campaigns across
+    processes.
+
+    ``workers=None`` defers to ``$REPRO_WORKERS`` (default 1, i.e. serial).
+    All other keyword arguments are forwarded to :class:`FaultSimulator`.
+    """
+
+    def __init__(
+        self,
+        network,
+        config=None,
+        workers: Optional[int] = None,
+        **simulator_kwargs,
+    ) -> None:
+        self.simulator = FaultSimulator(network, config, **simulator_kwargs)
+        self.workers = resolve_workers(workers)
+
+    @property
+    def network(self):
+        return self.simulator.network
+
+    @property
+    def config(self):
+        return self.simulator.config
+
+    def detect(
+        self,
+        stimulus: np.ndarray,
+        faults: Sequence[Fault],
+        progress: Optional[ProgressFn] = None,
+    ) -> DetectionResult:
+        return parallel_detect(
+            self.simulator, stimulus, faults, workers=self.workers, progress=progress
+        )
+
+    def classify(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        faults: Sequence[Fault],
+        progress: Optional[ProgressFn] = None,
+        chunk_size: Optional[int] = None,
+    ) -> ClassificationResult:
+        return parallel_classify(
+            self.simulator,
+            inputs,
+            labels,
+            faults,
+            workers=self.workers,
+            progress=progress,
+            chunk_size=chunk_size,
+        )
+
+    coverage = staticmethod(FaultSimulator.coverage)

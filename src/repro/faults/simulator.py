@@ -15,6 +15,15 @@ Two campaigns are provided, mirroring the paper's flow:
 Both campaigns exploit the feedforward structure: the fault-free response
 of every module is cached once, and each faulty simulation restarts at the
 module containing the fault site, skipping all upstream work.
+
+Both neuron and synapse faults are simulated in batches along the batch
+axis: K faulty instances of the same module share one pass, with the
+per-neuron parameter arrays (neuron faults) or the weight tensors lifted
+to a ``(K, ...)`` leading axis (synapse faults).  Per-fault results are
+identical to one-at-a-time injection — the spiking nonlinearity is applied
+elementwise per batch row every time step — which is pinned by the
+differential suites in ``tests/faults/``.  For campaigns that parallelise
+across processes as well, see :mod:`repro.faults.parallel`.
 """
 
 from __future__ import annotations
@@ -26,15 +35,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import FaultModelError
-from repro.faults.injector import inject
+from repro.faults.injector import inject, synapse_fault_value
 from repro.faults.model import (
     FaultModelConfig,
     NeuronFault,
     NeuronFaultKind,
     SynapseFault,
 )
+from repro.snn.layers import SpikingModule
 from repro.snn.network import SNN
-from repro.snn.neuron import MODE_DEAD, MODE_SATURATED
+from repro.snn.neuron import MODE_DEAD, MODE_SATURATED, LIFState, lif_step_numpy
 
 Fault = Union[NeuronFault, SynapseFault]
 ProgressFn = Callable[[int, int], None]
@@ -115,6 +125,51 @@ def _rate(detected: np.ndarray, mask: np.ndarray) -> float:
     return float(detected[mask].sum() / total)
 
 
+class _ProgressTracker:
+    """Rate-limited campaign progress: fires every ``interval`` faults and
+    once more at completion (so short campaigns still report)."""
+
+    def __init__(self, progress: Optional[ProgressFn], total: int, interval: int = 1000):
+        self.progress = progress
+        self.total = total
+        self.interval = interval
+        self.done = 0
+        self._last_reported = -1
+
+    def tick(self, count: int) -> None:
+        before = self.done
+        self.done += count
+        if (
+            self.progress is not None
+            and self.done // self.interval > before // self.interval
+        ):
+            self.progress(self.done, self.total)
+            self._last_reported = self.done
+
+    def finish(self) -> None:
+        if self.progress is not None and self._last_reported != self.done:
+            self.progress(self.done, self.total)
+            self._last_reported = self.done
+
+
+def _supports_kbatched(module) -> bool:
+    return (
+        isinstance(module, SpikingModule)
+        and type(module).run_sequence_kbatched
+        is not SpikingModule.run_sequence_kbatched
+    )
+
+
+def _supports_splice(module) -> bool:
+    """True for layers whose neurons are independent given the layer input
+    (so a neuron fault can be simulated from its current trace alone)."""
+    return (
+        isinstance(module, SpikingModule)
+        and type(module).neuron_input_currents
+        is not SpikingModule.neuron_input_currents
+    )
+
+
 class FaultSimulator:
     """Runs fault campaigns against one network.
 
@@ -127,8 +182,13 @@ class FaultSimulator:
     neuron_batch:
         Neuron faults are simulated in parallel along the batch axis (the
         per-neuron parameter and mode arrays broadcast per batch row);
-        this sets how many faulty instances share one pass.  Synapse
-        faults mutate shared weights and stay sequential.
+        this sets how many faulty instances share one pass.
+    synapse_batch:
+        Same for synapse faults: K weight-perturbed instances of one
+        module share one pass, with the module's weight tensors lifted to
+        a ``(K, ...)`` leading axis.  ``None`` follows ``neuron_batch``;
+        ``1`` selects the sequential reference path (one reversible
+        :func:`~repro.faults.injector.inject` per fault).
     """
 
     def __init__(
@@ -136,12 +196,20 @@ class FaultSimulator:
         network: SNN,
         config: Optional[FaultModelConfig] = None,
         neuron_batch: int = 16,
+        synapse_batch: Optional[int] = None,
+        neuron_splice: bool = True,
     ) -> None:
         self.network = network
         self.config = config or FaultModelConfig()
         if neuron_batch < 1:
             raise FaultModelError(f"neuron_batch must be >= 1, got {neuron_batch}")
+        if synapse_batch is None:
+            synapse_batch = neuron_batch
+        if synapse_batch < 1:
+            raise FaultModelError(f"synapse_batch must be >= 1, got {synapse_batch}")
         self.neuron_batch = neuron_batch
+        self.synapse_batch = synapse_batch
+        self.neuron_splice = neuron_splice
 
     # ------------------------------------------------------------------
     def _batched_neuron_run(
@@ -149,14 +217,28 @@ class FaultSimulator:
         module_index: int,
         group: Sequence[NeuronFault],
         base_seq: np.ndarray,
+        golden_out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Simulate ``len(group)`` neuron-faulty instances in one pass.
 
         ``base_seq`` is the module's input sequence with S base batch rows
         (1 for detection, the sample count for classification).  Returns
         output spikes of shape ``(T, K, S, classes)``.
+
+        When ``golden_out`` (the module's fault-free output for the same
+        base rows) is given and the module's neurons are independent given
+        the layer input, the faulty module is not re-run at all: only the
+        K faulty neurons are simulated from their input-current traces and
+        their spike trains spliced into the cached fault-free output
+        (see :meth:`_spliced_neuron_run`).
         """
         module = self.network.modules[module_index]
+        if (
+            golden_out is not None
+            and self.neuron_splice
+            and _supports_splice(module)
+        ):
+            return self._spliced_neuron_run(module_index, group, base_seq, golden_out)
         shape = module.neuron_shape
         k = len(group)
         s = base_seq.shape[1]
@@ -204,20 +286,164 @@ class FaultSimulator:
         return out.reshape(steps, k, s, -1)
 
     # ------------------------------------------------------------------
+    def _spliced_neuron_run(
+        self,
+        module_index: int,
+        group: Sequence[NeuronFault],
+        base_seq: np.ndarray,
+        golden_out: np.ndarray,
+    ) -> np.ndarray:
+        """Neuron-fault simulation without re-running the faulty module.
+
+        In a layer without lateral coupling, a neuron fault changes only
+        that neuron's spike train; every other neuron reproduces the cached
+        fault-free output.  So: extract the K faulty neurons' input-current
+        traces, advance K tiny LIF simulations (same elementwise update as
+        the full layer), splice the traces into K copies of the golden
+        layer output, and resume the network downstream.  Returns
+        ``(T, K, S, classes)`` like :meth:`_batched_neuron_run`.
+        """
+        module = self.network.modules[module_index]
+        shape = module.neuron_shape
+        k = len(group)
+        steps, s = base_seq.shape[:2]
+        neuron_idx = np.array([f.neuron_index for f in group], dtype=np.int64)
+        currents = module.neuron_input_currents(base_seq, neuron_idx)  # (T, S, K)
+        currents = np.ascontiguousarray(currents.transpose(0, 2, 1))  # (T, K, S)
+
+        # Per-row (K, 1) parameter columns, perturbed per fault kind.
+        config = self.config
+        threshold = module.threshold.reshape(-1)[neuron_idx].astype(float).copy()
+        leak = module.leak.reshape(-1)[neuron_idx].astype(float).copy()
+        refractory = module.refractory_steps.reshape(-1)[neuron_idx].copy()
+        mode = module.mode.reshape(-1)[neuron_idx].copy()
+        for row, fault in enumerate(group):
+            kind = fault.kind
+            if kind is NeuronFaultKind.DEAD:
+                mode[row] = MODE_DEAD
+            elif kind is NeuronFaultKind.SATURATED:
+                mode[row] = MODE_SATURATED
+            elif kind is NeuronFaultKind.TIMING_THRESHOLD:
+                threshold[row] *= config.timing_threshold_factor
+            elif kind is NeuronFaultKind.TIMING_LEAK:
+                leak[row] *= config.timing_leak_factor
+            elif kind is NeuronFaultKind.TIMING_REFRACTORY:
+                refractory[row] += config.timing_refractory_extra
+            else:  # pragma: no cover - enum is closed
+                raise FaultModelError(f"unhandled neuron fault kind {kind}")
+        threshold = threshold[:, None]
+        leak = leak[:, None]
+        refractory = refractory[:, None]
+        mode = mode[:, None]
+
+        state = LIFState.zeros_numpy((k, s))
+        traces = np.empty((steps, k, s))
+        reset_mode = module.params.reset_mode
+        for t in range(steps):
+            traces[t] = lif_step_numpy(
+                currents[t], state, threshold, leak, refractory, mode, reset_mode
+            )
+
+        n = int(np.prod(shape))
+        tiled = np.broadcast_to(
+            golden_out.reshape(steps, 1, s, n), (steps, k, s, n)
+        ).copy()
+        tiled[:, np.arange(k), :, neuron_idx] = traces.transpose(1, 0, 2)
+        merged = tiled.reshape((steps, k * s) + shape)
+        if module_index + 1 < len(self.network.modules):
+            out = self.network.run_from(module_index + 1, merged)
+        else:
+            out = merged.reshape(steps, k * s, -1)
+        return out.reshape(steps, k, s, -1)
+
+    # ------------------------------------------------------------------
+    def _batched_synapse_run(
+        self,
+        module_index: int,
+        group: Sequence[SynapseFault],
+        base_seq: np.ndarray,
+    ) -> np.ndarray:
+        """Simulate ``len(group)`` synapse-faulty instances in one pass.
+
+        The module's weight tensors are lifted to a ``(K, ...)`` leading
+        axis, one perturbed copy per fault; the faulty module runs all K
+        variants at once and every downstream module runs one pass with a
+        K*S batch.  Returns output spikes of shape ``(T, K, S, classes)``.
+        """
+        module = self.network.modules[module_index]
+        params = module.parameters()
+        k = len(group)
+        s = base_seq.shape[1]
+        stacks = [
+            np.broadcast_to(p.data, (k,) + p.data.shape).copy() for p in params
+        ]
+        for row, fault in enumerate(group):
+            if fault.parameter_index >= len(params):
+                raise FaultModelError(
+                    f"{fault.describe()}: parameter index out of range"
+                )
+            # The faulty value is computed from the pristine weights, as in
+            # the sequential inject() path.
+            value = synapse_fault_value(
+                params[fault.parameter_index].data, fault, self.config
+            )
+            stacks[fault.parameter_index][row].reshape(-1)[fault.weight_index] = value
+        tiled = np.tile(base_seq, (1, k) + (1,) * (base_seq.ndim - 2))
+        out = module.run_sequence_kbatched(tiled, stacks)
+        if module_index + 1 < len(self.network.modules):
+            out = self.network.run_from(module_index + 1, out)
+        else:
+            out = out.reshape(out.shape[0], out.shape[1], -1)
+        steps = out.shape[0]
+        return out.reshape(steps, k, s, -1)
+
+    # ------------------------------------------------------------------
+    def _neuron_groups(self, faults: Sequence[Fault]) -> Dict[int, List[int]]:
+        groups: Dict[int, List[int]] = {}
+        for idx, fault in enumerate(faults):
+            if fault.is_neuron:
+                groups.setdefault(fault.module_index, []).append(idx)
+        return groups
+
+    def _synapse_partition(self, faults: Sequence[Fault]):
+        """Split synapse-fault indices into per-module groups eligible for
+        batching and a sequential remainder."""
+        batched: Dict[int, List[int]] = {}
+        sequential: List[int] = []
+        for idx, fault in enumerate(faults):
+            if fault.is_neuron:
+                continue
+            module = self.network.modules[fault.module_index]
+            if self.synapse_batch > 1 and _supports_kbatched(module):
+                batched.setdefault(fault.module_index, []).append(idx)
+            else:
+                sequential.append(idx)
+        return batched, sequential
+
+    # ------------------------------------------------------------------
     def detect(
         self,
         stimulus: np.ndarray,
         faults: Sequence[Fault],
         progress: Optional[ProgressFn] = None,
+        golden_modules: Optional[List[np.ndarray]] = None,
     ) -> DetectionResult:
         """Fault-simulate ``stimulus`` (shape (T, 1, *input_shape)) against
-        ``faults`` and report which are detected (Eq. 3)."""
+        ``faults`` and report which are detected (Eq. 3).
+
+        ``golden_modules`` optionally supplies the fault-free per-module
+        output sequences (as produced by :meth:`SNN.run_modules` on the
+        same stimulus), so callers that run several campaigns — or
+        sharded workers, see :mod:`repro.faults.parallel` — never repeat
+        the upstream work.
+        """
         if stimulus.ndim < 3 or stimulus.shape[1] != 1:
             raise FaultModelError(
                 f"stimulus must be (T, 1, *input_shape), got {stimulus.shape}"
             )
         start = time.perf_counter()
-        golden_modules = self.network.run_modules(stimulus)
+        if golden_modules is None:
+            golden_modules = self.network.run_modules(stimulus)
         golden_out = golden_modules[-1].reshape(stimulus.shape[0], -1)  # (T, classes)
         golden_counts = golden_out.sum(axis=0)
 
@@ -225,46 +451,49 @@ class FaultSimulator:
         detected = np.zeros(n_faults, dtype=bool)
         output_l1 = np.zeros(n_faults)
         class_diff = np.zeros((n_faults, golden_out.shape[1]))
-        done = 0
+        tracker = _ProgressTracker(progress, n_faults)
 
-        def tick(count: int) -> None:
-            nonlocal done
-            before = done
-            done += count
-            if progress is not None and done // 1000 > before // 1000:
-                progress(done, n_faults)
-
-        # Neuron faults: batched along the batch axis, grouped by module.
-        neuron_groups: Dict[int, List[int]] = {}
-        for idx, fault in enumerate(faults):
-            if fault.is_neuron:
-                neuron_groups.setdefault(fault.module_index, []).append(idx)
-        for module_index, indices in neuron_groups.items():
-            seq = stimulus if module_index == 0 else golden_modules[module_index - 1]
-            for chunk_start in range(0, len(indices), self.neuron_batch):
-                chunk = indices[chunk_start : chunk_start + self.neuron_batch]
-                out = self._batched_neuron_run(
-                    module_index, [faults[i] for i in chunk], seq
-                )[:, :, 0, :]  # (T, K, classes)
-                for row, idx in enumerate(chunk):
-                    diff = np.abs(out[:, row] - golden_out).sum()
-                    output_l1[idx] = diff
-                    detected[idx] = diff > 0
-                    class_diff[idx] = np.abs(out[:, row].sum(axis=0) - golden_counts)
-                tick(len(chunk))
-
-        # Synapse faults: shared weights, sequential injection.
-        for idx, fault in enumerate(faults):
-            if fault.is_neuron:
-                continue
-            with inject(self.network, fault, self.config) as module_index:
-                seq = stimulus if module_index == 0 else golden_modules[module_index - 1]
-                out = self.network.run_from(module_index, seq)[:, 0, :]
+        def record(idx: int, out: np.ndarray) -> None:
             diff = np.abs(out - golden_out).sum()
             output_l1[idx] = diff
             detected[idx] = diff > 0
             class_diff[idx] = np.abs(out.sum(axis=0) - golden_counts)
-            tick(1)
+
+        # Neuron faults: batched along the batch axis, grouped by module.
+        for module_index, indices in self._neuron_groups(faults).items():
+            seq = stimulus if module_index == 0 else golden_modules[module_index - 1]
+            for group_start in range(0, len(indices), self.neuron_batch):
+                group = indices[group_start : group_start + self.neuron_batch]
+                out = self._batched_neuron_run(
+                    module_index, [faults[i] for i in group], seq,
+                    golden_out=golden_modules[module_index],
+                )[:, :, 0, :]  # (T, K, classes)
+                for row, idx in enumerate(group):
+                    record(idx, out[:, row])
+                tracker.tick(len(group))
+
+        # Synapse faults: weight tensors lifted to a (K, ...) axis, grouped
+        # by module; modules without K-batched support run sequentially.
+        syn_batched, syn_sequential = self._synapse_partition(faults)
+        for module_index, indices in syn_batched.items():
+            seq = stimulus if module_index == 0 else golden_modules[module_index - 1]
+            for group_start in range(0, len(indices), self.synapse_batch):
+                group = indices[group_start : group_start + self.synapse_batch]
+                out = self._batched_synapse_run(
+                    module_index, [faults[i] for i in group], seq
+                )[:, :, 0, :]  # (T, K, classes)
+                for row, idx in enumerate(group):
+                    record(idx, out[:, row])
+                tracker.tick(len(group))
+
+        for idx in syn_sequential:
+            fault = faults[idx]
+            with inject(self.network, fault, self.config) as module_index:
+                seq = stimulus if module_index == 0 else golden_modules[module_index - 1]
+                out = self.network.run_from(module_index, seq)[:, 0, :]
+            record(idx, out)
+            tracker.tick(1)
+        tracker.finish()
         return DetectionResult(
             faults=list(faults),
             detected=detected,
@@ -281,6 +510,7 @@ class FaultSimulator:
         faults: Sequence[Fault],
         progress: Optional[ProgressFn] = None,
         chunk_size: Optional[int] = None,
+        golden_modules: Optional[List[np.ndarray]] = None,
     ) -> ClassificationResult:
         """Label each fault critical (flips any sample's top-1) or benign.
 
@@ -292,6 +522,9 @@ class FaultSimulator:
         (the fault is then known critical).  Early-exited faults get
         ``accuracy_drop = NaN``; use :meth:`accuracy_drops` to compute
         exact drops for the (few) faults that need them.
+
+        ``golden_modules`` optionally supplies precomputed fault-free
+        per-module outputs for ``inputs`` (see :meth:`detect`).
         """
         labels = np.asarray(labels)
         if inputs.ndim < 3 or inputs.shape[1] != labels.shape[0]:
@@ -299,7 +532,8 @@ class FaultSimulator:
                 f"inputs {inputs.shape} inconsistent with labels {labels.shape}"
             )
         start = time.perf_counter()
-        golden_modules = self.network.run_modules(inputs)
+        if golden_modules is None:
+            golden_modules = self.network.run_modules(inputs)
         golden_counts = golden_modules[-1].reshape(
             inputs.shape[0], inputs.shape[1], -1
         ).sum(axis=0)
@@ -307,50 +541,76 @@ class FaultSimulator:
         nominal_accuracy = float((golden_preds == labels).mean())
 
         samples = labels.shape[0]
-        chunk = samples if chunk_size is None else max(1, int(chunk_size))
-        chunk_bounds = [(s, min(s + chunk, samples)) for s in range(0, samples, chunk)]
+        sample_chunk = samples if chunk_size is None else max(1, int(chunk_size))
+        sample_bounds = [
+            (lo, min(lo + sample_chunk, samples))
+            for lo in range(0, samples, sample_chunk)
+        ]
 
         n_faults = len(faults)
         critical = np.zeros(n_faults, dtype=bool)
         accuracy_drop = np.zeros(n_faults)
-        done = 0
-
-        def tick(count: int) -> None:
-            nonlocal done
-            before = done
-            done += count
-            if progress is not None and done // 1000 > before // 1000:
-                progress(done, n_faults)
+        tracker = _ProgressTracker(progress, n_faults)
 
         # Neuron faults: batched (K faults x S samples per pass).
         k_max = max(1, min(self.neuron_batch, 192 // max(samples, 1)))
-        neuron_groups: Dict[int, List[int]] = {}
-        for idx, fault in enumerate(faults):
-            if fault.is_neuron:
-                neuron_groups.setdefault(fault.module_index, []).append(idx)
-        for module_index, indices in neuron_groups.items():
+        for module_index, indices in self._neuron_groups(faults).items():
             seq = inputs if module_index == 0 else golden_modules[module_index - 1]
-            for chunk_start in range(0, len(indices), k_max):
-                chunk = indices[chunk_start : chunk_start + k_max]
+            for group_start in range(0, len(indices), k_max):
+                group = indices[group_start : group_start + k_max]
                 out = self._batched_neuron_run(
-                    module_index, [faults[i] for i in chunk], seq
+                    module_index, [faults[i] for i in group], seq,
+                    golden_out=golden_modules[module_index],
                 )  # (T, K, S, classes)
                 preds = out.sum(axis=0).argmax(axis=2)  # (K, S)
-                for row, idx in enumerate(chunk):
+                for row, idx in enumerate(group):
                     critical[idx] = bool(np.any(preds[row] != golden_preds))
                     accuracy_drop[idx] = nominal_accuracy - float(
                         (preds[row] == labels).mean()
                     )
-                tick(len(chunk))
+                tracker.tick(len(group))
 
-        # Synapse faults: sequential, with optional early-exit chunking.
-        for idx, fault in enumerate(faults):
-            if fault.is_neuron:
-                continue
+        # Synapse faults: batched per module where supported, with the same
+        # sample-chunk early-exit semantics as the sequential path.
+        syn_k_max = max(1, min(self.synapse_batch, 192 // max(samples, 1)))
+        syn_batched, syn_sequential = self._synapse_partition(faults)
+        for module_index, indices in syn_batched.items():
+            seq_full = inputs if module_index == 0 else golden_modules[module_index - 1]
+            for group_start in range(0, len(indices), syn_k_max):
+                group = indices[group_start : group_start + syn_k_max]
+                group_faults = [faults[i] for i in group]
+                k = len(group)
+                mistakes = np.zeros(k, dtype=np.int64)
+                flipped_early = np.zeros(k, dtype=bool)
+                for lo, hi in sample_bounds:
+                    out = self._batched_synapse_run(
+                        module_index, group_faults, seq_full[:, lo:hi]
+                    )  # (T, K, S_chunk, classes)
+                    preds = out.sum(axis=0).argmax(axis=2)  # (K, S_chunk)
+                    flips = np.any(preds != golden_preds[lo:hi], axis=1)
+                    for row, idx in enumerate(group):
+                        if flips[row]:
+                            critical[idx] = True
+                            if chunk_size is not None and hi < samples:
+                                flipped_early[row] = True
+                    mistakes += (preds != labels[lo:hi]).sum(axis=1)
+                    if chunk_size is not None and flipped_early.all():
+                        break  # every fault in the group is known critical
+                for row, idx in enumerate(group):
+                    if flipped_early[row]:
+                        accuracy_drop[idx] = np.nan
+                    else:
+                        accuracy_drop[idx] = (
+                            nominal_accuracy - (samples - mistakes[row]) / samples
+                        )
+                tracker.tick(len(group))
+
+        for idx in syn_sequential:
+            fault = faults[idx]
             mistakes = 0
             evaluated_all = True
             with inject(self.network, fault, self.config) as module_index:
-                for lo, hi in chunk_bounds:
+                for lo, hi in sample_bounds:
                     if module_index == 0:
                         seq = inputs[:, lo:hi]
                     else:
@@ -367,7 +627,8 @@ class FaultSimulator:
                 accuracy_drop[idx] = nominal_accuracy - (samples - mistakes) / samples
             else:
                 accuracy_drop[idx] = np.nan
-            tick(1)
+            tracker.tick(1)
+        tracker.finish()
         return ClassificationResult(
             faults=list(faults),
             critical=critical,

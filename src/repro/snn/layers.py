@@ -112,6 +112,38 @@ class SpikingModule(Module):
             self.params.reset_mode,
         )
 
+    def run_sequence_kbatched(
+        self, seq: np.ndarray, param_stacks: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Fast path over K weight variants at once.
+
+        ``seq`` is a fault-major tiled sequence ``(T, K*S, *in_shape)`` and
+        ``param_stacks[p]`` holds K variants of parameter ``p`` stacked on a
+        leading axis.  Row ``k*S + s`` of the output is the response of
+        sample ``s`` under weight variant ``k``.  Used by the batched
+        synapse-fault campaign; LIF state advances for the whole K*S batch
+        in one elementwise step, so per-row dynamics match the unbatched
+        path exactly.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support K-batched execution"
+        )
+
+    def neuron_input_currents(
+        self, seq: np.ndarray, neuron_indices: np.ndarray
+    ) -> np.ndarray:
+        """Input-current traces ``(T, B, K)`` of K selected neurons.
+
+        Only meaningful for layers whose neurons are independent given the
+        layer input (no lateral/recurrent coupling): there a neuron fault
+        perturbs just that neuron's spike train, so campaigns can simulate
+        the faulty neuron alone from its current trace and splice the
+        result into the cached fault-free layer output.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support per-neuron current extraction"
+        )
+
 
 class DenseLIF(SpikingModule):
     """Fully-connected layer of LIF neurons.
@@ -157,6 +189,25 @@ class DenseLIF(SpikingModule):
         for t in range(steps):
             out[t] = self._lif_numpy(seq[t] @ weight, state)
         return out
+
+    def run_sequence_kbatched(
+        self, seq: np.ndarray, param_stacks: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        (weight,) = param_stacks  # (K, in, out)
+        k = weight.shape[0]
+        steps, batch = seq.shape[:2]
+        s = batch // k
+        state = self._state_numpy(batch)
+        out = np.empty((steps, batch, self.out_features))
+        for t in range(steps):
+            current = np.matmul(seq[t].reshape(k, s, self.in_features), weight)
+            out[t] = self._lif_numpy(current.reshape(batch, self.out_features), state)
+        return out
+
+    def neuron_input_currents(
+        self, seq: np.ndarray, neuron_indices: np.ndarray
+    ) -> np.ndarray:
+        return seq @ self.weight.data[:, neuron_indices]
 
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
         batch = seq[0].shape[0]
@@ -220,6 +271,24 @@ class RecurrentLIF(SpikingModule):
             current = seq[t] @ w_in + previous @ w_rec
             previous = self._lif_numpy(current, state)
             out[t] = previous
+        return out
+
+    def run_sequence_kbatched(
+        self, seq: np.ndarray, param_stacks: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        w_in, w_rec = param_stacks  # (K, in, out), (K, out, out)
+        k = w_in.shape[0]
+        steps, batch = seq.shape[:2]
+        s = batch // k
+        state = self._state_numpy(batch)
+        out = np.empty((steps, batch, self.out_features))
+        previous = np.zeros((k, s, self.out_features))
+        for t in range(steps):
+            current = np.matmul(seq[t].reshape(k, s, self.in_features), w_in)
+            current += np.matmul(previous, w_rec)
+            spikes = self._lif_numpy(current.reshape(batch, self.out_features), state)
+            previous = spikes.reshape(k, s, self.out_features)
+            out[t] = spikes
         return out
 
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
@@ -293,8 +362,8 @@ class ConvLIF(SpikingModule):
             )
         return self.neuron_shape
 
-    def _conv_numpy(self, x: np.ndarray) -> np.ndarray:
-        """Raw-numpy convolution with cached im2col indices (hot path)."""
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        """(B, C, H, W) -> (B, C*k*k, L) patch matrix with cached indices."""
         if self._col_indices is None:
             _, out_h, out_w = self.neuron_shape
             self._col_indices = F._im2col_indices(
@@ -303,7 +372,11 @@ class ConvLIF(SpikingModule):
         k, i, j = self._col_indices
         pad = self.padding
         x_pad = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
-        cols = x_pad[:, k, i, j]
+        return x_pad[:, k, i, j]
+
+    def _conv_numpy(self, x: np.ndarray) -> np.ndarray:
+        """Raw-numpy convolution with cached im2col indices (hot path)."""
+        cols = self._im2col(x)
         w_mat = self.weight.data.reshape(self.out_channels, -1)
         return np.einsum("fk,bkl->bfl", w_mat, cols).reshape((x.shape[0],) + self.neuron_shape)
 
@@ -314,6 +387,48 @@ class ConvLIF(SpikingModule):
         for t in range(steps):
             out[t] = self._lif_numpy(self._conv_numpy(seq[t]), state)
         return out
+
+    def run_sequence_kbatched(
+        self, seq: np.ndarray, param_stacks: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        (weight,) = param_stacks  # (K, F, C, k, k)
+        k = weight.shape[0]
+        steps, batch = seq.shape[:2]
+        s = batch // k
+        w_mats = weight.reshape(k, self.out_channels, -1)
+        state = self._state_numpy(batch)
+        out = np.empty((steps, batch) + self.neuron_shape)
+        for t in range(steps):
+            cols = self._im2col(seq[t])  # (K*S, C*k*k, L)
+            current = np.einsum(
+                "gfk,gskl->gsfl", w_mats, cols.reshape((k, s) + cols.shape[1:])
+            )
+            out[t] = self._lif_numpy(
+                current.reshape((batch,) + self.neuron_shape), state
+            )
+        return out
+
+    def neuron_input_currents(
+        self, seq: np.ndarray, neuron_indices: np.ndarray
+    ) -> np.ndarray:
+        _, out_h, out_w = self.neuron_shape
+        positions = np.asarray(neuron_indices) % (out_h * out_w)  # spatial site
+        filters = np.asarray(neuron_indices) // (out_h * out_w)
+        if self._col_indices is None:
+            self._col_indices = F._im2col_indices(
+                self.in_channels, self.kernel, self.kernel, out_h, out_w, self.stride
+            )
+        k, i, j = self._col_indices
+        pad = self.padding
+        steps, batch = seq.shape[:2]
+        x = seq.reshape((steps * batch,) + seq.shape[2:])
+        x_pad = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
+        # Gather only the K receptive fields instead of the full im2col
+        # (the channel index k is position-independent: shape (C*kh*kw, 1)).
+        patches = x_pad[:, k, i[:, positions], j[:, positions]]
+        w_sel = self.weight.data.reshape(self.out_channels, -1)[filters]  # (K, C*k*k)
+        currents = np.einsum("bkg,gk->bg", patches, w_sel)
+        return currents.reshape(steps, batch, len(positions))
 
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
         batch = seq[0].shape[0]

@@ -1,5 +1,12 @@
-"""Batched neuron-fault simulation must agree exactly with sequential
-per-fault injection, on every layer type."""
+"""Batched fault simulation must agree exactly with sequential per-fault
+injection, on every layer type.
+
+Neuron faults batch along the batch axis (parameter arrays per row),
+synapse faults batch by lifting weight tensors to a ``(K, ...)`` leading
+axis, and eligible neuron faults are spliced into the cached golden layer
+output without re-running the faulty module.  All three fast paths are
+compared here against the reversible one-at-a-time ``inject`` reference
+with exact equality."""
 
 import numpy as np
 import pytest
@@ -87,6 +94,118 @@ def test_classify_matches_sequential(neuron_batch):
         assert bool(np.any(preds != golden_preds)) == critical, fault.describe()
         expected_drop = result.nominal_accuracy - float((preds == labels).mean())
         assert drop == pytest.approx(expected_drop), fault.describe()
+
+
+def _synapse_faults(net, per_module=12):
+    catalog = build_catalog(net, FaultModelConfig(neuron_kinds=()))
+    return catalog.synapse_faults[
+        :: max(1, len(catalog.synapse_faults) // (per_module * len(net.modules)))
+    ]
+
+
+@pytest.mark.parametrize(
+    "net_factory,input_shape", [(_conv_net, (2, 8, 8)), (_rec_net, (10,))]
+)
+@pytest.mark.parametrize("synapse_batch", [4, 16])
+def test_synapse_detect_matches_sequential(net_factory, input_shape, synapse_batch):
+    """K-batched synapse campaigns equal the synapse_batch=1 inject path,
+    field by field, with no tolerance."""
+    net = net_factory()
+    config = FaultModelConfig(neuron_kinds=())
+    faults = _synapse_faults(net)
+    assert faults, "catalog produced no synapse faults"
+    stim = (np.random.default_rng(5).random((10, 1) + input_shape) > 0.6).astype(float)
+
+    sequential = FaultSimulator(net, config, synapse_batch=1).detect(stim, faults)
+    batched = FaultSimulator(net, config, synapse_batch=synapse_batch).detect(
+        stim, faults
+    )
+    assert np.array_equal(sequential.detected, batched.detected)
+    assert np.array_equal(sequential.output_l1, batched.output_l1)
+    assert np.array_equal(sequential.class_count_diff, batched.class_count_diff)
+
+    golden = net.run(stim)[:, 0, :]
+    for fault, detected, l1 in zip(faults, batched.detected, batched.output_l1):
+        with inject(net, fault, config):
+            out = net.run(stim)[:, 0, :]
+        expected = np.abs(out - golden).sum()
+        assert expected == l1, fault.describe()
+        assert (expected > 0) == detected, fault.describe()
+
+
+@pytest.mark.parametrize("chunk_size", [None, 2])
+def test_synapse_classify_matches_sequential(chunk_size):
+    """Batched synapse classification reproduces the sequential labels and
+    the chunk_size early-exit (NaN accuracy_drop) markers exactly."""
+    net = _conv_net()
+    config = FaultModelConfig(neuron_kinds=())
+    faults = _synapse_faults(net)
+    rng = np.random.default_rng(6)
+    inputs = (rng.random((10, 6, 2, 8, 8)) > 0.6).astype(float)
+    labels = rng.integers(0, 4, size=6)
+
+    sequential = FaultSimulator(net, config, synapse_batch=1).classify(
+        inputs, labels, faults, chunk_size=chunk_size
+    )
+    batched = FaultSimulator(net, config, synapse_batch=8).classify(
+        inputs, labels, faults, chunk_size=chunk_size
+    )
+    assert np.array_equal(sequential.critical, batched.critical)
+    assert np.array_equal(
+        sequential.accuracy_drop, batched.accuracy_drop, equal_nan=True
+    )
+    assert sequential.nominal_accuracy == batched.nominal_accuracy
+    if chunk_size is not None:
+        # NaN only for faults that flipped before the final sample chunk,
+        # and every early-exited fault is necessarily critical.
+        nan_mask = np.isnan(batched.accuracy_drop)
+        assert np.all(batched.critical[nan_mask])
+    else:
+        assert not np.isnan(batched.accuracy_drop).any()
+
+
+@pytest.mark.parametrize(
+    "net_factory,input_shape", [(_conv_net, (2, 8, 8)), (_rec_net, (10,))]
+)
+def test_neuron_splice_matches_full_rerun(net_factory, input_shape):
+    """The splice path (simulate only the faulty neuron, patch the cached
+    golden layer output) equals the full faulty-module re-run exactly."""
+    net = net_factory()
+    config = FaultModelConfig(synapse_kinds=())
+    catalog = build_catalog(net, config)
+    faults = catalog.neuron_faults[:: max(1, len(catalog.neuron_faults) // 50)]
+    stim = (np.random.default_rng(7).random((10, 1) + input_shape) > 0.6).astype(float)
+
+    full = FaultSimulator(net, config, neuron_splice=False).detect(stim, faults)
+    spliced = FaultSimulator(net, config, neuron_splice=True).detect(stim, faults)
+    assert np.array_equal(full.detected, spliced.detected)
+    assert np.array_equal(full.output_l1, spliced.output_l1)
+    assert np.array_equal(full.class_count_diff, spliced.class_count_diff)
+
+    rng = np.random.default_rng(8)
+    inputs = (rng.random((10, 4) + input_shape) > 0.6).astype(float)
+    labels = rng.integers(0, 4, size=4)
+    full_cls = FaultSimulator(net, config, neuron_splice=False).classify(
+        inputs, labels, faults
+    )
+    spliced_cls = FaultSimulator(net, config, neuron_splice=True).classify(
+        inputs, labels, faults
+    )
+    assert np.array_equal(full_cls.critical, spliced_cls.critical)
+    assert np.array_equal(full_cls.accuracy_drop, spliced_cls.accuracy_drop)
+
+
+def test_weights_restored_after_batched_synapse_campaign():
+    net = _conv_net()
+    config = FaultModelConfig(neuron_kinds=())
+    before = {k: v.copy() for k, v in net.state_dict().items()}
+    FaultSimulator(net, config, synapse_batch=8).detect(
+        (np.random.default_rng(9).random((8, 1, 2, 8, 8)) > 0.6).astype(float),
+        _synapse_faults(net),
+    )
+    after = net.state_dict()
+    for key in before:
+        assert np.array_equal(before[key], after[key])
 
 
 def test_timing_faults_batched_exactly():

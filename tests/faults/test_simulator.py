@@ -117,6 +117,47 @@ class TestDetect:
         assert len(calls) == 1
         assert calls[0] >= 1000
 
+    def test_progress_fires_on_completion_of_short_campaign(self):
+        """Campaigns shorter than the reporting interval still get exactly
+        one final progress(n, n) call."""
+        net = _net()
+        sim = FaultSimulator(net)
+        calls = []
+        faults = [NeuronFault(0, 0, NeuronFaultKind.DEAD)] * 5
+        sim.detect(
+            _stimulus(), faults, progress=lambda done, total: calls.append((done, total))
+        )
+        assert calls == [(5, 5)]
+
+    def test_progress_reports_boundaries_then_completion(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        calls = []
+        faults = [NeuronFault(0, 0, NeuronFaultKind.DEAD)] * 1500
+        sim.detect(
+            _stimulus(), faults, progress=lambda done, total: calls.append((done, total))
+        )
+        # One interval-boundary report, one completion report, no duplicate
+        # when the boundary and the end coincide.
+        assert calls[-1] == (1500, 1500)
+        assert len(calls) == 2
+        assert calls[0][0] >= 1000
+
+    def test_progress_completion_in_classify(self):
+        net = _net()
+        sim = FaultSimulator(net)
+        inputs, labels = _dataset()
+        calls = []
+        faults = [
+            NeuronFault(0, 0, NeuronFaultKind.DEAD),
+            SynapseFault(0, 0, 0, SynapseFaultKind.DEAD),
+        ]
+        sim.classify(
+            inputs, labels, faults,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(2, 2)]
+
 
 class TestClassify:
     def test_output_dead_neuron_usually_critical(self):
@@ -163,6 +204,28 @@ class TestClassify:
         sim = FaultSimulator(_net())
         with pytest.raises(FaultModelError):
             sim.classify(np.zeros((5, 3, 10)), np.zeros(4, dtype=int), [])
+
+    def test_chunked_classify_labels_match_unchunked(self):
+        """Regression for the classify() chunk variable shadowing: with
+        chunk_size set, the sample-chunk bounds and the fault groups are
+        distinct loops, and criticality labels must equal the unchunked
+        campaign for a mixed neuron+synapse fault list."""
+        net = _net()
+        sim = FaultSimulator(net)
+        inputs, labels = _dataset()
+        catalog = build_catalog(net, rng=np.random.default_rng(5))
+        subset = catalog.faults[:: max(1, len(catalog.faults) // 40)]
+        full = sim.classify(inputs, labels, subset)
+        for chunk_size in (1, 2, 4):
+            chunked = sim.classify(inputs, labels, subset, chunk_size=chunk_size)
+            assert np.array_equal(chunked.critical, full.critical), chunk_size
+            # Exact drops wherever the chunked campaign did not early-exit.
+            exact = ~np.isnan(chunked.accuracy_drop)
+            assert np.array_equal(
+                chunked.accuracy_drop[exact], full.accuracy_drop[exact]
+            )
+            # Early-exit markers only appear on critical faults.
+            assert np.all(chunked.critical[~exact])
 
     def test_classification_layer_skip_consistency(self):
         net = _net()

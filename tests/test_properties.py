@@ -9,6 +9,17 @@ from repro.autograd.tensor import Tensor
 from repro.autograd import functional as F
 from repro.core.testset import TestStimulus
 from repro.faults.bitflip import bitflip_value, int8_scale
+from repro.faults.model import (
+    NeuronFault,
+    NeuronFaultKind,
+    SynapseFault,
+    SynapseFaultKind,
+)
+from repro.faults.simulator import (
+    ClassificationResult,
+    DetectionResult,
+    FaultSimulator,
+)
 from repro.snn.neuron import LIFState, lif_step_numpy
 
 
@@ -106,6 +117,106 @@ class TestStimulusProperties:
         for i, chunk in enumerate(chunks):
             assert np.array_equal(assembled[cursor : cursor + chunk.shape[0]], chunk)
             cursor += chunk.shape[0] * (2 if i < len(chunks) - 1 else 1)
+
+
+# ----------------------------------------------------------------------
+# Campaign-level invariants: FaultSimulator.coverage()
+# ----------------------------------------------------------------------
+@st.composite
+def campaign_outcome(draw):
+    """An arbitrary (detection, classification) result pair over a mixed
+    neuron/synapse fault list, including NaN accuracy drops (the chunked
+    early-exit marker)."""
+    n = draw(st.integers(min_value=0, max_value=40))
+    is_neuron = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    detected = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool)
+    critical = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool)
+    drops = np.array(
+        draw(
+            st.lists(
+                st.one_of(
+                    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+                    st.just(float("nan")),
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    faults = [
+        NeuronFault(0, i, NeuronFaultKind.DEAD)
+        if neuron
+        else SynapseFault(0, 0, i, SynapseFaultKind.DEAD)
+        for i, neuron in enumerate(is_neuron)
+    ]
+    detection = DetectionResult(
+        faults=faults,
+        detected=detected,
+        output_l1=detected.astype(float),
+        class_count_diff=np.zeros((n, 4)),
+        wall_time=0.0,
+    )
+    classification = ClassificationResult(
+        faults=list(faults),
+        critical=critical,
+        accuracy_drop=drops,
+        nominal_accuracy=1.0,
+        wall_time=0.0,
+    )
+    return detection, classification
+
+
+class TestCoverageProperties:
+    @given(campaign_outcome())
+    @settings(max_examples=200, deadline=None)
+    def test_rates_in_unit_interval(self, outcome):
+        detection, classification = outcome
+        coverage = FaultSimulator.coverage(detection, classification)
+        for _, value in coverage.rows():
+            assert 0.0 <= value <= 1.0
+        assert 0.0 <= coverage.fc_overall <= 1.0
+
+    @given(campaign_outcome())
+    @settings(max_examples=200, deadline=None)
+    def test_counts_partition_catalog(self, outcome):
+        detection, classification = outcome
+        coverage = FaultSimulator.coverage(detection, classification)
+        assert sum(coverage.counts.values()) == len(detection.faults)
+        assert all(count >= 0 for count in coverage.counts.values())
+
+    @given(campaign_outcome())
+    @settings(max_examples=200, deadline=None)
+    def test_empty_classes_report_vacuous_full_coverage(self, outcome):
+        detection, classification = outcome
+        coverage = FaultSimulator.coverage(detection, classification)
+        labels = {
+            "critical_neuron": coverage.fc_critical_neuron,
+            "benign_neuron": coverage.fc_benign_neuron,
+            "critical_synapse": coverage.fc_critical_synapse,
+            "benign_synapse": coverage.fc_benign_synapse,
+        }
+        for key, rate in labels.items():
+            if coverage.counts[key] == 0:
+                assert rate == 1.0
+
+    @given(campaign_outcome())
+    @settings(max_examples=200, deadline=None)
+    def test_overall_rate_is_detected_fraction(self, outcome):
+        detection, classification = outcome
+        coverage = FaultSimulator.coverage(detection, classification)
+        n = len(detection.faults)
+        if n == 0:
+            assert coverage.fc_overall == 1.0
+        else:
+            assert coverage.fc_overall == float(detection.detected.sum() / n)
+
+    @given(campaign_outcome())
+    @settings(max_examples=200, deadline=None)
+    def test_max_drop_ignores_nan_markers(self, outcome):
+        detection, classification = outcome
+        coverage = FaultSimulator.coverage(detection, classification)
+        assert not np.isnan(coverage.max_drop_undetected_neuron)
+        assert not np.isnan(coverage.max_drop_undetected_synapse)
 
 
 # ----------------------------------------------------------------------
