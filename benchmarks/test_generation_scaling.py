@@ -1,0 +1,153 @@
+"""Generation-scaling bench: fused BPTT kernels vs the legacy per-step tape.
+
+Times stage optimisation (the test-generation hot path) on the
+``nmnist-small`` benchmark network two ways:
+
+1. legacy — ``fused_bptt=False``: the elementary tape records ~10 nodes
+   per spiking layer per time step;
+2. fused — ``fused_bptt=True`` (the default): one ``lif_sequence`` node
+   per spiking layer, synaptic currents precomputed for all T steps with
+   one batched matmul/conv, and the stimulus sampled as a single
+   time-block tensor.
+
+Both stage-1 (the four-loss composite of Eq. 14) and stage-2 (spike
+minimisation under output constancy, Eq. 15/16) objectives are measured,
+since their tape shapes differ.  Steps/sec and speedups are recorded to
+``results/generation_scaling.json``.  The two paths must produce
+bit-identical float64 stimuli (also pinned, on smaller fixtures, by
+``tests/core/test_fused_differential.py``); the >= 3x aggregate speedup
+floor is asserted only in full mode.
+
+Quick mode (``REPRO_SCALING_QUICK=1``, used by the CI smoke job) shrinks
+the duration and step budget so the bench finishes in seconds.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import TestGenConfig
+from repro.core.generator import surrogate_override
+from repro.core.input_param import InputParameterization
+from repro.core.losses import (
+    LossWeights,
+    loss_output_constancy,
+    loss_spike_minimization,
+)
+from repro.core.stage import run_stage
+from repro.experiments.benchmarks import get_benchmark
+from repro.snn.builder import build_network
+
+QUICK = os.environ.get("REPRO_SCALING_QUICK") == "1"
+
+DURATION = 8 if QUICK else 32
+STEPS = 6 if QUICK else 40
+
+
+def _setup():
+    definition = get_benchmark("nmnist", "small")
+    network = build_network(definition.spec, np.random.default_rng(0))
+    return definition, network
+
+
+def _stage1(network, fused, steps=STEPS, duration=DURATION, seed=3):
+    """One stage-1-style optimisation run; returns (steps/sec, result)."""
+    config = TestGenConfig(t_in_min=duration, steps_stage1=steps, fused_bptt=fused)
+    rng = np.random.default_rng(seed)
+    param = InputParameterization(network.input_shape, duration, rng)
+    td_min = config.effective_td_min(duration)
+    with surrogate_override(network, config.surrogate_slope):
+        if fused:
+            probe = network.forward_fused(param.sample_sequence(config.tau_max, 1.0))
+        else:
+            probe = network.forward(param.sample(config.tau_max, 1.0))
+        weights = LossWeights.balanced(probe, network, td_min)
+        objective = lambda record, seq: weights.combined(record, network, td_min)
+        start = time.perf_counter()
+        result = run_stage(network, param, objective, steps, config)
+        elapsed = time.perf_counter() - start
+    return steps / elapsed, elapsed, result
+
+
+def _stage2(network, fused, steps=STEPS, duration=DURATION, seed=3):
+    """One stage-2-style optimisation run (minimise spikes, hold output)."""
+    config = TestGenConfig(t_in_min=duration, steps_stage1=steps, fused_bptt=fused)
+    rng = np.random.default_rng(seed)
+    param = InputParameterization(network.input_shape, duration, rng)
+    target = np.zeros((duration, 1, network.num_classes))
+    objective = lambda record, seq: (
+        loss_spike_minimization(record)
+        + loss_output_constancy(record, target) * config.stage2_constancy_weight
+    )
+    with surrogate_override(network, config.surrogate_slope):
+        start = time.perf_counter()
+        result = run_stage(network, param, objective, steps, config)
+        elapsed = time.perf_counter() - start
+    return steps / elapsed, elapsed, result
+
+
+def test_generation_scaling(benchmark, results_dir):
+    definition, network = _setup()
+
+    # Warm caches (im2col index tables, BLAS threads) outside the timings.
+    _stage1(network, fused=True, steps=2)
+    _stage1(network, fused=False, steps=2)
+
+    s1_fused_sps, s1_fused_s, s1_fused = run_once(
+        benchmark, lambda: _stage1(network, fused=True)
+    )
+    s1_legacy_sps, s1_legacy_s, s1_legacy = _stage1(network, fused=False)
+    s2_fused_sps, s2_fused_s, s2_fused = _stage2(network, fused=True)
+    s2_legacy_sps, s2_legacy_s, s2_legacy = _stage2(network, fused=False)
+
+    # Equivalence: identical stimuli, losses, and recorded outputs.
+    assert s1_fused.loss_history == s1_legacy.loss_history
+    assert np.array_equal(s1_fused.best_stimulus, s1_legacy.best_stimulus)
+    assert np.array_equal(s1_fused.best_output, s1_legacy.best_output)
+    assert s2_fused.loss_history == s2_legacy.loss_history
+    assert np.array_equal(s2_fused.best_stimulus, s2_legacy.best_stimulus)
+
+    aggregate_fused_s = s1_fused_s + s2_fused_s
+    aggregate_legacy_s = s1_legacy_s + s2_legacy_s
+    payload = {
+        "benchmark": definition.cache_key,
+        "quick_mode": QUICK,
+        "duration_steps": DURATION,
+        "optimizer_steps": STEPS,
+        "stage1_fused_steps_per_s": s1_fused_sps,
+        "stage1_legacy_steps_per_s": s1_legacy_sps,
+        "stage1_speedup": s1_fused_sps / s1_legacy_sps,
+        "stage2_fused_steps_per_s": s2_fused_sps,
+        "stage2_legacy_steps_per_s": s2_legacy_sps,
+        "stage2_speedup": s2_fused_sps / s2_legacy_sps,
+        "aggregate_speedup": aggregate_legacy_s / aggregate_fused_s,
+        "stage1_fused_split_s": {
+            "forward": s1_fused.forward_s,
+            "backward": s1_fused.backward_s,
+            "optimizer": s1_fused.optimizer_s,
+        },
+        "stage1_legacy_split_s": {
+            "forward": s1_legacy.forward_s,
+            "backward": s1_legacy.backward_s,
+            "optimizer": s1_legacy.optimizer_s,
+        },
+        "cpu_count": os.cpu_count(),
+    }
+    with open(results_dir / "generation_scaling.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(
+        f"\nstage 1 (T={DURATION}, {STEPS} steps): "
+        f"legacy {s1_legacy_sps:.1f} -> fused {s1_fused_sps:.1f} steps/s "
+        f"({payload['stage1_speedup']:.2f}x)"
+        f"\nstage 2: legacy {s2_legacy_sps:.1f} -> fused {s2_fused_sps:.1f} steps/s "
+        f"({payload['stage2_speedup']:.2f}x)"
+        f"\naggregate speedup {payload['aggregate_speedup']:.2f}x"
+    )
+
+    if not QUICK:
+        # Acceptance bar: fused kernels beat the per-timestep tape by >= 3x
+        # across the two stages combined.
+        assert payload["aggregate_speedup"] >= 3.0, payload

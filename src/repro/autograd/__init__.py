@@ -10,6 +10,7 @@ temperature.
 
 from repro.autograd.tensor import Tensor, no_grad, tensor
 from repro.autograd import functional
+from repro.autograd import fused
 from repro.autograd.optim import SGD, Adam, Optimizer
 from repro.autograd.schedule import (
     ConstantSchedule,
@@ -25,6 +26,7 @@ __all__ = [
     "tensor",
     "no_grad",
     "functional",
+    "fused",
     "Optimizer",
     "SGD",
     "Adam",

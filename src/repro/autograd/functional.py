@@ -200,7 +200,10 @@ def conv2d(
     k, i, j = _im2col_indices(channels, kh, kw, out_h, out_w, stride)
     cols = x_pad[:, k, i, j]  # (B, C*kh*kw, out_h*out_w)
     w_mat = weight.data.reshape(filters, -1)
-    out = np.einsum("fk,bkl->bfl", w_mat, cols).reshape(batch, filters, out_h, out_w)
+    # matmul (BLAS) rather than einsum: each batch slice is the same GEMM
+    # regardless of batch size, so the fused (T*B)-batched call and the
+    # per-step call produce bit-identical slices.
+    out = np.matmul(w_mat, cols).reshape(batch, filters, out_h, out_w)
     if bias is not None:
         out = out + bias.data.reshape(1, filters, 1, 1)
 
@@ -214,18 +217,22 @@ def conv2d(
             gw = np.einsum("bfl,bkl->fk", grad_flat, cols)
             weight._accumulate(gw.reshape(weight.shape))
         if x.requires_grad:
-            grad_cols = np.einsum("fk,bfl->bkl", w_mat, grad_flat)
-            # Scatter-add via bincount (much faster than np.add.at): each
-            # patch entry accumulates into its padded-image position.
+            grad_cols = np.matmul(w_mat.T, grad_flat)
+            # Scatter-add via one bincount over the whole batch (much
+            # faster than np.add.at or a per-image loop): each patch entry
+            # accumulates into its batch-offset padded-image position.
+            # Within an image the entries land in the same scan order as a
+            # per-image bincount, so the sums are bit-identical.
             flat_idx = _col2im_flat_indices(
                 channels, kh, kw, out_h, out_w, stride, hp, wp
             )
             image_size = channels * hp * wp
-            gx_pad = np.empty((batch, channels, hp, wp), dtype=grad.dtype)
-            for b in range(batch):
-                gx_pad[b] = np.bincount(
-                    flat_idx.ravel(), weights=grad_cols[b].ravel(), minlength=image_size
-                ).reshape(channels, hp, wp)
+            offsets = (np.arange(batch) * image_size).reshape(batch, 1, 1)
+            gx_pad = np.bincount(
+                (flat_idx + offsets).ravel(),
+                weights=grad_cols.ravel(),
+                minlength=batch * image_size,
+            ).reshape(batch, channels, hp, wp)
             gx = (
                 gx_pad[:, :, padding:hp - padding, padding:wp - padding]
                 if padding

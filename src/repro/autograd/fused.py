@@ -1,0 +1,315 @@
+"""Fused sequence-level LIF kernels with hand-written backward-through-time.
+
+The elementary autograd path (:func:`repro.snn.neuron.lif_step_tensor`)
+records ~10 tape nodes per layer per time step; for a T-step stimulus each
+optimisation step therefore walks thousands of tiny Python closures.  The
+kernels here collapse the whole differentiable recursion of one layer into
+a *single* tape node:
+
+- forward is a plain-numpy scan over time (same arithmetic, same order of
+  operations as the per-step path, so spike trains are bit-identical);
+- backward is a hand-written BPTT scan that reproduces, expression by
+  expression, the gradient the elementary tape would have produced —
+  surrogate spike derivatives, refractory masking (treated as a
+  non-differentiable constant, the standard BPTT-through-SNN convention),
+  and both reset modes.
+
+Synaptic input currents are state-independent, so callers precompute them
+for all T steps with one matmul/conv (see ``forward_sequence_fused`` on the
+layer modules); only the LIF recursion itself stays sequential.  For
+recurrent layers the spike-feedback matmul is folded into the kernel.
+
+Gradient-equality with the elementary tape is pinned bitwise by
+``tests/autograd/test_fused_lif.py``; the recursion algebra is additionally
+checked by central differences in *soft* mode, where the Heaviside is
+replaced by a sigmoid so the kernel becomes a genuinely differentiable
+function of its inputs.
+
+The update implemented (identical to ``repro.snn.neuron``)::
+
+    active[t]  = (refractory counter == 0)
+    retained   = u[t-1] * (1 - s[t-1])          # reset_mode == "zero"
+               = u[t-1] - s[t-1] * threshold    # reset_mode == "subtract"
+    u[t]       = retained * leak + c[t] * active[t]
+    s[t]       = H(u[t] - threshold) * active[t]
+    r[t]       = refractory_steps if s[t] else max(r[t-1] - 1, 0)
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd.functional import SURROGATES, _surrogate_derivative
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = ["lif_sequence", "recurrent_lif_sequence"]
+
+
+def _validate(currents: Tensor, surrogate: str, reset_mode: str) -> None:
+    if not isinstance(currents, Tensor):
+        raise ShapeError("lif_sequence expects a Tensor of input currents")
+    if currents.ndim < 2:
+        raise ShapeError(
+            f"lif_sequence expects (T, B, *neurons) currents, got {currents.shape}"
+        )
+    if surrogate not in SURROGATES:
+        raise ConfigurationError(
+            f"unknown surrogate '{surrogate}', expected one of {SURROGATES}"
+        )
+    if reset_mode not in ("zero", "subtract"):
+        raise ConfigurationError(
+            f"reset_mode must be 'zero' or 'subtract', got {reset_mode!r}"
+        )
+
+
+def _soft_sigmoid(x: np.ndarray, slope: float) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-slope * x))
+
+
+def _spike_derivative(
+    x: np.ndarray, surrogate: str, slope: float, soft: bool
+) -> np.ndarray:
+    if soft:
+        sig = _soft_sigmoid(x, slope)
+        return slope * sig * (1.0 - sig)
+    return _surrogate_derivative(x, surrogate, slope)
+
+
+def _forward_scan(
+    c: np.ndarray,
+    threshold: np.ndarray,
+    leak: np.ndarray,
+    refractory_steps: np.ndarray,
+    reset_mode: str,
+    slope: float,
+    soft: bool,
+    w_rec: np.ndarray = None,
+) -> Tuple[np.ndarray, ...]:
+    """Run the LIF recursion over all T steps, saving what backward needs.
+
+    With ``w_rec`` set, the previous step's spikes feed back through the
+    recurrent weights: ``current[t] = c[t] + s[t-1] @ w_rec``.
+    """
+    dtype = c.dtype
+    steps = c.shape[0]
+    th = np.asarray(threshold, dtype=dtype)
+    lk = np.asarray(leak, dtype=dtype)
+    spikes = np.empty_like(c)
+    potentials = np.empty_like(c)
+    xs = np.empty_like(c)
+    actives = np.empty_like(c)
+    u = np.zeros(c.shape[1:], dtype=dtype)
+    s = np.zeros(c.shape[1:], dtype=dtype)
+    r = np.zeros(c.shape[1:], dtype=np.int64)
+    refr = np.asarray(refractory_steps)
+    if steps and not soft and refr.size and (refr == 1).all():
+        # Fast path for the ubiquitous one-step refractory with hard
+        # spikes: r is 1 exactly where the neuron just fired, so
+        # active[t+1] == 1 - s[t] (both are exact {0,1} floats) and the
+        # integer refractory counter disappears.  Every float expression
+        # below is the same as in the generic loop, so the scan stays
+        # bit-identical to it (and to the elementary tape).
+        actives[0] = 1.0
+        for t in range(steps):
+            active = actives[t]
+            if reset_mode == "zero":
+                retained = u * active  # == u * (1 - s[t-1]), exact
+            else:
+                retained = u - s * th
+            current = c[t] if w_rec is None else c[t] + s @ w_rec
+            u = potentials[t]
+            np.multiply(retained, lk, out=u)
+            u += current * active
+            x = xs[t]
+            np.subtract(u, th, out=x)
+            s = spikes[t]
+            np.multiply(x >= 0.0, active, out=s, casting="unsafe")
+            if t + 1 < steps:
+                np.subtract(1.0, s, out=actives[t + 1])
+        return spikes, potentials, xs, actives, th, lk
+    # The loop writes each step's results straight into the (T, ...)
+    # blocks with ``out=`` views — same arithmetic, same order, no
+    # temporary-plus-copy per step.
+    for t in range(steps):
+        active = actives[t]
+        np.copyto(active, r == 0, casting="unsafe")
+        if reset_mode == "zero":
+            retained = u * (1.0 - s)
+        else:
+            retained = u - s * th
+        current = c[t] if w_rec is None else c[t] + s @ w_rec
+        u = potentials[t]
+        np.multiply(retained, lk, out=u)
+        u += current * active
+        x = xs[t]
+        np.subtract(u, th, out=x)
+        if soft:
+            s = spikes[t]
+            np.multiply(_soft_sigmoid(x, slope), active, out=s)
+            fired = (x >= 0.0) & (active > 0.0)
+        else:
+            s = spikes[t]
+            np.multiply(x >= 0.0, active, out=s, casting="unsafe")
+            fired = s > 0.0
+        r = np.where(fired, refractory_steps, np.maximum(r - 1, 0))
+    return spikes, potentials, xs, actives, th, lk
+
+
+def _backward_scan(
+    grad: np.ndarray,
+    spikes: np.ndarray,
+    potentials: np.ndarray,
+    xs: np.ndarray,
+    actives: np.ndarray,
+    th: np.ndarray,
+    lk: np.ndarray,
+    reset_mode: str,
+    surrogate: str,
+    slope: float,
+    soft: bool,
+    w_rec: np.ndarray = None,
+    want_w_rec_grad: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """BPTT over the saved forward scan; returns (grad_currents, grad_w_rec).
+
+    The expression *shapes and association order* deliberately mirror the
+    elementary tape (e.g. ``(gs * active) * rho``, future carry accumulated
+    before the spike-path term) so float64 gradients match it bit for bit.
+    """
+    steps = grad.shape[0]
+    gc = np.empty_like(grad)
+    gw = np.zeros_like(w_rec) if want_w_rec_grad else None
+    # Hoist the per-step elementwise precomputations out of the scan: the
+    # surrogate derivative and the retained-fraction (1 - s) blocks do not
+    # depend on the carried state, and one (T, ...) vectorised op is far
+    # cheaper than T small ones.  Elementwise, so still bit-identical.
+    rhos = _spike_derivative(xs, surrogate, slope, soft)
+    one_minus_s = 1.0 - spikes if reset_mode == "zero" else None
+    gu = None  # dL/du[t] carried from t+1 through the reset coupling
+    reset_carry = None  # dL/ds[t] from t+1's reset term
+    rec_carry = None  # dL/ds[t] from t+1's recurrent matmul
+    for t in range(steps - 1, -1, -1):
+        # The elementary tape accumulates into s[t].grad in reverse node-
+        # creation order: external grad (losses, next layer), then the
+        # reset term of step t+1, then step t+1's recurrent matmul.  Sum
+        # in exactly that association for bitwise equality.
+        gs_total = grad[t]
+        if reset_carry is not None:
+            gs_total = gs_total + reset_carry
+        if rec_carry is not None:
+            gs_total = gs_total + rec_carry
+        spike_term = (gs_total * actives[t]) * rhos[t]
+        gu_total = spike_term if gu is None else gu + spike_term
+        gcur = gc[t]
+        np.multiply(gu_total, actives[t], out=gcur)
+        if want_w_rec_grad and t > 0:
+            gw += spikes[t - 1].T @ gcur
+        if t > 0:
+            glk = gu_total * lk
+            if reset_mode == "zero":
+                gu = glk * one_minus_s[t - 1]
+                reset_carry = -(glk * potentials[t - 1])
+            else:
+                gu = glk
+                reset_carry = -(glk * th)
+            if w_rec is not None:
+                rec_carry = gcur @ w_rec.T
+    return gc, gw
+
+
+def lif_sequence(
+    currents: Tensor,
+    threshold: np.ndarray,
+    leak: np.ndarray,
+    refractory_steps: np.ndarray,
+    surrogate: str = "fast_sigmoid",
+    surrogate_slope: float = 5.0,
+    reset_mode: str = "zero",
+    soft: bool = False,
+) -> Tensor:
+    """Fused differentiable LIF layer over a whole (T, B, *neurons) sequence.
+
+    Parameters
+    ----------
+    currents:
+        Precomputed synaptic input currents for all T steps (one tape node
+        upstream — a batched matmul or convolution).
+    threshold / leak / refractory_steps:
+        Per-neuron parameter arrays, broadcast over the batch axis.
+    surrogate / surrogate_slope:
+        Surrogate gradient of the firing nonlinearity (backward only).
+    reset_mode:
+        ``"zero"`` (hard reset) or ``"subtract"`` (soft reset).
+    soft:
+        Gradcheck-only mode: replaces the Heaviside with a sigmoid of the
+        same slope in forward *and* backward, making the kernel a true
+        differentiable function so central differences validate the BPTT
+        recursion.  Never used by the simulator.
+
+    Returns the spike sequence as a single tape node; backward accumulates
+    ``dL/d currents`` for all T steps in one scan.
+    """
+    _validate(currents, surrogate, reset_mode)
+    spikes, potentials, xs, actives, th, lk = _forward_scan(
+        currents.data, threshold, leak, refractory_steps, reset_mode,
+        surrogate_slope, soft,
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        gc, _ = _backward_scan(
+            grad, spikes, potentials, xs, actives, th, lk,
+            reset_mode, surrogate, surrogate_slope, soft,
+        )
+        currents._accumulate(gc)
+
+    return currents._make(spikes, (currents,), backward, "lif_sequence")
+
+
+def recurrent_lif_sequence(
+    input_currents: Tensor,
+    recurrent_weight: Tensor,
+    threshold: np.ndarray,
+    leak: np.ndarray,
+    refractory_steps: np.ndarray,
+    surrogate: str = "fast_sigmoid",
+    surrogate_slope: float = 5.0,
+    reset_mode: str = "zero",
+    soft: bool = False,
+) -> Tensor:
+    """Fused differentiable recurrent-LIF layer over a (T, B, N) sequence.
+
+    ``input_currents`` holds the feedforward currents for all T steps
+    (``seq @ w_in``, one matmul); the spike feedback ``s[t-1] @ w_rec``
+    stays inside the kernel because it depends on the evolving state.
+    Backward produces gradients for the input currents and the recurrent
+    weights in the same scan.
+    """
+    _validate(input_currents, surrogate, reset_mode)
+    if input_currents.ndim != 3:
+        raise ShapeError(
+            f"recurrent_lif_sequence expects (T, B, N) currents, "
+            f"got {input_currents.shape}"
+        )
+    w = recurrent_weight.data
+    spikes, potentials, xs, actives, th, lk = _forward_scan(
+        input_currents.data, threshold, leak, refractory_steps, reset_mode,
+        surrogate_slope, soft, w_rec=w,
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        gc, gw = _backward_scan(
+            grad, spikes, potentials, xs, actives, th, lk,
+            reset_mode, surrogate, surrogate_slope, soft,
+            w_rec=w, want_w_rec_grad=recurrent_weight.requires_grad,
+        )
+        input_currents._accumulate(gc)
+        if gw is not None:
+            recurrent_weight._accumulate(gw)
+
+    return input_currents._make(
+        spikes, (input_currents, recurrent_weight), backward,
+        "recurrent_lif_sequence",
+    )

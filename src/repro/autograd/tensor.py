@@ -501,13 +501,39 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
+        parts = index if isinstance(index, tuple) else (index,)
+        basic = all(
+            isinstance(p, (int, np.integer, slice)) or p is None or p is Ellipsis
+            for p in parts
+        )
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
+            if basic:
+                # Basic indices never alias, so plain assignment into the
+                # zero buffer equals (and is much faster than) add.at.
+                full[index] = grad
+            else:
+                np.add.at(full, index, grad)
             self._accumulate(full)
 
         return self._make(np.asarray(data), (self,), backward, "getitem")
+
+    def astype(self, dtype: np.dtype) -> "Tensor":
+        """Cast to ``dtype``, differentiably (identity backward).
+
+        Returns ``self`` unchanged when the dtype already matches, so the
+        default-precision path records no extra tape node.
+        """
+        dtype = np.dtype(dtype)
+        if self.data.dtype == dtype:
+            return self
+        data = self.data.astype(dtype)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+
+        return self._make(data, (self,), backward, "astype")
 
     def pad2d(self, padding: int) -> "Tensor":
         """Zero-pad the last two axes by ``padding`` on each side."""

@@ -66,6 +66,9 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=None,
                        help="fault-simulation worker processes "
                        "(default: $REPRO_WORKERS or 1)")
+        p.add_argument("-v", "--verbose", action="store_true",
+                       help="log per-iteration wall-clock breakdown "
+                       "(stage forward/backward/optimizer split)")
 
     add_pipeline_args(sub.add_parser("train", help="train and cache the benchmark model"))
     add_pipeline_args(sub.add_parser(
@@ -102,6 +105,7 @@ def _pipeline(args, name: Optional[str] = None) -> ExperimentPipeline:
         seed=args.seed,
         log=print,
         workers=getattr(args, "workers", None),
+        verbose=getattr(args, "verbose", False),
     )
 
 

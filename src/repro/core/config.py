@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -84,6 +86,19 @@ class TestGenConfig:
         keeping output spike counts below ``(1 - margin)`` of the
         refractory-limited ceiling, preserving observability of
         spike-adding faults.
+    fused_bptt:
+        Run the optimisation loop on the fused sequence-level kernels
+        (:mod:`repro.autograd.fused`): one tape node per spiking layer and
+        one synaptic matmul/conv for all T steps, instead of ~10 tape
+        nodes per layer per step.  In float64 the generated stimuli are
+        bit-identical to the elementary path (pinned by differential
+        tests); disable only to cross-check or profile the legacy path.
+    dtype:
+        Compute dtype of the fused optimisation path: ``"float64"``
+        (default, bit-reproducible against the elementary tape) or
+        ``"float32"`` (opt-in, faster and half the tape memory, results
+        may differ in the last ulp and are not covered by the bitwise
+        guarantee).  The legacy elementary path always runs float64.
     """
 
     t_in_min: Optional[int] = None
@@ -114,6 +129,8 @@ class TestGenConfig:
     disabled_losses: Tuple[int, ...] = ()
     use_headroom_loss: bool = False
     headroom_margin: float = 0.25
+    fused_bptt: bool = True
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.t_in_min is not None and self.t_in_min < 1:
@@ -160,6 +177,20 @@ class TestGenConfig:
             raise ConfigurationError("cannot disable all four stage-1 losses")
         if not 0.0 <= self.headroom_margin < 1.0:
             raise ConfigurationError("headroom_margin must be in [0, 1)")
+        if self.dtype not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"dtype must be 'float64' or 'float32', got {self.dtype!r}"
+            )
+        if self.dtype == "float32" and not self.fused_bptt:
+            raise ConfigurationError(
+                "dtype='float32' requires fused_bptt=True (the elementary "
+                "path always computes in float64)"
+            )
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The configured compute dtype as a numpy dtype object."""
+        return np.dtype(self.dtype)
 
     @property
     def effective_steps_stage2(self) -> int:

@@ -24,8 +24,18 @@ from repro.errors import TestGenerationError
 from repro.snn.network import SNN
 
 
-def _all_outputs_fire(network: SNN, stimulus: np.ndarray) -> bool:
-    counts = network.run(stimulus)[:, 0, :].sum(axis=0)
+def _all_outputs_fire(
+    network: SNN, stimulus: np.ndarray, output: Optional[np.ndarray] = None
+) -> bool:
+    """Every output neuron spikes at least once under ``stimulus``.
+
+    ``output`` is the already-recorded output spike train of the stimulus
+    (from :attr:`~repro.core.stage.StageResult.best_output`), which saves
+    re-simulating it; ``None`` falls back to the fast path.
+    """
+    if output is None:
+        output = network.run(stimulus)
+    counts = output[:, 0, :].sum(axis=0)
     return bool(np.all(counts >= 1.0))
 
 
@@ -56,6 +66,7 @@ def find_minimum_duration(
             rng,
             init_scale=config.init_logit_scale,
             init_bias=config.init_logit_bias,
+            dtype=config.np_dtype,
         )
         result = run_stage(
             network,
@@ -64,7 +75,7 @@ def find_minimum_duration(
             steps=probe_steps,
             config=config,
         )
-        if _all_outputs_fire(network, result.best_stimulus):
+        if _all_outputs_fire(network, result.best_stimulus, result.best_output):
             return duration
         if duration >= config.t_in_max:
             message = (

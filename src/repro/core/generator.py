@@ -40,9 +40,15 @@ from repro.core.losses import (
 )
 from repro.core.stage import StageResult, run_stage
 from repro.core.testset import TestStimulus
-from repro.autograd.tensor import stack
+from repro.autograd.tensor import Tensor, stack
 from repro.errors import TestGenerationError
 from repro.snn.network import SNN
+
+
+def _sequence_tensor(seq) -> Tensor:
+    """The (T, 1, *input_shape) stimulus as one tape-connected tensor —
+    free on the fused path (already a tensor), a stack on the legacy path."""
+    return seq if isinstance(seq, Tensor) else stack(seq)
 
 
 @contextlib.contextmanager
@@ -78,6 +84,13 @@ class IterationReport:
     new_activations: int
     activated_total: int
     growths: int
+    #: Wall-clock split of the iteration (stage-1 setup + optimisation,
+    #: stage-2, and everything else: activation bookkeeping, adoption).
+    #: Defaults keep reports loadable from caches written before these
+    #: fields existed.
+    stage1_s: float = 0.0
+    stage2_s: float = 0.0
+    bookkeeping_s: float = 0.0
 
 
 @dataclass
@@ -110,6 +123,9 @@ class TestGenerator:
         Source for logit initialisation and Gumbel noise.
     log:
         Optional callable receiving progress strings.
+    verbose:
+        Also log the per-iteration wall-clock breakdown (stage-1/stage-2
+        forward/backward/optimiser split).
     """
 
     def __init__(
@@ -118,19 +134,36 @@ class TestGenerator:
         config: Optional[TestGenConfig] = None,
         rng: Optional[np.random.Generator] = None,
         log: Optional[Callable[[str], None]] = None,
+        verbose: bool = False,
     ) -> None:
         self.network = network
         self.config = config or TestGenConfig()
         self.rng = rng or np.random.default_rng(0)
         self.log = log or (lambda message: None)
+        self.verbose = verbose
+        self._activation_cache: dict = {}
 
     # ------------------------------------------------------------------
     def activation_sets(self, stimulus: np.ndarray) -> List[np.ndarray]:
         """Per spiking layer, which neurons fire >= activation_threshold
-        times under ``stimulus`` (fast path, no gradients)."""
+        times under ``stimulus`` (fast path, no gradients).
+
+        Memoized by stimulus bytes: within one iteration the same best
+        stimulus is simulated by the growth progress check and again after
+        the stage returns, so the cache halves those forward passes.
+        Callers must not mutate the returned arrays.
+        """
+        key = (stimulus.shape, stimulus.tobytes())
+        cached = self._activation_cache.get(key)
+        if cached is not None:
+            return cached
         records = self.network.run_spiking_layers(stimulus)
         threshold = float(self.config.activation_threshold)
-        return [rec[:, 0, :].sum(axis=0) >= threshold for rec in records]
+        sets = [rec[:, 0, :].sum(axis=0) >= threshold for rec in records]
+        if len(self._activation_cache) >= 128:  # bound memory across iterations
+            self._activation_cache.clear()
+        self._activation_cache[key] = sets
+        return sets
 
     @staticmethod
     def _count_new(activated: List[np.ndarray], known: List[np.ndarray]) -> int:
@@ -212,19 +245,25 @@ class TestGenerator:
     ):
         """One Fig. 2 iteration: stage 1, stage 2, activation bookkeeping."""
         network, config = self.network, self.config
+        iter_start = time.perf_counter()
         param = InputParameterization(
             network.input_shape,
             t_in_min,
             self.rng,
             init_scale=config.init_logit_scale,
             init_bias=config.init_logit_bias,
+            dtype=config.np_dtype,
         )
 
         # Balance the alpha weights on the initial random stimulus (§V-C).
-        probe_seq = param.sample(config.tau_max, config.gumbel_noise)
-        probe = network.forward(probe_seq)
+        if config.fused_bptt:
+            probe_seq = param.sample_sequence(config.tau_max, config.gumbel_noise)
+            probe = network.forward_fused(probe_seq)
+        else:
+            probe_seq = param.sample(config.tau_max, config.gumbel_noise)
+            probe = network.forward(probe_seq)
         probe_counts = (
-            stack(probe_seq).sum(axis=0) if config.l4_include_input else None
+            _sequence_tensor(probe_seq).sum(axis=0) if config.l4_include_input else None
         )
         weights = LossWeights.balanced(
             probe, network, td_min, masks, input_counts=probe_counts
@@ -247,7 +286,7 @@ class TestGenerator:
             headroom_alpha = 1.0 / max(probe_headroom, 1.0)
 
         def stage1_objective(record, seq):
-            counts = stack(seq).sum(axis=0) if config.l4_include_input else None
+            counts = _sequence_tensor(seq).sum(axis=0) if config.l4_include_input else None
             loss = weights.combined(record, network, td_min, masks, input_counts=counts)
             if config.use_headroom_loss:
                 loss = loss + headroom_alpha * loss_output_headroom(
@@ -267,6 +306,7 @@ class TestGenerator:
             progress_check=stage1_progress,
             deadline=deadline,
         )
+        stage1_end = time.perf_counter()
         stage1_acts = self.activation_sets(stage1.best_stimulus)
         stage1_new = self._count_new(stage1_acts, activated)
 
@@ -282,11 +322,20 @@ class TestGenerator:
                 new_activations=stage1_new,
                 activated_total=int(sum(a.sum() for a in activated)),
                 growths=stage1.growths,
+                stage1_s=stage1_end - iter_start,
+                bookkeeping_s=time.perf_counter() - stage1_end,
             )
+            self._log_timing(report, stage1, None)
             return stage1.best_stimulus, report
 
-        # Stage 2: minimise hidden spikes, keep the output constant.
-        target_output = network.run(stage1.best_stimulus)
+        # Stage 2: minimise hidden spikes, keep the output constant.  The
+        # stage-1 winner's output record was captured during optimisation,
+        # so no fresh forward pass is needed here.
+        stage2_start = time.perf_counter()
+        if stage1.best_output is not None:
+            target_output = stage1.best_output
+        else:  # stage 1 ran zero steps (deadline): simulate the fallback
+            target_output = network.run(stage1.best_stimulus)
         param.load_hard(stage1.best_stimulus)
         constancy = config.stage2_constancy_weight
 
@@ -305,11 +354,14 @@ class TestGenerator:
             progress_check=None,
             deadline=deadline,
         )
+        stage2_end = time.perf_counter()
         stage2_acts = self.activation_sets(stage2.best_stimulus)
         stage2_new = self._count_new(stage2_acts, activated)
-        output_preserved = bool(
-            np.array_equal(network.run(stage2.best_stimulus), target_output)
-        )
+        if stage2.best_output is not None:
+            stage2_output = stage2.best_output
+        else:
+            stage2_output = network.run(stage2.best_stimulus)
+        output_preserved = bool(np.array_equal(stage2_output, target_output))
         adopt_stage2 = output_preserved and stage2_new >= stage1_new
 
         if adopt_stage2:
@@ -328,5 +380,36 @@ class TestGenerator:
             new_activations=new_count,
             activated_total=int(sum(a.sum() for a in activated)),
             growths=stage1.growths,
+            stage1_s=stage1_end - iter_start,
+            stage2_s=stage2_end - stage2_start,
+            bookkeeping_s=(time.perf_counter() - iter_start)
+            - (stage1_end - iter_start)
+            - (stage2_end - stage2_start),
         )
+        self._log_timing(report, stage1, stage2)
         return chunk, report
+
+    def _log_timing(
+        self,
+        report: IterationReport,
+        stage1: StageResult,
+        stage2: Optional[StageResult],
+    ) -> None:
+        """Verbose-mode wall-clock breakdown of one iteration."""
+        if not self.verbose:
+            return
+
+        def split(result: StageResult) -> str:
+            return (
+                f"fwd {result.forward_s:.2f}s bwd {result.backward_s:.2f}s "
+                f"opt {result.optimizer_s:.2f}s over {result.steps_run} steps"
+            )
+
+        lines = [
+            f"iteration {report.index} timing: stage1 {report.stage1_s:.2f}s "
+            f"({split(stage1)})"
+        ]
+        if stage2 is not None:
+            lines.append(f"stage2 {report.stage2_s:.2f}s ({split(stage2)})")
+        lines.append(f"bookkeeping {report.bookkeeping_s:.2f}s")
+        self.log("; ".join(lines))

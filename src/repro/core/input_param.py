@@ -43,6 +43,7 @@ class InputParameterization:
         rng: np.random.Generator,
         init_scale: float = 1.0,
         init_bias: float = -1.0,
+        dtype: np.dtype = np.float64,
     ) -> None:
         if duration < 1:
             raise ConfigurationError(f"duration must be >= 1, got {duration}")
@@ -50,9 +51,11 @@ class InputParameterization:
         self.rng = rng
         self.init_scale = init_scale
         self.init_bias = init_bias
+        self.dtype = np.dtype(dtype)
         self.logits = Tensor(
             rng.normal(init_bias, init_scale, (duration, 1) + self.input_shape),
             requires_grad=True,
+            dtype=self.dtype,
         )
 
     @property
@@ -62,9 +65,21 @@ class InputParameterization:
     def sample(self, tau: float, noise_scale: float = 1.0) -> List[Tensor]:
         """Draw a differentiable binary stimulus: a list over time of
         ``(1, *input_shape)`` spike tensors wired to ``self.logits``."""
-        soft = F.gumbel_softmax(self.logits, tau, self.rng, noise_scale=noise_scale)
-        binary = F.ste_binarize(soft)
+        binary = self.sample_sequence(tau, noise_scale=noise_scale)
         return [binary[t] for t in range(self.duration)]
+
+    def sample_sequence(self, tau: float, noise_scale: float = 1.0) -> Tensor:
+        """Draw a differentiable binary stimulus as one tape-connected
+        ``(T_in, 1, *input_shape)`` tensor.
+
+        The Gumbel noise, softmax, and STE are applied to the whole logit
+        block in one shot (they always were elementwise over time), so the
+        fused forward consumes the sequence directly and the L4 objective's
+        input term needs no ``stack``.  Draws exactly the same noise from
+        ``self.rng`` as :meth:`sample`.
+        """
+        soft = F.gumbel_softmax(self.logits, tau, self.rng, noise_scale=noise_scale)
+        return F.ste_binarize(soft)
 
     def hard(self) -> np.ndarray:
         """Deterministic binarisation of the current logits (no noise):
@@ -81,9 +96,11 @@ class InputParameterization:
             raise ConfigurationError(f"extra_steps must be >= 1, got {extra_steps}")
         fresh = self.rng.normal(
             self.init_bias, self.init_scale, (extra_steps, 1) + self.input_shape
-        )
+        ).astype(self.dtype)
         self.logits = Tensor(
-            np.concatenate([self.logits.data, fresh], axis=0), requires_grad=True
+            np.concatenate([self.logits.data, fresh], axis=0),
+            requires_grad=True,
+            dtype=self.dtype,
         )
 
     def load_hard(self, stimulus: np.ndarray, magnitude: float = 2.0) -> None:
@@ -97,5 +114,7 @@ class InputParameterization:
                     f"{self.logits.shape}"
                 )
             # Duration may differ (stage-1 growth): adopt the new duration.
-            self.logits = Tensor(np.zeros_like(stimulus), requires_grad=True)
+            self.logits = Tensor(
+                np.zeros(stimulus.shape), requires_grad=True, dtype=self.dtype
+            )
         self.logits.data[...] = np.where(stimulus > 0.5, magnitude, -magnitude)

@@ -44,7 +44,7 @@ def _counts(record: ForwardRecord, layer: int) -> Tensor:
 
 
 def _check_batch_one(record: ForwardRecord) -> None:
-    if record.layer_spikes[0][0].shape[0] != 1:
+    if record.batch_size != 1:
         raise ShapeError("test-generation losses expect batch size 1")
 
 

@@ -6,25 +6,37 @@ stage's step budget, the caller-provided progress check reports no new
 neuron activations, the input duration grows by β steps (β doubling on
 each growth) and the optimisation repeats — up to ``max_growths`` times or
 until the duration cap.
+
+Two execution paths share this loop, selected by
+``TestGenConfig.fused_bptt``: the default fused path samples the stimulus
+as one ``(T, 1, *input_shape)`` tensor and runs
+:meth:`~repro.snn.network.SNN.forward_fused` (one tape node per spiking
+layer); the legacy path samples a list over time and runs the elementary
+per-step tape.  In float64 both produce bit-identical stimuli (pinned by
+tests/core/test_fused_differential.py).
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.autograd.optim import Adam
+from repro.autograd.tensor import Tensor
 from repro.core.config import TestGenConfig
 from repro.core.input_param import InputParameterization
 from repro.snn.network import SNN, ForwardRecord
 
-#: Maps (forward record, input tensor sequence) to a scalar loss Tensor.
-#: The sequence is tape-connected to the logits, so objectives may use
-#: input statistics (e.g. L4 over first-layer synapses).
-Objective = Callable[[ForwardRecord, List], "object"]
+#: Maps (forward record, input sequence) to a scalar loss Tensor.  The
+#: sequence is tape-connected to the logits — a list over time of
+#: ``(1, *input_shape)`` tensors on the legacy path, one
+#: ``(T, 1, *input_shape)`` tensor on the fused path — so objectives may
+#: use input statistics (e.g. L4 over first-layer synapses).
+Objective = Callable[[ForwardRecord, object], "object"]
 ProgressCheck = Callable[[np.ndarray], bool]
 
 
@@ -38,10 +50,53 @@ class StageResult:
     growths: int = 0
     loss_history: List[float] = field(default_factory=list)
     timed_out: bool = False
+    #: Output-layer spike trains of the best stimulus, shape
+    #: (T, 1, num_classes) — recorded from the forward pass that produced
+    #: it, equal to ``network.run(best_stimulus)`` by path equivalence, so
+    #: callers need not re-simulate the winner.  None only if no
+    #: optimisation step ran.
+    best_output: Optional[np.ndarray] = None
+    #: Wall-clock split of the stage: sampling + forward + objective,
+    #: backward pass, and optimiser update respectively.
+    forward_s: float = 0.0
+    backward_s: float = 0.0
+    optimizer_s: float = 0.0
 
     @property
     def duration(self) -> int:
         return int(self.best_stimulus.shape[0])
+
+
+@contextmanager
+def _frozen_weights(network: SNN):
+    """Temporarily clear ``requires_grad`` on the network's parameters.
+
+    Stage optimisation updates only the input logits; freezing the weights
+    lets backward skip every weight-gradient product (conv/matmul
+    transposes), which is a sizeable share of the tape cost.  Input
+    gradients are unaffected — weights are leaves of the tape.
+    """
+    params = network.parameters()
+    saved = [p.requires_grad for p in params]
+    for p in params:
+        p.requires_grad = False
+    try:
+        yield
+    finally:
+        for p, flag in zip(params, saved):
+            p.requires_grad = flag
+
+
+def _record_output_array(record: ForwardRecord) -> np.ndarray:
+    """Output spike trains of ``record`` as a plain (T, B, classes) array,
+    matching the layout of :meth:`~repro.snn.network.SNN.run`."""
+    out = record.output
+    if isinstance(out, Tensor):
+        data = out.data
+    else:
+        data = np.stack([s.data for s in out])
+    flat = data.reshape(data.shape[0], data.shape[1], -1)
+    return flat.astype(np.float64, copy=True)
 
 
 def run_stage(
@@ -70,24 +125,61 @@ def run_stage(
     result = StageResult(best_stimulus=param.hard(), best_loss=np.inf)
     growth_step = config.beta
     rounds = 1 + (config.max_growths if progress_check is not None else 0)
+    fused = config.fused_bptt
 
+    with _frozen_weights(network):
+        return _run_stage_rounds(
+            network, param, objective, steps, config, progress_check,
+            deadline, result, growth_step, rounds, fused,
+        )
+
+
+def _run_stage_rounds(
+    network: SNN,
+    param: InputParameterization,
+    objective: Objective,
+    steps: int,
+    config: TestGenConfig,
+    progress_check: Optional[ProgressCheck],
+    deadline: Optional[float],
+    result: StageResult,
+    growth_step: int,
+    rounds: int,
+    fused: bool,
+) -> StageResult:
     for round_index in range(rounds):
         optimizer = Adam([param.logits], lr=config.lr)
         for step in range(steps):
             optimizer.lr = max(config.lr_min, config.lr * config.lr_decay**step)
             tau = max(config.tau_min, config.tau_max * config.tau_decay**step)
-            seq = param.sample(tau, noise_scale=config.gumbel_noise)
-            record = network.forward(seq)
+            t0 = time.perf_counter()
+            if fused:
+                seq = param.sample_sequence(tau, noise_scale=config.gumbel_noise)
+                record = network.forward_fused(seq)
+            else:
+                seq = param.sample(tau, noise_scale=config.gumbel_noise)
+                record = network.forward(seq)
             loss = objective(record, seq)
             value = loss.item()
+            t1 = time.perf_counter()
             result.loss_history.append(value)
             result.steps_run += 1
             if value < result.best_loss:
                 result.best_loss = value
-                result.best_stimulus = np.stack([s.data for s in seq])
+                if fused:
+                    result.best_stimulus = seq.data.astype(np.float64, copy=True)
+                else:
+                    result.best_stimulus = np.stack([s.data for s in seq])
+                result.best_output = _record_output_array(record)
+            t2 = time.perf_counter()
             optimizer.zero_grad()
             loss.backward()
+            t3 = time.perf_counter()
             optimizer.step()
+            t4 = time.perf_counter()
+            result.forward_s += t1 - t0
+            result.backward_s += t3 - t2
+            result.optimizer_s += t4 - t3
             if deadline is not None and time.perf_counter() > deadline:
                 result.timed_out = True
                 return result

@@ -56,9 +56,11 @@ class ExperimentPipeline:
         seed: int = 0,
         log=None,
         workers: Optional[int] = None,
+        verbose: bool = False,
     ) -> None:
         self.definition = definition
         self.seed = seed
+        self.verbose = verbose
         self.workers = resolve_workers(workers)
         self.seeds = SeedSequenceFactory(seed)
         self.results_dir = Path(results_dir) if results_dir is not None else default_results_dir()
@@ -183,7 +185,11 @@ class ExperimentPipeline:
             )
         self.log(f"[{self.definition.cache_key}] generating test ...")
         generator = TestGenerator(
-            network, self.definition.testgen_config, self.seeds.rng("generate"), log=self.log
+            network,
+            self.definition.testgen_config,
+            self.seeds.rng("generate"),
+            log=self.log,
+            verbose=self.verbose,
         )
         result = generator.generate()
         result.stimulus.save(str(stim_path))

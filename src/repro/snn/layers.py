@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd import fused
 from repro.autograd.tensor import Tensor
 from repro.errors import ConfigurationError, ShapeError
 from repro.snn.neuron import LIFParameters, LIFState, lif_step_numpy, lif_step_tensor
@@ -47,6 +48,18 @@ class Module:
 
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
         """Autograd path: map a list over time of (B, ...) tensors."""
+        raise NotImplementedError
+
+    def forward_sequence_fused(self, seq: Tensor) -> Tensor:
+        """Fused autograd path: map a whole (T, B, ...) sequence tensor.
+
+        Spiking modules implement this with the sequence-level kernels of
+        :mod:`repro.autograd.fused` — one tape node per layer instead of
+        ~10 per layer per time step — and precompute their synaptic input
+        currents for all T steps in a single matmul/convolution.  Spike
+        values and input gradients are bit-identical to
+        :meth:`forward_sequence` in float64 (pinned by tests).
+        """
         raise NotImplementedError
 
     def parameters(self) -> List[Tensor]:
@@ -104,6 +117,17 @@ class SpikingModule(Module):
         return lif_step_tensor(
             current,
             state,
+            self.threshold,
+            self.leak,
+            self.refractory_steps,
+            self.surrogate,
+            self.surrogate_slope,
+            self.params.reset_mode,
+        )
+
+    def _lif_sequence(self, currents: Tensor) -> Tensor:
+        return fused.lif_sequence(
+            currents,
             self.threshold,
             self.leak,
             self.refractory_steps,
@@ -214,6 +238,11 @@ class DenseLIF(SpikingModule):
         state = self._state_tensor(batch)
         return [self._lif_tensor(x_t @ self.weight, state) for x_t in seq]
 
+    def forward_sequence_fused(self, seq: Tensor) -> Tensor:
+        # One batched matmul for all T steps: (T, B, in) @ (in, out) runs
+        # per-slice GEMMs identical to the per-step 2-D products.
+        return self._lif_sequence(seq @ self.weight.astype(seq.dtype))
+
     def parameters(self) -> List[Tensor]:
         return [self.weight]
 
@@ -302,6 +331,20 @@ class RecurrentLIF(SpikingModule):
             outputs.append(previous)
         return outputs
 
+    def forward_sequence_fused(self, seq: Tensor) -> Tensor:
+        # Feedforward currents for all T steps in one matmul; the
+        # state-dependent spike feedback stays inside the fused kernel.
+        return fused.recurrent_lif_sequence(
+            seq @ self.weight.astype(seq.dtype),
+            self.recurrent_weight.astype(seq.dtype),
+            self.threshold,
+            self.leak,
+            self.refractory_steps,
+            self.surrogate,
+            self.surrogate_slope,
+            self.params.reset_mode,
+        )
+
     def parameters(self) -> List[Tensor]:
         return [self.weight, self.recurrent_weight]
 
@@ -378,7 +421,9 @@ class ConvLIF(SpikingModule):
         """Raw-numpy convolution with cached im2col indices (hot path)."""
         cols = self._im2col(x)
         w_mat = self.weight.data.reshape(self.out_channels, -1)
-        return np.einsum("fk,bkl->bfl", w_mat, cols).reshape((x.shape[0],) + self.neuron_shape)
+        # matmul, not einsum: bit-identical per batch slice to the autograd
+        # conv2d (same GEMM), which path-equivalence tests rely on.
+        return np.matmul(w_mat, cols).reshape((x.shape[0],) + self.neuron_shape)
 
     def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
         steps, batch = seq.shape[:2]
@@ -400,8 +445,10 @@ class ConvLIF(SpikingModule):
         out = np.empty((steps, batch) + self.neuron_shape)
         for t in range(steps):
             cols = self._im2col(seq[t])  # (K*S, C*k*k, L)
-            current = np.einsum(
-                "gfk,gskl->gsfl", w_mats, cols.reshape((k, s) + cols.shape[1:])
+            # Broadcast GEMM per (instance, sample) slice — bit-identical
+            # to the serial per-instance matmul in _conv_numpy.
+            current = np.matmul(
+                w_mats[:, None], cols.reshape((k, s) + cols.shape[1:])
             )
             out[t] = self._lif_numpy(
                 current.reshape((batch,) + self.neuron_shape), state
@@ -440,6 +487,19 @@ class ConvLIF(SpikingModule):
             for x_t in seq
         ]
 
+    def forward_sequence_fused(self, seq: Tensor) -> Tensor:
+        # One im2col convolution over the folded (T*B, C, H, W) batch; the
+        # batched GEMM computes each slice exactly as the per-step call
+        # does, so the currents are bit-identical.
+        steps, batch = seq.shape[:2]
+        flat = seq.reshape((steps * batch,) + seq.shape[2:])
+        currents = F.conv2d(
+            flat, self.weight.astype(seq.dtype), stride=self.stride, padding=self.padding
+        )
+        return self._lif_sequence(
+            currents.reshape((steps, batch) + self.neuron_shape)
+        )
+
     def parameters(self) -> List[Tensor]:
         return [self.weight]
 
@@ -476,6 +536,13 @@ class SumPool(Module):
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
         return [F.sum_pool2d(x_t, self.window) for x_t in seq]
 
+    def forward_sequence_fused(self, seq: Tensor) -> Tensor:
+        steps, batch, channels, height, width = seq.shape
+        window = self.window
+        return seq.reshape(
+            steps, batch, channels, height // window, window, width // window, window
+        ).sum(axis=(4, 6))
+
 
 class Flatten(Module):
     """Reshape (C, H, W) features to a flat vector between conv and dense."""
@@ -489,3 +556,6 @@ class Flatten(Module):
 
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
         return [x_t.reshape(x_t.shape[0], -1) for x_t in seq]
+
+    def forward_sequence_fused(self, seq: Tensor) -> Tensor:
+        return seq.reshape(seq.shape[0], seq.shape[1], -1)

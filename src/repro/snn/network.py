@@ -28,23 +28,43 @@ class ForwardRecord:
     Attributes
     ----------
     layer_spikes:
-        One entry per *spiking* module, in network order; each entry is a
-        list over time of ``(B, *neuron_shape)`` tensors.
+        One entry per *spiking* module, in network order.  On the
+        elementary path each entry is a list over time of
+        ``(B, *neuron_shape)`` tensors; on the fused path it is a single
+        ``(T, B, *neuron_shape)`` sequence tensor.
     layer_names:
         Names of the spiking modules, aligned with ``layer_spikes``.
     """
 
-    layer_spikes: List[List[Tensor]]
+    layer_spikes: List[object]
     layer_names: List[str]
 
     @property
-    def output(self) -> List[Tensor]:
-        """Spike trains of the output layer (list over time)."""
+    def output(self) -> object:
+        """Spike trains of the output layer (list over time, or the
+        (T, B, ...) sequence tensor on the fused path — both index and
+        iterate over time)."""
         return self.layer_spikes[-1]
 
+    @property
+    def batch_size(self) -> int:
+        """Batch dimension of the recorded pass (no tape nodes created)."""
+        entry = self.layer_spikes[0]
+        if isinstance(entry, Tensor):
+            return entry.shape[1]
+        return entry[0].shape[0]
+
     def stacked(self, layer: int) -> Tensor:
-        """Stack layer ``layer``'s spike trains into a (T, B, ...) tensor."""
-        return stack(self.layer_spikes[layer], axis=0)
+        """Layer ``layer``'s spike trains as one (T, B, ...) tensor.
+
+        On the fused path this is the recorded sequence tensor itself (the
+        same tape node on every call); on the elementary path the per-step
+        tensors are stacked, which adds a tape node per call.
+        """
+        entry = self.layer_spikes[layer]
+        if isinstance(entry, Tensor):
+            return entry
+        return stack(entry, axis=0)
 
     def stacked_output(self) -> Tensor:
         return self.stacked(len(self.layer_spikes) - 1)
@@ -141,6 +161,28 @@ class SNN:
         current = seq
         for module in self.modules:
             current = module.forward_sequence(current)
+            if module.has_neurons:
+                records.append(current)
+                names.append(module.name)
+        return ForwardRecord(layer_spikes=records, layer_names=names)
+
+    def forward_fused(self, seq: Tensor) -> ForwardRecord:
+        """Run the fused autograd path and record every spiking layer.
+
+        Parameters
+        ----------
+        seq:
+            A single ``(T, B, *input_shape)`` sequence tensor.  Each layer
+            contributes one tape node (plus its current precomputation)
+            instead of ~10 per time step; spike values and input gradients
+            are bit-identical to :meth:`forward` in float64.
+        """
+        self._check_feature_shape(tuple(seq.shape[2:]))
+        records: List[Tensor] = []
+        names: List[str] = []
+        current = seq
+        for module in self.modules:
+            current = module.forward_sequence_fused(current)
             if module.has_neurons:
                 records.append(current)
                 names.append(module.name)

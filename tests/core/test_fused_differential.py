@@ -1,0 +1,183 @@
+"""Differential tests: the fused BPTT path must generate bit-identical
+float64 results to the legacy per-timestep tape.
+
+The fused path (``TestGenConfig.fused_bptt=True``, the default) swaps the
+whole differentiable simulation — sampling, forward, backward — for the
+kernels in :mod:`repro.autograd.fused`.  These tests pin the contract that
+makes that swap safe: on a fixed seed, stage optimisation and the full
+generation loop produce *exactly* the same stimuli, losses, and adoption
+decisions as the elementary tape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TestGenConfig, TestGenerator
+from repro.core.input_param import InputParameterization
+from repro.core.losses import LossWeights
+from repro.core.stage import run_stage
+from repro.core.generator import surrogate_override
+from repro.snn import (
+    ConvSpec,
+    DenseSpec,
+    FlattenSpec,
+    LIFParameters,
+    NetworkSpec,
+    PoolSpec,
+    RecurrentSpec,
+    build_network,
+)
+
+DENSE = NetworkSpec(
+    name="dense",
+    input_shape=(12,),
+    layers=(DenseSpec(out_features=10), DenseSpec(out_features=4)),
+)
+DENSE_SUB = NetworkSpec(
+    name="dense-sub",
+    input_shape=(12,),
+    layers=(DenseSpec(out_features=10), DenseSpec(out_features=4)),
+    lif=LIFParameters(reset_mode="subtract", refractory_steps=2),
+)
+RECURRENT = NetworkSpec(
+    name="recur",
+    input_shape=(10,),
+    layers=(RecurrentSpec(out_features=12), DenseSpec(out_features=3)),
+)
+CONV = NetworkSpec(
+    name="conv",
+    input_shape=(2, 8, 8),
+    layers=(
+        ConvSpec(out_channels=3, kernel=3, padding=1),
+        PoolSpec(window=2),
+        FlattenSpec(),
+        DenseSpec(out_features=5),
+    ),
+)
+
+
+def _stage_result(spec, fused, steps=15, duration=6, seed=11):
+    network = build_network(spec, np.random.default_rng(1))
+    config = TestGenConfig(t_in_min=duration, steps_stage1=steps, fused_bptt=fused)
+    rng = np.random.default_rng(seed)
+    param = InputParameterization(
+        network.input_shape,
+        duration,
+        rng,
+        init_scale=config.init_logit_scale,
+        init_bias=config.init_logit_bias,
+        dtype=config.np_dtype,
+    )
+    with surrogate_override(network, config.surrogate_slope):
+        if fused:
+            probe = network.forward_fused(param.sample_sequence(config.tau_max, 1.0))
+        else:
+            probe = network.forward(param.sample(config.tau_max, 1.0))
+        td_min = config.effective_td_min(duration)
+        weights = LossWeights.balanced(probe, network, td_min)
+        objective = lambda record, seq: weights.combined(record, network, td_min)
+        return run_stage(network, param, objective, steps, config), network
+
+
+@pytest.mark.parametrize("spec", [DENSE, DENSE_SUB, RECURRENT, CONV], ids=lambda s: s.name)
+def test_run_stage_bit_identical(spec):
+    fused, _ = _stage_result(spec, fused=True)
+    legacy, _ = _stage_result(spec, fused=False)
+    assert fused.best_loss == legacy.best_loss
+    assert fused.loss_history == legacy.loss_history
+    assert np.array_equal(fused.best_stimulus, legacy.best_stimulus)
+    assert np.array_equal(fused.best_output, legacy.best_output)
+
+
+def test_best_output_matches_rerun():
+    """StageResult.best_output equals simulating the best stimulus afresh —
+    the invariant that lets the generator skip re-running winners."""
+    result, network = _stage_result(DENSE, fused=True)
+    assert result.best_output is not None
+    rerun = network.run(result.best_stimulus)
+    assert np.array_equal(result.best_output, rerun.reshape(result.best_output.shape))
+
+
+def test_stage_timing_populated():
+    result, _ = _stage_result(DENSE, fused=True)
+    assert result.forward_s > 0.0
+    assert result.backward_s > 0.0
+    assert result.optimizer_s > 0.0
+
+
+@pytest.mark.parametrize("spec", [DENSE, RECURRENT], ids=lambda s: s.name)
+def test_full_generation_bit_identical(spec):
+    def generate(fused):
+        network = build_network(spec, np.random.default_rng(1))
+        config = TestGenConfig(
+            t_in_min=6,
+            steps_stage1=20,
+            max_iterations=2,
+            probe_steps=5,
+            fused_bptt=fused,
+        )
+        generator = TestGenerator(network, config, np.random.default_rng(5))
+        return generator.generate()
+
+    a = generate(True)
+    b = generate(False)
+    assert len(a.stimulus.chunks) == len(b.stimulus.chunks)
+    for x, y in zip(a.stimulus.chunks, b.stimulus.chunks):
+        assert np.array_equal(x, y)
+    assert a.t_in_min == b.t_in_min
+    assert a.activated_fraction == b.activated_fraction
+    key = lambda r: (r.stage1_loss, r.stage2_loss, r.stage2_adopted, r.new_activations)
+    assert [key(r) for r in a.iterations] == [key(r) for r in b.iterations]
+
+
+def test_iteration_timing_populated():
+    network = build_network(DENSE, np.random.default_rng(1))
+    config = TestGenConfig(
+        t_in_min=6, steps_stage1=10, max_iterations=1, probe_steps=4
+    )
+    generator = TestGenerator(network, config, np.random.default_rng(5))
+    result = generator.generate()
+    for report in result.iterations:
+        assert report.stage1_s > 0.0
+        assert report.stage2_s > 0.0
+        assert report.bookkeeping_s >= 0.0
+
+
+def test_activation_sets_memoized():
+    network = build_network(DENSE, np.random.default_rng(1))
+    config = TestGenConfig(t_in_min=4)
+    generator = TestGenerator(network, config, np.random.default_rng(5))
+    stimulus = (np.random.default_rng(2).random((4, 1, 12)) > 0.5).astype(np.float64)
+    first = generator.activation_sets(stimulus)
+    second = generator.activation_sets(stimulus)
+    assert first is second  # served from cache
+    other = generator.activation_sets(1.0 - stimulus)
+    assert other is not first
+    for got, expect in zip(
+        first,
+        [rec[:, 0, :].sum(axis=0) >= config.activation_threshold
+         for rec in network.run_spiking_layers(stimulus)],
+    ):
+        assert np.array_equal(got, expect)
+
+
+def test_float32_mode_generates():
+    """float32 opt-in runs end to end and still yields a binary stimulus."""
+    network = build_network(DENSE, np.random.default_rng(1))
+    config = TestGenConfig(
+        t_in_min=6,
+        steps_stage1=10,
+        max_iterations=1,
+        probe_steps=4,
+        dtype="float32",
+    )
+    generator = TestGenerator(network, config, np.random.default_rng(5))
+    result = generator.generate()
+    assert result.stimulus.chunks
+    for chunk in result.stimulus.chunks:
+        assert set(np.unique(chunk)).issubset({0.0, 1.0})
+
+
+def test_float32_requires_fused():
+    with pytest.raises(Exception):
+        TestGenConfig(dtype="float32", fused_bptt=False)
