@@ -69,6 +69,10 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("-v", "--verbose", action="store_true",
                        help="log per-iteration wall-clock breakdown "
                        "(stage forward/backward/optimizer split)")
+        p.add_argument("--resume", action="store_true",
+                       help="continue interrupted campaigns/generation from "
+                       "their progress checkpoints (bit-identical results; "
+                       "see docs/RESILIENCE.md)")
 
     add_pipeline_args(sub.add_parser("train", help="train and cache the benchmark model"))
     add_pipeline_args(sub.add_parser(
@@ -106,6 +110,7 @@ def _pipeline(args, name: Optional[str] = None) -> ExperimentPipeline:
         log=print,
         workers=getattr(args, "workers", None),
         verbose=getattr(args, "verbose", False),
+        resume=getattr(args, "resume", False),
     )
 
 

@@ -86,6 +86,11 @@ class TestGenConfig:
         keeping output spike counts below ``(1 - margin)`` of the
         refractory-limited ceiling, preserving observability of
         spike-adding faults.
+    checkpoint_every:
+        When the generator is given a checkpoint path, persist its state
+        every this many iterations (1 = after every chunk).  Larger values
+        trade durability for less checkpoint I/O on fast iterations; the
+        bitwise resume guarantee holds for any value.
     fused_bptt:
         Run the optimisation loop on the fused sequence-level kernels
         (:mod:`repro.autograd.fused`): one tape node per spiking layer and
@@ -129,6 +134,7 @@ class TestGenConfig:
     disabled_losses: Tuple[int, ...] = ()
     use_headroom_loss: bool = False
     headroom_margin: float = 0.25
+    checkpoint_every: int = 1
     fused_bptt: bool = True
     dtype: str = "float64"
 
@@ -177,6 +183,8 @@ class TestGenConfig:
             raise ConfigurationError("cannot disable all four stage-1 losses")
         if not 0.0 <= self.headroom_margin < 1.0:
             raise ConfigurationError("headroom_margin must be in [0, 1)")
+        if self.checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be >= 1")
         if self.dtype not in ("float64", "float32"):
             raise ConfigurationError(
                 f"dtype must be 'float64' or 'float32', got {self.dtype!r}"

@@ -29,17 +29,28 @@ def verify_coverage(
     classification: Optional[ClassificationResult] = None,
     progress=None,
     workers: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ):
     """Fault-simulate the assembled test stimulus.
 
-    ``workers`` shards the campaign across processes (``None`` defers to
-    ``$REPRO_WORKERS``; 1 runs serially in-process).  Returns the
+    ``workers`` shards the campaign across supervised processes (``None``
+    defers to ``$REPRO_WORKERS``; 1 runs serially in-process).  With
+    ``checkpoint_path`` set, completed shards are persisted and
+    ``resume=True`` continues a killed campaign from them (results stay
+    bit-identical; see ``docs/RESILIENCE.md``).  Returns the
     :class:`DetectionResult`; if ``classification`` labels are provided,
     also the Table-III-style :class:`CoverageBreakdown`.
     """
     simulator = FaultSimulator(network, fault_config)
     detection = parallel_detect(
-        simulator, stimulus.assembled(), faults, workers=workers, progress=progress
+        simulator,
+        stimulus.assembled(),
+        faults,
+        workers=workers,
+        progress=progress,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
     if classification is None:
         return detection, None

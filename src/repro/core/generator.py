@@ -23,12 +23,14 @@ The final test is the chunk sequence interleaved with sleep inputs
 from __future__ import annotations
 
 import contextlib
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.core.checkpoint import GeneratorCheckpoint, generator_fingerprint
 from repro.core.config import TestGenConfig
 from repro.core.duration import find_minimum_duration
 from repro.core.input_param import InputParameterization
@@ -41,8 +43,9 @@ from repro.core.losses import (
 from repro.core.stage import StageResult, run_stage
 from repro.core.testset import TestStimulus
 from repro.autograd.tensor import Tensor, stack
-from repro.errors import TestGenerationError
+from repro.errors import CheckpointError, TestGenerationError
 from repro.snn.network import SNN
+from repro.utils import chaos
 
 
 def _sequence_tensor(seq) -> Tensor:
@@ -126,6 +129,18 @@ class TestGenerator:
     verbose:
         Also log the per-iteration wall-clock breakdown (stage-1/stage-2
         forward/backward/optimiser split).
+    checkpoint_path:
+        If set, generator state (RNG, adopted chunks, activation sets,
+        iteration reports, elapsed budget) is persisted here every
+        ``config.checkpoint_every`` iterations (atomically — a crash never
+        tears it; see ``docs/RESILIENCE.md``).
+    resume:
+        With ``checkpoint_path`` set, restore from an existing checkpoint
+        and continue from the first missing iteration.  A resumed run
+        produces bit-identical results to an uninterrupted one; resuming
+        against a different network or config raises
+        :class:`~repro.errors.CheckpointError`.  Without a checkpoint
+        file present, generation starts from scratch.
     """
 
     def __init__(
@@ -135,12 +150,16 @@ class TestGenerator:
         rng: Optional[np.random.Generator] = None,
         log: Optional[Callable[[str], None]] = None,
         verbose: bool = False,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
     ) -> None:
         self.network = network
         self.config = config or TestGenConfig()
         self.rng = rng or np.random.default_rng(0)
         self.log = log or (lambda message: None)
         self.verbose = verbose
+        self.checkpoint_path = checkpoint_path
+        self.resume = resume
         self._activation_cache: dict = {}
 
     # ------------------------------------------------------------------
@@ -177,25 +196,55 @@ class TestGenerator:
 
     def _generate(self) -> TestGenerationResult:
         start = time.perf_counter()
-        deadline = start + self.config.time_limit_s
         network = self.network
+        total_neurons = sum(m.neuron_count for m in network.spiking_modules)
 
-        t_in_min = self.config.t_in_min or find_minimum_duration(
-            network, self.config, self.rng, log=self.log
-        )
+        restored = self._restore_checkpoint()
+        if restored is not None:
+            t_in_min = restored.t_in_min
+            elapsed0 = restored.elapsed_s
+            chunks = list(restored.chunks)
+            activated = [mask.copy() for mask in restored.activated]
+            reports = [IterationReport(**rep) for rep in restored.reports]
+            self.rng.bit_generator.state = restored.rng_state
+            self.log(
+                f"resumed from {self.checkpoint_path}: "
+                f"{len(reports)} iterations done, {elapsed0:.1f}s already spent"
+            )
+        else:
+            t_in_min = self.config.t_in_min or find_minimum_duration(
+                network, self.config, self.rng, log=self.log
+            )
+            elapsed0 = 0.0
+            activated = [
+                np.zeros(m.neuron_count, dtype=bool) for m in network.spiking_modules
+            ]
+            chunks: List[np.ndarray] = []
+            reports: List[IterationReport] = []
+            # Checkpoint the post-probe state so a crash in iteration 0
+            # resumes past the T_in,min search (it consumes RNG draws).
+            self._save_checkpoint(t_in_min, start, elapsed0, chunks, activated, reports)
         td_min = self.config.effective_td_min(t_in_min)
+        deadline = start + self.config.time_limit_s - elapsed0
         self.log(f"T_in,min = {t_in_min} steps, TD_min = {td_min}")
 
-        total_neurons = sum(m.neuron_count for m in network.spiking_modules)
-        activated = [
-            np.zeros(m.neuron_count, dtype=bool) for m in network.spiking_modules
-        ]
-        chunks: List[np.ndarray] = []
-        reports: List[IterationReport] = []
+        # Trailing zero-activation iterations already in the reports (a
+        # resumed run must see the same stall counter the original did).
         stall = 0
-        timed_out = False
+        for report in reversed(reports):
+            if report.new_activations != 0:
+                break
+            stall += 1
+        timed_out = elapsed0 > self.config.time_limit_s
+        finished = bool(reports) and (
+            reports[-1].activated_total >= total_neurons
+            or stall >= self.config.stall_iterations
+            or timed_out
+        )
 
-        for iteration in range(self.config.max_iterations):
+        for iteration in range(len(reports), self.config.max_iterations):
+            if finished:
+                break
             masks = [~a for a in activated]
             chunk, report = self._run_iteration(
                 iteration, t_in_min, td_min, masks, activated, deadline
@@ -208,6 +257,10 @@ class TestGenerator:
                 f"({report.activated_total}/{total_neurons})"
             )
             stall = stall + 1 if report.new_activations == 0 else 0
+            if len(reports) % self.config.checkpoint_every == 0:
+                self._save_checkpoint(
+                    t_in_min, start, elapsed0, chunks, activated, reports
+                )
             if report.activated_total >= total_neurons:
                 self.log("all neurons activated")
                 break
@@ -229,9 +282,58 @@ class TestGenerator:
             iterations=reports,
             activated_fraction=activated_total / total_neurons if total_neurons else 0.0,
             activated_per_layer=activated,
-            runtime_s=time.perf_counter() - start,
+            runtime_s=elapsed0 + (time.perf_counter() - start),
             timed_out=timed_out,
         )
+
+    # ------------------------------------------------------------------
+    def _restore_checkpoint(self) -> Optional[GeneratorCheckpoint]:
+        """Load the checkpoint to resume from, or ``None`` to start fresh."""
+        if (
+            self.checkpoint_path is None
+            or not self.resume
+            or not os.path.exists(self.checkpoint_path)
+        ):
+            return None
+        # Chunks are hard binary stimuli and are float64 on both compute
+        # paths (the float32 path affects tape internals, not the adopted
+        # chunk), so the default restore dtype is always correct here.
+        restored = GeneratorCheckpoint.load(self.checkpoint_path)
+        expected = generator_fingerprint(self.network, self.config)
+        if restored.fingerprint != expected:
+            raise CheckpointError(
+                f"{self.checkpoint_path}: checkpoint belongs to a different "
+                "generation run (network parameters or config changed)"
+            )
+        return restored
+
+    def _save_checkpoint(
+        self,
+        t_in_min: int,
+        start: float,
+        elapsed0: float,
+        chunks: List[np.ndarray],
+        activated: List[np.ndarray],
+        reports: List[IterationReport],
+    ) -> None:
+        """Persist generation state (no-op without a checkpoint path).
+
+        The ``generator-iteration`` chaos site fires after the write,
+        keyed by the number of completed iterations, so tests can kill the
+        run at a precisely known checkpoint boundary.
+        """
+        if self.checkpoint_path is None:
+            return
+        GeneratorCheckpoint(
+            fingerprint=generator_fingerprint(self.network, self.config),
+            t_in_min=t_in_min,
+            elapsed_s=elapsed0 + (time.perf_counter() - start),
+            rng_state=self.rng.bit_generator.state,
+            chunks=list(chunks),
+            activated=[mask.copy() for mask in activated],
+            reports=[asdict(report) for report in reports],
+        ).save(self.checkpoint_path)
+        chaos.raise_if_struck("generator-iteration", key=len(reports))
 
     # ------------------------------------------------------------------
     def _run_iteration(

@@ -108,7 +108,10 @@ class StoredTest:
         return bool(np.array_equal(response.sum(axis=0)[0], self.golden_counts))
 
     def save(self, path: str) -> None:
-        """Persist to ``.npz``."""
+        """Persist to ``.npz`` (written atomically — a crash mid-save never
+        leaves a torn artifact)."""
+        from repro.core.checkpoint import atomic_npz_save
+
         arrays = {
             "golden_counts": self.golden_counts,
             "input_shape": np.array(self.input_shape, dtype=np.int64),
@@ -117,24 +120,39 @@ class StoredTest:
         for idx, (payload, shape) in enumerate(zip(self.payloads, self.shapes)):
             arrays[f"payload{idx}"] = np.frombuffer(payload, dtype=np.uint8)
             arrays[f"shape{idx}"] = np.array(shape, dtype=np.int64)
-        np.savez(path, **arrays)
+        atomic_npz_save(path, **arrays)
 
     @classmethod
     def load(cls, path: str) -> "StoredTest":
-        """Load an artifact saved by :meth:`save`."""
-        with np.load(path) as data:
-            count = sum(1 for name in data.files if name.startswith("payload"))
-            if count == 0:
-                raise TestGenerationError(f"{path} holds no packed chunks")
-            payloads = [data[f"payload{i}"].tobytes() for i in range(count)]
-            shapes = [tuple(int(v) for v in data[f"shape{i}"]) for i in range(count)]
-            return cls(
-                payloads=payloads,
-                shapes=shapes,
-                input_shape=tuple(int(v) for v in data["input_shape"]),
-                golden_counts=data["golden_counts"],
-                golden_digest=data["digest"].tobytes().hex(),
-            )
+        """Load an artifact saved by :meth:`save`.
+
+        Raises :class:`~repro.errors.CheckpointError` if the file is
+        missing, truncated, or not an ``.npz`` archive, and
+        :class:`~repro.errors.TestGenerationError` if it is a valid archive
+        that holds no packed chunks.
+        """
+        from repro.errors import CheckpointError
+
+        try:
+            with np.load(path) as data:
+                count = sum(1 for name in data.files if name.startswith("payload"))
+                if count == 0:
+                    raise TestGenerationError(f"{path} holds no packed chunks")
+                payloads = [data[f"payload{i}"].tobytes() for i in range(count)]
+                shapes = [tuple(int(v) for v in data[f"shape{i}"]) for i in range(count)]
+                return cls(
+                    payloads=payloads,
+                    shapes=shapes,
+                    input_shape=tuple(int(v) for v in data["input_shape"]),
+                    golden_counts=data["golden_counts"],
+                    golden_digest=data["digest"].tobytes().hex(),
+                )
+        except FileNotFoundError:
+            raise CheckpointError(f"stored test {path} does not exist") from None
+        except (OSError, ValueError, KeyError) as exc:
+            raise CheckpointError(
+                f"stored test {path} unreadable or corrupt: {exc}"
+            ) from exc
 
 
 def _digest(output: np.ndarray) -> str:

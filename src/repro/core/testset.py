@@ -16,7 +16,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.errors import TestGenerationError
+from repro.errors import CheckpointError, TestGenerationError
 
 
 @dataclass
@@ -76,15 +76,30 @@ class TestStimulus:
         return int(sum(int(np.prod(c.shape)) for c in self.chunks))
 
     def save(self, path: str) -> None:
-        """Persist chunks to ``.npz`` (bit-efficient uint8)."""
+        """Persist chunks to ``.npz`` (bit-efficient uint8, written
+        atomically — a crash mid-save never leaves a torn artifact)."""
+        from repro.core.checkpoint import atomic_npz_save
+
         arrays = {f"chunk{idx}": chunk.astype(np.uint8) for idx, chunk in enumerate(self.chunks)}
-        np.savez(path, **arrays)
+        atomic_npz_save(path, **arrays)
 
     @classmethod
     def load(cls, path: str, input_shape: Tuple[int, ...]) -> "TestStimulus":
-        """Load chunks saved by :meth:`save`."""
-        with np.load(path) as data:
-            chunks = [
-                data[f"chunk{idx}"].astype(np.float64) for idx in range(len(data.files))
-            ]
+        """Load chunks saved by :meth:`save`.
+
+        Raises :class:`~repro.errors.CheckpointError` if the file is
+        missing, truncated, or not a stimulus archive.
+        """
+        try:
+            with np.load(path) as data:
+                chunks = [
+                    data[f"chunk{idx}"].astype(np.float64)
+                    for idx in range(len(data.files))
+                ]
+        except FileNotFoundError:
+            raise CheckpointError(f"stimulus archive {path} does not exist") from None
+        except (OSError, ValueError, KeyError) as exc:
+            raise CheckpointError(
+                f"stimulus archive {path} unreadable or corrupt: {exc}"
+            ) from exc
         return cls(chunks=chunks, input_shape=tuple(input_shape))

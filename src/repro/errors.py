@@ -40,3 +40,18 @@ class TrainingError(ReproError):
 
 class TestGenerationError(ReproError):
     """The test-generation algorithm hit an unrecoverable state."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, truncated, corrupt, or does not match
+    the run being resumed."""
+
+
+class WorkerFailureError(ReproError):
+    """A campaign worker process failed in a way the supervisor could not
+    recover from (or reported an error it could not transport)."""
+
+
+class ChaosError(ReproError):
+    """Raised by the chaos harness to simulate a crash at an injection
+    site (never raised outside chaos testing)."""

@@ -22,6 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.autograd.schedule import StepDecay
+from repro.core.checkpoint import atomic_npz_save
 from repro.core.coverage import verify_coverage
 from repro.core.generator import IterationReport, TestGenerationResult, TestGenerator
 from repro.core.testset import TestStimulus
@@ -47,7 +48,15 @@ def default_results_dir() -> Path:
 
 
 class ExperimentPipeline:
-    """Runs and caches the pipeline stages for one benchmark definition."""
+    """Runs and caches the pipeline stages for one benchmark definition.
+
+    With ``resume=True``, the long-running stages (classification campaign,
+    test generation, detection campaign) continue from their progress
+    checkpoints (``*.progress.ckpt`` in the cache directory) instead of
+    restarting; results are bit-identical to an uninterrupted run.  The
+    progress checkpoint is removed once a stage's final artifact is
+    written (the artifact itself then serves as the cache).
+    """
 
     def __init__(
         self,
@@ -57,10 +66,12 @@ class ExperimentPipeline:
         log=None,
         workers: Optional[int] = None,
         verbose: bool = False,
+        resume: bool = False,
     ) -> None:
         self.definition = definition
         self.seed = seed
         self.verbose = verbose
+        self.resume = resume
         self.workers = resolve_workers(workers)
         self.seeds = SeedSequenceFactory(seed)
         self.results_dir = Path(results_dir) if results_dir is not None else default_results_dir()
@@ -71,6 +82,16 @@ class ExperimentPipeline:
         self._network: Optional[SNN] = None
         self._training: Optional[TrainingResult] = None
         self._catalog: Optional[FaultCatalog] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _drop_progress(progress_ckpt: Path) -> None:
+        """Remove a stage's progress checkpoint once its final artifact is
+        written (the artifact is the durable cache from then on)."""
+        try:
+            progress_ckpt.unlink()
+        except FileNotFoundError:
+            pass
 
     # ------------------------------------------------------------------
     def dataset(self) -> SpikingDataset:
@@ -145,16 +166,24 @@ class ExperimentPipeline:
             self.definition.classify_samples, "test"
         )
         simulator = FaultSimulator(self.network(), self.definition.fault_config)
+        progress_ckpt = self.cache_dir / "classification.progress.ckpt"
         result = parallel_classify(
-            simulator, inputs, labels, catalog.faults, workers=self.workers
+            simulator,
+            inputs,
+            labels,
+            catalog.faults,
+            workers=self.workers,
+            checkpoint_path=str(progress_ckpt),
+            resume=self.resume,
         )
-        np.savez(
-            path,
+        atomic_npz_save(
+            str(path),
             critical=result.critical,
             accuracy_drop=result.accuracy_drop,
-            nominal_accuracy=result.nominal_accuracy,
-            wall_time=result.wall_time,
+            nominal_accuracy=np.float64(result.nominal_accuracy),
+            wall_time=np.float64(result.wall_time),
         )
+        self._drop_progress(progress_ckpt)
         self.log(
             f"[{self.definition.cache_key}] labelled: {result.critical_count} critical / "
             f"{result.benign_count} benign in {result.wall_time:.0f}s"
@@ -184,12 +213,15 @@ class ExperimentPipeline:
                 timed_out=meta["timed_out"],
             )
         self.log(f"[{self.definition.cache_key}] generating test ...")
+        progress_ckpt = self.cache_dir / "generation.progress.ckpt"
         generator = TestGenerator(
             network,
             self.definition.testgen_config,
             self.seeds.rng("generate"),
             log=self.log,
             verbose=self.verbose,
+            checkpoint_path=str(progress_ckpt),
+            resume=self.resume,
         )
         result = generator.generate()
         result.stimulus.save(str(stim_path))
@@ -204,10 +236,11 @@ class ExperimentPipeline:
                 },
                 fh,
             )
-        np.savez(
-            acts_path,
+        atomic_npz_save(
+            str(acts_path),
             **{f"layer{idx:02d}": arr for idx, arr in enumerate(result.activated_per_layer)},
         )
+        self._drop_progress(progress_ckpt)
         self.log(
             f"[{self.definition.cache_key}] generated {result.num_chunks} chunks in "
             f"{result.runtime_s:.0f}s, activation {result.activated_fraction:.2%}"
@@ -231,20 +264,24 @@ class ExperimentPipeline:
                     )
         generation = self.generation()
         self.log(f"[{self.definition.cache_key}] verifying coverage ...")
+        progress_ckpt = self.cache_dir / "detection.progress.ckpt"
         detection, _ = verify_coverage(
             self.network(),
             generation.stimulus,
             catalog.faults,
             self.definition.fault_config,
             workers=self.workers,
+            checkpoint_path=str(progress_ckpt),
+            resume=self.resume,
         )
-        np.savez(
-            path,
+        atomic_npz_save(
+            str(path),
             detected=detection.detected,
             output_l1=detection.output_l1,
             class_count_diff=detection.class_count_diff,
-            wall_time=detection.wall_time,
+            wall_time=np.float64(detection.wall_time),
         )
+        self._drop_progress(progress_ckpt)
         self.log(
             f"[{self.definition.cache_key}] detection rate "
             f"{detection.detection_rate():.2%} in {detection.wall_time:.0f}s"

@@ -1,45 +1,75 @@
-"""Process-parallel fault campaigns.
+"""Process-parallel, crash-tolerant fault campaigns.
 
 Fault-injection campaigns are embarrassingly parallel across faults: every
 fault is simulated against the same fault-free network state, and per-fault
-results never interact.  This module shards a fault list across a
-fork-based :mod:`multiprocessing` pool and merges the shard results back in
-catalog order, so a parallel campaign is *exactly* equal — detected mask,
-L1 norms, criticality labels, accuracy drops — to the serial one (pinned
-by ``tests/faults/test_parallel_equivalence.py``).
+results never interact.  This module shards a fault list across supervised
+fork-based worker processes and merges the shard results back in catalog
+order, so a parallel campaign is *exactly* equal — detected mask, L1
+norms, criticality labels, accuracy drops — to the serial one (pinned by
+``tests/faults/test_parallel_equivalence.py``), no matter how many workers
+crash, hang, or get retried along the way (pinned by ``tests/chaos/``).
 
 Design notes
 ------------
 - The golden per-module activations are computed **once in the parent**
-  before the pool is forked; workers inherit them (and the network) through
-  copy-on-write memory, so no worker repeats upstream work and nothing
-  large crosses the pipe except per-shard result arrays.
+  before workers are forked; workers inherit them (and the network)
+  through copy-on-write memory, so no worker repeats upstream work and
+  nothing large crosses a pipe except per-shard result arrays.
 - Shards are contiguous index blocks and each worker returns its block's
   offset, so the merge is order-preserving no matter which worker finishes
-  first.  Determinism does not depend on pool scheduling.
-- Fault simulation mutates network state temporarily (parameter-array
-  swaps, reversible injection); with ``fork`` each worker mutates its own
-  copy-on-write pages, never the parent's.
+  first.  Determinism does not depend on scheduling, retries, or resume.
+- **Supervision**: one forked process per shard, each with a heartbeat
+  thread.  The supervisor detects crashed workers (process died without
+  delivering a result) and hung workers (stale heartbeat or shard
+  timeout), retries the shard in a fresh process with exponential backoff
+  (bounded by ``max_retries``), and falls back to running the shard
+  serially in the parent when retries are exhausted.  If total failures
+  exceed the pool's ``failure_budget``, the pool is declared unhealthy and
+  every remaining shard runs in-process.  Every shard is a pure function
+  of its bounds, so none of this changes a single result byte.  What
+  happened is reported in :class:`~repro.faults.simulator.CampaignHealth`
+  on the returned result.
+- **Durability**: with ``checkpoint_path`` set, each completed shard's
+  result arrays are persisted (atomically, digest-protected — see
+  :mod:`repro.core.checkpoint`) so a killed campaign can be resumed with
+  ``resume=True``: finished shards are restored from the checkpoint and
+  only the missing ones run.  Resumed results are bit-identical to an
+  uninterrupted campaign.
+- Results travel from worker to parent as a spool file (written
+  atomically) plus a single signal byte on a pipe, so a worker killed
+  mid-delivery can never stall the parent on a torn message.
 - Worker count comes from ``workers=`` or the ``REPRO_WORKERS`` environment
   variable (default 1).  With ``workers <= 1``, or on platforms without
   ``fork`` (Windows, macOS spawn-default interpreters), campaigns run
   serially in-process through the same :class:`FaultSimulator` — the
-  fallback is the reference, not an approximation.
+  fallback is the reference, not an approximation.  (A serial campaign
+  with ``checkpoint_path`` set still runs shard-by-shard in-process so its
+  progress is durable.)
 
-See ``docs/PARALLELISM.md`` for the full worker model.
+See ``docs/PARALLELISM.md`` for the worker model and
+``docs/RESILIENCE.md`` for supervision, checkpoint, and resume semantics.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import multiprocessing
 import os
+import pickle
+import shutil
+import tempfile
+import threading
 import time
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import FaultModelError
+from repro.errors import ChaosError, FaultModelError, WorkerFailureError
 from repro.faults.simulator import (
+    CampaignHealth,
     ClassificationResult,
     DetectionResult,
     FaultSimulator,
@@ -47,12 +77,17 @@ from repro.faults.simulator import (
     ProgressFn,
     _ProgressTracker,
 )
+from repro.utils import chaos
 
 #: Environment variable consulted when ``workers`` is not given explicitly.
 WORKERS_ENV = "REPRO_WORKERS"
+#: Environment overrides for supervision defaults (see SupervisionConfig).
+HEARTBEAT_TIMEOUT_ENV = "REPRO_HEARTBEAT_TIMEOUT"
+SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
 
 # Campaign state inherited by forked workers (set in the parent immediately
-# before the pool is created; never mutated while the pool is alive).
+# before workers are launched; never mutated while any worker is alive).
 _SHARED: dict = {}
 
 
@@ -84,7 +119,8 @@ def shard_bounds(n_faults: int, workers: int, per_worker: int = 4) -> List[Tuple
 
     More shards than workers (``per_worker`` per worker) keeps the pool
     busy when shards have uneven cost — synapse-heavy blocks batch much
-    better than timing-fault blocks.
+    better than timing-fault blocks — and bounds how much work one worker
+    failure can discard.
     """
     if n_faults <= 0:
         return []
@@ -93,6 +129,78 @@ def shard_bounds(n_faults: int, workers: int, per_worker: int = 4) -> List[Tuple
     return [(int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
 
 
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Worker-supervision knobs (defaults overridable via environment).
+
+    Attributes
+    ----------
+    heartbeat_interval:
+        How often each worker's heartbeat thread beats.
+    heartbeat_timeout:
+        A worker whose last beat is older than this is declared hung and
+        killed (``$REPRO_HEARTBEAT_TIMEOUT``).
+    shard_timeout:
+        Optional hard wall-clock cap per shard attempt, regardless of
+        heartbeats (``$REPRO_SHARD_TIMEOUT``; unset means no cap).
+    max_retries:
+        How many times a failed shard is retried in a fresh worker before
+        falling back to in-process execution (``$REPRO_MAX_RETRIES``).
+    backoff_s:
+        Initial retry delay; doubles on each subsequent attempt.
+    failure_budget:
+        Total crash+hang events after which the pool is declared
+        unhealthy and all remaining shards run in-process.  ``None``
+        defaults to ``max(4, 2 * workers)``.
+    poll_s:
+        Supervisor wake-up interval.
+    """
+
+    heartbeat_interval: float = 0.2
+    heartbeat_timeout: float = 30.0
+    shard_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    failure_budget: Optional[int] = None
+    poll_s: float = 0.05
+
+    @classmethod
+    def from_env(cls) -> "SupervisionConfig":
+        def _float(name: str, default):
+            raw = os.environ.get(name, "").strip()
+            if not raw:
+                return default
+            try:
+                return float(raw)
+            except ValueError:
+                raise FaultModelError(f"{name} must be a number, got {raw!r}") from None
+
+        heartbeat_timeout = _float(HEARTBEAT_TIMEOUT_ENV, cls.heartbeat_timeout)
+        shard_timeout = _float(SHARD_TIMEOUT_ENV, None)
+        retries_raw = os.environ.get(MAX_RETRIES_ENV, "").strip()
+        if retries_raw:
+            try:
+                max_retries = int(retries_raw)
+            except ValueError:
+                raise FaultModelError(
+                    f"{MAX_RETRIES_ENV} must be an integer, got {retries_raw!r}"
+                ) from None
+        else:
+            max_retries = cls.max_retries
+        return cls(
+            heartbeat_timeout=heartbeat_timeout,
+            shard_timeout=shard_timeout,
+            max_retries=max_retries,
+        )
+
+    def effective_failure_budget(self, workers: int) -> int:
+        if self.failure_budget is not None:
+            return self.failure_budget
+        return max(4, 2 * workers)
+
+
+# ----------------------------------------------------------------------
 def _detect_shard(bounds: Tuple[int, int]):
     lo, hi = bounds
     shared = _SHARED
@@ -119,25 +227,327 @@ def _classify_shard(bounds: Tuple[int, int]):
     return lo, result.critical, result.accuracy_drop
 
 
-def _run_sharded(worker_fn, shared: dict, n_faults: int, workers: int,
-                 progress: Optional[ProgressFn]):
-    """Fork a pool with ``shared`` campaign state and yield merged shard
-    results, firing aggregated progress as shards complete."""
-    bounds = shard_bounds(n_faults, workers)
-    tracker = _ProgressTracker(progress, n_faults)
+def _shard_entry(worker_fn, bounds, attempt, heartbeat, interval, conn, out_path):
+    """Forked worker body: beat, compute, deliver via spool file + signal
+    byte.  Any exception is transported to the parent for re-raising."""
+    stop = threading.Event()
+
+    def beat():
+        while not stop.is_set():
+            heartbeat.value = time.monotonic()
+            stop.wait(interval)
+
+    threading.Thread(target=beat, daemon=True).start()
+    try:
+        action = chaos.strike("shard", key=bounds[0], attempt=attempt)
+        if action == "crash":
+            os._exit(13)
+        if action == "hang":
+            stop.set()  # go silent: the supervisor must notice on its own
+            time.sleep(chaos.hang_seconds())
+        if action == "raise":
+            raise ChaosError(f"chaos raise in shard {bounds[0]} attempt {attempt}")
+        status = ("ok", worker_fn(bounds))
+    except BaseException as exc:  # noqa: BLE001 - transported to the parent
+        try:
+            pickle.dumps(exc)
+            status = ("error", exc)
+        except Exception:
+            status = ("error", WorkerFailureError(f"{type(exc).__name__}: {exc}"))
+    finally:
+        stop.set()
+    tmp = f"{out_path}.tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(status, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, out_path)
+    try:
+        conn.send_bytes(b"K")  # single byte: atomic, can never tear
+    except OSError:
+        pass
+    conn.close()
+
+
+@dataclass
+class _ShardRun:
+    """One in-flight shard attempt."""
+
+    process: multiprocessing.Process
+    conn: object  # parent's receive Connection
+    heartbeat: object  # RawValue('d') the worker beats into
+    bounds: Tuple[int, int]
+    attempt: int
+    started: float
+    out_path: str
+
+
+def _launch(ctx, worker_fn, bounds, attempt, supervision, spool_dir) -> _ShardRun:
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    heartbeat = ctx.RawValue("d", time.monotonic())
+    out_path = os.path.join(spool_dir, f"shard{bounds[0]}-a{attempt}.pkl")
+    process = ctx.Process(
+        target=_shard_entry,
+        args=(worker_fn, bounds, attempt, heartbeat,
+              supervision.heartbeat_interval, send_conn, out_path),
+        daemon=True,
+    )
+    process.start()
+    send_conn.close()  # parent keeps only the receive end
+    return _ShardRun(
+        process=process,
+        conn=recv_conn,
+        heartbeat=heartbeat,
+        bounds=bounds,
+        attempt=attempt,
+        started=time.monotonic(),
+        out_path=out_path,
+    )
+
+
+def _reap(rec: _ShardRun, kill: bool = False):
+    """Collect a finished (or killed) shard attempt.
+
+    Returns the worker's ``("ok", payload)`` / ``("error", exc)`` status,
+    or ``None`` if the worker died before delivering one.
+    """
+    if kill and rec.process.is_alive():
+        rec.process.terminate()
+    rec.process.join(timeout=5.0)
+    if rec.process.is_alive():
+        rec.process.kill()
+        rec.process.join(timeout=5.0)
+    try:
+        rec.conn.close()
+    except OSError:
+        pass
+    status = None
+    if not kill and os.path.exists(rec.out_path):
+        try:
+            with open(rec.out_path, "rb") as fh:
+                status = pickle.load(fh)
+        except Exception:
+            status = None  # unreadable delivery == crash; the shard retries
+    try:
+        if os.path.exists(rec.out_path):
+            os.unlink(rec.out_path)
+    except OSError:
+        pass
+    return status
+
+
+def _supervised_run(
+    worker_fn,
+    pending: Sequence[Tuple[int, int]],
+    workers: int,
+    supervision: SupervisionConfig,
+    health: CampaignHealth,
+    spool_dir: str,
+) -> Iterator[Tuple[Tuple[int, int], tuple]]:
+    """Run ``pending`` shards under supervision, yielding
+    ``(bounds, payload)`` as each completes (any order).
+
+    Crashed and hung workers are retried with backoff; shards whose
+    retries are exhausted — or every remaining shard, once the failure
+    budget is blown — run serially in the parent.  A worker-reported
+    exception (deterministic library error) is re-raised immediately.
+    """
+    ctx = multiprocessing.get_context("fork")
+    ticket = itertools.count()
+    queue: List[tuple] = [(0.0, next(ticket), b, 0) for b in pending]
+    heapq.heapify(queue)
+    running: dict = {}  # conn -> _ShardRun
+    fallback: List[Tuple[int, int]] = []
+    failures = 0
+    degraded = False
+    budget = supervision.effective_failure_budget(workers)
+
+    def on_failure(rec: _ShardRun, kind: str) -> None:
+        nonlocal failures, degraded
+        failures += 1
+        if kind == "crash":
+            health.crashes += 1
+        else:
+            health.hangs += 1
+        health.events.append(
+            f"shard {rec.bounds[0]}:{rec.bounds[1]} attempt {rec.attempt} {kind}"
+        )
+        if failures >= budget and not degraded:
+            degraded = True
+            health.degraded = True
+            health.events.append(
+                f"pool unhealthy after {failures} failures; "
+                "running remaining shards in-process"
+            )
+            while queue:
+                _, _, bounds, _ = heapq.heappop(queue)
+                fallback.append(bounds)
+                health.fallback_shards += 1
+        next_attempt = rec.attempt + 1
+        if degraded or next_attempt > supervision.max_retries:
+            fallback.append(rec.bounds)
+            health.fallback_shards += 1
+            health.events.append(
+                f"shard {rec.bounds[0]}:{rec.bounds[1]} "
+                "falling back to in-process execution"
+            )
+        else:
+            health.retries += 1
+            delay = supervision.backoff_s * (2 ** rec.attempt)
+            heapq.heappush(
+                queue, (time.monotonic() + delay, next(ticket), rec.bounds, next_attempt)
+            )
+
+    def handle_status(rec: _ShardRun, status):
+        if status is None:
+            on_failure(rec, "crash")
+            return None
+        if status[0] == "ok":
+            return status[1]
+        exc = status[1]
+        if isinstance(exc, BaseException):
+            raise exc
+        raise WorkerFailureError(str(exc))
+
+    try:
+        while queue or running:
+            now = time.monotonic()
+            while (
+                queue
+                and not degraded
+                and len(running) < workers
+                and queue[0][0] <= now
+            ):
+                _, _, bounds, attempt = heapq.heappop(queue)
+                rec = _launch(ctx, worker_fn, bounds, attempt, supervision, spool_dir)
+                running[rec.conn] = rec
+            if not running:
+                if queue:  # backoff delay before the next retry is due
+                    time.sleep(max(0.0, min(supervision.poll_s, queue[0][0] - now)))
+                continue
+            ready = mp_connection.wait(list(running), timeout=supervision.poll_s)
+            for conn in ready:
+                rec = running.pop(conn)
+                payload = handle_status(rec, _reap(rec))
+                if payload is not None:
+                    yield rec.bounds, payload
+            now = time.monotonic()
+            for conn, rec in list(running.items()):
+                beat_age = now - rec.heartbeat.value
+                shard_age = now - rec.started
+                if beat_age > supervision.heartbeat_timeout or (
+                    supervision.shard_timeout is not None
+                    and shard_age > supervision.shard_timeout
+                ):
+                    running.pop(conn)
+                    _reap(rec, kill=True)
+                    on_failure(rec, "hang")
+                elif not rec.process.is_alive() and not conn.poll():
+                    # Died without signalling; the spool file may still
+                    # hold a completed delivery (killed between replace
+                    # and signal), which _reap picks up.
+                    running.pop(conn)
+                    payload = handle_status(rec, _reap(rec))
+                    if payload is not None:
+                        yield rec.bounds, payload
+    finally:
+        for rec in running.values():
+            _reap(rec, kill=True)
+    for bounds in fallback:
+        yield bounds, worker_fn(bounds)
+
+
+# ----------------------------------------------------------------------
+def _run_sharded(
+    worker_fn,
+    shared: dict,
+    bounds: Sequence[Tuple[int, int]],
+    workers: int,
+    tracker: _ProgressTracker,
+    *,
+    use_pool: bool,
+    supervision: SupervisionConfig,
+    health: CampaignHealth,
+    checkpoint=None,
+    checkpoint_path: Optional[str] = None,
+):
+    """Yield merged shard payloads: checkpointed shards first, then live
+    execution (supervised pool or in-process), persisting each completed
+    shard when a checkpoint is attached.
+
+    ``_SHARED`` is populated for the workers (and the in-process fallback)
+    and is *always* cleared on the way out — including when a worker
+    raises — so campaign state never outlives the campaign in the parent.
+    """
     _SHARED.clear()
     _SHARED.update(shared)
+    spool_dir = None
     try:
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=workers) as pool:
-            for payload in pool.imap_unordered(worker_fn, bounds):
-                lo = payload[0]
-                hi = lo + payload[1].shape[0]
+        pending = list(bounds)
+        if checkpoint is not None and checkpoint.shards:
+            health.resumed_shards = len(checkpoint.shards)
+            health.events.append(
+                f"resumed {len(checkpoint.shards)} completed shards from checkpoint"
+            )
+            for lo in sorted(checkpoint.shards):
+                payload = (lo,) + tuple(checkpoint.shards[lo])
                 yield payload
-                tracker.tick(hi - lo)
+            pending = checkpoint.pending()
+            done = {lo for lo in checkpoint.shards}
+            for lo, hi in bounds:
+                if lo in done:
+                    tracker.tick(hi - lo)
+
+        def complete(shard_bounds_, payload):
+            lo, hi = shard_bounds_
+            if checkpoint is not None:
+                checkpoint.add(lo, payload[1:])
+                checkpoint.save(checkpoint_path)
+            tracker.tick(hi - lo)
+            return payload
+
+        if use_pool and pending:
+            spool_dir = tempfile.mkdtemp(prefix="repro-shards-")
+            for shard, payload in _supervised_run(
+                worker_fn, pending, workers, supervision, health, spool_dir
+            ):
+                yield complete(shard, payload)
+        else:
+            for shard in pending:
+                if chaos.strike("shard", key=shard[0], attempt=0) == "raise":
+                    raise ChaosError(f"chaos raise in in-process shard {shard[0]}")
+                yield complete(shard, worker_fn(shard))
     finally:
         _SHARED.clear()
+        if spool_dir is not None:
+            shutil.rmtree(spool_dir, ignore_errors=True)
     tracker.finish()
+
+
+def _prepare_checkpoint(
+    kind: str,
+    checkpoint_path: Optional[str],
+    resume: bool,
+    simulator: FaultSimulator,
+    faults: Sequence[Fault],
+    data: Sequence[np.ndarray],
+    bounds: List[Tuple[int, int]],
+):
+    """Load-or-create the campaign checkpoint; returns (checkpoint, bounds)
+    where ``bounds`` may be adopted from the checkpoint on resume."""
+    if checkpoint_path is None:
+        return None, bounds
+    from repro.core.checkpoint import CampaignCheckpoint, campaign_fingerprint
+
+    fingerprint = campaign_fingerprint(simulator.network, faults, *data)
+    if resume and os.path.exists(checkpoint_path):
+        checkpoint = CampaignCheckpoint.load(checkpoint_path)
+        checkpoint.validate(kind, fingerprint, checkpoint_path)
+        return checkpoint, checkpoint.bounds
+    return (
+        CampaignCheckpoint(
+            kind=kind, fingerprint=fingerprint, n_faults=bounds[-1][1], bounds=bounds
+        ),
+        bounds,
+    )
 
 
 def parallel_detect(
@@ -146,21 +556,34 @@ def parallel_detect(
     faults: Sequence[Fault],
     workers: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    *,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    supervision: Optional[SupervisionConfig] = None,
 ) -> DetectionResult:
-    """:meth:`FaultSimulator.detect` sharded across ``workers`` processes.
+    """:meth:`FaultSimulator.detect` sharded across supervised processes.
 
     Results are merged in fault order and are exactly equal to the serial
-    campaign.  Falls back to the in-process simulator when the effective
-    worker count is 1 or fork is unavailable.
+    campaign — under worker crashes, hangs, retries, fallback, and
+    checkpoint resume alike.  Falls back to the in-process simulator when
+    the effective worker count is 1 or fork is unavailable (still sharded
+    and durable when ``checkpoint_path`` is set).
     """
     workers = resolve_workers(workers)
-    if workers <= 1 or not fork_available() or len(faults) == 0:
+    use_pool = workers > 1 and fork_available()
+    if len(faults) == 0 or (not use_pool and checkpoint_path is None):
         return simulator.detect(stimulus, faults, progress=progress)
+    supervision = supervision or SupervisionConfig.from_env()
+    health = CampaignHealth(workers=workers if use_pool else 1)
     start = time.perf_counter()
     golden_modules = simulator.network.run_modules(stimulus)
     classes = golden_modules[-1].reshape(stimulus.shape[0], -1).shape[1]
 
     n_faults = len(faults)
+    bounds = shard_bounds(n_faults, workers)
+    checkpoint, bounds = _prepare_checkpoint(
+        "detect", checkpoint_path, resume, simulator, faults, (stimulus,), bounds
+    )
     detected = np.zeros(n_faults, dtype=bool)
     output_l1 = np.zeros(n_faults)
     class_diff = np.zeros((n_faults, classes))
@@ -170,8 +593,11 @@ def parallel_detect(
         faults=list(faults),
         golden_modules=golden_modules,
     )
+    tracker = _ProgressTracker(progress, n_faults)
     for lo, shard_detected, shard_l1, shard_diff in _run_sharded(
-        _detect_shard, shared, n_faults, workers, progress
+        _detect_shard, shared, bounds, workers, tracker,
+        use_pool=use_pool, supervision=supervision, health=health,
+        checkpoint=checkpoint, checkpoint_path=checkpoint_path,
     ):
         hi = lo + shard_detected.shape[0]
         detected[lo:hi] = shard_detected
@@ -183,6 +609,7 @@ def parallel_detect(
         output_l1=output_l1,
         class_count_diff=class_diff,
         wall_time=time.perf_counter() - start,
+        health=health,
     )
 
 
@@ -194,17 +621,24 @@ def parallel_classify(
     workers: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
     chunk_size: Optional[int] = None,
+    *,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    supervision: Optional[SupervisionConfig] = None,
 ) -> ClassificationResult:
-    """:meth:`FaultSimulator.classify` sharded across ``workers`` processes.
+    """:meth:`FaultSimulator.classify` sharded across supervised processes.
 
-    Early-exit (``chunk_size``) semantics are per fault, so sharding does
-    not change any label or NaN-drop marker.
+    Early-exit (``chunk_size``) semantics are per fault, so sharding,
+    retries, and resume do not change any label or NaN-drop marker.
     """
     workers = resolve_workers(workers)
-    if workers <= 1 or not fork_available() or len(faults) == 0:
+    use_pool = workers > 1 and fork_available()
+    if len(faults) == 0 or (not use_pool and checkpoint_path is None):
         return simulator.classify(
             inputs, labels, faults, progress=progress, chunk_size=chunk_size
         )
+    supervision = supervision or SupervisionConfig.from_env()
+    health = CampaignHealth(workers=workers if use_pool else 1)
     start = time.perf_counter()
     labels = np.asarray(labels)
     golden_modules = simulator.network.run_modules(inputs)
@@ -214,6 +648,10 @@ def parallel_classify(
     nominal_accuracy = float((golden_counts.argmax(axis=1) == labels).mean())
 
     n_faults = len(faults)
+    bounds = shard_bounds(n_faults, workers)
+    checkpoint, bounds = _prepare_checkpoint(
+        "classify", checkpoint_path, resume, simulator, faults, (inputs, labels), bounds
+    )
     critical = np.zeros(n_faults, dtype=bool)
     accuracy_drop = np.zeros(n_faults)
     shared = dict(
@@ -224,8 +662,11 @@ def parallel_classify(
         chunk_size=chunk_size,
         golden_modules=golden_modules,
     )
+    tracker = _ProgressTracker(progress, n_faults)
     for lo, shard_critical, shard_drop in _run_sharded(
-        _classify_shard, shared, n_faults, workers, progress
+        _classify_shard, shared, bounds, workers, tracker,
+        use_pool=use_pool, supervision=supervision, health=health,
+        checkpoint=checkpoint, checkpoint_path=checkpoint_path,
     ):
         hi = lo + shard_critical.shape[0]
         critical[lo:hi] = shard_critical
@@ -236,15 +677,17 @@ def parallel_classify(
         accuracy_drop=accuracy_drop,
         nominal_accuracy=nominal_accuracy,
         wall_time=time.perf_counter() - start,
+        health=health,
     )
 
 
 class ParallelFaultSimulator:
     """Drop-in :class:`FaultSimulator` facade that shards campaigns across
-    processes.
+    supervised processes.
 
     ``workers=None`` defers to ``$REPRO_WORKERS`` (default 1, i.e. serial).
-    All other keyword arguments are forwarded to :class:`FaultSimulator`.
+    ``supervision=None`` defers to the environment-derived defaults.  All
+    other keyword arguments are forwarded to :class:`FaultSimulator`.
     """
 
     def __init__(
@@ -252,10 +695,12 @@ class ParallelFaultSimulator:
         network,
         config=None,
         workers: Optional[int] = None,
+        supervision: Optional[SupervisionConfig] = None,
         **simulator_kwargs,
     ) -> None:
         self.simulator = FaultSimulator(network, config, **simulator_kwargs)
         self.workers = resolve_workers(workers)
+        self.supervision = supervision
 
     @property
     def network(self):
@@ -270,9 +715,13 @@ class ParallelFaultSimulator:
         stimulus: np.ndarray,
         faults: Sequence[Fault],
         progress: Optional[ProgressFn] = None,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
     ) -> DetectionResult:
         return parallel_detect(
-            self.simulator, stimulus, faults, workers=self.workers, progress=progress
+            self.simulator, stimulus, faults, workers=self.workers,
+            progress=progress, checkpoint_path=checkpoint_path, resume=resume,
+            supervision=self.supervision,
         )
 
     def classify(
@@ -282,6 +731,8 @@ class ParallelFaultSimulator:
         faults: Sequence[Fault],
         progress: Optional[ProgressFn] = None,
         chunk_size: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
     ) -> ClassificationResult:
         return parallel_classify(
             self.simulator,
@@ -291,6 +742,9 @@ class ParallelFaultSimulator:
             workers=self.workers,
             progress=progress,
             chunk_size=chunk_size,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            supervision=self.supervision,
         )
 
     coverage = staticmethod(FaultSimulator.coverage)

@@ -51,6 +51,50 @@ ProgressFn = Callable[[int, int], None]
 
 
 @dataclass
+class CampaignHealth:
+    """What the worker supervisor had to do to finish a campaign.
+
+    Attached to campaign results by :mod:`repro.faults.parallel` so
+    callers can report worker crashes, hangs, retries, and fallbacks
+    (serial in-process campaigns leave ``health`` as ``None``).  None of
+    these events ever change the result arrays — every shard is pure, so
+    a retried or fallback shard produces the same bytes — which the chaos
+    suite (``tests/chaos/``) pins.
+    """
+
+    workers: int = 1
+    crashes: int = 0  # worker processes that died mid-shard
+    hangs: int = 0  # workers killed for missing heartbeats / shard timeout
+    retries: int = 0  # shard re-executions in a fresh worker
+    fallback_shards: int = 0  # shards that ran serially in the parent
+    resumed_shards: int = 0  # shards restored from a campaign checkpoint
+    degraded: bool = False  # pool declared unhealthy; remainder ran serially
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.crashes == 0 and self.hangs == 0 and not self.degraded
+
+    def summary(self) -> str:
+        if self.clean and self.resumed_shards == 0:
+            return f"healthy ({self.workers} workers)"
+        parts = [f"{self.workers} workers"]
+        if self.crashes:
+            parts.append(f"{self.crashes} crashes")
+        if self.hangs:
+            parts.append(f"{self.hangs} hangs")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.fallback_shards:
+            parts.append(f"{self.fallback_shards} in-process fallbacks")
+        if self.resumed_shards:
+            parts.append(f"{self.resumed_shards} shards resumed from checkpoint")
+        if self.degraded:
+            parts.append("pool degraded to serial")
+        return ", ".join(parts)
+
+
+@dataclass
 class DetectionResult:
     """Outcome of applying one test stimulus against a fault list.
 
@@ -62,6 +106,7 @@ class DetectionResult:
     output_l1: np.ndarray  # float (N_f,): ||O_L - O_L(f)||_1 over time and classes
     class_count_diff: np.ndarray  # float (N_f, classes): |spike-count delta| per class
     wall_time: float
+    health: Optional[CampaignHealth] = None
 
     @property
     def detected_count(self) -> int:
@@ -80,6 +125,7 @@ class ClassificationResult:
     accuracy_drop: np.ndarray  # float (N_f,): nominal minus faulty accuracy
     nominal_accuracy: float
     wall_time: float
+    health: Optional[CampaignHealth] = None
 
     @property
     def critical_count(self) -> int:

@@ -1,0 +1,69 @@
+"""Shared fixtures for the chaos suite: a small campaign whose serial
+result is the reference every failure scenario must reproduce exactly."""
+
+import numpy as np
+import pytest
+
+from repro.faults.catalog import build_catalog
+from repro.faults.model import FaultModelConfig
+from repro.faults.parallel import SupervisionConfig
+from repro.faults.simulator import FaultSimulator
+from repro.snn.builder import DenseSpec, NetworkSpec, build_network
+from repro.snn.neuron import LIFParameters
+
+
+@pytest.fixture(scope="session")
+def chaos_campaign():
+    """Network, mixed fault list, stimulus/inputs/labels, and the serial
+    reference results the chaos scenarios are compared against."""
+    spec = NetworkSpec(
+        name="chaos",
+        input_shape=(12,),
+        layers=(DenseSpec(out_features=10), DenseSpec(out_features=4)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    net = build_network(spec, np.random.default_rng(0))
+    config = FaultModelConfig()
+    catalog = build_catalog(net, config)
+    faults = (catalog.neuron_faults[::3] + catalog.synapse_faults[::7])[:60]
+    rng = np.random.default_rng(1)
+    stimulus = (rng.random((8, 1, 12)) > 0.6).astype(float)
+    inputs = (rng.random((8, 4, 12)) > 0.6).astype(float)
+    labels = rng.integers(0, 4, size=4)
+    simulator = FaultSimulator(net, config)
+    return {
+        "network": net,
+        "config": config,
+        "simulator": simulator,
+        "faults": faults,
+        "stimulus": stimulus,
+        "inputs": inputs,
+        "labels": labels,
+        "detect": simulator.detect(stimulus, faults),
+        "classify": simulator.classify(inputs, labels, faults),
+    }
+
+
+@pytest.fixture()
+def tight_supervision():
+    """Supervision tuned for tests: fast heartbeats, quick hang detection,
+    near-zero backoff, so failure scenarios complete in seconds."""
+    return SupervisionConfig(
+        heartbeat_interval=0.05,
+        heartbeat_timeout=1.0,
+        max_retries=2,
+        backoff_s=0.01,
+        poll_s=0.02,
+    )
+
+
+def assert_detect_equal(reference, result):
+    assert np.array_equal(reference.detected, result.detected)
+    assert np.array_equal(reference.output_l1, result.output_l1)
+    assert np.array_equal(reference.class_count_diff, result.class_count_diff)
+
+
+def assert_classify_equal(reference, result):
+    assert np.array_equal(reference.critical, result.critical)
+    assert np.array_equal(reference.accuracy_drop, result.accuracy_drop)
+    assert reference.nominal_accuracy == result.nominal_accuracy

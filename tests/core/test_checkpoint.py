@@ -1,0 +1,365 @@
+"""Checkpoint container and generation-resume guarantees.
+
+Three layers of pinning:
+
+1. The binary container: deterministic bytes (save -> load -> save is
+   byte-identical), and *every* corruption — truncation, bit flips, bad
+   magic, garbage — raises a typed :class:`~repro.errors.CheckpointError`
+   (property-tested with Hypothesis).
+2. :class:`GeneratorCheckpoint` round-trips the full generator state.
+3. End to end: a generation interrupted after iteration *k* and resumed
+   produces stimuli, losses, and activation coverage *bit-identical* to an
+   uninterrupted run — on the fused float64, fused float32, and legacy
+   elementary paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import (
+    GeneratorCheckpoint,
+    MAGIC,
+    deserialize_checkpoint,
+    generator_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+    serialize_checkpoint,
+)
+from repro.core.config import TestGenConfig
+from repro.core.generator import TestGenerator
+from repro.errors import ChaosError, CheckpointError, ConfigurationError
+from repro.utils import chaos
+
+
+class TestContainer:
+    def test_round_trip(self, tmp_path):
+        arrays = {
+            "a": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "b": np.array([True, False, True]),
+            "empty": np.zeros((0, 5), dtype=np.int32),
+        }
+        meta = {"kind": "generator", "nested": {"x": 1, "y": [1.5, 2.5]}}
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(str(path), arrays, meta)
+        loaded_arrays, loaded_meta = load_checkpoint(str(path))
+        assert set(loaded_arrays) == set(arrays)
+        for name in arrays:
+            assert loaded_arrays[name].dtype == arrays[name].dtype
+            assert np.array_equal(loaded_arrays[name], arrays[name])
+        assert loaded_meta == meta
+
+    def test_serialization_is_deterministic(self):
+        arrays = {"z": np.ones(3), "a": np.zeros((2, 2))}
+        meta = {"b": 1, "a": 2}
+        first = serialize_checkpoint(arrays, meta)
+        # Same contents with different dict insertion order.
+        second = serialize_checkpoint(
+            {"a": np.zeros((2, 2)), "z": np.ones(3)}, {"a": 2, "b": 1}
+        )
+        assert first == second
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "nope.ckpt"))
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(CheckpointError):
+            deserialize_checkpoint(b"NOT-A-CKPT" + b"\x00" * 64)
+
+    def test_numpy_scalars_in_meta(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        meta = {"i": np.int64(7), "f": np.float64(0.5), "b": np.bool_(True)}
+        save_checkpoint(str(path), {}, meta)
+        _, loaded = load_checkpoint(str(path))
+        assert loaded == {"i": 7, "f": 0.5, "b": True}
+
+
+_meta_values = st.one_of(
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.booleans(),
+)
+_arrays = st.dictionaries(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=8
+    ),
+    st.builds(
+        lambda shape, seed: np.random.default_rng(seed).random(shape),
+        shape=st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        seed=st.integers(0, 2**31 - 1),
+    ),
+    max_size=4,
+)
+_metas = st.dictionaries(st.text(max_size=10), _meta_values, max_size=4)
+
+
+class TestContainerProperties:
+    @given(arrays=_arrays, meta=_metas)
+    @settings(max_examples=40, deadline=None)
+    def test_save_load_save_identical_bytes(self, arrays, meta):
+        payload = serialize_checkpoint(arrays, meta)
+        loaded_arrays, loaded_meta = deserialize_checkpoint(payload)
+        assert serialize_checkpoint(loaded_arrays, loaded_meta) == payload
+
+    @given(
+        arrays=_arrays,
+        meta=_metas,
+        cut=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_always_raises(self, arrays, meta, cut):
+        payload = serialize_checkpoint(arrays, meta)
+        truncated = payload[: max(0, len(payload) - 1 - cut)]
+        with pytest.raises(CheckpointError):
+            deserialize_checkpoint(truncated)
+
+    @given(
+        arrays=_arrays,
+        meta=_metas,
+        position=st.integers(min_value=0, max_value=10**6),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bit_flip_always_raises(self, arrays, meta, position, flip):
+        payload = bytearray(serialize_checkpoint(arrays, meta))
+        payload[position % len(payload)] ^= flip
+        with pytest.raises(CheckpointError):
+            deserialize_checkpoint(bytes(payload))
+
+    @given(garbage=st.binary(max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_garbage_never_parses(self, garbage):
+        # Exclude the astronomically-unlikely case of valid container bytes.
+        if garbage.startswith(MAGIC):
+            garbage = b"X" + garbage
+        with pytest.raises(CheckpointError):
+            deserialize_checkpoint(garbage)
+
+
+class TestGeneratorCheckpointRoundTrip:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        checkpoint = GeneratorCheckpoint(
+            fingerprint="f" * 64,
+            t_in_min=6,
+            elapsed_s=12.5,
+            rng_state=rng.bit_generator.state,
+            chunks=[(rng.random((6, 1, 4)) > 0.5).astype(np.float64) for _ in range(2)],
+            activated=[np.array([True, False, True]), np.zeros(5, dtype=bool)],
+            reports=[
+                {
+                    "index": 0,
+                    "duration": 6,
+                    "stage1_loss": 1.25,
+                    "stage2_loss": float("nan"),
+                    "stage2_adopted": False,
+                    "new_activations": 3,
+                    "activated_total": 3,
+                    "growths": 0,
+                    "stage1_s": 0.0,
+                    "stage2_s": 0.0,
+                    "bookkeeping_s": 0.0,
+                }
+            ],
+        )
+        path = tmp_path / "g.ckpt"
+        checkpoint.save(str(path))
+        loaded = GeneratorCheckpoint.load(str(path))
+        assert loaded.fingerprint == checkpoint.fingerprint
+        assert loaded.t_in_min == checkpoint.t_in_min
+        assert loaded.elapsed_s == checkpoint.elapsed_s
+        assert loaded.rng_state == checkpoint.rng_state
+        assert loaded.iterations_done == 1
+        for a, b in zip(loaded.chunks, checkpoint.chunks):
+            assert a.dtype == b.dtype and np.array_equal(a, b)
+        for a, b in zip(loaded.activated, checkpoint.activated):
+            assert a.dtype == np.bool_ and np.array_equal(a, b)
+        assert np.isnan(loaded.reports[0]["stage2_loss"])
+        assert loaded.reports[0]["new_activations"] == 3
+
+    def test_rng_state_restores_stream(self, tmp_path):
+        rng = np.random.default_rng(11)
+        rng.random(17)  # advance
+        checkpoint = GeneratorCheckpoint(
+            fingerprint="f" * 64,
+            t_in_min=4,
+            elapsed_s=0.0,
+            rng_state=rng.bit_generator.state,
+        )
+        expected = rng.random(8)
+        path = tmp_path / "g.ckpt"
+        checkpoint.save(str(path))
+        fresh = np.random.default_rng(0)
+        fresh.bit_generator.state = GeneratorCheckpoint.load(str(path)).rng_state
+        assert np.array_equal(fresh.random(8), expected)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(str(path), {}, {"kind": "detect"})
+        with pytest.raises(CheckpointError):
+            GeneratorCheckpoint.load(str(path))
+
+
+def _quick_config(**overrides):
+    base = dict(
+        t_in_min=6,
+        steps_stage1=12,
+        steps_stage2=6,
+        max_iterations=3,
+        stall_iterations=2,
+        time_limit_s=600.0,
+    )
+    base.update(overrides)
+    return TestGenConfig(**base)
+
+
+def _assert_generation_equal(reference, result):
+    assert len(result.stimulus.chunks) == len(reference.stimulus.chunks)
+    for a, b in zip(result.stimulus.chunks, reference.stimulus.chunks):
+        assert a.dtype == b.dtype
+        assert np.array_equal(a, b)
+    assert result.t_in_min == reference.t_in_min
+    assert len(result.iterations) == len(reference.iterations)
+    for got, want in zip(result.iterations, reference.iterations):
+        assert got.duration == want.duration
+        assert got.new_activations == want.new_activations
+        assert got.activated_total == want.activated_total
+        assert got.stage2_adopted == want.stage2_adopted
+        assert got.stage1_loss == want.stage1_loss
+        assert got.stage2_loss == want.stage2_loss or (
+            np.isnan(got.stage2_loss) and np.isnan(want.stage2_loss)
+        )
+    assert result.activated_fraction == reference.activated_fraction
+    for a, b in zip(result.activated_per_layer, reference.activated_per_layer):
+        assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize(
+    "path_config",
+    [
+        pytest.param({"fused_bptt": True, "dtype": "float64"}, id="fused-f64"),
+        pytest.param({"fused_bptt": True, "dtype": "float32"}, id="fused-f32"),
+        pytest.param({"fused_bptt": False, "dtype": "float64"}, id="legacy-f64"),
+    ],
+)
+class TestGenerationResume:
+    def test_interrupt_resume_bit_identical(
+        self, tiny_network, tmp_path, path_config
+    ):
+        """Kill generation right after the iteration-1 checkpoint, resume,
+        and require the final output bit-identical to an uninterrupted
+        run — chunks, losses, activation coverage, reports."""
+        config = _quick_config(**path_config)
+
+        def run(**kwargs):
+            return TestGenerator(
+                tiny_network, config, rng=np.random.default_rng(7), **kwargs
+            ).generate()
+
+        reference = run()
+        assert len(reference.stimulus.chunks) >= 2  # interrupt mid-run below
+
+        path = tmp_path / "generation.ckpt"
+        with chaos.installed(chaos.ChaosPolicy.parse("raise@generator-iteration:1")):
+            with pytest.raises(ChaosError):
+                run(checkpoint_path=str(path))
+        assert path.exists()
+        resumed = run(checkpoint_path=str(path), resume=True)
+        _assert_generation_equal(reference, resumed)
+        # Budget accounting carried over from the interrupted run.
+        assert resumed.runtime_s > 0
+
+    def test_uninterrupted_checkpointed_run_identical(
+        self, tiny_network, tmp_path, path_config
+    ):
+        """Checkpointing itself must not perturb generation."""
+        config = _quick_config(**path_config)
+        reference = TestGenerator(
+            tiny_network, config, rng=np.random.default_rng(7)
+        ).generate()
+        checkpointed = TestGenerator(
+            tiny_network,
+            config,
+            rng=np.random.default_rng(7),
+            checkpoint_path=str(tmp_path / "generation.ckpt"),
+        ).generate()
+        _assert_generation_equal(reference, checkpointed)
+
+
+class TestGenerationResumeGuards:
+    def test_resume_refuses_different_config(self, tiny_network, tmp_path):
+        path = tmp_path / "generation.ckpt"
+        TestGenerator(
+            tiny_network,
+            _quick_config(max_iterations=1),
+            rng=np.random.default_rng(7),
+            checkpoint_path=str(path),
+        ).generate()
+        with pytest.raises(CheckpointError):
+            TestGenerator(
+                tiny_network,
+                _quick_config(max_iterations=1, steps_stage1=13),
+                rng=np.random.default_rng(7),
+                checkpoint_path=str(path),
+                resume=True,
+            ).generate()
+
+    def test_resume_of_finished_run_returns_same_result(
+        self, tiny_network, tmp_path
+    ):
+        path = tmp_path / "generation.ckpt"
+        config = _quick_config()
+        reference = TestGenerator(
+            tiny_network, config, rng=np.random.default_rng(7),
+            checkpoint_path=str(path),
+        ).generate()
+        resumed = TestGenerator(
+            tiny_network, config, rng=np.random.default_rng(7),
+            checkpoint_path=str(path), resume=True,
+        ).generate()
+        _assert_generation_equal(reference, resumed)
+
+    def test_resume_without_checkpoint_starts_fresh(self, tiny_network, tmp_path):
+        config = _quick_config(max_iterations=1)
+        result = TestGenerator(
+            tiny_network,
+            config,
+            rng=np.random.default_rng(7),
+            checkpoint_path=str(tmp_path / "missing.ckpt"),
+            resume=True,
+        ).generate()
+        assert result.num_chunks == 1
+
+    def test_checkpoint_every_validation(self):
+        with pytest.raises(ConfigurationError):
+            TestGenConfig(checkpoint_every=0)
+
+    def test_sparser_checkpoints_still_resume_exactly(
+        self, tiny_network, tmp_path
+    ):
+        """checkpoint_every=2 checkpoints at iterations 2, 4, ... — a kill
+        between checkpoints re-runs the missing iterations exactly."""
+        config = _quick_config(checkpoint_every=2)
+        reference = TestGenerator(
+            tiny_network, config, rng=np.random.default_rng(7)
+        ).generate()
+        path = tmp_path / "generation.ckpt"
+        with chaos.installed(chaos.ChaosPolicy.parse("raise@generator-iteration:2")):
+            with pytest.raises(ChaosError):
+                TestGenerator(
+                    tiny_network,
+                    config,
+                    rng=np.random.default_rng(7),
+                    checkpoint_path=str(path),
+                ).generate()
+        resumed = TestGenerator(
+            tiny_network,
+            config,
+            rng=np.random.default_rng(7),
+            checkpoint_path=str(path),
+            resume=True,
+        ).generate()
+        _assert_generation_equal(reference, resumed)

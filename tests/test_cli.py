@@ -76,6 +76,52 @@ class TestCLI:
         assert "Table I" in out
         assert (results / "table1_cli.txt").exists()
 
+    def test_resume_flag_matches_fresh_run(self, capsys, results, tmp_path):
+        """`--resume` on a fresh cache generates normally; re-running it
+        resumes from the finished run's artifacts and prints the same
+        summary (uses its own results dir so nothing is pre-cached)."""
+        own = tmp_path / "resume-results"
+        code, first = _run(capsys, "generate", "shd", "--scale", "tiny",
+                           "--results", str(own), "--resume")
+        assert code == 0
+        assert "chunks" in first
+        code, second = _run(capsys, "generate", "shd", "--scale", "tiny",
+                            "--results", str(own), "--resume")
+        assert code == 0
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+    def test_resume_continues_interrupted_generation(self, capsys, results):
+        """Interrupt the cached pipeline's generation stage via chaos,
+        then `--resume` must pick up the progress checkpoint and produce
+        the identical artifact path contents as the earlier full run."""
+        from repro.errors import ChaosError
+        from repro.utils import chaos
+
+        own_results = results  # train/faultsim cache shared with the suite
+        cache = own_results / "cache" / "shd-tiny-seed0"
+        stim = cache / "stimulus.npz"
+        meta = cache / "generation.json"
+        acts = cache / "activated.npz"
+        reference = dict(np.load(stim)) if stim.exists() else None
+        # Drop the finished artifacts so generation re-runs from scratch.
+        for artifact in (stim, meta, acts):
+            if artifact.exists():
+                artifact.unlink()
+        with chaos.installed(chaos.ChaosPolicy.parse("raise@generator-iteration:1")):
+            with pytest.raises(ChaosError):
+                _run(capsys, "generate", "shd", "--scale", "tiny",
+                     "--results", str(own_results))
+        assert (cache / "generation.progress.ckpt").exists()
+        code, out = _run(capsys, "generate", "shd", "--scale", "tiny",
+                         "--results", str(own_results), "--resume")
+        assert code == 0
+        assert not (cache / "generation.progress.ckpt").exists()
+        if reference is not None:
+            with np.load(stim) as resumed:
+                assert set(resumed.files) == set(reference)
+                for name in reference:
+                    assert np.array_equal(resumed[name], reference[name])
+
     def test_pack_artifact_checks_clean_device(self, capsys, results, tmp_path):
         from repro.core.storage import StoredTest
         from repro.experiments import ExperimentPipeline, get_benchmark
