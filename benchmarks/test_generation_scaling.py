@@ -53,9 +53,11 @@ def _setup():
     return definition, network
 
 
-def _stage1(network, fused, steps=STEPS, duration=DURATION, seed=3):
+def _stage1(network, fused, steps=STEPS, duration=DURATION, seed=3, guard="off"):
     """One stage-1-style optimisation run; returns (steps/sec, result)."""
-    config = TestGenConfig(t_in_min=duration, steps_stage1=steps, fused_bptt=fused)
+    config = TestGenConfig(
+        t_in_min=duration, steps_stage1=steps, fused_bptt=fused, guard_policy=guard
+    )
     rng = np.random.default_rng(seed)
     param = InputParameterization(network.input_shape, duration, rng)
     td_min = config.effective_td_min(duration)
@@ -74,7 +76,9 @@ def _stage1(network, fused, steps=STEPS, duration=DURATION, seed=3):
 
 def _stage2(network, fused, steps=STEPS, duration=DURATION, seed=3):
     """One stage-2-style optimisation run (minimise spikes, hold output)."""
-    config = TestGenConfig(t_in_min=duration, steps_stage1=steps, fused_bptt=fused)
+    config = TestGenConfig(
+        t_in_min=duration, steps_stage1=steps, fused_bptt=fused, guard_policy="off"
+    )
     rng = np.random.default_rng(seed)
     param = InputParameterization(network.input_shape, duration, rng)
     target = np.zeros((duration, 1, network.num_classes))
@@ -151,3 +155,49 @@ def test_generation_scaling(benchmark, results_dir):
         # Acceptance bar: fused kernels beat the per-timestep tape by >= 3x
         # across the two stages combined.
         assert payload["aggregate_speedup"] >= 3.0, payload
+
+
+def test_guard_overhead(benchmark, results_dir):
+    """The numerics guard's per-step checks (finite loss/grad/logits via
+    the sum trick) must stay within 5% of the unguarded fused float64
+    steps/s — the watchdog is cheap enough to leave on by default."""
+    _, network = _setup()
+    _stage1(network, fused=True, steps=2)  # warm caches
+
+    repeats = 1 if QUICK else 3
+    best = {}
+    for policy in ("off", "recover"):
+        runner = lambda policy=policy: _stage1(network, fused=True, guard=policy)
+        if policy == "recover":
+            sps, elapsed, result = run_once(benchmark, runner)
+        else:
+            sps, elapsed, result = runner()
+        best[policy] = (sps, result)
+        for _ in range(repeats - 1):
+            sps, elapsed, result = runner()
+            if sps > best[policy][0]:
+                best[policy] = (sps, result)
+
+    off_sps, off_result = best["off"]
+    guarded_sps, guarded_result = best["recover"]
+    # With zero detections the guarded loop is bit-identical.
+    assert guarded_result.loss_history == off_result.loss_history
+    assert np.array_equal(guarded_result.best_stimulus, off_result.best_stimulus)
+
+    overhead = 1.0 - guarded_sps / off_sps
+    payload = {
+        "quick_mode": QUICK,
+        "duration_steps": DURATION,
+        "optimizer_steps": STEPS,
+        "unguarded_steps_per_s": off_sps,
+        "guarded_steps_per_s": guarded_sps,
+        "guard_overhead_fraction": overhead,
+    }
+    with open(results_dir / "guard_overhead.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(
+        f"\nguard overhead: off {off_sps:.1f} -> recover {guarded_sps:.1f} steps/s "
+        f"({overhead:+.1%})"
+    )
+    if not QUICK:
+        assert overhead <= 0.05, payload

@@ -64,6 +64,15 @@ def spike(
     return x._make(data, (x,), backward, "spike")
 
 
+#: Clamp bound (in units of the logistic scale) for the Gumbel noise.  A
+#: logistic draw is ``log(u / (1 - u))`` for uniform ``u``; any
+#: non-degenerate float64 ``u`` keeps ``|log(u/(1-u))|`` below ~37, so a
+#: bound of 745 (the float64 exp-overflow boundary) is reached *only* by
+#: degenerate draws (``u`` exactly 0 or 1, yielding ±Inf) — clamping is
+#: bit-identical on every non-degenerate draw.
+_LOGISTIC_BOUND = 745.0
+
+
 def gumbel_softmax(
     logits: Tensor,
     tau: float,
@@ -91,7 +100,16 @@ def gumbel_softmax(
     """
     if tau <= 0.0:
         raise ConfigurationError(f"gumbel_softmax temperature must be > 0, got {tau}")
-    noise = rng.logistic(loc=0.0, scale=noise_scale, size=logits.shape) if noise_scale > 0 else 0.0
+    if noise_scale > 0:
+        noise = rng.logistic(loc=0.0, scale=noise_scale, size=logits.shape)
+        # A degenerate uniform draw (u == 0 or 1) makes the logistic
+        # inverse-CDF produce ±Inf, which poisons the whole tape through
+        # logits + noise.  Clamp to a bound only infinities can reach, so
+        # non-degenerate draws pass through bit-identically.
+        bound = _LOGISTIC_BOUND * noise_scale
+        np.clip(noise, -bound, bound, out=noise)
+    else:
+        noise = 0.0
     return ((logits + noise) * (1.0 / tau)).sigmoid()
 
 

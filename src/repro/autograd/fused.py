@@ -37,7 +37,8 @@ The update implemented (identical to ``repro.snn.neuron``)::
 
 from __future__ import annotations
 
-from typing import Tuple
+import contextlib
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -45,7 +46,32 @@ from repro.autograd.functional import SURROGATES, _surrogate_derivative
 from repro.autograd.tensor import Tensor
 from repro.errors import ConfigurationError, ShapeError
 
-__all__ = ["lif_sequence", "recurrent_lif_sequence"]
+__all__ = ["lif_sequence", "recurrent_lif_sequence", "guarded"]
+
+# Observer installed by the numerics guard (repro.core.guard) while a
+# guarded stage is running.  NaN input currents are otherwise *silent* in
+# the scan — ``NaN >= threshold`` is False, so a poisoned forward produces
+# an all-zero spike train and a perfectly finite loss — which is exactly
+# the failure mode a wall-clock-bounded loop cannot afford.
+_guard = None
+
+
+@contextlib.contextmanager
+def guarded(guard):
+    """Install ``guard`` (anything with ``observe_currents(np.ndarray)``)
+    as the kernels' current observer for the duration of the block."""
+    global _guard
+    saved = _guard
+    _guard = guard
+    try:
+        yield
+    finally:
+        _guard = saved
+
+
+def _observe(currents: np.ndarray) -> None:
+    if _guard is not None:
+        _guard.observe_currents(currents)
 
 
 def _validate(currents: Tensor, surrogate: str, reset_mode: str) -> None:
@@ -253,6 +279,7 @@ def lif_sequence(
     ``dL/d currents`` for all T steps in one scan.
     """
     _validate(currents, surrogate, reset_mode)
+    _observe(currents.data)
     spikes, potentials, xs, actives, th, lk = _forward_scan(
         currents.data, threshold, leak, refractory_steps, reset_mode,
         surrogate_slope, soft,
@@ -293,6 +320,7 @@ def recurrent_lif_sequence(
             f"recurrent_lif_sequence expects (T, B, N) currents, "
             f"got {input_currents.shape}"
         )
+    _observe(input_currents.data)
     w = recurrent_weight.data
     spikes, potentials, xs, actives, th, lk = _forward_scan(
         input_currents.data, threshold, leak, refractory_steps, reset_mode,

@@ -6,7 +6,7 @@ Adam; plain SGD is provided for tests and baselines.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Callable, Iterable, List, Optional
 
 import numpy as np
 
@@ -26,13 +26,24 @@ class Optimizer:
                 raise ConfigurationError(
                     "optimizer given a parameter with requires_grad=False"
                 )
+        #: Called with the parameter list at the top of every ``step``;
+        #: returning False vetoes the update (no state mutation at all).
+        #: The numerics guard installs its gradient check here so a NaN
+        #: gradient is caught at the exact point it would be consumed —
+        #: before it can poison momentum/second-moment state.
+        self.pre_step_hook: Optional[Callable[[List[Tensor]], bool]] = None
+
+    def _pre_step(self) -> bool:
+        """Run the pre-step hook; False means the update must be skipped."""
+        return self.pre_step_hook is None or bool(self.pre_step_hook(self.params))
 
     def zero_grad(self) -> None:
         """Clear the gradient buffers of all managed parameters."""
         for p in self.params:
             p.zero_grad()
 
-    def step(self) -> None:
+    def step(self) -> bool:
+        """Apply one update; returns False if the pre-step hook vetoed it."""
         raise NotImplementedError
 
 
@@ -49,8 +60,10 @@ class SGD(Optimizer):
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
-    def step(self) -> None:
+    def step(self) -> bool:
         """Apply one SGD update using the accumulated gradients."""
+        if not self._pre_step():
+            return False
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
@@ -60,6 +73,7 @@ class SGD(Optimizer):
                 p.data -= self.lr * v
             else:
                 p.data -= self.lr * p.grad
+        return True
 
 
 class Adam(Optimizer):
@@ -89,8 +103,23 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
 
-    def step(self) -> None:
+    def reset_state(self) -> None:
+        """Zero the moment estimates and the bias-correction clock.
+
+        Used by the numerics guard's recovery path: after a rollback the
+        restored parameters no longer correspond to the accumulated
+        moments (and a divergence may have inflated them), so the
+        optimiser restarts from a clean slate.
+        """
+        self._step_count = 0
+        for m, v in zip(self._m, self._v):
+            m[...] = 0.0
+            v[...] = 0.0
+
+    def step(self) -> bool:
         """Apply one Adam update using the accumulated gradients."""
+        if not self._pre_step():
+            return False
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
@@ -104,3 +133,4 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        return True

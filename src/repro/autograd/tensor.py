@@ -143,6 +143,23 @@ class Tensor:
         """Return the underlying array (shared, not copied)."""
         return self.data
 
+    def isfinite_all(self, grad: bool = False) -> bool:
+        """True when every element of the data (or, with ``grad=True``, the
+        gradient buffer) is finite.
+
+        Used by the numerics guard (:mod:`repro.core.guard`): a single sum
+        reduction replaces an elementwise ``np.isfinite`` mask — NaN
+        propagates through the sum and infinities either survive it or
+        cancel to NaN, so one pass over memory decides.  A sum that
+        overflows on huge finite values also reports False, which the
+        guard treats as overflow detection.  A missing gradient buffer
+        counts as finite.
+        """
+        target = self.grad if grad else self.data
+        if target is None:
+            return True
+        return bool(np.isfinite(np.sum(target)))
+
     # ------------------------------------------------------------------
     # Graph construction helpers
     # ------------------------------------------------------------------

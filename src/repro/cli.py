@@ -162,6 +162,8 @@ def _cmd_generate(args) -> int:
         f"activated {format_percent(result.activated_fraction)}, "
         f"runtime {format_seconds(result.runtime_s)}"
     )
+    if result.health is not None:
+        print(f"health: {result.health.summary()}")
     return 0
 
 

@@ -34,6 +34,12 @@ from repro.core.losses import (
     loss_synapse_uniformity,
     loss_temporal_diversity,
 )
+from repro.core.guard import (
+    GenerationHealth,
+    NanInjector,
+    NumericsGuard,
+    structural_unactivatable,
+)
 from repro.core.input_param import InputParameterization
 from repro.core.duration import find_minimum_duration
 from repro.core.stage import StageResult, run_stage
@@ -53,6 +59,10 @@ __all__ = [
     "loss_spike_minimization",
     "loss_output_constancy",
     "loss_output_headroom",
+    "GenerationHealth",
+    "NanInjector",
+    "NumericsGuard",
+    "structural_unactivatable",
     "InputParameterization",
     "find_minimum_duration",
     "run_stage",

@@ -33,7 +33,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -277,6 +277,10 @@ class GeneratorCheckpoint:
     chunks: List[np.ndarray] = field(default_factory=list)
     activated: List[np.ndarray] = field(default_factory=list)
     reports: List[Dict[str, Any]] = field(default_factory=list)
+    #: Serialized :class:`~repro.core.guard.GenerationHealth` (``to_meta``
+    #: form) at checkpoint time; ``None`` for checkpoints written before
+    #: health reporting existed (resume then restarts the report).
+    health: Optional[Dict[str, Any]] = None
 
     @property
     def iterations_done(self) -> int:
@@ -297,6 +301,7 @@ class GeneratorCheckpoint:
             "num_chunks": len(self.chunks),
             "num_layers": len(self.activated),
             "reports": self.reports,
+            "health": self.health,
         }
         save_checkpoint(path, arrays, meta, chaos_key=self.iterations_done)
 
@@ -327,6 +332,7 @@ class GeneratorCheckpoint:
                 chunks=chunks,
                 activated=activated,
                 reports=list(meta["reports"]),
+                health=meta.get("health"),
             )
         except KeyError as exc:
             raise CheckpointError(f"{path}: incomplete generator checkpoint: {exc}") from exc

@@ -104,6 +104,35 @@ class TestGenConfig:
         ``"float32"`` (opt-in, faster and half the tape memory, results
         may differ in the last ulp and are not covered by the bitwise
         guarantee).  The legacy elementary path always runs float64.
+    guard_policy:
+        Numerics-guard policy for the optimisation loop (see
+        :mod:`repro.core.guard`): ``"strict"`` raises
+        :class:`~repro.errors.NumericsError` on any NaN/Inf/overflow or
+        divergence detection, ``"recover"`` rolls back to the best-known
+        logits and retries under the restart budget, ``"off"`` disables
+        all checks.  ``None`` (default) defers to ``$REPRO_GUARD``, else
+        ``"recover"``; an explicit value here is immune to the
+        environment.  With no numeric fault occurring, every policy
+        produces bit-identical results.
+    guard_restart_budget:
+        Maximum rollback-and-restart recoveries per stage attempt before
+        the stage is abandoned with its best-known stimulus.
+    guard_lr_backoff:
+        Multiplicative learning-rate backoff applied on each recovery.
+    guard_divergence_factor / guard_divergence_window:
+        A stage is declared divergent when its last ``window`` losses all
+        exceed ``factor * max(|best loss|, 1)``.
+    plateau_patience:
+        If set, a stage stops early after this many consecutive steps
+        without improving its best loss (graceful degradation that
+        returns budget to later iterations).  ``None`` (default) never
+        stops early — the pre-guard behaviour.
+    reachability_triage:
+        Run the upfront structural reachability pass
+        (:func:`repro.core.guard.structural_unactivatable`): provably
+        unactivatable neurons (zero or non-positive fan-in, dead upstream
+        paths) are removed from the target set and the coverage
+        denominator instead of burning iterations.
     """
 
     t_in_min: Optional[int] = None
@@ -137,6 +166,13 @@ class TestGenConfig:
     checkpoint_every: int = 1
     fused_bptt: bool = True
     dtype: str = "float64"
+    guard_policy: Optional[str] = None
+    guard_restart_budget: int = 3
+    guard_lr_backoff: float = 0.5
+    guard_divergence_factor: float = 1e6
+    guard_divergence_window: int = 10
+    plateau_patience: Optional[int] = None
+    reachability_triage: bool = True
 
     def __post_init__(self) -> None:
         if self.t_in_min is not None and self.t_in_min < 1:
@@ -194,6 +230,25 @@ class TestGenConfig:
                 "dtype='float32' requires fused_bptt=True (the elementary "
                 "path always computes in float64)"
             )
+        if self.guard_policy is not None and self.guard_policy not in (
+            "off",
+            "strict",
+            "recover",
+        ):
+            raise ConfigurationError(
+                "guard_policy must be 'off', 'strict', 'recover', or None, "
+                f"got {self.guard_policy!r}"
+            )
+        if self.guard_restart_budget < 0:
+            raise ConfigurationError("guard_restart_budget must be >= 0")
+        if not 0.0 < self.guard_lr_backoff <= 1.0:
+            raise ConfigurationError("guard_lr_backoff must be in (0, 1]")
+        if self.guard_divergence_factor < 1.0:
+            raise ConfigurationError("guard_divergence_factor must be >= 1")
+        if self.guard_divergence_window < 2:
+            raise ConfigurationError("guard_divergence_window must be >= 2")
+        if self.plateau_patience is not None and self.plateau_patience < 1:
+            raise ConfigurationError("plateau_patience must be >= 1 or None")
 
     @property
     def np_dtype(self) -> np.dtype:

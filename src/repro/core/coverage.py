@@ -10,6 +10,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.testset import TestStimulus
+from repro.faults.catalog import validate_faults
 from repro.faults.model import FaultModelConfig
 from repro.faults.parallel import parallel_detect
 from repro.faults.simulator import (
@@ -42,6 +43,7 @@ def verify_coverage(
     :class:`DetectionResult`; if ``classification`` labels are provided,
     also the Table-III-style :class:`CoverageBreakdown`.
     """
+    validate_faults(network, faults)
     simulator = FaultSimulator(network, fault_config)
     detection = parallel_detect(
         simulator,

@@ -46,6 +46,7 @@ def find_minimum_duration(
     probe_steps: Optional[int] = None,
     strict: bool = False,
     log=None,
+    guard=None,
 ) -> int:
     """Smallest duration (in steps) whose optimised input drives every
     output neuron to spike at least once.
@@ -74,6 +75,8 @@ def find_minimum_duration(
             objective=lambda record, seq: loss_output_activity(record),
             steps=probe_steps,
             config=config,
+            guard=guard,
+            stage_label="probe",
         )
         if _all_outputs_fire(network, result.best_stimulus, result.best_output):
             return duration

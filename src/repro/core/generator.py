@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.checkpoint import GeneratorCheckpoint, generator_fingerprint
 from repro.core.config import TestGenConfig
 from repro.core.duration import find_minimum_duration
+from repro.core.guard import GenerationHealth, NumericsGuard, structural_unactivatable
 from repro.core.input_param import InputParameterization
 from repro.core.losses import (
     LossWeights,
@@ -94,6 +95,12 @@ class IterationReport:
     stage1_s: float = 0.0
     stage2_s: float = 0.0
     bookkeeping_s: float = 0.0
+    #: Numerics-guard outcome of the iteration: rollback-and-restart
+    #: recoveries across both stages, and whether either stage exhausted
+    #: its restart budget (kept its best-known stimulus).  Defaults keep
+    #: pre-guard caches loadable.
+    restarts: int = 0
+    stage_aborted: bool = False
 
 
 @dataclass
@@ -107,6 +114,11 @@ class TestGenerationResult:
     activated_per_layer: List[np.ndarray] = field(default_factory=list)
     runtime_s: float = 0.0
     timed_out: bool = False
+    #: Numerics-guard report for the run (policy, regime, every detection
+    #: and recovery, structurally unactivatable neurons excluded from the
+    #: coverage denominator).  ``None`` only for results rebuilt from
+    #: caches written before health reporting existed.
+    health: Optional[GenerationHealth] = None
 
     @property
     def num_chunks(self) -> int:
@@ -161,6 +173,10 @@ class TestGenerator:
         self.checkpoint_path = checkpoint_path
         self.resume = resume
         self._activation_cache: dict = {}
+        #: One guard supervises every stage of the run, so events from the
+        #: probe, stage 1, and stage 2 aggregate into one health report.
+        self.guard = NumericsGuard.from_config(self.config, log=self.log)
+        self._health_base: Optional[GenerationHealth] = None
 
     # ------------------------------------------------------------------
     def activation_sets(self, stimulus: np.ndarray) -> List[np.ndarray]:
@@ -199,6 +215,28 @@ class TestGenerator:
         network = self.network
         total_neurons = sum(m.neuron_count for m in network.spiking_modules)
 
+        # Structural reachability triage: neurons that can provably never
+        # fire are excluded from the target masks and the coverage
+        # denominator up front, instead of burning iterations (and stall
+        # budget) chasing them.  The pass is a pure function of the
+        # weights, so recomputing it on resume reconstructs the same
+        # denominator the original run used.
+        if self.config.reachability_triage:
+            unactivatable = structural_unactivatable(network)
+        else:
+            unactivatable = [
+                np.zeros(m.neuron_count, dtype=bool)
+                for m in network.spiking_modules
+            ]
+        unact_total = int(sum(u.sum() for u in unactivatable))
+        effective_total = total_neurons - unact_total
+        if unact_total:
+            self.log(
+                f"reachability triage: {unact_total}/{total_neurons} neurons "
+                "are structurally unactivatable (dead fan-in); excluded from "
+                "the target set and the coverage denominator"
+            )
+
         restored = self._restore_checkpoint()
         if restored is not None:
             t_in_min = restored.t_in_min
@@ -207,13 +245,18 @@ class TestGenerator:
             activated = [mask.copy() for mask in restored.activated]
             reports = [IterationReport(**rep) for rep in restored.reports]
             self.rng.bit_generator.state = restored.rng_state
+            self._health_base = GenerationHealth.from_meta(restored.health)
+            if self._health_base is None:  # pre-health checkpoint
+                self._health_base = self._fresh_health(unactivatable)
             self.log(
                 f"resumed from {self.checkpoint_path}: "
                 f"{len(reports)} iterations done, {elapsed0:.1f}s already spent"
             )
         else:
+            self._health_base = self._fresh_health(unactivatable)
+            self.guard.set_iteration(0)
             t_in_min = self.config.t_in_min or find_minimum_duration(
-                network, self.config, self.rng, log=self.log
+                network, self.config, self.rng, log=self.log, guard=self.guard
             )
             elapsed0 = 0.0
             activated = [
@@ -237,7 +280,7 @@ class TestGenerator:
             stall += 1
         timed_out = elapsed0 > self.config.time_limit_s
         finished = bool(reports) and (
-            reports[-1].activated_total >= total_neurons
+            reports[-1].activated_total >= effective_total
             or stall >= self.config.stall_iterations
             or timed_out
         )
@@ -245,7 +288,8 @@ class TestGenerator:
         for iteration in range(len(reports), self.config.max_iterations):
             if finished:
                 break
-            masks = [~a for a in activated]
+            self.guard.set_iteration(iteration)
+            masks = [~a & ~u for a, u in zip(activated, unactivatable)]
             chunk, report = self._run_iteration(
                 iteration, t_in_min, td_min, masks, activated, deadline
             )
@@ -254,15 +298,15 @@ class TestGenerator:
             self.log(
                 f"iteration {iteration}: duration {report.duration}, "
                 f"+{report.new_activations} neurons "
-                f"({report.activated_total}/{total_neurons})"
+                f"({report.activated_total}/{effective_total})"
             )
             stall = stall + 1 if report.new_activations == 0 else 0
             if len(reports) % self.config.checkpoint_every == 0:
                 self._save_checkpoint(
                     t_in_min, start, elapsed0, chunks, activated, reports
                 )
-            if report.activated_total >= total_neurons:
-                self.log("all neurons activated")
+            if report.activated_total >= effective_total:
+                self.log("all activatable neurons activated")
                 break
             if stall >= self.config.stall_iterations:
                 self.log(f"stopping after {stall} stalled iterations")
@@ -276,15 +320,39 @@ class TestGenerator:
             raise TestGenerationError("generation produced no chunks")
         stimulus = TestStimulus(chunks=chunks, input_shape=network.input_shape)
         activated_total = int(sum(a.sum() for a in activated))
+        health = self._current_health()
         return TestGenerationResult(
             stimulus=stimulus,
             t_in_min=t_in_min,
             iterations=reports,
-            activated_fraction=activated_total / total_neurons if total_neurons else 0.0,
+            activated_fraction=(
+                activated_total / effective_total if effective_total else 1.0
+            ),
             activated_per_layer=activated,
             runtime_s=elapsed0 + (time.perf_counter() - start),
             timed_out=timed_out,
+            health=health,
         )
+
+    # ------------------------------------------------------------------
+    def _fresh_health(self, unactivatable: List[np.ndarray]) -> GenerationHealth:
+        config = self.config
+        regime = f"{'fused' if config.fused_bptt else 'legacy'}-{config.dtype}"
+        return GenerationHealth(
+            policy=self.guard.policy,
+            regime=regime,
+            unactivatable_neurons=int(sum(u.sum() for u in unactivatable)),
+            unactivatable_per_layer=[int(u.sum()) for u in unactivatable],
+        )
+
+    def _current_health(self) -> GenerationHealth:
+        """Health snapshot: the restored-or-fresh base plus everything the
+        guard has seen since.  Built from a copy each time so repeated
+        checkpoint saves never double-count."""
+        base = self._health_base or self._fresh_health([])
+        health = GenerationHealth.from_meta(base.to_meta())
+        health.absorb(self.guard)
+        return health
 
     # ------------------------------------------------------------------
     def _restore_checkpoint(self) -> Optional[GeneratorCheckpoint]:
@@ -304,6 +372,20 @@ class TestGenerator:
             raise CheckpointError(
                 f"{self.checkpoint_path}: checkpoint belongs to a different "
                 "generation run (network parameters or config changed)"
+            )
+        # The fingerprint covers the config, but with guard_policy=None
+        # the *effective* policy comes from $REPRO_GUARD — resuming a
+        # `recover` run under `strict` (or vice versa) would silently
+        # change recovery behaviour mid-run.  The health meta records the
+        # policy the original run resolved, so a mismatch is detectable
+        # (pre-health checkpoints carry no record and are trusted).
+        health = GenerationHealth.from_meta(restored.health)
+        if health is not None and health.policy != self.guard.policy:
+            raise CheckpointError(
+                f"{self.checkpoint_path}: checkpoint was written under guard "
+                f"policy {health.policy!r} but this run resolves to "
+                f"{self.guard.policy!r}; pin guard_policy (or $REPRO_GUARD) "
+                "to match, or start fresh"
             )
         return restored
 
@@ -332,6 +414,7 @@ class TestGenerator:
             chunks=list(chunks),
             activated=[mask.copy() for mask in activated],
             reports=[asdict(report) for report in reports],
+            health=self._current_health().to_meta(),
         ).save(self.checkpoint_path)
         chaos.raise_if_struck("generator-iteration", key=len(reports))
 
@@ -407,6 +490,8 @@ class TestGenerator:
             config,
             progress_check=stage1_progress,
             deadline=deadline,
+            guard=self.guard,
+            stage_label="stage1",
         )
         stage1_end = time.perf_counter()
         stage1_acts = self.activation_sets(stage1.best_stimulus)
@@ -426,6 +511,8 @@ class TestGenerator:
                 growths=stage1.growths,
                 stage1_s=stage1_end - iter_start,
                 bookkeeping_s=time.perf_counter() - stage1_end,
+                restarts=stage1.restarts,
+                stage_aborted=stage1.aborted,
             )
             self._log_timing(report, stage1, None)
             return stage1.best_stimulus, report
@@ -455,6 +542,8 @@ class TestGenerator:
             config,
             progress_check=None,
             deadline=deadline,
+            guard=self.guard,
+            stage_label="stage2",
         )
         stage2_end = time.perf_counter()
         stage2_acts = self.activation_sets(stage2.best_stimulus)
@@ -464,7 +553,12 @@ class TestGenerator:
         else:
             stage2_output = network.run(stage2.best_stimulus)
         output_preserved = bool(np.array_equal(stage2_output, target_output))
-        adopt_stage2 = output_preserved and stage2_new >= stage1_new
+        # An aborted stage 2 (restart budget exhausted) is never adopted:
+        # its best-known stimulus may predate the numeric fault, but the
+        # stage-1 result is the known-good rollback target.
+        adopt_stage2 = (
+            output_preserved and stage2_new >= stage1_new and not stage2.aborted
+        )
 
         if adopt_stage2:
             chunk, chunk_acts, new_count = stage2.best_stimulus, stage2_acts, stage2_new
@@ -487,6 +581,8 @@ class TestGenerator:
             bookkeeping_s=(time.perf_counter() - iter_start)
             - (stage1_end - iter_start)
             - (stage2_end - stage2_start),
+            restarts=stage1.restarts + stage2.restarts,
+            stage_aborted=stage1.aborted or stage2.aborted,
         )
         self._log_timing(report, stage1, stage2)
         return chunk, report

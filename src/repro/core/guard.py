@@ -1,0 +1,576 @@
+"""Numerics watchdog for the test-generation loop.
+
+The Fig. 2 loop is wall-clock bounded ("until all neurons are activated or
+a time limit elapses"), so every optimisation step spent in a numerically
+dead state — a NaN blown through the surrogate-gradient BPTT scan, a
+diverging Adam step, an iteration chasing a neuron that can provably never
+fire — directly costs fault coverage.  This module provides the three
+defences:
+
+- :class:`NumericsGuard` — cheap per-step NaN/Inf/overflow checks on
+  losses, gradients, logits, and (via a hook in
+  :mod:`repro.autograd.fused`) the synaptic currents entering the LIF
+  scan, with a configurable policy: ``strict`` raises
+  :class:`~repro.errors.NumericsError` at the detection point; ``recover``
+  lets the stage loop roll back to the best-known logits, back off the
+  learning rate, re-anneal tau, resample the Gumbel noise, and retry
+  under a bounded restart budget; ``off`` disables everything (the
+  pre-guard behaviour, bit for bit).
+- :func:`structural_unactivatable` — an upfront reachability pass over the
+  network's weights that triages provably-unactivatable neurons (zero or
+  all-non-positive fan-in, propagated through dead upstream paths) out of
+  the target set before any iteration is spent on them.
+- :class:`GenerationHealth` — the report (mirroring
+  ``CampaignHealth`` from the fault campaigns) threaded onto
+  :class:`~repro.core.generator.TestGenerationResult`: every detection,
+  recovery, aborted stage, triaged neuron, and the numeric regime used.
+
+A deterministic NaN-injection harness (:class:`NanInjector`,
+``REPRO_NAN_INJECT``) corrupts losses or gradients at exact
+``site@iteration:step`` coordinates so every recovery path is testable —
+the same philosophy as :mod:`repro.utils.chaos` for process failures.
+
+The non-finite checks use a single-reduction trick: ``sum(x)`` is NaN or
+Inf whenever any element is (NaN propagates; +Inf/-Inf either survive the
+sum or cancel to NaN), so one pass over memory replaces a full
+``np.isfinite`` mask.  A sum that overflows to Inf on legitimately huge
+finite values is *also* flagged — that is the overflow detection, not a
+false positive.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NumericsError
+
+#: Environment variable supplying the default guard policy (a config with
+#: an explicit ``guard_policy`` is immune to it).
+GUARD_ENV = "REPRO_GUARD"
+#: Environment variable carrying NaN-injection specs (see NanInjector).
+NAN_INJECT_ENV = "REPRO_NAN_INJECT"
+
+GUARD_POLICIES = ("off", "strict", "recover")
+DEFAULT_POLICY = "recover"
+
+
+def resolve_policy(configured: Optional[str]) -> str:
+    """Effective guard policy: explicit config value, else ``$REPRO_GUARD``,
+    else :data:`DEFAULT_POLICY`."""
+    if configured is not None:
+        return configured
+    raw = os.environ.get(GUARD_ENV, "").strip()
+    if not raw:
+        return DEFAULT_POLICY
+    if raw not in GUARD_POLICIES:
+        raise ConfigurationError(
+            f"{GUARD_ENV} must be one of {GUARD_POLICIES}, got {raw!r}"
+        )
+    return raw
+
+
+def all_finite(array: np.ndarray) -> bool:
+    """True when every element of ``array`` is finite.
+
+    One reduction instead of an elementwise ``np.isfinite`` mask; an
+    overflowing sum of finite values reports False, which the guard treats
+    as overflow detection (see module docstring).
+    """
+    return bool(np.isfinite(np.sum(array)))
+
+
+# ----------------------------------------------------------------------
+# Deterministic NaN injection (guard test harness)
+
+
+@dataclass(frozen=True)
+class _InjectionSpec:
+    site: str  # e.g. "stage1-grad", "stage2-loss", "probe-grad"
+    iteration: Optional[int]  # None matches any
+    step: Optional[int]  # None matches any
+
+
+class NanInjector:
+    """Fires NaNs at exact ``site@iteration:step`` coordinates.
+
+    Spec grammar (comma-separated): ``site@iteration:step`` where
+    ``iteration`` and ``step`` accept ``*`` as a wildcard.  Sites are
+    ``{stage}-loss`` and ``{stage}-grad`` for stage labels ``stage1``,
+    ``stage2``, and ``probe``.  Each spec fires exactly once per process,
+    so a retried step is not re-poisoned (and a resumed run that replays
+    the same coordinates reproduces the same recovery — injection composes
+    with checkpoint/resume).
+    """
+
+    def __init__(self, specs: Sequence[_InjectionSpec]) -> None:
+        self.specs = list(specs)
+        self._fired = [False] * len(self.specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "NanInjector":
+        specs = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                site, rest = part.split("@", 1)
+                iter_text, step_text = rest.split(":", 1)
+                iteration = None if iter_text == "*" else int(iter_text)
+                step = None if step_text == "*" else int(step_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad NaN-injection spec {part!r}, expected site@iteration:step"
+                ) from None
+            specs.append(_InjectionSpec(site, iteration, step))
+        if not specs:
+            raise ConfigurationError(f"empty NaN-injection spec {text!r}")
+        return cls(specs)
+
+    def fire(self, site: str, iteration: int, step: int) -> bool:
+        """Whether an injection triggers at this coordinate (consumes it)."""
+        for idx, spec in enumerate(self.specs):
+            if self._fired[idx] or spec.site != site:
+                continue
+            if spec.iteration is not None and spec.iteration != iteration:
+                continue
+            if spec.step is not None and spec.step != step:
+                continue
+            self._fired[idx] = True
+            return True
+        return False
+
+
+_injector: Optional[NanInjector] = None
+_injector_from_env = False
+
+
+def _active_injector() -> Optional[NanInjector]:
+    global _injector, _injector_from_env
+    if _injector is None and not _injector_from_env:
+        _injector_from_env = True
+        raw = os.environ.get(NAN_INJECT_ENV, "").strip()
+        if raw:
+            _injector = NanInjector.parse(raw)
+    return _injector
+
+
+@contextlib.contextmanager
+def injecting(injector: Optional[NanInjector]):
+    """Install ``injector`` for the duration of the block (tests)."""
+    global _injector
+    saved = _injector
+    _injector = injector
+    try:
+        yield
+    finally:
+        _injector = saved
+
+
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GuardEvent:
+    """One detection made by the guard."""
+
+    kind: str  # "nonfinite" | "divergence"
+    what: str  # "loss" | "grad" | "logits" | "currents"
+    site: str  # stage label ("stage1", "stage2", "probe")
+    iteration: int
+    step: int
+    detail: str = ""
+
+    def describe(self) -> str:
+        where = f"{self.site} iteration {self.iteration} step {self.step}"
+        text = f"{self.kind} {self.what} at {where}"
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+class NumericsGuard:
+    """Per-step numeric checks with a strict/recover/off policy.
+
+    The stage loop (:func:`repro.core.stage.run_stage`) drives the guard:
+    it sets the current context (stage label, iteration, step), runs the
+    checks at each point where a NaN could enter (loss value, gradients
+    just before the optimiser consumes them, logits just after the update,
+    synaptic currents inside the fused kernels), and after each step drains
+    the events recorded since the last drain.  Under ``strict`` every check
+    raises :class:`~repro.errors.NumericsError` at the detection point;
+    under ``recover`` the stage performs rollback-and-restart; ``off``
+    makes every call a cheap no-op.
+    """
+
+    def __init__(
+        self,
+        policy: str = DEFAULT_POLICY,
+        restart_budget: int = 3,
+        lr_backoff: float = 0.5,
+        divergence_factor: float = 1e6,
+        divergence_window: int = 10,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if policy not in GUARD_POLICIES:
+            raise ConfigurationError(
+                f"guard policy must be one of {GUARD_POLICIES}, got {policy!r}"
+            )
+        self.policy = policy
+        self.restart_budget = restart_budget
+        self.lr_backoff = lr_backoff
+        self.divergence_factor = divergence_factor
+        self.divergence_window = divergence_window
+        self.log = log or (lambda message: None)
+        self.events: List[GuardEvent] = []
+        self.recoveries = 0
+        self.aborted_stages = 0
+        self.plateau_stops = 0
+        self._pending: List[GuardEvent] = []
+        self._site = "stage"
+        self._iteration = 0
+        self._step = 0
+
+    @classmethod
+    def from_config(cls, config, log=None) -> "NumericsGuard":
+        """Build a guard from a :class:`~repro.core.config.TestGenConfig`."""
+        return cls(
+            policy=resolve_policy(config.guard_policy),
+            restart_budget=config.guard_restart_budget,
+            lr_backoff=config.guard_lr_backoff,
+            divergence_factor=config.guard_divergence_factor,
+            divergence_window=config.guard_divergence_window,
+            log=log,
+        )
+
+    @property
+    def active(self) -> bool:
+        return self.policy != "off"
+
+    # -- context ------------------------------------------------------
+    def set_iteration(self, iteration: int) -> None:
+        self._iteration = iteration
+
+    def set_context(self, site: str, step: int) -> None:
+        self._site = site
+        self._step = step
+
+    # -- detection ----------------------------------------------------
+    def _record(self, kind: str, what: str, detail: str = "") -> None:
+        event = GuardEvent(
+            kind=kind,
+            what=what,
+            site=self._site,
+            iteration=self._iteration,
+            step=self._step,
+            detail=detail,
+        )
+        self.events.append(event)
+        self._pending.append(event)
+        self.log(f"numerics guard: {event.describe()}")
+        if self.policy == "strict":
+            raise NumericsError(event.describe())
+
+    def check_loss(self, value: float) -> bool:
+        """Validate a scalar loss value; False means it is unusable."""
+        if not self.active or np.isfinite(value):
+            return True
+        self._record("nonfinite", "loss", f"value {value!r}")
+        return False
+
+    def check_grads(self, params: Sequence[Any]) -> bool:
+        """Validate parameter gradients just before the optimiser consumes
+        them (wired in through ``Optimizer.pre_step_hook``); False tells
+        the optimiser to skip the update so a NaN never poisons the Adam
+        moments."""
+        if not self.active:
+            return True
+        ok = True
+        for param in params:
+            if param.grad is not None and not all_finite(param.grad):
+                self._record("nonfinite", "grad", f"parameter shape {param.shape}")
+                ok = False
+        return ok
+
+    def check_tensor(self, what: str, tensor: Any) -> bool:
+        """Validate a tensor's data (e.g. the logits after an update)."""
+        if not self.active or tensor.isfinite_all():
+            return True
+        self._record("nonfinite", what, f"shape {tensor.shape}")
+        return False
+
+    def observe_currents(self, currents: np.ndarray) -> None:
+        """Hook target for the fused LIF kernels: NaN input currents are
+        otherwise *silent* (``NaN >= threshold`` is False, so a poisoned
+        forward looks like a dead network and a finite loss)."""
+        if self.active and not all_finite(currents):
+            self._record("nonfinite", "currents", f"shape {currents.shape}")
+
+    def check_divergence(self, loss_history: Sequence[float], best_loss: float) -> bool:
+        """Flag a runaway loss trace: the last ``divergence_window`` values
+        all exceed ``divergence_factor`` times the best (or unity, for
+        near-zero bests).  False means the stage should roll back."""
+        if not self.active or len(loss_history) < self.divergence_window:
+            return True
+        floor = self.divergence_factor * max(abs(best_loss), 1.0)
+        recent = loss_history[-self.divergence_window :]
+        if all(value > floor for value in recent):
+            self._record(
+                "divergence",
+                "loss",
+                f"last {self.divergence_window} losses > {floor:.3g}",
+            )
+            return False
+        return True
+
+    @property
+    def pending(self) -> bool:
+        """Whether undrained events exist (used by the stage loop to skip
+        backward/update work once the current step is known to be bad)."""
+        return bool(self._pending)
+
+    def drain(self) -> List[GuardEvent]:
+        """Events recorded since the last drain (the stage loop polls this
+        once per step to catch hook-path detections)."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    # -- recovery bookkeeping -----------------------------------------
+    def note_recovery(self, site: str, restarts: int) -> None:
+        self.recoveries += 1
+        self.log(
+            f"numerics guard: {site} recovery {restarts}/{self.restart_budget} "
+            "(rolled back to best logits, lr backed off, tau re-annealed)"
+        )
+
+    def note_abort(self, site: str) -> None:
+        self.aborted_stages += 1
+        self.log(
+            f"numerics guard: {site} restart budget exhausted "
+            f"({self.restart_budget}); keeping best-known stimulus"
+        )
+
+    def note_plateau(self, site: str, step: int) -> None:
+        self.plateau_stops += 1
+        self.log(f"numerics guard: {site} plateaued, stopping early at step {step}")
+
+    # -- injection (test harness) -------------------------------------
+    def maybe_inject_loss(self, value: float) -> float:
+        if not self.active:
+            return value
+        injector = _active_injector()
+        if injector is not None and injector.fire(
+            f"{self._site}-loss", self._iteration, self._step
+        ):
+            return float("nan")
+        return value
+
+    def maybe_inject_grad(self, tensor: Any) -> None:
+        if not self.active:
+            return
+        injector = _active_injector()
+        if injector is not None and injector.fire(
+            f"{self._site}-grad", self._iteration, self._step
+        ):
+            if tensor.grad is not None:
+                tensor.grad.reshape(-1)[0] = np.nan
+
+    # -- scopes -------------------------------------------------------
+    @contextlib.contextmanager
+    def observing(self):
+        """Register this guard with the fused kernels for the block, so
+        :meth:`observe_currents` sees every LIF input-current tensor."""
+        if not self.active:
+            yield
+            return
+        from repro.autograd import fused
+
+        with fused.guarded(self):
+            yield
+
+
+# ----------------------------------------------------------------------
+# Structural reachability triage
+
+
+def _block_any(reach: np.ndarray, window: int) -> np.ndarray:
+    channels, height, width = reach.shape
+    return reach.reshape(
+        channels, height // window, window, width // window, window
+    ).any(axis=(2, 4))
+
+
+def structural_unactivatable(network) -> List[np.ndarray]:
+    """Per spiking layer, a flat bool mask of neurons that can *provably*
+    never spike, from weights and thresholds alone.
+
+    A LIF neuron with zero initial state, non-negative leak, and a positive
+    threshold can only fire if some potentially-active source feeds it a
+    positive weight: a neuron whose incoming weights are all zero (zero
+    fan-in) or all non-positive can never push its membrane potential past
+    the threshold, and neither can one fed positive weights only by
+    upstream neurons that are themselves unactivatable (dead paths
+    propagate forward; recurrent layers are solved to a fixpoint so a
+    layer cannot bootstrap itself through dead feedback).  The analysis is
+    conservative — a neuron it flags is certainly unactivatable, never the
+    other way around — and layers with exotic parameters (negative leak or
+    threshold) are skipped rather than mis-triaged.
+    """
+    from repro.snn.layers import ConvLIF, DenseLIF, Flatten, RecurrentLIF, SumPool
+
+    masks: List[np.ndarray] = []
+    reach = np.ones(network.input_shape, dtype=bool)
+    for module in network.modules:
+        if isinstance(module, Flatten):
+            reach = reach.reshape(-1)
+            continue
+        if isinstance(module, SumPool):
+            reach = _block_any(reach, module.window)
+            continue
+        if isinstance(module, DenseLIF):
+            positive_in = ((module.weight.data > 0) & reach[:, None]).any(axis=0)
+            activatable = _activatable(module, positive_in)
+        elif isinstance(module, RecurrentLIF):
+            positive_in = ((module.weight.data > 0) & reach[:, None]).any(axis=0)
+            activatable = _activatable(module, positive_in)
+            w_rec_positive = module.recurrent_weight.data > 0
+            while True:  # fixpoint over dead recurrent feedback
+                fed_back = (w_rec_positive & activatable[:, None]).any(axis=0)
+                grown = _activatable(module, positive_in | fed_back)
+                if np.array_equal(grown, activatable):
+                    break
+                activatable = grown
+        elif isinstance(module, ConvLIF):
+            grid = reach.reshape((module.in_channels,) + module.input_hw)
+            channel_reach = grid.any(axis=(1, 2))
+            positive_filter = (
+                (module.weight.data > 0) & channel_reach[None, :, None, None]
+            ).any(axis=(1, 2, 3))
+            activatable = _activatable(
+                module, np.broadcast_to(
+                    positive_filter[:, None, None], module.neuron_shape
+                ).reshape(-1),
+            )
+        else:  # unknown module type: assume everything reachable
+            if module.has_neurons:
+                masks.append(np.zeros(module.neuron_count, dtype=bool))
+            continue
+        masks.append(~activatable)
+        reach = activatable.reshape(module.neuron_shape)
+    return masks
+
+
+def _activatable(module, positive_in: np.ndarray) -> np.ndarray:
+    """Combine fan-in analysis with per-neuron parameters: a non-positive
+    threshold fires from rest regardless of input, and a negative leak
+    breaks the sign-monotonicity argument, so both count as activatable."""
+    threshold = module.threshold.reshape(-1)
+    leak = module.leak.reshape(-1)
+    return positive_in | (threshold <= 0) | (leak < 0)
+
+
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GenerationHealth:
+    """What the numerics guard saw and did during one generation run.
+
+    Mirrors ``CampaignHealth`` from the fault campaigns: attached to
+    :class:`~repro.core.generator.TestGenerationResult`, persisted through
+    generation checkpoints and the pipeline cache, and surfaced by the
+    CLI.  ``clean`` is True when no numeric fault was detected and no
+    stage had to be degraded.
+    """
+
+    policy: str = DEFAULT_POLICY
+    regime: str = ""  # e.g. "fused-float64"
+    nonfinite_events: int = 0
+    divergence_events: int = 0
+    recoveries: int = 0  # successful rollback-and-restart recoveries
+    aborted_stages: int = 0  # stages that exhausted the restart budget
+    plateau_stops: int = 0  # stages stopped early on a flat loss trace
+    unactivatable_neurons: int = 0  # triaged out of the target set
+    unactivatable_per_layer: List[int] = field(default_factory=list)
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.nonfinite_events == 0
+            and self.divergence_events == 0
+            and self.aborted_stages == 0
+        )
+
+    def absorb(self, guard: NumericsGuard) -> None:
+        """Fold a guard's counters and event log into this report."""
+        self.nonfinite_events += sum(
+            1 for e in guard.events if e.kind == "nonfinite"
+        )
+        self.divergence_events += sum(
+            1 for e in guard.events if e.kind == "divergence"
+        )
+        self.recoveries += guard.recoveries
+        self.aborted_stages += guard.aborted_stages
+        self.plateau_stops += guard.plateau_stops
+        self.events.extend(event.describe() for event in guard.events)
+
+    def summary(self) -> str:
+        if self.clean and self.unactivatable_neurons == 0:
+            return f"healthy ({self.policy} guard, {self.regime})"
+        parts = [f"{self.policy} guard", self.regime]
+        if self.nonfinite_events:
+            parts.append(f"{self.nonfinite_events} non-finite detections")
+        if self.divergence_events:
+            parts.append(f"{self.divergence_events} divergence detections")
+        if self.recoveries:
+            parts.append(f"{self.recoveries} recoveries")
+        if self.aborted_stages:
+            parts.append(f"{self.aborted_stages} aborted stages")
+        if self.plateau_stops:
+            parts.append(f"{self.plateau_stops} plateau stops")
+        if self.unactivatable_neurons:
+            parts.append(
+                f"{self.unactivatable_neurons} structurally unactivatable "
+                "neurons excluded from the coverage denominator"
+            )
+        return ", ".join(parts)
+
+    def to_meta(self) -> Dict[str, Any]:
+        """JSON-serializable form (checkpoint meta, pipeline cache)."""
+        return {
+            "policy": self.policy,
+            "regime": self.regime,
+            "nonfinite_events": self.nonfinite_events,
+            "divergence_events": self.divergence_events,
+            "recoveries": self.recoveries,
+            "aborted_stages": self.aborted_stages,
+            "plateau_stops": self.plateau_stops,
+            "unactivatable_neurons": self.unactivatable_neurons,
+            "unactivatable_per_layer": list(self.unactivatable_per_layer),
+            "events": list(self.events),
+        }
+
+    @classmethod
+    def from_meta(cls, meta: Optional[Dict[str, Any]]) -> Optional["GenerationHealth"]:
+        """Inverse of :meth:`to_meta`; None passes through (caches and
+        checkpoints written before health reporting existed)."""
+        if meta is None:
+            return None
+        return cls(
+            policy=meta.get("policy", DEFAULT_POLICY),
+            regime=meta.get("regime", ""),
+            nonfinite_events=int(meta.get("nonfinite_events", 0)),
+            divergence_events=int(meta.get("divergence_events", 0)),
+            recoveries=int(meta.get("recoveries", 0)),
+            aborted_stages=int(meta.get("aborted_stages", 0)),
+            plateau_stops=int(meta.get("plateau_stops", 0)),
+            unactivatable_neurons=int(meta.get("unactivatable_neurons", 0)),
+            unactivatable_per_layer=[
+                int(v) for v in meta.get("unactivatable_per_layer", [])
+            ],
+            events=[str(v) for v in meta.get("events", [])],
+        )

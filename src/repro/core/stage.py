@@ -14,6 +14,17 @@ as one ``(T, 1, *input_shape)`` tensor and runs
 layer); the legacy path samples a list over time and runs the elementary
 per-step tape.  In float64 both produce bit-identical stimuli (pinned by
 tests/core/test_fused_differential.py).
+
+The loop is supervised by a :class:`~repro.core.guard.NumericsGuard`
+(policy ``off``/``strict``/``recover``): each step's loss, gradients,
+post-update logits, and fused-kernel input currents are checked for
+NaN/Inf/overflow, and the loss trace is watched for divergence.  Under
+``recover`` a detection rolls the logits back to the best-known values,
+backs off the learning rate, restarts the tau/lr annealing schedule, and
+resets the Adam moments — retrying under a bounded restart budget before
+the stage is abandoned with its best-known stimulus.  With no detections
+the guarded loop is bit-identical to the unguarded one: the schedule
+counter equals the step counter and the backoff factor stays 1.0.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import numpy as np
 from repro.autograd.optim import Adam
 from repro.autograd.tensor import Tensor
 from repro.core.config import TestGenConfig
+from repro.core.guard import NumericsGuard
 from repro.core.input_param import InputParameterization
 from repro.snn.network import SNN, ForwardRecord
 
@@ -61,6 +73,12 @@ class StageResult:
     forward_s: float = 0.0
     backward_s: float = 0.0
     optimizer_s: float = 0.0
+    #: Numerics-guard outcome: rollback-and-restart recoveries performed,
+    #: whether the restart budget ran out (the stage returned early with
+    #: its best-known stimulus), and whether a plateau stop fired.
+    restarts: int = 0
+    aborted: bool = False
+    plateaued: bool = False
 
     @property
     def duration(self) -> int:
@@ -107,6 +125,8 @@ def run_stage(
     config: TestGenConfig,
     progress_check: Optional[ProgressCheck] = None,
     deadline: Optional[float] = None,
+    guard: Optional[NumericsGuard] = None,
+    stage_label: str = "stage",
 ) -> StageResult:
     """Optimise ``param`` against ``objective`` for one stage.
 
@@ -121,16 +141,25 @@ def run_stage(
         has a fixed length).
     deadline:
         ``time.perf_counter()`` value after which the stage stops early.
+    guard:
+        Numerics guard supervising the loop; ``None`` builds one from the
+        config (shared guards let the generator aggregate events across
+        stages into one :class:`~repro.core.guard.GenerationHealth`).
+    stage_label:
+        Context label for guard events and NaN-injection sites
+        (``"stage1"``, ``"stage2"``, ``"probe"``).
     """
     result = StageResult(best_stimulus=param.hard(), best_loss=np.inf)
     growth_step = config.beta
     rounds = 1 + (config.max_growths if progress_check is not None else 0)
     fused = config.fused_bptt
+    if guard is None:
+        guard = NumericsGuard.from_config(config)
 
-    with _frozen_weights(network):
+    with _frozen_weights(network), guard.observing():
         return _run_stage_rounds(
             network, param, objective, steps, config, progress_check,
-            deadline, result, growth_step, rounds, fused,
+            deadline, result, growth_step, rounds, fused, guard, stage_label,
         )
 
 
@@ -146,12 +175,33 @@ def _run_stage_rounds(
     growth_step: int,
     rounds: int,
     fused: bool,
+    guard: NumericsGuard,
+    stage_label: str,
 ) -> StageResult:
+    recovering = guard.active and guard.policy == "recover"
     for round_index in range(rounds):
         optimizer = Adam([param.logits], lr=config.lr)
+        if guard.active:
+            optimizer.pre_step_hook = guard.check_grads
+        # Recovery state for this round: the rollback target (best-known
+        # logits, falling back to the round's starting point), the
+        # multiplicative lr backoff, the annealing clock `sched` (equal to
+        # `step` until a recovery rewinds it to zero), the remaining
+        # restart budget, and the loss-history index from which divergence
+        # is assessed (moved past a recovery so stale pre-rollback losses
+        # cannot re-trigger).
+        recovery_logits = param.logits.data.copy() if recovering else None
+        lr_scale = 1.0
+        sched = 0
+        restarts_left = guard.restart_budget
+        history_mark = len(result.loss_history)
+        since_best = 0
         for step in range(steps):
-            optimizer.lr = max(config.lr_min, config.lr * config.lr_decay**step)
-            tau = max(config.tau_min, config.tau_max * config.tau_decay**step)
+            guard.set_context(stage_label, step)
+            optimizer.lr = max(
+                config.lr_min, config.lr * lr_scale * config.lr_decay**sched
+            )
+            tau = max(config.tau_min, config.tau_max * config.tau_decay**sched)
             t0 = time.perf_counter()
             if fused:
                 seq = param.sample_sequence(tau, noise_scale=config.gumbel_noise)
@@ -160,29 +210,74 @@ def _run_stage_rounds(
                 seq = param.sample(tau, noise_scale=config.gumbel_noise)
                 record = network.forward(seq)
             loss = objective(record, seq)
-            value = loss.item()
+            value = guard.maybe_inject_loss(loss.item())
             t1 = time.perf_counter()
             result.loss_history.append(value)
             result.steps_run += 1
-            if value < result.best_loss:
+            loss_ok = guard.check_loss(value)
+            if loss_ok and value < result.best_loss:
                 result.best_loss = value
                 if fused:
                     result.best_stimulus = seq.data.astype(np.float64, copy=True)
                 else:
                     result.best_stimulus = np.stack([s.data for s in seq])
                 result.best_output = _record_output_array(record)
+                if recovering:
+                    recovery_logits = param.logits.data.copy()
+                since_best = 0
+            else:
+                since_best += 1
+            guard.check_divergence(
+                result.loss_history[history_mark:], result.best_loss
+            )
             t2 = time.perf_counter()
             optimizer.zero_grad()
-            loss.backward()
+            if loss_ok and not guard.pending:
+                loss.backward()
+                guard.maybe_inject_grad(param.logits)
             t3 = time.perf_counter()
-            optimizer.step()
+            if loss_ok and not guard.pending:
+                # pre_step_hook re-checks the gradients inside step() and
+                # vetoes the update before any moment state is touched.
+                if optimizer.step():
+                    guard.check_tensor("logits", param.logits)
             t4 = time.perf_counter()
             result.forward_s += t1 - t0
             result.backward_s += t3 - t2
             result.optimizer_s += t4 - t3
+            if guard.drain():
+                # Something non-finite or divergent happened this step.
+                # Under "strict" the guard already raised; "off" records
+                # nothing; here the policy is "recover".
+                if restarts_left <= 0:
+                    guard.note_abort(stage_label)
+                    result.aborted = True
+                    if recovery_logits is not None:
+                        param.logits.data[...] = recovery_logits
+                    return result
+                restarts_left -= 1
+                result.restarts += 1
+                if recovery_logits is not None:
+                    param.logits.data[...] = recovery_logits
+                optimizer.reset_state()
+                optimizer.zero_grad()
+                lr_scale *= guard.lr_backoff
+                sched = 0
+                history_mark = len(result.loss_history)
+                since_best = 0
+                guard.note_recovery(stage_label, result.restarts)
+            else:
+                sched += 1
             if deadline is not None and time.perf_counter() > deadline:
                 result.timed_out = True
                 return result
+            if (
+                config.plateau_patience is not None
+                and since_best >= config.plateau_patience
+            ):
+                guard.note_plateau(stage_label, step)
+                result.plateaued = True
+                break
         if round_index == rounds - 1:
             break  # no further optimisation round would follow a growth
         if progress_check is None or progress_check(result.best_stimulus):

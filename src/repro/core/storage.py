@@ -20,8 +20,8 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.core.testset import TestStimulus
-from repro.errors import TestGenerationError
+from repro.core.testset import TestStimulus, validate_stimulus_chunks
+from repro.errors import ArtifactError, TestGenerationError
 from repro.snn.network import SNN
 
 
@@ -38,12 +38,24 @@ def pack_stimulus(stimulus: TestStimulus) -> Tuple[List[bytes], List[Tuple[int, 
 def unpack_stimulus(
     payloads: List[bytes], shapes: List[Tuple[int, ...]], input_shape: Tuple[int, ...]
 ) -> TestStimulus:
-    """Inverse of :func:`pack_stimulus`."""
+    """Inverse of :func:`pack_stimulus`.
+
+    Raises :class:`~repro.errors.ArtifactError` when a payload is torn —
+    shorter than its recorded shape requires — so a truncated on-chip
+    artifact fails loudly instead of replaying a partial stimulus.
+    """
     chunks = []
-    for payload, shape in zip(payloads, shapes):
+    for idx, (payload, shape) in enumerate(zip(payloads, shapes)):
         count = int(np.prod(shape))
-        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=count)
+        raw = np.frombuffer(payload, dtype=np.uint8)
+        if raw.size * 8 < count:
+            raise ArtifactError(
+                f"packed chunk {idx} is torn: {raw.size} bytes cannot hold "
+                f"{count} bits for shape {tuple(shape)}"
+            )
+        bits = np.unpackbits(raw, count=count)
         chunks.append(bits.reshape(shape).astype(np.float64))
+    validate_stimulus_chunks(chunks, "packed stimulus")
     return TestStimulus(chunks=chunks, input_shape=tuple(input_shape))
 
 

@@ -16,7 +16,30 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.errors import CheckpointError, TestGenerationError
+from repro.errors import ArtifactError, CheckpointError, TestGenerationError
+
+
+def validate_stimulus_chunks(chunks: List[np.ndarray], source: str) -> None:
+    """Validate loaded stimulus chunks: every value must be finite and
+    binary (exactly 0.0 or 1.0).
+
+    Generated chunks satisfy this by construction (``param.hard()``
+    thresholds logits), so any violation in a loaded artifact means the
+    file was corrupted or hand-edited — raising
+    :class:`~repro.errors.ArtifactError` here stops the bad stimulus
+    before it poisons a fault campaign or coverage measurement.
+    """
+    for idx, chunk in enumerate(chunks):
+        binary = (chunk == 0.0) | (chunk == 1.0)
+        if not binary.all():
+            if not np.isfinite(chunk).all():
+                raise ArtifactError(
+                    f"{source}: chunk {idx} holds non-finite values"
+                )
+            raise ArtifactError(
+                f"{source}: chunk {idx} holds non-binary values "
+                f"(range [{chunk.min():g}, {chunk.max():g}])"
+            )
 
 
 @dataclass
@@ -88,7 +111,9 @@ class TestStimulus:
         """Load chunks saved by :meth:`save`.
 
         Raises :class:`~repro.errors.CheckpointError` if the file is
-        missing, truncated, or not a stimulus archive.
+        missing, truncated, or not a stimulus archive, and
+        :class:`~repro.errors.ArtifactError` if it loads but holds
+        non-finite or non-binary stimulus values.
         """
         try:
             with np.load(path) as data:
@@ -102,4 +127,5 @@ class TestStimulus:
             raise CheckpointError(
                 f"stimulus archive {path} unreadable or corrupt: {exc}"
             ) from exc
+        validate_stimulus_chunks(chunks, str(path))
         return cls(chunks=chunks, input_shape=tuple(input_shape))

@@ -42,6 +42,18 @@ class TestGenerationError(ReproError):
     """The test-generation algorithm hit an unrecoverable state."""
 
 
+class NumericsError(ReproError):
+    """The numerics guard detected a non-finite or divergent value (NaN,
+    Inf, overflow, runaway loss) that the active policy could not — or was
+    configured not to — recover from."""
+
+
+class ArtifactError(ReproError):
+    """A loaded artifact (stimulus archive, packed test) failed validation:
+    non-finite or non-binary stimulus values, torn payloads, or malformed
+    metadata."""
+
+
 class CheckpointError(ReproError):
     """A checkpoint file is missing, truncated, corrupt, or does not match
     the run being resumed."""

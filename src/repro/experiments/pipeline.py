@@ -25,6 +25,7 @@ from repro.autograd.schedule import StepDecay
 from repro.core.checkpoint import atomic_npz_save
 from repro.core.coverage import verify_coverage
 from repro.core.generator import IterationReport, TestGenerationResult, TestGenerator
+from repro.core.guard import GenerationHealth
 from repro.core.testset import TestStimulus
 from repro.datasets.base import SpikingDataset
 from repro.experiments.benchmarks import BenchmarkDefinition
@@ -211,6 +212,7 @@ class ExperimentPipeline:
                 activated_per_layer=activated,
                 runtime_s=meta["runtime_s"],
                 timed_out=meta["timed_out"],
+                health=GenerationHealth.from_meta(meta.get("health")),
             )
         self.log(f"[{self.definition.cache_key}] generating test ...")
         progress_ckpt = self.cache_dir / "generation.progress.ckpt"
@@ -233,6 +235,9 @@ class ExperimentPipeline:
                     "activated_fraction": result.activated_fraction,
                     "runtime_s": result.runtime_s,
                     "timed_out": result.timed_out,
+                    "health": (
+                        result.health.to_meta() if result.health is not None else None
+                    ),
                 },
                 fh,
             )
@@ -245,6 +250,11 @@ class ExperimentPipeline:
             f"[{self.definition.cache_key}] generated {result.num_chunks} chunks in "
             f"{result.runtime_s:.0f}s, activation {result.activated_fraction:.2%}"
         )
+        if result.health is not None and not result.health.clean:
+            self.log(
+                f"[{self.definition.cache_key}] generation health: "
+                f"{result.health.summary()}"
+            )
         return result
 
     # ------------------------------------------------------------------

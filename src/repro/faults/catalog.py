@@ -57,6 +57,45 @@ class FaultCatalog:
         )
 
 
+def validate_faults(network: SNN, faults: Sequence[Fault]) -> None:
+    """Check that every descriptor targets a site that exists in ``network``.
+
+    Catalogs built by :func:`build_catalog` are valid by construction;
+    this guards descriptors loaded from disk or built by hand (e.g. a
+    fault list replayed against a differently-shaped network), raising
+    :class:`~repro.errors.FaultModelError` before a campaign burns hours
+    simulating — or silently mis-indexing — a nonexistent site.
+    """
+    spiking = {int(i) for i in network.spiking_indices}
+    for idx, fault in enumerate(faults):
+        where = f"fault {idx} ({fault.describe()})"
+        if fault.module_index not in spiking:
+            raise FaultModelError(
+                f"{where} targets module {fault.module_index}, which is not "
+                "a spiking module of this network"
+            )
+        module = network.modules[fault.module_index]
+        if fault.is_neuron:
+            if fault.neuron_index >= module.neuron_count:
+                raise FaultModelError(
+                    f"{where} targets neuron {fault.neuron_index}, but module "
+                    f"{fault.module_index} has {module.neuron_count} neurons"
+                )
+        else:
+            params = module.parameters()
+            if fault.parameter_index >= len(params):
+                raise FaultModelError(
+                    f"{where} targets parameter {fault.parameter_index}, but "
+                    f"module {fault.module_index} has {len(params)} parameters"
+                )
+            size = int(params[fault.parameter_index].size)
+            if fault.weight_index >= size:
+                raise FaultModelError(
+                    f"{where} targets weight {fault.weight_index}, but the "
+                    f"parameter holds {size} weights"
+                )
+
+
 def _sample_indices(
     count: int, fraction: float, rng: Optional[np.random.Generator]
 ) -> np.ndarray:

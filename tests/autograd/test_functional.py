@@ -87,6 +87,43 @@ class TestGumbelSoftmax:
         with pytest.raises(ConfigurationError):
             F.gumbel_softmax(_t((2,), 0), tau=0.0, rng=np.random.default_rng(0))
 
+    def test_degenerate_infinite_draw_stays_finite(self):
+        """A logistic sampler can emit +/-Inf when the underlying uniform
+        draw is exactly 0 or 1 (log(0)); the clamp keeps output and
+        gradients finite instead of propagating NaN into the loop."""
+
+        class DegenerateRng:
+            def logistic(self, loc=0.0, scale=1.0, size=None):
+                noise = np.zeros(size)
+                noise.flat[0] = np.inf
+                noise.flat[-1] = -np.inf
+                return noise
+
+        logits = _t((6,), 5)
+        out = F.gumbel_softmax(logits, tau=0.5, rng=DegenerateRng())
+        assert np.isfinite(out.data).all()
+        out.sum().backward()
+        assert np.isfinite(logits.grad).all()
+        # The clamped draw still saturates in the right direction.
+        assert out.data[0] > 0.99
+        assert out.data[-1] < 0.01
+
+    def test_nondegenerate_draws_bit_identical(self):
+        """The clamp bound sits far beyond any non-degenerate float64
+        logistic draw, so normal sampling is bit-identical to the
+        unclipped computation."""
+        logits = _t((64,), 6, scale=2.0)
+        noise = np.random.default_rng(9).logistic(scale=0.3, size=64)
+
+        class FrozenRng:
+            def logistic(self, loc=0.0, scale=1.0, size=None):
+                return noise.copy()
+
+        tau = 0.7
+        out = F.gumbel_softmax(logits, tau=tau, rng=FrozenRng(), noise_scale=0.3)
+        expected = ((Tensor(logits.data) + noise) * (1.0 / tau)).sigmoid()
+        assert np.array_equal(out.data, expected.data)
+
 
 class TestSTE:
     def test_forward_binarizes(self):

@@ -1,0 +1,219 @@
+"""Chaos scenarios for the numerics guard: an injected NaN is recovered
+without corrupting the test set, and the recovery composes with a process
+crash plus checkpoint/resume — results stay bit-identical and the health
+record of the pre-crash recovery survives in the checkpoint."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TestGenConfig
+from repro.core.generator import TestGenerator
+from repro.core.guard import NanInjector, injecting
+from repro.errors import ChaosError, CheckpointError
+from repro.snn.layers import DenseLIF
+from repro.snn.network import SNN
+from repro.snn.neuron import LIFParameters
+from repro.utils import chaos
+
+PARAMS = LIFParameters(threshold=1.0, leak=0.9, refractory_steps=1)
+
+
+def _network():
+    # weight_scale keeps activation gradual so generation spans several
+    # iterations — room to interrupt between checkpoints.
+    rng = np.random.default_rng(0)
+    return SNN(
+        [
+            DenseLIF(8, 6, PARAMS, rng=rng, weight_scale=1.2),
+            DenseLIF(6, 3, PARAMS, rng=rng, weight_scale=1.2),
+        ],
+        input_shape=(8,),
+    )
+
+
+def _config():
+    return TestGenConfig(
+        t_in_min=6,
+        steps_stage1=12,
+        steps_stage2=6,
+        max_iterations=3,
+        stall_iterations=2,
+        time_limit_s=600.0,
+        guard_policy="recover",
+    )
+
+
+def _assert_generation_equal(reference, result):
+    assert len(result.stimulus.chunks) == len(reference.stimulus.chunks)
+    for a, b in zip(result.stimulus.chunks, reference.stimulus.chunks):
+        assert a.dtype == b.dtype
+        assert np.array_equal(a, b)
+    assert result.t_in_min == reference.t_in_min
+    assert len(result.iterations) == len(reference.iterations)
+    for got, want in zip(result.iterations, reference.iterations):
+        assert got.duration == want.duration
+        assert got.new_activations == want.new_activations
+        assert got.activated_total == want.activated_total
+        assert got.restarts == want.restarts
+        assert got.stage_aborted == want.stage_aborted
+    assert result.activated_fraction == reference.activated_fraction
+    for a, b in zip(result.activated_per_layer, reference.activated_per_layer):
+        assert np.array_equal(a, b)
+
+
+class TestInjectedNanSurvivesCrashAndResume:
+    def test_recovery_then_crash_then_resume_bit_identical(self, tmp_path):
+        """Inject a NaN into the stage-1 loss of iteration 0 (recovered in
+        place), kill the process after the iteration-1 checkpoint, resume
+        without the injector: the final stimulus is bit-identical to the
+        uninterrupted injected run and the health events recorded before
+        the crash survive through the checkpoint."""
+        network = _network()
+        config = _config()
+        spec = "stage1-loss@0:2"
+
+        def run(injector_spec=None, **kwargs):
+            gen = TestGenerator(
+                network, config, rng=np.random.default_rng(7), **kwargs
+            )
+            if injector_spec is None:
+                return gen.generate()
+            with injecting(NanInjector.parse(injector_spec)):
+                return gen.generate()
+
+        reference = run(spec)
+        assert reference.health.nonfinite_events >= 1
+        assert reference.health.recoveries >= 1
+        assert len(reference.stimulus.chunks) >= 2  # room to interrupt below
+
+        path = tmp_path / "generation.ckpt"
+        with chaos.installed(chaos.ChaosPolicy.parse("raise@generator-iteration:1")):
+            with pytest.raises(ChaosError):
+                run(spec, checkpoint_path=str(path))
+        assert path.exists()
+
+        # The resume replays iterations >= 1 only, so the iteration-0
+        # injection spec never re-fires — the recovery must come out of
+        # the checkpoint's health record instead.
+        resumed = run(checkpoint_path=str(path), resume=True)
+        _assert_generation_equal(reference, resumed)
+        assert resumed.health.nonfinite_events == reference.health.nonfinite_events
+        assert resumed.health.recoveries == reference.health.recoveries
+        assert resumed.health.events == reference.health.events
+
+    def test_recovered_output_is_uncorrupted(self):
+        """The recovered run's stimulus is valid: finite, strictly binary,
+        and identical in coverage to the uninjected run."""
+        network = _network()
+        config = _config()
+
+        def run(injector_spec=None):
+            gen = TestGenerator(network, config, rng=np.random.default_rng(7))
+            if injector_spec is None:
+                return gen.generate()
+            with injecting(NanInjector.parse(injector_spec)):
+                return gen.generate()
+
+        clean = run()
+        recovered = run("stage1-grad@0:1")
+        for chunk in recovered.stimulus.chunks:
+            assert np.isfinite(chunk).all()
+            assert set(np.unique(chunk)).issubset({0.0, 1.0})
+        assert recovered.activated_fraction == clean.activated_fraction
+        assert recovered.health.recoveries >= 1
+
+    def test_resume_under_different_guard_policy_rejected(
+        self, tmp_path, monkeypatch
+    ):
+        """With ``guard_policy=None`` the effective policy comes from
+        ``$REPRO_GUARD`` and is invisible to the config fingerprint — a
+        checkpoint written under `recover` must still not be adopted by a
+        run resolving to `strict`, or the recovery behaviour (and thus
+        the output) would silently change mid-run."""
+        from repro.core.guard import GUARD_ENV
+
+        network = _network()
+        config = TestGenConfig(
+            t_in_min=6,
+            steps_stage1=12,
+            steps_stage2=6,
+            max_iterations=3,
+            stall_iterations=2,
+            time_limit_s=600.0,
+        )
+        assert config.guard_policy is None  # env-resolved on purpose
+        path = tmp_path / "generation.ckpt"
+        monkeypatch.setenv(GUARD_ENV, "recover")
+        with chaos.installed(chaos.ChaosPolicy.parse("raise@generator-iteration:1")):
+            with pytest.raises(ChaosError):
+                TestGenerator(
+                    network, config, rng=np.random.default_rng(7),
+                    checkpoint_path=str(path),
+                ).generate()
+
+        monkeypatch.setenv(GUARD_ENV, "strict")
+        with pytest.raises(CheckpointError, match="guard policy"):
+            TestGenerator(
+                network, config, rng=np.random.default_rng(7),
+                checkpoint_path=str(path), resume=True,
+            ).generate()
+
+        # Matching policy resumes fine.
+        monkeypatch.setenv(GUARD_ENV, "recover")
+        result = TestGenerator(
+            network, config, rng=np.random.default_rng(7),
+            checkpoint_path=str(path), resume=True,
+        ).generate()
+        assert result.health.policy == "recover"
+
+    def test_verbose_timing_logged_once_per_iteration_under_recovery(self):
+        """Restarted stages must not double-log or double-count timings:
+        exactly one timing line per iteration, and the per-iteration
+        stage/bookkeeping splits stay non-negative."""
+        network = _network()
+        lines = []
+        with injecting(NanInjector.parse("stage1-loss@0:2, stage2-grad@1:1")):
+            result = TestGenerator(
+                network, _config(), rng=np.random.default_rng(7),
+                log=lines.append, verbose=True,
+            ).generate()
+        assert result.health.recoveries >= 1
+        timing_lines = [l for l in lines if "timing:" in l]
+        assert len(timing_lines) == len(result.iterations)
+        for idx in range(len(result.iterations)):
+            assert sum(f"iteration {idx} timing" in l for l in timing_lines) == 1
+        for report in result.iterations:
+            assert report.stage1_s >= 0.0
+            assert report.stage2_s >= 0.0
+            assert report.bookkeeping_s >= 0.0
+
+    def test_old_checkpoint_without_health_still_resumes(self, tmp_path):
+        """Checkpoints written before the health field existed load with
+        ``health=None`` and resume cleanly (fresh health is synthesised)."""
+        from repro.core.checkpoint import GeneratorCheckpoint, load_checkpoint, save_checkpoint
+
+        network = _network()
+        config = _config()
+        path = tmp_path / "generation.ckpt"
+        with chaos.installed(chaos.ChaosPolicy.parse("raise@generator-iteration:1")):
+            with pytest.raises(ChaosError):
+                TestGenerator(
+                    network, config, rng=np.random.default_rng(7),
+                    checkpoint_path=str(path),
+                ).generate()
+
+        # Strip the health meta to mimic a pre-health checkpoint.
+        arrays, meta = load_checkpoint(str(path))
+        meta.pop("health", None)
+        save_checkpoint(str(path), arrays, meta)
+        assert GeneratorCheckpoint.load(str(path)).health is None
+
+        reference = TestGenerator(
+            network, config, rng=np.random.default_rng(7)
+        ).generate()
+        resumed = TestGenerator(
+            network, config, rng=np.random.default_rng(7),
+            checkpoint_path=str(path), resume=True,
+        ).generate()
+        _assert_generation_equal(reference, resumed)
+        assert resumed.health is not None

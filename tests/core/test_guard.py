@@ -1,0 +1,593 @@
+"""Tests for the numerics guard: detection, rollback-and-restart recovery,
+NaN injection, structural reachability triage, and health reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd.optim import Adam
+from repro.autograd.tensor import Tensor
+from repro.core.config import TestGenConfig
+from repro.core.generator import TestGenerator
+from repro.core.guard import (
+    GUARD_ENV,
+    GenerationHealth,
+    NanInjector,
+    NumericsGuard,
+    all_finite,
+    injecting,
+    resolve_policy,
+    structural_unactivatable,
+)
+from repro.core.input_param import InputParameterization
+from repro.core.stage import run_stage
+from repro.errors import ConfigurationError, NumericsError
+from repro.snn.layers import ConvLIF, DenseLIF, RecurrentLIF
+from repro.snn.network import SNN
+from repro.snn.neuron import LIFParameters
+
+PARAMS = LIFParameters(threshold=1.0, leak=0.9, refractory_steps=1)
+
+
+def _dense_net(*weights):
+    """SNN of DenseLIF layers with exactly the given (in, out) weights."""
+    layers = []
+    for w in weights:
+        w = np.asarray(w, dtype=np.float64)
+        layer = DenseLIF(w.shape[0], w.shape[1], PARAMS)
+        layer.weight.data[...] = w
+        layers.append(layer)
+    return SNN(layers, input_shape=(weights[0].shape[0],))
+
+
+def _easy_net():
+    """Every neuron activates from any input spike (all weights +2)."""
+    return _dense_net(np.full((4, 3), 2.0), np.full((3, 2), 2.0))
+
+
+def _quick_config(**overrides):
+    base = dict(
+        t_in_min=4,
+        steps_stage1=10,
+        steps_stage2=5,
+        max_iterations=3,
+        stall_iterations=2,
+        time_limit_s=600.0,
+    )
+    base.update(overrides)
+    return TestGenConfig(**base)
+
+
+# ----------------------------------------------------------------------
+class TestResolvePolicy:
+    def test_default_is_recover(self, monkeypatch):
+        monkeypatch.delenv(GUARD_ENV, raising=False)
+        assert resolve_policy(None) == "recover"
+
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv(GUARD_ENV, "strict")
+        assert resolve_policy(None) == "strict"
+
+    def test_explicit_config_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(GUARD_ENV, "strict")
+        assert resolve_policy("recover") == "recover"
+        assert resolve_policy("off") == "off"
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv(GUARD_ENV, "lenient")
+        with pytest.raises(ConfigurationError):
+            resolve_policy(None)
+
+    def test_config_rejects_bad_policy(self):
+        with pytest.raises(ConfigurationError):
+            TestGenConfig(guard_policy="lenient")
+
+
+class TestAllFinite:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e100, max_value=1e100, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_bounded_finite_arrays_pass(self, values):
+        assert all_finite(np.array(values)) is True
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e100, max_value=1e100, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        ),
+        st.integers(min_value=0, max_value=63),
+        st.sampled_from([np.nan, np.inf, -np.inf]),
+    )
+    def test_any_nonfinite_position_detected(self, values, position, bad):
+        arr = np.array(values)
+        arr[position % arr.size] = bad
+        assert all_finite(arr) is False
+
+    def test_cancelling_infinities_detected(self):
+        # inf + (-inf) sums to NaN, so the sum trick still flags it.
+        assert all_finite(np.array([np.inf, -np.inf])) is False
+
+    def test_overflowing_finite_sum_flagged_as_overflow(self):
+        assert all_finite(np.full(4, 1e308)) is False
+
+
+class TestNanInjector:
+    def test_parse_and_fire_once(self):
+        injector = NanInjector.parse("stage1-loss@0:3")
+        assert injector.fire("stage1-loss", 0, 3) is True
+        assert injector.fire("stage1-loss", 0, 3) is False  # consumed
+
+    def test_wildcards(self):
+        injector = NanInjector.parse("stage2-grad@*:*")
+        assert injector.fire("stage2-grad", 7, 42) is True
+        assert injector.fire("stage2-grad", 0, 0) is False  # one spec, fired
+
+    def test_mismatched_coordinates_do_not_fire(self):
+        injector = NanInjector.parse("stage1-loss@1:2")
+        assert injector.fire("stage1-loss", 0, 2) is False
+        assert injector.fire("stage1-grad", 1, 2) is False
+        assert injector.fire("stage1-loss", 1, 2) is True
+
+    def test_multiple_specs(self):
+        injector = NanInjector.parse("stage1-loss@0:1, stage2-grad@0:0")
+        assert injector.fire("stage2-grad", 0, 0) is True
+        assert injector.fire("stage1-loss", 0, 1) is True
+
+    @pytest.mark.parametrize("text", ["", "stage1-loss", "stage1-loss@3", "x@y:z"])
+    def test_bad_specs_raise(self, text):
+        with pytest.raises(ConfigurationError):
+            NanInjector.parse(text)
+
+
+# ----------------------------------------------------------------------
+class TestNumericsGuardUnits:
+    def test_strict_raises_at_detection_point(self):
+        guard = NumericsGuard(policy="strict")
+        with pytest.raises(NumericsError):
+            guard.check_loss(float("nan"))
+
+    def test_off_is_a_no_op(self):
+        guard = NumericsGuard(policy="off")
+        assert guard.check_loss(float("nan")) is True
+        assert not guard.events and not guard.pending
+
+    def test_recover_records_and_drains(self):
+        guard = NumericsGuard(policy="recover")
+        assert guard.check_loss(float("inf")) is False
+        assert guard.pending
+        events = guard.drain()
+        assert len(events) == 1 and events[0].kind == "nonfinite"
+        assert not guard.pending
+        assert len(guard.events) == 1  # permanent log keeps it
+
+    def test_grad_check_vetoes_adam_update(self):
+        param = Tensor(np.ones(4), requires_grad=True)
+        param.grad = np.array([1.0, np.nan, 1.0, 1.0])
+        optimizer = Adam([param], lr=0.1)
+        guard = NumericsGuard(policy="recover")
+        optimizer.pre_step_hook = guard.check_grads
+        assert optimizer.step() is False
+        assert np.array_equal(param.data, np.ones(4))  # no update applied
+        assert all(np.all(m == 0.0) for m in optimizer._m)  # moments clean
+        assert guard.pending
+
+    def test_adam_reset_state(self):
+        param = Tensor(np.ones(3), requires_grad=True)
+        param.grad = np.ones(3)
+        optimizer = Adam([param], lr=0.1)
+        optimizer.step()
+        assert optimizer._step_count == 1
+        optimizer.reset_state()
+        assert optimizer._step_count == 0
+        assert all(np.all(m == 0.0) for m in optimizer._m)
+        assert all(np.all(v == 0.0) for v in optimizer._v)
+
+    def test_observe_currents_catches_silent_nan(self):
+        # NaN currents produce zero spikes and a finite loss (NaN >=
+        # threshold is False) — the currents hook is the only detector.
+        guard = NumericsGuard(policy="recover")
+        guard.observe_currents(np.array([[0.5, np.nan]]))
+        assert guard.pending
+
+    def test_divergence_detection(self):
+        guard = NumericsGuard(policy="recover", divergence_window=3)
+        history = [1.0, 2.0, 5e6, 6e6, 7e6]
+        assert guard.check_divergence(history, best_loss=1.0) is False
+        assert guard.events[-1].kind == "divergence"
+
+    def test_divergence_needs_full_window(self):
+        guard = NumericsGuard(policy="recover", divergence_window=5)
+        assert guard.check_divergence([1e9, 1e9], best_loss=1.0) is True
+
+    def test_tensor_isfinite_all(self):
+        assert Tensor(np.ones(3)).isfinite_all() is True
+        assert Tensor(np.array([1.0, np.inf])).isfinite_all() is False
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert t.isfinite_all(grad=True) is True  # missing grad buffer
+        t.grad = np.array([np.nan, 0.0, 0.0])
+        assert t.isfinite_all(grad=True) is False
+
+
+# ----------------------------------------------------------------------
+class TestStageRecovery:
+    def _run(self, config, injector_spec=None, steps=8, seed=5):
+        network = _easy_net()
+        rng = np.random.default_rng(seed)
+        param = InputParameterization(
+            network.input_shape, 4, rng, dtype=config.np_dtype
+        )
+        guard = NumericsGuard.from_config(config)
+
+        def objective(record, seq):
+            out = record.output
+            if not isinstance(out, Tensor):
+                from repro.autograd.tensor import stack
+
+                out = stack(out)
+            return ((out - 0.5) ** 2.0).sum()
+
+        if injector_spec is None:
+            return run_stage(
+                network, param, objective, steps, config,
+                guard=guard, stage_label="stage1",
+            ), guard
+        with injecting(NanInjector.parse(injector_spec)):
+            return run_stage(
+                network, param, objective, steps, config,
+                guard=guard, stage_label="stage1",
+            ), guard
+
+    def test_strict_raises_on_injected_loss(self):
+        config = _quick_config(guard_policy="strict")
+        with pytest.raises(NumericsError):
+            self._run(config, "stage1-loss@0:2")
+
+    def test_strict_raises_on_injected_grad(self):
+        config = _quick_config(guard_policy="strict")
+        with pytest.raises(NumericsError):
+            self._run(config, "stage1-grad@0:2")
+
+    def test_detection_within_one_step(self):
+        config = _quick_config(guard_policy="recover")
+        result, guard = self._run(config, "stage1-loss@0:3")
+        assert guard.events, "injected NaN was not detected"
+        assert guard.events[0].step == 3  # caught in the injected step
+        assert result.restarts >= 1
+
+    def test_recovery_restores_finite_state(self):
+        config = _quick_config(guard_policy="recover")
+        result, guard = self._run(config, "stage1-grad@0:1")
+        assert result.restarts >= 1
+        assert not result.aborted
+        assert np.isfinite(result.best_loss)
+        assert set(np.unique(result.best_stimulus)).issubset({0.0, 1.0})
+
+    def test_budget_exhaustion_aborts_with_best_known(self):
+        config = _quick_config(guard_policy="recover", guard_restart_budget=0)
+        result, guard = self._run(config, "stage1-loss@0:3")
+        assert result.aborted is True
+        assert guard.aborted_stages == 1
+        assert set(np.unique(result.best_stimulus)).issubset({0.0, 1.0})
+
+    def test_no_injection_means_no_events(self):
+        config = _quick_config(guard_policy="recover")
+        result, guard = self._run(config)
+        assert not guard.events
+        assert result.restarts == 0 and not result.aborted
+
+    def test_guarded_equals_unguarded_without_faults(self):
+        """`recover` with no numeric fault is bit-identical to `off`."""
+        base = _quick_config(guard_policy="off")
+        guarded = _quick_config(guard_policy="recover")
+        res_off, _ = self._run(base)
+        res_rec, _ = self._run(guarded)
+        assert np.array_equal(res_off.best_stimulus, res_rec.best_stimulus)
+        assert res_off.best_loss == res_rec.best_loss
+        assert res_off.loss_history == res_rec.loss_history
+
+    def test_plateau_stop(self):
+        # A constant objective never improves after the first step.
+        network = _easy_net()
+        config = _quick_config(guard_policy="recover", plateau_patience=3)
+        param = InputParameterization(
+            network.input_shape, 4, np.random.default_rng(0)
+        )
+        guard = NumericsGuard.from_config(config)
+        result = run_stage(
+            network,
+            param,
+            lambda record, seq: (_seq_tensor(seq) * 0.0).sum(),
+            20,
+            config,
+            guard=guard,
+            stage_label="stage1",
+        )
+        assert result.plateaued is True
+        assert result.steps_run <= 5  # 1 improving step + patience
+        assert guard.plateau_stops == 1
+
+
+def _seq_tensor(seq):
+    if isinstance(seq, Tensor):
+        return seq
+    from repro.autograd.tensor import stack
+
+    return stack(seq)
+
+
+# ----------------------------------------------------------------------
+class TestGeneratorRecovery:
+    def test_recovered_run_matches_uninjected_coverage(self):
+        """A deterministic NaN in stage-1 gradients is detected and
+        recovered; the run still reaches the same final coverage."""
+        config = _quick_config(guard_policy="recover")
+
+        def run(spec=None):
+            gen = TestGenerator(_easy_net(), config, np.random.default_rng(3))
+            if spec is None:
+                return gen.generate()
+            with injecting(NanInjector.parse(spec)):
+                return gen.generate()
+
+        clean = run()
+        assert clean.activated_fraction == 1.0  # easy net: full coverage
+        recovered = run("stage1-grad@0:1")
+        assert recovered.activated_fraction == clean.activated_fraction
+        health = recovered.health
+        assert health is not None
+        assert health.nonfinite_events >= 1
+        assert health.recoveries >= 1
+        assert not health.clean
+        assert any("stage1" in event for event in health.events)
+        # Recovered output is still a valid binary test set.
+        for chunk in recovered.stimulus.chunks:
+            assert set(np.unique(chunk)).issubset({0.0, 1.0})
+
+    def test_strict_policy_raises_through_generator(self):
+        config = _quick_config(guard_policy="strict")
+        gen = TestGenerator(_easy_net(), config, np.random.default_rng(3))
+        with injecting(NanInjector.parse("stage1-loss@0:0")):
+            with pytest.raises(NumericsError):
+                gen.generate()
+
+    def test_off_policy_records_nothing(self):
+        config = _quick_config(guard_policy="off")
+        result = TestGenerator(
+            _easy_net(), config, np.random.default_rng(3)
+        ).generate()
+        assert result.health is not None
+        assert result.health.policy == "off"
+        assert result.health.clean
+
+    def test_iteration_reports_thread_restart_counts(self):
+        config = _quick_config(guard_policy="recover")
+        with injecting(NanInjector.parse("stage1-loss@0:1")):
+            result = TestGenerator(
+                _easy_net(), config, np.random.default_rng(3)
+            ).generate()
+        assert result.iterations[0].restarts >= 1
+        assert all(r.stage1_s >= 0.0 for r in result.iterations)
+        assert all(r.stage2_s >= 0.0 for r in result.iterations)
+        assert all(r.bookkeeping_s >= -1e-9 for r in result.iterations)
+
+
+# ----------------------------------------------------------------------
+class TestStructuralReachability:
+    def test_zero_fan_in_neuron_flagged(self):
+        w = np.full((4, 3), 2.0)
+        w[:, 1] = 0.0
+        net = _dense_net(w, np.full((3, 2), 2.0))
+        masks = structural_unactivatable(net)
+        assert masks[0].tolist() == [False, True, False]
+        assert not masks[1].any()
+
+    def test_all_nonpositive_fan_in_flagged(self):
+        w = np.full((4, 3), 2.0)
+        w[:, 2] = -1.0
+        net = _dense_net(w, np.full((3, 2), 2.0))
+        masks = structural_unactivatable(net)
+        assert masks[0].tolist() == [False, False, True]
+
+    def test_dead_path_propagates_downstream(self):
+        # Hidden neuron 1 is dead; output neuron 0 is fed positively
+        # only by it, so the dead path propagates forward.
+        w1 = np.full((4, 3), 2.0)
+        w1[:, 1] = 0.0
+        w2 = np.zeros((3, 2))
+        w2[1, 0] = 5.0  # only the dead neuron feeds output 0
+        w2[0, 1] = 5.0
+        net = _dense_net(w1, w2)
+        masks = structural_unactivatable(net)
+        assert masks[0].tolist() == [False, True, False]
+        assert masks[1].tolist() == [True, False]
+
+    def test_nonpositive_threshold_never_flagged(self):
+        w = np.zeros((4, 3))  # no fan-in at all
+        net = _dense_net(w, np.full((3, 2), 2.0))
+        net.modules[0].threshold[1] = 0.0  # fires from rest
+        masks = structural_unactivatable(net)
+        assert masks[0].tolist() == [True, False, True]
+
+    def test_negative_leak_never_flagged(self):
+        w = np.zeros((4, 3))
+        net = _dense_net(w, np.full((3, 2), 2.0))
+        net.modules[0].leak[2] = -0.5  # sign-monotonicity broken
+        masks = structural_unactivatable(net)
+        assert masks[0].tolist() == [True, True, False]
+
+    def test_recurrent_feedback_rescues_neuron(self):
+        layer = RecurrentLIF(2, 2, PARAMS)
+        layer.weight.data[...] = np.array([[2.0, 0.0], [0.0, 0.0]])
+        layer.recurrent_weight.data[...] = np.array([[0.0, 2.0], [0.0, 0.0]])
+        net = SNN([layer], input_shape=(2,))
+        masks = structural_unactivatable(net)
+        # Neuron 1 has no feed-forward input but is fed by activatable
+        # neuron 0 through the recurrent weights.
+        assert masks[0].tolist() == [False, False]
+
+    def test_recurrent_dead_feedback_does_not_bootstrap(self):
+        layer = RecurrentLIF(2, 2, PARAMS)
+        layer.weight.data[...] = np.array([[2.0, 0.0], [0.0, 0.0]])
+        # Neuron 1 only feeds itself: dead feedback cannot bootstrap.
+        layer.recurrent_weight.data[...] = np.array([[0.0, 0.0], [0.0, 2.0]])
+        net = SNN([layer], input_shape=(2,))
+        masks = structural_unactivatable(net)
+        assert masks[0].tolist() == [False, True]
+
+    def test_conv_dead_filter_flagged_per_channel(self):
+        layer = ConvLIF(1, 2, (4, 4), kernel=3, params=PARAMS, padding=1)
+        layer.weight.data[0] = 1.0  # channel 0 alive
+        layer.weight.data[1] = -1.0  # channel 1: all non-positive
+        net = SNN([layer], input_shape=(1, 4, 4))
+        masks = structural_unactivatable(net)
+        grid = masks[0].reshape(layer.neuron_shape)
+        assert not grid[0].any()
+        assert grid[1].all()
+
+    def test_generator_excludes_unactivatable_from_denominator(self):
+        """A zero-fan-in neuron: generation finishes with full coverage
+        of the activatable set, no iterations chasing the dead neuron,
+        and an explicit note in the health report."""
+        w1 = np.full((4, 3), 2.0)
+        w1[:, 1] = 0.0  # hidden neuron 1 can provably never fire
+        net = _dense_net(w1, np.full((3, 2), 2.0))
+        config = _quick_config(guard_policy="recover")
+        logs = []
+        result = TestGenerator(
+            net, config, np.random.default_rng(3), log=logs.append
+        ).generate()
+        assert result.activated_fraction == 1.0
+        assert result.health.unactivatable_neurons == 1
+        assert result.health.unactivatable_per_layer == [1, 0]
+        # The dead neuron was never activated, and the run did not stall
+        # out its iteration budget chasing it.
+        assert not result.activated_per_layer[0][1]
+        assert len(result.iterations) < config.max_iterations
+        assert any("unactivatable" in line for line in logs)
+        assert "unactivatable" in result.health.summary()
+
+    def test_triage_can_be_disabled(self):
+        w1 = np.full((4, 3), 2.0)
+        w1[:, 1] = 0.0
+        net = _dense_net(w1, np.full((3, 2), 2.0))
+        config = _quick_config(
+            guard_policy="recover", reachability_triage=False, max_iterations=2
+        )
+        result = TestGenerator(net, config, np.random.default_rng(3)).generate()
+        assert result.health.unactivatable_neurons == 0
+        assert result.activated_fraction < 1.0  # dead neuron in denominator
+
+
+# ----------------------------------------------------------------------
+class TestDtypeGuard:
+    def _overflow_stage(self, dtype, policy):
+        """An objective whose scale overflows float32 but not float64."""
+        network = _easy_net()
+        config = _quick_config(
+            guard_policy=policy, dtype=dtype, fused_bptt=True
+        )
+        param = InputParameterization(
+            network.input_shape, 4, np.random.default_rng(0), dtype=config.np_dtype
+        )
+        guard = NumericsGuard.from_config(config)
+
+        def objective(record, seq):
+            out = record.output
+            # (sum + 1) * 1e30 * 1e25: ~1e55 overflows float32 (max
+            # ~3.4e38) to Inf but is comfortably finite in float64.
+            return (out.sum() + 1.0) * 1e30 * 1e25
+
+        result = run_stage(
+            network, param, objective, 4, config, guard=guard, stage_label="stage1"
+        )
+        return result, guard
+
+    def test_float32_overflow_caught_strict(self):
+        with pytest.raises(NumericsError):
+            self._overflow_stage("float32", "strict")
+
+    def test_float64_tolerates_same_objective(self):
+        result, guard = self._overflow_stage("float64", "strict")
+        assert not guard.events
+        assert np.isfinite(result.best_loss)
+
+    def test_float32_overflow_recovered(self):
+        result, guard = self._overflow_stage("float32", "recover")
+        # Every step overflows, so the budget is spent and the stage is
+        # degraded gracefully instead of crashing or looping forever.
+        assert guard.events
+        assert result.aborted or result.restarts >= 1
+        assert set(np.unique(result.best_stimulus)).issubset({0.0, 1.0})
+
+    def test_extreme_config_completes_under_recover(self):
+        """Large surrogate slope + tiny tau on float32: the guarded run
+        still finishes and yields a finite binary stimulus."""
+        config = _quick_config(
+            guard_policy="recover",
+            dtype="float32",
+            fused_bptt=True,
+            surrogate_slope=1e6,
+            tau_min=1e-30,
+            tau_max=0.9,
+            tau_decay=0.5,  # anneal aggressively towards tau_min
+        )
+        result = TestGenerator(
+            _easy_net(), config, np.random.default_rng(11)
+        ).generate()
+        for chunk in result.stimulus.chunks:
+            assert np.isfinite(chunk).all()
+            assert set(np.unique(chunk)).issubset({0.0, 1.0})
+
+
+# ----------------------------------------------------------------------
+class TestGenerationHealthReport:
+    def test_meta_round_trip(self):
+        health = GenerationHealth(
+            policy="recover",
+            regime="fused-float64",
+            nonfinite_events=2,
+            recoveries=1,
+            unactivatable_neurons=3,
+            unactivatable_per_layer=[2, 1],
+            events=["nonfinite loss at stage1 iteration 0 step 3"],
+        )
+        clone = GenerationHealth.from_meta(health.to_meta())
+        assert clone == health
+
+    def test_from_meta_none_passthrough(self):
+        assert GenerationHealth.from_meta(None) is None
+
+    def test_clean_flag(self):
+        assert GenerationHealth().clean
+        assert not GenerationHealth(nonfinite_events=1).clean
+        assert not GenerationHealth(divergence_events=1).clean
+        assert not GenerationHealth(aborted_stages=1).clean
+        # Triage and plateau stops are expected degradations, not faults.
+        assert GenerationHealth(unactivatable_neurons=5, plateau_stops=1).clean
+
+    def test_absorb_folds_guard_state(self):
+        guard = NumericsGuard(policy="recover")
+        guard.check_loss(float("nan"))
+        guard.note_recovery("stage1", 1)
+        health = GenerationHealth(policy="recover")
+        health.absorb(guard)
+        assert health.nonfinite_events == 1
+        assert health.recoveries == 1
+        assert len(health.events) == 1
+
+    def test_summary_mentions_detections(self):
+        health = GenerationHealth(
+            policy="recover", regime="fused-float64", nonfinite_events=2
+        )
+        assert "non-finite" in health.summary()
+        assert GenerationHealth(regime="fused-float64").summary().startswith(
+            "healthy"
+        )

@@ -1,14 +1,21 @@
-"""Tests for on-chip test storage: bit-packing and golden signatures."""
+"""Tests for on-chip test storage: bit-packing, golden signatures, and
+loaded-artifact validation (corrupt stimuli and fault lists fail loudly)."""
 
 import numpy as np
 import pytest
 
 from repro.core.storage import StoredTest, pack_stimulus, unpack_stimulus
-from repro.core.testset import TestStimulus
-from repro.errors import TestGenerationError
-from repro.faults.catalog import build_catalog
+from repro.core.testset import TestStimulus, validate_stimulus_chunks
+from repro.errors import ArtifactError, FaultModelError, ReproError, TestGenerationError
+from repro.faults.catalog import build_catalog, validate_faults
 from repro.faults.injector import inject
-from repro.faults.model import FaultModelConfig
+from repro.faults.model import (
+    FaultModelConfig,
+    NeuronFault,
+    NeuronFaultKind,
+    SynapseFault,
+    SynapseFaultKind,
+)
 
 
 def _stimulus(seed=0, shape=(6,)):
@@ -98,3 +105,108 @@ class TestStoredTest:
         np.savez(path, nothing=np.zeros(1))
         with pytest.raises(TestGenerationError):
             StoredTest.load(path)
+
+
+class TestArtifactValidation:
+    """Loaded artifacts are validated before use; every violation is a
+    typed :class:`ReproError` subclass, not a silent garbage campaign."""
+
+    def test_valid_chunks_pass(self):
+        validate_stimulus_chunks(_stimulus().chunks, "test")
+
+    def test_non_binary_chunk_rejected(self):
+        chunks = _stimulus().chunks
+        chunks[1][0, 0, 2] = 0.5
+        with pytest.raises(ArtifactError, match="non-binary"):
+            validate_stimulus_chunks(chunks, "test")
+
+    def test_non_finite_chunk_rejected(self):
+        chunks = _stimulus().chunks
+        chunks[0][1, 0, 3] = np.nan
+        with pytest.raises(ArtifactError, match="non-finite"):
+            validate_stimulus_chunks(chunks, "test")
+
+    def test_stimulus_load_rejects_corrupt_values(self, tmp_path):
+        path = str(tmp_path / "stim.npz")
+        bad = np.full((4, 1, 6), 3.0)  # uint8-representable but non-binary
+        np.savez(path, chunk0=bad.astype(np.uint8))
+        with pytest.raises(ArtifactError):
+            TestStimulus.load(path, (6,))
+
+    def test_stimulus_save_load_round_trip_validates_clean(self, tmp_path):
+        stim = _stimulus()
+        path = str(tmp_path / "stim.npz")
+        stim.save(path)
+        loaded = TestStimulus.load(path, stim.input_shape)
+        for a, b in zip(stim.chunks, loaded.chunks):
+            assert np.array_equal(a, b)
+
+    def test_torn_payload_rejected(self):
+        stim = _stimulus()
+        payloads, shapes = pack_stimulus(stim)
+        torn = [payloads[0], payloads[1][:-2]]  # drop trailing bytes
+        with pytest.raises(ArtifactError, match="torn"):
+            unpack_stimulus(torn, shapes, stim.input_shape)
+
+    def test_errors_are_typed(self):
+        assert issubclass(ArtifactError, ReproError)
+        assert issubclass(FaultModelError, ReproError)
+
+
+class TestFaultDescriptorValidation:
+    def test_catalog_is_valid_by_construction(self, tiny_network):
+        catalog = build_catalog(tiny_network)
+        validate_faults(tiny_network, catalog.faults)
+
+    def test_bad_module_index_rejected(self, tiny_network):
+        fault = NeuronFault(
+            module_index=99, neuron_index=0, kind=NeuronFaultKind.DEAD
+        )
+        with pytest.raises(FaultModelError, match="module 99"):
+            validate_faults(tiny_network, [fault])
+
+    def test_out_of_range_neuron_rejected(self, tiny_network):
+        module_index = int(tiny_network.spiking_indices[0])
+        count = tiny_network.modules[module_index].neuron_count
+        fault = NeuronFault(
+            module_index=module_index, neuron_index=count, kind=NeuronFaultKind.DEAD
+        )
+        with pytest.raises(FaultModelError, match=f"{count} neurons"):
+            validate_faults(tiny_network, [fault])
+
+    def test_out_of_range_weight_rejected(self, tiny_network):
+        module_index = int(tiny_network.spiking_indices[0])
+        size = int(tiny_network.modules[module_index].parameters()[0].size)
+        fault = SynapseFault(
+            module_index=module_index,
+            parameter_index=0,
+            weight_index=size,
+            kind=SynapseFaultKind.DEAD,
+        )
+        with pytest.raises(FaultModelError, match=f"{size} weights"):
+            validate_faults(tiny_network, [fault])
+
+    def test_out_of_range_parameter_rejected(self, tiny_network):
+        # parameter_index 1 is legal for the descriptor (recurrent weight)
+        # but DenseLIF modules expose a single parameter.
+        module_index = int(tiny_network.spiking_indices[0])
+        fault = SynapseFault(
+            module_index=module_index,
+            parameter_index=1,
+            weight_index=0,
+            kind=SynapseFaultKind.DEAD,
+        )
+        with pytest.raises(FaultModelError, match="parameter 1"):
+            validate_faults(tiny_network, [fault])
+
+    def test_verify_coverage_rejects_mismatched_faults(self, tiny_network):
+        from repro.core.coverage import verify_coverage
+
+        stim = TestStimulus(
+            chunks=[np.zeros((4, 1, 24))], input_shape=(24,)
+        )
+        fault = NeuronFault(
+            module_index=99, neuron_index=0, kind=NeuronFaultKind.DEAD
+        )
+        with pytest.raises(FaultModelError):
+            verify_coverage(tiny_network, stim, [fault])
