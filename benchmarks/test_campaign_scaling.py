@@ -23,13 +23,15 @@ campaign under-utilises the batched paths.
 import json
 import os
 import time
+import tracemalloc
 
 import numpy as np
 from conftest import run_once
 
+from repro.core.testset import TestStimulus
 from repro.experiments.benchmarks import get_benchmark
 from repro.faults.catalog import build_catalog
-from repro.faults.parallel import parallel_detect
+from repro.faults.parallel import parallel_detect, parallel_detect_segmented
 from repro.faults.simulator import FaultSimulator
 from repro.snn.builder import build_network
 
@@ -121,3 +123,79 @@ def test_campaign_scaling(benchmark, results_dir):
         # the sequential reference by >= 2x on the full catalog.
         assert payload["batched_speedup"] >= 2.0, payload
         assert payload["synapse_batched_speedup"] >= 2.0, payload
+
+
+def _traced(fn):
+    """Run ``fn`` and return (result, wall seconds, tracemalloc peak bytes).
+
+    tracemalloc tracks numpy buffer allocations, so the peak captures the
+    campaign's working set — the assembled stimulus, golden caches, and
+    batch tensors — without OS-level noise from other tests."""
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, elapsed, peak
+
+
+def test_segmented_detection(results_dir):
+    """Segment-wise campaign vs the assembled reference on a multi-chunk
+    test: the ``detected`` mask must be bit-identical, the segmented
+    engine must be >= 1.5x faster (fault dropping + divergence exit), and
+    its peak memory must be lower (it never materializes ``assembled()``
+    or full-duration golden activations)."""
+    definition, network, faults, _ = _campaign_setup()
+    chunk_steps = [3, 3, 2] if QUICK else [8] * 6
+    rng = np.random.default_rng(2)
+    stimulus = TestStimulus(
+        chunks=[
+            (rng.random((d, 1) + definition.spec.input_shape) > 0.7).astype(float)
+            for d in chunk_steps
+        ],
+        input_shape=definition.spec.input_shape,
+    )
+    simulator = FaultSimulator(network, definition.fault_config)
+
+    assembled_input = stimulus.assembled()
+    reference, t_assembled, mem_assembled = _traced(
+        lambda: parallel_detect(simulator, assembled_input, faults, workers=1)
+    )
+    del assembled_input
+    segmented, t_segmented, mem_segmented = _traced(
+        lambda: parallel_detect_segmented(simulator, stimulus, faults, workers=1)
+    )
+
+    assert np.array_equal(reference.detected, segmented.detected)
+
+    payload = {
+        "benchmark": definition.cache_key,
+        "quick_mode": QUICK,
+        "faults": len(faults),
+        "chunks": len(chunk_steps),
+        "test_steps": stimulus.duration_steps,
+        "assembled_s": t_assembled,
+        "segmented_s": t_segmented,
+        "segmented_speedup": t_assembled / t_segmented,
+        "assembled_peak_mb": mem_assembled / 1e6,
+        "segmented_peak_mb": mem_segmented / 1e6,
+        "peak_memory_ratio": mem_segmented / mem_assembled,
+        "detected": int(segmented.detected.sum()),
+        "cpu_count": os.cpu_count(),
+    }
+    with open(results_dir / "campaign_segmented.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(
+        f"\nsegmented campaign ({len(faults)} faults, "
+        f"{stimulus.duration_steps} steps in {len(chunk_steps)} chunks): "
+        f"assembled {t_assembled:.2f}s / {payload['assembled_peak_mb']:.0f}MB, "
+        f"segmented {t_segmented:.2f}s / {payload['segmented_peak_mb']:.0f}MB "
+        f"({payload['segmented_speedup']:.2f}x faster, "
+        f"{payload['peak_memory_ratio']:.2f}x memory)"
+    )
+
+    if not QUICK:
+        assert payload["segmented_speedup"] >= 1.5, payload
+        assert payload["peak_memory_ratio"] < 1.0, payload

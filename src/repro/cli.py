@@ -78,8 +78,17 @@ def _build_parser() -> argparse.ArgumentParser:
     add_pipeline_args(sub.add_parser(
         "faultsim", help="run the criticality-labelling fault-simulation campaign"))
     add_pipeline_args(sub.add_parser("generate", help="run the proposed test generation"))
-    add_pipeline_args(sub.add_parser(
-        "verify", help="fault-simulate the generated test and print coverage"))
+    verify = sub.add_parser(
+        "verify", help="fault-simulate the generated test and print coverage")
+    add_pipeline_args(verify)
+    verify.add_argument("--assembled", action="store_true",
+                        help="run the legacy assembled campaign instead of the "
+                        "segment-wise engine (same results, more memory)")
+    verify.add_argument("--fast-metrics", action="store_true",
+                        help="enable fault dropping in the segmented campaign: "
+                        "detection is still exact but output_l1/class_count_diff "
+                        "only cover segments up to first detection (skips the "
+                        "Fig. 9 exact-metrics guarantee)")
 
     pack = sub.add_parser("pack", help="build the on-chip StoredTest artifact")
     add_pipeline_args(pack)
@@ -111,6 +120,8 @@ def _pipeline(args, name: Optional[str] = None) -> ExperimentPipeline:
         workers=getattr(args, "workers", None),
         verbose=getattr(args, "verbose", False),
         resume=getattr(args, "resume", False),
+        detect_assembled=getattr(args, "assembled", False),
+        fast_metrics=getattr(args, "fast_metrics", False),
     )
 
 

@@ -12,7 +12,7 @@ import numpy as np
 from repro.core.testset import TestStimulus
 from repro.faults.catalog import validate_faults
 from repro.faults.model import FaultModelConfig
-from repro.faults.parallel import parallel_detect
+from repro.faults.parallel import parallel_detect, parallel_detect_segmented
 from repro.faults.simulator import (
     ClassificationResult,
     CoverageBreakdown,
@@ -32,28 +32,54 @@ def verify_coverage(
     workers: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    segmented: bool = True,
+    exact_metrics: bool = False,
 ):
-    """Fault-simulate the assembled test stimulus.
+    """Fault-simulate the test stimulus and report detection / coverage.
+
+    By default the campaign runs segment-wise
+    (:func:`~repro.faults.parallel.parallel_detect_segmented`): the test's
+    chunk+sleep segments are simulated one at a time with fault dropping
+    and divergence-bounded propagation, so ``assembled()`` is never
+    materialized and peak memory is bounded by the longest chunk.  The
+    ``detected`` mask — and therefore every coverage figure — is
+    bit-identical to the assembled campaign.  Pass ``exact_metrics=True``
+    to disable fault dropping so ``output_l1`` / ``class_count_diff`` are
+    also bit-identical (the Fig. 9 path needs them), or ``segmented=False``
+    to run the legacy assembled campaign.
 
     ``workers`` shards the campaign across supervised processes (``None``
     defers to ``$REPRO_WORKERS``; 1 runs serially in-process).  With
-    ``checkpoint_path`` set, completed shards are persisted and
-    ``resume=True`` continues a killed campaign from them (results stay
-    bit-identical; see ``docs/RESILIENCE.md``).  Returns the
+    ``checkpoint_path`` set, completed shards are persisted — the
+    segmented serial path additionally checkpoints per (fault-group,
+    segment) — and ``resume=True`` continues a killed campaign from them
+    (results stay bit-identical; see ``docs/RESILIENCE.md``).  Returns the
     :class:`DetectionResult`; if ``classification`` labels are provided,
     also the Table-III-style :class:`CoverageBreakdown`.
     """
     validate_faults(network, faults)
     simulator = FaultSimulator(network, fault_config)
-    detection = parallel_detect(
-        simulator,
-        stimulus.assembled(),
-        faults,
-        workers=workers,
-        progress=progress,
-        checkpoint_path=checkpoint_path,
-        resume=resume,
-    )
+    if segmented:
+        detection = parallel_detect_segmented(
+            simulator,
+            stimulus,
+            faults,
+            workers=workers,
+            progress=progress,
+            drop_detected=not exact_metrics,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+        )
+    else:
+        detection = parallel_detect(
+            simulator,
+            stimulus.assembled(),
+            faults,
+            workers=workers,
+            progress=progress,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+        )
     if classification is None:
         return detection, None
     breakdown = FaultSimulator.coverage(detection, classification)

@@ -84,6 +84,42 @@ class TestStimulus:
             raise TestGenerationError(f"sample_steps must be >= 1, got {sample_steps}")
         return self.duration_steps / sample_steps
 
+    @property
+    def num_segments(self) -> int:
+        """Number of test segments: one per chunk (each non-final segment
+        is the chunk followed by its equal-duration sleep gap)."""
+        return len(self.chunks)
+
+    @property
+    def segment_durations(self) -> List[int]:
+        """Step count of each segment: ``2 T_j`` for non-final chunks
+        (chunk + sleep), ``T_d`` for the last.  Sums to ``duration_steps``."""
+        durations = self.chunk_durations
+        return [2 * d for d in durations[:-1]] + [durations[-1]]
+
+    def segment(self, index: int) -> np.ndarray:
+        """Segment ``index`` of the assembled stimulus (Eq. 7): the chunk
+        followed by its zero sleep gap (the final chunk has none).
+
+        Concatenating all segments reproduces :meth:`assembled` exactly,
+        but only one segment is ever materialized — the segment-wise
+        campaign engine iterates these so peak memory scales with the
+        longest chunk, not the total test duration.
+        """
+        if not 0 <= index < len(self.chunks):
+            raise TestGenerationError(
+                f"segment index {index} out of range [0, {len(self.chunks)})"
+            )
+        chunk = self.chunks[index]
+        if index == len(self.chunks) - 1:
+            return chunk
+        return np.concatenate([chunk, np.zeros_like(chunk)], axis=0)
+
+    def iter_segments(self):
+        """Yield the segments in order (see :meth:`segment`)."""
+        for index in range(len(self.chunks)):
+            yield self.segment(index)
+
     def assembled(self) -> np.ndarray:
         """The full stimulus (Eq. 7): shape ``(T_test, 1, *input_shape)``."""
         pieces: List[np.ndarray] = []

@@ -68,11 +68,20 @@ class ExperimentPipeline:
         workers: Optional[int] = None,
         verbose: bool = False,
         resume: bool = False,
+        detect_assembled: bool = False,
+        fast_metrics: bool = False,
     ) -> None:
         self.definition = definition
         self.seed = seed
         self.verbose = verbose
         self.resume = resume
+        # Detection-campaign mode: segmented by default; the pipeline keeps
+        # exact metrics (no fault dropping) because detection.npz feeds the
+        # Fig. 9 class_count_diff / output_l1 reproduction.  ``fast_metrics``
+        # opts into dropping (exact ``detected``, partial metrics);
+        # ``detect_assembled`` falls back to the legacy assembled campaign.
+        self.detect_assembled = detect_assembled
+        self.fast_metrics = fast_metrics
         self.workers = resolve_workers(workers)
         self.seeds = SeedSequenceFactory(seed)
         self.results_dir = Path(results_dir) if results_dir is not None else default_results_dir()
@@ -83,6 +92,8 @@ class ExperimentPipeline:
         self._network: Optional[SNN] = None
         self._training: Optional[TrainingResult] = None
         self._catalog: Optional[FaultCatalog] = None
+        self._classify_data = None
+        self._classify_golden: Optional[List[np.ndarray]] = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -148,6 +159,28 @@ class ExperimentPipeline:
         return self._catalog
 
     # ------------------------------------------------------------------
+    def classify_data(self):
+        """The classification sample subset, drawn once per pipeline."""
+        if self._classify_data is None:
+            self._classify_data = self.dataset().subset(
+                self.definition.classify_samples, "test"
+            )
+        return self._classify_data
+
+    def classify_golden(self) -> List[np.ndarray]:
+        """Fault-free per-module outputs for the classification samples.
+
+        Computed at most once per pipeline and shared by every campaign
+        that runs over these samples — the labelling campaign and the
+        exact accuracy-drop fill-in — so the fault-free network never runs
+        twice for the same stimulus.
+        """
+        if self._classify_golden is None:
+            inputs, _ = self.classify_data()
+            self._classify_golden = self.network().run_modules(inputs)
+        return self._classify_golden
+
+    # ------------------------------------------------------------------
     def classification(self) -> ClassificationResult:
         """Criticality labels for the catalog (Table II campaign)."""
         catalog = self.catalog()
@@ -163,9 +196,7 @@ class ExperimentPipeline:
                         wall_time=float(data["wall_time"]),
                     )
         self.log(f"[{self.definition.cache_key}] labelling {len(catalog)} faults ...")
-        inputs, labels = self.dataset().subset(
-            self.definition.classify_samples, "test"
-        )
+        inputs, labels = self.classify_data()
         simulator = FaultSimulator(self.network(), self.definition.fault_config)
         progress_ckpt = self.cache_dir / "classification.progress.ckpt"
         result = parallel_classify(
@@ -176,6 +207,7 @@ class ExperimentPipeline:
             workers=self.workers,
             checkpoint_path=str(progress_ckpt),
             resume=self.resume,
+            golden_modules=self.classify_golden(),
         )
         atomic_npz_save(
             str(path),
@@ -259,7 +291,8 @@ class ExperimentPipeline:
 
     # ------------------------------------------------------------------
     def detection(self) -> DetectionResult:
-        """Final fault-simulation campaign on the assembled stimulus."""
+        """Final fault-simulation campaign on the generated stimulus
+        (segment-wise with exact metrics by default; see ``__init__``)."""
         catalog = self.catalog()
         path = self.cache_dir / "detection.npz"
         if path.exists():
@@ -283,6 +316,8 @@ class ExperimentPipeline:
             workers=self.workers,
             checkpoint_path=str(progress_ckpt),
             resume=self.resume,
+            segmented=not self.detect_assembled,
+            exact_metrics=not self.fast_metrics,
         )
         atomic_npz_save(
             str(path),
@@ -309,10 +344,10 @@ class ExperimentPipeline:
         needs = ~detection.detected & classification.critical
         if np.isnan(classification.accuracy_drop[needs]).any():
             simulator = FaultSimulator(self.network(), self.definition.fault_config)
-            inputs, labels = self.dataset().subset(
-                self.definition.classify_samples, "test"
-            )
+            inputs, labels = self.classify_data()
             targets = [f for f, n in zip(classification.faults, needs) if n]
-            drops = simulator.accuracy_drops(inputs, labels, targets)
+            drops = simulator.accuracy_drops(
+                inputs, labels, targets, golden_modules=self.classify_golden()
+            )
             classification.accuracy_drop[np.nonzero(needs)[0]] = drops
         return FaultSimulator.coverage(detection, classification)

@@ -42,8 +42,10 @@ from repro.faults.parallel import (
     ParallelFaultSimulator,
     parallel_classify,
     parallel_detect,
+    parallel_detect_segmented,
     resolve_workers,
 )
+from repro.faults.segmented import GoldenSegmentRunner, SegmentedDetectionCampaign
 
 __all__ = [
     "NeuronFault",
@@ -72,6 +74,9 @@ __all__ = [
     "CoverageBreakdown",
     "ParallelFaultSimulator",
     "parallel_detect",
+    "parallel_detect_segmented",
     "parallel_classify",
     "resolve_workers",
+    "GoldenSegmentRunner",
+    "SegmentedDetectionCampaign",
 ]

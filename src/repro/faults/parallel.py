@@ -38,6 +38,12 @@ Design notes
 - Results travel from worker to parent as a spool file (written
   atomically) plus a single signal byte on a pipe, so a worker killed
   mid-delivery can never stall the parent on a torn message.
+- **Segment-wise detection** (:func:`parallel_detect_segmented`) shards
+  the same way but never ships a golden cache: each worker advances its
+  own fault-free network one test segment at a time, so peak memory is
+  bounded by the longest chunk on both sides of the fork.  Its serial
+  in-process path checkpoints at (fault-group, segment) granularity — a
+  kill mid-shard resumes from the last finished segment.
 - Worker count comes from ``workers=`` or the ``REPRO_WORKERS`` environment
   variable (default 1).  With ``workers <= 1``, or on platforms without
   ``fork`` (Windows, macOS spawn-default interpreters), campaigns run
@@ -52,6 +58,7 @@ See ``docs/PARALLELISM.md`` for the worker model and
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 import multiprocessing
@@ -209,6 +216,26 @@ def _detect_shard(bounds: Tuple[int, int]):
         shared["stimulus"],
         shared["faults"][lo:hi],
         golden_modules=shared["golden_modules"],
+    )
+    return lo, result.detected, result.output_l1, result.class_count_diff
+
+
+def _detect_seg_shard(bounds: Tuple[int, int]):
+    """Segment-wise detection shard.  No golden cache is shipped: each
+    worker advances its own fault-free network segment by segment (see
+    :class:`repro.faults.segmented.GoldenSegmentRunner`), so the parent
+    never materializes the assembled stimulus or the full-duration golden
+    activations."""
+    lo, hi = bounds
+    shared = _SHARED
+    simulator: FaultSimulator = shared["simulator"]
+    drop_detected, divergence_exit, compact_batches = shared["seg_options"]
+    result = simulator.detect_segmented(
+        shared["stimulus"],
+        shared["faults"][lo:hi],
+        drop_detected=drop_detected,
+        divergence_exit=divergence_exit,
+        compact_batches=compact_batches,
     )
     return lo, result.detected, result.output_l1, result.class_count_diff
 
@@ -530,14 +557,25 @@ def _prepare_checkpoint(
     faults: Sequence[Fault],
     data: Sequence[np.ndarray],
     bounds: List[Tuple[int, int]],
+    extra: str = "",
 ):
     """Load-or-create the campaign checkpoint; returns (checkpoint, bounds)
-    where ``bounds`` may be adopted from the checkpoint on resume."""
+    where ``bounds`` may be adopted from the checkpoint on resume.
+
+    ``extra`` folds additional campaign options into the fingerprint (the
+    segment-wise engine's drop/divergence/compaction flags change which
+    metrics are exact, so a checkpoint written under different options must
+    not be resumed).
+    """
     if checkpoint_path is None:
         return None, bounds
     from repro.core.checkpoint import CampaignCheckpoint, campaign_fingerprint
 
     fingerprint = campaign_fingerprint(simulator.network, faults, *data)
+    if extra:
+        fingerprint = hashlib.sha256(
+            f"{fingerprint}|{extra}".encode("ascii")
+        ).hexdigest()
     if resume and os.path.exists(checkpoint_path):
         checkpoint = CampaignCheckpoint.load(checkpoint_path)
         checkpoint.validate(kind, fingerprint, checkpoint_path)
@@ -613,6 +651,206 @@ def parallel_detect(
     )
 
 
+def _run_segmented_shards(
+    shared: dict,
+    bounds: Sequence[Tuple[int, int]],
+    workers: int,
+    tracker: _ProgressTracker,
+    n_segments: int,
+    *,
+    use_pool: bool,
+    supervision: SupervisionConfig,
+    health: CampaignHealth,
+    checkpoint=None,
+    checkpoint_path: Optional[str] = None,
+):
+    """Sharded execution for segment-wise detection.
+
+    Differs from :func:`_run_sharded` in two ways.  Progress is counted in
+    (fault, segment) units: pooled shards tick ``(hi - lo) * n_segments``
+    on completion, while the in-process path passes the shared tracker
+    into the engine for true per-(fault, segment) ticks.  And with a
+    checkpoint attached, the in-process path persists a *partial* blob
+    after every (fault-group, segment) step — the ``segment`` chaos site
+    fires right after each partial save — so a kill mid-shard resumes from
+    the last finished segment, not the shard boundary.  Pooled workers
+    stay shard-granular (their memory is private until the shard payload
+    arrives).
+    """
+    _SHARED.clear()
+    _SHARED.update(shared)
+    spool_dir = None
+    drop_detected, divergence_exit, compact_batches = shared["seg_options"]
+    try:
+        pending = list(bounds)
+        partial_lo = None
+        partial_state = None
+        if checkpoint is not None:
+            if checkpoint.shards:
+                health.resumed_shards = len(checkpoint.shards)
+                health.events.append(
+                    f"resumed {len(checkpoint.shards)} completed shards from checkpoint"
+                )
+                for lo in sorted(checkpoint.shards):
+                    yield (lo,) + tuple(checkpoint.shards[lo])
+                pending = checkpoint.pending()
+                done = set(checkpoint.shards)
+                for lo, hi in bounds:
+                    if lo in done:
+                        tracker.tick((hi - lo) * n_segments)
+            if checkpoint.partial_lo is not None:
+                partial_lo = checkpoint.partial_lo
+                partial_state = (checkpoint.partial_arrays, checkpoint.partial_meta)
+                health.events.append(
+                    f"shard {partial_lo} resuming mid-shard from a segment checkpoint"
+                )
+
+        def complete(shard_bounds_, payload, ticked: bool):
+            lo, hi = shard_bounds_
+            if checkpoint is not None:
+                checkpoint.add(lo, payload[1:])
+                checkpoint.clear_partial()
+                checkpoint.save(checkpoint_path)
+            if not ticked:
+                tracker.tick((hi - lo) * n_segments)
+            return payload
+
+        if use_pool and pending:
+            spool_dir = tempfile.mkdtemp(prefix="repro-shards-")
+            for shard, payload in _supervised_run(
+                _detect_seg_shard, pending, workers, supervision, health, spool_dir
+            ):
+                yield complete(shard, payload, ticked=False)
+        else:
+            simulator: FaultSimulator = shared["simulator"]
+            hook_count = itertools.count()
+            for shard in pending:
+                lo, hi = shard
+                if chaos.strike("shard", key=lo, attempt=0) == "raise":
+                    raise ChaosError(f"chaos raise in in-process shard {lo}")
+                resume_state = None
+                if partial_lo == lo and partial_state is not None:
+                    resume_state = partial_state
+                    partial_state = None
+                segment_hook = None
+                if checkpoint is not None:
+                    def segment_hook(campaign, group_index, segment_index, _lo=lo):
+                        arrays, meta = campaign.export_state(group_index, segment_index)
+                        checkpoint.set_partial(_lo, arrays, meta)
+                        checkpoint.save(checkpoint_path)
+                        action = chaos.strike("segment", key=next(hook_count))
+                        if action in ("crash", "raise"):
+                            raise ChaosError(
+                                f"chaos {action} after segment {segment_index} "
+                                f"of shard {_lo}"
+                            )
+
+                result = simulator.detect_segmented(
+                    shared["stimulus"],
+                    shared["faults"][lo:hi],
+                    drop_detected=drop_detected,
+                    divergence_exit=divergence_exit,
+                    compact_batches=compact_batches,
+                    tracker=tracker,
+                    segment_hook=segment_hook,
+                    resume_state=resume_state,
+                )
+                yield complete(
+                    shard,
+                    (lo, result.detected, result.output_l1, result.class_count_diff),
+                    ticked=True,
+                )
+    finally:
+        _SHARED.clear()
+        if spool_dir is not None:
+            shutil.rmtree(spool_dir, ignore_errors=True)
+    tracker.finish()
+
+
+def parallel_detect_segmented(
+    simulator: FaultSimulator,
+    stimulus,
+    faults: Sequence[Fault],
+    workers: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    *,
+    drop_detected: bool = True,
+    divergence_exit: bool = True,
+    compact_batches: bool = True,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    supervision: Optional[SupervisionConfig] = None,
+) -> DetectionResult:
+    """:meth:`FaultSimulator.detect_segmented` sharded across supervised
+    processes.
+
+    ``stimulus`` is a :class:`~repro.core.testset.TestStimulus`; neither
+    the parent nor any worker ever materializes ``assembled()`` or the
+    full-duration golden activations — peak memory scales with the longest
+    chunk, not the total test duration.  The ``detected`` mask is exactly
+    equal to :func:`parallel_detect` on the assembled stimulus; with
+    ``drop_detected=False`` every metric array is (pinned by
+    ``tests/faults/test_segmented_equivalence.py``).  Checkpoints use kind
+    ``"detect-seg"`` with the engine options folded into the fingerprint;
+    the serial in-process path additionally checkpoints at (fault-group,
+    segment) granularity.
+    """
+    workers = resolve_workers(workers)
+    use_pool = workers > 1 and fork_available()
+    if len(faults) == 0 or (not use_pool and checkpoint_path is None):
+        return simulator.detect_segmented(
+            stimulus,
+            faults,
+            progress=progress,
+            drop_detected=drop_detected,
+            divergence_exit=divergence_exit,
+            compact_batches=compact_batches,
+        )
+    supervision = supervision or SupervisionConfig.from_env()
+    health = CampaignHealth(workers=workers if use_pool else 1)
+    start = time.perf_counter()
+    n_faults = len(faults)
+    n_segments = stimulus.num_segments
+    classes = simulator.network.num_classes
+    options = (bool(drop_detected), bool(divergence_exit), bool(compact_batches))
+    bounds = shard_bounds(n_faults, workers)
+    checkpoint, bounds = _prepare_checkpoint(
+        "detect-seg", checkpoint_path, resume, simulator, faults,
+        tuple(stimulus.chunks), bounds,
+        extra=(
+            f"segmented:drop={int(options[0])},div={int(options[1])},"
+            f"comp={int(options[2])}"
+        ),
+    )
+    detected = np.zeros(n_faults, dtype=bool)
+    output_l1 = np.zeros(n_faults)
+    class_diff = np.zeros((n_faults, classes))
+    shared = dict(
+        simulator=simulator,
+        stimulus=stimulus,
+        faults=list(faults),
+        seg_options=options,
+    )
+    tracker = _ProgressTracker(progress, n_faults * n_segments)
+    for lo, shard_detected, shard_l1, shard_diff in _run_segmented_shards(
+        shared, bounds, workers, tracker, n_segments,
+        use_pool=use_pool, supervision=supervision, health=health,
+        checkpoint=checkpoint, checkpoint_path=checkpoint_path,
+    ):
+        hi = lo + shard_detected.shape[0]
+        detected[lo:hi] = shard_detected
+        output_l1[lo:hi] = shard_l1
+        class_diff[lo:hi] = shard_diff
+    return DetectionResult(
+        faults=list(faults),
+        detected=detected,
+        output_l1=output_l1,
+        class_count_diff=class_diff,
+        wall_time=time.perf_counter() - start,
+        health=health,
+    )
+
+
 def parallel_classify(
     simulator: FaultSimulator,
     inputs: np.ndarray,
@@ -625,23 +863,30 @@ def parallel_classify(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     supervision: Optional[SupervisionConfig] = None,
+    golden_modules: Optional[List[np.ndarray]] = None,
 ) -> ClassificationResult:
     """:meth:`FaultSimulator.classify` sharded across supervised processes.
 
     Early-exit (``chunk_size``) semantics are per fault, so sharding,
     retries, and resume do not change any label or NaN-drop marker.
+    ``golden_modules`` optionally supplies the fault-free per-module
+    outputs for ``inputs`` so callers running several campaigns over the
+    same samples (e.g. the experiment pipeline's classification and
+    coverage stages) compute them exactly once.
     """
     workers = resolve_workers(workers)
     use_pool = workers > 1 and fork_available()
     if len(faults) == 0 or (not use_pool and checkpoint_path is None):
         return simulator.classify(
-            inputs, labels, faults, progress=progress, chunk_size=chunk_size
+            inputs, labels, faults, progress=progress, chunk_size=chunk_size,
+            golden_modules=golden_modules,
         )
     supervision = supervision or SupervisionConfig.from_env()
     health = CampaignHealth(workers=workers if use_pool else 1)
     start = time.perf_counter()
     labels = np.asarray(labels)
-    golden_modules = simulator.network.run_modules(inputs)
+    if golden_modules is None:
+        golden_modules = simulator.network.run_modules(inputs)
     golden_counts = golden_modules[-1].reshape(
         inputs.shape[0], inputs.shape[1], -1
     ).sum(axis=0)
@@ -722,6 +967,21 @@ class ParallelFaultSimulator:
             self.simulator, stimulus, faults, workers=self.workers,
             progress=progress, checkpoint_path=checkpoint_path, resume=resume,
             supervision=self.supervision,
+        )
+
+    def detect_segmented(
+        self,
+        stimulus,
+        faults: Sequence[Fault],
+        progress: Optional[ProgressFn] = None,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
+        **options,
+    ) -> DetectionResult:
+        return parallel_detect_segmented(
+            self.simulator, stimulus, faults, workers=self.workers,
+            progress=progress, checkpoint_path=checkpoint_path, resume=resume,
+            supervision=self.supervision, **options,
         )
 
     def classify(

@@ -1,0 +1,653 @@
+"""Segment-wise fault-detection engine (fault dropping + divergence exit).
+
+The assembled detection campaign (:meth:`FaultSimulator.detect`) simulates
+every fault over the full test ``(T_test, ...)`` at once, so its peak
+memory scales with the total test duration and every fault pays for every
+time step even after it is already detected.  This engine reworks the
+campaign around the test's segment structure (Eq. 7): segment ``i`` is
+chunk ``i`` followed by its equal-duration sleep gap (the final chunk is
+bare), and only one segment is ever materialized.
+
+Exactness
+---------
+The LIF update is a per-step recurrence in ``(potential, last_spike,
+refractory)``, so splitting the time loop at any step and resuming from
+the carried state is bit-identical to the unsplit run — the sleep gap
+*decays* the membrane state but never zeroes it, so state carry across
+segment boundaries is required, not an optimisation.  Three further
+transformations are applied, all exact:
+
+- **Fault dropping** (``drop_detected``): detection is monotone in
+  segments — once a fault's output diverges on some segment, the
+  ``detected`` flag is final — so detected faults are dropped from all
+  later segments.  ``output_l1`` / ``class_count_diff`` then only cover
+  segments up to first detection; campaigns that need the exact Fig. 9
+  metrics run with ``drop_detected=False`` and get every array
+  bit-identical to the assembled campaign.
+- **Divergence-bounded propagation** (``divergence_exit``): if the faulty
+  module's segment output is bit-identical to golden *and* the fault's
+  downstream state is still golden, the downstream modules would
+  reproduce the golden output exactly, so the propagation is skipped and
+  the segment contributes zero to every metric.  Once a fault diverges,
+  its downstream modules are seeded from copies of the golden states at
+  segment entry and carried privately from then on.
+- **Batch compaction** (``compact_batches``): surviving faults are
+  re-packed into full K-batches each segment.  Per-row results are
+  independent of batch composition (the elementwise-update property the
+  batched-equivalence suites pin), so compaction never changes results.
+
+Metric accumulation across segments is also exact: spike trains are
+0.0/1.0 floats, so L1 distances and per-class spike counts are
+integer-valued float64 sums far below 2^53 — per-segment accumulation
+equals the whole-test sum bit for bit.
+
+Memory
+------
+Peak memory is one segment's tensors (longest chunk, not ``T_test``) plus
+per-fault carry state: one LIF state per fault for the faulty module and,
+only after divergence, one per downstream spiking module.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CheckpointError, FaultModelError
+from repro.faults.injector import inject
+from repro.faults.simulator import (
+    DetectionResult,
+    _perturbed_neuron_arrays,
+    _perturbed_neuron_scalars,
+    _ProgressTracker,
+    _supports_kbatched,
+    _supports_splice,
+    _synapse_entries,
+)
+from repro.snn.neuron import LIFState, lif_step_numpy
+
+
+class _GoldenSegment:
+    """One segment's fault-free run: input, per-module outputs, and copies
+    of every module's state at segment *entry* (for seeding the downstream
+    modules of a fault that diverges on this segment)."""
+
+    def __init__(self, seg: np.ndarray, outputs: List[np.ndarray], entry_states: List):
+        self.input = seg
+        self.outputs = outputs
+        self.entry_states = entry_states
+        final = outputs[-1]
+        self.out_flat = final.reshape(final.shape[0], -1)  # (T_seg, classes)
+        self.counts = self.out_flat.sum(axis=0)
+
+    def module_input(self, module_index: int) -> np.ndarray:
+        return self.input if module_index == 0 else self.outputs[module_index - 1]
+
+
+class GoldenSegmentRunner:
+    """Advances the fault-free network one test segment at a time,
+    snapshotting module entry states before each segment."""
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.states = network.init_states(1)
+
+    def run_segment(self, seg: np.ndarray) -> _GoldenSegment:
+        entry = [s.copy() if s is not None else None for s in self.states]
+        outputs = self.network.run_modules(seg, states=self.states)
+        return _GoldenSegment(seg, outputs, entry)
+
+    def skip_segments(self, stimulus, count: int) -> None:
+        """Replay ``count`` segments without keeping outputs (deterministic
+        golden-state reconstruction on checkpoint resume)."""
+        for index in range(count):
+            self.network.run_modules(stimulus.segment(index), states=self.states)
+
+
+class _FaultGroup:
+    """All faults of one (kind, module) pair, simulated K rows at a time
+    with per-row state carried across segments.
+
+    ``kind`` selects the execution path:
+
+    - ``"splice"`` — neuron faults in layers without lateral coupling: only
+      the faulty neuron's mini-LIF is advanced per row; the full module
+      output is materialized (golden + spliced trace) only for rows that
+      must propagate downstream.
+    - ``"neuron"`` — neuron faults needing a full module re-run (recurrent
+      layers, or the splice fast path disabled).
+    - ``"synapse_k"`` — synapse faults on modules with K-batched weight
+      support.
+    - ``"synapse_seq"`` — synapse faults on the sequential reference path
+      (one reversible :func:`inject` per fault, batch size 1).
+    """
+
+    def __init__(self, campaign: "SegmentedDetectionCampaign", kind: str,
+                 module_index: int, indices: Sequence[int]) -> None:
+        self.campaign = campaign
+        self.kind = kind
+        self.module_index = module_index
+        self.indices = list(indices)
+        simulator = campaign.simulator
+        network = simulator.network
+        self.module = network.modules[module_index]
+        self.downstream = network.modules[module_index + 1:]
+        k = len(self.indices)
+        self.active = np.ones(k, dtype=bool)
+        self.diverged = np.zeros(k, dtype=bool)
+        # row -> per-downstream-module state dicts, only for rows that
+        # have diverged and are still active (see _run_downstream).
+        self.dstates: Dict[int, List[Optional[Dict[str, np.ndarray]]]] = {}
+        self._down_stateful_cache: Optional[List[bool]] = None
+        group_faults = [campaign.faults[i] for i in self.indices]
+        shape = self.module.neuron_shape
+        if kind == "splice":
+            (self.neuron_idx, self.thr, self.leak, self.refr, self.mode) = \
+                _perturbed_neuron_scalars(self.module, group_faults, simulator.config)
+            state_shape: Tuple[int, ...] = (k, 1)  # K mini-LIF rows, batch 1
+            self.batch_size = simulator.neuron_batch
+        else:
+            state_shape = (k,) + shape  # row axis doubles as module batch
+            if kind == "neuron":
+                self.params = _perturbed_neuron_arrays(
+                    self.module, group_faults, simulator.config
+                )
+                self.batch_size = simulator.neuron_batch
+            elif kind == "synapse_k":
+                self.syn = _synapse_entries(self.module, group_faults, simulator.config)
+                self.batch_size = simulator.synapse_batch
+            else:  # synapse_seq: reversible inject(), one fault per pass
+                self.batch_size = 1
+        # State arrays are allocated lazily (and released when the group
+        # finishes) so peak memory is bounded by the largest *single*
+        # group, not the sum over all groups in the campaign.
+        self._state_shape = state_shape
+        self.pot: Optional[np.ndarray] = None
+        self.spk: Optional[np.ndarray] = None
+        self.ref: Optional[np.ndarray] = None
+        self._initial_batches = [
+            np.arange(lo, min(lo + self.batch_size, k))
+            for lo in range(0, k, self.batch_size)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return not self.active.any()
+
+    def _ensure_state(self) -> None:
+        if self.pot is None:
+            self.pot = np.zeros(self._state_shape)
+            self.spk = np.zeros(self._state_shape)
+            self.ref = np.zeros(self._state_shape, dtype=np.int64)
+
+    def release(self) -> None:
+        """Free the per-row state once the group has run its last segment
+        (the small ``active``/``diverged`` masks stay for bookkeeping)."""
+        self.pot = self.spk = self.ref = None
+        self.dstates = {}
+
+    def _batches(self) -> List[np.ndarray]:
+        if self.campaign.compact_batches:
+            rows = np.nonzero(self.active)[0]
+            return [
+                rows[lo : lo + self.batch_size]
+                for lo in range(0, len(rows), self.batch_size)
+            ]
+        batches = []
+        for chunk in self._initial_batches:
+            sub = chunk[self.active[chunk]]
+            if len(sub):
+                batches.append(sub)
+        return batches
+
+    # ------------------------------------------------------------------
+    # Faulty-module execution, one path per kind
+    # ------------------------------------------------------------------
+    def _module_state(self, rows: np.ndarray) -> LIFState:
+        # Fancy indexing copies, so lif_step_numpy's attribute reassignment
+        # never aliases the group arrays; _store_state scatters back.
+        return LIFState(
+            potential=self.pot[rows],
+            last_spike=self.spk[rows],
+            refractory=self.ref[rows],
+        )
+
+    def _store_state(self, rows: np.ndarray, state: LIFState) -> None:
+        self.pot[rows] = state.potential
+        self.spk[rows] = state.last_spike
+        self.ref[rows] = state.refractory
+
+    def _run_splice(self, rows: np.ndarray, gseg: _GoldenSegment):
+        """Advance the faulty neurons' mini-LIF rows; returns ``(same,
+        materialize)`` where ``materialize(positions)`` builds full module
+        outputs (golden output with the faulty traces spliced in) for a
+        subset of ``rows`` on demand."""
+        module = self.module
+        seg_input = gseg.module_input(self.module_index)
+        steps = seg_input.shape[0]
+        idx = self.neuron_idx[rows]
+        currents = module.neuron_input_currents(seg_input, idx)  # (T, 1, R)
+        currents = np.ascontiguousarray(currents.transpose(0, 2, 1))  # (T, R, 1)
+        state = self._module_state(rows)
+        thr = self.thr[rows][:, None]
+        leak = self.leak[rows][:, None]
+        refr = self.refr[rows][:, None]
+        mode = self.mode[rows][:, None]
+        reset_mode = module.params.reset_mode
+        traces = np.empty((steps, len(rows)))
+        for t in range(steps):
+            traces[t] = lif_step_numpy(
+                currents[t], state, thr, leak, refr, mode, reset_mode
+            )[:, 0]
+        self._store_state(rows, state)
+
+        n = int(np.prod(module.neuron_shape))
+        golden_flat = gseg.outputs[self.module_index].reshape(steps, n)
+        golden_traces = golden_flat[:, idx]  # (T, R)
+        same = np.array(
+            [np.array_equal(traces[:, j], golden_traces[:, j]) for j in range(len(rows))]
+        )
+
+        def materialize(positions: List[int]) -> np.ndarray:
+            m = len(positions)
+            tiled = np.broadcast_to(golden_flat[:, None, :], (steps, m, n)).copy()
+            tiled[:, np.arange(m), idx[positions]] = traces[:, positions]
+            return tiled.reshape((steps, m) + module.neuron_shape)
+
+        return same, materialize
+
+    def _run_neuron(self, rows: np.ndarray, seg_input: np.ndarray) -> np.ndarray:
+        module = self.module
+        tiled = np.tile(seg_input, (1, len(rows)) + (1,) * (seg_input.ndim - 2))
+        saved = (module.threshold, module.leak, module.refractory_steps, module.mode)
+        threshold, leak, refractory, mode = self.params
+        state = self._module_state(rows)
+        module.threshold = threshold[rows]
+        module.leak = leak[rows]
+        module.refractory_steps = refractory[rows]
+        module.mode = mode[rows]
+        try:
+            out = module.run_sequence_numpy(tiled, state=state)
+        finally:
+            module.threshold, module.leak, module.refractory_steps, module.mode = saved
+        self._store_state(rows, state)
+        return out  # (T, R, *neuron_shape)
+
+    def _run_synapse_k(self, rows: np.ndarray, seg_input: np.ndarray) -> np.ndarray:
+        module = self.module
+        params = module.parameters()
+        stacks = [
+            np.broadcast_to(p.data, (len(rows),) + p.data.shape).copy() for p in params
+        ]
+        for j, row in enumerate(rows):
+            pidx, widx, value = self.syn[row]
+            stacks[pidx][j].reshape(-1)[widx] = value
+        tiled = np.tile(seg_input, (1, len(rows)) + (1,) * (seg_input.ndim - 2))
+        state = self._module_state(rows)
+        out = module.run_sequence_kbatched(tiled, stacks, state=state)
+        self._store_state(rows, state)
+        return out
+
+    def _run_synapse_seq(self, rows: np.ndarray, seg_input: np.ndarray) -> np.ndarray:
+        (row,) = rows
+        fault = self.campaign.faults[self.indices[row]]
+        state = self._module_state(rows)
+        with inject(self.campaign.simulator.network, fault, self.campaign.config):
+            out = self.module.run_sequence_numpy(seg_input, state=state)
+        self._store_state(rows, state)
+        return out
+
+    # ------------------------------------------------------------------
+    # Downstream propagation with golden-entry seeding
+    # ------------------------------------------------------------------
+    def _down_stateful(self) -> List[bool]:
+        if self._down_stateful_cache is None:
+            self._down_stateful_cache = [
+                dm.init_state(1) is not None for dm in self.downstream
+            ]
+        return self._down_stateful_cache
+
+    def _seed_row(self, row: int, gseg: _GoldenSegment) -> None:
+        """Create a diverging row's downstream state from the golden entry
+        states of this segment — until now the row's cross-section was
+        bit-identical to golden, so the golden entry IS its state."""
+        slots: List[Optional[Dict[str, np.ndarray]]] = []
+        for dj, stateful in enumerate(self._down_stateful()):
+            if not stateful:
+                slots.append(None)
+            else:
+                entry = gseg.entry_states[self.module_index + 1 + dj]
+                slots.append({
+                    "pot": entry.potential[0].copy(),
+                    "spk": entry.last_spike[0].copy(),
+                    "ref": entry.refractory[0].copy(),
+                })
+        self.dstates[row] = slots
+
+    def _run_downstream(
+        self, module_out: np.ndarray, rows: np.ndarray, gseg: _GoldenSegment
+    ) -> np.ndarray:
+        """Propagate ``rows``' faulty module outputs through the downstream
+        modules, seeding newly diverged rows from the golden entry states.
+
+        Downstream state is stored per diverged row (``self.dstates`` maps
+        row -> per-module state dicts), not as dense ``(k, ...)`` arrays:
+        only diverged-and-undropped rows need it, and with fault dropping
+        those are freed the moment the fault is detected, so group memory
+        stays proportional to the live divergence front."""
+        for row in rows:
+            if not self.diverged[row]:
+                self._seed_row(int(row), gseg)
+        self.diverged[rows] = True
+        current = module_out
+        for dj, dm in enumerate(self.downstream):
+            if not self._down_stateful()[dj]:
+                current = dm.run_sequence_numpy(current)
+                continue
+            state = LIFState(
+                potential=np.stack(
+                    [self.dstates[int(r)][dj]["pot"] for r in rows]
+                ),
+                last_spike=np.stack(
+                    [self.dstates[int(r)][dj]["spk"] for r in rows]
+                ),
+                refractory=np.stack(
+                    [self.dstates[int(r)][dj]["ref"] for r in rows]
+                ),
+            )
+            current = dm.run_sequence_numpy(current, state=state)
+            pot = np.asarray(state.potential)
+            spk = np.asarray(state.last_spike)
+            ref = np.asarray(state.refractory)
+            for j, r in enumerate(rows):
+                slot = self.dstates[int(r)][dj]
+                slot["pot"] = pot[j].copy()
+                slot["spk"] = spk[j].copy()
+                slot["ref"] = ref[j].copy()
+        return current.reshape(current.shape[0], current.shape[1], -1)
+
+    # ------------------------------------------------------------------
+    def step(self, segment_index: int, gseg: _GoldenSegment) -> None:
+        """Advance every active fault of this group through one segment."""
+        self._ensure_state()
+        campaign = self.campaign
+        has_down = bool(self.downstream)
+        seg_input = gseg.module_input(self.module_index)
+        golden_out = gseg.outputs[self.module_index]  # (T, 1, *neuron_shape)
+        for rows in self._batches():
+            if self.kind == "splice":
+                same, materialize = self._run_splice(rows, gseg)
+            else:
+                if self.kind == "neuron":
+                    out = self._run_neuron(rows, seg_input)
+                elif self.kind == "synapse_k":
+                    out = self._run_synapse_k(rows, seg_input)
+                else:
+                    out = self._run_synapse_seq(rows, seg_input)
+                same = np.array(
+                    [np.array_equal(out[:, j], golden_out[:, 0]) for j in range(len(rows))]
+                )
+
+                def materialize(positions: List[int], _out=out) -> np.ndarray:
+                    return _out[:, positions]
+
+            if campaign.divergence_exit:
+                # A row may exit only while its whole cross-section is still
+                # golden: module output identical this segment AND downstream
+                # state untouched.  Skipped rows contribute exactly zero.
+                need = [
+                    j for j, row in enumerate(rows)
+                    if not same[j] or (has_down and self.diverged[row])
+                ]
+            else:
+                need = list(range(len(rows)))
+            if need:
+                sub = rows[np.asarray(need)]
+                module_out = materialize(need)
+                if has_down:
+                    outs = self._run_downstream(module_out, sub, gseg)
+                else:
+                    outs = module_out.reshape(
+                        module_out.shape[0], module_out.shape[1], -1
+                    )
+                for j, row in enumerate(sub):
+                    campaign.record(self.indices[row], outs[:, j], gseg)
+            campaign.tracker.tick(len(rows))
+            if campaign.drop_detected:
+                remaining = campaign.n_segments - 1 - segment_index
+                for row in rows:
+                    if campaign.detected[self.indices[row]] and self.active[row]:
+                        self.active[row] = False
+                        self.dstates.pop(int(row), None)
+                        if remaining:
+                            campaign.tracker.tick(remaining)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (mid-campaign partial state)
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        self._ensure_state()
+        arrays = {
+            "grp.active": self.active,
+            "grp.diverged": self.diverged,
+            "grp.pot": self.pot,
+            "grp.spk": self.spk,
+            "grp.ref": self.ref,
+        }
+        if self.dstates:
+            # Sparse downstream state: the row list plus, per stateful
+            # downstream module, the rows' states stacked in row order.
+            drows = sorted(self.dstates)
+            arrays["grp.drows"] = np.asarray(drows, dtype=np.int64)
+            for dj, stateful in enumerate(self._down_stateful()):
+                if not stateful:
+                    continue
+                for field in ("pot", "spk", "ref"):
+                    arrays[f"grp.d{dj}.{field}"] = np.stack(
+                        [self.dstates[row][dj][field] for row in drows]
+                    )
+        return arrays
+
+    def restore_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._ensure_state()
+        try:
+            self.active[...] = arrays["grp.active"]
+            self.diverged[...] = arrays["grp.diverged"]
+            self.pot[...] = arrays["grp.pot"]
+            self.spk[...] = arrays["grp.spk"]
+            self.ref[...] = arrays["grp.ref"]
+            self.dstates = {}
+            if "grp.drows" in arrays:
+                for i, row in enumerate(arrays["grp.drows"]):
+                    slots: List[Optional[Dict[str, np.ndarray]]] = []
+                    for dj, stateful in enumerate(self._down_stateful()):
+                        if not stateful:
+                            slots.append(None)
+                        else:
+                            slots.append({
+                                field: np.array(arrays[f"grp.d{dj}.{field}"][i])
+                                for field in ("pot", "spk", "ref")
+                            })
+                    self.dstates[int(row)] = slots
+        except (KeyError, ValueError, IndexError) as exc:
+            raise CheckpointError(
+                f"segment checkpoint does not match this campaign: {exc}"
+            ) from exc
+
+
+class SegmentedDetectionCampaign:
+    """Drives the segment-wise detection campaign for one fault list.
+
+    Groups are processed one at a time (group-outer loop); each group gets
+    its own :class:`GoldenSegmentRunner`, so at most one group's segment
+    tensors and golden cache are live at once and a mid-campaign
+    checkpoint only carries one group's state.  The golden re-runs this
+    costs (one fault-free pass per group per segment) are negligible next
+    to the thousands of faulty rows each group simulates.
+    """
+
+    def __init__(
+        self,
+        simulator,
+        stimulus,
+        faults: Sequence,
+        *,
+        drop_detected: bool = True,
+        divergence_exit: bool = True,
+        compact_batches: bool = True,
+        progress=None,
+        tracker: Optional[_ProgressTracker] = None,
+        segment_hook=None,
+        resume_state=None,
+    ) -> None:
+        self.simulator = simulator
+        self.stimulus = stimulus
+        self.faults = list(faults)
+        self.config = simulator.config
+        self.drop_detected = drop_detected
+        self.divergence_exit = divergence_exit
+        self.compact_batches = compact_batches
+        self.segment_hook = segment_hook
+        self.n_segments = stimulus.num_segments
+        n = len(self.faults)
+        classes = simulator.network.num_classes
+        self.detected = np.zeros(n, dtype=bool)
+        self.output_l1 = np.zeros(n)
+        # Signed per-class count deltas accumulate across segments; the
+        # reported metric is their absolute value at the end.
+        self.counts_delta = np.zeros((n, classes))
+        self.tracker = tracker if tracker is not None else _ProgressTracker(
+            progress, n * self.n_segments
+        )
+        self.groups = self._build_groups()
+        self._start_group = 0
+        self._start_segment = 0
+        if resume_state is not None:
+            self._restore(resume_state)
+
+    # ------------------------------------------------------------------
+    def _build_groups(self) -> List[_FaultGroup]:
+        simulator = self.simulator
+        network = simulator.network
+        neuron_map: Dict[int, List[int]] = {}
+        synapse_k_map: Dict[int, List[int]] = {}
+        synapse_seq_map: Dict[int, List[int]] = {}
+        for idx, fault in enumerate(self.faults):
+            if fault.module_index >= len(network.modules):
+                raise FaultModelError(f"{fault.describe()}: module index out of range")
+            if fault.is_neuron:
+                neuron_map.setdefault(fault.module_index, []).append(idx)
+            elif simulator.synapse_batch > 1 and _supports_kbatched(
+                network.modules[fault.module_index]
+            ):
+                synapse_k_map.setdefault(fault.module_index, []).append(idx)
+            else:
+                synapse_seq_map.setdefault(fault.module_index, []).append(idx)
+        groups: List[_FaultGroup] = []
+        for module_index, indices in sorted(neuron_map.items()):
+            module = network.modules[module_index]
+            kind = (
+                "splice"
+                if simulator.neuron_splice and _supports_splice(module)
+                else "neuron"
+            )
+            groups.append(_FaultGroup(self, kind, module_index, indices))
+        for module_index, indices in sorted(synapse_k_map.items()):
+            groups.append(_FaultGroup(self, "synapse_k", module_index, indices))
+        for module_index, indices in sorted(synapse_seq_map.items()):
+            groups.append(_FaultGroup(self, "synapse_seq", module_index, indices))
+        return groups
+
+    # ------------------------------------------------------------------
+    def record(self, fault_idx: int, out_flat: np.ndarray, gseg: _GoldenSegment) -> None:
+        diff = np.abs(out_flat - gseg.out_flat).sum()
+        self.output_l1[fault_idx] += diff
+        self.counts_delta[fault_idx] += out_flat.sum(axis=0) - gseg.counts
+        if diff > 0:
+            self.detected[fault_idx] = True
+
+    # ------------------------------------------------------------------
+    def run(self) -> DetectionResult:
+        start = time.perf_counter()
+        for group_index in range(self._start_group, len(self.groups)):
+            group = self.groups[group_index]
+            golden = GoldenSegmentRunner(self.simulator.network)
+            first_segment = 0
+            if group_index == self._start_group and self._start_segment:
+                first_segment = self._start_segment
+                golden.skip_segments(self.stimulus, first_segment)
+            for segment_index in range(first_segment, self.n_segments):
+                if group.done:
+                    break
+                gseg = golden.run_segment(self.stimulus.segment(segment_index))
+                group.step(segment_index, gseg)
+                if self.segment_hook is not None:
+                    self.segment_hook(self, group_index, segment_index)
+            group.release()
+        self.tracker.finish()
+        return DetectionResult(
+            faults=list(self.faults),
+            detected=self.detected.copy(),
+            output_l1=self.output_l1.copy(),
+            class_count_diff=np.abs(self.counts_delta),
+            wall_time=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def export_state(
+        self, group_index: int, segment_index: int
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """Snapshot after (group, segment) finished, for a mid-campaign
+        checkpoint.  Golden runner state is never serialized — it is
+        reconstructed deterministically on resume by replaying the golden
+        segments up to the restart point."""
+        arrays: Dict[str, np.ndarray] = {
+            "res.detected": self.detected,
+            "res.l1": self.output_l1,
+            "res.counts": self.counts_delta,
+        }
+        meta: Dict[str, Any] = {
+            "group": group_index,
+            "segment": segment_index,
+            "n_groups": len(self.groups),
+            "n_segments": self.n_segments,
+            "ticks": self.tracker.done,
+        }
+        if segment_index + 1 < self.n_segments:
+            arrays.update(self.groups[group_index].export_arrays())
+        return arrays, meta
+
+    def _restore(self, state) -> None:
+        arrays, meta = state
+        if (
+            int(meta.get("n_groups", -1)) != len(self.groups)
+            or int(meta.get("n_segments", -1)) != self.n_segments
+        ):
+            raise CheckpointError(
+                "segment checkpoint does not match this campaign "
+                f"(groups {meta.get('n_groups')} vs {len(self.groups)}, "
+                f"segments {meta.get('n_segments')} vs {self.n_segments})"
+            )
+        try:
+            self.detected[...] = arrays["res.detected"]
+            self.output_l1[...] = arrays["res.l1"]
+            self.counts_delta[...] = arrays["res.counts"]
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"segment checkpoint does not match this campaign: {exc}"
+            ) from exc
+        self.tracker.done = int(meta["ticks"])
+        group_index = int(meta["group"])
+        segment_index = int(meta["segment"])
+        if segment_index + 1 >= self.n_segments:
+            self._start_group = group_index + 1
+            self._start_segment = 0
+        else:
+            self._start_group = group_index
+            self._start_segment = segment_index + 1
+            self.groups[group_index].restore_arrays(arrays)

@@ -23,7 +23,10 @@ to a ``(K, ...)`` leading axis (synapse faults).  Per-fault results are
 identical to one-at-a-time injection — the spiking nonlinearity is applied
 elementwise per batch row every time step — which is pinned by the
 differential suites in ``tests/faults/``.  For campaigns that parallelise
-across processes as well, see :mod:`repro.faults.parallel`.
+across processes as well, see :mod:`repro.faults.parallel`; for the
+segment-wise detection engine (fault dropping, divergence-bounded
+propagation, bounded peak memory), see :mod:`repro.faults.segmented` and
+:meth:`FaultSimulator.detect_segmented`.
 """
 
 from __future__ import annotations
@@ -198,6 +201,82 @@ class _ProgressTracker:
             self._last_reported = self.done
 
 
+def _apply_neuron_kind(
+    fault: NeuronFault,
+    idx,
+    threshold: np.ndarray,
+    leak: np.ndarray,
+    refractory: np.ndarray,
+    mode: np.ndarray,
+    config: FaultModelConfig,
+) -> None:
+    """Perturb one row/site of the per-neuron parameter arrays in place."""
+    kind = fault.kind
+    if kind is NeuronFaultKind.DEAD:
+        mode[idx] = MODE_DEAD
+    elif kind is NeuronFaultKind.SATURATED:
+        mode[idx] = MODE_SATURATED
+    elif kind is NeuronFaultKind.TIMING_THRESHOLD:
+        threshold[idx] *= config.timing_threshold_factor
+    elif kind is NeuronFaultKind.TIMING_LEAK:
+        leak[idx] *= config.timing_leak_factor
+    elif kind is NeuronFaultKind.TIMING_REFRACTORY:
+        refractory[idx] += config.timing_refractory_extra
+    else:  # pragma: no cover - enum is closed
+        raise FaultModelError(f"unhandled neuron fault kind {kind}")
+
+
+def _perturbed_neuron_arrays(module, group: Sequence[NeuronFault], config: FaultModelConfig):
+    """K perturbed copies of the module's per-neuron parameter arrays.
+
+    Returns ``(threshold, leak, refractory, mode)``, each shaped
+    ``(K, *neuron_shape)`` with row ``k`` carrying fault ``group[k]``.
+    """
+    shape = module.neuron_shape
+    k = len(group)
+    threshold = np.broadcast_to(module.threshold, (k,) + shape).copy()
+    leak = np.broadcast_to(module.leak, (k,) + shape).copy()
+    refractory = np.broadcast_to(module.refractory_steps, (k,) + shape).copy()
+    mode = np.broadcast_to(module.mode, (k,) + shape).copy()
+    for row, fault in enumerate(group):
+        idx = (row,) + tuple(np.unravel_index(fault.neuron_index, shape))
+        _apply_neuron_kind(fault, idx, threshold, leak, refractory, mode, config)
+    return threshold, leak, refractory, mode
+
+
+def _perturbed_neuron_scalars(module, group: Sequence[NeuronFault], config: FaultModelConfig):
+    """Per-fault scalar LIF parameters for the splice path.
+
+    Returns ``(neuron_idx, threshold, leak, refractory, mode)`` — all 1-D
+    ``(K,)`` arrays, row ``k`` holding fault ``group[k]``'s perturbed
+    parameters for its own neuron only.
+    """
+    neuron_idx = np.array([f.neuron_index for f in group], dtype=np.int64)
+    threshold = module.threshold.reshape(-1)[neuron_idx].astype(float).copy()
+    leak = module.leak.reshape(-1)[neuron_idx].astype(float).copy()
+    refractory = module.refractory_steps.reshape(-1)[neuron_idx].copy()
+    mode = module.mode.reshape(-1)[neuron_idx].copy()
+    for row, fault in enumerate(group):
+        _apply_neuron_kind(fault, row, threshold, leak, refractory, mode, config)
+    return neuron_idx, threshold, leak, refractory, mode
+
+
+def _synapse_entries(module, group: Sequence[SynapseFault], config: FaultModelConfig):
+    """Per-fault ``(parameter_index, weight_index, faulty_value)`` triples.
+
+    The faulty value is computed from the pristine weights, exactly as the
+    sequential :func:`~repro.faults.injector.inject` path does.
+    """
+    params = module.parameters()
+    entries = []
+    for fault in group:
+        if fault.parameter_index >= len(params):
+            raise FaultModelError(f"{fault.describe()}: parameter index out of range")
+        value = synapse_fault_value(params[fault.parameter_index].data, fault, config)
+        entries.append((fault.parameter_index, fault.weight_index, value))
+    return entries
+
+
 def _supports_kbatched(module) -> bool:
     return (
         isinstance(module, SpikingModule)
@@ -291,26 +370,9 @@ class FaultSimulator:
         saved = (module.threshold, module.leak, module.refractory_steps, module.mode)
         # Per-row parameter arrays: (K, 1, *shape) broadcast over samples,
         # reshaped to (K*S, *shape) to match the tiled batch.
-        threshold = np.broadcast_to(saved[0], (k,) + shape).copy()
-        leak = np.broadcast_to(saved[1], (k,) + shape).copy()
-        refractory = np.broadcast_to(saved[2], (k,) + shape).copy()
-        mode = np.broadcast_to(saved[3], (k,) + shape).copy()
-        config = self.config
-        for row, fault in enumerate(group):
-            idx = (row,) + tuple(np.unravel_index(fault.neuron_index, shape))
-            kind = fault.kind
-            if kind is NeuronFaultKind.DEAD:
-                mode[idx] = MODE_DEAD
-            elif kind is NeuronFaultKind.SATURATED:
-                mode[idx] = MODE_SATURATED
-            elif kind is NeuronFaultKind.TIMING_THRESHOLD:
-                threshold[idx] *= config.timing_threshold_factor
-            elif kind is NeuronFaultKind.TIMING_LEAK:
-                leak[idx] *= config.timing_leak_factor
-            elif kind is NeuronFaultKind.TIMING_REFRACTORY:
-                refractory[idx] += config.timing_refractory_extra
-            else:  # pragma: no cover - enum is closed
-                raise FaultModelError(f"unhandled neuron fault kind {kind}")
+        threshold, leak, refractory, mode = _perturbed_neuron_arrays(
+            module, group, self.config
+        )
 
         def expand(arr: np.ndarray) -> np.ndarray:
             return (
@@ -353,30 +415,13 @@ class FaultSimulator:
         shape = module.neuron_shape
         k = len(group)
         steps, s = base_seq.shape[:2]
-        neuron_idx = np.array([f.neuron_index for f in group], dtype=np.int64)
+        neuron_idx, threshold, leak, refractory, mode = _perturbed_neuron_scalars(
+            module, group, self.config
+        )
         currents = module.neuron_input_currents(base_seq, neuron_idx)  # (T, S, K)
         currents = np.ascontiguousarray(currents.transpose(0, 2, 1))  # (T, K, S)
 
         # Per-row (K, 1) parameter columns, perturbed per fault kind.
-        config = self.config
-        threshold = module.threshold.reshape(-1)[neuron_idx].astype(float).copy()
-        leak = module.leak.reshape(-1)[neuron_idx].astype(float).copy()
-        refractory = module.refractory_steps.reshape(-1)[neuron_idx].copy()
-        mode = module.mode.reshape(-1)[neuron_idx].copy()
-        for row, fault in enumerate(group):
-            kind = fault.kind
-            if kind is NeuronFaultKind.DEAD:
-                mode[row] = MODE_DEAD
-            elif kind is NeuronFaultKind.SATURATED:
-                mode[row] = MODE_SATURATED
-            elif kind is NeuronFaultKind.TIMING_THRESHOLD:
-                threshold[row] *= config.timing_threshold_factor
-            elif kind is NeuronFaultKind.TIMING_LEAK:
-                leak[row] *= config.timing_leak_factor
-            elif kind is NeuronFaultKind.TIMING_REFRACTORY:
-                refractory[row] += config.timing_refractory_extra
-            else:  # pragma: no cover - enum is closed
-                raise FaultModelError(f"unhandled neuron fault kind {kind}")
         threshold = threshold[:, None]
         leak = leak[:, None]
         refractory = refractory[:, None]
@@ -423,17 +468,10 @@ class FaultSimulator:
         stacks = [
             np.broadcast_to(p.data, (k,) + p.data.shape).copy() for p in params
         ]
-        for row, fault in enumerate(group):
-            if fault.parameter_index >= len(params):
-                raise FaultModelError(
-                    f"{fault.describe()}: parameter index out of range"
-                )
-            # The faulty value is computed from the pristine weights, as in
-            # the sequential inject() path.
-            value = synapse_fault_value(
-                params[fault.parameter_index].data, fault, self.config
-            )
-            stacks[fault.parameter_index][row].reshape(-1)[fault.weight_index] = value
+        for row, (pidx, widx, value) in enumerate(
+            _synapse_entries(module, group, self.config)
+        ):
+            stacks[pidx][row].reshape(-1)[widx] = value
         tiled = np.tile(base_seq, (1, k) + (1,) * (base_seq.ndim - 2))
         out = module.run_sequence_kbatched(tiled, stacks)
         if module_index + 1 < len(self.network.modules):
@@ -547,6 +585,66 @@ class FaultSimulator:
             class_count_diff=class_diff,
             wall_time=time.perf_counter() - start,
         )
+
+    # ------------------------------------------------------------------
+    def detect_segmented(
+        self,
+        stimulus,
+        faults: Sequence[Fault],
+        progress: Optional[ProgressFn] = None,
+        *,
+        drop_detected: bool = True,
+        divergence_exit: bool = True,
+        compact_batches: bool = True,
+        tracker=None,
+        segment_hook=None,
+        resume_state=None,
+    ) -> DetectionResult:
+        """Segment-wise detection campaign over a :class:`TestStimulus`.
+
+        Iterates the stimulus one test segment (chunk + sleep gap, Eq. 7)
+        at a time instead of materializing :meth:`TestStimulus.assembled`,
+        carrying LIF state across segment boundaries so the ``detected``
+        flags are bit-identical to :meth:`detect` on the assembled
+        stimulus.  See :mod:`repro.faults.segmented` for the engine and the
+        exactness argument, and :func:`repro.faults.parallel.parallel_detect_segmented`
+        for the multi-process / checkpointed frontend.
+
+        Parameters
+        ----------
+        drop_detected:
+            Drop a fault from all later segments once detected.  The
+            ``detected`` array is unchanged (detection is monotone in
+            segments); ``output_l1`` / ``class_count_diff`` then only cover
+            the segments up to first detection, so pass ``False`` when the
+            exact Fig. 9 metrics are needed.
+        divergence_exit:
+            Skip downstream propagation for a fault whose faulty module
+            output is bit-identical to golden on this segment and whose
+            downstream state is still golden.  Exact in all modes.
+        compact_batches:
+            Re-pack surviving faults into full K-batches each segment as
+            dropped rows free slots (otherwise the initial batch grouping
+            is kept and merely filtered).
+        tracker / segment_hook / resume_state:
+            Internal hooks used by the parallel frontend for shared
+            progress accounting and mid-campaign checkpointing.
+        """
+        from repro.faults.segmented import SegmentedDetectionCampaign
+
+        campaign = SegmentedDetectionCampaign(
+            self,
+            stimulus,
+            faults,
+            drop_detected=drop_detected,
+            divergence_exit=divergence_exit,
+            compact_batches=compact_batches,
+            progress=progress,
+            tracker=tracker,
+            segment_hook=segment_hook,
+            resume_state=resume_state,
+        )
+        return campaign.run()
 
     # ------------------------------------------------------------------
     def classify(
@@ -685,15 +783,22 @@ class FaultSimulator:
 
     # ------------------------------------------------------------------
     def accuracy_drops(
-        self, inputs: np.ndarray, labels: np.ndarray, faults: Sequence[Fault]
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        faults: Sequence[Fault],
+        golden_modules: Optional[List[np.ndarray]] = None,
     ) -> np.ndarray:
         """Exact accuracy drop (nominal minus faulty) for each fault.
 
         Used after a chunked :meth:`classify` to fill in the drops of the
         undetected critical faults (the Table III bottom row).
+        ``golden_modules`` optionally reuses fault-free per-module outputs
+        already computed for ``inputs`` (see :meth:`detect`).
         """
         labels = np.asarray(labels)
-        golden_modules = self.network.run_modules(inputs)
+        if golden_modules is None:
+            golden_modules = self.network.run_modules(inputs)
         golden_counts = golden_modules[-1].reshape(
             inputs.shape[0], inputs.shape[1], -1
         ).sum(axis=0)

@@ -42,8 +42,22 @@ class Module:
         """Feature shape produced for a given input feature shape."""
         raise NotImplementedError
 
-    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
-        """Fast path: map a (T, B, ...) spike array to the output sequence."""
+    def init_state(self, batch: int) -> Optional[LIFState]:
+        """Fresh fast-path simulation state, or ``None`` for stateless
+        modules.  Passing the state of one ``run_sequence_numpy`` call into
+        the next continues the simulation exactly where it stopped, which
+        the segment-wise campaign engine uses to iterate a test chunk by
+        chunk without ever materializing the assembled stimulus."""
+        return None
+
+    def run_sequence_numpy(
+        self, seq: np.ndarray, state: Optional[LIFState] = None
+    ) -> np.ndarray:
+        """Fast path: map a (T, B, ...) spike array to the output sequence.
+
+        ``state`` optionally carries the simulation state across calls
+        (see :meth:`init_state`); stateless modules ignore it.
+        """
         raise NotImplementedError
 
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
@@ -99,6 +113,9 @@ class SpikingModule(Module):
     def _state_numpy(self, batch: int) -> LIFState:
         return LIFState.zeros_numpy((batch,) + self.neuron_shape)
 
+    def init_state(self, batch: int) -> LIFState:
+        return self._state_numpy(batch)
+
     def _state_tensor(self, batch: int) -> LIFState:
         return LIFState.zeros_tensor((batch,) + self.neuron_shape)
 
@@ -137,7 +154,10 @@ class SpikingModule(Module):
         )
 
     def run_sequence_kbatched(
-        self, seq: np.ndarray, param_stacks: Sequence[np.ndarray]
+        self,
+        seq: np.ndarray,
+        param_stacks: Sequence[np.ndarray],
+        state: Optional[LIFState] = None,
     ) -> np.ndarray:
         """Fast path over K weight variants at once.
 
@@ -147,7 +167,8 @@ class SpikingModule(Module):
         sample ``s`` under weight variant ``k``.  Used by the batched
         synapse-fault campaign; LIF state advances for the whole K*S batch
         in one elementwise step, so per-row dynamics match the unbatched
-        path exactly.
+        path exactly.  ``state`` optionally carries the K*S-batched state
+        across calls (see :meth:`Module.init_state`).
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not support K-batched execution"
@@ -205,9 +226,12 @@ class DenseLIF(SpikingModule):
             )
         return (self.out_features,)
 
-    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
+    def run_sequence_numpy(
+        self, seq: np.ndarray, state: Optional[LIFState] = None
+    ) -> np.ndarray:
         steps, batch = seq.shape[:2]
-        state = self._state_numpy(batch)
+        if state is None:
+            state = self._state_numpy(batch)
         weight = self.weight.data
         out = np.empty((steps, batch, self.out_features))
         for t in range(steps):
@@ -215,13 +239,17 @@ class DenseLIF(SpikingModule):
         return out
 
     def run_sequence_kbatched(
-        self, seq: np.ndarray, param_stacks: Sequence[np.ndarray]
+        self,
+        seq: np.ndarray,
+        param_stacks: Sequence[np.ndarray],
+        state: Optional[LIFState] = None,
     ) -> np.ndarray:
         (weight,) = param_stacks  # (K, in, out)
         k = weight.shape[0]
         steps, batch = seq.shape[:2]
         s = batch // k
-        state = self._state_numpy(batch)
+        if state is None:
+            state = self._state_numpy(batch)
         out = np.empty((steps, batch, self.out_features))
         for t in range(steps):
             current = np.matmul(seq[t].reshape(k, s, self.in_features), weight)
@@ -290,12 +318,17 @@ class RecurrentLIF(SpikingModule):
             )
         return (self.out_features,)
 
-    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
+    def run_sequence_numpy(
+        self, seq: np.ndarray, state: Optional[LIFState] = None
+    ) -> np.ndarray:
         steps, batch = seq.shape[:2]
-        state = self._state_numpy(batch)
+        if state is None:
+            state = self._state_numpy(batch)
         w_in, w_rec = self.weight.data, self.recurrent_weight.data
         out = np.empty((steps, batch, self.out_features))
-        previous = np.zeros((batch, self.out_features))
+        # The spike feedback is exactly the state's last spike record, so a
+        # carried-in state resumes the recurrence where it stopped.
+        previous = np.asarray(state.last_spike)
         for t in range(steps):
             current = seq[t] @ w_in + previous @ w_rec
             previous = self._lif_numpy(current, state)
@@ -303,15 +336,19 @@ class RecurrentLIF(SpikingModule):
         return out
 
     def run_sequence_kbatched(
-        self, seq: np.ndarray, param_stacks: Sequence[np.ndarray]
+        self,
+        seq: np.ndarray,
+        param_stacks: Sequence[np.ndarray],
+        state: Optional[LIFState] = None,
     ) -> np.ndarray:
         w_in, w_rec = param_stacks  # (K, in, out), (K, out, out)
         k = w_in.shape[0]
         steps, batch = seq.shape[:2]
         s = batch // k
-        state = self._state_numpy(batch)
+        if state is None:
+            state = self._state_numpy(batch)
         out = np.empty((steps, batch, self.out_features))
-        previous = np.zeros((k, s, self.out_features))
+        previous = np.asarray(state.last_spike).reshape(k, s, self.out_features)
         for t in range(steps):
             current = np.matmul(seq[t].reshape(k, s, self.in_features), w_in)
             current += np.matmul(previous, w_rec)
@@ -425,23 +462,30 @@ class ConvLIF(SpikingModule):
         # conv2d (same GEMM), which path-equivalence tests rely on.
         return np.matmul(w_mat, cols).reshape((x.shape[0],) + self.neuron_shape)
 
-    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
+    def run_sequence_numpy(
+        self, seq: np.ndarray, state: Optional[LIFState] = None
+    ) -> np.ndarray:
         steps, batch = seq.shape[:2]
-        state = self._state_numpy(batch)
+        if state is None:
+            state = self._state_numpy(batch)
         out = np.empty((steps, batch) + self.neuron_shape)
         for t in range(steps):
             out[t] = self._lif_numpy(self._conv_numpy(seq[t]), state)
         return out
 
     def run_sequence_kbatched(
-        self, seq: np.ndarray, param_stacks: Sequence[np.ndarray]
+        self,
+        seq: np.ndarray,
+        param_stacks: Sequence[np.ndarray],
+        state: Optional[LIFState] = None,
     ) -> np.ndarray:
         (weight,) = param_stacks  # (K, F, C, k, k)
         k = weight.shape[0]
         steps, batch = seq.shape[:2]
         s = batch // k
         w_mats = weight.reshape(k, self.out_channels, -1)
-        state = self._state_numpy(batch)
+        if state is None:
+            state = self._state_numpy(batch)
         out = np.empty((steps, batch) + self.neuron_shape)
         for t in range(steps):
             cols = self._im2col(seq[t])  # (K*S, C*k*k, L)
@@ -526,7 +570,9 @@ class SumPool(Module):
             )
         return (channels, height // self.window, width // self.window)
 
-    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
+    def run_sequence_numpy(
+        self, seq: np.ndarray, state: Optional[LIFState] = None
+    ) -> np.ndarray:
         steps, batch, channels, height, width = seq.shape
         window = self.window
         return seq.reshape(
@@ -550,7 +596,9 @@ class Flatten(Module):
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return (int(np.prod(input_shape)),)
 
-    def run_sequence_numpy(self, seq: np.ndarray) -> np.ndarray:
+    def run_sequence_numpy(
+        self, seq: np.ndarray, state: Optional[LIFState] = None
+    ) -> np.ndarray:
         steps, batch = seq.shape[:2]
         return seq.reshape(steps, batch, -1)
 

@@ -200,19 +200,35 @@ class SNN:
             current = module.run_sequence_numpy(current)
         return current.reshape(current.shape[0], current.shape[1], -1)
 
-    def run_modules(self, seq: np.ndarray) -> List[np.ndarray]:
+    def run_modules(
+        self, seq: np.ndarray, states: Optional[List] = None
+    ) -> List[np.ndarray]:
         """Fast inference returning every module's output sequence.
 
         Used to build the golden per-module cache that lets fault
-        simulation start at the fault site's module.
+        simulation start at the fault site's module.  ``states`` optionally
+        carries one simulation state per module (see
+        :meth:`~repro.snn.layers.Module.init_state`) so the segment-wise
+        campaign engine can advance the fault-free network one test segment
+        at a time.
         """
         self._check_feature_shape(tuple(seq.shape[2:]))
+        if states is not None and len(states) != len(self.modules):
+            raise ConfigurationError(
+                f"states list has {len(states)} entries for {len(self.modules)} modules"
+            )
         outputs: List[np.ndarray] = []
         current = seq
-        for module in self.modules:
-            current = module.run_sequence_numpy(current)
+        for idx, module in enumerate(self.modules):
+            state = None if states is None else states[idx]
+            current = module.run_sequence_numpy(current, state=state)
             outputs.append(current)
         return outputs
+
+    def init_states(self, batch: int) -> List:
+        """Fresh per-module fast-path states (``None`` for stateless
+        modules), for threading through :meth:`run_modules`."""
+        return [module.init_state(batch) for module in self.modules]
 
     def run_from(self, module_index: int, seq: np.ndarray) -> np.ndarray:
         """Resume fast inference at ``module_index`` given that module's

@@ -123,6 +123,21 @@ class LIFState:
             refractory=np.zeros(shape, dtype=np.int64),
         )
 
+    def copy(self) -> "LIFState":
+        """Independent copy of a numpy-backed state (fast path only).
+
+        Used by the segment-wise campaign engine to snapshot golden module
+        states at segment entry and to carry per-fault states across
+        segments; splitting a sequence at any step and resuming from a
+        copied state is bit-identical to the unsplit run (the per-step
+        update depends only on the state and the current input).
+        """
+        return LIFState(
+            potential=np.array(self.potential, copy=True),
+            last_spike=np.array(self.last_spike, copy=True),
+            refractory=np.array(self.refractory, copy=True),
+        )
+
 
 def lif_step_tensor(
     current: Tensor,

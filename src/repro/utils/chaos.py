@@ -27,6 +27,11 @@ Sites currently instrumented:
   checkpoint intact); ``raise``/``crash`` fail before writing.
 - ``generator-iteration`` — after the generation loop checkpoints an
   iteration, keyed by iteration index.  ``crash``/``raise`` raise.
+- ``segment`` — in the in-process segment-wise detection path, right
+  after each (fault-group, segment) partial checkpoint is saved, keyed by
+  a running hook counter across the campaign.  ``crash``/``raise`` raise,
+  so the next run can prove it resumes mid-shard from the last finished
+  segment (``tests/chaos/test_segment_resume.py``).
 
 Policies install programmatically (:func:`install` / the
 :func:`installed` context manager) — forked workers inherit the installed
