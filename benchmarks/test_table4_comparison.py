@@ -9,7 +9,7 @@ and (c) a single test configuration.
 
 from conftest import cached_report, run_once
 
-from repro.experiments import save_report, table4_report
+from repro.experiments import fault_model_report, save_report, table4_report
 
 
 def test_table4(benchmark, pipelines, results_dir, scale):
@@ -52,3 +52,43 @@ def test_table4(benchmark, pipelines, results_dir, scale):
             assert proposed["critical_coverage"] >= stats["critical_coverage"] - 0.02, (
                 f"{name} beats the proposed method on critical-fault coverage"
             )
+
+
+def test_table4_fault_models(benchmark, pipelines, results_dir, scale):
+    """Table-IV-style per-fault-model comparison: the generated test vs a
+    same-duration random baseline, per extended family, with systematic
+    collapsing applied first."""
+    pipeline = pipelines["nmnist"]
+    text, payload = run_once(
+        benchmark,
+        lambda: cached_report(
+            results_dir,
+            "table4_fault_models",
+            lambda: fault_model_report(pipeline),
+        ),
+    )
+    print("\n" + text)
+    save_report(results_dir, "table4_fault_models", text, payload)
+
+    models = {k: v for k, v in payload.items() if isinstance(v, dict)}
+    assert set(models) == {
+        "classic", "parametric", "timing+delay", "bitflip-16b/6b", "transient"
+    }
+    for name, stats in models.items():
+        assert stats["total_faults"] > 0, name
+        assert 0.0 <= stats["generated_coverage"] <= 1.0, name
+        assert 0.0 <= stats["random_coverage"] <= 1.0, name
+        assert stats["kept_faults"] <= stats["total_faults"], name
+
+    # Systematic collapsing must earn its keep: the sub-resolution
+    # bit-flip model (16-bit word, 6-bit datapath, flips enumerated over
+    # the 12 low bits) collapses at least 3x.
+    assert payload["bitflip-16b/6b"]["reduction"] >= 3.0
+
+    if scale != "tiny":
+        # The generated stimulus should not lose to noise on the classic
+        # model it was optimised for.
+        assert (
+            payload["classic"]["generated_coverage"]
+            >= payload["classic"]["random_coverage"] - 0.02
+        )

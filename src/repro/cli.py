@@ -18,6 +18,7 @@ harness, so the CLI and ``pytest benchmarks/`` share artifacts.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import Dict, Optional, Sequence
@@ -73,6 +74,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="continue interrupted campaigns/generation from "
                        "their progress checkpoints (bit-identical results; "
                        "see docs/RESILIENCE.md)")
+        # Fault-model overrides.  Any override gets its own cache namespace
+        # (results/cache/<key>-faults<digest>), so benchmark artifacts built
+        # under the definition's default model are never contaminated.
+        p.add_argument("--fault-families", choices=("classic", "extended"),
+                       default=None,
+                       help="classic = the paper's five neuron kinds; "
+                       "extended adds parametric (threshold/leak/refractory), "
+                       "delay, and — with --transient-window — time-windowed "
+                       "transient faults (see docs/FAULT_MODEL.md)")
+        p.add_argument("--transient-window", action="append", default=None,
+                       metavar="T0:T1",
+                       help="enumerate transient faults active during "
+                       "[T0, T1); repeatable")
+        p.add_argument("--weight-bits", type=int, default=None,
+                       help="stored synapse word width for BITFLIP faults")
+        p.add_argument("--datapath-bits", type=int, default=None,
+                       help="accelerator datapath width; flips below its "
+                       "resolution collapse to no-ops")
+        p.add_argument("--bitflip-bits", default=None, metavar="B0,B1,...",
+                       help="comma-separated bit positions enumerated per "
+                       "weight for BITFLIP faults")
 
     add_pipeline_args(sub.add_parser("train", help="train and cache the benchmark model"))
     add_pipeline_args(sub.add_parser(
@@ -101,12 +123,72 @@ def _build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--tolerance", type=float, default=0.0,
                          help="allowed union-coverage drop (fraction of faults)")
 
+    catalog = sub.add_parser(
+        "catalog", help="enumerate the fault catalog and report its size"
+    )
+    add_pipeline_args(catalog)
+    catalog.add_argument("--collapse", action="store_true",
+                         help="also run systematic fault collapsing and print "
+                         "the per-reason drop report")
+    catalog.add_argument("--duration", type=int, default=None,
+                         help="test duration in steps for the window-dominance "
+                         "collapsing pass (default: structural rules only)")
+
     report = sub.add_parser("report", help="regenerate a paper table/figure report")
     report.add_argument("name", choices=REPORTS + ("all",))
     report.add_argument("--scale", choices=SCALES, default="small")
     report.add_argument("--results", type=Path, default=None)
     report.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _parse_window(text: str):
+    try:
+        t0, t1 = text.split(":")
+        return int(t0), int(t1)
+    except ValueError:
+        raise SystemExit(f"--transient-window expects T0:T1, got {text!r}")
+
+
+def _fault_config_override(args, base):
+    """The definition's fault model with any CLI overrides applied, or
+    None when no fault flag was given (keeps the default cache key)."""
+    from repro.faults.model import (
+        CLASSIC_NEURON_KINDS,
+        NeuronFaultKind,
+        SynapseFaultKind,
+    )
+
+    changes = {}
+    families = getattr(args, "fault_families", None)
+    if families == "extended":
+        changes["neuron_kinds"] = tuple(NeuronFaultKind)
+    elif families == "classic" and base.neuron_kinds != CLASSIC_NEURON_KINDS:
+        changes["neuron_kinds"] = CLASSIC_NEURON_KINDS
+    windows = getattr(args, "transient_window", None)
+    if windows:
+        changes["transient_windows"] = tuple(_parse_window(w) for w in windows)
+        changes["transient_neuron_kinds"] = (
+            (NeuronFaultKind.DEAD, NeuronFaultKind.SATURATED,
+             NeuronFaultKind.PARAM_THRESHOLD, NeuronFaultKind.DELAY)
+            if families == "extended"
+            else (NeuronFaultKind.DEAD, NeuronFaultKind.SATURATED)
+        )
+        changes["transient_synapse_kinds"] = (
+            (SynapseFaultKind.DEAD, SynapseFaultKind.BITFLIP)
+            if families == "extended"
+            else (SynapseFaultKind.DEAD,)
+        )
+    if getattr(args, "weight_bits", None) is not None:
+        changes["weight_bits"] = args.weight_bits
+    if getattr(args, "datapath_bits", None) is not None:
+        changes["datapath_bits"] = args.datapath_bits
+    bits = getattr(args, "bitflip_bits", None)
+    if bits is not None:
+        changes["bitflip_bits"] = tuple(int(b) for b in bits.split(","))
+    if not changes:
+        return None
+    return dataclasses.replace(base, **changes)
 
 
 def _pipeline(args, name: Optional[str] = None) -> ExperimentPipeline:
@@ -122,6 +204,7 @@ def _pipeline(args, name: Optional[str] = None) -> ExperimentPipeline:
         resume=getattr(args, "resume", False),
         detect_assembled=getattr(args, "assembled", False),
         fast_metrics=getattr(args, "fast_metrics", False),
+        fault_config=_fault_config_override(args, definition.fault_config),
     )
 
 
@@ -212,10 +295,26 @@ def _cmd_compact(args) -> int:
         pipeline.network(),
         generation.stimulus,
         catalog.faults,
-        pipeline.definition.fault_config,
+        pipeline.fault_config,
         coverage_tolerance=args.tolerance,
     )
     print(report.summary())
+    return 0
+
+
+def _cmd_catalog(args) -> int:
+    from repro.faults.collapse import collapse_catalog
+
+    pipeline = _pipeline(args)
+    catalog = pipeline.catalog()
+    print(catalog.summary())
+    if args.collapse:
+        collapsed = collapse_catalog(
+            pipeline.network(), catalog, duration_steps=args.duration
+        )
+        print(collapsed.summary())
+        if args.duration is None:
+            print("(pass --duration to enable the window-dominance pass)")
     return 0
 
 
@@ -252,6 +351,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "pack": _cmd_pack,
     "compact": _cmd_compact,
+    "catalog": _cmd_catalog,
     "report": _cmd_report,
 }
 

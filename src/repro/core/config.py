@@ -86,6 +86,20 @@ class TestGenConfig:
         keeping output spike counts below ``(1 - margin)`` of the
         refractory-limited ceiling, preserving observability of
         spike-adding faults.
+    use_parametric_loss / parametric_loss_scale / parametric_loss_margin:
+        Enable the parametric-divergence surrogate
+        (:func:`repro.core.perturbation.loss_parametric_divergence`): a
+        second forward pass with every threshold scaled by
+        ``parametric_loss_scale`` and a hinge pushing each target
+        neuron's spike count to differ by ``parametric_loss_margin``.
+        Targets the PARAM_* fault families; roughly doubles the cost of
+        each stage-1 objective evaluation.
+    use_transient_loss / transient_loss_bins:
+        Enable the per-time-bin activation hinge
+        (:func:`repro.core.perturbation.loss_transient_coverage`): every
+        target neuron must spike in each of ``transient_loss_bins``
+        equal sub-windows, so time-windowed transient faults have
+        in-window activity to corrupt.
     checkpoint_every:
         When the generator is given a checkpoint path, persist its state
         every this many iterations (1 = after every chunk).  Larger values
@@ -163,6 +177,11 @@ class TestGenConfig:
     disabled_losses: Tuple[int, ...] = ()
     use_headroom_loss: bool = False
     headroom_margin: float = 0.25
+    use_parametric_loss: bool = False
+    parametric_loss_scale: float = 2.0
+    parametric_loss_margin: float = 1.0
+    use_transient_loss: bool = False
+    transient_loss_bins: int = 2
     checkpoint_every: int = 1
     fused_bptt: bool = True
     dtype: str = "float64"
@@ -219,6 +238,16 @@ class TestGenConfig:
             raise ConfigurationError("cannot disable all four stage-1 losses")
         if not 0.0 <= self.headroom_margin < 1.0:
             raise ConfigurationError("headroom_margin must be in [0, 1)")
+        if not 0.0 < self.parametric_loss_scale < float("inf"):
+            raise ConfigurationError("parametric_loss_scale must be positive and finite")
+        if self.parametric_loss_scale == 1.0:
+            raise ConfigurationError(
+                "parametric_loss_scale must differ from 1.0 (a no-op perturbation)"
+            )
+        if self.parametric_loss_margin <= 0:
+            raise ConfigurationError("parametric_loss_margin must be positive")
+        if self.transient_loss_bins < 1:
+            raise ConfigurationError("transient_loss_bins must be >= 1")
         if self.checkpoint_every < 1:
             raise ConfigurationError("checkpoint_every must be >= 1")
         if self.dtype not in ("float64", "float32"):

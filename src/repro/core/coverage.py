@@ -57,7 +57,10 @@ def verify_coverage(
     :class:`DetectionResult`; if ``classification`` labels are provided,
     also the Table-III-style :class:`CoverageBreakdown`.
     """
-    validate_faults(network, faults)
+    validate_faults(
+        network, faults, config=fault_config,
+        duration_steps=stimulus.duration_steps,
+    )
     simulator = FaultSimulator(network, fault_config)
     if segmented:
         detection = parallel_detect_segmented(

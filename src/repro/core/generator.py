@@ -41,6 +41,11 @@ from repro.core.losses import (
     loss_output_headroom,
     loss_spike_minimization,
 )
+from repro.core.perturbation import (
+    loss_parametric_divergence,
+    loss_transient_coverage,
+    scaled_thresholds,
+)
 from repro.core.stage import StageResult, run_stage
 from repro.core.testset import TestStimulus
 from repro.autograd.tensor import Tensor, stack
@@ -470,12 +475,44 @@ class TestGenerator:
             ).item()
             headroom_alpha = 1.0 / max(probe_headroom, 1.0)
 
+        def _perturbed_forward(seq):
+            # Same forward flavour as the nominal pass, under globally
+            # scaled thresholds (the parametric-divergence relaxation).
+            with scaled_thresholds(network, config.parametric_loss_scale):
+                if config.fused_bptt:
+                    return network.forward_fused(seq)
+                return network.forward(seq)
+
+        parametric_alpha = 0.0
+        if config.use_parametric_loss:
+            probe_parametric = loss_parametric_divergence(
+                probe, _perturbed_forward(probe_seq),
+                config.parametric_loss_margin, masks,
+            ).item()
+            parametric_alpha = 1.0 / max(probe_parametric, 1.0)
+
+        transient_alpha = 0.0
+        if config.use_transient_loss:
+            probe_transient = loss_transient_coverage(
+                probe, config.transient_loss_bins, masks
+            ).item()
+            transient_alpha = 1.0 / max(probe_transient, 1.0)
+
         def stage1_objective(record, seq):
             counts = _sequence_tensor(seq).sum(axis=0) if config.l4_include_input else None
             loss = weights.combined(record, network, td_min, masks, input_counts=counts)
             if config.use_headroom_loss:
                 loss = loss + headroom_alpha * loss_output_headroom(
                     record, network, config.headroom_margin
+                )
+            if config.use_parametric_loss:
+                loss = loss + parametric_alpha * loss_parametric_divergence(
+                    record, _perturbed_forward(seq),
+                    config.parametric_loss_margin, masks,
+                )
+            if config.use_transient_loss:
+                loss = loss + transient_alpha * loss_transient_coverage(
+                    record, config.transient_loss_bins, masks
                 )
             return loss
 

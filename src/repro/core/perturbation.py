@@ -1,0 +1,119 @@
+"""Differentiable perturbation relaxations for the extended fault model.
+
+The stage-1 losses (Eqs. 9–16) shape a stimulus so the *paper's*
+permanent faults have activity to corrupt.  The extended families need
+two further properties, each expressed here as a differentiable
+surrogate so the optimiser can shape the input without fault simulation:
+
+- **Parametric divergence** (:func:`loss_parametric_divergence`): a
+  parametric threshold fault scales a neuron's threshold by ``s``; a test
+  exposes it only if the network's behaviour actually changes under that
+  perturbation.  The relaxation runs a second forward pass with *every*
+  threshold scaled by ``s`` (:func:`scaled_thresholds`) and hinges each
+  target neuron's spike-count change away from zero — gradients flow to
+  the input through both passes' surrogate derivatives.
+- **Transient coverage** (:func:`loss_transient_coverage`): a transient
+  fault active only during ``[t0, t1)`` can only corrupt spikes inside
+  its window.  The relaxation splits the test into ``bins`` equal
+  sub-windows and applies the Eq. 10 activation hinge *per bin*, pushing
+  every target neuron to spike in every sub-window rather than once
+  overall.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+from repro.snn.network import SNN, ForwardRecord
+
+Masks = Optional[Sequence[Optional[np.ndarray]]]
+
+
+@contextlib.contextmanager
+def scaled_thresholds(network: SNN, scale: float):
+    """Temporarily scale every spiking neuron's threshold by ``scale``.
+
+    The forward pass run inside the block sees the perturbed parameters;
+    the originals are restored on exit (also on exception).
+    """
+    if not (0.0 < scale < float("inf")):
+        raise ShapeError(f"threshold scale must be positive and finite, got {scale}")
+    saved = []
+    for module in network.spiking_modules:
+        saved.append((module, module.threshold))
+        module.threshold = module.threshold * scale
+    try:
+        yield network
+    finally:
+        for module, threshold in saved:
+            module.threshold = threshold
+
+
+def _layer_counts(record: ForwardRecord, layer: int) -> Tensor:
+    return record.stacked(layer).sum(axis=0).reshape(-1)
+
+
+def loss_parametric_divergence(
+    record: ForwardRecord,
+    perturbed_record: ForwardRecord,
+    margin: float = 1.0,
+    masks: Masks = None,
+) -> Tensor:
+    """Hinge pushing each target neuron's spike count to differ by at
+    least ``margin`` between the nominal and the threshold-perturbed pass.
+
+    Both records must come from the same stimulus (the caller runs the
+    second pass under :func:`scaled_thresholds`).  A neuron whose count is
+    identical under the perturbation gives the optimiser gradient to
+    create divergence — the differentiable proxy for "this test would
+    detect a parametric threshold fault here".
+    """
+    if len(record.layer_spikes) != len(perturbed_record.layer_spikes):
+        raise ShapeError("nominal and perturbed records disagree on layer count")
+    total: Optional[Tensor] = None
+    for layer in range(len(record.layer_spikes)):
+        gap = (_layer_counts(record, layer) - _layer_counts(perturbed_record, layer)).abs()
+        hinge = (margin - gap).maximum(0.0)
+        if masks is not None and masks[layer] is not None:
+            hinge = hinge * Tensor(masks[layer].astype(np.float64).reshape(-1))
+        term = hinge.sum()
+        total = term if total is None else total + term
+    if total is None:
+        total = Tensor(np.zeros(()))
+    return total
+
+
+def loss_transient_coverage(
+    record: ForwardRecord,
+    bins: int = 2,
+    masks: Masks = None,
+) -> Tensor:
+    """Per-time-bin activation hinge: every target neuron spikes at least
+    once in each of ``bins`` equal sub-windows of the test.
+
+    Generalises Eq. 10 (which is the ``bins=1`` case): a neuron active in
+    every sub-window gives any transient window overlapping the test some
+    activity to corrupt.
+    """
+    if bins < 1:
+        raise ShapeError(f"bins must be >= 1, got {bins}")
+    total: Optional[Tensor] = None
+    for layer in range(len(record.layer_spikes)):
+        stacked = record.stacked(layer)  # (T, 1, *neurons)
+        steps = stacked.shape[0]
+        edges = np.linspace(0, steps, num=min(bins, steps) + 1, dtype=int)
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            counts = stacked[int(lo):int(hi)].sum(axis=0).reshape(-1)
+            hinge = (1.0 - counts).maximum(0.0)
+            if masks is not None and masks[layer] is not None:
+                hinge = hinge * Tensor(masks[layer].astype(np.float64).reshape(-1))
+            term = hinge.sum()
+            total = term if total is None else total + term
+    if total is None:
+        total = Tensor(np.zeros(()))
+    return total

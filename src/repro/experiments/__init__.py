@@ -17,6 +17,7 @@ from repro.experiments.benchmarks import (
 from repro.experiments.pipeline import ExperimentPipeline
 from repro.experiments.reports import (
     ablation_report,
+    fault_model_report,
     fig7_report,
     fig8_report,
     fig9_report,
@@ -37,6 +38,7 @@ __all__ = [
     "table2_report",
     "table3_report",
     "table4_report",
+    "fault_model_report",
     "fig7_report",
     "fig8_report",
     "fig9_report",

@@ -13,6 +13,7 @@ are what the tables report), later runs reuse the artifacts.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import asdict
@@ -70,11 +71,23 @@ class ExperimentPipeline:
         resume: bool = False,
         detect_assembled: bool = False,
         fast_metrics: bool = False,
+        fault_config=None,
     ) -> None:
         self.definition = definition
         self.seed = seed
         self.verbose = verbose
         self.resume = resume
+        # Optional fault-model override (CLI --fault-families etc.).  The
+        # catalog, classification labels, and coverage all depend on it, so
+        # an override gets its own cache namespace — benchmark artifacts
+        # built under the definition's model are never mixed with it.
+        self.fault_config = (
+            fault_config if fault_config is not None else definition.fault_config
+        )
+        self._fault_suffix = ""
+        if repr(self.fault_config) != repr(definition.fault_config):
+            digest = hashlib.sha256(repr(self.fault_config).encode()).hexdigest()[:8]
+            self._fault_suffix = f"-faults{digest}"
         # Detection-campaign mode: segmented by default; the pipeline keeps
         # exact metrics (no fault dropping) because detection.npz feeds the
         # Fig. 9 class_count_diff / output_l1 reproduction.  ``fast_metrics``
@@ -85,7 +98,16 @@ class ExperimentPipeline:
         self.workers = resolve_workers(workers)
         self.seeds = SeedSequenceFactory(seed)
         self.results_dir = Path(results_dir) if results_dir is not None else default_results_dir()
-        self.cache_dir = self.results_dir / "cache" / f"{definition.cache_key}-seed{seed}"
+        # Training does not depend on the fault model, so weights/metrics
+        # stay in the base cache dir and are shared across overrides.
+        self._train_cache_dir = (
+            self.results_dir / "cache" / f"{definition.cache_key}-seed{seed}"
+        )
+        self.cache_dir = (
+            self.results_dir / "cache"
+            / f"{definition.cache_key}-seed{seed}{self._fault_suffix}"
+        )
+        self._train_cache_dir.mkdir(parents=True, exist_ok=True)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.log = log or (lambda message: None)
         self._dataset: Optional[SpikingDataset] = None
@@ -117,8 +139,8 @@ class ExperimentPipeline:
         if self._network is not None:
             return self._network
         network = build_network(self.definition.spec, self.seeds.rng("weights"))
-        weights_path = self.cache_dir / "weights.npz"
-        metrics_path = self.cache_dir / "training.json"
+        weights_path = self._train_cache_dir / "weights.npz"
+        metrics_path = self._train_cache_dir / "training.json"
         if weights_path.exists() and metrics_path.exists():
             network.load(str(weights_path))
             with open(metrics_path) as fh:
@@ -154,7 +176,7 @@ class ExperimentPipeline:
         """The fault catalog (deterministic, rebuilt per process)."""
         if self._catalog is None:
             self._catalog = build_catalog(
-                self.network(), self.definition.fault_config, self.seeds.rng("catalog")
+                self.network(), self.fault_config, self.seeds.rng("catalog")
             )
         return self._catalog
 
@@ -197,7 +219,7 @@ class ExperimentPipeline:
                     )
         self.log(f"[{self.definition.cache_key}] labelling {len(catalog)} faults ...")
         inputs, labels = self.classify_data()
-        simulator = FaultSimulator(self.network(), self.definition.fault_config)
+        simulator = FaultSimulator(self.network(), self.fault_config)
         progress_ckpt = self.cache_dir / "classification.progress.ckpt"
         result = parallel_classify(
             simulator,
@@ -312,7 +334,7 @@ class ExperimentPipeline:
             self.network(),
             generation.stimulus,
             catalog.faults,
-            self.definition.fault_config,
+            self.fault_config,
             workers=self.workers,
             checkpoint_path=str(progress_ckpt),
             resume=self.resume,
@@ -343,7 +365,7 @@ class ExperimentPipeline:
         # (chunked classification) — they feed the Table III bottom row.
         needs = ~detection.detected & classification.critical
         if np.isnan(classification.accuracy_drop[needs]).any():
-            simulator = FaultSimulator(self.network(), self.definition.fault_config)
+            simulator = FaultSimulator(self.network(), self.fault_config)
             inputs, labels = self.classify_data()
             targets = [f for f, n in zip(classification.faults, needs) if n]
             drops = simulator.accuracy_drops(

@@ -1,15 +1,23 @@
-"""8-bit fixed-point weight quantization and bit-flip arithmetic.
+"""Fixed-point weight quantization and bit-flip arithmetic.
 
-Digital SNN accelerators commonly store synapse weights as signed 8-bit
-fixed-point values.  A memory bit-flip therefore perturbs the weight by a
-power-of-two multiple of the layer's quantization step.  The paper's
-"perturbed value, for example induced by a bit-flip" synapse fault is
-modelled here:
+Digital SNN accelerators commonly store synapse weights as signed
+fixed-point values (8-bit by default here).  A memory bit-flip therefore
+perturbs the weight by a power-of-two multiple of the layer's
+quantization step.  The paper's "perturbed value, for example induced by
+a bit-flip" synapse fault is modelled here:
 
-- the layer's weights define a symmetric scale (``max |w| / 127``);
-- a weight is quantized to int8 (two's complement);
+- the layer's weights define a symmetric scale
+  (``max |w| / (2**(bits-1) - 1)``);
+- a weight is quantized to a ``bits``-wide two's-complement code;
 - one bit of the stored code flips;
 - the faulty real-valued weight is the dequantized flipped code.
+
+When the accelerator datapath is narrower than the weight store
+(``datapath_bits < weight_bits``), the dequantized value is additionally
+snapped to the datapath grid (:func:`truncate_to_grid`): flips of
+storage bits below the datapath resolution then round back to the
+original value and are observationally no-ops — the equivalence class
+exploited by fault collapsing.
 """
 
 from __future__ import annotations
@@ -19,33 +27,57 @@ import numpy as np
 from repro.errors import FaultModelError
 
 
-def int8_scale(weights: np.ndarray) -> float:
-    """Symmetric per-tensor quantization scale: max|w| maps to ±127."""
+def quant_scale(weights: np.ndarray, bits: int = 8) -> float:
+    """Symmetric per-tensor quantization scale: max|w| maps to the most
+    positive ``bits``-wide code (±127 for int8)."""
+    if bits < 2:
+        raise FaultModelError(f"word width must be >= 2 bits, got {bits}")
+    top = float(2 ** (bits - 1) - 1)
     peak = float(np.abs(weights).max())
     if peak == 0.0:
-        return 1.0 / 127.0  # degenerate all-zero layer; any scale works
-    return peak / 127.0
+        return 1.0 / top  # degenerate all-zero layer; any scale works
+    return peak / top
+
+
+def int8_scale(weights: np.ndarray) -> float:
+    """Symmetric per-tensor int8 quantization scale (max|w| maps to ±127)."""
+    return quant_scale(weights, 8)
+
+
+def quantize_code(value: float, scale: float, bits: int = 8) -> int:
+    """Quantize a real weight to a signed ``bits``-wide code."""
+    if scale <= 0.0:
+        raise FaultModelError(f"quantization scale must be positive, got {scale}")
+    if bits < 2:
+        raise FaultModelError(f"word width must be >= 2 bits, got {bits}")
+    low, high = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    return int(np.clip(np.round(value / scale), low, high))
 
 
 def quantize_int8(value: float, scale: float) -> int:
     """Quantize a real weight to a signed 8-bit code."""
-    if scale <= 0.0:
-        raise FaultModelError(f"quantization scale must be positive, got {scale}")
-    code = int(np.clip(np.round(value / scale), -128, 127))
-    return code
+    return quantize_code(value, scale, 8)
 
 
-def flip_bit(code: int, bit: int) -> int:
-    """Flip one bit of an int8 two's-complement code, returning int8."""
-    if not 0 <= bit <= 7:
-        raise FaultModelError(f"bit must be in [0, 7], got {bit}")
-    if not -128 <= code <= 127:
-        raise FaultModelError(f"code must be int8, got {code}")
-    unsigned = code & 0xFF
+def flip_bit(code: int, bit: int, bits: int = 8) -> int:
+    """Flip one bit of a ``bits``-wide two's-complement code."""
+    if not 0 <= bit < bits:
+        raise FaultModelError(f"bit must be in [0, {bits - 1}], got {bit}")
+    low, high = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    if not low <= code <= high:
+        raise FaultModelError(f"code must fit {bits} bits, got {code}")
+    mask = (1 << bits) - 1
+    unsigned = code & mask
     flipped = unsigned ^ (1 << bit)
-    return flipped - 256 if flipped >= 128 else flipped
+    return flipped - (1 << bits) if flipped > high else flipped
 
 
-def bitflip_value(value: float, bit: int, scale: float) -> float:
-    """Real-valued weight after flipping ``bit`` of its stored int8 code."""
-    return flip_bit(quantize_int8(value, scale), bit) * scale
+def truncate_to_grid(value: float, weights: np.ndarray, bits: int) -> float:
+    """Snap a real weight to the ``bits``-wide datapath grid of ``weights``."""
+    scale = quant_scale(weights, bits)
+    return quantize_code(value, scale, bits) * scale
+
+
+def bitflip_value(value: float, bit: int, scale: float, bits: int = 8) -> float:
+    """Real-valued weight after flipping ``bit`` of its stored code."""
+    return flip_bit(quantize_code(value, scale, bits), bit, bits) * scale

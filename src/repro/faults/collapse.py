@@ -1,36 +1,63 @@
 """Fault collapsing: structural reduction of the fault catalog.
 
-Classical test generation collapses faults that are provably equivalent or
-undetectable before simulating anything.  The analogous structural rules
-for the behavioural SNN fault model:
+Classical test generation collapses faults that are provably equivalent,
+dominated, or undetectable before simulating anything.  The analogous
+rules for the behavioural SNN fault model fall into three tiers:
 
-- a DEAD synapse fault on a weight that is already (numerically) zero is a
-  no-op — the faulty network equals the fault-free one;
-- a SATURATED synapse fault on a weight already at the saturation value is
-  a no-op;
-- any fault on a *hidden* neuron whose outgoing weights are all zero is
-  undetectable — its spike train never influences the rest of the network
-  (output-layer neurons are excluded: they are directly observed);
-- a BITFLIP whose dequantised faulty value equals the original (possible
-  only for the degenerate all-zero-weight layer scale) is a no-op.
+**Undetectable / no-op drops** (no test can ever distinguish the fault):
 
-Collapsing never changes coverage semantics: dropped faults are exactly
-those no test could ever detect, so they are reported separately rather
-than counted as coverage losses.
+- a DEAD synapse fault on a weight that is already (numerically) zero;
+- a SATURATED synapse fault on a weight already at the saturation value;
+- any fault on a *hidden* neuron whose outgoing weights are all zero —
+  its spike train never influences the rest of the network (output-layer
+  neurons are excluded: they are directly observed);
+- a BITFLIP whose faulty weight value equals the original — including
+  flips of storage bits below the datapath resolution when
+  ``datapath_bits`` narrows the accelerator's read path;
+- a parametric perturbation whose induced parameter value equals the
+  nominal one (e.g. refractory scaling that rounds back);
+- a transient fault whose window starts at or after the test's end.
+
+**Equivalence classes** (identical faulty behaviour; one representative
+is kept, the rest are dropped and share its detection outcome):
+
+- faults at the same site and window that induce the same faulty value —
+  e.g. a bit-flip that lands exactly on zero collapses onto the DEAD
+  fault of the same weight, and a TIMING_THRESHOLD fault collapses onto
+  the PARAM_THRESHOLD fault of the same magnitude;
+- a permanent PARAM_THRESHOLD fault whose raised threshold exceeds the
+  neuron's maximum reachable potential (``C / (1 - leak)`` for the sum
+  ``C`` of positive incoming weights, inputs in [0, 1]) — the neuron can
+  never fire, which is exactly stuck-at-DEAD;
+- a transient fault whose window covers the whole test collapses onto
+  its permanent twin.
+
+**Dominance pruning** (detection of the kept fault implies detection of
+the dropped one): for directly-observed output neurons without lateral
+coupling, a DEAD/SATURATED fault forces the neuron's output to a
+constant while active, independent of membrane state.  Among
+end-of-test-aligned windows, the larger window is therefore detected by
+every test that detects the smaller — the strictly-containing fault is
+dropped and the hardest (smallest-window) fault kept.
+
+Dropped faults are reported with their reason and, where applicable,
+their kept representative, so campaign-level coverage over the full
+catalog can be reconstructed via :meth:`CollapsedCatalog.expand_detection`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.faults.bitflip import bitflip_value, int8_scale
 from repro.faults.catalog import FaultCatalog
+from repro.faults.injector import synapse_fault_value
 from repro.faults.model import (
     FaultModelConfig,
     NeuronFault,
+    NeuronFaultKind,
     SynapseFault,
     SynapseFaultKind,
 )
@@ -43,6 +70,10 @@ REASON_ZERO_WEIGHT_DEAD = "dead fault on zero weight"
 REASON_ALREADY_SATURATED = "weight already at saturation value"
 REASON_NOOP_BITFLIP = "bit flip does not change the stored value"
 REASON_DISCONNECTED_NEURON = "hidden neuron with all-zero outgoing weights"
+REASON_NOOP_PARAMETRIC = "parametric perturbation leaves the parameter nominal"
+REASON_NEVER_ACTIVE = "activity window never overlaps the test"
+REASON_EQUIVALENT = "equivalent to a kept fault at the same site"
+REASON_DOMINATED = "detected whenever the kept sub-window fault is detected"
 
 
 @dataclass
@@ -52,6 +83,9 @@ class CollapsedCatalog:
     kept: List[Fault]
     dropped: List[Tuple[Fault, str]]
     reasons: Dict[str, int] = field(default_factory=dict)
+    #: Dropped fault -> kept fault whose detection outcome implies (for
+    #: dominance) or equals (for equivalence) the dropped fault's.
+    representatives: Dict[Fault, Fault] = field(default_factory=dict)
 
     @property
     def reduction(self) -> float:
@@ -66,6 +100,26 @@ class CollapsedCatalog:
         for reason, count in sorted(self.reasons.items()):
             lines.append(f"  {reason}: {count}")
         return "\n".join(lines)
+
+    def expand_detection(self, detected: Mapping[Fault, bool]) -> Dict[Fault, bool]:
+        """Detection outcomes for the *full* catalog from outcomes of the
+        kept faults.
+
+        Equivalent faults share their representative's outcome exactly;
+        dominated faults are detected whenever their representative is (a
+        sound lower bound — the dropped, easier fault may additionally be
+        caught by tests missing the representative); faults dropped as
+        no-ops or undetectable are never detected.
+        """
+        out: Dict[Fault, bool] = {f: bool(detected.get(f, False)) for f in self.kept}
+        for fault, _reason in self.dropped:
+            rep = self.representatives.get(fault)
+            seen = set()
+            while rep is not None and rep not in out and rep not in seen:
+                seen.add(rep)
+                rep = self.representatives.get(rep)
+            out[fault] = out.get(rep, False) if rep is not None else False
+        return out
 
 
 def _outgoing_weight_norms(network: SNN) -> Dict[int, np.ndarray]:
@@ -100,36 +154,206 @@ def _outgoing_weight_norms(network: SNN) -> Dict[int, np.ndarray]:
     return norms
 
 
+def _never_fire_bounds(network: SNN) -> Dict[int, np.ndarray]:
+    """Per analysable spiking module: each neuron's supremum of reachable
+    membrane potential, assuming inputs in [0, 1].
+
+    With per-step current bounded by ``C`` (sum of the neuron's positive
+    incoming weights, plus positive recurrent feedback) and leak
+    ``lam < 1``, the potential stays strictly below ``C / (1 - lam)``; a
+    threshold raised above that bound can never be crossed.  Conv layers
+    and upstream pooling defeat the per-neuron analysis and yield +inf.
+    """
+    from repro.snn.layers import DenseLIF, RecurrentLIF
+
+    bounds: Dict[int, np.ndarray] = {}
+    for module_index in network.spiking_indices:
+        module = network.modules[module_index]
+        if not isinstance(module, (DenseLIF, RecurrentLIF)):
+            bounds[module_index] = np.full(module.neuron_count, np.inf)
+            continue
+        current = np.maximum(module.weight.data, 0.0).sum(axis=0)
+        if isinstance(module, RecurrentLIF):
+            current = current + np.maximum(module.recurrent_weight.data, 0.0).sum(axis=0)
+        leak = np.minimum(module.leak.reshape(-1).astype(float), 1.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            bound = np.where(leak < 1.0, current / (1.0 - leak), np.inf)
+        bounds[module_index] = bound
+    return bounds
+
+
+def _effective_window(
+    window: Optional[Tuple[int, int]], duration: Optional[int]
+) -> Optional[Tuple[int, int]]:
+    """Canonical activity window clipped to the test: full-cover windows
+    normalise to ``None`` (the permanent case).  Callers must drop
+    never-active windows (``t0 >= duration``) before normalising."""
+    if window is None:
+        return None
+    if duration is None:
+        return tuple(window)
+    t0, t1 = window
+    t1 = min(t1, duration)
+    if t0 == 0 and t1 >= duration:
+        return None
+    return (t0, t1)
+
+
+def _neuron_signature(
+    fault: NeuronFault, module, config: FaultModelConfig
+) -> Optional[Tuple]:
+    """Behavioural signature of a neuron fault: two faults at the same
+    site and window with equal signatures induce identical dynamics.
+
+    Returns ``None`` when the fault provably leaves the site nominal (a
+    parametric no-op)."""
+    kind = fault.kind
+    if kind is NeuronFaultKind.DEAD:
+        return ("mode", "dead")
+    if kind is NeuronFaultKind.SATURATED:
+        return ("mode", "saturated")
+    if kind is NeuronFaultKind.DELAY:
+        return ("delay", fault.delay)
+    nominal_thr = float(module.threshold.reshape(-1)[fault.neuron_index])
+    nominal_leak = float(module.leak.reshape(-1)[fault.neuron_index])
+    nominal_refr = int(module.refractory_steps.reshape(-1)[fault.neuron_index])
+    if kind is NeuronFaultKind.TIMING_THRESHOLD:
+        return ("threshold", nominal_thr * config.timing_threshold_factor)
+    if kind is NeuronFaultKind.TIMING_LEAK:
+        return ("leak", nominal_leak * config.timing_leak_factor)
+    if kind is NeuronFaultKind.TIMING_REFRACTORY:
+        return ("refractory", nominal_refr + config.timing_refractory_extra)
+    if kind is NeuronFaultKind.PARAM_THRESHOLD:
+        value = nominal_thr * fault.scale + fault.offset
+        return None if value == nominal_thr else ("threshold", value)
+    if kind is NeuronFaultKind.PARAM_LEAK:
+        value = nominal_leak * fault.scale + fault.offset
+        return None if value == nominal_leak else ("leak", value)
+    if kind is NeuronFaultKind.PARAM_REFRACTORY:
+        value = max(0, int(np.rint(nominal_refr * fault.scale + fault.offset)))
+        return None if value == nominal_refr else ("refractory", value)
+    raise ValueError(f"unhandled neuron fault kind {kind}")
+
+
+def _aligned_start(
+    window: Optional[Tuple[int, int]], duration: int
+) -> Optional[int]:
+    """Start of an end-of-test-aligned activity window, or None when the
+    window does not extend to the test's end (dominance needs alignment:
+    only then is the faulty epoch a pure suffix with no post-window
+    divergence to account for)."""
+    if window is None:
+        return 0
+    t0, t1 = window
+    if t0 < duration <= t1:
+        return t0
+    return None
+
+
+def dominates(a: Fault, b: Fault, duration_steps: int) -> bool:
+    """True when, at an eligible site, every test detecting ``b`` also
+    detects ``a`` — so ``a`` may be dropped once ``b`` is kept.
+
+    The rule covers DEAD/SATURATED neuron faults with end-of-test-aligned
+    windows: while active they force the neuron's output to a constant
+    independent of membrane state, so the strictly-larger window diverges
+    wherever the smaller one does.  Site eligibility (directly-observed
+    output layer, no lateral coupling) is the caller's responsibility —
+    this is a pure relation on descriptors, strict by construction
+    (irreflexive, antisymmetric, transitive).
+    """
+    if not (isinstance(a, NeuronFault) and isinstance(b, NeuronFault)):
+        return False
+    if a.kind not in (NeuronFaultKind.DEAD, NeuronFaultKind.SATURATED):
+        return False
+    if (a.module_index, a.neuron_index, a.kind) != (
+        b.module_index, b.neuron_index, b.kind
+    ):
+        return False
+    sa = _aligned_start(a.window, duration_steps)
+    sb = _aligned_start(b.window, duration_steps)
+    if sa is None or sb is None:
+        return False
+    return sa < sb
+
+
 def collapse_catalog(
     network: SNN,
     catalog: FaultCatalog,
     atol: float = 0.0,
+    duration_steps: Optional[int] = None,
 ) -> CollapsedCatalog:
-    """Drop structurally undetectable faults from ``catalog``.
+    """Drop structurally undetectable, equivalent, and dominated faults
+    from ``catalog``.
 
     Parameters
     ----------
     atol:
         Weights with ``|w| <= atol`` count as zero (0.0 = exact).
+    duration_steps:
+        Test length in steps.  Enables the window rules (never-active
+        drops, full-cover normalisation, end-aligned dominance); without
+        it only window-independent rules apply.
     """
+    from repro.snn.layers import RecurrentLIF
+
     config = catalog.config
     outgoing = _outgoing_weight_norms(network)
+    fire_bounds = _never_fire_bounds(network)
     kept: List[Fault] = []
     dropped: List[Tuple[Fault, str]] = []
     reasons: Dict[str, int] = {}
+    representatives: Dict[Fault, Fault] = {}
 
-    def drop(fault: Fault, reason: str) -> None:
+    def drop(fault: Fault, reason: str, rep: Optional[Fault] = None) -> None:
         dropped.append((fault, reason))
         reasons[reason] = reasons.get(reason, 0) + 1
+        if rep is not None:
+            representatives[fault] = rep
 
+    def never_active(fault: Fault) -> bool:
+        return (
+            duration_steps is not None
+            and fault.window is not None
+            and fault.window[0] >= duration_steps
+        )
+
+    neuron_classes: Dict[Tuple, Fault] = {}
     for fault in catalog.neuron_faults:
+        if never_active(fault):
+            drop(fault, REASON_NEVER_ACTIVE)
+            continue
         norms = outgoing.get(fault.module_index)
         if norms is not None and norms[fault.neuron_index] <= atol:
             drop(fault, REASON_DISCONNECTED_NEURON)
-        else:
-            kept.append(fault)
+            continue
+        module = network.modules[fault.module_index]
+        signature = _neuron_signature(fault, module, config)
+        if signature is None:
+            drop(fault, REASON_NOOP_PARAMETRIC)
+            continue
+        effective = _effective_window(fault.window, duration_steps)
+        if (
+            effective is None
+            and fault.kind is NeuronFaultKind.PARAM_THRESHOLD
+            and signature[0] == "threshold"
+            and signature[1] > fire_bounds[fault.module_index][fault.neuron_index]
+        ):
+            # The raised threshold can never be crossed: the neuron never
+            # fires, which is exactly the permanent stuck-at-DEAD fault.
+            signature = ("mode", "dead")
+        key = (fault.module_index, fault.neuron_index, effective, signature)
+        if key in neuron_classes:
+            drop(fault, REASON_EQUIVALENT, rep=neuron_classes[key])
+            continue
+        neuron_classes[key] = fault
+        kept.append(fault)
 
+    synapse_classes: Dict[Tuple, Fault] = {}
     for fault in catalog.synapse_faults:
+        if never_active(fault):
+            drop(fault, REASON_NEVER_ACTIVE)
+            continue
         module = network.modules[fault.module_index]
         weights = module.parameters()[fault.parameter_index].data
         value = float(weights.reshape(-1)[fault.weight_index])
@@ -143,11 +367,59 @@ def collapse_catalog(
             if abs(value - target) <= atol:
                 drop(fault, REASON_ALREADY_SATURATED)
                 continue
-        if kind is SynapseFaultKind.BITFLIP:
-            scale = int8_scale(weights)
-            if bitflip_value(value, fault.bit, scale) == value:
-                drop(fault, REASON_NOOP_BITFLIP)
-                continue
+        faulty = synapse_fault_value(weights, fault, config)
+        if kind is SynapseFaultKind.BITFLIP and faulty == value:
+            # Includes sub-resolution flips snapped back by the datapath
+            # truncation grid when config.datapath_bits is set.
+            drop(fault, REASON_NOOP_BITFLIP)
+            continue
+        effective = _effective_window(fault.window, duration_steps)
+        key = (
+            fault.module_index, fault.parameter_index, fault.weight_index,
+            effective, faulty,
+        )
+        if key in synapse_classes:
+            drop(fault, REASON_EQUIVALENT, rep=synapse_classes[key])
+            continue
+        synapse_classes[key] = fault
         kept.append(fault)
 
-    return CollapsedCatalog(kept=kept, dropped=dropped, reasons=reasons)
+    if duration_steps is not None and network.spiking_indices:
+        # Dominance pruning on the directly-observed output layer: the
+        # forced DEAD/SATURATED output is membrane-independent, so among
+        # end-aligned windows the strictly-larger one is detected by any
+        # test detecting the smaller.  Keep the hardest (latest-starting)
+        # fault of each chain.  Lateral coupling (recurrent output layer)
+        # would let the faulty neuron perturb its peers, so those are
+        # conservatively exempt.
+        last = network.spiking_indices[-1]
+        if last == len(network.modules) - 1 and not isinstance(
+            network.modules[last], RecurrentLIF
+        ):
+            chains: Dict[Tuple, List[Fault]] = {}
+            for fault in kept:
+                if (
+                    isinstance(fault, NeuronFault)
+                    and fault.module_index == last
+                    and fault.kind in (NeuronFaultKind.DEAD, NeuronFaultKind.SATURATED)
+                    and _aligned_start(fault.window, duration_steps) is not None
+                ):
+                    chains.setdefault((fault.neuron_index, fault.kind), []).append(fault)
+            dominated_out: Dict[Fault, Fault] = {}
+            for members in chains.values():
+                if len(members) < 2:
+                    continue
+                hardest = max(
+                    members, key=lambda f: _aligned_start(f.window, duration_steps)
+                )
+                for fault in members:
+                    if fault is not hardest:
+                        dominated_out[fault] = hardest
+            if dominated_out:
+                kept = [f for f in kept if f not in dominated_out]
+                for fault, rep in dominated_out.items():
+                    drop(fault, REASON_DOMINATED, rep=rep)
+
+    return CollapsedCatalog(
+        kept=kept, dropped=dropped, reasons=reasons, representatives=representatives
+    )

@@ -16,7 +16,7 @@ from typing import Union
 import numpy as np
 
 from repro.errors import InjectionError
-from repro.faults.bitflip import bitflip_value, int8_scale
+from repro.faults.bitflip import bitflip_value, quant_scale, truncate_to_grid
 from repro.faults.model import (
     FaultModelConfig,
     NeuronFault,
@@ -46,7 +46,22 @@ def inject(network: SNN, fault: Fault, config: FaultModelConfig):
     Timing-variation magnitudes and saturation levels come from ``config``.
     The context yields the module index at which simulation must restart
     (everything upstream is unaffected by the fault).
+
+    Only *permanent* faults expressible as a static parameter/weight
+    mutation can be injected this way; time-windowed transients and DELAY
+    faults need the windowed simulator paths
+    (:class:`~repro.faults.simulator.FaultSimulator`).
     """
+    if fault.window is not None:
+        raise InjectionError(
+            f"{fault.describe()}: transient faults cannot be injected "
+            "statically; use the windowed simulator paths"
+        )
+    if isinstance(fault, NeuronFault) and fault.kind is NeuronFaultKind.DELAY:
+        raise InjectionError(
+            f"{fault.describe()}: delay faults are not a parameter mutation; "
+            "use the simulator's delayed-output path"
+        )
     module = _spiking_module(network, fault)
     if isinstance(fault, NeuronFault):
         restore = _apply_neuron_fault(module, fault, config)
@@ -95,6 +110,32 @@ def _apply_neuron_fault(module, fault: NeuronFault, config: FaultModelConfig):
             module.refractory_steps[idx] = previous
 
         return restore
+    if kind is NeuronFaultKind.PARAM_THRESHOLD:
+        previous = module.threshold[idx]
+        module.threshold[idx] = previous * fault.scale + fault.offset
+
+        def restore():
+            module.threshold[idx] = previous
+
+        return restore
+    if kind is NeuronFaultKind.PARAM_LEAK:
+        previous = module.leak[idx]
+        module.leak[idx] = previous * fault.scale + fault.offset
+
+        def restore():
+            module.leak[idx] = previous
+
+        return restore
+    if kind is NeuronFaultKind.PARAM_REFRACTORY:
+        previous = module.refractory_steps[idx]
+        module.refractory_steps[idx] = max(
+            0, int(np.rint(previous * fault.scale + fault.offset))
+        )
+
+        def restore():
+            module.refractory_steps[idx] = previous
+
+        return restore
     raise InjectionError(f"unhandled neuron fault kind {kind}")
 
 
@@ -120,7 +161,16 @@ def synapse_fault_value(
     if kind is SynapseFaultKind.SATURATED_NEGATIVE:
         return -config.saturation_multiplier * float(np.abs(weights).max())
     if kind is SynapseFaultKind.BITFLIP:
-        return bitflip_value(float(previous), fault.bit, int8_scale(weights))
+        bits = config.weight_bits
+        value = bitflip_value(
+            float(previous), fault.bit, quant_scale(weights, bits), bits
+        )
+        if config.datapath_bits is not None:
+            # The datapath reads the stored word through a narrower
+            # truncation grid: sub-resolution flips snap back onto the
+            # nominal value (the collapse equivalence class).
+            value = truncate_to_grid(value, weights, config.datapath_bits)
+        return value
     raise InjectionError(f"unhandled synapse fault kind {kind}")
 
 

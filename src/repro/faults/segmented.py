@@ -56,7 +56,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import CheckpointError, FaultModelError
-from repro.faults.injector import inject
+from repro.faults.injector import inject, synapse_fault_value
+from repro.faults.model import NeuronFaultKind
 from repro.faults.simulator import (
     DetectionResult,
     _perturbed_neuron_arrays,
@@ -65,6 +66,7 @@ from repro.faults.simulator import (
     _supports_kbatched,
     _supports_splice,
     _synapse_entries,
+    _window_pieces,
 )
 from repro.snn.neuron import LIFState, lif_step_numpy
 
@@ -122,14 +124,25 @@ class _FaultGroup:
       support.
     - ``"synapse_seq"`` — synapse faults on the sequential reference path
       (one reversible :func:`inject` per fault, batch size 1).
+    - ``"delay"`` — neuron DELAY faults: the module runs nominally (the
+      golden pass already did), and the faulty output is the golden output
+      with the row's neuron trace time-shifted; a per-row history buffer
+      carries the trace tail across segment boundaries.
+
+    Transient groups additionally share one activity ``window`` (absolute
+    test time); each segment is then run piecewise at the window
+    boundaries, state carried through, so a fault may appear or vanish
+    mid-segment and the result stays bit-identical to the assembled run.
     """
 
     def __init__(self, campaign: "SegmentedDetectionCampaign", kind: str,
-                 module_index: int, indices: Sequence[int]) -> None:
+                 module_index: int, indices: Sequence[int],
+                 window: Optional[Tuple[int, int]] = None) -> None:
         self.campaign = campaign
         self.kind = kind
         self.module_index = module_index
         self.indices = list(indices)
+        self.window = window
         simulator = campaign.simulator
         network = simulator.network
         self.module = network.modules[module_index]
@@ -146,7 +159,20 @@ class _FaultGroup:
         if kind == "splice":
             (self.neuron_idx, self.thr, self.leak, self.refr, self.mode) = \
                 _perturbed_neuron_scalars(self.module, group_faults, simulator.config)
+            # Nominal scalar columns drive the mini-LIF outside a window.
+            self.nthr = self.module.threshold.reshape(-1)[self.neuron_idx].astype(float).copy()
+            self.nleak = self.module.leak.reshape(-1)[self.neuron_idx].astype(float).copy()
+            self.nrefr = self.module.refractory_steps.reshape(-1)[self.neuron_idx].copy()
+            self.nmode = self.module.mode.reshape(-1)[self.neuron_idx].copy()
             state_shape: Tuple[int, ...] = (k, 1)  # K mini-LIF rows, batch 1
+            self.batch_size = simulator.neuron_batch
+        elif kind == "delay":
+            self.neuron_idx = np.array(
+                [f.neuron_index for f in group_faults], dtype=np.int64
+            )
+            self.delays = np.array([f.delay for f in group_faults], dtype=np.int64)
+            self.hist_len = int(self.delays.max())
+            state_shape = (k, 1)  # no LIF state needed; keep a tiny slab
             self.batch_size = simulator.neuron_batch
         else:
             state_shape = (k,) + shape  # row axis doubles as module batch
@@ -167,6 +193,7 @@ class _FaultGroup:
         self.pot: Optional[np.ndarray] = None
         self.spk: Optional[np.ndarray] = None
         self.ref: Optional[np.ndarray] = None
+        self.hist: Optional[np.ndarray] = None  # (K, hist_len) delay tails
         self._initial_batches = [
             np.arange(lo, min(lo + self.batch_size, k))
             for lo in range(0, k, self.batch_size)
@@ -182,11 +209,13 @@ class _FaultGroup:
             self.pot = np.zeros(self._state_shape)
             self.spk = np.zeros(self._state_shape)
             self.ref = np.zeros(self._state_shape, dtype=np.int64)
+        if self.kind == "delay" and self.hist is None:
+            self.hist = np.zeros((len(self.indices), self.hist_len))
 
     def release(self) -> None:
         """Free the per-row state once the group has run its last segment
         (the small ``active``/``diverged`` masks stay for bookkeeping)."""
-        self.pot = self.spk = self.ref = None
+        self.pot = self.spk = self.ref = self.hist = None
         self.dstates = {}
 
     def _batches(self) -> List[np.ndarray]:
@@ -220,7 +249,7 @@ class _FaultGroup:
         self.spk[rows] = state.last_spike
         self.ref[rows] = state.refractory
 
-    def _run_splice(self, rows: np.ndarray, gseg: _GoldenSegment):
+    def _run_splice(self, rows: np.ndarray, gseg: _GoldenSegment, offset: int):
         """Advance the faulty neurons' mini-LIF rows; returns ``(same,
         materialize)`` where ``materialize(positions)`` builds full module
         outputs (golden output with the faulty traces spliced in) for a
@@ -232,16 +261,22 @@ class _FaultGroup:
         currents = module.neuron_input_currents(seg_input, idx)  # (T, 1, R)
         currents = np.ascontiguousarray(currents.transpose(0, 2, 1))  # (T, R, 1)
         state = self._module_state(rows)
-        thr = self.thr[rows][:, None]
-        leak = self.leak[rows][:, None]
-        refr = self.refr[rows][:, None]
-        mode = self.mode[rows][:, None]
+        faulty = (
+            self.thr[rows][:, None], self.leak[rows][:, None],
+            self.refr[rows][:, None], self.mode[rows][:, None],
+        )
+        nominal = (
+            self.nthr[rows][:, None], self.nleak[rows][:, None],
+            self.nrefr[rows][:, None], self.nmode[rows][:, None],
+        )
         reset_mode = module.params.reset_mode
         traces = np.empty((steps, len(rows)))
-        for t in range(steps):
-            traces[t] = lif_step_numpy(
-                currents[t], state, thr, leak, refr, mode, reset_mode
-            )[:, 0]
+        for a, b, in_window in _window_pieces(self.window, steps, offset):
+            thr, leak, refr, mode = faulty if in_window else nominal
+            for t in range(a, b):
+                traces[t] = lif_step_numpy(
+                    currents[t], state, thr, leak, refr, mode, reset_mode
+                )[:, 0]
         self._store_state(rows, state)
 
         n = int(np.prod(module.neuron_shape))
@@ -259,24 +294,32 @@ class _FaultGroup:
 
         return same, materialize
 
-    def _run_neuron(self, rows: np.ndarray, seg_input: np.ndarray) -> np.ndarray:
+    def _run_neuron(
+        self, rows: np.ndarray, seg_input: np.ndarray, offset: int
+    ) -> np.ndarray:
         module = self.module
         tiled = np.tile(seg_input, (1, len(rows)) + (1,) * (seg_input.ndim - 2))
         saved = (module.threshold, module.leak, module.refractory_steps, module.mode)
         threshold, leak, refractory, mode = self.params
+        faulty = (threshold[rows], leak[rows], refractory[rows], mode[rows])
         state = self._module_state(rows)
-        module.threshold = threshold[rows]
-        module.leak = leak[rows]
-        module.refractory_steps = refractory[rows]
-        module.mode = mode[rows]
+        pieces: List[np.ndarray] = []
         try:
-            out = module.run_sequence_numpy(tiled, state=state)
+            for a, b, in_window in _window_pieces(
+                self.window, seg_input.shape[0], offset
+            ):
+                (module.threshold, module.leak,
+                 module.refractory_steps, module.mode) = faulty if in_window else saved
+                pieces.append(module.run_sequence_numpy(tiled[a:b], state=state))
         finally:
             module.threshold, module.leak, module.refractory_steps, module.mode = saved
         self._store_state(rows, state)
+        out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
         return out  # (T, R, *neuron_shape)
 
-    def _run_synapse_k(self, rows: np.ndarray, seg_input: np.ndarray) -> np.ndarray:
+    def _run_synapse_k(
+        self, rows: np.ndarray, seg_input: np.ndarray, offset: int
+    ) -> np.ndarray:
         module = self.module
         params = module.parameters()
         stacks = [
@@ -287,18 +330,99 @@ class _FaultGroup:
             stacks[pidx][j].reshape(-1)[widx] = value
         tiled = np.tile(seg_input, (1, len(rows)) + (1,) * (seg_input.ndim - 2))
         state = self._module_state(rows)
-        out = module.run_sequence_kbatched(tiled, stacks, state=state)
+        if self.window is None:
+            out = module.run_sequence_kbatched(tiled, stacks, state=state)
+        else:
+            nominal = [
+                np.broadcast_to(p.data, (len(rows),) + p.data.shape) for p in params
+            ]
+            pieces = [
+                module.run_sequence_kbatched(
+                    tiled[a:b], stacks if in_window else nominal, state=state
+                )
+                for a, b, in_window in _window_pieces(
+                    self.window, seg_input.shape[0], offset
+                )
+            ]
+            out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
         self._store_state(rows, state)
         return out
 
-    def _run_synapse_seq(self, rows: np.ndarray, seg_input: np.ndarray) -> np.ndarray:
+    def _run_synapse_seq(
+        self, rows: np.ndarray, seg_input: np.ndarray, offset: int
+    ) -> np.ndarray:
         (row,) = rows
         fault = self.campaign.faults[self.indices[row]]
         state = self._module_state(rows)
-        with inject(self.campaign.simulator.network, fault, self.campaign.config):
-            out = self.module.run_sequence_numpy(seg_input, state=state)
+        if fault.window is None:
+            with inject(self.campaign.simulator.network, fault, self.campaign.config):
+                out = self.module.run_sequence_numpy(seg_input, state=state)
+        else:
+            # Transient: swap the single weight at the window boundaries,
+            # carrying the LIF state through each piece.
+            params = self.module.parameters()
+            weights = params[fault.parameter_index].data
+            faulty = synapse_fault_value(weights, fault, self.campaign.config)
+            flat = weights.reshape(-1)
+            previous = flat[fault.weight_index]
+            pieces: List[np.ndarray] = []
+            try:
+                for a, b, in_window in _window_pieces(
+                    fault.window, seg_input.shape[0], offset
+                ):
+                    flat[fault.weight_index] = faulty if in_window else previous
+                    pieces.append(
+                        self.module.run_sequence_numpy(seg_input[a:b], state=state)
+                    )
+            finally:
+                flat[fault.weight_index] = previous
+            out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
         self._store_state(rows, state)
         return out
+
+    def _run_delay(self, rows: np.ndarray, gseg: _GoldenSegment, offset: int):
+        """Delayed-output rows: the module itself runs nominally (the golden
+        pass already did), so the faulty trace is the golden trace of the
+        row's neuron time-shifted by its delay, with the tail of the
+        previous segments carried in ``self.hist``."""
+        module = self.module
+        golden = gseg.outputs[self.module_index]
+        steps = golden.shape[0]
+        n = int(np.prod(module.neuron_shape))
+        golden_flat = golden.reshape(steps, n)
+        idx = self.neuron_idx[rows]
+        traces = golden_flat[:, idx]  # (T, R)
+        out = traces.copy()
+        hist = self.hist
+        for j, row in enumerate(rows):
+            d = int(self.delays[row])
+            ext = np.concatenate([hist[row, self.hist_len - d:], traces[:, j]])
+            delayed = ext[:steps]
+            if self.window is None:
+                out[:, j] = delayed
+            else:
+                for a, b, in_window in _window_pieces(self.window, steps, offset):
+                    if in_window:
+                        out[a:b, j] = delayed[a:b]
+        # Advance the history tails past this segment (active rows only —
+        # dropped rows never run again, so their stale tails are harmless).
+        if steps >= self.hist_len:
+            hist[rows] = traces[steps - self.hist_len:].T
+        else:
+            for j, row in enumerate(rows):
+                rolled = np.concatenate([hist[row], traces[:, j]])
+                hist[row] = rolled[-self.hist_len:]
+        same = np.array(
+            [np.array_equal(out[:, j], traces[:, j]) for j in range(len(rows))]
+        )
+
+        def materialize(positions: List[int]) -> np.ndarray:
+            m = len(positions)
+            tiled = np.broadcast_to(golden_flat[:, None, :], (steps, m, n)).copy()
+            tiled[:, np.arange(m), idx[positions]] = out[:, positions]
+            return tiled.reshape((steps, m) + module.neuron_shape)
+
+        return same, materialize
 
     # ------------------------------------------------------------------
     # Downstream propagation with golden-entry seeding
@@ -374,19 +498,22 @@ class _FaultGroup:
         """Advance every active fault of this group through one segment."""
         self._ensure_state()
         campaign = self.campaign
+        offset = campaign.segment_offsets[segment_index]
         has_down = bool(self.downstream)
         seg_input = gseg.module_input(self.module_index)
         golden_out = gseg.outputs[self.module_index]  # (T, 1, *neuron_shape)
         for rows in self._batches():
             if self.kind == "splice":
-                same, materialize = self._run_splice(rows, gseg)
+                same, materialize = self._run_splice(rows, gseg, offset)
+            elif self.kind == "delay":
+                same, materialize = self._run_delay(rows, gseg, offset)
             else:
                 if self.kind == "neuron":
-                    out = self._run_neuron(rows, seg_input)
+                    out = self._run_neuron(rows, seg_input, offset)
                 elif self.kind == "synapse_k":
-                    out = self._run_synapse_k(rows, seg_input)
+                    out = self._run_synapse_k(rows, seg_input, offset)
                 else:
-                    out = self._run_synapse_seq(rows, seg_input)
+                    out = self._run_synapse_seq(rows, seg_input, offset)
                 same = np.array(
                     [np.array_equal(out[:, j], golden_out[:, 0]) for j in range(len(rows))]
                 )
@@ -437,6 +564,8 @@ class _FaultGroup:
             "grp.spk": self.spk,
             "grp.ref": self.ref,
         }
+        if self.kind == "delay":
+            arrays["grp.hist"] = self.hist
         if self.dstates:
             # Sparse downstream state: the row list plus, per stateful
             # downstream module, the rows' states stacked in row order.
@@ -459,6 +588,8 @@ class _FaultGroup:
             self.pot[...] = arrays["grp.pot"]
             self.spk[...] = arrays["grp.spk"]
             self.ref[...] = arrays["grp.ref"]
+            if self.kind == "delay":
+                self.hist[...] = arrays["grp.hist"]
             self.dstates = {}
             if "grp.drows" in arrays:
                 for i, row in enumerate(arrays["grp.drows"]):
@@ -512,6 +643,13 @@ class SegmentedDetectionCampaign:
         self.compact_batches = compact_batches
         self.segment_hook = segment_hook
         self.n_segments = stimulus.num_segments
+        # Absolute test time of each segment's first step — transient
+        # windows are expressed in absolute time, so the piecewise runs
+        # need to know where each segment sits in the assembled test.
+        durations = list(stimulus.segment_durations)
+        self.segment_offsets = [0] * len(durations)
+        for i in range(1, len(durations)):
+            self.segment_offsets[i] = self.segment_offsets[i - 1] + durations[i - 1]
         n = len(self.faults)
         classes = simulator.network.num_classes
         self.detected = np.zeros(n, dtype=bool)
@@ -530,33 +668,56 @@ class SegmentedDetectionCampaign:
 
     # ------------------------------------------------------------------
     def _build_groups(self) -> List[_FaultGroup]:
+        # Batched groups must share one activity window (and, for neuron
+        # faults, one execution family): the piecewise segment runs swap
+        # parameters for the whole batch at once.  Sequential synapse
+        # groups handle per-fault windows internally (batch size 1).
         simulator = self.simulator
         network = simulator.network
-        neuron_map: Dict[int, List[int]] = {}
-        synapse_k_map: Dict[int, List[int]] = {}
+        neuron_map: Dict[Tuple, List[int]] = {}
+        synapse_k_map: Dict[Tuple, List[int]] = {}
         synapse_seq_map: Dict[int, List[int]] = {}
         for idx, fault in enumerate(self.faults):
             if fault.module_index >= len(network.modules):
                 raise FaultModelError(f"{fault.describe()}: module index out of range")
             if fault.is_neuron:
-                neuron_map.setdefault(fault.module_index, []).append(idx)
+                family = "delay" if fault.kind is NeuronFaultKind.DELAY else "param"
+                key = (fault.module_index, family, fault.window)
+                neuron_map.setdefault(key, []).append(idx)
             elif simulator.synapse_batch > 1 and _supports_kbatched(
                 network.modules[fault.module_index]
             ):
-                synapse_k_map.setdefault(fault.module_index, []).append(idx)
+                synapse_k_map.setdefault(
+                    (fault.module_index, fault.window), []
+                ).append(idx)
             else:
                 synapse_seq_map.setdefault(fault.module_index, []).append(idx)
+
+        def _wkey(window):
+            return (-1, -1) if window is None else tuple(window)
+
         groups: List[_FaultGroup] = []
-        for module_index, indices in sorted(neuron_map.items()):
-            module = network.modules[module_index]
-            kind = (
-                "splice"
-                if simulator.neuron_splice and _supports_splice(module)
-                else "neuron"
+        for (module_index, family, window), indices in sorted(
+            neuron_map.items(), key=lambda kv: (kv[0][0], kv[0][1], _wkey(kv[0][2]))
+        ):
+            if family == "delay":
+                kind = "delay"
+            else:
+                module = network.modules[module_index]
+                kind = (
+                    "splice"
+                    if simulator.neuron_splice and _supports_splice(module)
+                    else "neuron"
+                )
+            groups.append(
+                _FaultGroup(self, kind, module_index, indices, window=window)
             )
-            groups.append(_FaultGroup(self, kind, module_index, indices))
-        for module_index, indices in sorted(synapse_k_map.items()):
-            groups.append(_FaultGroup(self, "synapse_k", module_index, indices))
+        for (module_index, window), indices in sorted(
+            synapse_k_map.items(), key=lambda kv: (kv[0][0], _wkey(kv[0][1]))
+        ):
+            groups.append(
+                _FaultGroup(self, "synapse_k", module_index, indices, window=window)
+            )
         for module_index, indices in sorted(synapse_seq_map.items()):
             groups.append(_FaultGroup(self, "synapse_seq", module_index, indices))
         return groups

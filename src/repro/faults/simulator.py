@@ -222,8 +222,58 @@ def _apply_neuron_kind(
         leak[idx] *= config.timing_leak_factor
     elif kind is NeuronFaultKind.TIMING_REFRACTORY:
         refractory[idx] += config.timing_refractory_extra
-    else:  # pragma: no cover - enum is closed
+    elif kind is NeuronFaultKind.PARAM_THRESHOLD:
+        threshold[idx] = threshold[idx] * fault.scale + fault.offset
+    elif kind is NeuronFaultKind.PARAM_LEAK:
+        leak[idx] = leak[idx] * fault.scale + fault.offset
+    elif kind is NeuronFaultKind.PARAM_REFRACTORY:
+        refractory[idx] = max(
+            0, int(np.rint(refractory[idx] * fault.scale + fault.offset))
+        )
+    else:  # DELAY is handled by the golden-output transform path
         raise FaultModelError(f"unhandled neuron fault kind {kind}")
+
+
+def _window_pieces(window, steps: int, offset: int = 0):
+    """Split the local time range ``[0, steps)`` at the boundaries of the
+    absolute activity window ``[t0, t1)``.
+
+    Returns ``(start, stop, in_window)`` triples covering the range in
+    order; ``offset`` is the absolute test time of local step 0 (nonzero
+    in segment-wise campaigns).  ``window=None`` yields one faulty piece.
+    """
+    if window is None:
+        return [(0, steps, True)]
+    a = min(max(window[0] - offset, 0), steps)
+    b = min(max(window[1] - offset, 0), steps)
+    pieces = []
+    if a > 0:
+        pieces.append((0, a, False))
+    if b > a:
+        pieces.append((a, b, True))
+    if b < steps:
+        pieces.append((b, steps, False))
+    return pieces
+
+
+def _delayed_trace(trace: np.ndarray, delay: int, window, offset: int = 0) -> np.ndarray:
+    """Apply an axonal delay to a golden spike trace ``(T, ...)``.
+
+    In-window steps emit the trace value from ``delay`` steps earlier
+    (zero before the recording starts); out-of-window steps pass the
+    current value through.  ``window=None`` delays the whole trace.
+    """
+    steps = trace.shape[0]
+    delayed = np.zeros_like(trace)
+    if delay < steps:
+        delayed[delay:] = trace[: steps - delay]
+    if window is None:
+        return delayed
+    out = trace.copy()
+    for a, b, in_w in _window_pieces(window, steps, offset):
+        if in_w:
+            out[a:b] = delayed[a:b]
+    return out
 
 
 def _perturbed_neuron_arrays(module, group: Sequence[NeuronFault], config: FaultModelConfig):
@@ -343,6 +393,7 @@ class FaultSimulator:
         group: Sequence[NeuronFault],
         base_seq: np.ndarray,
         golden_out: Optional[np.ndarray] = None,
+        window=None,
     ) -> np.ndarray:
         """Simulate ``len(group)`` neuron-faulty instances in one pass.
 
@@ -356,6 +407,12 @@ class FaultSimulator:
         K faulty neurons are simulated from their input-current traces and
         their spike trains spliced into the cached fault-free output
         (see :meth:`_spliced_neuron_run`).
+
+        ``window`` is the group's shared transient activity window in
+        absolute test time (``None`` = permanent): the faulty module runs
+        piecewise, nominal parameters outside the window and perturbed
+        inside, with LIF state carried across the boundary — bit-identical
+        to switching parameters between two steps of one loop.
         """
         module = self.network.modules[module_index]
         if (
@@ -363,7 +420,9 @@ class FaultSimulator:
             and self.neuron_splice
             and _supports_splice(module)
         ):
-            return self._spliced_neuron_run(module_index, group, base_seq, golden_out)
+            return self._spliced_neuron_run(
+                module_index, group, base_seq, golden_out, window=window
+            )
         shape = module.neuron_shape
         k = len(group)
         s = base_seq.shape[1]
@@ -382,15 +441,30 @@ class FaultSimulator:
 
         # Fault-major batch layout: row (fault_k * S + sample_s).
         tiled = np.tile(base_seq, (1, k) + (1,) * (base_seq.ndim - 2))
-        module.threshold = expand(threshold)
-        module.leak = expand(leak)
-        module.refractory_steps = expand(refractory)
-        module.mode = expand(mode)
+        faulty = (expand(threshold), expand(leak), expand(refractory), expand(mode))
+        steps = base_seq.shape[0]
         try:
-            out = self.network.run_from(module_index, tiled)
+            if window is None:
+                module.threshold, module.leak, module.refractory_steps, module.mode = (
+                    faulty
+                )
+                out = self.network.run_from(module_index, tiled)
+                return out.reshape(out.shape[0], k, s, -1)
+            state = module.init_state(k * s)
+            outs = []
+            for a, b, in_w in _window_pieces(window, steps):
+                params = faulty if in_w else saved
+                module.threshold, module.leak, module.refractory_steps, module.mode = (
+                    params
+                )
+                outs.append(module.run_sequence_numpy(tiled[a:b], state=state))
         finally:
             module.threshold, module.leak, module.refractory_steps, module.mode = saved
-        steps = out.shape[0]
+        out = np.concatenate(outs, axis=0)
+        if module_index + 1 < len(self.network.modules):
+            out = self.network.run_from(module_index + 1, out)
+        else:
+            out = out.reshape(steps, k * s, -1)
         return out.reshape(steps, k, s, -1)
 
     # ------------------------------------------------------------------
@@ -400,6 +474,7 @@ class FaultSimulator:
         group: Sequence[NeuronFault],
         base_seq: np.ndarray,
         golden_out: np.ndarray,
+        window=None,
     ) -> np.ndarray:
         """Neuron-fault simulation without re-running the faulty module.
 
@@ -421,19 +496,30 @@ class FaultSimulator:
         currents = module.neuron_input_currents(base_seq, neuron_idx)  # (T, S, K)
         currents = np.ascontiguousarray(currents.transpose(0, 2, 1))  # (T, K, S)
 
-        # Per-row (K, 1) parameter columns, perturbed per fault kind.
-        threshold = threshold[:, None]
-        leak = leak[:, None]
-        refractory = refractory[:, None]
-        mode = mode[:, None]
+        # Per-row (K, 1) parameter columns, perturbed per fault kind; the
+        # nominal columns drive the mini-LIF outside a transient window.
+        faulty_params = (
+            threshold[:, None],
+            leak[:, None],
+            refractory[:, None],
+            mode[:, None],
+        )
+        nominal_params = (
+            module.threshold.reshape(-1)[neuron_idx].astype(float)[:, None],
+            module.leak.reshape(-1)[neuron_idx].astype(float)[:, None],
+            module.refractory_steps.reshape(-1)[neuron_idx][:, None],
+            module.mode.reshape(-1)[neuron_idx][:, None],
+        )
 
         state = LIFState.zeros_numpy((k, s))
         traces = np.empty((steps, k, s))
         reset_mode = module.params.reset_mode
-        for t in range(steps):
-            traces[t] = lif_step_numpy(
-                currents[t], state, threshold, leak, refractory, mode, reset_mode
-            )
+        for a, b, in_w in _window_pieces(window, steps):
+            thr, lk, ref, md = faulty_params if in_w else nominal_params
+            for t in range(a, b):
+                traces[t] = lif_step_numpy(
+                    currents[t], state, thr, lk, ref, md, reset_mode
+                )
 
         n = int(np.prod(shape))
         tiled = np.broadcast_to(
@@ -448,11 +534,49 @@ class FaultSimulator:
         return out.reshape(steps, k, s, -1)
 
     # ------------------------------------------------------------------
+    def _delayed_neuron_run(
+        self,
+        module_index: int,
+        group: Sequence[NeuronFault],
+        golden_out: np.ndarray,
+        window=None,
+    ) -> np.ndarray:
+        """Simulate DELAY faults as a transform of the golden module output.
+
+        A delay fault is an *axonal* delay downstream of the neuron's
+        local feedback tap: the neuron's internal dynamics (including any
+        recurrence) are nominal, so the faulty module output equals the
+        golden output with the faulty neuron's spike train time-shifted by
+        ``delay`` steps (zero-filled at the start; in-window only for
+        transients).  Works uniformly for every layer type.  Returns
+        ``(T, K, S, classes)`` like :meth:`_batched_neuron_run`.
+        """
+        module = self.network.modules[module_index]
+        shape = module.neuron_shape
+        k = len(group)
+        steps, s = golden_out.shape[:2]
+        n = int(np.prod(shape))
+        flat = golden_out.reshape(steps, s, n)
+        tiled = np.broadcast_to(flat[:, None], (steps, k, s, n)).copy()
+        for row, fault in enumerate(group):
+            trace = flat[:, :, fault.neuron_index]  # (T, S)
+            tiled[:, row, :, fault.neuron_index] = _delayed_trace(
+                trace, fault.delay, window
+            )
+        merged = tiled.reshape((steps, k * s) + shape)
+        if module_index + 1 < len(self.network.modules):
+            out = self.network.run_from(module_index + 1, merged)
+        else:
+            out = merged.reshape(steps, k * s, -1)
+        return out.reshape(steps, k, s, -1)
+
+    # ------------------------------------------------------------------
     def _batched_synapse_run(
         self,
         module_index: int,
         group: Sequence[SynapseFault],
         base_seq: np.ndarray,
+        window=None,
     ) -> np.ndarray:
         """Simulate ``len(group)`` synapse-faulty instances in one pass.
 
@@ -460,11 +584,16 @@ class FaultSimulator:
         axis, one perturbed copy per fault; the faulty module runs all K
         variants at once and every downstream module runs one pass with a
         K*S batch.  Returns output spikes of shape ``(T, K, S, classes)``.
+
+        For a transient group (shared ``window``), the faulty module runs
+        piecewise with the pristine weight stacks outside the window and
+        the perturbed stacks inside, LIF state carried across boundaries.
         """
         module = self.network.modules[module_index]
         params = module.parameters()
         k = len(group)
         s = base_seq.shape[1]
+        steps = base_seq.shape[0]
         stacks = [
             np.broadcast_to(p.data, (k,) + p.data.shape).copy() for p in params
         ]
@@ -473,33 +602,95 @@ class FaultSimulator:
         ):
             stacks[pidx][row].reshape(-1)[widx] = value
         tiled = np.tile(base_seq, (1, k) + (1,) * (base_seq.ndim - 2))
-        out = module.run_sequence_kbatched(tiled, stacks)
+        if window is None:
+            out = module.run_sequence_kbatched(tiled, stacks)
+        else:
+            nominal = [
+                np.broadcast_to(p.data, (k,) + p.data.shape) for p in params
+            ]
+            state = module.init_state(k * s)
+            outs = []
+            for a, b, in_w in _window_pieces(window, steps):
+                outs.append(
+                    module.run_sequence_kbatched(
+                        tiled[a:b], stacks if in_w else nominal, state=state
+                    )
+                )
+            out = np.concatenate(outs, axis=0)
         if module_index + 1 < len(self.network.modules):
             out = self.network.run_from(module_index + 1, out)
         else:
             out = out.reshape(out.shape[0], out.shape[1], -1)
-        steps = out.shape[0]
         return out.reshape(steps, k, s, -1)
 
     # ------------------------------------------------------------------
-    def _neuron_groups(self, faults: Sequence[Fault]) -> Dict[int, List[int]]:
-        groups: Dict[int, List[int]] = {}
+    def _sequential_synapse_run(
+        self, fault: SynapseFault, base_seq: np.ndarray
+    ) -> np.ndarray:
+        """Reference path for one synapse fault: ``(T, S, classes)``.
+
+        Permanent faults go through the reversible injector; transient
+        faults swap the single weight entry at the window boundaries with
+        LIF state carried through — bit-identical to flipping the weight
+        between two steps of one loop.
+        """
+        module_index = fault.module_index
+        if fault.window is None:
+            with inject(self.network, fault, self.config):
+                return self.network.run_from(module_index, base_seq)
+        module = self.network.modules[module_index]
+        params = module.parameters()
+        if fault.parameter_index >= len(params):
+            raise FaultModelError(f"{fault.describe()}: parameter index out of range")
+        weights = params[fault.parameter_index].data
+        faulty = synapse_fault_value(weights, fault, self.config)
+        flat = weights.reshape(-1)
+        previous = flat[fault.weight_index]
+        steps = base_seq.shape[0]
+        state = module.init_state(base_seq.shape[1])
+        outs = []
+        try:
+            for a, b, in_w in _window_pieces(fault.window, steps):
+                flat[fault.weight_index] = faulty if in_w else previous
+                outs.append(module.run_sequence_numpy(base_seq[a:b], state=state))
+        finally:
+            flat[fault.weight_index] = previous
+        out = np.concatenate(outs, axis=0)
+        if module_index + 1 < len(self.network.modules):
+            return self.network.run_from(module_index + 1, out)
+        return out.reshape(steps, base_seq.shape[1], -1)
+
+    # ------------------------------------------------------------------
+    def _neuron_groups(self, faults: Sequence[Fault]) -> Dict[tuple, List[int]]:
+        """Group neuron-fault indices by ``(module, family, window)``.
+
+        ``family`` separates parameter-expressible kinds (``"param"``:
+        dead/saturated/timing/parametric — simulated by perturbing the
+        per-neuron arrays) from ``"delay"`` faults (simulated by the
+        golden-output transform).  Windows must be uniform within a batch
+        because the piecewise runs switch parameters for all rows at once.
+        """
+        groups: Dict[tuple, List[int]] = {}
         for idx, fault in enumerate(faults):
             if fault.is_neuron:
-                groups.setdefault(fault.module_index, []).append(idx)
+                family = (
+                    "delay" if fault.kind is NeuronFaultKind.DELAY else "param"
+                )
+                key = (fault.module_index, family, fault.window)
+                groups.setdefault(key, []).append(idx)
         return groups
 
     def _synapse_partition(self, faults: Sequence[Fault]):
-        """Split synapse-fault indices into per-module groups eligible for
-        batching and a sequential remainder."""
-        batched: Dict[int, List[int]] = {}
+        """Split synapse-fault indices into per-(module, window) groups
+        eligible for batching and a sequential remainder."""
+        batched: Dict[tuple, List[int]] = {}
         sequential: List[int] = []
         for idx, fault in enumerate(faults):
             if fault.is_neuron:
                 continue
             module = self.network.modules[fault.module_index]
             if self.synapse_batch > 1 and _supports_kbatched(module):
-                batched.setdefault(fault.module_index, []).append(idx)
+                batched.setdefault((fault.module_index, fault.window), []).append(idx)
             else:
                 sequential.append(idx)
         return batched, sequential
@@ -543,28 +734,39 @@ class FaultSimulator:
             detected[idx] = diff > 0
             class_diff[idx] = np.abs(out.sum(axis=0) - golden_counts)
 
-        # Neuron faults: batched along the batch axis, grouped by module.
-        for module_index, indices in self._neuron_groups(faults).items():
+        # Neuron faults: batched along the batch axis, grouped by
+        # (module, family, transient window).
+        for (module_index, family, window), indices in self._neuron_groups(
+            faults
+        ).items():
             seq = stimulus if module_index == 0 else golden_modules[module_index - 1]
             for group_start in range(0, len(indices), self.neuron_batch):
                 group = indices[group_start : group_start + self.neuron_batch]
-                out = self._batched_neuron_run(
-                    module_index, [faults[i] for i in group], seq,
-                    golden_out=golden_modules[module_index],
-                )[:, :, 0, :]  # (T, K, classes)
+                group_faults = [faults[i] for i in group]
+                if family == "delay":
+                    out = self._delayed_neuron_run(
+                        module_index, group_faults,
+                        golden_modules[module_index], window=window,
+                    )[:, :, 0, :]  # (T, K, classes)
+                else:
+                    out = self._batched_neuron_run(
+                        module_index, group_faults, seq,
+                        golden_out=golden_modules[module_index], window=window,
+                    )[:, :, 0, :]  # (T, K, classes)
                 for row, idx in enumerate(group):
                     record(idx, out[:, row])
                 tracker.tick(len(group))
 
         # Synapse faults: weight tensors lifted to a (K, ...) axis, grouped
-        # by module; modules without K-batched support run sequentially.
+        # by (module, window); modules without K-batched support run
+        # sequentially.
         syn_batched, syn_sequential = self._synapse_partition(faults)
-        for module_index, indices in syn_batched.items():
+        for (module_index, window), indices in syn_batched.items():
             seq = stimulus if module_index == 0 else golden_modules[module_index - 1]
             for group_start in range(0, len(indices), self.synapse_batch):
                 group = indices[group_start : group_start + self.synapse_batch]
                 out = self._batched_synapse_run(
-                    module_index, [faults[i] for i in group], seq
+                    module_index, [faults[i] for i in group], seq, window=window
                 )[:, :, 0, :]  # (T, K, classes)
                 for row, idx in enumerate(group):
                     record(idx, out[:, row])
@@ -572,9 +774,9 @@ class FaultSimulator:
 
         for idx in syn_sequential:
             fault = faults[idx]
-            with inject(self.network, fault, self.config) as module_index:
-                seq = stimulus if module_index == 0 else golden_modules[module_index - 1]
-                out = self.network.run_from(module_index, seq)[:, 0, :]
+            module_index = fault.module_index
+            seq = stimulus if module_index == 0 else golden_modules[module_index - 1]
+            out = self._sequential_synapse_run(fault, seq)[:, 0, :]
             record(idx, out)
             tracker.tick(1)
         tracker.finish()
@@ -698,14 +900,23 @@ class FaultSimulator:
 
         # Neuron faults: batched (K faults x S samples per pass).
         k_max = max(1, min(self.neuron_batch, 192 // max(samples, 1)))
-        for module_index, indices in self._neuron_groups(faults).items():
+        for (module_index, family, window), indices in self._neuron_groups(
+            faults
+        ).items():
             seq = inputs if module_index == 0 else golden_modules[module_index - 1]
             for group_start in range(0, len(indices), k_max):
                 group = indices[group_start : group_start + k_max]
-                out = self._batched_neuron_run(
-                    module_index, [faults[i] for i in group], seq,
-                    golden_out=golden_modules[module_index],
-                )  # (T, K, S, classes)
+                group_faults = [faults[i] for i in group]
+                if family == "delay":
+                    out = self._delayed_neuron_run(
+                        module_index, group_faults,
+                        golden_modules[module_index], window=window,
+                    )  # (T, K, S, classes)
+                else:
+                    out = self._batched_neuron_run(
+                        module_index, group_faults, seq,
+                        golden_out=golden_modules[module_index], window=window,
+                    )  # (T, K, S, classes)
                 preds = out.sum(axis=0).argmax(axis=2)  # (K, S)
                 for row, idx in enumerate(group):
                     critical[idx] = bool(np.any(preds[row] != golden_preds))
@@ -718,7 +929,7 @@ class FaultSimulator:
         # sample-chunk early-exit semantics as the sequential path.
         syn_k_max = max(1, min(self.synapse_batch, 192 // max(samples, 1)))
         syn_batched, syn_sequential = self._synapse_partition(faults)
-        for module_index, indices in syn_batched.items():
+        for (module_index, window), indices in syn_batched.items():
             seq_full = inputs if module_index == 0 else golden_modules[module_index - 1]
             for group_start in range(0, len(indices), syn_k_max):
                 group = indices[group_start : group_start + syn_k_max]
@@ -728,7 +939,7 @@ class FaultSimulator:
                 flipped_early = np.zeros(k, dtype=bool)
                 for lo, hi in sample_bounds:
                     out = self._batched_synapse_run(
-                        module_index, group_faults, seq_full[:, lo:hi]
+                        module_index, group_faults, seq_full[:, lo:hi], window=window
                     )  # (T, K, S_chunk, classes)
                     preds = out.sum(axis=0).argmax(axis=2)  # (K, S_chunk)
                     flips = np.any(preds != golden_preds[lo:hi], axis=1)
@@ -751,22 +962,22 @@ class FaultSimulator:
 
         for idx in syn_sequential:
             fault = faults[idx]
+            module_index = fault.module_index
             mistakes = 0
             evaluated_all = True
-            with inject(self.network, fault, self.config) as module_index:
-                for lo, hi in sample_bounds:
-                    if module_index == 0:
-                        seq = inputs[:, lo:hi]
-                    else:
-                        seq = golden_modules[module_index - 1][:, lo:hi]
-                    out = self.network.run_from(module_index, seq)
-                    preds = out.sum(axis=0).argmax(axis=1)
-                    if np.any(preds != golden_preds[lo:hi]):
-                        critical[idx] = True
-                        if chunk_size is not None and hi < samples:
-                            evaluated_all = False
-                            break
-                    mistakes += int((preds != labels[lo:hi]).sum())
+            for lo, hi in sample_bounds:
+                if module_index == 0:
+                    seq = inputs[:, lo:hi]
+                else:
+                    seq = golden_modules[module_index - 1][:, lo:hi]
+                out = self._sequential_synapse_run(fault, seq)
+                preds = out.sum(axis=0).argmax(axis=1)
+                if np.any(preds != golden_preds[lo:hi]):
+                    critical[idx] = True
+                    if chunk_size is not None and hi < samples:
+                        evaluated_all = False
+                        break
+                mistakes += int((preds != labels[lo:hi]).sum())
             if evaluated_all:
                 accuracy_drop[idx] = nominal_accuracy - (samples - mistakes) / samples
             else:
@@ -805,9 +1016,26 @@ class FaultSimulator:
         nominal_accuracy = float((golden_counts.argmax(axis=1) == labels).mean())
         drops = np.zeros(len(faults))
         for idx, fault in enumerate(faults):
-            with inject(self.network, fault, self.config) as module_index:
-                seq = inputs if module_index == 0 else golden_modules[module_index - 1]
-                out = self.network.run_from(module_index, seq)
+            module_index = fault.module_index
+            seq = inputs if module_index == 0 else golden_modules[module_index - 1]
+            if fault.is_neuron:
+                if fault.kind is NeuronFaultKind.DELAY:
+                    out = self._delayed_neuron_run(
+                        module_index, [fault],
+                        golden_modules[module_index], window=fault.window,
+                    )[:, 0]
+                else:
+                    out = self._batched_neuron_run(
+                        module_index, [fault], seq,
+                        golden_out=golden_modules[module_index],
+                        window=fault.window,
+                    )[:, 0]
+            elif _supports_kbatched(self.network.modules[module_index]):
+                out = self._batched_synapse_run(
+                    module_index, [fault], seq, window=fault.window
+                )[:, 0]
+            else:
+                out = self._sequential_synapse_run(fault, seq)
             preds = out.sum(axis=0).argmax(axis=1)
             drops[idx] = nominal_accuracy - float((preds == labels).mean())
         return drops

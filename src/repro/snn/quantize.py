@@ -16,7 +16,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.faults.bitflip import int8_scale
+from repro.faults.bitflip import quant_scale
 from repro.snn.network import SNN
 
 
@@ -27,28 +27,31 @@ class QuantizationReport:
     scales: Dict[str, float]
     max_abs_error: float
     mean_abs_error: float
+    bits: int = 8
 
     def summary(self) -> str:
         return (
-            f"quantized {len(self.scales)} weight tensors to int8: "
+            f"quantized {len(self.scales)} weight tensors to int{self.bits}: "
             f"max |error| {self.max_abs_error:.4g}, "
             f"mean |error| {self.mean_abs_error:.4g}"
         )
 
 
-def quantize_network(network: SNN) -> QuantizationReport:
-    """Snap every weight to its tensor's symmetric int8 grid, in place.
+def quantize_network(network: SNN, bits: int = 8) -> QuantizationReport:
+    """Snap every weight to its tensor's symmetric fixed-point grid, in
+    place (int8 by default).
 
     Returns the per-tensor scales and the rounding-error statistics, so
     callers can confirm the accuracy impact (typically negligible — the
-    grid has 255 levels over the weight range).
+    int8 grid has 255 levels over the weight range).
     """
+    low, high = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
     scales: Dict[str, float] = {}
     errors: List[np.ndarray] = []
     for module in network.modules:
         for pidx, param in enumerate(module.parameters()):
-            scale = int8_scale(param.data)
-            codes = np.clip(np.round(param.data / scale), -128, 127)
+            scale = quant_scale(param.data, bits)
+            codes = np.clip(np.round(param.data / scale), low, high)
             quantized = codes * scale
             errors.append(np.abs(quantized - param.data).reshape(-1))
             param.data[...] = quantized
@@ -58,14 +61,15 @@ def quantize_network(network: SNN) -> QuantizationReport:
         scales=scales,
         max_abs_error=float(all_errors.max()),
         mean_abs_error=float(all_errors.mean()),
+        bits=bits,
     )
 
 
-def is_quantized(network: SNN, atol: float = 1e-9) -> bool:
-    """True if every weight lies on its tensor's int8 grid."""
+def is_quantized(network: SNN, atol: float = 1e-9, bits: int = 8) -> bool:
+    """True if every weight lies on its tensor's fixed-point grid."""
     for module in network.modules:
         for param in module.parameters():
-            scale = int8_scale(param.data)
+            scale = quant_scale(param.data, bits)
             codes = param.data / scale
             if not np.allclose(codes, np.round(codes), atol=atol):
                 return False

@@ -1,0 +1,147 @@
+"""Chaos scenario: a crash mid-campaign while a *transient* fault's
+activity window straddles the checkpointed segment boundary.
+
+The extended fault families carry more per-group state across segment
+boundaries than the classic catalog: windowed faults swap parameters
+mid-segment, and DELAY faults carry a golden-trace history buffer
+(``grp.hist``) so the shifted spike train stays exact across the cut.
+A resume that rebuilt any of that state wrong — re-running the window
+from its start, or zero-filling the delay history — would still
+complete, just with silently different detections.  So the scenario
+crashes *inside* the [5, 16) window (segments span [0,8)/[8,14)/[14,19))
+and requires the resumed campaign to be bit-identical to an
+uninterrupted assembled run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.testset import TestStimulus
+from repro.errors import ChaosError
+from repro.faults.catalog import build_catalog
+from repro.faults.model import (
+    FaultModelConfig,
+    NeuronFault,
+    NeuronFaultKind,
+    SynapseFaultKind,
+)
+from repro.faults.parallel import parallel_detect_segmented
+from repro.faults.simulator import FaultSimulator
+from repro.snn.builder import DenseSpec, NetworkSpec, build_network
+from repro.snn.neuron import LIFParameters
+from repro.utils import chaos
+
+WINDOW = (5, 16)  # straddles both internal segment boundaries
+
+
+@pytest.fixture(scope="module")
+def transient_campaign():
+    spec = NetworkSpec(
+        name="transient-chaos",
+        input_shape=(12,),
+        layers=(DenseSpec(out_features=10), DenseSpec(out_features=4)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    net = build_network(spec, np.random.default_rng(0))
+    config = FaultModelConfig(
+        neuron_kinds=tuple(NeuronFaultKind),
+        bitflip_bits=(0, 6),
+        transient_windows=(WINDOW,),
+        transient_neuron_kinds=(
+            NeuronFaultKind.DEAD,
+            NeuronFaultKind.SATURATED,
+            NeuronFaultKind.PARAM_THRESHOLD,
+            NeuronFaultKind.DELAY,
+        ),
+        transient_synapse_kinds=(SynapseFaultKind.DEAD, SynapseFaultKind.BITFLIP),
+    )
+    catalog = build_catalog(net, config)
+    transient = [f for f in catalog.faults if f.window is not None]
+    permanent = [f for f in catalog.faults if f.window is None]
+    faults = (transient[::2] + permanent[::5])[:70]
+    assert any(
+        isinstance(f, NeuronFault) and f.kind is NeuronFaultKind.DELAY
+        for f in faults
+    ), "the scenario must exercise the delay-history buffer"
+    rng = np.random.default_rng(1)
+    chunks = [(rng.random((d, 1, 12)) > 0.5).astype(float) for d in (4, 3, 5)]
+    stimulus = TestStimulus(chunks=chunks, input_shape=(12,))
+    simulator = FaultSimulator(net, config)
+    reference = simulator.detect(stimulus.assembled(), faults)
+    windowed_detected = [
+        bool(det)
+        for fault, det in zip(faults, reference.detected)
+        if fault.window is not None
+    ]
+    assert any(windowed_detected), "some transient fault must be detectable"
+    return {
+        "simulator": simulator,
+        "faults": faults,
+        "stimulus": stimulus,
+        "reference": reference,
+    }
+
+
+@pytest.mark.parametrize("strike_at", [2, 4])
+@pytest.mark.parametrize("drop", [False, True])
+def test_crash_inside_transient_window_resumes_bit_identical(
+    transient_campaign, tmp_path, strike_at, drop
+):
+    path = tmp_path / f"transient-{strike_at}-{drop}.ckpt"
+    with chaos.installed(chaos.ChaosPolicy.parse(f"raise@segment:{strike_at}")):
+        with pytest.raises(ChaosError):
+            parallel_detect_segmented(
+                transient_campaign["simulator"],
+                transient_campaign["stimulus"],
+                transient_campaign["faults"],
+                workers=1,
+                drop_detected=drop,
+                checkpoint_path=str(path),
+                resume=False,
+            )
+    assert path.exists(), "partial checkpoint must survive the crash"
+    result = parallel_detect_segmented(
+        transient_campaign["simulator"],
+        transient_campaign["stimulus"],
+        transient_campaign["faults"],
+        workers=1,
+        drop_detected=drop,
+        checkpoint_path=str(path),
+        resume=True,
+    )
+    reference = transient_campaign["reference"]
+    assert np.array_equal(result.detected, reference.detected)
+    if not drop:
+        assert np.array_equal(result.output_l1, reference.output_l1)
+        assert np.array_equal(result.class_count_diff, reference.class_count_diff)
+
+
+def test_double_crash_then_resume(transient_campaign, tmp_path):
+    """Two successive crashes — the second during the resumed run — must
+    still converge to the exact reference (checkpoints are re-written as
+    the resumed campaign advances)."""
+    path = tmp_path / "transient-double.ckpt"
+    for strike_at in (2, 4):
+        with chaos.installed(chaos.ChaosPolicy.parse(f"raise@segment:{strike_at}")):
+            with pytest.raises(ChaosError):
+                parallel_detect_segmented(
+                    transient_campaign["simulator"],
+                    transient_campaign["stimulus"],
+                    transient_campaign["faults"],
+                    workers=1,
+                    drop_detected=False,
+                    checkpoint_path=str(path),
+                    resume=strike_at != 2,
+                )
+    result = parallel_detect_segmented(
+        transient_campaign["simulator"],
+        transient_campaign["stimulus"],
+        transient_campaign["faults"],
+        workers=1,
+        drop_detected=False,
+        checkpoint_path=str(path),
+        resume=True,
+    )
+    reference = transient_campaign["reference"]
+    assert np.array_equal(result.detected, reference.detected)
+    assert np.array_equal(result.output_l1, reference.output_l1)

@@ -1,0 +1,185 @@
+"""Tests for the differentiable perturbation relaxations
+(`repro.core.perturbation`) — the extended fault model's loss surrogates —
+and their wiring into the generator."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.core.config import TestGenConfig
+from repro.core.perturbation import (
+    loss_parametric_divergence,
+    loss_transient_coverage,
+    scaled_thresholds,
+)
+from repro.errors import ConfigurationError, ShapeError
+from repro.snn import DenseSpec, LIFParameters, NetworkSpec, build_network
+from repro.snn.network import ForwardRecord
+
+
+def _record_from_arrays(layers):
+    layer_spikes = []
+    for arr in layers:
+        layer_spikes.append([Tensor(arr[t]) for t in range(arr.shape[0])])
+    return ForwardRecord(
+        layer_spikes=layer_spikes,
+        layer_names=[str(i) for i in range(len(layers))],
+    )
+
+
+def _net(seed=0):
+    spec = NetworkSpec(
+        name="perturb",
+        input_shape=(6,),
+        layers=(DenseSpec(out_features=5), DenseSpec(out_features=3)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    return build_network(spec, np.random.default_rng(seed))
+
+
+class TestScaledThresholds:
+    def test_scales_and_restores(self):
+        net = _net()
+        originals = [m.threshold.copy() for m in net.spiking_modules]
+        with scaled_thresholds(net, 2.0):
+            for module, orig in zip(net.spiking_modules, originals):
+                assert np.allclose(module.threshold, orig * 2.0)
+        for module, orig in zip(net.spiking_modules, originals):
+            assert np.array_equal(module.threshold, orig)
+
+    def test_restores_on_exception(self):
+        net = _net()
+        originals = [m.threshold.copy() for m in net.spiking_modules]
+        with pytest.raises(RuntimeError):
+            with scaled_thresholds(net, 3.0):
+                raise RuntimeError("boom")
+        for module, orig in zip(net.spiking_modules, originals):
+            assert np.array_equal(module.threshold, orig)
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, float("inf"), float("nan")])
+    def test_rejects_degenerate_scales(self, scale):
+        with pytest.raises(ShapeError):
+            with scaled_thresholds(_net(), scale):
+                pass
+
+    def test_perturbed_forward_changes_spikes(self):
+        net = _net()
+        rng = np.random.default_rng(1)
+        seq = (rng.random((8, 1, 6)) < 0.7).astype(float)
+        nominal = net.run_modules(seq)[-1].sum()
+        with scaled_thresholds(net, 8.0):
+            perturbed = net.run_modules(seq)[-1].sum()
+        assert perturbed < nominal
+
+
+class TestParametricDivergence:
+    def test_zero_when_counts_diverge_by_margin(self):
+        a = np.zeros((4, 1, 3))
+        a[:2] = 1.0  # each neuron spikes twice
+        b = np.zeros((4, 1, 3))
+        b[:1] = 1.0  # each neuron spikes once: gap 1 >= margin 1
+        loss = loss_parametric_divergence(
+            _record_from_arrays([a]), _record_from_arrays([b]), margin=1.0
+        )
+        assert loss.item() == 0.0
+
+    def test_identical_records_pay_full_margin(self):
+        a = np.zeros((4, 1, 3))
+        a[0] = 1.0
+        loss = loss_parametric_divergence(
+            _record_from_arrays([a]), _record_from_arrays([a]), margin=1.0
+        )
+        assert loss.item() == 3.0  # margin * 3 neurons
+
+    def test_mask_restricts(self):
+        a = np.zeros((4, 1, 3))
+        loss = loss_parametric_divergence(
+            _record_from_arrays([a]),
+            _record_from_arrays([a]),
+            margin=1.0,
+            masks=[np.array([True, False, False])],
+        )
+        assert loss.item() == 1.0
+
+    def test_layer_mismatch_rejected(self):
+        a = np.zeros((4, 1, 3))
+        with pytest.raises(ShapeError):
+            loss_parametric_divergence(
+                _record_from_arrays([a]), _record_from_arrays([a, a])
+            )
+
+
+class TestTransientCoverage:
+    def test_zero_when_active_in_every_bin(self):
+        a = np.zeros((6, 1, 2))
+        a[0] = 1.0  # bin [0, 3)
+        a[4] = 1.0  # bin [3, 6)
+        assert loss_transient_coverage(_record_from_arrays([a]), bins=2).item() == 0.0
+
+    def test_penalises_silent_bin(self):
+        a = np.zeros((6, 1, 2))
+        a[0] = 1.0  # active in the first bin only
+        assert loss_transient_coverage(_record_from_arrays([a]), bins=2).item() == 2.0
+
+    def test_bins_one_equals_activation_hinge(self):
+        from repro.core.losses import loss_neuron_activation
+
+        a = np.zeros((5, 1, 4))
+        a[:, 0, :2] = 1.0
+        record = _record_from_arrays([a])
+        assert (
+            loss_transient_coverage(record, bins=1).item()
+            == loss_neuron_activation(record).item()
+        )
+
+    def test_more_bins_than_steps_clamped(self):
+        a = np.ones((2, 1, 3))
+        # 10 bins over 2 steps degrades to 2 bins, all active.
+        assert loss_transient_coverage(_record_from_arrays([a]), bins=10).item() == 0.0
+
+    def test_rejects_bad_bins(self):
+        a = np.zeros((4, 1, 2))
+        with pytest.raises(ShapeError):
+            loss_transient_coverage(_record_from_arrays([a]), bins=0)
+
+
+class TestConfigWiring:
+    def test_defaults_off(self):
+        config = TestGenConfig()
+        assert not config.use_parametric_loss
+        assert not config.use_transient_loss
+
+    def test_noop_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TestGenConfig(use_parametric_loss=True, parametric_loss_scale=1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"parametric_loss_scale": 0.0},
+            {"parametric_loss_scale": float("inf")},
+            {"parametric_loss_margin": 0.0},
+            {"transient_loss_bins": 0},
+        ],
+    )
+    def test_degenerate_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TestGenConfig(**kwargs)
+
+    def test_generation_runs_with_surrogates_enabled(self):
+        from repro.core.generator import TestGenerator
+
+        net = _net(2)
+        config = TestGenConfig(
+            use_parametric_loss=True,
+            use_transient_loss=True,
+            transient_loss_bins=2,
+            steps_stage1=8,
+            probe_steps=20,
+            max_iterations=1,
+            t_in_max=16,
+        )
+        generator = TestGenerator(net, config, np.random.default_rng(3))
+        result = generator.generate()
+        assert result.stimulus.duration_steps > 0
+        assert np.isfinite(result.iterations[0].stage1_loss)

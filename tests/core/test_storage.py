@@ -199,6 +199,44 @@ class TestFaultDescriptorValidation:
         with pytest.raises(FaultModelError, match="parameter 1"):
             validate_faults(tiny_network, [fault])
 
+    def test_out_of_range_bit_rejected(self, tiny_network):
+        # bit 12 is a legal descriptor (below MAX_WEIGHT_BITS) but exceeds
+        # the configured 8-bit word — a replayed catalog built under a
+        # wider word must be rejected, not silently aliased mod 8.
+        from repro.faults.model import FaultModelConfig
+
+        module_index = int(tiny_network.spiking_indices[0])
+        fault = SynapseFault(
+            module_index=module_index,
+            parameter_index=0,
+            weight_index=0,
+            kind=SynapseFaultKind.BITFLIP,
+            bit=12,
+        )
+        validate_faults(tiny_network, [fault])  # no config: descriptor-only
+        with pytest.raises(FaultModelError, match="only 8 bits wide"):
+            validate_faults(
+                tiny_network, [fault], config=FaultModelConfig(weight_bits=8)
+            )
+        validate_faults(
+            tiny_network, [fault], config=FaultModelConfig(weight_bits=16)
+        )
+
+    def test_window_beyond_test_rejected(self, tiny_network):
+        # A transient window starting at or after the test's end can never
+        # activate — certainly a unit mismatch in a hand-built catalog.
+        module_index = int(tiny_network.spiking_indices[0])
+        fault = NeuronFault(
+            module_index=module_index,
+            neuron_index=0,
+            kind=NeuronFaultKind.DEAD,
+            window=(10, 14),
+        )
+        validate_faults(tiny_network, [fault])  # no duration: window unchecked
+        with pytest.raises(FaultModelError, match="never activates"):
+            validate_faults(tiny_network, [fault], duration_steps=10)
+        validate_faults(tiny_network, [fault], duration_steps=11)
+
     def test_verify_coverage_rejects_mismatched_faults(self, tiny_network):
         from repro.core.coverage import verify_coverage
 
@@ -209,4 +247,21 @@ class TestFaultDescriptorValidation:
             module_index=99, neuron_index=0, kind=NeuronFaultKind.DEAD
         )
         with pytest.raises(FaultModelError):
+            verify_coverage(tiny_network, stim, [fault])
+
+    def test_verify_coverage_rejects_window_beyond_test(self, tiny_network):
+        # The campaign entry point passes the stimulus duration through to
+        # validate_faults, so a never-active transient fails fast instead
+        # of silently counting as undetected for the whole campaign.
+        from repro.core.coverage import verify_coverage
+
+        stim = TestStimulus(chunks=[np.zeros((4, 1, 24))], input_shape=(24,))
+        module_index = int(tiny_network.spiking_indices[0])
+        fault = NeuronFault(
+            module_index=module_index,
+            neuron_index=0,
+            kind=NeuronFaultKind.DEAD,
+            window=(stim.duration_steps, stim.duration_steps + 4),
+        )
+        with pytest.raises(FaultModelError, match="never activates"):
             verify_coverage(tiny_network, stim, [fault])

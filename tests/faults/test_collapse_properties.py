@@ -1,0 +1,284 @@
+"""Property tests for systematic fault collapsing.
+
+The contract of :func:`repro.faults.collapse.collapse_catalog` has two
+tiers, and this suite pins both by *simulation*, not by inspecting the
+rules:
+
+- **Equivalence tier** (no-ops, undetectable sites, same-induced-value
+  classes): reconstructing the full catalog's detection map with
+  ``expand_detection`` from a campaign over only the kept faults is
+  *bit-identical* to simulating the full catalog.
+- **Dominance tier** (end-of-test-aligned DEAD/SATURATED windows): the
+  reconstruction is a sound lower bound — a dropped fault is truly
+  detected whenever its kept representative is — so campaign-level
+  coverage is never overstated.
+
+Plus the algebra of :func:`dominates` (strict partial order) and the
+sub-resolution bit-flip equivalence class from the datapath truncation
+grid.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.catalog import build_catalog
+from repro.faults.collapse import (
+    REASON_DOMINATED,
+    REASON_EQUIVALENT,
+    REASON_NOOP_BITFLIP,
+    collapse_catalog,
+    dominates,
+)
+from repro.faults.model import (
+    FaultModelConfig,
+    NeuronFault,
+    NeuronFaultKind,
+    SynapseFault,
+    SynapseFaultKind,
+)
+from repro.faults.simulator import FaultSimulator
+from repro.snn.builder import DenseSpec, NetworkSpec, RecurrentSpec, build_network
+from repro.snn.neuron import LIFParameters
+from repro.snn.quantize import quantize_network
+
+DURATION = 12
+
+
+def _dense_net(seed=0, input_dim=6, hidden=5, out=3):
+    spec = NetworkSpec(
+        name="collapse-dense",
+        input_shape=(input_dim,),
+        layers=(DenseSpec(out_features=hidden), DenseSpec(out_features=out)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    return build_network(spec, np.random.default_rng(seed))
+
+
+def _recurrent_net(seed=4):
+    spec = NetworkSpec(
+        name="collapse-rec",
+        input_shape=(6,),
+        layers=(RecurrentSpec(out_features=5), DenseSpec(out_features=3)),
+        lif=LIFParameters(leak=0.85, refractory_steps=1),
+    )
+    return build_network(spec, np.random.default_rng(seed))
+
+
+def _detect_map(net, config, faults, stimulus):
+    if not faults:
+        return {}
+    result = FaultSimulator(net, config).detect(stimulus, faults)
+    return {fault: bool(det) for fault, det in zip(faults, result.detected)}
+
+
+def _stimulus(rng, input_dim, steps=DURATION, density=0.5):
+    return (rng.random((steps, 1, input_dim)) < density).astype(float)
+
+
+EXTENDED = FaultModelConfig(
+    neuron_kinds=tuple(NeuronFaultKind),
+    bitflip_bits=(0, 3, 6),
+    transient_windows=((2, 7), (4, DURATION)),
+    transient_neuron_kinds=(
+        NeuronFaultKind.DEAD,
+        NeuronFaultKind.SATURATED,
+        NeuronFaultKind.PARAM_THRESHOLD,
+    ),
+    transient_synapse_kinds=(SynapseFaultKind.DEAD, SynapseFaultKind.BITFLIP),
+)
+
+
+# ----------------------------------------------------------------------
+# Equivalence tier: expansion is bit-identical to the full campaign
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    net_seed=st.integers(0, 50),
+    stim_seed=st.integers(0, 2**16),
+    density=st.sampled_from([0.2, 0.5, 0.9]),
+    recurrent=st.booleans(),
+)
+def test_equivalence_collapse_preserves_detection_exactly(
+    net_seed, stim_seed, density, recurrent
+):
+    net = _recurrent_net(net_seed) if recurrent else _dense_net(net_seed)
+    catalog = build_catalog(net, EXTENDED)
+    # No duration: only window-independent (equivalence-tier) rules apply,
+    # so every dropped fault's outcome is reconstructible exactly.
+    collapsed = collapse_catalog(net, catalog)
+    assert REASON_DOMINATED not in collapsed.reasons
+    stimulus = _stimulus(
+        np.random.default_rng(stim_seed), net.input_shape[0], density=density
+    )
+    full = _detect_map(net, EXTENDED, catalog.faults, stimulus)
+    kept = _detect_map(net, EXTENDED, collapsed.kept, stimulus)
+    expanded = collapsed.expand_detection(kept)
+    assert set(expanded) == set(full)
+    for fault in catalog.faults:
+        assert expanded[fault] == full[fault], fault.describe()
+
+
+# ----------------------------------------------------------------------
+# Dominance tier: sound lower bound, never overstates coverage
+# ----------------------------------------------------------------------
+def _aligned_config():
+    return FaultModelConfig(
+        transient_windows=((3, DURATION), (6, DURATION), (9, DURATION)),
+        transient_neuron_kinds=(NeuronFaultKind.DEAD, NeuronFaultKind.SATURATED),
+        transient_synapse_kinds=(),
+    )
+
+
+def test_dominance_pass_drops_aligned_chains():
+    net = _dense_net(0)
+    catalog = build_catalog(net, _aligned_config())
+    collapsed = collapse_catalog(net, catalog, duration_steps=DURATION)
+    # Output-layer DEAD/SAT sites each carry a 4-member aligned chain
+    # (permanent + three aligned windows); all but the hardest drop.
+    assert collapsed.reasons.get(REASON_DOMINATED, 0) >= 2 * 3 * 2
+    for fault, reason in collapsed.dropped:
+        if reason != REASON_DOMINATED:
+            continue
+        rep = collapsed.representatives[fault]
+        assert dominates(fault, rep, DURATION)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(stim_seed=st.integers(0, 2**16), density=st.sampled_from([0.1, 0.4, 0.8]))
+def test_dominance_is_sound_lower_bound(stim_seed, density):
+    net = _dense_net(1)
+    catalog = build_catalog(net, _aligned_config())
+    collapsed = collapse_catalog(net, catalog, duration_steps=DURATION)
+    stimulus = _stimulus(np.random.default_rng(stim_seed), 6, density=density)
+    full = _detect_map(net, catalog.config, catalog.faults, stimulus)
+    kept = _detect_map(net, catalog.config, collapsed.kept, stimulus)
+    expanded = collapsed.expand_detection(kept)
+    dominated = {f for f, r in collapsed.dropped if r == REASON_DOMINATED}
+    for fault in catalog.faults:
+        if fault in dominated:
+            # Implication only: detected(kept rep) => truly detected.
+            assert not expanded[fault] or full[fault], fault.describe()
+        else:
+            assert expanded[fault] == full[fault], fault.describe()
+    # Campaign-level coverage is never overstated.
+    assert sum(expanded.values()) <= sum(full.values())
+
+
+# ----------------------------------------------------------------------
+# dominates() is a strict partial order
+# ----------------------------------------------------------------------
+def _aligned_fault(t0, kind=NeuronFaultKind.DEAD):
+    window = None if t0 == 0 else (t0, DURATION)
+    return NeuronFault(1, 0, kind, window=window)
+
+
+_STARTS = st.integers(0, DURATION - 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ta=_STARTS, tb=_STARTS)
+def test_dominates_irreflexive_antisymmetric(ta, tb):
+    a, b = _aligned_fault(ta), _aligned_fault(tb)
+    assert not dominates(a, a, DURATION)
+    assert not (dominates(a, b, DURATION) and dominates(b, a, DURATION))
+
+
+@settings(max_examples=50, deadline=None)
+@given(ta=_STARTS, tb=_STARTS, tc=_STARTS)
+def test_dominates_transitive(ta, tb, tc):
+    a, b, c = _aligned_fault(ta), _aligned_fault(tb), _aligned_fault(tc)
+    if dominates(a, b, DURATION) and dominates(b, c, DURATION):
+        assert dominates(a, c, DURATION)
+
+
+def test_dominates_requires_matching_site_and_kind():
+    a = _aligned_fault(0)
+    assert not dominates(a, _aligned_fault(3, NeuronFaultKind.SATURATED), DURATION)
+    assert not dominates(
+        a, NeuronFault(1, 1, NeuronFaultKind.DEAD, window=(3, DURATION)), DURATION
+    )
+    # Non-aligned windows never participate.
+    assert not dominates(
+        a, NeuronFault(1, 0, NeuronFaultKind.DEAD, window=(3, DURATION - 1)), DURATION
+    )
+    # Timing faults are membrane-dependent: excluded.
+    assert not dominates(
+        NeuronFault(1, 0, NeuronFaultKind.TIMING_THRESHOLD),
+        NeuronFault(
+            1, 0, NeuronFaultKind.TIMING_THRESHOLD, window=(3, DURATION)
+        ),
+        DURATION,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sub-resolution bit-flips collapse to no-ops
+# ----------------------------------------------------------------------
+def test_subresolution_bitflips_collapse_to_noops():
+    """With a 16-bit stored word read through a 6-bit datapath, flips of
+    bits 0..9 move the code by less than half a datapath LSB, so the
+    truncation grid snaps the weight back to its nominal value: exact
+    no-ops, dropped without simulation."""
+    net = _dense_net(2)
+    quantize_network(net, bits=6)  # weights on the 6-bit datapath grid
+    config = FaultModelConfig(
+        neuron_kinds=(),
+        synapse_kinds=(SynapseFaultKind.BITFLIP,),
+        weight_bits=16,
+        datapath_bits=6,
+        bitflip_bits=tuple(range(10)),
+    )
+    catalog = build_catalog(net, config)
+    assert len(catalog.synapse_faults) > 0
+    collapsed = collapse_catalog(net, catalog)
+    noops = [f for f, r in collapsed.dropped if r == REASON_NOOP_BITFLIP]
+    assert len(noops) == len(catalog.synapse_faults)
+    assert not collapsed.kept
+    # Soundness by simulation: none of the dropped flips is detectable.
+    stimulus = _stimulus(np.random.default_rng(9), 6, density=0.9)
+    full = _detect_map(net, config, catalog.faults, stimulus)
+    assert not any(full.values())
+
+
+def test_above_resolution_bitflips_are_kept_and_detectable():
+    net = _dense_net(2)
+    quantize_network(net, bits=6)
+    config = FaultModelConfig(
+        neuron_kinds=(),
+        synapse_kinds=(SynapseFaultKind.BITFLIP,),
+        weight_bits=16,
+        datapath_bits=6,
+        bitflip_bits=(12, 14),  # above the 10-bit sub-resolution band
+    )
+    catalog = build_catalog(net, config)
+    collapsed = collapse_catalog(net, catalog)
+    assert not any(r == REASON_NOOP_BITFLIP for _, r in collapsed.dropped)
+    stimulus = _stimulus(np.random.default_rng(9), 6, density=0.9)
+    kept_map = _detect_map(net, config, collapsed.kept, stimulus)
+    assert any(kept_map.values()), "high-bit flips must be detectable"
+
+
+def test_equivalent_bitflips_share_one_representative():
+    """Unquantized weights: sub-resolution flips all truncate to the same
+    (non-nominal) faulty value, so they form one equivalence class per
+    weight rather than no-ops."""
+    net = _dense_net(3)  # raw float weights, off the datapath grid
+    config = FaultModelConfig(
+        neuron_kinds=(),
+        synapse_kinds=(SynapseFaultKind.BITFLIP,),
+        weight_bits=16,
+        datapath_bits=6,
+        bitflip_bits=(0, 1, 2),
+    )
+    catalog = build_catalog(net, config)
+    collapsed = collapse_catalog(net, catalog)
+    dropped_eq = [f for f, r in collapsed.dropped if r == REASON_EQUIVALENT]
+    # Three flips per weight collapse to one kept representative each.
+    assert len(collapsed.kept) * 2 == len(dropped_eq)
+    for fault in dropped_eq:
+        rep = collapsed.representatives[fault]
+        assert (rep.module_index, rep.parameter_index, rep.weight_index) == (
+            fault.module_index, fault.parameter_index, fault.weight_index,
+        )

@@ -42,8 +42,13 @@ class TestDescriptors:
             SynapseFault(0, 0, 0, SynapseFaultKind.DEAD, bit=3)
 
     def test_bit_range(self):
+        # Descriptors accept any bit below the widest supported word
+        # (32 bits); per-config word-width checks live in validate_faults.
+        SynapseFault(0, 0, 0, SynapseFaultKind.BITFLIP, bit=31)
         with pytest.raises(FaultModelError):
-            SynapseFault(0, 0, 0, SynapseFaultKind.BITFLIP, bit=8)
+            SynapseFault(0, 0, 0, SynapseFaultKind.BITFLIP, bit=32)
+        with pytest.raises(FaultModelError):
+            SynapseFault(0, 0, 0, SynapseFaultKind.BITFLIP, bit=-1)
 
     def test_parameter_index_restricted(self):
         with pytest.raises(FaultModelError):

@@ -69,6 +69,52 @@ class TestCLI:
         assert code == 0
         assert "compaction kept" in out
 
+    def test_catalog(self, capsys, results):
+        code, out = _run(capsys, "catalog", "shd", "--scale", "tiny",
+                         "--results", str(results))
+        assert code == 0
+        assert "FaultCatalog" in out
+
+    def test_catalog_extended_with_collapse(self, capsys, results):
+        code, out = _run(
+            capsys, "catalog", "shd", "--scale", "tiny",
+            "--results", str(results),
+            "--fault-families", "extended",
+            "--transient-window", "2:9",
+            "--weight-bits", "16", "--datapath-bits", "6",
+            "--bitflip-bits", "0,3,12",
+            "--collapse", "--duration", "24",
+        )
+        assert code == 0
+        assert "transient" in out
+        assert "collapsed" in out
+
+    def test_fault_override_uses_separate_cache(self, results):
+        """An overridden fault model must not pollute the default cache
+        namespace (the catalog artifacts differ), while the trained
+        weights are shared."""
+        from repro.cli import _build_parser, _pipeline
+
+        base = _build_parser().parse_args(
+            ["catalog", "shd", "--scale", "tiny", "--results", str(results)]
+        )
+        override = _build_parser().parse_args(
+            ["catalog", "shd", "--scale", "tiny", "--results", str(results),
+             "--fault-families", "extended"]
+        )
+        p_base, p_over = _pipeline(base), _pipeline(override)
+        assert p_base.cache_dir != p_over.cache_dir
+        assert "-faults" in p_over.cache_dir.name
+        assert p_base._train_cache_dir == p_over._train_cache_dir
+        assert len(p_over.fault_config.neuron_kinds) > len(
+            p_base.fault_config.neuron_kinds
+        )
+
+    def test_bad_transient_window_rejected(self, results):
+        with pytest.raises(SystemExit):
+            main(["catalog", "shd", "--scale", "tiny", "--results", str(results),
+                  "--transient-window", "nonsense"])
+
     def test_report_table1(self, capsys, results):
         code, out = _run(capsys, "report", "table1", "--scale", "tiny",
                          "--results", str(results))
