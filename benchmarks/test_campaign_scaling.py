@@ -20,6 +20,7 @@ the speedup floor is only asserted in full mode, since a subsampled
 campaign under-utilises the batched paths.
 """
 
+import dataclasses
 import json
 import os
 import time
@@ -199,3 +200,128 @@ def test_segmented_detection(results_dir):
     if not QUICK:
         assert payload["segmented_speedup"] >= 1.5, payload
         assert payload["peak_memory_ratio"] < 1.0, payload
+
+
+def _peak_rss_reset():
+    """Reset the parent's RSS high-water mark (Linux ``clear_refs``)."""
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+        return True
+    except OSError:
+        return False
+
+
+def _peak_rss_mb():
+    """Parent peak RSS in MB since the last reset (``VmHWM``), or None."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return None
+
+
+def _rss_traced(fn):
+    resettable = _peak_rss_reset()
+    result, elapsed = _timed(fn)
+    return result, elapsed, (_peak_rss_mb() if resettable else None)
+
+
+def test_fused_campaign(results_dir):
+    """One-BLAS-call fused batches + shared-memory workers vs the PR 5
+    segmented engine (per-step kernels, pickled-spool transport) on the
+    nmnist-small full catalog.  Emits ``results/campaign_fused.json``
+    with one row per (mode, dtype) including parent peak RSS, and — in
+    full mode — asserts the fused float64 shm campaign clears the 2x
+    acceptance bar.  All modes must stay bit-identical."""
+    definition, network, faults, _ = _campaign_setup()
+    chunk_steps = [3, 3, 2] if QUICK else [8] * 6
+    rng = np.random.default_rng(4)
+    stimulus = TestStimulus(
+        chunks=[
+            (rng.random((d, 1) + definition.spec.input_shape) > 0.7).astype(float)
+            for d in chunk_steps
+        ],
+        input_shape=definition.spec.input_shape,
+    )
+    workers = 2
+    shm_env = os.environ.get("REPRO_SHM")
+
+    # PR 5 baseline: unfused per-step kernels, spool-file result transport.
+    os.environ["REPRO_SHM"] = "0"
+    try:
+        baseline_sim = FaultSimulator(network, definition.fault_config, fused=False)
+        reference, t_baseline, rss_baseline = _rss_traced(
+            lambda: parallel_detect_segmented(
+                baseline_sim, stimulus, faults, workers=workers
+            )
+        )
+    finally:
+        if shm_env is None:
+            os.environ.pop("REPRO_SHM", None)
+        else:
+            os.environ["REPRO_SHM"] = shm_env
+    assert not reference.health.shm
+
+    rows = []
+    for dtype in ("float64", "float32"):
+        config = dataclasses.replace(definition.fault_config, dtype=dtype)
+        simulator = FaultSimulator(network, config, fused=True)
+        result, elapsed, rss = _rss_traced(
+            lambda: parallel_detect_segmented(
+                simulator, stimulus, faults, workers=workers
+            )
+        )
+        assert np.array_equal(reference.detected, result.detected), dtype
+        assert result.dtype == dtype
+        rows.append(
+            {
+                "mode": "fused-shm",
+                "dtype": dtype,
+                "seconds": elapsed,
+                "speedup_vs_baseline": t_baseline / elapsed,
+                "throughput_faults_per_s": len(faults) / elapsed,
+                "parent_peak_rss_mb": rss,
+                "shm": bool(result.health.shm),
+            }
+        )
+
+    payload = {
+        "benchmark": definition.cache_key,
+        "quick_mode": QUICK,
+        "faults": len(faults),
+        "test_steps": stimulus.duration_steps,
+        "chunks": len(chunk_steps),
+        "workers": workers,
+        "baseline": {
+            "mode": "segmented-unfused-spool",
+            "dtype": "float64",
+            "seconds": t_baseline,
+            "throughput_faults_per_s": len(faults) / t_baseline,
+            "parent_peak_rss_mb": rss_baseline,
+            "shm": False,
+        },
+        "modes": rows,
+        "cpu_count": os.cpu_count(),
+    }
+    with open(results_dir / "campaign_fused.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    summary = ", ".join(
+        f"{row['dtype']} {row['seconds']:.2f}s "
+        f"({row['speedup_vs_baseline']:.2f}x)"
+        for row in rows
+    )
+    print(
+        f"\nfused campaign ({len(faults)} faults, "
+        f"{stimulus.duration_steps} steps, {workers} workers): "
+        f"baseline {t_baseline:.2f}s; fused+shm {summary}"
+    )
+
+    if not QUICK:
+        # Acceptance bar: fused float64 with shm workers >= 2x the PR 5
+        # segmented engine on the full catalog.
+        assert rows[0]["speedup_vs_baseline"] >= 2.0, payload
+        assert rows[0]["shm"] and rows[1]["shm"], payload

@@ -111,6 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         "detection is still exact but output_l1/class_count_diff "
                         "only cover segments up to first detection (skips the "
                         "Fig. 9 exact-metrics guarantee)")
+    verify.add_argument("--dtype", choices=("float64", "float32"), default=None,
+                        help="campaign compute precision; float32 runs behind an "
+                        "exactness gate (bit-equal golden probe + spike-margin "
+                        "guard) and falls back to float64 per fault group when "
+                        "the guard trips, so detection masks are unchanged")
 
     pack = sub.add_parser("pack", help="build the on-chip StoredTest artifact")
     add_pipeline_args(pack)
@@ -186,6 +191,8 @@ def _fault_config_override(args, base):
     bits = getattr(args, "bitflip_bits", None)
     if bits is not None:
         changes["bitflip_bits"] = tuple(int(b) for b in bits.split(","))
+    if getattr(args, "dtype", None) is not None:
+        changes["dtype"] = args.dtype
     if not changes:
         return None
     return dataclasses.replace(base, **changes)

@@ -58,6 +58,7 @@ See ``docs/PARALLELISM.md`` for the worker model and
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import heapq
 import itertools
@@ -75,6 +76,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ChaosError, FaultModelError, WorkerFailureError
+from repro.faults import shm
 from repro.faults.simulator import (
     CampaignHealth,
     ClassificationResult,
@@ -96,6 +98,25 @@ MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
 # Campaign state inherited by forked workers (set in the parent immediately
 # before workers are launched; never mutated while any worker is alive).
 _SHARED: dict = {}
+
+# Spool directories of in-flight campaigns.  Each campaign removes its own
+# directory on the way out (including abort paths — the frontends close
+# their shard generators explicitly); the atexit sweep only catches a
+# campaign torn down so abruptly that no ``finally`` ran.
+_SPOOL_DIRS: set = set()
+
+#: Sentinel payload a worker returns when its results were delivered
+#: through the shared-memory arena instead of the pickled spool file.
+_SHM_DELIVERED = "shm"
+
+
+def _sweep_spools() -> None:  # pragma: no cover - exercised via chaos tests
+    for path in list(_SPOOL_DIRS):
+        shutil.rmtree(path, ignore_errors=True)
+        _SPOOL_DIRS.discard(path)
+
+
+atexit.register(_sweep_spools)
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -217,6 +238,18 @@ def _detect_shard(bounds: Tuple[int, int]):
         shared["faults"][lo:hi],
         golden_modules=shared["golden_modules"],
     )
+    views = shared.get("shm_out")
+    if views is not None:
+        # Zero-copy delivery: write this shard's slice of the parent's
+        # shared-memory result arrays in place; the spool payload shrinks
+        # to a sentinel.  The whole slice is written before the completion
+        # signal, so a killed worker's partial writes are always fully
+        # overwritten by the retry.
+        detected, output_l1, class_diff = views
+        detected[lo:hi] = result.detected
+        output_l1[lo:hi] = result.output_l1
+        class_diff[lo:hi] = result.class_count_diff
+        return lo, _SHM_DELIVERED
     return lo, result.detected, result.output_l1, result.class_count_diff
 
 
@@ -237,6 +270,13 @@ def _detect_seg_shard(bounds: Tuple[int, int]):
         divergence_exit=divergence_exit,
         compact_batches=compact_batches,
     )
+    views = shared.get("shm_out")
+    if views is not None:
+        detected, output_l1, class_diff = views
+        detected[lo:hi] = result.detected
+        output_l1[lo:hi] = result.output_l1
+        class_diff[lo:hi] = result.class_count_diff
+        return lo, _SHM_DELIVERED
     return lo, result.detected, result.output_l1, result.class_count_diff
 
 
@@ -251,6 +291,12 @@ def _classify_shard(bounds: Tuple[int, int]):
         chunk_size=shared["chunk_size"],
         golden_modules=shared["golden_modules"],
     )
+    views = shared.get("shm_out")
+    if views is not None:
+        critical, accuracy_drop = views
+        critical[lo:hi] = result.critical
+        accuracy_drop[lo:hi] = result.accuracy_drop
+        return lo, _SHM_DELIVERED
     return lo, result.critical, result.accuracy_drop
 
 
@@ -495,10 +541,16 @@ def _run_sharded(
     health: CampaignHealth,
     checkpoint=None,
     checkpoint_path: Optional[str] = None,
+    shm_views=None,
 ):
     """Yield merged shard payloads: checkpointed shards first, then live
     execution (supervised pool or in-process), persisting each completed
     shard when a checkpoint is attached.
+
+    With ``shm_views`` set (the campaign-wide shared-memory result
+    arrays), pooled workers deliver a sentinel instead of arrays;
+    ``complete`` re-materializes the shard's slice from the views so the
+    checkpoint blobs and the yielded payloads are identical either way.
 
     ``_SHARED`` is populated for the workers (and the in-process fallback)
     and is *always* cleared on the way out — including when a worker
@@ -525,6 +577,8 @@ def _run_sharded(
 
         def complete(shard_bounds_, payload):
             lo, hi = shard_bounds_
+            if shm_views is not None and payload[-1] == _SHM_DELIVERED:
+                payload = (lo,) + tuple(np.array(view[lo:hi]) for view in shm_views)
             if checkpoint is not None:
                 checkpoint.add(lo, payload[1:])
                 checkpoint.save(checkpoint_path)
@@ -533,6 +587,7 @@ def _run_sharded(
 
         if use_pool and pending:
             spool_dir = tempfile.mkdtemp(prefix="repro-shards-")
+            _SPOOL_DIRS.add(spool_dir)
             for shard, payload in _supervised_run(
                 worker_fn, pending, workers, supervision, health, spool_dir
             ):
@@ -546,6 +601,7 @@ def _run_sharded(
         _SHARED.clear()
         if spool_dir is not None:
             shutil.rmtree(spool_dir, ignore_errors=True)
+            _SPOOL_DIRS.discard(spool_dir)
     tracker.finish()
 
 
@@ -614,33 +670,60 @@ def parallel_detect(
     supervision = supervision or SupervisionConfig.from_env()
     health = CampaignHealth(workers=workers if use_pool else 1)
     start = time.perf_counter()
-    golden_modules = simulator.network.run_modules(stimulus)
+    golden_modules = simulator.network.run_modules(stimulus, fused=simulator.fused)
     classes = golden_modules[-1].reshape(stimulus.shape[0], -1).shape[1]
 
     n_faults = len(faults)
     bounds = shard_bounds(n_faults, workers)
     checkpoint, bounds = _prepare_checkpoint(
-        "detect", checkpoint_path, resume, simulator, faults, (stimulus,), bounds
+        "detect", checkpoint_path, resume, simulator, faults, (stimulus,), bounds,
+        extra=f"dtype={simulator.dtype}",
     )
     detected = np.zeros(n_faults, dtype=bool)
     output_l1 = np.zeros(n_faults)
     class_diff = np.zeros((n_faults, classes))
-    shared = dict(
-        simulator=simulator,
-        stimulus=stimulus,
-        faults=list(faults),
-        golden_modules=golden_modules,
-    )
-    tracker = _ProgressTracker(progress, n_faults)
-    for lo, shard_detected, shard_l1, shard_diff in _run_sharded(
-        _detect_shard, shared, bounds, workers, tracker,
-        use_pool=use_pool, supervision=supervision, health=health,
-        checkpoint=checkpoint, checkpoint_path=checkpoint_path,
-    ):
-        hi = lo + shard_detected.shape[0]
-        detected[lo:hi] = shard_detected
-        output_l1[lo:hi] = shard_l1
-        class_diff[lo:hi] = shard_diff
+    arena = shm.open_arena("detect") if use_pool else None
+    shm_views = None
+    try:
+        if arena is not None:
+            health.shm = True
+            health.events.append("shared-memory result transport enabled")
+            stimulus = arena.share(stimulus)
+            golden_modules = [arena.share(g) for g in golden_modules]
+            shm_views = (
+                arena.zeros((n_faults,), bool),
+                arena.zeros((n_faults,), np.float64),
+                arena.zeros((n_faults, classes), np.float64),
+            )
+        shared = dict(
+            simulator=simulator,
+            stimulus=stimulus,
+            faults=list(faults),
+            golden_modules=golden_modules,
+            shm_out=shm_views,
+        )
+        tracker = _ProgressTracker(progress, n_faults)
+        gen = _run_sharded(
+            _detect_shard, shared, bounds, workers, tracker,
+            use_pool=use_pool, supervision=supervision, health=health,
+            checkpoint=checkpoint, checkpoint_path=checkpoint_path,
+            shm_views=shm_views,
+        )
+        try:
+            for lo, shard_detected, shard_l1, shard_diff in gen:
+                hi = lo + shard_detected.shape[0]
+                detected[lo:hi] = shard_detected
+                output_l1[lo:hi] = shard_l1
+                class_diff[lo:hi] = shard_diff
+        finally:
+            # Closing the generator runs its cleanup *now* (clear _SHARED,
+            # remove the spool dir) even when this merge loop aborts —
+            # otherwise the suspended generator lives on in the traceback
+            # and the spool leaks until garbage collection.
+            gen.close()
+    finally:
+        if arena is not None:
+            arena.close()
     return DetectionResult(
         faults=list(faults),
         detected=detected,
@@ -648,6 +731,7 @@ def parallel_detect(
         class_count_diff=class_diff,
         wall_time=time.perf_counter() - start,
         health=health,
+        dtype=str(simulator.dtype),
     )
 
 
@@ -663,6 +747,7 @@ def _run_segmented_shards(
     health: CampaignHealth,
     checkpoint=None,
     checkpoint_path: Optional[str] = None,
+    shm_views=None,
 ):
     """Sharded execution for segment-wise detection.
 
@@ -707,6 +792,8 @@ def _run_segmented_shards(
 
         def complete(shard_bounds_, payload, ticked: bool):
             lo, hi = shard_bounds_
+            if shm_views is not None and payload[-1] == _SHM_DELIVERED:
+                payload = (lo,) + tuple(np.array(view[lo:hi]) for view in shm_views)
             if checkpoint is not None:
                 checkpoint.add(lo, payload[1:])
                 checkpoint.clear_partial()
@@ -717,6 +804,7 @@ def _run_segmented_shards(
 
         if use_pool and pending:
             spool_dir = tempfile.mkdtemp(prefix="repro-shards-")
+            _SPOOL_DIRS.add(spool_dir)
             for shard, payload in _supervised_run(
                 _detect_seg_shard, pending, workers, supervision, health, spool_dir
             ):
@@ -764,6 +852,7 @@ def _run_segmented_shards(
         _SHARED.clear()
         if spool_dir is not None:
             shutil.rmtree(spool_dir, ignore_errors=True)
+            _SPOOL_DIRS.discard(spool_dir)
     tracker.finish()
 
 
@@ -825,22 +914,50 @@ def parallel_detect_segmented(
     detected = np.zeros(n_faults, dtype=bool)
     output_l1 = np.zeros(n_faults)
     class_diff = np.zeros((n_faults, classes))
-    shared = dict(
-        simulator=simulator,
-        stimulus=stimulus,
-        faults=list(faults),
-        seg_options=options,
-    )
-    tracker = _ProgressTracker(progress, n_faults * n_segments)
-    for lo, shard_detected, shard_l1, shard_diff in _run_segmented_shards(
-        shared, bounds, workers, tracker, n_segments,
-        use_pool=use_pool, supervision=supervision, health=health,
-        checkpoint=checkpoint, checkpoint_path=checkpoint_path,
-    ):
-        hi = lo + shard_detected.shape[0]
-        detected[lo:hi] = shard_detected
-        output_l1[lo:hi] = shard_l1
-        class_diff[lo:hi] = shard_diff
+    arena = shm.open_arena("detect-seg") if use_pool else None
+    shm_views = None
+    try:
+        if arena is not None:
+            health.shm = True
+            health.events.append("shared-memory result transport enabled")
+            # Segment chunks are read-only and shared by every worker, so
+            # they are mapped once instead of riding copy-on-write pages.
+            from repro.core.testset import TestStimulus
+
+            stimulus = TestStimulus(
+                chunks=[arena.share(chunk) for chunk in stimulus.chunks],
+                input_shape=stimulus.input_shape,
+            )
+            shm_views = (
+                arena.zeros((n_faults,), bool),
+                arena.zeros((n_faults,), np.float64),
+                arena.zeros((n_faults, classes), np.float64),
+            )
+        shared = dict(
+            simulator=simulator,
+            stimulus=stimulus,
+            faults=list(faults),
+            seg_options=options,
+            shm_out=shm_views,
+        )
+        tracker = _ProgressTracker(progress, n_faults * n_segments)
+        gen = _run_segmented_shards(
+            shared, bounds, workers, tracker, n_segments,
+            use_pool=use_pool, supervision=supervision, health=health,
+            checkpoint=checkpoint, checkpoint_path=checkpoint_path,
+            shm_views=shm_views,
+        )
+        try:
+            for lo, shard_detected, shard_l1, shard_diff in gen:
+                hi = lo + shard_detected.shape[0]
+                detected[lo:hi] = shard_detected
+                output_l1[lo:hi] = shard_l1
+                class_diff[lo:hi] = shard_diff
+        finally:
+            gen.close()
+    finally:
+        if arena is not None:
+            arena.close()
     return DetectionResult(
         faults=list(faults),
         detected=detected,
@@ -848,6 +965,7 @@ def parallel_detect_segmented(
         class_count_diff=class_diff,
         wall_time=time.perf_counter() - start,
         health=health,
+        dtype=str(simulator.dtype),
     )
 
 
@@ -886,7 +1004,7 @@ def parallel_classify(
     start = time.perf_counter()
     labels = np.asarray(labels)
     if golden_modules is None:
-        golden_modules = simulator.network.run_modules(inputs)
+        golden_modules = simulator.network.run_modules(inputs, fused=simulator.fused)
     golden_counts = golden_modules[-1].reshape(
         inputs.shape[0], inputs.shape[1], -1
     ).sum(axis=0)
@@ -899,23 +1017,47 @@ def parallel_classify(
     )
     critical = np.zeros(n_faults, dtype=bool)
     accuracy_drop = np.zeros(n_faults)
-    shared = dict(
-        simulator=simulator,
-        inputs=inputs,
-        labels=labels,
-        faults=list(faults),
-        chunk_size=chunk_size,
-        golden_modules=golden_modules,
-    )
-    tracker = _ProgressTracker(progress, n_faults)
-    for lo, shard_critical, shard_drop in _run_sharded(
-        _classify_shard, shared, bounds, workers, tracker,
-        use_pool=use_pool, supervision=supervision, health=health,
-        checkpoint=checkpoint, checkpoint_path=checkpoint_path,
-    ):
-        hi = lo + shard_critical.shape[0]
-        critical[lo:hi] = shard_critical
-        accuracy_drop[lo:hi] = shard_drop
+    arena = shm.open_arena("classify") if use_pool else None
+    shm_views = None
+    try:
+        if arena is not None:
+            health.shm = True
+            health.events.append("shared-memory result transport enabled")
+            inputs_shared = arena.share(inputs)
+            golden_shared = [arena.share(g) for g in golden_modules]
+            shm_views = (
+                arena.zeros((n_faults,), bool),
+                arena.zeros((n_faults,), np.float64),
+            )
+        else:
+            inputs_shared = inputs
+            golden_shared = golden_modules
+        shared = dict(
+            simulator=simulator,
+            inputs=inputs_shared,
+            labels=labels,
+            faults=list(faults),
+            chunk_size=chunk_size,
+            golden_modules=golden_shared,
+            shm_out=shm_views,
+        )
+        tracker = _ProgressTracker(progress, n_faults)
+        gen = _run_sharded(
+            _classify_shard, shared, bounds, workers, tracker,
+            use_pool=use_pool, supervision=supervision, health=health,
+            checkpoint=checkpoint, checkpoint_path=checkpoint_path,
+            shm_views=shm_views,
+        )
+        try:
+            for lo, shard_critical, shard_drop in gen:
+                hi = lo + shard_critical.shape[0]
+                critical[lo:hi] = shard_critical
+                accuracy_drop[lo:hi] = shard_drop
+        finally:
+            gen.close()
+    finally:
+        if arena is not None:
+            arena.close()
     return ClassificationResult(
         faults=list(faults),
         critical=critical,

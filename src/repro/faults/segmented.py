@@ -60,15 +60,19 @@ from repro.faults.injector import inject, synapse_fault_value
 from repro.faults.model import NeuronFaultKind
 from repro.faults.simulator import (
     DetectionResult,
+    FLOAT32_GUARD_MARGIN,
     _perturbed_neuron_arrays,
     _perturbed_neuron_scalars,
     _ProgressTracker,
     _supports_kbatched,
+    _supports_kbatched_fused,
     _supports_splice,
+    _supports_synapse_splice,
     _synapse_entries,
     _window_pieces,
 )
-from repro.snn.neuron import LIFState, lif_step_numpy
+from repro.snn.layers import compute_dtype_context
+from repro.snn.neuron import LIFState, SpikeMargin, lif_step_numpy
 
 
 class _GoldenSegment:
@@ -90,22 +94,34 @@ class _GoldenSegment:
 
 class GoldenSegmentRunner:
     """Advances the fault-free network one test segment at a time,
-    snapshotting module entry states before each segment."""
+    snapshotting module entry states before each segment.
 
-    def __init__(self, network) -> None:
+    ``fused=True`` routes every module through its fused fast path
+    (bit-identical in float64, pinned by the fused differential suite)."""
+
+    def __init__(self, network, fused: bool = False) -> None:
         self.network = network
+        self.fused = fused
         self.states = network.init_states(1)
 
     def run_segment(self, seg: np.ndarray) -> _GoldenSegment:
         entry = [s.copy() if s is not None else None for s in self.states]
-        outputs = self.network.run_modules(seg, states=self.states)
+        outputs = self.network.run_modules(seg, states=self.states, fused=self.fused)
         return _GoldenSegment(seg, outputs, entry)
 
     def skip_segments(self, stimulus, count: int) -> None:
         """Replay ``count`` segments without keeping outputs (deterministic
         golden-state reconstruction on checkpoint resume)."""
         for index in range(count):
-            self.network.run_modules(stimulus.segment(index), states=self.states)
+            self.network.run_modules(
+                stimulus.segment(index), states=self.states, fused=self.fused
+            )
+
+
+#: Fused-path batch width for splice/delay rows (per-row state is a few
+#: scalars, so the width is bounded by call-overhead amortization, not
+#: memory; module-re-running kinds keep the configured batch sizes).
+_SPLICE_BATCH = 64
 
 
 class _FaultGroup:
@@ -120,6 +136,10 @@ class _FaultGroup:
       must propagate downstream.
     - ``"neuron"`` — neuron faults needing a full module re-run (recurrent
       layers, or the splice fast path disabled).
+    - ``"synapse_splice"`` — synapse faults in layers where one weight
+      feeds exactly one neuron (dense fan-in), on the fused path: only the
+      affected neuron's mini-LIF is advanced per row, driven by faulty
+      currents from one column-stacked GEMM, exactly like ``"splice"``.
     - ``"synapse_k"`` — synapse faults on modules with K-batched weight
       support.
     - ``"synapse_seq"`` — synapse faults on the sequential reference path
@@ -156,16 +176,30 @@ class _FaultGroup:
         self._down_stateful_cache: Optional[List[bool]] = None
         group_faults = [campaign.faults[i] for i in self.indices]
         shape = self.module.neuron_shape
+        # Splice and delay rows carry (k, 1) scalar state and never re-run
+        # the module, so the fused engine batches them far wider than the
+        # module-re-running kinds: wider batches amortize the per-call
+        # overhead of the mini-LIF scan, the trace compares, and the
+        # downstream runs of diverged rows.  The legacy engine keeps the
+        # configured batch (it is the PR 5 reference configuration).
+        def _splice_batch(configured: int) -> int:
+            return max(configured, _SPLICE_BATCH) if simulator.fused else configured
+
         if kind == "splice":
             (self.neuron_idx, self.thr, self.leak, self.refr, self.mode) = \
                 _perturbed_neuron_scalars(self.module, group_faults, simulator.config)
             # Nominal scalar columns drive the mini-LIF outside a window.
-            self.nthr = self.module.threshold.reshape(-1)[self.neuron_idx].astype(float).copy()
-            self.nleak = self.module.leak.reshape(-1)[self.neuron_idx].astype(float).copy()
-            self.nrefr = self.module.refractory_steps.reshape(-1)[self.neuron_idx].copy()
-            self.nmode = self.module.mode.reshape(-1)[self.neuron_idx].copy()
+            self._nominal_scalars()
             state_shape: Tuple[int, ...] = (k, 1)  # K mini-LIF rows, batch 1
-            self.batch_size = simulator.neuron_batch
+            self.batch_size = _splice_batch(simulator.neuron_batch)
+        elif kind == "synapse_splice":
+            self.syn = _synapse_entries(self.module, group_faults, simulator.config)
+            self.neuron_idx = self.module.synapse_fault_targets(self.syn)
+            # Synapse faults leave the neuron parameters nominal; the fault
+            # lives entirely in the current trace.
+            self._nominal_scalars()
+            state_shape = (k, 1)
+            self.batch_size = _splice_batch(simulator.synapse_batch)
         elif kind == "delay":
             self.neuron_idx = np.array(
                 [f.neuron_index for f in group_faults], dtype=np.int64
@@ -173,7 +207,7 @@ class _FaultGroup:
             self.delays = np.array([f.delay for f in group_faults], dtype=np.int64)
             self.hist_len = int(self.delays.max())
             state_shape = (k, 1)  # no LIF state needed; keep a tiny slab
-            self.batch_size = simulator.neuron_batch
+            self.batch_size = _splice_batch(simulator.neuron_batch)
         else:
             state_shape = (k,) + shape  # row axis doubles as module batch
             if kind == "neuron":
@@ -186,6 +220,10 @@ class _FaultGroup:
                 self.batch_size = simulator.synapse_batch
             else:  # synapse_seq: reversible inject(), one fault per pass
                 self.batch_size = 1
+        # Per-group compute precision: the campaign promotes eligible
+        # groups to float32 (see SegmentedDetectionCampaign.run) and resets
+        # this to float64 when rebuilding a group for a fallback re-run.
+        self.dtype = np.dtype(np.float64)
         # State arrays are allocated lazily (and released when the group
         # finishes) so peak memory is bounded by the largest *single*
         # group, not the sum over all groups in the campaign.
@@ -200,14 +238,31 @@ class _FaultGroup:
         ]
 
     # ------------------------------------------------------------------
+    def _nominal_scalars(self) -> None:
+        """Cache the nominal per-neuron scalar columns of ``neuron_idx``
+        (mini-LIF parameters for splice rows outside a fault's window)."""
+        module = self.module
+        idx = self.neuron_idx
+        self.nthr = module.threshold.reshape(-1)[idx].astype(float).copy()
+        self.nleak = module.leak.reshape(-1)[idx].astype(float).copy()
+        self.nrefr = module.refractory_steps.reshape(-1)[idx].copy()
+        self.nmode = module.mode.reshape(-1)[idx].copy()
+
     @property
     def done(self) -> bool:
         return not self.active.any()
 
     def _ensure_state(self) -> None:
         if self.pot is None:
-            self.pot = np.zeros(self._state_shape)
-            self.spk = np.zeros(self._state_shape)
+            # Splice rows advance a float64 mini-LIF even in a float32
+            # group (the faulty trace stays exact by construction; only
+            # the downstream propagation follows the group dtype), and
+            # delay rows never integrate at all.
+            state_dtype = (
+                self.dtype if self.kind in ("neuron", "synapse_k") else np.float64
+            )
+            self.pot = np.zeros(self._state_shape, dtype=state_dtype)
+            self.spk = np.zeros(self._state_shape, dtype=state_dtype)
             self.ref = np.zeros(self._state_shape, dtype=np.int64)
         if self.kind == "delay" and self.hist is None:
             self.hist = np.zeros((len(self.indices), self.hist_len))
@@ -278,12 +333,20 @@ class _FaultGroup:
                     currents[t], state, thr, leak, refr, mode, reset_mode
                 )[:, 0]
         self._store_state(rows, state)
+        return self._splice_compare(gseg, idx, traces, steps)
 
+    def _splice_compare(self, gseg: _GoldenSegment, idx: np.ndarray,
+                        traces: np.ndarray, steps: int):
+        """``(same, materialize)`` for R spliced traces ``(T, R)``: compare
+        each against its golden trace, and build full module outputs
+        (golden output with the faulty traces spliced in) on demand."""
+        module = self.module
         n = int(np.prod(module.neuron_shape))
         golden_flat = gseg.outputs[self.module_index].reshape(steps, n)
         golden_traces = golden_flat[:, idx]  # (T, R)
         same = np.array(
-            [np.array_equal(traces[:, j], golden_traces[:, j]) for j in range(len(rows))]
+            [np.array_equal(traces[:, j], golden_traces[:, j])
+             for j in range(traces.shape[1])]
         )
 
         def materialize(positions: List[int]) -> np.ndarray:
@@ -294,6 +357,40 @@ class _FaultGroup:
 
         return same, materialize
 
+    def _run_synapse_splice(self, rows: np.ndarray, gseg: _GoldenSegment,
+                            offset: int):
+        """Advance the synapse-faulty neurons' mini-LIF rows under nominal
+        neuron parameters: faulty currents (one column-stacked GEMM over
+        the perturbed fan-in columns) inside the fault window, golden
+        currents outside — exactly as the K-batched path swaps weight
+        stacks at the window boundaries."""
+        module = self.module
+        seg_input = gseg.module_input(self.module_index)
+        steps = seg_input.shape[0]
+        idx = self.neuron_idx[rows]
+        entries = [self.syn[row] for row in rows]
+        faulty = module.synapse_splice_currents(seg_input, entries)  # (T, 1, R)
+        faulty = np.ascontiguousarray(faulty.transpose(0, 2, 1))  # (T, R, 1)
+        nominal_cur = None
+        if self.window is not None:
+            nominal_cur = module.neuron_input_currents(seg_input, idx)
+            nominal_cur = np.ascontiguousarray(nominal_cur.transpose(0, 2, 1))
+        state = self._module_state(rows)
+        params = (
+            self.nthr[rows][:, None], self.nleak[rows][:, None],
+            self.nrefr[rows][:, None], self.nmode[rows][:, None],
+        )
+        reset_mode = module.params.reset_mode
+        traces = np.empty((steps, len(rows)))
+        for a, b, in_window in _window_pieces(self.window, steps, offset):
+            currents = faulty if in_window else nominal_cur
+            for t in range(a, b):
+                traces[t] = lif_step_numpy(
+                    currents[t], state, *params, reset_mode=reset_mode
+                )[:, 0]
+        self._store_state(rows, state)
+        return self._splice_compare(gseg, idx, traces, steps)
+
     def _run_neuron(
         self, rows: np.ndarray, seg_input: np.ndarray, offset: int
     ) -> np.ndarray:
@@ -303,6 +400,11 @@ class _FaultGroup:
         threshold, leak, refractory, mode = self.params
         faulty = (threshold[rows], leak[rows], refractory[rows], mode[rows])
         state = self._module_state(rows)
+        run = (
+            module.run_sequence_fused
+            if self.campaign.simulator.fused
+            else module.run_sequence_numpy
+        )
         pieces: List[np.ndarray] = []
         try:
             for a, b, in_window in _window_pieces(
@@ -310,7 +412,7 @@ class _FaultGroup:
             ):
                 (module.threshold, module.leak,
                  module.refractory_steps, module.mode) = faulty if in_window else saved
-                pieces.append(module.run_sequence_numpy(tiled[a:b], state=state))
+                pieces.append(run(tiled[a:b], state=state))
         finally:
             module.threshold, module.leak, module.refractory_steps, module.mode = saved
         self._store_state(rows, state)
@@ -322,24 +424,34 @@ class _FaultGroup:
     ) -> np.ndarray:
         module = self.module
         params = module.parameters()
+        # astype always copies, so this both detaches the broadcast view
+        # and lands the stacks in the group's compute dtype.
         stacks = [
-            np.broadcast_to(p.data, (len(rows),) + p.data.shape).copy() for p in params
+            np.broadcast_to(p.data, (len(rows),) + p.data.shape).astype(self.dtype)
+            for p in params
         ]
         for j, row in enumerate(rows):
             pidx, widx, value = self.syn[row]
             stacks[pidx][j].reshape(-1)[widx] = value
         tiled = np.tile(seg_input, (1, len(rows)) + (1,) * (seg_input.ndim - 2))
         state = self._module_state(rows)
+        run = (
+            module.run_sequence_kbatched_fused
+            if self.campaign.simulator.fused and _supports_kbatched_fused(module)
+            else module.run_sequence_kbatched
+        )
         if self.window is None:
-            out = module.run_sequence_kbatched(tiled, stacks, state=state)
+            out = run(tiled, stacks, state=state)
         else:
             nominal = [
-                np.broadcast_to(p.data, (len(rows),) + p.data.shape) for p in params
+                np.broadcast_to(
+                    p.data if p.data.dtype == self.dtype else p.data.astype(self.dtype),
+                    (len(rows),) + p.data.shape,
+                )
+                for p in params
             ]
             pieces = [
-                module.run_sequence_kbatched(
-                    tiled[a:b], stacks if in_window else nominal, state=state
-                )
+                run(tiled[a:b], stacks if in_window else nominal, state=state)
                 for a, b, in_window in _window_pieces(
                     self.window, seg_input.shape[0], offset
                 )
@@ -444,9 +556,12 @@ class _FaultGroup:
                 slots.append(None)
             else:
                 entry = gseg.entry_states[self.module_index + 1 + dj]
+                # astype copies; in a float32 group the golden entry state
+                # is downcast once at the seed point (rounding there is the
+                # same class of float32 error the margin guard bounds).
                 slots.append({
-                    "pot": entry.potential[0].copy(),
-                    "spk": entry.last_spike[0].copy(),
+                    "pot": entry.potential[0].astype(self.dtype),
+                    "spk": entry.last_spike[0].astype(self.dtype),
                     "ref": entry.refractory[0].copy(),
                 })
         self.dstates[row] = slots
@@ -466,10 +581,19 @@ class _FaultGroup:
             if not self.diverged[row]:
                 self._seed_row(int(row), gseg)
         self.diverged[rows] = True
+        fused = self.campaign.simulator.fused
         current = module_out
+        # Splice/delay rows materialize from the float64 golden cache, so
+        # a float32 group casts once here before propagating downstream.
+        if current.dtype != self.dtype:
+            current = current.astype(self.dtype)
         for dj, dm in enumerate(self.downstream):
             if not self._down_stateful()[dj]:
-                current = dm.run_sequence_numpy(current)
+                current = (
+                    dm.run_sequence_fused(current)
+                    if fused
+                    else dm.run_sequence_numpy(current)
+                )
                 continue
             state = LIFState(
                 potential=np.stack(
@@ -482,7 +606,11 @@ class _FaultGroup:
                     [self.dstates[int(r)][dj]["ref"] for r in rows]
                 ),
             )
-            current = dm.run_sequence_numpy(current, state=state)
+            current = (
+                dm.run_sequence_fused(current, state=state)
+                if fused
+                else dm.run_sequence_numpy(current, state=state)
+            )
             pot = np.asarray(state.potential)
             spk = np.asarray(state.last_spike)
             ref = np.asarray(state.refractory)
@@ -501,10 +629,16 @@ class _FaultGroup:
         offset = campaign.segment_offsets[segment_index]
         has_down = bool(self.downstream)
         seg_input = gseg.module_input(self.module_index)
+        if self.kind in ("neuron", "synapse_k") and seg_input.dtype != self.dtype:
+            # Float32 groups drive the faulty module with float32 inputs;
+            # the golden cache itself always stays float64.
+            seg_input = seg_input.astype(self.dtype)
         golden_out = gseg.outputs[self.module_index]  # (T, 1, *neuron_shape)
         for rows in self._batches():
             if self.kind == "splice":
                 same, materialize = self._run_splice(rows, gseg, offset)
+            elif self.kind == "synapse_splice":
+                same, materialize = self._run_synapse_splice(rows, gseg, offset)
             elif self.kind == "delay":
                 same, materialize = self._run_delay(rows, gseg, offset)
             else:
@@ -660,9 +794,12 @@ class SegmentedDetectionCampaign:
         self.tracker = tracker if tracker is not None else _ProgressTracker(
             progress, n * self.n_segments
         )
+        self.f32_groups = 0
+        self.f32_fallbacks = 0
         self.groups = self._build_groups()
         self._start_group = 0
         self._start_segment = 0
+        self._resumed = resume_state is not None
         if resume_state is not None:
             self._restore(resume_state)
 
@@ -675,6 +812,7 @@ class SegmentedDetectionCampaign:
         simulator = self.simulator
         network = simulator.network
         neuron_map: Dict[Tuple, List[int]] = {}
+        synapse_splice_map: Dict[Tuple, List[int]] = {}
         synapse_k_map: Dict[Tuple, List[int]] = {}
         synapse_seq_map: Dict[int, List[int]] = {}
         for idx, fault in enumerate(self.faults):
@@ -684,6 +822,15 @@ class SegmentedDetectionCampaign:
                 family = "delay" if fault.kind is NeuronFaultKind.DELAY else "param"
                 key = (fault.module_index, family, fault.window)
                 neuron_map.setdefault(key, []).append(idx)
+            elif (
+                simulator.fused
+                and simulator.synapse_batch > 1
+                and simulator.synapse_splice
+                and _supports_synapse_splice(network.modules[fault.module_index])
+            ):
+                synapse_splice_map.setdefault(
+                    (fault.module_index, fault.window), []
+                ).append(idx)
             elif simulator.synapse_batch > 1 and _supports_kbatched(
                 network.modules[fault.module_index]
             ):
@@ -713,6 +860,14 @@ class SegmentedDetectionCampaign:
                 _FaultGroup(self, kind, module_index, indices, window=window)
             )
         for (module_index, window), indices in sorted(
+            synapse_splice_map.items(), key=lambda kv: (kv[0][0], _wkey(kv[0][1]))
+        ):
+            groups.append(
+                _FaultGroup(
+                    self, "synapse_splice", module_index, indices, window=window
+                )
+            )
+        for (module_index, window), indices in sorted(
             synapse_k_map.items(), key=lambda kv: (kv[0][0], _wkey(kv[0][1]))
         ):
             groups.append(
@@ -731,22 +886,119 @@ class SegmentedDetectionCampaign:
             self.detected[fault_idx] = True
 
     # ------------------------------------------------------------------
+    # Float32 campaign mode (per-group, gated)
+    # ------------------------------------------------------------------
+    def _dtype_probe(self) -> np.ndarray:
+        """Segment-wise counterpart of :meth:`FaultSimulator._dtype_probe`:
+        advance a float64 and a float32 golden runner in lockstep and
+        require bit-equal module outputs on *every* segment.  ``safe[m]``
+        is True when every module from ``m`` on reproduced its golden
+        output across the whole test."""
+        network = self.simulator.network
+        reference = GoldenSegmentRunner(network, fused=True)
+        with compute_dtype_context(network.modules, np.float32):
+            probe = GoldenSegmentRunner(network, fused=True)
+        n = len(network.modules)
+        equal = np.ones(n, dtype=bool)
+        for index in range(self.n_segments):
+            seg = self.stimulus.segment(index)
+            ref_out = reference.run_segment(seg).outputs
+            with compute_dtype_context(network.modules, np.float32):
+                probe_out = probe.run_segment(seg.astype(np.float32)).outputs
+            for m in range(n):
+                equal[m] &= np.array_equal(ref_out[m], probe_out[m])
+        safe = np.ones(n + 1, dtype=bool)
+        for m in range(n - 1, -1, -1):
+            safe[m] = safe[m + 1] and equal[m]
+        return safe
+
+    def _snapshot_group(self, group: _FaultGroup) -> Dict[str, Any]:
+        idx = np.asarray(group.indices)
+        return {
+            "idx": idx,
+            "detected": self.detected[idx].copy(),
+            "l1": self.output_l1[idx].copy(),
+            "counts": self.counts_delta[idx].copy(),
+            "ticks": self.tracker.done,
+        }
+
+    def _rollback_group(self, group_index: int, saved: Dict[str, Any]) -> None:
+        """Undo a tripped float32 attempt: restore the group's slice of
+        every campaign accumulator, rewind the progress counter (re-fired
+        progress values are non-strictly monotone across the re-run), and
+        rebuild the group with fresh float64 state."""
+        idx = saved["idx"]
+        self.detected[idx] = saved["detected"]
+        self.output_l1[idx] = saved["l1"]
+        self.counts_delta[idx] = saved["counts"]
+        self.tracker.done = saved["ticks"]
+        old = self.groups[group_index]
+        self.groups[group_index] = _FaultGroup(
+            self, old.kind, old.module_index, old.indices, window=old.window
+        )
+
+    def _f32_eligible(self, group: _FaultGroup, safe_from) -> bool:
+        if safe_from is None or not safe_from[group.module_index]:
+            return False
+        if group.kind == "synapse_seq":
+            # The sequential reference path stays float64 by definition.
+            return False
+        if group.kind == "synapse_k" and not _supports_kbatched_fused(group.module):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
     def run(self) -> DetectionResult:
         start = time.perf_counter()
+        simulator = self.simulator
+        network = simulator.network
+        modules = network.modules
+        # Checkpointing (segment_hook / resume) snapshots raw group state,
+        # so those campaigns stay float64: a checkpoint must never carry a
+        # half-finished float32 attempt that a resume could not re-gate.
+        safe_from = None
+        if (
+            simulator.dtype == np.float32
+            and self.segment_hook is None
+            and not self._resumed
+        ):
+            safe_from = self._dtype_probe()
         for group_index in range(self._start_group, len(self.groups)):
             group = self.groups[group_index]
-            golden = GoldenSegmentRunner(self.simulator.network)
-            first_segment = 0
-            if group_index == self._start_group and self._start_segment:
-                first_segment = self._start_segment
-                golden.skip_segments(self.stimulus, first_segment)
-            for segment_index in range(first_segment, self.n_segments):
-                if group.done:
-                    break
-                gseg = golden.run_segment(self.stimulus.segment(segment_index))
-                group.step(segment_index, gseg)
-                if self.segment_hook is not None:
-                    self.segment_hook(self, group_index, segment_index)
+            use_f32 = self._f32_eligible(group, safe_from)
+            while True:
+                group.dtype = np.dtype(np.float32 if use_f32 else np.float64)
+                margin = SpikeMargin() if use_f32 else None
+                saved = self._snapshot_group(group) if use_f32 else None
+                golden = GoldenSegmentRunner(network, fused=simulator.fused)
+                first_segment = 0
+                if group_index == self._start_group and self._start_segment:
+                    first_segment = self._start_segment
+                    golden.skip_segments(self.stimulus, first_segment)
+                for segment_index in range(first_segment, self.n_segments):
+                    if group.done:
+                        break
+                    gseg = golden.run_segment(self.stimulus.segment(segment_index))
+                    if use_f32:
+                        # Only the faulty rows run in float32 — the golden
+                        # runner above stays outside the dtype context.
+                        with compute_dtype_context(modules, np.float32, margin):
+                            group.step(segment_index, gseg)
+                        if margin.min < FLOAT32_GUARD_MARGIN:
+                            break  # fail fast; rolled back below
+                    else:
+                        group.step(segment_index, gseg)
+                    if self.segment_hook is not None:
+                        self.segment_hook(self, group_index, segment_index)
+                if use_f32 and margin.min < FLOAT32_GUARD_MARGIN:
+                    self._rollback_group(group_index, saved)
+                    group = self.groups[group_index]
+                    use_f32 = False
+                    self.f32_fallbacks += 1
+                    continue
+                if use_f32:
+                    self.f32_groups += 1
+                break
             group.release()
         self.tracker.finish()
         return DetectionResult(
@@ -755,6 +1007,9 @@ class SegmentedDetectionCampaign:
             output_l1=self.output_l1.copy(),
             class_count_diff=np.abs(self.counts_delta),
             wall_time=time.perf_counter() - start,
+            dtype=str(simulator.dtype),
+            f32_groups=self.f32_groups,
+            f32_fallbacks=self.f32_fallbacks,
         )
 
     # ------------------------------------------------------------------

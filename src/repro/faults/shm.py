@@ -1,0 +1,161 @@
+"""Zero-copy shared-memory transport for parallel campaign results.
+
+The supervised fork pool historically returned each shard's result arrays
+through a pickled spool file.  For detection campaigns those arrays are
+the dominant payload: a full-catalog run ships every per-fault mask and
+metric row through ``pickle.dump`` → ``os.replace`` → ``pickle.load`` per
+shard.  This module instead lets the parent allocate the campaign-wide
+result arrays in :mod:`multiprocessing.shared_memory` once; forked
+workers inherit the mapping (``MAP_SHARED`` — writes land in the same
+physical pages, no copy-on-write) and write their ``[lo:hi)`` slice in
+place.  The spool payload then shrinks to a sentinel, and the large
+read-only campaign inputs (stimulus, golden spike tensors) are mapped
+from shared memory as well instead of riding fork copy-on-write pages.
+
+Correctness does not depend on shared memory at all: a worker writes its
+whole slice before signalling completion, a crashed or retried worker's
+partial writes are fully overwritten by the retry (shards are pure
+functions of their bounds), and when shared memory is unavailable or
+disabled (``REPRO_SHM=0``) the pool falls back to the pickled-spool
+transport byte-for-byte.
+
+Lifecycle
+---------
+Segments are named (``repro_shm_<pid>_<token>``) and owned by the parent
+through an :class:`ShmArena`.  Arenas are closed — every segment closed
+*and unlinked* — in the campaign frontends' ``finally`` blocks, so worker
+crashes, supervisor retries, mid-campaign exceptions, and
+``KeyboardInterrupt`` in the parent all release the segments.  A
+module-level registry plus ``atexit`` sweeper unlinks anything that still
+slips through (pinned by ``tests/chaos/test_shm_lifecycle.py``).  Worker
+processes exit via ``os._exit`` and never unlink — only the creating
+parent does, so a dying worker cannot tear the arena down under its
+siblings.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from typing import List, Optional
+
+import numpy as np
+
+try:  # pragma: no cover - absent only on exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Set to ``0`` to force the pickled-spool transport.
+SHM_ENV = "REPRO_SHM"
+
+#: Arenas that have been created and not yet closed (parent process only).
+_ACTIVE: set = set()
+
+
+def shm_enabled() -> bool:
+    """Whether shared-memory result transport should be attempted."""
+    if _shared_memory is None:
+        return False
+    return os.environ.get(SHM_ENV, "1").strip() != "0"
+
+
+class ShmArena:
+    """Owner of a set of shared-memory segments backing numpy arrays.
+
+    Create through :func:`open_arena` (which probes that allocation
+    actually works and degrades to ``None`` instead of raising).  All
+    segments are released together by :meth:`close`; the arena is
+    idempotently closable and registered for the ``atexit`` sweep.
+    """
+
+    def __init__(self, tag: str = "campaign") -> None:
+        self.tag = tag
+        self._segments: List = []
+        self._closed = False
+        _ACTIVE.add(self)
+
+    # ------------------------------------------------------------------
+    def _alloc(self, nbytes: int):
+        name = f"repro_shm_{os.getpid()}_{secrets.token_hex(4)}"
+        segment = _shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, int(nbytes))
+        )
+        self._segments.append(segment)
+        return segment
+
+    def zeros(self, shape, dtype) -> np.ndarray:
+        """A zero-filled shared array of the given shape/dtype."""
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in np.atleast_1d(np.asarray(shape, dtype=np.int64)))
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        segment = self._alloc(nbytes)
+        view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+        view.fill(0)
+        return view
+
+    def share(self, arr: np.ndarray) -> np.ndarray:
+        """A shared copy of ``arr`` (contiguous, same shape and dtype)."""
+        arr = np.ascontiguousarray(arr)
+        segment = self._alloc(arr.nbytes)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)
+        view[...] = arr
+        return view
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent).
+
+        numpy views handed out by :meth:`zeros`/:meth:`share` may still be
+        referenced when this runs (e.g. through ``_SHARED`` during an
+        abort); ``SharedMemory.close`` then raises ``BufferError``, which
+        is tolerated — the *unlink* is what prevents a leak, and the
+        mapping itself is freed when the last view is garbage collected.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        _ACTIVE.discard(self)
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:
+                pass
+            except OSError:
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            except OSError:
+                pass
+
+
+def open_arena(tag: str = "campaign") -> Optional[ShmArena]:
+    """Create an arena, or ``None`` when shared memory is disabled or the
+    platform cannot actually allocate a segment (permission-restricted
+    ``/dev/shm``, exotic builds) — callers fall back to pickled spools."""
+    if not shm_enabled():
+        return None
+    arena = ShmArena(tag)
+    try:
+        probe = arena.zeros((1,), np.uint8)
+        probe[0] = 1
+    except Exception:
+        arena.close()
+        return None
+    return arena
+
+
+def _sweep() -> None:  # pragma: no cover - exercised via chaos tests
+    for arena in list(_ACTIVE):
+        arena.close()
+
+
+atexit.register(_sweep)

@@ -19,6 +19,7 @@ once (documented in DESIGN.md §7).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,7 +28,14 @@ from repro.autograd import functional as F
 from repro.autograd import fused
 from repro.autograd.tensor import Tensor
 from repro.errors import ConfigurationError, ShapeError
-from repro.snn.neuron import LIFParameters, LIFState, lif_step_numpy, lif_step_tensor
+from repro.snn.neuron import (
+    LIFParameters,
+    LIFState,
+    SpikeMargin,
+    lif_scan_numpy,
+    lif_step_numpy,
+    lif_step_tensor,
+)
 
 
 class Module:
@@ -59,6 +67,21 @@ class Module:
         (see :meth:`init_state`); stateless modules ignore it.
         """
         raise NotImplementedError
+
+    def run_sequence_fused(
+        self, seq: np.ndarray, state: Optional[LIFState] = None
+    ) -> np.ndarray:
+        """Fused fast path: precompute all T synaptic currents in one
+        stacked BLAS call, then scan only the membrane recurrence.
+
+        Spiking modules override this; stateless modules are already
+        time-vectorized, so the default just delegates to
+        :meth:`run_sequence_numpy`.  Outputs are bit-identical to the
+        per-step path in float64 (pinned by the fused differential suite)
+        and preserve the input dtype, which the float32 campaign mode
+        relies on.
+        """
+        return self.run_sequence_numpy(seq, state=state)
 
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
         """Autograd path: map a list over time of (B, ...) tensors."""
@@ -105,13 +128,40 @@ class SpikingModule(Module):
         self.leak = np.full(self.neuron_shape, params.leak)
         self.refractory_steps = np.full(self.neuron_shape, params.refractory_steps, dtype=np.int64)
         self.mode = np.zeros(self.neuron_shape, dtype=np.int8)
+        # Campaign compute precision.  float64 (the default) runs exactly
+        # the historical path; float32 is entered per fault group through
+        # :func:`compute_dtype_context`, which also attaches the margin
+        # tracker that guards the float32 exactness gate.
+        self.compute_dtype = np.dtype(np.float64)
+        self._cast_cache: dict = {}
+        self._margin: Optional[SpikeMargin] = None
 
     @property
     def neuron_count(self) -> int:
         return int(np.prod(self.neuron_shape))
 
+    def _cast(self, arr: np.ndarray, key: str) -> np.ndarray:
+        """Return ``arr`` in the compute dtype, cached per attribute.
+
+        The cache is keyed by the *identity* of the source array, so the
+        campaign idiom of temporarily swapping a parameter array (faulty
+        variants in, nominal back out) never serves a stale cast.  On the
+        float64 path the dtype already matches and the array is returned
+        as-is — zero overhead.
+        """
+        if arr.dtype == self.compute_dtype:
+            return arr
+        cached = self._cast_cache.get(key)
+        if cached is not None and cached[0] is arr:
+            return cached[1]
+        cast = arr.astype(self.compute_dtype)
+        self._cast_cache[key] = (arr, cast)
+        return cast
+
     def _state_numpy(self, batch: int) -> LIFState:
-        return LIFState.zeros_numpy((batch,) + self.neuron_shape)
+        return LIFState.zeros_numpy(
+            (batch,) + self.neuron_shape, dtype=self.compute_dtype
+        )
 
     def init_state(self, batch: int) -> LIFState:
         return self._state_numpy(batch)
@@ -123,12 +173,42 @@ class SpikingModule(Module):
         return lif_step_numpy(
             current,
             state,
-            self.threshold,
-            self.leak,
+            self._cast(self.threshold, "thr"),
+            self._cast(self.leak, "leak"),
             self.refractory_steps,
             self.mode,
             self.params.reset_mode,
         )
+
+    def _lif_scan(self, currents: np.ndarray, state: LIFState) -> np.ndarray:
+        return lif_scan_numpy(
+            currents,
+            state,
+            self._cast(self.threshold, "thr"),
+            self._cast(self.leak, "leak"),
+            self.refractory_steps,
+            self.mode,
+            self.params.reset_mode,
+            margin=self._margin,
+        )
+
+    def sequence_currents(self, seq: np.ndarray) -> np.ndarray:
+        """All-T synaptic input currents in one stacked BLAS call.
+
+        Only meaningful for layers whose currents do not depend on the
+        layer's own state (no recurrence); :class:`RecurrentLIF` overrides
+        :meth:`run_sequence_fused` directly instead.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support fused current precomputation"
+        )
+
+    def run_sequence_fused(
+        self, seq: np.ndarray, state: Optional[LIFState] = None
+    ) -> np.ndarray:
+        if state is None:
+            state = self._state_numpy(seq.shape[1])
+        return self._lif_scan(self.sequence_currents(seq), state)
 
     def _lif_tensor(self, current: Tensor, state: LIFState) -> Tensor:
         return lif_step_tensor(
@@ -174,6 +254,24 @@ class SpikingModule(Module):
             f"{type(self).__name__} does not support K-batched execution"
         )
 
+    def run_sequence_kbatched_fused(
+        self,
+        seq: np.ndarray,
+        param_stacks: Sequence[np.ndarray],
+        state: Optional[LIFState] = None,
+    ) -> np.ndarray:
+        """Fused variant of :meth:`run_sequence_kbatched`.
+
+        The entire K-batch x time block of synaptic currents is computed
+        as a single stacked matmul before the membrane scan, instead of
+        one broadcast GEMM per time step.  Per-(k, t) GEMM slices are the
+        same shapes over the same operands as the per-step path, so the
+        output is bit-identical (pinned by the fused differential suite).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support fused K-batched execution"
+        )
+
     def neuron_input_currents(
         self, seq: np.ndarray, neuron_indices: np.ndarray
     ) -> np.ndarray:
@@ -187,6 +285,29 @@ class SpikingModule(Module):
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not support per-neuron current extraction"
+        )
+
+    def synapse_fault_targets(self, entries) -> np.ndarray:
+        """Output neuron affected by each single-entry weight perturbation.
+
+        ``entries`` are ``(parameter_index, flat_weight_index, value)``
+        triples.  Only meaningful for layers where one weight feeds exactly
+        one neuron (dense fan-in): there a synapse fault changes just that
+        neuron's current trace, so campaigns can splice it like a neuron
+        fault instead of re-running the layer with K weight variants.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support synapse-fault splicing"
+        )
+
+    def synapse_splice_currents(self, seq: np.ndarray, entries) -> np.ndarray:
+        """Faulty input-current traces ``(T, B, K)`` of the neurons hit by
+        K single-entry weight perturbations (see
+        :meth:`synapse_fault_targets`): trace ``k`` is the affected
+        neuron's current with entry ``k`` applied to its fan-in column.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support synapse-fault splicing"
         )
 
 
@@ -256,10 +377,52 @@ class DenseLIF(SpikingModule):
             out[t] = self._lif_numpy(current.reshape(batch, self.out_features), state)
         return out
 
+    def sequence_currents(self, seq: np.ndarray) -> np.ndarray:
+        # One batched matmul for all T steps: (T, B, in) @ (in, out) runs
+        # per-slice GEMMs identical to the per-step 2-D products.
+        return seq @ self._cast(self.weight.data, "w")
+
+    def run_sequence_kbatched_fused(
+        self,
+        seq: np.ndarray,
+        param_stacks: Sequence[np.ndarray],
+        state: Optional[LIFState] = None,
+    ) -> np.ndarray:
+        (weight,) = param_stacks  # (K, in, out)
+        k = weight.shape[0]
+        steps, batch = seq.shape[:2]
+        s = batch // k
+        if state is None:
+            state = self._state_numpy(batch)
+        # (T, K, S, in) @ (K, in, out): one stacked call, per-(t, k) slices
+        # identical to the per-step broadcast GEMM.
+        currents = np.matmul(seq.reshape(steps, k, s, self.in_features), weight)
+        return self._lif_scan(
+            currents.reshape(steps, batch, self.out_features), state
+        )
+
     def neuron_input_currents(
         self, seq: np.ndarray, neuron_indices: np.ndarray
     ) -> np.ndarray:
         return seq @ self.weight.data[:, neuron_indices]
+
+    def synapse_fault_targets(self, entries) -> np.ndarray:
+        # Weight shape (in, out), row-major: flat index i*out + j hits
+        # output neuron j.
+        return np.array(
+            [widx % self.out_features for (_pidx, widx, _value) in entries],
+            dtype=np.int64,
+        )
+
+    def synapse_splice_currents(self, seq: np.ndarray, entries) -> np.ndarray:
+        # Fancy indexing copies the fan-in columns, so the single-entry
+        # perturbations never touch the pristine weights; the GEMM has the
+        # same shape as neuron_input_currents, whose per-column dots the
+        # splice equivalence suite pins against the K-batched path.
+        cols = self.weight.data[:, self.synapse_fault_targets(entries)]
+        for j, (_pidx, widx, value) in enumerate(entries):
+            cols[widx // self.out_features, j] = value
+        return seq @ cols
 
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
         batch = seq[0].shape[0]
@@ -353,6 +516,63 @@ class RecurrentLIF(SpikingModule):
             current = np.matmul(seq[t].reshape(k, s, self.in_features), w_in)
             current += np.matmul(previous, w_rec)
             spikes = self._lif_numpy(current.reshape(batch, self.out_features), state)
+            previous = spikes.reshape(k, s, self.out_features)
+            out[t] = spikes
+        return out
+
+    def run_sequence_fused(
+        self, seq: np.ndarray, state: Optional[LIFState] = None
+    ) -> np.ndarray:
+        steps, batch = seq.shape[:2]
+        if state is None:
+            state = self._state_numpy(batch)
+        w_rec = self._cast(self.recurrent_weight.data, "w_rec")
+        # Feedforward currents for all T steps in one stacked matmul; the
+        # state-dependent spike feedback stays a per-step GEMM, added in
+        # the same order as the per-step path (ff first, feedback second).
+        ff = seq @ self._cast(self.weight.data, "w")
+        thr = self._cast(self.threshold, "thr")
+        leak = self._cast(self.leak, "leak")
+        out = np.empty_like(ff)
+        previous = np.asarray(state.last_spike)
+        for t in range(steps):
+            current = ff[t] + previous @ w_rec
+            previous = lif_step_numpy(
+                current, state, thr, leak, self.refractory_steps,
+                self.mode, self.params.reset_mode,
+            )
+            out[t] = previous
+            if self._margin is not None:
+                self._margin.observe(state.potential, thr)
+        return out
+
+    def run_sequence_kbatched_fused(
+        self,
+        seq: np.ndarray,
+        param_stacks: Sequence[np.ndarray],
+        state: Optional[LIFState] = None,
+    ) -> np.ndarray:
+        w_in, w_rec = param_stacks  # (K, in, out), (K, out, out)
+        k = w_in.shape[0]
+        steps, batch = seq.shape[:2]
+        s = batch // k
+        if state is None:
+            state = self._state_numpy(batch)
+        # All T x K feedforward currents in one stacked GEMM.
+        ff = np.matmul(seq.reshape(steps, k, s, self.in_features), w_in)
+        thr = self._cast(self.threshold, "thr")
+        leak = self._cast(self.leak, "leak")
+        out = np.empty((steps, batch, self.out_features), dtype=seq.dtype)
+        previous = np.asarray(state.last_spike).reshape(k, s, self.out_features)
+        for t in range(steps):
+            current = ff[t] + np.matmul(previous, w_rec)
+            spikes = lif_step_numpy(
+                current.reshape(batch, self.out_features), state,
+                thr, leak, self.refractory_steps, self.mode,
+                self.params.reset_mode,
+            )
+            if self._margin is not None:
+                self._margin.observe(state.potential, thr)
             previous = spikes.reshape(k, s, self.out_features)
             out[t] = spikes
         return out
@@ -499,6 +719,40 @@ class ConvLIF(SpikingModule):
             )
         return out
 
+    def sequence_currents(self, seq: np.ndarray) -> np.ndarray:
+        # One im2col + one GEMM over the folded (T*B) batch; each batch
+        # slice multiplies the same operands as the per-step _conv_numpy
+        # call, so the currents are bit-identical.
+        steps, batch = seq.shape[:2]
+        flat = seq.reshape((steps * batch,) + seq.shape[2:])
+        cols = self._im2col(flat)
+        w_mat = self._cast(self.weight.data, "w").reshape(self.out_channels, -1)
+        currents = np.matmul(w_mat, cols)
+        return currents.reshape((steps, batch) + self.neuron_shape)
+
+    def run_sequence_kbatched_fused(
+        self,
+        seq: np.ndarray,
+        param_stacks: Sequence[np.ndarray],
+        state: Optional[LIFState] = None,
+    ) -> np.ndarray:
+        (weight,) = param_stacks  # (K, F, C, k, k)
+        k = weight.shape[0]
+        steps, batch = seq.shape[:2]
+        s = batch // k
+        w_mats = weight.reshape(k, self.out_channels, -1)
+        if state is None:
+            state = self._state_numpy(batch)
+        flat = seq.reshape((steps * batch,) + seq.shape[2:])
+        cols = self._im2col(flat)  # (T*K*S, C*k*k, L)
+        cols = cols.reshape((steps, k, s) + cols.shape[1:])
+        # Broadcast GEMM per (t, instance, sample) slice — the same
+        # (F, C*k*k) @ (C*k*k, L) products as the per-step path.
+        currents = np.matmul(w_mats[None, :, None], cols)
+        return self._lif_scan(
+            currents.reshape((steps, batch) + self.neuron_shape), state
+        )
+
     def neuron_input_currents(
         self, seq: np.ndarray, neuron_indices: np.ndarray
     ) -> np.ndarray:
@@ -579,6 +833,22 @@ class SumPool(Module):
             steps, batch, channels, height // window, window, width // window, window
         ).sum(axis=(4, 6))
 
+    def run_sequence_fused(
+        self, seq: np.ndarray, state: Optional[LIFState] = None
+    ) -> np.ndarray:
+        window = self.window
+        # Accumulate the window^2 strided slices with plain ufunc adds
+        # instead of a strided axis reduction — several times faster on
+        # large blocks.  Pool inputs are spike counts (exact small
+        # integers), so the re-association cannot change the result —
+        # the differential suite pins equality with the per-step engine.
+        out = seq[..., 0::window, 0::window].copy()
+        for i in range(window):
+            for j in range(window):
+                if i or j:
+                    out += seq[..., i::window, j::window]
+        return out
+
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
         return [F.sum_pool2d(x_t, self.window) for x_t in seq]
 
@@ -607,3 +877,32 @@ class Flatten(Module):
 
     def forward_sequence_fused(self, seq: Tensor) -> Tensor:
         return seq.reshape(seq.shape[0], seq.shape[1], -1)
+
+
+@contextmanager
+def compute_dtype_context(
+    modules: Sequence[Module],
+    dtype,
+    margin: Optional[SpikeMargin] = None,
+):
+    """Temporarily run the given modules' fast paths in ``dtype``.
+
+    Used by the float32 campaign mode: fused runs inside the context
+    allocate states, cast parameters, and emit spike arrays in ``dtype``;
+    an optional :class:`SpikeMargin` is attached to every spiking module so
+    the exactness gate can observe how close each firing decision came to
+    the threshold.  On exit the previous dtype/margin are restored, so the
+    fault-free (golden) path outside the context is untouched.
+    """
+    spiking = [m for m in modules if isinstance(m, SpikingModule)]
+    saved = [(m.compute_dtype, m._margin) for m in spiking]
+    target = np.dtype(dtype)
+    for module in spiking:
+        module.compute_dtype = target
+        module._margin = margin
+    try:
+        yield
+    finally:
+        for module, (prev_dtype, prev_margin) in zip(spiking, saved):
+            module.compute_dtype = prev_dtype
+            module._margin = prev_margin

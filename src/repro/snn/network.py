@@ -201,7 +201,7 @@ class SNN:
         return current.reshape(current.shape[0], current.shape[1], -1)
 
     def run_modules(
-        self, seq: np.ndarray, states: Optional[List] = None
+        self, seq: np.ndarray, states: Optional[List] = None, fused: bool = False
     ) -> List[np.ndarray]:
         """Fast inference returning every module's output sequence.
 
@@ -210,7 +210,9 @@ class SNN:
         carries one simulation state per module (see
         :meth:`~repro.snn.layers.Module.init_state`) so the segment-wise
         campaign engine can advance the fault-free network one test segment
-        at a time.
+        at a time.  ``fused=True`` routes each module through its fused
+        fast path (one stacked BLAS call per layer; bit-identical in
+        float64).
         """
         self._check_feature_shape(tuple(seq.shape[2:]))
         if states is not None and len(states) != len(self.modules):
@@ -221,7 +223,10 @@ class SNN:
         current = seq
         for idx, module in enumerate(self.modules):
             state = None if states is None else states[idx]
-            current = module.run_sequence_numpy(current, state=state)
+            if fused:
+                current = module.run_sequence_fused(current, state=state)
+            else:
+                current = module.run_sequence_numpy(current, state=state)
             outputs.append(current)
         return outputs
 
@@ -230,16 +235,37 @@ class SNN:
         modules), for threading through :meth:`run_modules`."""
         return [module.init_state(batch) for module in self.modules]
 
-    def run_from(self, module_index: int, seq: np.ndarray) -> np.ndarray:
+    def run_from(
+        self,
+        module_index: int,
+        seq: np.ndarray,
+        states: Optional[List] = None,
+        fused: bool = False,
+    ) -> np.ndarray:
         """Resume fast inference at ``module_index`` given that module's
-        *input* sequence; returns flattened output spikes."""
+        *input* sequence; returns flattened output spikes.
+
+        ``states`` optionally carries one simulation state per remaining
+        module (aligned with ``self.modules[module_index:]``) so callers
+        can advance the tail of the network block by block; ``fused=True``
+        uses the fused per-module fast path.
+        """
         if not 0 <= module_index < len(self.modules):
             raise ConfigurationError(
                 f"module_index {module_index} out of range [0, {len(self.modules)})"
             )
+        tail = self.modules[module_index:]
+        if states is not None and len(states) != len(tail):
+            raise ConfigurationError(
+                f"states list has {len(states)} entries for {len(tail)} remaining modules"
+            )
         current = seq
-        for module in self.modules[module_index:]:
-            current = module.run_sequence_numpy(current)
+        for idx, module in enumerate(tail):
+            state = None if states is None else states[idx]
+            if fused:
+                current = module.run_sequence_fused(current, state=state)
+            else:
+                current = module.run_sequence_numpy(current, state=state)
         return current.reshape(current.shape[0], current.shape[1], -1)
 
     def run_spiking_layers(self, seq: np.ndarray) -> List[np.ndarray]:

@@ -108,10 +108,10 @@ class LIFState:
     refractory: np.ndarray
 
     @classmethod
-    def zeros_numpy(cls, shape: Tuple[int, ...]) -> "LIFState":
+    def zeros_numpy(cls, shape: Tuple[int, ...], dtype=np.float64) -> "LIFState":
         return cls(
-            potential=np.zeros(shape),
-            last_spike=np.zeros(shape),
+            potential=np.zeros(shape, dtype=dtype),
+            last_spike=np.zeros(shape, dtype=dtype),
             refractory=np.zeros(shape, dtype=np.int64),
         )
 
@@ -188,19 +188,127 @@ def lif_step_numpy(
         broadcast over the batch).  Dead neurons never fire; saturated
         neurons fire every step regardless of input or refractoriness.
     """
-    active = (state.refractory == 0).astype(np.float64)
+    dtype = current.dtype
+    active = (state.refractory == 0).astype(dtype)
     if reset_mode == "zero":
         retained = state.potential * (1.0 - state.last_spike)
     else:
         retained = state.potential - state.last_spike * threshold
     potential = retained * leak + current * active
-    spikes = (potential >= threshold).astype(np.float64) * active
+    spikes = (potential >= threshold).astype(dtype) * active
     if mode is not None and mode.any():
-        spikes = np.where(mode == MODE_DEAD, 0.0, spikes)
-        spikes = np.where(mode == MODE_SATURATED, 1.0, spikes)
+        spikes = np.where(mode == MODE_DEAD, dtype.type(0.0), spikes)
+        spikes = np.where(mode == MODE_SATURATED, dtype.type(1.0), spikes)
     state.potential = potential
     state.last_spike = spikes
     state.refractory = np.where(
         spikes > 0.0, refractory_steps, np.maximum(state.refractory - 1, 0)
     )
     return spikes
+
+
+class SpikeMargin:
+    """Tracks how close membrane potentials come to the firing threshold.
+
+    The float32 campaign mode runs a fault group in single precision and
+    only keeps the result if no firing decision was a near-miss: when the
+    smallest observed ``|potential - threshold|`` falls below the guard
+    margin, a float32 rounding error could have flipped a spike relative
+    to the float64 reference, so the group is re-run in float64.  The
+    margin is a sound over-approximation — tripping when no flip would
+    have occurred merely costs a fallback re-run, never correctness.
+    """
+
+    __slots__ = ("min",)
+
+    def __init__(self) -> None:
+        self.min = np.inf
+
+    def observe(self, potential: np.ndarray, threshold: np.ndarray) -> None:
+        gap = np.abs(potential - threshold)
+        if gap.size:
+            low = float(gap.min())
+            if low < self.min:
+                self.min = low
+
+
+def lif_scan_numpy(
+    currents: np.ndarray,
+    state: LIFState,
+    threshold: np.ndarray,
+    leak: np.ndarray,
+    refractory_steps: np.ndarray,
+    mode: Optional[np.ndarray] = None,
+    reset_mode: str = "zero",
+    margin: Optional[SpikeMargin] = None,
+) -> np.ndarray:
+    """Scan :func:`lif_step_numpy` over pre-computed synaptic currents.
+
+    ``currents`` has shape ``(T, ...)``; the leading axis is time.  This is
+    the campaign-side counterpart of the fused training kernels: the caller
+    computes all T synaptic currents in one stacked BLAS call and this scan
+    only performs the (inherently sequential) membrane recurrence.  Each
+    step is exactly :func:`lif_step_numpy`, so the result is bit-identical
+    to the per-step path for identical inputs.
+    """
+    out = np.empty_like(currents)
+    dtype = currents.dtype
+    zero = dtype.type(0.0)
+    one = dtype.type(1.0)
+    # Hoist loop invariants out of the scan: the behavioural-mode masks
+    # and the refractory fast path.  With ``refractory_steps == 1``
+    # everywhere (the ubiquitous case), a neuron is refractory at step t
+    # exactly when it spiked at t-1, so ``active == 1 - last_spike`` —
+    # the same float values the counter comparison produces, feeding
+    # bit-identical downstream arithmetic.
+    has_mode = mode is not None and bool(mode.any())
+    if has_mode:
+        dead = mode == MODE_DEAD
+        saturated = mode == MODE_SATURATED
+    plain_refractory = (
+        not has_mode
+        and np.all(refractory_steps == 1)
+        and not np.any(state.refractory > 1)
+    )
+    subtract = reset_mode != "zero"
+    potential = state.potential
+    last = state.last_spike
+    refractory = state.refractory
+    if plain_refractory:
+        active = (refractory == 0).astype(dtype)
+        for t in range(currents.shape[0]):
+            retained = (
+                potential - last * threshold if subtract
+                else potential * (one - last)
+            )
+            potential = retained * leak + currents[t] * active
+            spikes = (potential >= threshold).astype(dtype) * active
+            out[t] = spikes
+            last = spikes
+            active = one - spikes
+            if margin is not None:
+                margin.observe(potential, threshold)
+        refractory = (last > 0.0).astype(refractory.dtype)
+    else:
+        for t in range(currents.shape[0]):
+            active = (refractory == 0).astype(dtype)
+            retained = (
+                potential - last * threshold if subtract
+                else potential * (one - last)
+            )
+            potential = retained * leak + currents[t] * active
+            spikes = (potential >= threshold).astype(dtype) * active
+            if has_mode:
+                spikes = np.where(dead, zero, spikes)
+                spikes = np.where(saturated, one, spikes)
+            out[t] = spikes
+            last = spikes
+            refractory = np.where(
+                spikes > 0.0, refractory_steps, np.maximum(refractory - 1, 0)
+            )
+            if margin is not None:
+                margin.observe(potential, threshold)
+    state.potential = potential
+    state.last_spike = last
+    state.refractory = refractory
+    return out

@@ -1,0 +1,196 @@
+"""Chaos suite: shared-memory result transport must never leak.
+
+The zero-copy transport maps campaign inputs and result arrays into
+named ``multiprocessing.shared_memory`` segments.  Unlike the pickled
+spool files (which live in a tempdir the OS eventually reclaims), a
+leaked POSIX shm segment survives until reboot — so every exit path out
+of a campaign (clean finish, worker crash + retry, deterministic worker
+error, ``KeyboardInterrupt`` in the parent) must unlink every segment
+the campaign created.  These tests pin that, and that the transport is
+invisible in the results: bit-identical to the serial reference with
+shm on, off, and under fault injection.
+"""
+
+import glob
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.errors import ChaosError
+from repro.faults import parallel as parallel_mod
+from repro.faults import shm
+from repro.faults.parallel import (
+    fork_available,
+    parallel_classify,
+    parallel_detect,
+)
+from repro.faults.simulator import _ProgressTracker
+from repro.utils import chaos
+
+from tests.chaos.conftest import assert_classify_equal, assert_detect_equal
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+WORKERS = 4
+
+_SHM_DIR = "/dev/shm"
+
+
+def _policy(spec):
+    return chaos.installed(chaos.ChaosPolicy.parse(spec, hang_seconds=30.0))
+
+
+def _my_segments():
+    """Shm segments created by this process and still linked."""
+    if not os.path.isdir(_SHM_DIR):  # non-Linux: nothing to scan
+        return []
+    prefix = f"repro_shm_{os.getpid()}_"
+    return [p for p in os.listdir(_SHM_DIR) if p.startswith(prefix)]
+
+
+def _spool_dirs():
+    return set(glob.glob(os.path.join(tempfile.gettempdir(), "repro-shards-*")))
+
+
+@pytest.fixture()
+def shm_on(monkeypatch):
+    monkeypatch.delenv(shm.SHM_ENV, raising=False)
+    if not shm.shm_enabled():
+        pytest.skip("shared memory unavailable on this platform")
+
+
+class TestCleanLifecycle:
+    def test_transport_exact_and_released(self, chaos_campaign, shm_on):
+        """A clean pooled campaign uses the arena, matches the serial
+        reference exactly, and leaves no segment behind."""
+        spools_before = _spool_dirs()
+        result = parallel_detect(
+            chaos_campaign["simulator"],
+            chaos_campaign["stimulus"],
+            chaos_campaign["faults"],
+            workers=WORKERS,
+        )
+        assert_detect_equal(chaos_campaign["detect"], result)
+        assert result.health.shm
+        assert "shared-memory result transport enabled" in result.health.events
+        assert _my_segments() == []
+        assert _spool_dirs() <= spools_before
+        assert not parallel_mod._SPOOL_DIRS
+
+    def test_classify_transport_exact_and_released(self, chaos_campaign, shm_on):
+        result = parallel_classify(
+            chaos_campaign["simulator"],
+            chaos_campaign["inputs"],
+            chaos_campaign["labels"],
+            chaos_campaign["faults"],
+            workers=WORKERS,
+        )
+        assert_classify_equal(chaos_campaign["classify"], result)
+        assert result.health.shm
+        assert _my_segments() == []
+
+    def test_disabled_env_falls_back_to_spool(self, chaos_campaign, monkeypatch):
+        """``REPRO_SHM=0`` forces the pickled-spool transport — results
+        are byte-identical and no arena is ever created."""
+        monkeypatch.setenv(shm.SHM_ENV, "0")
+        result = parallel_detect(
+            chaos_campaign["simulator"],
+            chaos_campaign["stimulus"],
+            chaos_campaign["faults"],
+            workers=WORKERS,
+        )
+        assert_detect_equal(chaos_campaign["detect"], result)
+        assert not result.health.shm
+        assert _my_segments() == []
+
+
+class TestFailureLifecycle:
+    def test_crash_retry_overwrites_partial_writes(
+        self, chaos_campaign, tight_supervision, shm_on
+    ):
+        """Every shard's first attempt dies mid-write; retries rewrite the
+        full ``[lo:hi)`` slice, so the merged result is still exact and
+        the arena is released."""
+        with _policy("crash@shard:*#0"):
+            result = parallel_detect(
+                chaos_campaign["simulator"],
+                chaos_campaign["stimulus"],
+                chaos_campaign["faults"],
+                workers=WORKERS,
+                supervision=tight_supervision,
+            )
+        assert_detect_equal(chaos_campaign["detect"], result)
+        assert result.health.shm
+        assert result.health.crashes > 0
+        assert _my_segments() == []
+
+    def test_worker_error_releases_segments_and_spool(
+        self, chaos_campaign, tight_supervision, shm_on
+    ):
+        """A deterministic worker error aborts the campaign mid-merge;
+        the abort path must unlink the arena and remove the spool dir
+        (regression: an exception raised while the merge generator was
+        suspended used to leave the spool dir to ``atexit``)."""
+        spools_before = _spool_dirs()
+        with _policy("raise@shard:0#0"):
+            with pytest.raises(ChaosError):
+                parallel_detect(
+                    chaos_campaign["simulator"],
+                    chaos_campaign["stimulus"],
+                    chaos_campaign["faults"],
+                    workers=WORKERS,
+                    supervision=tight_supervision,
+                )
+        assert parallel_mod._SHARED == {}
+        assert _my_segments() == []
+        assert _spool_dirs() <= spools_before
+        assert not parallel_mod._SPOOL_DIRS
+
+    def test_keyboard_interrupt_releases_everything(
+        self, chaos_campaign, tight_supervision, shm_on, monkeypatch
+    ):
+        """Ctrl-C in the parent mid-campaign: segments unlinked, spool
+        dir removed, campaign state cleared."""
+        # Per-fault progress so the interrupt lands after the first
+        # completed shard, not at campaign end.
+        monkeypatch.setattr(
+            parallel_mod,
+            "_ProgressTracker",
+            lambda progress, total: _ProgressTracker(progress, total, interval=1),
+        )
+
+        def interrupt(done, total):
+            raise KeyboardInterrupt
+
+        spools_before = _spool_dirs()
+        with pytest.raises(KeyboardInterrupt):
+            parallel_detect(
+                chaos_campaign["simulator"],
+                chaos_campaign["stimulus"],
+                chaos_campaign["faults"],
+                workers=WORKERS,
+                supervision=tight_supervision,
+                progress=interrupt,
+            )
+        assert parallel_mod._SHARED == {}
+        assert _my_segments() == []
+        assert _spool_dirs() <= spools_before
+        assert not parallel_mod._SPOOL_DIRS
+
+    def test_arena_close_is_idempotent_and_sweepable(self, shm_on):
+        arena = shm.open_arena("test")
+        assert arena is not None
+        view = arena.zeros((4,), np.float64)
+        view[:] = 7.0
+        assert _my_segments()  # linked while open
+        arena.close()
+        assert _my_segments() == []
+        arena.close()  # idempotent
+        assert arena.closed
+        # The atexit sweep ignores already-closed arenas.
+        shm._sweep()
+        assert _my_segments() == []

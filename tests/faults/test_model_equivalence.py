@@ -23,6 +23,7 @@ while carrying LIF membrane state (and, for DELAY faults, the golden
 trace history) across the boundary.
 """
 
+import dataclasses
 import itertools
 
 import numpy as np
@@ -337,6 +338,173 @@ def test_straddling_window_parallel_segmented(mixed_campaign):
 
 
 # ----------------------------------------------------------------------
+# Fused one-BLAS-call path vs legacy per-step path (all-T stacked
+# matmuls + optional float32 behind the exactness gate)
+# ----------------------------------------------------------------------
+EXTENDED_F32 = dataclasses.replace(EXTENDED, dtype="float32")
+
+
+def _assert_detect_fields_equal(result, reference):
+    assert np.array_equal(result.detected, reference.detected)
+    assert np.array_equal(result.output_l1, reference.output_l1)
+    assert np.array_equal(result.class_count_diff, reference.class_count_diff)
+
+
+@pytest.fixture(scope="module")
+def legacy_reference(mixed_campaign):
+    """The per-step unfused float64 engine — the semantic baseline the
+    fused path must reproduce bit-for-bit."""
+    legacy = FaultSimulator(mixed_campaign["net"], EXTENDED, fused=False)
+    return legacy.detect(
+        mixed_campaign["stimulus"].assembled(), mixed_campaign["faults"]
+    )
+
+
+@pytest.mark.parametrize("config", [EXTENDED, EXTENDED_F32],
+                         ids=["float64", "float32-gated"])
+def test_fused_serial_matches_legacy(mixed_campaign, legacy_reference, config):
+    fused = FaultSimulator(mixed_campaign["net"], config, fused=True)
+    result = fused.detect(
+        mixed_campaign["stimulus"].assembled(), mixed_campaign["faults"]
+    )
+    _assert_detect_fields_equal(result, legacy_reference)
+    assert result.dtype == config.dtype
+
+
+@pytest.mark.parametrize("config", [EXTENDED, EXTENDED_F32],
+                         ids=["float64", "float32-gated"])
+def test_fused_segmented_matches_legacy(mixed_campaign, legacy_reference, config):
+    fused = FaultSimulator(mixed_campaign["net"], config, fused=True)
+    result = fused.detect_segmented(
+        mixed_campaign["stimulus"], mixed_campaign["faults"], drop_detected=False
+    )
+    _assert_detect_fields_equal(result, legacy_reference)
+    assert result.dtype == config.dtype
+    if config.dtype == "float32":
+        # The gate must account for every group one way or the other.
+        assert result.f32_groups + result.f32_fallbacks > 0
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+@pytest.mark.parametrize("config", [EXTENDED, EXTENDED_F32],
+                         ids=["float64", "float32-gated"])
+def test_fused_parallel_matches_legacy(mixed_campaign, legacy_reference, config):
+    fused = FaultSimulator(mixed_campaign["net"], config, fused=True)
+    result = parallel_detect(
+        fused, mixed_campaign["stimulus"].assembled(),
+        mixed_campaign["faults"], workers=4,
+    )
+    _assert_detect_fields_equal(result, legacy_reference)
+
+
+def test_fused_recurrent_matches_legacy(recurrent_campaign):
+    """Recurrent layers cannot fuse the full matmul (the recurrent term
+    feeds back per step) but still use the fused input-current stack —
+    must stay bit-identical, including under the f32 gate."""
+    legacy = FaultSimulator(recurrent_campaign["net"], EXTENDED, fused=False)
+    reference = legacy.detect(
+        recurrent_campaign["stimulus"].assembled(), recurrent_campaign["faults"]
+    )
+    for config in (EXTENDED, EXTENDED_F32):
+        fused = FaultSimulator(recurrent_campaign["net"], config, fused=True)
+        result = fused.detect(
+            recurrent_campaign["stimulus"].assembled(), recurrent_campaign["faults"]
+        )
+        _assert_detect_fields_equal(result, reference)
+
+
+@pytest.mark.parametrize("time_block", [1, 3, 4, 7, 19])
+def test_transient_straddles_time_block_boundary(mixed_campaign, time_block):
+    """The fused engine processes time in blocks; a transient whose
+    window [5, 16) cuts through block boundaries must swap parameters
+    mid-block exactly as the per-step engine does."""
+    faults = _straddling_faults(mixed_campaign["net"])
+    assembled = mixed_campaign["stimulus"].assembled()
+    legacy = FaultSimulator(mixed_campaign["net"], EXTENDED, fused=False)
+    reference = legacy.detect(assembled, faults)
+    for config in (EXTENDED, EXTENDED_F32):
+        fused = FaultSimulator(
+            mixed_campaign["net"], config, fused=True, time_block=time_block
+        )
+        result = fused.detect(assembled, faults)
+        _assert_detect_fields_equal(result, reference)
+
+
+def test_synapse_splice_group_routing(mixed_campaign):
+    """The fused segmented engine must route dense-layer synapse faults
+    (persistent and windowed) through the column-splice kind; conv-layer
+    synapse faults keep the K-batched weight-stack kind."""
+    from repro.faults.segmented import SegmentedDetectionCampaign
+
+    fused = FaultSimulator(mixed_campaign["net"], EXTENDED, fused=True)
+    campaign = SegmentedDetectionCampaign(
+        fused, mixed_campaign["stimulus"], mixed_campaign["faults"]
+    )
+    kinds_by_module = {}
+    for group in campaign.groups:
+        kinds_by_module.setdefault(group.module_index, set()).add(group.kind)
+    dense_synapse_windows = set()
+    for fault in mixed_campaign["faults"]:
+        if isinstance(fault, SynapseFault):
+            module = mixed_campaign["net"].modules[fault.module_index]
+            if type(module).__name__ == "DenseLIF":
+                dense_synapse_windows.add(fault.window)
+            else:
+                assert "synapse_splice" not in kinds_by_module[fault.module_index]
+            assert "synapse_splice" in kinds_by_module.get(fault.module_index, set()) \
+                or type(module).__name__ != "DenseLIF"
+    # Both persistent and windowed dense synapse faults took the splice path.
+    assert None in dense_synapse_windows
+    assert any(w is not None for w in dense_synapse_windows)
+    # The legacy engine never builds splice groups, so the differential
+    # baseline genuinely exercises the other path.
+    legacy = FaultSimulator(mixed_campaign["net"], EXTENDED, fused=False)
+    legacy_campaign = SegmentedDetectionCampaign(
+        legacy, mixed_campaign["stimulus"], mixed_campaign["faults"]
+    )
+    assert all(g.kind != "synapse_splice" for g in legacy_campaign.groups)
+
+
+def test_synapse_splice_matches_kbatched(mixed_campaign, legacy_reference):
+    """Splice off vs on under the fused engine — same bits, both engines."""
+    splice_off = FaultSimulator(
+        mixed_campaign["net"], EXTENDED, fused=True, synapse_splice=False
+    )
+    for simulator in (
+        splice_off,
+        FaultSimulator(mixed_campaign["net"], EXTENDED, fused=True),
+    ):
+        result = simulator.detect_segmented(
+            mixed_campaign["stimulus"], mixed_campaign["faults"],
+            drop_detected=False,
+        )
+        _assert_detect_fields_equal(result, legacy_reference)
+
+
+def test_float32_fallback_preserves_exactness(mixed_campaign):
+    """Force the spike-margin guard to trip on every group (impossible
+    margin): every group must transparently rerun in float64 and the
+    result must not change."""
+    import repro.faults.simulator as simulator_mod
+
+    legacy = FaultSimulator(mixed_campaign["net"], EXTENDED, fused=False)
+    reference = legacy.detect(
+        mixed_campaign["stimulus"].assembled(), mixed_campaign["faults"]
+    )
+    fused = FaultSimulator(mixed_campaign["net"], EXTENDED_F32, fused=True)
+    original = simulator_mod.FLOAT32_GUARD_MARGIN
+    simulator_mod.FLOAT32_GUARD_MARGIN = 1e9
+    try:
+        result = fused.detect(
+            mixed_campaign["stimulus"].assembled(), mixed_campaign["faults"]
+        )
+    finally:
+        simulator_mod.FLOAT32_GUARD_MARGIN = original
+    _assert_detect_fields_equal(result, reference)
+    assert result.f32_fallbacks > 0
+
+
+# ----------------------------------------------------------------------
 # Hypothesis: random extended catalogs, chunk layouts, engines
 # ----------------------------------------------------------------------
 _NETS = {
@@ -358,6 +526,19 @@ _NETS = {
         ),
         np.random.default_rng(13),
     ),
+    "conv": lambda: build_network(
+        NetworkSpec(
+            name="h-conv",
+            input_shape=(1, 4, 4),
+            layers=(
+                ConvSpec(out_channels=2, kernel=2),
+                FlattenSpec(),
+                DenseSpec(out_features=3),
+            ),
+            lif=LIFParameters(leak=0.9, refractory_steps=1),
+        ),
+        np.random.default_rng(17),
+    ),
 }
 _CACHE = {}
 
@@ -372,7 +553,7 @@ def _cached(kind):
 
 @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(
-    kind=st.sampled_from(sorted(_NETS)),
+    kind=st.sampled_from(["dense", "recurrent"]),
     chunk_durations=st.lists(st.integers(1, 5), min_size=1, max_size=4),
     seed=st.integers(0, 2**16),
     n_faults=st.integers(1, 20),
@@ -411,3 +592,36 @@ def test_property_extended_engines_agree(
     if not drop:
         assert np.array_equal(result.output_l1, reference.output_l1)
         assert np.array_equal(result.class_count_diff, reference.class_count_diff)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    kind=st.sampled_from(sorted(_NETS)),
+    seed=st.integers(0, 2**16),
+    n_faults=st.integers(1, 16),
+    duration=st.integers(2, 14),
+    time_block=st.sampled_from([None, 1, 3, 5]),
+    f32=st.booleans(),
+)
+def test_property_fused_matches_legacy(
+    kind, seed, n_faults, duration, time_block, f32
+):
+    """Fused one-BLAS-call batches equal the per-step engine bit-for-bit
+    on random dense/conv/recurrent catalogs, any time-block size, with
+    and without the gated float32 mode."""
+    net, catalog = _cached(kind)
+    rng = np.random.default_rng(seed)
+    all_faults = catalog.faults
+    picks = rng.choice(
+        len(all_faults), size=min(n_faults, len(all_faults)), replace=False
+    )
+    faults = [all_faults[i] for i in sorted(picks)]
+    stimulus = (rng.random((duration, 1) + net.input_shape) < 0.5).astype(float)
+    legacy = FaultSimulator(net, EXTENDED, fused=False)
+    reference = legacy.detect(stimulus, faults)
+    config = EXTENDED_F32 if f32 else EXTENDED
+    fused = FaultSimulator(net, config, fused=True, time_block=time_block)
+    result = fused.detect(stimulus, faults)
+    assert np.array_equal(result.detected, reference.detected)
+    assert np.array_equal(result.output_l1, reference.output_l1)
+    assert np.array_equal(result.class_count_diff, reference.class_count_diff)
