@@ -34,6 +34,7 @@ from repro.experiments.benchmarks import get_benchmark
 from repro.faults.catalog import build_catalog
 from repro.faults.parallel import parallel_detect, parallel_detect_segmented
 from repro.faults.simulator import FaultSimulator
+from repro.faults.store import CoverageStore
 from repro.snn.builder import build_network
 
 QUICK = os.environ.get("REPRO_SCALING_QUICK") == "1"
@@ -325,3 +326,77 @@ def test_fused_campaign(results_dir):
         # segmented engine on the full catalog.
         assert rows[0]["speedup_vs_baseline"] >= 2.0, payload
         assert rows[0]["shm"] and rows[1]["shm"], payload
+
+
+def test_incremental_verify(tmp_path, results_dir):
+    """Differential re-verification through the coverage store: append one
+    iteration chunk to an already-verified test and re-verify.  The warm
+    run only pays for the affected suffix — the previously-final segment
+    (whose sleep flag flipped) plus the appended one — so on a long test
+    it must be at least 5x faster than the cold full re-run, with a
+    bit-identical detection mask.  Emits ``results/campaign_incremental.json``."""
+    definition, network, faults, _ = _campaign_setup()
+    chunk_steps = [2, 2, 2] if QUICK else [4] * 12
+    rng = np.random.default_rng(5)
+
+    def _stim(steps):
+        return TestStimulus(
+            chunks=[
+                (rng.random((d, 1) + definition.spec.input_shape) > 0.7).astype(float)
+                for d in steps
+            ],
+            input_shape=definition.spec.input_shape,
+        )
+
+    base = _stim(chunk_steps)
+    appended = TestStimulus(
+        chunks=list(base.chunks) + list(_stim([chunk_steps[-1]]).chunks),
+        input_shape=definition.spec.input_shape,
+    )
+    simulator = FaultSimulator(network, definition.fault_config)
+    store = CoverageStore(tmp_path / "store")
+
+    # Verify the base test once, populating the store.
+    _, t_populate = _timed(
+        lambda: simulator.detect_segmented(base, faults, store=store)
+    )
+    # Cold full re-verify of the appended test vs warm differential re-run.
+    cold, t_cold = _timed(lambda: simulator.detect_segmented(appended, faults))
+    warm, t_warm = _timed(
+        lambda: simulator.detect_segmented(appended, faults, store=store)
+    )
+
+    assert np.array_equal(cold.detected, warm.detected)
+    assert np.array_equal(cold.output_l1, warm.output_l1)
+    assert np.array_equal(cold.class_count_diff, warm.class_count_diff)
+
+    payload = {
+        "benchmark": definition.cache_key,
+        "quick_mode": QUICK,
+        "faults": len(faults),
+        "base_segments": base.num_segments,
+        "appended_segments": appended.num_segments,
+        "test_steps": appended.duration_steps,
+        "populate_s": t_populate,
+        "cold_reverify_s": t_cold,
+        "incremental_reverify_s": t_warm,
+        "incremental_speedup": t_cold / t_warm,
+        "store_records": store.stat()["records"],
+        "store_bytes": store.stat()["bytes"],
+        "store_hits": store.hits,
+        "store_writes": store.writes,
+        "cpu_count": os.cpu_count(),
+    }
+    with open(results_dir / "campaign_incremental.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(
+        f"\nincremental verify ({len(faults)} faults, "
+        f"{base.num_segments}+1 segments): populate {t_populate:.2f}s, "
+        f"cold re-verify {t_cold:.2f}s, incremental {t_warm:.2f}s "
+        f"({payload['incremental_speedup']:.2f}x)"
+    )
+
+    if not QUICK:
+        # Acceptance bar: appending one iteration costs O(new segments) —
+        # 2 of 13 segments recompute, so >= 5x over the cold re-verify.
+        assert payload["incremental_speedup"] >= 5.0, payload

@@ -116,6 +116,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         "exactness gate (bit-equal golden probe + spike-margin "
                         "guard) and falls back to float64 per fault group when "
                         "the guard trips, so detection masks are unchanged")
+    verify.add_argument("--store", type=Path, default=None, metavar="DIR",
+                        help="coverage-store directory for differential "
+                        "re-verification (default: <results>/cache/"
+                        "coverage_store); cached per-(fault-group, segment) "
+                        "outcomes make re-runs after test or catalog edits pay "
+                        "only for the affected suffix, bit-identically")
+    verify.add_argument("--no-store", action="store_true",
+                        help="disable the persistent coverage store and "
+                        "recompute every (fault, segment) pair")
 
     pack = sub.add_parser("pack", help="build the on-chip StoredTest artifact")
     add_pipeline_args(pack)
@@ -144,6 +153,22 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", choices=SCALES, default="small")
     report.add_argument("--results", type=Path, default=None)
     report.add_argument("--seed", type=int, default=0)
+
+    store = sub.add_parser(
+        "store", help="inspect or garbage-collect the persistent coverage store"
+    )
+    store.add_argument("action", choices=("stat", "gc"))
+    store.add_argument("--store", type=Path, default=None, metavar="DIR",
+                       help="store directory (default: <results>/cache/"
+                       "coverage_store)")
+    store.add_argument("--results", type=Path, default=None,
+                       help="results directory the default store lives under")
+    store.add_argument("--max-bytes", type=int, default=None,
+                       help="gc: evict oldest records until the store is under "
+                       "this size")
+    store.add_argument("--max-age-days", type=float, default=None,
+                       help="gc: evict records not read or written for this "
+                       "many days")
     return parser
 
 
@@ -212,6 +237,10 @@ def _pipeline(args, name: Optional[str] = None) -> ExperimentPipeline:
         detect_assembled=getattr(args, "assembled", False),
         fast_metrics=getattr(args, "fast_metrics", False),
         fault_config=_fault_config_override(args, definition.fault_config),
+        store_dir=(
+            False if getattr(args, "no_store", False)
+            else getattr(args, "store", None)
+        ),
     )
 
 
@@ -350,6 +379,32 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    from repro.faults.store import CoverageStore
+
+    root = args.store
+    if root is None:
+        results = args.results if args.results is not None else default_results_dir()
+        root = Path(results) / "cache" / "coverage_store"
+    store = CoverageStore(root)
+    if args.action == "stat":
+        stat = store.stat()
+        print(f"store:     {stat['root']}")
+        print(f"records:   {stat['records']}")
+        print(f"bytes:     {stat['bytes']}")
+        print(f"stale tmp: {stat['stale_tmp']}")
+        return 0
+    max_age_s = None
+    if args.max_age_days is not None:
+        max_age_s = args.max_age_days * 86400.0
+    swept = store.gc(max_bytes=args.max_bytes, max_age_s=max_age_s)
+    print(
+        f"removed {swept['removed']} records ({swept['freed_bytes']} bytes), "
+        f"{swept['kept_bytes']} bytes kept"
+    )
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "train": _cmd_train,
@@ -360,6 +415,7 @@ _COMMANDS = {
     "compact": _cmd_compact,
     "catalog": _cmd_catalog,
     "report": _cmd_report,
+    "store": _cmd_store,
 }
 
 

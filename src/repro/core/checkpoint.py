@@ -149,31 +149,32 @@ def deserialize_checkpoint(
     return arrays, meta
 
 
-def save_checkpoint(
+def atomic_write_bytes(
     path: str,
-    arrays: Mapping[str, np.ndarray],
-    meta: Mapping[str, Any],
+    payload: bytes,
+    *,
+    chaos_site: str = "checkpoint-write",
     chaos_key: int = 0,
+    description: str = "checkpoint",
 ) -> None:
-    """Atomically persist a checkpoint: serialize, write a sibling temp
-    file, fsync, then ``os.replace`` over ``path``.  A crash at any point
-    (exercised by the ``checkpoint-write`` chaos site) leaves either the
-    old checkpoint or the new one — never a torn file.
-    """
-    payload = serialize_checkpoint(arrays, meta)
+    """Write ``payload`` to ``path`` atomically: sibling temp file, fsync,
+    ``os.replace``.  A crash at any point (exercised through the named
+    chaos site) leaves either the old file or the new one — never a torn
+    one; a ``kill-write`` strike tears the *temp* file and raises, which
+    is exactly the on-disk state a mid-write kill would leave."""
     target = Path(path)
     if target.parent and not target.parent.exists():
         target.parent.mkdir(parents=True, exist_ok=True)
     tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
-    action = chaos.strike("checkpoint-write", key=chaos_key)
+    action = chaos.strike(chaos_site, key=chaos_key)
     try:
         if action == "kill-write":
             # Simulate the process dying mid-write: leave a torn temp file
-            # behind; the real checkpoint at ``path`` must stay intact.
+            # behind; the real file at ``path`` must stay intact.
             tmp.write_bytes(payload[: max(1, len(payload) // 2)])
-            raise ChaosError(f"chaos kill-write during checkpoint {target.name}")
+            raise ChaosError(f"chaos kill-write during {description} {target.name}")
         if action in ("crash", "raise"):
-            raise ChaosError(f"chaos {action} before checkpoint {target.name}")
+            raise ChaosError(f"chaos {action} before {description} {target.name}")
         with open(tmp, "wb") as fh:
             fh.write(payload)
             fh.flush()
@@ -185,6 +186,26 @@ def save_checkpoint(
                 tmp.unlink()
             except OSError:
                 pass
+
+
+def save_checkpoint(
+    path: str,
+    arrays: Mapping[str, np.ndarray],
+    meta: Mapping[str, Any],
+    chaos_key: int = 0,
+) -> None:
+    """Atomically persist a checkpoint: serialize, write a sibling temp
+    file, fsync, then ``os.replace`` over ``path``.  A crash at any point
+    (exercised by the ``checkpoint-write`` chaos site) leaves either the
+    old checkpoint or the new one — never a torn file.
+    """
+    atomic_write_bytes(
+        path,
+        serialize_checkpoint(arrays, meta),
+        chaos_site="checkpoint-write",
+        chaos_key=chaos_key,
+        description="checkpoint",
+    )
 
 
 def load_checkpoint(path: str) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:

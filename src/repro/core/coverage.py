@@ -34,6 +34,7 @@ def verify_coverage(
     resume: bool = False,
     segmented: bool = True,
     exact_metrics: bool = False,
+    store=None,
 ):
     """Fault-simulate the test stimulus and report detection / coverage.
 
@@ -56,12 +57,24 @@ def verify_coverage(
     (results stay bit-identical; see ``docs/RESILIENCE.md``).  Returns the
     :class:`DetectionResult`; if ``classification`` labels are provided,
     also the Table-III-style :class:`CoverageBreakdown`.
+
+    ``store`` (a :class:`~repro.faults.store.CoverageStore` or a directory
+    path) makes the segmented campaign *differential*: per-(fault-group,
+    segment) outcomes and golden segment end-states from earlier runs are
+    spliced in instead of recomputed, so re-verifying after appending an
+    iteration, editing a chunk, or growing the catalog only pays for the
+    affected suffix — with a bit-identical detection mask (see
+    ``docs/COVERAGE_STORE.md``).  Ignored by the assembled path.
     """
     validate_faults(
         network, faults, config=fault_config,
         duration_steps=stimulus.duration_steps,
     )
     simulator = FaultSimulator(network, fault_config)
+    if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+        from repro.faults.store import CoverageStore
+
+        store = CoverageStore(store)
     if segmented:
         detection = parallel_detect_segmented(
             simulator,
@@ -72,6 +85,7 @@ def verify_coverage(
             drop_detected=not exact_metrics,
             checkpoint_path=checkpoint_path,
             resume=resume,
+            store=store,
         )
     else:
         detection = parallel_detect(

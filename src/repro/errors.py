@@ -59,6 +59,12 @@ class CheckpointError(ReproError):
     the run being resumed."""
 
 
+class StoreError(ReproError):
+    """A coverage-store record is corrupt, torn, keyed inconsistently, or
+    does not match the campaign that looked it up.  A *missing* record is
+    never an error — only a record that exists but cannot be trusted."""
+
+
 class WorkerFailureError(ReproError):
     """A campaign worker process failed in a way the supervisor could not
     recover from (or reported an error it could not transport)."""

@@ -72,6 +72,7 @@ class ExperimentPipeline:
         detect_assembled: bool = False,
         fast_metrics: bool = False,
         fault_config=None,
+        store_dir=None,
     ) -> None:
         self.definition = definition
         self.seed = seed
@@ -109,6 +110,14 @@ class ExperimentPipeline:
         )
         self._train_cache_dir.mkdir(parents=True, exist_ok=True)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
+        # Persistent coverage store for differential re-verification.
+        # ``None`` picks the shared per-results-dir default, ``False``
+        # disables the store, anything else is a directory path.  The store
+        # needs no per-benchmark namespace: every record key already folds
+        # in the network weights, fault-model options, and stimulus chain.
+        if store_dir is None:
+            store_dir = self.results_dir / "cache" / "coverage_store"
+        self.store_dir = None if store_dir is False else Path(store_dir)
         self.log = log or (lambda message: None)
         self._dataset: Optional[SpikingDataset] = None
         self._network: Optional[SNN] = None
@@ -340,6 +349,7 @@ class ExperimentPipeline:
             resume=self.resume,
             segmented=not self.detect_assembled,
             exact_metrics=not self.fast_metrics,
+            store=None if self.store_dir is None else str(self.store_dir),
         )
         atomic_npz_save(
             str(path),

@@ -46,6 +46,7 @@ from repro.faults.parallel import (
     resolve_workers,
 )
 from repro.faults.segmented import GoldenSegmentRunner, SegmentedDetectionCampaign
+from repro.faults.store import CoverageStore, StoreSession, stimulus_chain
 
 __all__ = [
     "NeuronFault",
@@ -79,4 +80,7 @@ __all__ = [
     "resolve_workers",
     "GoldenSegmentRunner",
     "SegmentedDetectionCampaign",
+    "CoverageStore",
+    "StoreSession",
+    "stimulus_chain",
 ]

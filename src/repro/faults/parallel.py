@@ -75,7 +75,12 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ChaosError, FaultModelError, WorkerFailureError
+from repro.errors import (
+    ChaosError,
+    CheckpointError,
+    FaultModelError,
+    WorkerFailureError,
+)
 from repro.faults import shm
 from repro.faults.simulator import (
     CampaignHealth,
@@ -258,7 +263,13 @@ def _detect_seg_shard(bounds: Tuple[int, int]):
     worker advances its own fault-free network segment by segment (see
     :class:`repro.faults.segmented.GoldenSegmentRunner`), so the parent
     never materializes the assembled stimulus or the full-duration golden
-    activations."""
+    activations.  The shard's stimulus chain digests ride the payload (as
+    a compact ``(n, 32)`` byte array) so the parent can prove every worker
+    keyed its coverage-store records off the very same segment prefixes."""
+    # Deferred: repro.faults.store pulls in repro.core, which imports this
+    # module back — at call time both sides are fully initialized.
+    from repro.faults.store import chain_to_array
+
     lo, hi = bounds
     shared = _SHARED
     simulator: FaultSimulator = shared["simulator"]
@@ -269,15 +280,17 @@ def _detect_seg_shard(bounds: Tuple[int, int]):
         drop_detected=drop_detected,
         divergence_exit=divergence_exit,
         compact_batches=compact_batches,
+        store=shared.get("store"),
     )
+    chain = chain_to_array(result.segment_digests)
     views = shared.get("shm_out")
     if views is not None:
         detected, output_l1, class_diff = views
         detected[lo:hi] = result.detected
         output_l1[lo:hi] = result.output_l1
         class_diff[lo:hi] = result.class_count_diff
-        return lo, _SHM_DELIVERED
-    return lo, result.detected, result.output_l1, result.class_count_diff
+        return lo, chain, _SHM_DELIVERED
+    return lo, result.detected, result.output_l1, result.class_count_diff, chain
 
 
 def _classify_shard(bounds: Tuple[int, int]):
@@ -762,6 +775,8 @@ def _run_segmented_shards(
     stay shard-granular (their memory is private until the shard payload
     arrives).
     """
+    from repro.faults.store import chain_to_array  # deferred; see _detect_seg_shard
+
     _SHARED.clear()
     _SHARED.update(shared)
     spool_dir = None
@@ -793,7 +808,14 @@ def _run_segmented_shards(
         def complete(shard_bounds_, payload, ticked: bool):
             lo, hi = shard_bounds_
             if shm_views is not None and payload[-1] == _SHM_DELIVERED:
-                payload = (lo,) + tuple(np.array(view[lo:hi]) for view in shm_views)
+                # The detect-seg shm payload carries the shard's segment
+                # chain array just before the sentinel; re-attach it after
+                # the result slices so spool and shm payloads line up.
+                payload = (
+                    (lo,)
+                    + tuple(np.array(view[lo:hi]) for view in shm_views)
+                    + (payload[1],)
+                )
             if checkpoint is not None:
                 checkpoint.add(lo, payload[1:])
                 checkpoint.clear_partial()
@@ -842,10 +864,17 @@ def _run_segmented_shards(
                     tracker=tracker,
                     segment_hook=segment_hook,
                     resume_state=resume_state,
+                    store=shared.get("store"),
                 )
                 yield complete(
                     shard,
-                    (lo, result.detected, result.output_l1, result.class_count_diff),
+                    (
+                        lo,
+                        result.detected,
+                        result.output_l1,
+                        result.class_count_diff,
+                        chain_to_array(result.segment_digests),
+                    ),
                     ticked=True,
                 )
     finally:
@@ -869,6 +898,7 @@ def parallel_detect_segmented(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     supervision: Optional[SupervisionConfig] = None,
+    store=None,
 ) -> DetectionResult:
     """:meth:`FaultSimulator.detect_segmented` sharded across supervised
     processes.
@@ -883,7 +913,20 @@ def parallel_detect_segmented(
     ``"detect-seg"`` with the engine options folded into the fingerprint;
     the serial in-process path additionally checkpoints at (fault-group,
     segment) granularity.
+
+    With ``store`` set (a :class:`repro.faults.store.CoverageStore`), every
+    worker records and reuses per-(fault-group, segment) outcomes and
+    golden segment end-states through the shared on-disk store; the parent
+    verifies each shard's stimulus chain digests against its own before
+    merging, so a worker keyed against a different stimulus can never
+    splice results silently.
     """
+    from repro.faults.store import (  # deferred; see _detect_seg_shard
+        chain_from_array,
+        chain_to_array,
+        stimulus_chain,
+    )
+
     workers = resolve_workers(workers)
     use_pool = workers > 1 and fork_available()
     if len(faults) == 0 or (not use_pool and checkpoint_path is None):
@@ -894,6 +937,7 @@ def parallel_detect_segmented(
             drop_detected=drop_detected,
             divergence_exit=divergence_exit,
             compact_batches=compact_batches,
+            store=store,
         )
     supervision = supervision or SupervisionConfig.from_env()
     health = CampaignHealth(workers=workers if use_pool else 1)
@@ -908,9 +952,13 @@ def parallel_detect_segmented(
         tuple(stimulus.chunks), bounds,
         extra=(
             f"segmented:drop={int(options[0])},div={int(options[1])},"
-            f"comp={int(options[2])}"
+            f"comp={int(options[2])},v=2"
         ),
     )
+    # The chain the parent expects every shard to report.  Computed before
+    # any shm re-wrap of the stimulus: sharing the chunks moves their
+    # storage, never their bytes, so both stimuli hash identically.
+    expected_chain = chain_to_array(stimulus_chain(stimulus))
     detected = np.zeros(n_faults, dtype=bool)
     output_l1 = np.zeros(n_faults)
     class_diff = np.zeros((n_faults, classes))
@@ -939,6 +987,7 @@ def parallel_detect_segmented(
             faults=list(faults),
             seg_options=options,
             shm_out=shm_views,
+            store=store,
         )
         tracker = _ProgressTracker(progress, n_faults * n_segments)
         gen = _run_segmented_shards(
@@ -948,7 +997,13 @@ def parallel_detect_segmented(
             shm_views=shm_views,
         )
         try:
-            for lo, shard_detected, shard_l1, shard_diff in gen:
+            for lo, shard_detected, shard_l1, shard_diff, shard_chain in gen:
+                if not np.array_equal(np.asarray(shard_chain), expected_chain):
+                    raise CheckpointError(
+                        f"shard {lo} reported segment chain digests that do "
+                        "not match the parent's stimulus — mixed stimuli or "
+                        "a stale checkpoint"
+                    )
                 hi = lo + shard_detected.shape[0]
                 detected[lo:hi] = shard_detected
                 output_l1[lo:hi] = shard_l1
@@ -966,6 +1021,9 @@ def parallel_detect_segmented(
         wall_time=time.perf_counter() - start,
         health=health,
         dtype=str(simulator.dtype),
+        # From the pre-sharing chain: the shm-backed chunks are unmapped by
+        # the arena close above and must not be touched again.
+        segment_digests=chain_from_array(expected_chain),
     )
 
 

@@ -55,8 +55,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import CheckpointError, FaultModelError
+from repro.errors import CheckpointError, FaultModelError, StoreError
 from repro.faults.injector import inject, synapse_fault_value
+from repro.faults.store import StoreSession, stimulus_chain
 from repro.faults.model import NeuronFaultKind
 from repro.faults.simulator import (
     DetectionResult,
@@ -116,6 +117,61 @@ class GoldenSegmentRunner:
             self.network.run_modules(
                 stimulus.segment(index), states=self.states, fused=self.fused
             )
+
+
+class _PlainGoldenRunner:
+    """Golden-runner adapter with the seek/run interface the campaign
+    loop drives (the store-backed runner below shares it)."""
+
+    def __init__(self, network, fused: bool) -> None:
+        self.inner = GoldenSegmentRunner(network, fused=fused)
+
+    def seek(self, stimulus, count: int) -> None:
+        self.inner.skip_segments(stimulus, count)
+
+    def run_segment(self, segment_index: int, seg: np.ndarray) -> _GoldenSegment:
+        return self.inner.run_segment(seg)
+
+
+class _SessionGoldenRunner:
+    """Golden runner with cross-run (and cross-group) segment reuse
+    through a coverage store.
+
+    Maintains the invariant that the inner runner's states are the golden
+    state at the entry of the next segment to run: a stored segment is
+    answered from its record (outputs + end states, the current states
+    becoming the entry states) without simulating; a missing segment runs
+    normally and is stored for every later group, worker, and invocation.
+    The golden pass always computes in float64, so records are valid
+    regardless of any float32 group gating around them.
+    """
+
+    def __init__(self, session: StoreSession, network, fused: bool) -> None:
+        self.session = session
+        self.inner = GoldenSegmentRunner(network, fused=fused)
+
+    def seek(self, stimulus, count: int) -> None:
+        if not count:
+            return
+        states = self.session.load_golden_states(count - 1)
+        if states is not None:
+            self.inner.states = states
+        else:
+            self.inner.skip_segments(stimulus, count)
+
+    def run_segment(self, segment_index: int, seg: np.ndarray) -> _GoldenSegment:
+        cached = self.session.load_golden(segment_index)
+        if cached is not None:
+            outputs, end_states = cached
+            # The runner's current state objects are this segment's entry
+            # states; replacing ``states`` freezes them, so no copy is
+            # needed before handing them to the segment.
+            gseg = _GoldenSegment(seg, outputs, self.inner.states)
+            self.inner.states = end_states
+            return gseg
+        gseg = self.inner.run_segment(seg)
+        self.session.store_golden(segment_index, gseg.outputs, self.inner.states)
+        return gseg
 
 
 #: Fused-path batch width for splice/delay rows (per-row state is a few
@@ -767,6 +823,7 @@ class SegmentedDetectionCampaign:
         tracker: Optional[_ProgressTracker] = None,
         segment_hook=None,
         resume_state=None,
+        store=None,
     ) -> None:
         self.simulator = simulator
         self.stimulus = stimulus
@@ -777,6 +834,21 @@ class SegmentedDetectionCampaign:
         self.compact_batches = compact_batches
         self.segment_hook = segment_hook
         self.n_segments = stimulus.num_segments
+        # Prefix digests of the stimulus segments: the store keys hang off
+        # them, the parallel frontend cross-checks them against worker
+        # payloads, and the result carries them for downstream reuse.
+        self.segment_digests = stimulus_chain(stimulus)
+        self.session: Optional[StoreSession] = None
+        if store is not None:
+            self.session = StoreSession(
+                store,
+                simulator,
+                stimulus,
+                drop_detected=drop_detected,
+                divergence_exit=divergence_exit,
+                compact_batches=compact_batches,
+                chain=self.segment_digests,
+            )
         # Absolute test time of each segment's first step — transient
         # windows are expressed in absolute time, so the piecewise runs
         # need to know where each segment sits in the assembled test.
@@ -937,6 +1009,43 @@ class SegmentedDetectionCampaign:
             self, old.kind, old.module_index, old.indices, window=old.window
         )
 
+    def _apply_hit(self, group: _FaultGroup, hit) -> int:
+        """Splice a cached store record into the campaign accumulators and
+        return the first segment index that still needs computing.
+
+        A full hit (no carried state: the record was written at the final
+        segment of its run) finishes the group outright.  A partial hit
+        restores the group's mid-campaign state so the loop resumes at the
+        following segment.  Either way the progress ticks are accounted as
+        if the skipped segments had run, keeping tracker totals at ``k*n``
+        per group."""
+        idx = np.asarray(group.indices)
+        arrays, meta = hit.arrays, hit.meta
+        try:
+            self.detected[idx] = arrays["res.detected"]
+            self.output_l1[idx] = arrays["res.l1"]
+            self.counts_delta[idx] = arrays["res.counts"]
+        except (KeyError, ValueError) as exc:
+            raise StoreError(
+                f"coverage record does not match this group: {exc}"
+            ) from exc
+        k = len(group.indices)
+        n = self.n_segments
+        if not meta.get("has_state"):
+            group.active[:] = False
+            self.tracker.tick(k * n)
+            return n
+        try:
+            group.restore_arrays(arrays)
+        except CheckpointError as exc:
+            raise StoreError(str(exc)) from exc
+        live = int(group.active.sum())
+        s = int(meta["segment"])
+        # Live rows owe the remaining n-(s+1) segments; dropped/diverged
+        # rows were already charged their full n in the record's run.
+        self.tracker.tick(live * (s + 1) + (k - live) * n)
+        return s + 1
+
     def _f32_eligible(self, group: _FaultGroup, safe_from) -> bool:
         if safe_from is None or not safe_from[group.module_index]:
             return False
@@ -963,22 +1072,43 @@ class SegmentedDetectionCampaign:
             and not self._resumed
         ):
             safe_from = self._dtype_probe()
+        session = self.session
         for group_index in range(self._start_group, len(self.groups)):
             group = self.groups[group_index]
             use_f32 = self._f32_eligible(group, safe_from)
+            gdigest = session.group_digest(self, group) if session is not None else None
+            ckpt_segment = 0
+            if group_index == self._start_group and self._start_segment:
+                ckpt_segment = self._start_segment
             while True:
                 group.dtype = np.dtype(np.float32 if use_f32 else np.float64)
                 margin = SpikeMargin() if use_f32 else None
+                # Snapshot before any store hit is applied, so a tripped
+                # float32 gate rolls back to the pristine group and the
+                # float64 re-run starts from segment zero.
                 saved = self._snapshot_group(group) if use_f32 else None
-                golden = GoldenSegmentRunner(network, fused=simulator.fused)
-                first_segment = 0
-                if group_index == self._start_group and self._start_segment:
-                    first_segment = self._start_segment
-                    golden.skip_segments(self.stimulus, first_segment)
+                hit = None
+                if session is not None and ckpt_segment == 0:
+                    hit = session.lookup_group(self, group, gdigest, str(group.dtype))
+                first_segment = ckpt_segment
+                if hit is not None:
+                    first_segment = self._apply_hit(group, hit)
+                if session is not None:
+                    golden = _SessionGoldenRunner(session, network, simulator.fused)
+                else:
+                    golden = _PlainGoldenRunner(network, simulator.fused)
+                # Float32 attempts buffer their records until the gate
+                # passes; a tripped attempt must leave no trace in the
+                # store (its results are discarded, not merely imprecise).
+                pending = []
+                if first_segment and first_segment < self.n_segments and not group.done:
+                    golden.seek(self.stimulus, first_segment)
                 for segment_index in range(first_segment, self.n_segments):
                     if group.done:
                         break
-                    gseg = golden.run_segment(self.stimulus.segment(segment_index))
+                    gseg = golden.run_segment(
+                        segment_index, self.stimulus.segment(segment_index)
+                    )
                     if use_f32:
                         # Only the faulty rows run in float32 — the golden
                         # runner above stays outside the dtype context.
@@ -988,6 +1118,10 @@ class SegmentedDetectionCampaign:
                             break  # fail fast; rolled back below
                     else:
                         group.step(segment_index, gseg)
+                    if session is not None:
+                        staged = session.stage_group(self, group, gdigest, segment_index)
+                        if staged is not None:
+                            pending.append(staged)
                     if self.segment_hook is not None:
                         self.segment_hook(self, group_index, segment_index)
                 if use_f32 and margin.min < FLOAT32_GUARD_MARGIN:
@@ -998,6 +1132,9 @@ class SegmentedDetectionCampaign:
                     continue
                 if use_f32:
                     self.f32_groups += 1
+                if session is not None:
+                    for key, payload in pending:
+                        session.store.put_bytes(key, payload)
                 break
             group.release()
         self.tracker.finish()
@@ -1010,6 +1147,7 @@ class SegmentedDetectionCampaign:
             dtype=str(simulator.dtype),
             f32_groups=self.f32_groups,
             f32_fallbacks=self.f32_fallbacks,
+            segment_digests=list(self.segment_digests),
         )
 
     # ------------------------------------------------------------------

@@ -17,7 +17,11 @@ whole slice before signalling completion, a crashed or retried worker's
 partial writes are fully overwritten by the retry (shards are pure
 functions of their bounds), and when shared memory is unavailable or
 disabled (``REPRO_SHM=0``) the pool falls back to the pickled-spool
-transport byte-for-byte.
+transport byte-for-byte.  Small per-shard side-band values — the
+segment-wise campaign's stimulus chain-digest array in particular — still
+ride the spool payload in shm mode (just ahead of the delivery sentinel),
+so the parent's digest cross-check sees identical data on both
+transports.
 
 Lifecycle
 ---------

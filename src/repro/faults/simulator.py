@@ -133,6 +133,11 @@ class DetectionResult:
     dtype: str = "float64"
     f32_groups: int = 0  # fault groups whose float32 run passed the gate
     f32_fallbacks: int = 0  # fault groups re-run in float64 after a gate trip
+    #: Rolling stimulus-segment chain digests (segment-wise campaigns only;
+    #: see :func:`repro.faults.store.stimulus_chain`).  The parallel
+    #: frontend cross-checks worker chains against the parent's, and the
+    #: coverage store keys its records off them.
+    segment_digests: Optional[List[str]] = None
 
     @property
     def detected_count(self) -> int:
@@ -1098,6 +1103,7 @@ class FaultSimulator:
         tracker=None,
         segment_hook=None,
         resume_state=None,
+        store=None,
     ) -> DetectionResult:
         """Segment-wise detection campaign over a :class:`TestStimulus`.
 
@@ -1128,6 +1134,11 @@ class FaultSimulator:
         tracker / segment_hook / resume_state:
             Internal hooks used by the parallel frontend for shared
             progress accounting and mid-campaign checkpointing.
+        store:
+            Optional :class:`repro.faults.store.CoverageStore` for
+            differential re-verification: cached (fault-group, segment)
+            outcomes and golden segment end-states are spliced in instead
+            of recomputed, and fresh ones are persisted for later runs.
         """
         from repro.faults.segmented import SegmentedDetectionCampaign
 
@@ -1142,6 +1153,7 @@ class FaultSimulator:
             tracker=tracker,
             segment_hook=segment_hook,
             resume_state=resume_state,
+            store=store,
         )
         return campaign.run()
 

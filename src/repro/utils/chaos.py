@@ -32,6 +32,11 @@ Sites currently instrumented:
   a running hook counter across the campaign.  ``crash``/``raise`` raise,
   so the next run can prove it resumes mid-shard from the last finished
   segment (``tests/chaos/test_segment_resume.py``).
+- ``store-write`` — inside :meth:`repro.faults.store.CoverageStore.put_bytes`,
+  keyed by a per-store running write counter.  ``kill-write`` tears the
+  temp file and raises (the atomic replace keeps any previous record
+  intact); re-running the campaign against the same store must rebuild a
+  bit-identical store tree (``tests/chaos/test_store_resume.py``).
 
 Policies install programmatically (:func:`install` / the
 :func:`installed` context manager) — forked workers inherit the installed

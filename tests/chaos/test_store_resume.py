@@ -1,0 +1,159 @@
+"""Chaos scenario: a campaign killed mid-store-write must leave the
+coverage store consistent, and simply re-running it against the same
+store must converge to a bit-identical store tree and detection mask.
+
+The ``store-write`` chaos site fires inside
+:meth:`repro.faults.store.CoverageStore.put_bytes`, keyed by the store's
+running write counter.  ``kill-write`` tears the temp file and raises at
+the worst moment — half a record on disk, campaign torn down.  The
+atomic-replace contract means the torn temp is never visible as a
+record; the content-addressed first-writer-wins contract means the
+retry rebuilds exactly the records the uninterrupted run would have
+written, byte for byte.
+
+A second scenario pins staleness rejection: records written under one
+option fingerprint or one network are invisible to campaigns running
+under another, and a record corrupted on disk raises ``StoreError``
+instead of splicing garbage.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.testset import TestStimulus
+from repro.errors import ChaosError, StoreError
+from repro.faults.catalog import build_catalog
+from repro.faults.model import FaultModelConfig
+from repro.faults.simulator import FaultSimulator
+from repro.faults.store import CoverageStore
+from repro.snn.builder import DenseSpec, NetworkSpec, build_network
+from repro.snn.neuron import LIFParameters
+from repro.utils import chaos
+
+
+@pytest.fixture(scope="module")
+def store_campaign():
+    spec = NetworkSpec(
+        name="store-chaos",
+        input_shape=(12,),
+        layers=(DenseSpec(out_features=10), DenseSpec(out_features=4)),
+        lif=LIFParameters(leak=0.9, refractory_steps=1),
+    )
+    net = build_network(spec, np.random.default_rng(0))
+    config = FaultModelConfig()
+    catalog = build_catalog(net, config)
+    faults = (catalog.neuron_faults[::3] + catalog.synapse_faults[::7])[:60]
+    rng = np.random.default_rng(1)
+    chunks = [(rng.random((d, 1, 12)) > 0.6).astype(float) for d in (4, 3, 5)]
+    stimulus = TestStimulus(chunks=chunks, input_shape=(12,))
+    simulator = FaultSimulator(net, config)
+    return {
+        "net": net,
+        "config": config,
+        "simulator": simulator,
+        "faults": faults,
+        "stimulus": stimulus,
+    }
+
+
+def _record_tree(store: CoverageStore):
+    """Relative path -> bytes for every committed record."""
+    return {
+        str(path.relative_to(store.root)): path.read_bytes()
+        for path in store._records()
+    }
+
+
+@pytest.mark.parametrize("strike_at", [0, 4])
+def test_kill_mid_store_write_then_rerun_converges(
+    store_campaign, tmp_path, strike_at
+):
+    simulator = store_campaign["simulator"]
+    stimulus = store_campaign["stimulus"]
+    faults = store_campaign["faults"]
+
+    clean = CoverageStore(tmp_path / "clean")
+    reference = simulator.detect_segmented(stimulus, faults, store=clean)
+
+    torn = CoverageStore(tmp_path / "torn")
+    with chaos.installed(chaos.ChaosPolicy.parse(f"kill-write@store-write:{strike_at}")):
+        with pytest.raises(ChaosError):
+            simulator.detect_segmented(stimulus, faults, store=torn)
+    # The torn temp file must not be visible as a record, and earlier
+    # committed records must survive the crash intact.
+    assert torn.stat()["stale_tmp"] == 1
+    for relative, payload in _record_tree(torn).items():
+        assert _record_tree(clean)[relative] == payload
+
+    # Resume is simply re-running against the same store: no checkpoint
+    # interplay, the content-addressed keys carry all the state.
+    resumed = simulator.detect_segmented(stimulus, faults, store=torn)
+    assert np.array_equal(resumed.detected, reference.detected)
+    assert np.array_equal(resumed.output_l1, reference.output_l1)
+    assert np.array_equal(resumed.class_count_diff, reference.class_count_diff)
+    assert _record_tree(torn) == _record_tree(clean), (
+        "rerun after a torn write must rebuild a bit-identical store tree"
+    )
+    # GC sweeps the orphaned temp file without touching live records.
+    torn.gc()
+    assert torn.stat()["stale_tmp"] == 0
+    assert _record_tree(torn) == _record_tree(clean)
+
+
+def test_stale_store_under_changed_options_is_never_reused(
+    store_campaign, tmp_path
+):
+    simulator = store_campaign["simulator"]
+    stimulus = store_campaign["stimulus"]
+    faults = store_campaign["faults"]
+    store = CoverageStore(tmp_path / "stale")
+    simulator.detect_segmented(stimulus, faults, store=store)
+    records = store.stat()["records"]
+
+    # Changed engine options — a different option fingerprint — must miss
+    # every group record and write its own.
+    cold = simulator.detect_segmented(stimulus, faults, drop_detected=False)
+    warm = simulator.detect_segmented(
+        stimulus, faults, drop_detected=False, store=store
+    )
+    assert store.stat()["records"] > records
+    assert np.array_equal(warm.detected, cold.detected)
+    assert np.array_equal(warm.output_l1, cold.output_l1)
+
+    # A different network (same topology, perturbed weights) shares no
+    # records either — lookups miss, nothing raises, results stay exact.
+    other_net = build_network(
+        NetworkSpec(
+            name="store-chaos",
+            input_shape=(12,),
+            layers=(DenseSpec(out_features=10), DenseSpec(out_features=4)),
+            lif=LIFParameters(leak=0.9, refractory_steps=1),
+        ),
+        np.random.default_rng(7),
+    )
+    other_sim = FaultSimulator(other_net, store_campaign["config"])
+    other_catalog = build_catalog(other_net, store_campaign["config"])
+    other_faults = (
+        other_catalog.neuron_faults[::3] + other_catalog.synapse_faults[::7]
+    )[:60]
+    other_cold = other_sim.detect_segmented(stimulus, other_faults)
+    before = store.stat()["records"]
+    other_warm = other_sim.detect_segmented(stimulus, other_faults, store=store)
+    assert store.stat()["records"] > before
+    assert np.array_equal(other_warm.detected, other_cold.detected)
+
+
+def test_corrupted_record_raises_instead_of_splicing(store_campaign, tmp_path):
+    simulator = store_campaign["simulator"]
+    stimulus = store_campaign["stimulus"]
+    faults = store_campaign["faults"]
+    store = CoverageStore(tmp_path / "corrupt")
+    simulator.detect_segmented(stimulus, faults, store=store)
+    for path in store._records():
+        payload = bytearray(path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        path.write_bytes(bytes(payload))
+    with pytest.raises(StoreError):
+        simulator.detect_segmented(stimulus, faults, store=store)
