@@ -154,6 +154,71 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results", type=Path, default=None)
     report.add_argument("--seed", type=int, default=0)
 
+    def add_endpoint_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--socket", type=Path, default=None,
+                       help="unix socket path of the campaign daemon")
+        p.add_argument("--port", type=int, default=None,
+                       help="TCP port of the campaign daemon")
+        p.add_argument("--host", default="127.0.0.1")
+
+    serve = sub.add_parser(
+        "serve", help="run the resilient campaign daemon (see docs/SERVICE.md)"
+    )
+    add_endpoint_args(serve)
+    serve.add_argument("--state", type=Path, required=True,
+                       help="service state directory (job records, progress "
+                       "checkpoints, results); restarting on the same state "
+                       "resumes every in-flight job")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="shared worker-pool budget leased across jobs "
+                       "(default: $REPRO_WORKERS or 1)")
+    serve.add_argument("--max-jobs", type=int, default=None,
+                       help="jobs running concurrently")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="queued-job cap before submissions are rejected "
+                       "(default: $REPRO_SERVICE_QUEUE_DEPTH or 16)")
+    serve.add_argument("--client-cap", type=int, default=None,
+                       help="per-client cap on jobs queued or running")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       help="default per-job deadline in seconds "
+                       "(default: $REPRO_JOB_TIMEOUT or none)")
+    serve.add_argument("--store", type=Path, default=None, metavar="DIR",
+                       help="coverage-store directory shared by verify jobs")
+
+    bundle = sub.add_parser(
+        "bundle", help="build a campaign bundle for `repro submit`"
+    )
+    add_pipeline_args(bundle)
+    bundle.add_argument("-o", "--output", type=Path, required=True)
+    bundle.add_argument("--kind", choices=("verify", "generate"), default="verify")
+
+    submit = sub.add_parser("submit", help="submit a campaign bundle to the daemon")
+    add_endpoint_args(submit)
+    submit.add_argument("bundle", type=Path)
+    submit.add_argument("--kind", choices=("verify", "generate"), default="verify")
+    submit.add_argument("--client", default="cli")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="lower runs first; FIFO within a priority")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-job deadline in running seconds")
+    submit.add_argument("--job-workers", type=int, default=None,
+                        help="workers to request from the shared pool budget")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal and print its "
+                        "summary")
+
+    status = sub.add_parser("status", help="show one job (or all jobs) on the daemon")
+    add_endpoint_args(status)
+    status.add_argument("job", nargs="?", default=None)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    add_endpoint_args(cancel)
+    cancel.add_argument("job")
+
+    watch = sub.add_parser("watch", help="stream a job's progress events")
+    add_endpoint_args(watch)
+    watch.add_argument("job")
+
     store = sub.add_parser(
         "store", help="inspect or garbage-collect the persistent coverage store"
     )
@@ -405,6 +470,128 @@ def _cmd_store(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Campaign service verbs
+# ----------------------------------------------------------------------
+def _service_client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(
+        socket_path=None if args.socket is None else str(args.socket),
+        host=args.host,
+        port=args.port,
+        client=getattr(args, "client", "cli"),
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.daemon import CampaignService, ServiceConfig
+
+    kwargs = {}
+    for name, value in (
+        ("max_jobs", args.max_jobs),
+        ("queue_depth", args.queue_depth),
+        ("client_cap", args.client_cap),
+        ("job_timeout_s", args.job_timeout),
+    ):
+        if value is not None:
+            kwargs[name] = value
+    config = ServiceConfig(
+        state_dir=str(args.state),
+        socket_path=None if args.socket is None else str(args.socket),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store_dir=None if args.store is None else str(args.store),
+        **kwargs,
+    )
+    service = CampaignService(config)
+
+    async def _serve():
+        loop = asyncio.get_event_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, service.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        endpoint = config.socket_path or f"{config.host}:{config.port}"
+        print(f"campaign daemon listening on {endpoint} "
+              f"(state {config.state_dir})", flush=True)
+        await service.serve()
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_bundle(args) -> int:
+    pipeline = _pipeline(args)
+    path = pipeline.campaign_bundle(args.output, kind=args.kind)
+    print(f"wrote {args.kind} bundle {path}")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    client = _service_client(args)
+    job_id = client.submit(
+        str(args.bundle),
+        kind=args.kind,
+        priority=args.priority,
+        timeout_s=args.timeout,
+        workers=args.job_workers,
+    )
+    print(job_id)
+    if args.wait:
+        job = client.wait(job_id)
+        print(f"{job_id}: {job['state']}"
+              + (f" ({job['error']})" if job.get("error") else ""))
+        for key, value in sorted((job.get("summary") or {}).items()):
+            print(f"  {key}: {value}")
+        return 0 if job["state"] == "done" else 1
+    return 0
+
+
+def _cmd_status(args) -> int:
+    client = _service_client(args)
+    if args.job is None:
+        for job in client.jobs():
+            progress = f" {job['done']}/{job['total']}" if job["total"] else ""
+            print(f"{job['id']}  {job['kind']:<8} {job['state']:<9}"
+                  f" client={job['client']}{progress}")
+        return 0
+    job = client.status(args.job)
+    for key in ("id", "kind", "state", "client", "attempts", "done", "total",
+                "error"):
+        if job.get(key) not in (None, ""):
+            print(f"{key}: {job[key]}")
+    for key, value in sorted((job.get("summary") or {}).items()):
+        print(f"summary.{key}: {value}")
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    state = _service_client(args).cancel(args.job)
+    print(f"{args.job}: {state}")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    client = _service_client(args)
+    for event in client.watch(args.job):
+        kind = event.get("event")
+        if kind == "progress":
+            print(f"{args.job}: {event['done']}/{event['total']}", flush=True)
+        elif kind == "state":
+            print(f"{args.job}: {event['state']}", flush=True)
+        elif kind == "end":
+            error = f" ({event['error']})" if event.get("error") else ""
+            print(f"{args.job}: {event['state']}{error}", flush=True)
+            return 0 if event["state"] == "done" else 1
+    return 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "train": _cmd_train,
@@ -416,6 +603,12 @@ _COMMANDS = {
     "catalog": _cmd_catalog,
     "report": _cmd_report,
     "store": _cmd_store,
+    "serve": _cmd_serve,
+    "bundle": _cmd_bundle,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "cancel": _cmd_cancel,
+    "watch": _cmd_watch,
 }
 
 

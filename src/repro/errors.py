@@ -65,6 +65,25 @@ class StoreError(ReproError):
     never an error — only a record that exists but cannot be trusted."""
 
 
+class ServiceError(ReproError):
+    """A campaign-service request could not be honoured: malformed or
+    oversized protocol frame, unknown operation, admission rejection
+    (queue full, per-client cap), or an unusable job/bundle.  Carries a
+    machine-readable ``code`` alongside the message."""
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class JobCancelledError(ReproError):
+    """A service job was cancelled cooperatively (client ``repro cancel``,
+    deadline expiry, or daemon shutdown).  Raised from inside the
+    campaign's progress ticks so every resource-releasing ``finally``
+    block — spool dirs, shm arenas, worker processes — runs on the way
+    out."""
+
+
 class WorkerFailureError(ReproError):
     """A campaign worker process failed in a way the supervisor could not
     recover from (or reported an error it could not transport)."""

@@ -366,6 +366,41 @@ class ExperimentPipeline:
         return detection
 
     # ------------------------------------------------------------------
+    def campaign_bundle(self, path, kind: str = "verify"):
+        """Write the self-contained campaign bundle ``repro submit`` sends
+        to the campaign daemon (see :mod:`repro.service`).
+
+        A ``verify`` bundle carries the trained network, the generated
+        stimulus, and the fault catalog — the daemon re-runs the final
+        coverage campaign on them; a ``generate`` bundle carries the
+        network, the generation config, and the pipeline seed.
+        """
+        from repro.service.jobs import save_campaign_bundle
+
+        if kind == "verify":
+            payload = {
+                "kind": "verify",
+                "network": self.network(),
+                "stimulus": self.generation().stimulus,
+                "faults": self.catalog().faults,
+                "fault_config": self.fault_config,
+                "options": {
+                    "segmented": not self.detect_assembled,
+                    "exact_metrics": not self.fast_metrics,
+                },
+            }
+        elif kind == "generate":
+            payload = {
+                "kind": "generate",
+                "network": self.network(),
+                "config": self.definition.testgen_config,
+                "seed": self.seed,
+            }
+        else:
+            raise ValueError(f"unknown bundle kind {kind!r}")
+        return save_campaign_bundle(path, payload)
+
+    # ------------------------------------------------------------------
     def coverage(self) -> CoverageBreakdown:
         """Table III coverage breakdown, with exact accuracy drops for the
         undetected critical faults."""

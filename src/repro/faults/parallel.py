@@ -100,10 +100,6 @@ HEARTBEAT_TIMEOUT_ENV = "REPRO_HEARTBEAT_TIMEOUT"
 SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
 MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
 
-# Campaign state inherited by forked workers (set in the parent immediately
-# before workers are launched; never mutated while any worker is alive).
-_SHARED: dict = {}
-
 # Spool directories of in-flight campaigns.  Each campaign removes its own
 # directory on the way out (including abort paths — the frontends close
 # their shard generators explicitly); the atexit sweep only catches a
@@ -234,9 +230,14 @@ class SupervisionConfig:
 
 
 # ----------------------------------------------------------------------
-def _detect_shard(bounds: Tuple[int, int]):
+# Shard worker functions.  ``shared`` is the campaign's state dict, passed
+# explicitly from the parent: forked workers receive it through Process
+# args — which the fork start method inherits by memory, never pickles —
+# so the golden tensors still ride copy-on-write pages, and two campaigns
+# running concurrently in one process (the campaign service) can never
+# see each other's state.
+def _detect_shard(bounds: Tuple[int, int], shared: dict):
     lo, hi = bounds
-    shared = _SHARED
     simulator: FaultSimulator = shared["simulator"]
     result = simulator.detect(
         shared["stimulus"],
@@ -258,7 +259,7 @@ def _detect_shard(bounds: Tuple[int, int]):
     return lo, result.detected, result.output_l1, result.class_count_diff
 
 
-def _detect_seg_shard(bounds: Tuple[int, int]):
+def _detect_seg_shard(bounds: Tuple[int, int], shared: dict):
     """Segment-wise detection shard.  No golden cache is shipped: each
     worker advances its own fault-free network segment by segment (see
     :class:`repro.faults.segmented.GoldenSegmentRunner`), so the parent
@@ -271,7 +272,6 @@ def _detect_seg_shard(bounds: Tuple[int, int]):
     from repro.faults.store import chain_to_array
 
     lo, hi = bounds
-    shared = _SHARED
     simulator: FaultSimulator = shared["simulator"]
     drop_detected, divergence_exit, compact_batches = shared["seg_options"]
     result = simulator.detect_segmented(
@@ -293,9 +293,8 @@ def _detect_seg_shard(bounds: Tuple[int, int]):
     return lo, result.detected, result.output_l1, result.class_count_diff, chain
 
 
-def _classify_shard(bounds: Tuple[int, int]):
+def _classify_shard(bounds: Tuple[int, int], shared: dict):
     lo, hi = bounds
-    shared = _SHARED
     simulator: FaultSimulator = shared["simulator"]
     result = simulator.classify(
         shared["inputs"],
@@ -313,7 +312,7 @@ def _classify_shard(bounds: Tuple[int, int]):
     return lo, result.critical, result.accuracy_drop
 
 
-def _shard_entry(worker_fn, bounds, attempt, heartbeat, interval, conn, out_path):
+def _shard_entry(worker_fn, shared, bounds, attempt, heartbeat, interval, conn, out_path):
     """Forked worker body: beat, compute, deliver via spool file + signal
     byte.  Any exception is transported to the parent for re-raising."""
     stop = threading.Event()
@@ -333,7 +332,7 @@ def _shard_entry(worker_fn, bounds, attempt, heartbeat, interval, conn, out_path
             time.sleep(chaos.hang_seconds())
         if action == "raise":
             raise ChaosError(f"chaos raise in shard {bounds[0]} attempt {attempt}")
-        status = ("ok", worker_fn(bounds))
+        status = ("ok", worker_fn(bounds, shared))
     except BaseException as exc:  # noqa: BLE001 - transported to the parent
         try:
             pickle.dumps(exc)
@@ -366,13 +365,13 @@ class _ShardRun:
     out_path: str
 
 
-def _launch(ctx, worker_fn, bounds, attempt, supervision, spool_dir) -> _ShardRun:
+def _launch(ctx, worker_fn, shared, bounds, attempt, supervision, spool_dir) -> _ShardRun:
     recv_conn, send_conn = ctx.Pipe(duplex=False)
     heartbeat = ctx.RawValue("d", time.monotonic())
     out_path = os.path.join(spool_dir, f"shard{bounds[0]}-a{attempt}.pkl")
     process = ctx.Process(
         target=_shard_entry,
-        args=(worker_fn, bounds, attempt, heartbeat,
+        args=(worker_fn, shared, bounds, attempt, heartbeat,
               supervision.heartbeat_interval, send_conn, out_path),
         daemon=True,
     )
@@ -422,6 +421,7 @@ def _reap(rec: _ShardRun, kill: bool = False):
 
 def _supervised_run(
     worker_fn,
+    shared: dict,
     pending: Sequence[Tuple[int, int]],
     workers: int,
     supervision: SupervisionConfig,
@@ -503,7 +503,8 @@ def _supervised_run(
                 and queue[0][0] <= now
             ):
                 _, _, bounds, attempt = heapq.heappop(queue)
-                rec = _launch(ctx, worker_fn, bounds, attempt, supervision, spool_dir)
+                rec = _launch(ctx, worker_fn, shared, bounds, attempt,
+                              supervision, spool_dir)
                 running[rec.conn] = rec
             if not running:
                 if queue:  # backoff delay before the next retry is due
@@ -538,7 +539,7 @@ def _supervised_run(
         for rec in running.values():
             _reap(rec, kill=True)
     for bounds in fallback:
-        yield bounds, worker_fn(bounds)
+        yield bounds, worker_fn(bounds, shared)
 
 
 # ----------------------------------------------------------------------
@@ -565,12 +566,10 @@ def _run_sharded(
     ``complete`` re-materializes the shard's slice from the views so the
     checkpoint blobs and the yielded payloads are identical either way.
 
-    ``_SHARED`` is populated for the workers (and the in-process fallback)
-    and is *always* cleared on the way out — including when a worker
-    raises — so campaign state never outlives the campaign in the parent.
+    ``shared`` (the campaign's state dict) travels to workers through
+    Process args — inherited by memory under fork, never pickled — so
+    concurrent campaigns in one process stay fully isolated.
     """
-    _SHARED.clear()
-    _SHARED.update(shared)
     spool_dir = None
     try:
         pending = list(bounds)
@@ -602,16 +601,15 @@ def _run_sharded(
             spool_dir = tempfile.mkdtemp(prefix="repro-shards-")
             _SPOOL_DIRS.add(spool_dir)
             for shard, payload in _supervised_run(
-                worker_fn, pending, workers, supervision, health, spool_dir
+                worker_fn, shared, pending, workers, supervision, health, spool_dir
             ):
                 yield complete(shard, payload)
         else:
             for shard in pending:
                 if chaos.strike("shard", key=shard[0], attempt=0) == "raise":
                     raise ChaosError(f"chaos raise in in-process shard {shard[0]}")
-                yield complete(shard, worker_fn(shard))
+                yield complete(shard, worker_fn(shard, shared))
     finally:
-        _SHARED.clear()
         if spool_dir is not None:
             shutil.rmtree(spool_dir, ignore_errors=True)
             _SPOOL_DIRS.discard(spool_dir)
@@ -729,8 +727,8 @@ def parallel_detect(
                 output_l1[lo:hi] = shard_l1
                 class_diff[lo:hi] = shard_diff
         finally:
-            # Closing the generator runs its cleanup *now* (clear _SHARED,
-            # remove the spool dir) even when this merge loop aborts —
+            # Closing the generator runs its cleanup *now* (remove the
+            # spool dir) even when this merge loop aborts —
             # otherwise the suspended generator lives on in the traceback
             # and the spool leaks until garbage collection.
             gen.close()
@@ -777,8 +775,6 @@ def _run_segmented_shards(
     """
     from repro.faults.store import chain_to_array  # deferred; see _detect_seg_shard
 
-    _SHARED.clear()
-    _SHARED.update(shared)
     spool_dir = None
     drop_detected, divergence_exit, compact_batches = shared["seg_options"]
     try:
@@ -828,7 +824,8 @@ def _run_segmented_shards(
             spool_dir = tempfile.mkdtemp(prefix="repro-shards-")
             _SPOOL_DIRS.add(spool_dir)
             for shard, payload in _supervised_run(
-                _detect_seg_shard, pending, workers, supervision, health, spool_dir
+                _detect_seg_shard, shared, pending, workers, supervision, health,
+                spool_dir,
             ):
                 yield complete(shard, payload, ticked=False)
         else:
@@ -878,7 +875,6 @@ def _run_segmented_shards(
                     ticked=True,
                 )
     finally:
-        _SHARED.clear()
         if spool_dir is not None:
             shutil.rmtree(spool_dir, ignore_errors=True)
             _SPOOL_DIRS.discard(spool_dir)

@@ -116,7 +116,7 @@ class ShmArena:
         """Close and unlink every segment (idempotent).
 
         numpy views handed out by :meth:`zeros`/:meth:`share` may still be
-        referenced when this runs (e.g. through ``_SHARED`` during an
+        referenced when this runs (e.g. through campaign state during an
         abort); ``SharedMemory.close`` then raises ``BufferError``, which
         is tolerated — the *unlink* is what prevents a leak, and the
         mapping itself is freed when the last view is garbage collected.

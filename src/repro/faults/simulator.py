@@ -202,14 +202,36 @@ def _rate(detected: np.ndarray, mask: np.ndarray) -> float:
     return float(detected[mask].sum() / total)
 
 
+#: Override the default progress-report cadence (faults per callback).
+#: The campaign service leans on this: progress callbacks double as the
+#: cooperative cancellation / chaos-kill surface, so a small interval
+#: gives fine-grained cancellation latency at the cost of callback churn.
+PROGRESS_INTERVAL_ENV = "REPRO_PROGRESS_INTERVAL"
+
+
+def _default_progress_interval() -> int:
+    raw = os.environ.get(PROGRESS_INTERVAL_ENV, "").strip()
+    if not raw:
+        return 1000
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1000
+
+
 class _ProgressTracker:
     """Rate-limited campaign progress: fires every ``interval`` faults and
     once more at completion (so short campaigns still report)."""
 
-    def __init__(self, progress: Optional[ProgressFn], total: int, interval: int = 1000):
+    def __init__(
+        self,
+        progress: Optional[ProgressFn],
+        total: int,
+        interval: Optional[int] = None,
+    ):
         self.progress = progress
         self.total = total
-        self.interval = interval
+        self.interval = interval if interval is not None else _default_progress_interval()
         self.done = 0
         self._last_reported = -1
 

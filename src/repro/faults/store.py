@@ -54,9 +54,15 @@ from __future__ import annotations
 import hashlib
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+try:  # POSIX only; the store degrades to lock-free atomic writes elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 import numpy as np
 
@@ -175,6 +181,32 @@ class CoverageStore:
     def _path(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}{_RECORD_SUFFIX}"
 
+    @contextmanager
+    def _write_mutex(self):
+        """Cross-process mutex over store mutations (``fcntl`` lockfile at
+        ``root/.lock``).
+
+        Individual record writes were already safe lock-free (atomic
+        rename, first-writer-wins, byte-deterministic content); the mutex
+        exists for *mixed* mutations — a ``gc()`` sweeping temp files and
+        evicting records while campaign workers or service jobs in other
+        processes are mid-write.  Under the lock, GC never deletes a temp
+        file a live writer is about to rename, and a writer never
+        re-creates a record GC believes it has evicted.  On platforms
+        without ``fcntl`` the store falls back to its lock-free behavior.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.root / ".lock"
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(lock_path, "a+b") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
     def has(self, key: str) -> bool:
         return self._path(key).exists()
 
@@ -228,13 +260,16 @@ class CoverageStore:
             return False
         chaos_key = self._write_count
         self._write_count += 1
-        atomic_write_bytes(
-            str(path),
-            payload,
-            chaos_site="store-write",
-            chaos_key=chaos_key,
-            description="store record",
-        )
+        with self._write_mutex():
+            if path.exists():  # raced another writer under the lock
+                return False
+            atomic_write_bytes(
+                str(path),
+                payload,
+                chaos_site="store-write",
+                chaos_key=chaos_key,
+                description="store record",
+            )
         self.writes += 1
         return True
 
@@ -274,8 +309,20 @@ class CoverageStore:
         ``pinned`` keys (e.g. every record a live test set still
         references — a :class:`StoreSession`'s ``touched`` set) are never
         evicted.  Orphaned ``*.tmp.*`` files from torn writes are always
-        swept; GC must not run concurrently with active writers.
+        swept.  The whole sweep runs under the cross-process write mutex,
+        so GC is safe to run while campaign workers or service jobs in
+        other processes are writing (their in-flight temp files are
+        either renamed before the lock is granted or recreated after).
         """
+        with self._write_mutex():
+            return self._gc_locked(max_bytes, max_age_s, pinned)
+
+    def _gc_locked(
+        self,
+        max_bytes: Optional[int],
+        max_age_s: Optional[float],
+        pinned: Iterable[str],
+    ) -> Dict[str, int]:
         pinned = set(pinned)
         removed = 0
         freed = 0

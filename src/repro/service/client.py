@@ -1,0 +1,202 @@
+"""Synchronous client for the campaign daemon.
+
+Plain blocking sockets (the CLI has no event loop) speaking the same
+line-delimited JSON frames.  Connection attempts retry with exponential
+backoff — a client racing a restarting daemon (the crash-resume
+scenario) just waits it out — but *requests* are never replayed
+automatically: submit is not idempotent, so a connection that dies
+mid-request surfaces the error to the caller.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    decode_frame,
+    encode_frame,
+    max_frame_bytes,
+    raise_on_error,
+)
+
+#: Errors that mean "the daemon isn't there (yet)" — retried with backoff.
+_RETRYABLE = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    FileNotFoundError,
+    BrokenPipeError,
+)
+
+
+class ServiceClient:
+    """One client identity talking to one daemon endpoint.
+
+    ``socket_path`` selects a unix socket, else ``(host, port)`` TCP.
+    Each request opens a fresh connection (the protocol is cheap and the
+    daemon multiplexes by connection); ``watch`` holds its connection
+    open for the event stream.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        client: str = "cli",
+        retries: int = 5,
+        backoff_s: float = 0.1,
+        timeout_s: float = 60.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ServiceError(
+                "configure exactly one of socket_path or port", code="bad-config"
+            )
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.client = client
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        """Connect with exponential backoff over retryable errors."""
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            try:
+                if self.socket_path is not None:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(self.timeout_s)
+                    sock.connect(self.socket_path)
+                else:
+                    sock = socket.create_connection(
+                        (self.host, self.port), timeout=self.timeout_s
+                    )
+                return sock
+            except _RETRYABLE as exc:
+                last = exc
+                if attempt < self.retries:
+                    time.sleep(self.backoff_s * (2 ** attempt))
+        raise ServiceError(
+            f"cannot reach campaign daemon: {last}", code="unreachable"
+        ) from last
+
+    @staticmethod
+    def _read_frame(fh) -> Dict[str, Any]:
+        line = fh.readline(max_frame_bytes() + 1)
+        if not line:
+            raise ServiceError(
+                "daemon closed the connection mid-request", code="connection-lost"
+            )
+        return decode_frame(line)
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request → one response (raises on error frames).
+
+        A connection that dies mid-request raises a typed
+        ``connection-lost`` error — never retried here, because the
+        daemon may or may not have acted on the request (submit is not
+        idempotent); the caller decides how to reconcile.
+        """
+        sock = self._connect()
+        try:
+            try:
+                sock.sendall(encode_frame(message))
+                with sock.makefile("rb") as fh:
+                    return raise_on_error(self._read_frame(fh))
+            except OSError as exc:
+                raise ServiceError(
+                    f"connection to daemon lost: {exc}", code="connection-lost"
+                ) from exc
+        finally:
+            sock.close()
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        bundle: str,
+        kind: str = "verify",
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        workers: Optional[int] = None,
+    ) -> str:
+        """Submit a bundle; returns the job id."""
+        message: Dict[str, Any] = {
+            "op": "submit",
+            "client": self.client,
+            "bundle": str(bundle),
+            "kind": kind,
+            "priority": int(priority),
+        }
+        if timeout_s is not None:
+            message["timeout_s"] = timeout_s
+        if workers is not None:
+            message["workers"] = int(workers)
+        return str(self.request(message)["id"])
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "status", "id": job_id})["job"]
+
+    def jobs(self) -> list:
+        return self.request({"op": "jobs"})["jobs"]
+
+    def cancel(self, job_id: str, reason: Optional[str] = None) -> str:
+        message: Dict[str, Any] = {"op": "cancel", "id": job_id}
+        if reason:
+            message["reason"] = reason
+        return str(self.request(message)["state"])
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "result", "id": job_id})
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+    def watch(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield state/progress/end event frames until the job ends."""
+        sock = self._connect()
+        try:
+            try:
+                sock.sendall(encode_frame({"op": "watch", "id": job_id}))
+                with sock.makefile("rb") as fh:
+                    while True:
+                        frame = raise_on_error(self._read_frame(fh))
+                        yield frame
+                        if frame.get("event") == "end":
+                            return
+            except OSError as exc:
+                raise ServiceError(
+                    f"connection to daemon lost: {exc}", code="connection-lost"
+                ) from exc
+        finally:
+            sock.close()
+
+    def wait(
+        self, job_id: str, poll_s: float = 0.2, deadline_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Poll ``status`` until the job is terminal; returns the final
+        record.  Polling (not ``watch``) so it tolerates daemon restarts
+        mid-wait — each poll reconnects with backoff."""
+        started = time.monotonic()
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if (
+                deadline_s is not None
+                and time.monotonic() - started > deadline_s
+            ):
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after {deadline_s}s",
+                    code="wait-timeout",
+                )
+            time.sleep(poll_s)

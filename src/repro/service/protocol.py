@@ -1,0 +1,125 @@
+"""Line-delimited JSON framing for the campaign service.
+
+One frame is one JSON *object* serialized compactly on a single line and
+terminated by ``\\n``.  The encoding is deterministic (sorted keys, no
+whitespace) so identical messages are identical bytes, and the framing is
+self-synchronizing: a reader that drops a torn line resynchronizes at the
+next newline.
+
+Three frame families share the same wire format:
+
+- **requests** (client → server): ``{"op": "<verb>", ...}``;
+- **responses** (server → client): ``{"ok": true, ...}`` or
+  ``{"ok": false, "error": {"code": ..., "message": ...}}``;
+- **events** (server → client, during ``watch``): ``{"ok": true,
+  "event": "state"|"progress"|"end", ...}``.
+
+Anything that cannot be decoded into a JSON object within the size limit
+raises a typed :class:`~repro.errors.ServiceError` — malformed frames are
+protocol errors, never silent skips (pinned by
+``tests/service/test_protocol.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+from repro.errors import ServiceError
+
+#: Hard cap on one frame's size in bytes (``REPRO_SERVICE_MAX_FRAME``).
+#: Frames carry paths, status, and small metric summaries — never arrays —
+#: so the default is deliberately small backpressure against abuse.
+MAX_FRAME_ENV = "REPRO_SERVICE_MAX_FRAME"
+DEFAULT_MAX_FRAME = 1 << 20
+
+
+def max_frame_bytes() -> int:
+    """Effective frame-size limit (``$REPRO_SERVICE_MAX_FRAME``, else 1 MiB)."""
+    raw = os.environ.get(MAX_FRAME_ENV, "").strip()
+    if not raw:
+        return DEFAULT_MAX_FRAME
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ServiceError(
+            f"{MAX_FRAME_ENV} must be an integer, got {raw!r}", code="bad-config"
+        ) from None
+    return max(1024, value)
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize ``message`` to one deterministic wire frame.
+
+    Refuses non-dict payloads and frames over the size limit — an
+    oversized *outgoing* frame is a caller bug that must fail loudly here
+    rather than poison the stream.
+    """
+    if not isinstance(message, dict):
+        raise ServiceError(
+            f"protocol frames must be JSON objects, got {type(message).__name__}",
+            code="bad-frame",
+        )
+    try:
+        line = json.dumps(
+            message, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"unserializable frame: {exc}", code="bad-frame") from exc
+    data = line.encode("utf-8") + b"\n"
+    limit = max_frame_bytes()
+    if len(data) > limit:
+        raise ServiceError(
+            f"frame of {len(data)} bytes exceeds the {limit}-byte limit",
+            code="frame-too-large",
+        )
+    return data
+
+
+def decode_frame(data: bytes) -> Dict[str, Any]:
+    """Parse one received line back into a frame dict.
+
+    Raises :class:`ServiceError` (``code="frame-too-large"`` or
+    ``"bad-frame"``) for oversized, non-UTF-8, non-JSON, or non-object
+    payloads.  An empty line is malformed too — the protocol has no
+    keepalive frames.
+    """
+    limit = max_frame_bytes()
+    if len(data) > limit:
+        raise ServiceError(
+            f"frame of {len(data)} bytes exceeds the {limit}-byte limit",
+            code="frame-too-large",
+        )
+    stripped = data.strip()
+    if not stripped:
+        raise ServiceError("empty protocol frame", code="bad-frame")
+    try:
+        message = json.loads(stripped.decode("utf-8"))
+    except UnicodeDecodeError as exc:
+        raise ServiceError(f"frame is not UTF-8: {exc}", code="bad-frame") from exc
+    except ValueError as exc:
+        raise ServiceError(f"frame is not JSON: {exc}", code="bad-frame") from exc
+    if not isinstance(message, dict):
+        raise ServiceError(
+            f"frame must be a JSON object, got {type(message).__name__}",
+            code="bad-frame",
+        )
+    return message
+
+
+def error_frame(exc: Exception, code: str = "error") -> Dict[str, Any]:
+    """The response frame for a failed request."""
+    actual = getattr(exc, "code", code)
+    return {"ok": False, "error": {"code": actual, "message": str(exc)}}
+
+
+def raise_on_error(frame: Dict[str, Any]) -> Dict[str, Any]:
+    """Client-side: turn an error response back into a typed exception."""
+    if frame.get("ok"):
+        return frame
+    error = frame.get("error") or {}
+    raise ServiceError(
+        str(error.get("message", "request failed")),
+        code=str(error.get("code", "error")),
+    )

@@ -1,0 +1,114 @@
+"""Worker-lease scheduling: one supervised-pool budget shared across jobs.
+
+Every campaign engine in :mod:`repro.faults.parallel` forks its own
+supervised workers; run naively, N concurrent service jobs would fork
+N × ``$REPRO_WORKERS`` processes and thrash the machine.  The scheduler
+instead owns a single worker *budget* (the same number one standalone
+campaign would use) and leases slices of it to jobs: a job asks for the
+workers it wants, is granted what the pool can spare — never less than
+one, so a saturated pool degrades to serial in-process execution rather
+than blocking — and returns the lease when it finishes.  Concurrency
+comes from jobs running side by side on partial leases, not from
+overcommitting the host.
+
+The budget also degrades gracefully: each finished campaign reports its
+:class:`~repro.faults.simulator.CampaignHealth`, and crash/hang events
+shrink the effective budget (never below one).  Once cumulative failures
+cross the pool's failure budget the scheduler pins every later job to
+serial execution — the same "pool declared unhealthy" posture the
+supervised pool itself takes within one campaign, lifted across jobs.
+
+The scheduler is synchronous and lock-protected; the daemon calls it
+from the event loop and from runner threads alike.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.faults.parallel import SupervisionConfig, resolve_workers
+
+
+class WorkerLeases:
+    """Lease accounting over one shared worker budget.
+
+    ``total`` is the full budget (defaults to the environment's
+    ``$REPRO_WORKERS``); ``failure_budget`` the cross-job crash/hang
+    allowance (defaults to the supervised pool's own rule,
+    ``max(4, 2 * total)``).
+    """
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        failure_budget: Optional[int] = None,
+    ) -> None:
+        self.total = resolve_workers(total)
+        self.failure_budget = (
+            failure_budget
+            if failure_budget is not None
+            else SupervisionConfig().effective_failure_budget(self.total)
+        )
+        self.failures = 0
+        self.leased = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether cumulative worker failures blew the cross-job budget
+        (all later jobs run serially)."""
+        with self._lock:
+            return self.failures >= self.failure_budget
+
+    def effective_total(self) -> int:
+        """The budget after failure-driven shrinkage: each crash/hang
+        permanently retires one slot, and a blown failure budget retires
+        all of them (floor 1 — serial execution always remains)."""
+        if self.failures >= self.failure_budget:
+            return 1
+        return max(1, self.total - self.failures)
+
+    def available(self) -> int:
+        with self._lock:
+            return max(0, self.effective_total() - self.leased)
+
+    # ------------------------------------------------------------------
+    def lease(self, want: Optional[int] = None) -> int:
+        """Grant up to ``want`` workers (``None`` = everything spare).
+
+        Always grants at least 1: a job dispatched against an exhausted
+        pool runs serially in-process (the engines' ``workers=1`` path)
+        instead of waiting — admission control upstream bounds how many
+        jobs can be dispatched at once, so the overcommit is at most one
+        serial campaign per running job.
+        """
+        with self._lock:
+            spare = max(0, self.effective_total() - self.leased)
+            want = spare if want is None else max(1, int(want))
+            granted = max(1, min(want, spare))
+            self.leased += granted
+            return granted
+
+    def release(self, granted: int, health=None) -> None:
+        """Return a lease, folding the campaign's health report into the
+        cross-job failure accounting."""
+        with self._lock:
+            self.leased = max(0, self.leased - int(granted))
+            if health is not None:
+                self.failures += int(
+                    getattr(health, "crashes", 0) + getattr(health, "hangs", 0)
+                )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "total": self.total,
+                "effective": self.effective_total(),
+                "leased": self.leased,
+                "failures": self.failures,
+                "failure_budget": self.failure_budget,
+                "degraded": self.failures >= self.failure_budget,
+            }

@@ -37,6 +37,18 @@ Sites currently instrumented:
   temp file and raises (the atomic replace keeps any previous record
   intact); re-running the campaign against the same store must rebuild a
   bit-identical store tree (``tests/chaos/test_store_resume.py``).
+- ``service-accept`` — in the campaign daemon, once per accepted client
+  connection, keyed by a running accept counter.  ``raise``/``crash``
+  close the connection before any frame is read (clients retry with
+  backoff).
+- ``service-dispatch`` — in the daemon's dispatcher, once per job
+  dispatch, keyed by a running dispatch counter.  ``raise``/``crash``
+  fail that job with a typed error instead of starting it.
+- ``service-kill`` — at every job progress tick in the daemon's runner,
+  keyed by a per-process running tick counter across all jobs.  ``crash``
+  ``os._exit``\\ s the whole daemon mid-job — the kill-restart-resume
+  scenario of ``tests/chaos/test_service_resume.py`` — while ``raise``
+  fails the job and leaves the daemon up.
 
 Policies install programmatically (:func:`install` / the
 :func:`installed` context manager) — forked workers inherit the installed

@@ -18,7 +18,7 @@ import tempfile
 import numpy as np
 import pytest
 
-from repro.errors import ChaosError
+from repro.errors import ChaosError, JobCancelledError
 from repro.faults import parallel as parallel_mod
 from repro.faults import shm
 from repro.faults.parallel import (
@@ -145,7 +145,6 @@ class TestFailureLifecycle:
                     workers=WORKERS,
                     supervision=tight_supervision,
                 )
-        assert parallel_mod._SHARED == {}
         assert _my_segments() == []
         assert _spool_dirs() <= spools_before
         assert not parallel_mod._SPOOL_DIRS
@@ -176,7 +175,42 @@ class TestFailureLifecycle:
                 supervision=tight_supervision,
                 progress=interrupt,
             )
-        assert parallel_mod._SHARED == {}
+        assert _my_segments() == []
+        assert _spool_dirs() <= spools_before
+        assert not parallel_mod._SPOOL_DIRS
+
+    def test_service_cancel_mid_shard_releases_everything(
+        self, chaos_campaign, tight_supervision, shm_on, monkeypatch
+    ):
+        """The campaign service's cancellation path: a ``CancelToken``
+        trips inside a progress callback mid-shard, the engine unwinds
+        through :class:`~repro.errors.JobCancelledError`, and no shm
+        segment or spool directory survives — a daemon-side cancel must
+        free every worker resource, not just mark the job cancelled."""
+        from repro.service.runner import CancelToken
+
+        monkeypatch.setattr(
+            parallel_mod,
+            "_ProgressTracker",
+            lambda progress, total: _ProgressTracker(progress, total, interval=1),
+        )
+        token = CancelToken()
+
+        def progress(done, total):
+            # Cancel as soon as the first shard lands, mid-campaign.
+            token.cancel("daemon-side cancel")
+            token.raise_if_cancelled()
+
+        spools_before = _spool_dirs()
+        with pytest.raises(JobCancelledError):
+            parallel_detect(
+                chaos_campaign["simulator"],
+                chaos_campaign["stimulus"],
+                chaos_campaign["faults"],
+                workers=WORKERS,
+                supervision=tight_supervision,
+                progress=progress,
+            )
         assert _my_segments() == []
         assert _spool_dirs() <= spools_before
         assert not parallel_mod._SPOOL_DIRS

@@ -144,13 +144,13 @@ class TestHangRecovery:
 
 
 class TestWorkerErrors:
-    def test_worker_exception_reraised_and_shared_cleared(
+    def test_worker_exception_reraised_and_no_spool_leak(
         self, chaos_campaign, tight_supervision
     ):
         """A deterministic library error in a worker is not retried — it
-        re-raises in the parent — and the `_SHARED` campaign state must
-        not leak (regression: the pre-supervision engine only cleared it
-        on the happy path of the generator)."""
+        re-raises in the parent — and the abort path must not leak spool
+        directories (campaign state now travels per-call, so there is no
+        module-global to leak)."""
         with _policy("raise@shard:0#0"):
             with pytest.raises(ChaosError):
                 parallel_detect(
@@ -160,11 +160,11 @@ class TestWorkerErrors:
                     workers=WORKERS,
                     supervision=tight_supervision,
                 )
-        assert parallel_mod._SHARED == {}
+        assert not parallel_mod._SPOOL_DIRS
 
-    def test_in_process_raise_also_clears_shared(self, chaos_campaign, tmp_path):
-        """The sharded in-process path (serial + checkpoint) clears
-        ``_SHARED`` when a shard raises, too."""
+    def test_in_process_raise_cleans_up_too(self, chaos_campaign, tmp_path):
+        """The sharded in-process path (serial + checkpoint) also aborts
+        cleanly when a shard raises."""
         with _policy("raise@shard:0#0"):
             with pytest.raises(ChaosError):
                 parallel_detect(
@@ -174,7 +174,7 @@ class TestWorkerErrors:
                     workers=1,
                     checkpoint_path=str(tmp_path / "campaign.ckpt"),
                 )
-        assert parallel_mod._SHARED == {}
+        assert not parallel_mod._SPOOL_DIRS
 
 
 class TestCheckpointedCampaigns:

@@ -1,0 +1,325 @@
+"""Daemon contracts: bit-identical campaign execution, admission control,
+cancellation, deadlines, event streams, and wire-level robustness.
+
+The daemon runs in a background thread of the test process (so its forked
+campaign workers and monkeypatched seams are shared); clients talk to it
+over its real unix socket.
+"""
+
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import JobCancelledError, ServiceError
+from repro.service.protocol import MAX_FRAME_ENV, decode_frame
+import repro.service.daemon as daemon_mod
+
+from tests.service.conftest import assert_result_matches
+
+
+def _blocking_runner(started, release):
+    """A stand-in for run_job that parks until cancelled (or released),
+    recording dispatch order — full control over daemon occupancy."""
+
+    def run_job(record, store, workers, token, emit=None, store_dir=None):
+        started.append(record.spec.id)
+        while not token.cancelled:
+            if release.is_set():
+                from repro.service.runner import JobOutcome
+
+                return JobOutcome(summary={"blocked": True}, result_digest="")
+            time.sleep(0.005)
+        raise JobCancelledError(token.reason)
+
+    return run_job
+
+
+class TestExecution:
+    def test_single_job_bit_identical(self, daemon, service_campaign,
+                                      verify_bundle):
+        harness = daemon()
+        client = harness.client()
+        job_id = client.submit(verify_bundle)
+        job = client.wait(job_id, deadline_s=120)
+        assert job["state"] == "done"
+        result = client.result(job_id)
+        assert_result_matches(result["result_path"], service_campaign["serial"])
+
+    def test_eight_concurrent_clients_bit_identical(
+        self, daemon, service_campaign, verify_bundle
+    ):
+        """The acceptance bar: 8 campaigns through one daemon, each from
+        its own client, all bit-identical to the serial reference."""
+        harness = daemon(max_jobs=4, client_cap=8, queue_depth=16)
+
+        def one(index):
+            client = harness.client(name=f"client{index}")
+            job_id = client.submit(verify_bundle)
+            job = client.wait(job_id, deadline_s=300)
+            return job_id, job
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(one, range(8)))
+        assert len({job_id for job_id, _ in outcomes}) == 8
+        reader = harness.client()
+        for job_id, job in outcomes:
+            assert job["state"] == "done", (job_id, job.get("error"))
+            result = reader.result(job_id)
+            assert_result_matches(
+                result["result_path"], service_campaign["serial"]
+            )
+
+    def test_generate_job_runs(self, daemon, service_campaign, tmp_path):
+        from repro.core.config import TestGenConfig
+        from repro.service import save_campaign_bundle
+
+        bundle = tmp_path / "generate.bundle"
+        save_campaign_bundle(
+            bundle,
+            {
+                "kind": "generate",
+                "network": service_campaign["network"],
+                "config": TestGenConfig(
+                    t_in_min=6,
+                    steps_stage1=12,
+                    steps_stage2=6,
+                    max_iterations=2,
+                    stall_iterations=2,
+                    time_limit_s=600.0,
+                ),
+                "seed": 7,
+            },
+        )
+        harness = daemon()
+        client = harness.client()
+        job_id = client.submit(str(bundle), kind="generate")
+        job = client.wait(job_id, deadline_s=300)
+        assert job["state"] == "done", job.get("error")
+        assert job["summary"]["num_chunks"] >= 1
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejection(self, daemon, verify_bundle, monkeypatch):
+        started, release = [], threading.Event()
+        monkeypatch.setattr(
+            daemon_mod, "run_job", _blocking_runner(started, release)
+        )
+        harness = daemon(max_jobs=1, queue_depth=1, client_cap=8)
+        client = harness.client()
+        running = client.submit(verify_bundle)  # occupies the one slot
+        _wait_for(lambda: started, "first job dispatch")
+        queued = client.submit(verify_bundle)  # fills the queue
+        with pytest.raises(ServiceError) as err:
+            client.submit(verify_bundle)
+        assert err.value.code == "queue-full"
+        release.set()
+        assert client.wait(running, deadline_s=30)["state"] == "done"
+        assert client.wait(queued, deadline_s=30)["state"] == "done"
+
+    def test_client_cap_rejection(self, daemon, verify_bundle, monkeypatch):
+        started, release = [], threading.Event()
+        monkeypatch.setattr(
+            daemon_mod, "run_job", _blocking_runner(started, release)
+        )
+        harness = daemon(max_jobs=1, queue_depth=8, client_cap=1)
+        greedy = harness.client(name="greedy")
+        job = greedy.submit(verify_bundle)
+        with pytest.raises(ServiceError) as err:
+            greedy.submit(verify_bundle)
+        assert err.value.code == "client-cap"
+        # Another client is unaffected by the greedy one's cap.
+        other = harness.client(name="other").submit(verify_bundle)
+        release.set()
+        assert greedy.wait(job, deadline_s=30)["state"] == "done"
+        assert greedy.wait(other, deadline_s=30)["state"] == "done"
+
+    def test_priority_orders_dispatch(self, daemon, verify_bundle, monkeypatch):
+        started, release = [], threading.Event()
+        monkeypatch.setattr(
+            daemon_mod, "run_job", _blocking_runner(started, release)
+        )
+        harness = daemon(max_jobs=1, queue_depth=8)
+        client = harness.client()
+        filler = client.submit(verify_bundle)
+        _wait_for(lambda: started, "filler dispatch")
+        low = client.submit(verify_bundle, priority=5)
+        high = client.submit(verify_bundle, priority=0)
+        client.cancel(filler)
+        _wait_for(lambda: len(started) >= 2, "second dispatch")
+        assert started[1] == high
+        release.set()
+        client.wait(low, deadline_s=30)
+        assert client.status(filler)["state"] == "cancelled"
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, daemon, verify_bundle, monkeypatch):
+        started, release = [], threading.Event()
+        monkeypatch.setattr(
+            daemon_mod, "run_job", _blocking_runner(started, release)
+        )
+        harness = daemon(max_jobs=1)
+        client = harness.client()
+        running = client.submit(verify_bundle)
+        queued = client.submit(verify_bundle)
+        assert client.cancel(queued) in ("queued", "cancelled")
+        assert client.wait(queued, deadline_s=10)["state"] == "cancelled"
+        release.set()
+        assert client.wait(running, deadline_s=30)["state"] == "done"
+        assert started == [running]  # the cancelled job never dispatched
+
+    def test_cancel_running_campaign(self, daemon, verify_bundle, monkeypatch):
+        """Cancelling a live campaign: the token trips at a progress tick
+        inside the real engine and the job ends CANCELLED."""
+        monkeypatch.setenv("REPRO_PROGRESS_INTERVAL", "1")
+        harness = daemon(workers=1)
+        client = harness.client()
+        job_id = client.submit(verify_bundle)
+        _wait_for(
+            lambda: client.status(job_id)["state"] in ("running", "done"),
+            "job start",
+        )
+        client.cancel(job_id, reason="operator said stop")
+        job = client.wait(job_id, deadline_s=60)
+        # A fast campaign may legitimately finish before the token trips.
+        assert job["state"] in ("cancelled", "done")
+        if job["state"] == "cancelled":
+            assert "operator said stop" in job["error"]
+
+    def test_deadline_cancels_job(self, daemon, verify_bundle, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS_INTERVAL", "1")
+        harness = daemon(workers=1)
+        client = harness.client()
+        job_id = client.submit(verify_bundle, timeout_s=1e-6)
+        job = client.wait(job_id, deadline_s=60)
+        assert job["state"] == "cancelled"
+        assert "deadline" in job["error"]
+
+
+class TestRestart:
+    def test_graceful_shutdown_requeues_and_next_daemon_finishes(
+        self, tmp_path, service_campaign, verify_bundle, monkeypatch
+    ):
+        from tests.service.conftest import DaemonHarness
+
+        started, release = [], threading.Event()
+        monkeypatch.setattr(
+            daemon_mod, "run_job", _blocking_runner(started, release)
+        )
+        first = DaemonHarness(tmp_path, max_jobs=1).start()
+        client = first.client()
+        job_id = client.submit(verify_bundle)
+        _wait_for(lambda: started, "job dispatch")
+        first.stop()  # graceful: the in-flight job goes back to QUEUED
+        record = first.service.store.load(job_id)
+        assert record.state.value == "queued"
+
+        monkeypatch.undo()  # the real runner for the second daemon
+        second = DaemonHarness(tmp_path, max_jobs=1).start()
+        try:
+            job = second.client().wait(job_id, deadline_s=120)
+            assert job["state"] == "done"
+            assert job["attempts"] == 2
+            result = second.client().result(job_id)
+            assert_result_matches(
+                result["result_path"], service_campaign["serial"]
+            )
+        finally:
+            second.stop()
+
+
+class TestWire:
+    def _raw(self, harness, payload, read_n=1):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(10)
+        sock.connect(harness.socket_path)
+        try:
+            sock.sendall(payload)
+            frames = []
+            with sock.makefile("rb") as fh:
+                for _ in range(read_n):
+                    line = fh.readline()
+                    if not line:
+                        break
+                    frames.append(decode_frame(line))
+            return frames
+        finally:
+            sock.close()
+
+    def test_malformed_frame_gets_typed_error(self, daemon):
+        harness = daemon()
+        frames = self._raw(harness, b"this is not json\n")
+        assert frames and frames[0]["ok"] is False
+        assert frames[0]["error"]["code"] == "bad-frame"
+
+    def test_connection_survives_malformed_frame(self, daemon):
+        harness = daemon()
+        frames = self._raw(
+            harness, b"garbage\n" + b'{"op":"ping"}\n', read_n=2
+        )
+        assert frames[0]["error"]["code"] == "bad-frame"
+        assert frames[1]["ok"] is True and frames[1]["pong"] is True
+
+    def test_oversized_frame_rejected_and_closed(self, daemon, monkeypatch):
+        monkeypatch.setenv(MAX_FRAME_ENV, "1024")
+        harness = daemon()  # started under the small limit
+        frames = self._raw(
+            harness, b'{"op":"ping","pad":"' + b"x" * 4096 + b'"}\n'
+        )
+        assert frames and frames[0]["error"]["code"] == "frame-too-large"
+
+    def test_unknown_op_rejected(self, daemon):
+        harness = daemon()
+        with pytest.raises(ServiceError) as err:
+            harness.client().request({"op": "frobnicate"})
+        assert err.value.code == "bad-request"
+
+    def test_unknown_job_rejected(self, daemon):
+        harness = daemon()
+        with pytest.raises(ServiceError) as err:
+            harness.client().status("j999999")
+        assert err.value.code == "no-such-job"
+
+    def test_submit_missing_bundle_rejected(self, daemon, tmp_path):
+        harness = daemon()
+        with pytest.raises(ServiceError) as err:
+            harness.client().submit(str(tmp_path / "nope.bundle"))
+        assert err.value.code == "bad-request"
+
+
+class TestWatch:
+    def test_watch_streams_progress_to_end(
+        self, daemon, verify_bundle, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PROGRESS_INTERVAL", "1")
+        harness = daemon(workers=1)
+        client = harness.client()
+        job_id = client.submit(verify_bundle)
+        events = list(client.watch(job_id))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "state"
+        assert kinds[-1] == "end"
+        assert events[-1]["state"] == "done"
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress, "expected at least one progress event"
+        assert progress[-1]["done"] == progress[-1]["total"]
+
+    def test_watch_terminal_job_replays_end(self, daemon, verify_bundle):
+        harness = daemon()
+        client = harness.client()
+        job_id = client.submit(verify_bundle)
+        client.wait(job_id, deadline_s=120)
+        events = list(client.watch(job_id))
+        assert [e["event"] for e in events] == ["state", "end"]
+        assert events[-1]["state"] == "done"
+
+
+def _wait_for(condition, what, deadline_s=30.0):
+    start = time.monotonic()
+    while not condition():
+        if time.monotonic() - start > deadline_s:
+            raise AssertionError(f"timed out waiting for {what}")
+        time.sleep(0.01)

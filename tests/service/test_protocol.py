@@ -1,0 +1,127 @@
+"""Protocol-layer contracts: deterministic framing, typed rejection of
+everything malformed, and the frame-size cap."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    MAX_FRAME_ENV,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    max_frame_bytes,
+    raise_on_error,
+)
+
+# JSON-representable values (no NaN/Inf — the protocol refuses them).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+_frames = st.dictionaries(st.text(max_size=10), _values, max_size=8)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(_frames)
+    def test_encode_decode_round_trip(self, frame):
+        assert decode_frame(encode_frame(frame)) == json.loads(
+            json.dumps(frame)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(_frames)
+    def test_encoding_is_deterministic_single_line(self, frame):
+        data = encode_frame(frame)
+        assert data == encode_frame(dict(reversed(list(frame.items()))))
+        assert data.endswith(b"\n")
+        assert b"\n" not in data[:-1]
+
+
+class TestMalformedFrames:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"\n",
+            b"   \n",
+            b"not json\n",
+            b"[1, 2, 3]\n",  # JSON but not an object
+            b'"string"\n',
+            b"42\n",
+            b'{"torn": tru',
+            b"\xff\xfe invalid utf8\n",
+        ],
+    )
+    def test_malformed_frame_raises_typed_error(self, payload):
+        with pytest.raises(ServiceError) as err:
+            decode_frame(payload)
+        assert err.value.code == "bad-frame"
+
+    def test_non_dict_encode_rejected(self):
+        with pytest.raises(ServiceError) as err:
+            encode_frame(["not", "a", "dict"])
+        assert err.value.code == "bad-frame"
+
+    def test_nan_rejected(self):
+        with pytest.raises(ServiceError) as err:
+            encode_frame({"x": float("nan")})
+        assert err.value.code == "bad-frame"
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ServiceError) as err:
+            encode_frame({"x": object()})
+        assert err.value.code == "bad-frame"
+
+
+class TestSizeCap:
+    def test_oversized_decode_rejected(self, monkeypatch):
+        monkeypatch.setenv(MAX_FRAME_ENV, "1024")
+        assert max_frame_bytes() == 1024
+        with pytest.raises(ServiceError) as err:
+            decode_frame(b'{"pad": "' + b"x" * 2000 + b'"}\n')
+        assert err.value.code == "frame-too-large"
+
+    def test_oversized_encode_rejected(self, monkeypatch):
+        monkeypatch.setenv(MAX_FRAME_ENV, "1024")
+        with pytest.raises(ServiceError) as err:
+            encode_frame({"pad": "x" * 2000})
+        assert err.value.code == "frame-too-large"
+
+    def test_env_floor_and_default(self, monkeypatch):
+        monkeypatch.delenv(MAX_FRAME_ENV, raising=False)
+        assert max_frame_bytes() == 1 << 20
+        monkeypatch.setenv(MAX_FRAME_ENV, "7")  # below the floor
+        assert max_frame_bytes() == 1024
+        monkeypatch.setenv(MAX_FRAME_ENV, "junk")
+        with pytest.raises(ServiceError):
+            max_frame_bytes()
+
+
+class TestErrorFrames:
+    def test_error_frame_round_trip(self):
+        frame = error_frame(ServiceError("queue is full", code="queue-full"))
+        decoded = decode_frame(encode_frame(frame))
+        with pytest.raises(ServiceError) as err:
+            raise_on_error(decoded)
+        assert err.value.code == "queue-full"
+        assert "queue is full" in str(err.value)
+
+    def test_ok_frame_passes_through(self):
+        frame = {"ok": True, "id": "j000001"}
+        assert raise_on_error(frame) is frame
