@@ -110,6 +110,15 @@ _SPOOL_DIRS: set = set()
 #: through the shared-memory arena instead of the pickled spool file.
 _SHM_DELIVERED = "shm"
 
+#: Serializes fork points.  The campaign service forks shard workers from
+#: a multi-threaded parent (the daemon's asyncio loop plus one executor
+#: thread per running job); two threads forking concurrently can hand a
+#: child a copy of internal locks (import lock, logging, allocator) held
+#: mid-operation by the *other* thread, deadlocking the child.  Held only
+#: around ``Process.start()`` so concurrent campaigns still overlap
+#: everywhere else.
+_FORK_LOCK = threading.Lock()
+
 
 def _sweep_spools() -> None:  # pragma: no cover - exercised via chaos tests
     for path in list(_SPOOL_DIRS):
@@ -375,7 +384,8 @@ def _launch(ctx, worker_fn, shared, bounds, attempt, supervision, spool_dir) -> 
               supervision.heartbeat_interval, send_conn, out_path),
         daemon=True,
     )
-    process.start()
+    with _FORK_LOCK:
+        process.start()
     send_conn.close()  # parent keeps only the receive end
     return _ShardRun(
         process=process,
@@ -437,6 +447,12 @@ def _supervised_run(
     exception (deterministic library error) is re-raised immediately.
     """
     ctx = multiprocessing.get_context("fork")
+    # Resolve the workers' deferred imports (see _detect_seg_shard) in the
+    # parent *before* forking: a child forked while another thread holds
+    # the import machinery's lock would deadlock inside the deferred
+    # import.  Once imported here, the children inherit the ready module.
+    import repro.faults.store  # noqa: F401
+
     ticket = itertools.count()
     queue: List[tuple] = [(0.0, next(ticket), b, 0) for b in pending]
     heapq.heapify(queue)

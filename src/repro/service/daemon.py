@@ -37,6 +37,7 @@ import heapq
 import itertools
 import os
 from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import util as mp_util
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set
@@ -63,6 +64,57 @@ DEFAULT_CLIENT_CAP = 8
 
 #: Jobs running concurrently (each on one executor thread).
 DEFAULT_MAX_JOBS = 4
+
+
+def _close_listener_after_fork(service: "CampaignService") -> None:
+    """Runs in every child the daemon forks (campaign shard workers).
+
+    A forked worker inherits every parent fd, including the daemon's
+    listening socket.  If the daemon dies abruptly (``service-kill``
+    chaos, OOM kill) while workers are mid-shard, the orphaned workers
+    would keep the dead daemon's listener alive: clients connect into a
+    backlog nobody will ever accept and see a connection reset only when
+    the orphan finally exits — racing the restarted daemon's fresh
+    socket at the same path.  Closing the inherited listener immediately
+    in the child keeps the listening socket's lifetime exactly the
+    daemon's own.
+    """
+    server = service._server
+    if server is None:
+        return
+    for sock in server.sockets or ():
+        try:
+            os.close(sock.fileno())
+        except (OSError, ValueError):
+            pass
+
+
+def _admit_int(value: Any, name: str) -> int:
+    """Coerce one submit-payload field to ``int`` or raise the typed
+    bad-request rejection the protocol contract promises."""
+    if isinstance(value, bool):
+        raise ServiceError(
+            f"{name} must be an integer, got {value!r}", code="bad-request"
+        )
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"{name} must be an integer, got {value!r}", code="bad-request"
+        ) from None
+
+
+def _admit_float(value: Any, name: str) -> float:
+    if isinstance(value, bool):
+        raise ServiceError(
+            f"{name} must be a number, got {value!r}", code="bad-request"
+        )
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"{name} must be a number, got {value!r}", code="bad-request"
+        ) from None
 
 
 def default_queue_depth() -> int:
@@ -93,8 +145,8 @@ class ServiceConfig:
     client_cap: int = DEFAULT_CLIENT_CAP
     job_timeout_s: Optional[float] = None
     #: Coverage-store directory passed through to verify jobs
-    #: (``None`` = engines' default resolution; ``False`` = disabled).
-    store_dir: Any = None
+    #: (``None`` = no coverage store).
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.queue_depth is None:
@@ -239,14 +291,36 @@ class CampaignService:
             raise ServiceError("submit needs a bundle path", code="bad-request")
         if not Path(bundle).is_file():
             raise ServiceError(f"bundle {bundle} does not exist", code="bad-request")
+        # Validate the numeric fields at admission: a malformed value must
+        # bounce the request typed, never reach the dispatcher or runner
+        # (where it would kill the dispatch loop or fail the job with an
+        # internal traceback).
+        priority = _admit_int(payload.get("priority", 0), "priority")
+        workers = payload.get("workers")
+        if workers is not None:
+            workers = _admit_int(workers, "workers")
+            if workers < 1:
+                raise ServiceError(
+                    f"workers must be >= 1, got {workers}", code="bad-request"
+                )
+        timeout_s = payload.get("timeout_s")
+        if timeout_s is None:
+            timeout_s = self.config.job_timeout_s
+        else:
+            timeout_s = _admit_float(timeout_s, "timeout_s")
+            if timeout_s <= 0:
+                raise ServiceError(
+                    f"timeout_s must be positive, got {timeout_s:g}",
+                    code="bad-request",
+                )
         spec = JobSpec(
             id=self.store.next_id(),
             client=client,
             kind=str(payload.get("kind", "verify")),
             params={"bundle": str(bundle)},
-            priority=int(payload.get("priority", 0)),
-            timeout_s=payload.get("timeout_s", self.config.job_timeout_s),
-            workers=payload.get("workers"),
+            priority=priority,
+            timeout_s=timeout_s,
+            workers=workers,
         )
         record = JobRecord(spec=spec)
         self.store.save(record)  # durable before visible
@@ -265,7 +339,19 @@ class CampaignService:
                 record = self.records.get(job_id)
                 if record is None or record.state is not JobState.QUEUED:
                     continue  # cancelled while queued
-                self._start_job(record)
+                try:
+                    self._start_job(record)
+                except Exception as exc:  # noqa: BLE001 - job failure must
+                    # not kill the dispatcher task (which would silently
+                    # halt all dispatch daemon-wide).
+                    try:
+                        self._transition(record, JobState.FAILED, error=exc)
+                    except Exception:
+                        # Even persisting the failure failed (e.g. disk
+                        # full): record it in memory and keep dispatching.
+                        record.state = JobState.FAILED
+                        record.error = str(exc)
+                        self._publish_end(record)
             await self._wake.wait()
 
     def _start_job(self, record: JobRecord) -> None:
@@ -512,6 +598,10 @@ class CampaignService:
                 self._handle_client, host=self.config.host,
                 port=self.config.port, limit=limit,
             )
+        # Shard workers forked from here on must not inherit the
+        # listener (see _close_listener_after_fork).  The registry holds
+        # the service weakly, so stopped services don't accumulate.
+        mp_util.register_after_fork(self, _close_listener_after_fork)
 
     def request_shutdown(self) -> None:
         if self._shutdown is not None:

@@ -179,6 +179,21 @@ def run_job(
     timeout_s = spec.timeout_s
     if timeout_s is None:
         timeout_s = default_job_timeout()
+    else:
+        # submit() validates at admission; this guards records that
+        # reached disk some other way (hand-edited, older daemons) so a
+        # bad value fails the job typed instead of as a TypeError at the
+        # first progress tick.
+        try:
+            timeout_s = float(timeout_s)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"job {spec.id} has a non-numeric timeout_s "
+                f"{spec.timeout_s!r}",
+                code="bad-request",
+            ) from None
+        if timeout_s <= 0:
+            timeout_s = None
     deadline = _Deadline(token, timeout_s)
     if spec.kind == "verify":
         return _run_verify(record, store, bundle, workers, token, deadline, emit,

@@ -155,6 +155,89 @@ class TestAdmissionControl:
         assert client.status(filler)["state"] == "cancelled"
 
 
+class TestAdmissionValidation:
+    """Malformed numeric submit fields must bounce typed at admission —
+    never be admitted and then kill the dispatcher or the runner."""
+
+    def _submit_raw(self, harness, verify_bundle, **fields):
+        payload = {"op": "submit", "client": "bad", "bundle": verify_bundle}
+        payload.update(fields)
+        return harness.client().request(payload)
+
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {"workers": "lots"},
+            {"workers": 0},
+            {"workers": True},
+            {"priority": "urgent"},
+            {"timeout_s": "soon"},
+            {"timeout_s": -1},
+        ],
+        ids=lambda f: "-".join(f"{k}={v}" for k, v in f.items()),
+    )
+    def test_malformed_field_rejected(self, daemon, verify_bundle, fields):
+        harness = daemon()
+        with pytest.raises(ServiceError) as err:
+            self._submit_raw(harness, verify_bundle, **fields)
+        assert err.value.code == "bad-request"
+
+    def test_daemon_still_dispatches_after_bad_submit(
+        self, daemon, verify_bundle
+    ):
+        """The original failure mode: a non-numeric workers value was
+        admitted and the ValueError killed the dispatch loop, so the
+        daemon accepted jobs but never ran another one."""
+        harness = daemon()
+        with pytest.raises(ServiceError):
+            self._submit_raw(harness, verify_bundle, workers="lots")
+        client = harness.client()
+        job_id = client.submit(verify_bundle)
+        assert client.wait(job_id, deadline_s=120)["state"] == "done"
+
+    def test_dispatch_failure_fails_job_not_dispatcher(
+        self, daemon, verify_bundle, monkeypatch
+    ):
+        """A per-job dispatch error (here: the lease call blowing up)
+        fails that job; the dispatcher survives to run the next one."""
+        harness = daemon(max_jobs=1)
+        original = harness.service.leases.lease
+        blown = []
+
+        def flaky_lease(want=None):
+            if not blown:
+                blown.append(True)
+                raise RuntimeError("lease exploded")
+            return original(want)
+
+        monkeypatch.setattr(harness.service.leases, "lease", flaky_lease)
+        client = harness.client()
+        first = client.submit(verify_bundle)
+        job = client.wait(first, deadline_s=30)
+        assert job["state"] == "failed"
+        assert "lease exploded" in job["error"]
+        second = client.submit(verify_bundle)
+        assert client.wait(second, deadline_s=120)["state"] == "done"
+
+    def test_runner_rejects_nonnumeric_timeout_from_record(
+        self, verify_bundle, tmp_path
+    ):
+        """Defense in depth: a record that reached disk with a bad
+        timeout (older daemon, hand edit) fails typed at job start, not
+        with a TypeError at the first progress tick."""
+        from repro.service.jobs import JobRecord, JobSpec, JobStore
+        from repro.service.runner import CancelToken, run_job
+
+        store = JobStore(tmp_path / "runner-state")
+        spec = JobSpec(
+            id="j000001", client="t", kind="verify",
+            params={"bundle": verify_bundle}, timeout_s="soon",
+        )
+        with pytest.raises(ServiceError) as err:
+            run_job(JobRecord(spec=spec), store, 1, CancelToken())
+        assert err.value.code == "bad-request"
+
+
 class TestCancellation:
     def test_cancel_queued_job(self, daemon, verify_bundle, monkeypatch):
         started, release = [], threading.Event()
@@ -288,6 +371,40 @@ class TestWire:
         with pytest.raises(ServiceError) as err:
             harness.client().submit(str(tmp_path / "nope.bundle"))
         assert err.value.code == "bad-request"
+
+
+def _probe_fd(fd, queue):
+    import os
+
+    try:
+        os.fstat(fd)
+        queue.put("open")
+    except OSError:
+        queue.put("closed")
+
+
+class TestForkHygiene:
+    def test_forked_children_close_inherited_listener(self, daemon):
+        """Forked campaign workers must not inherit the daemon's
+        listening socket: an orphaned worker outliving a crashed daemon
+        would otherwise hold the dead listener open, and clients racing
+        the restart would connect into a backlog nobody accepts."""
+        import multiprocessing
+
+        from repro.faults.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        harness = daemon()
+        fd = harness.service._server.sockets[0].fileno()
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.SimpleQueue()
+        probe = ctx.Process(target=_probe_fd, args=(fd, queue))
+        probe.start()
+        probe.join(timeout=10)
+        assert queue.get() == "closed"
+        # The parent's own listener is untouched.
+        assert harness.client().ping()["pong"] is True
 
 
 class TestWatch:
