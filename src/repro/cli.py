@@ -372,6 +372,20 @@ def _cmd_verify(args) -> int:
         f"neuron {format_percent(coverage.max_drop_undetected_neuron)}, "
         f"synapse {format_percent(coverage.max_drop_undetected_synapse)}"
     )
+    if getattr(args, "verbose", False):
+        detection = pipeline.detection()
+        if detection.dispatch is not None:
+            from repro.snn.events import DispatchStats
+
+            stats = DispatchStats.from_dict(detection.dispatch)
+            print(f"Event dispatch: {stats.summary()}")
+            for name, fields in sorted(detection.dispatch["layers"].items()):
+                print(
+                    f"  {name}: {fields['spikes']} spikes, "
+                    f"{fields['dense_blocks']} dense / "
+                    f"{fields['event_blocks']} event / "
+                    f"{fields['zero_blocks']} zero blocks"
+                )
     return 0
 
 

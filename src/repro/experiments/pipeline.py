@@ -39,6 +39,8 @@ from repro.faults.simulator import (
     FaultSimulator,
 )
 from repro.snn.builder import build_network
+from repro.snn.events import DispatchStats
+from repro.snn.layers import dispatch_layer_names
 from repro.snn.network import SNN
 from repro.training.trainer import Trainer, TrainingResult
 from repro.utils.seeding import SeedSequenceFactory
@@ -329,12 +331,19 @@ class ExperimentPipeline:
         if path.exists():
             with np.load(path) as data:
                 if data["detected"].shape[0] == len(catalog):
+                    dispatch = None
+                    if "dispatch" in data and data["dispatch"].size:
+                        dispatch = DispatchStats.from_vector(
+                            data["dispatch"],
+                            [str(name) for name in data["dispatch_layers"]],
+                        ).as_dict()
                     return DetectionResult(
                         faults=catalog.faults,
                         detected=data["detected"].astype(bool),
                         output_l1=data["output_l1"],
                         class_count_diff=data["class_count_diff"],
                         wall_time=float(data["wall_time"]),
+                        dispatch=dispatch,
                     )
         generation = self.generation()
         self.log(f"[{self.definition.cache_key}] verifying coverage ...")
@@ -351,18 +360,33 @@ class ExperimentPipeline:
             exact_metrics=not self.fast_metrics,
             store=None if self.store_dir is None else str(self.store_dir),
         )
+        extras = {}
+        if detection.dispatch is not None:
+            # The counter vector plus its layer-name legend round-trip the
+            # dispatch stats through the cache without loading the network.
+            names = dispatch_layer_names(self.network().modules)
+            extras["dispatch"] = DispatchStats.from_dict(
+                detection.dispatch
+            ).to_vector(names)
+            extras["dispatch_layers"] = np.array(names)
         atomic_npz_save(
             str(path),
             detected=detection.detected,
             output_l1=detection.output_l1,
             class_count_diff=detection.class_count_diff,
             wall_time=np.float64(detection.wall_time),
+            **extras,
         )
         self._drop_progress(progress_ckpt)
         self.log(
             f"[{self.definition.cache_key}] detection rate "
             f"{detection.detection_rate():.2%} in {detection.wall_time:.0f}s"
         )
+        if self.verbose and detection.dispatch is not None:
+            self.log(
+                f"[{self.definition.cache_key}] event dispatch: "
+                f"{DispatchStats.from_dict(detection.dispatch).summary()}"
+            )
         return detection
 
     # ------------------------------------------------------------------

@@ -91,6 +91,8 @@ from repro.faults.simulator import (
     ProgressFn,
     _ProgressTracker,
 )
+from repro.snn.events import DispatchStats
+from repro.snn.layers import dispatch_layer_names, event_dispatch_context
 from repro.utils import chaos
 
 #: Environment variable consulted when ``workers`` is not given explicitly.
@@ -245,6 +247,16 @@ class SupervisionConfig:
 # so the golden tensors still ride copy-on-write pages, and two campaigns
 # running concurrently in one process (the campaign service) can never
 # see each other's state.
+def _dispatch_vector(simulator: FaultSimulator, result: DetectionResult) -> np.ndarray:
+    """Flattened event-dispatch counters of a shard result for payload /
+    checkpoint transport (an empty vector when the engine is off — int64
+    either way so the spool pickle and shm re-materialization agree)."""
+    if result.dispatch is None:
+        return np.zeros(0, dtype=np.int64)
+    names = dispatch_layer_names(simulator.network.modules)
+    return DispatchStats.from_dict(result.dispatch).to_vector(names)
+
+
 def _detect_shard(bounds: Tuple[int, int], shared: dict):
     lo, hi = bounds
     simulator: FaultSimulator = shared["simulator"]
@@ -253,19 +265,20 @@ def _detect_shard(bounds: Tuple[int, int], shared: dict):
         shared["faults"][lo:hi],
         golden_modules=shared["golden_modules"],
     )
+    vector = _dispatch_vector(simulator, result)
     views = shared.get("shm_out")
     if views is not None:
         # Zero-copy delivery: write this shard's slice of the parent's
         # shared-memory result arrays in place; the spool payload shrinks
-        # to a sentinel.  The whole slice is written before the completion
-        # signal, so a killed worker's partial writes are always fully
-        # overwritten by the retry.
+        # to the dispatch-counter vector plus a sentinel.  The whole slice
+        # is written before the completion signal, so a killed worker's
+        # partial writes are always fully overwritten by the retry.
         detected, output_l1, class_diff = views
         detected[lo:hi] = result.detected
         output_l1[lo:hi] = result.output_l1
         class_diff[lo:hi] = result.class_count_diff
-        return lo, _SHM_DELIVERED
-    return lo, result.detected, result.output_l1, result.class_count_diff
+        return lo, vector, _SHM_DELIVERED
+    return lo, result.detected, result.output_l1, result.class_count_diff, vector
 
 
 def _detect_seg_shard(bounds: Tuple[int, int], shared: dict):
@@ -292,14 +305,22 @@ def _detect_seg_shard(bounds: Tuple[int, int], shared: dict):
         store=shared.get("store"),
     )
     chain = chain_to_array(result.segment_digests)
+    vector = _dispatch_vector(simulator, result)
     views = shared.get("shm_out")
     if views is not None:
         detected, output_l1, class_diff = views
         detected[lo:hi] = result.detected
         output_l1[lo:hi] = result.output_l1
         class_diff[lo:hi] = result.class_count_diff
-        return lo, chain, _SHM_DELIVERED
-    return lo, result.detected, result.output_l1, result.class_count_diff, chain
+        return lo, chain, vector, _SHM_DELIVERED
+    return (
+        lo,
+        result.detected,
+        result.output_l1,
+        result.class_count_diff,
+        chain,
+        vector,
+    )
 
 
 def _classify_shard(bounds: Tuple[int, int], shared: dict):
@@ -606,7 +627,15 @@ def _run_sharded(
         def complete(shard_bounds_, payload):
             lo, hi = shard_bounds_
             if shm_views is not None and payload[-1] == _SHM_DELIVERED:
-                payload = (lo,) + tuple(np.array(view[lo:hi]) for view in shm_views)
+                # Anything riding between the shard offset and the sentinel
+                # (e.g. the dispatch-counter vector) is re-attached after
+                # the re-materialized result slices, so spool and shm
+                # payloads line up.
+                payload = (
+                    (lo,)
+                    + tuple(np.array(view[lo:hi]) for view in shm_views)
+                    + tuple(payload[1:-1])
+                )
             if checkpoint is not None:
                 checkpoint.add(lo, payload[1:])
                 checkpoint.save(checkpoint_path)
@@ -697,14 +726,24 @@ def parallel_detect(
     supervision = supervision or SupervisionConfig.from_env()
     health = CampaignHealth(workers=workers if use_pool else 1)
     start = time.perf_counter()
-    golden_modules = simulator.network.run_modules(stimulus, fused=simulator.fused)
+    # Mirror the serial engine's accounting: the parent computes the
+    # shared golden reference once under the exact dispatch tiers, and the
+    # per-shard counters (faulty-row work only) merge on top of it.
+    layer_names = dispatch_layer_names(simulator.network.modules)
+    merged_stats = DispatchStats() if simulator.event_mode != "off" else None
+    with event_dispatch_context(
+        simulator.network.modules, simulator._exact_dispatch(merged_stats)
+    ):
+        golden_modules = simulator.network.run_modules(
+            stimulus, fused=simulator.fused
+        )
     classes = golden_modules[-1].reshape(stimulus.shape[0], -1).shape[1]
 
     n_faults = len(faults)
     bounds = shard_bounds(n_faults, workers)
     checkpoint, bounds = _prepare_checkpoint(
         "detect", checkpoint_path, resume, simulator, faults, (stimulus,), bounds,
-        extra=f"dtype={simulator.dtype}",
+        extra=f"dtype={simulator.dtype},v=2",
     )
     detected = np.zeros(n_faults, dtype=bool)
     output_l1 = np.zeros(n_faults)
@@ -737,11 +776,15 @@ def parallel_detect(
             shm_views=shm_views,
         )
         try:
-            for lo, shard_detected, shard_l1, shard_diff in gen:
+            for lo, shard_detected, shard_l1, shard_diff, shard_vec in gen:
                 hi = lo + shard_detected.shape[0]
                 detected[lo:hi] = shard_detected
                 output_l1[lo:hi] = shard_l1
                 class_diff[lo:hi] = shard_diff
+                if merged_stats is not None and np.asarray(shard_vec).size:
+                    merged_stats.merge(
+                        DispatchStats.from_vector(shard_vec, layer_names)
+                    )
         finally:
             # Closing the generator runs its cleanup *now* (remove the
             # spool dir) even when this merge loop aborts —
@@ -759,6 +802,7 @@ def parallel_detect(
         wall_time=time.perf_counter() - start,
         health=health,
         dtype=str(simulator.dtype),
+        dispatch=merged_stats.as_dict() if merged_stats is not None else None,
     )
 
 
@@ -821,12 +865,13 @@ def _run_segmented_shards(
             lo, hi = shard_bounds_
             if shm_views is not None and payload[-1] == _SHM_DELIVERED:
                 # The detect-seg shm payload carries the shard's segment
-                # chain array just before the sentinel; re-attach it after
-                # the result slices so spool and shm payloads line up.
+                # chain array and dispatch-counter vector just before the
+                # sentinel; re-attach them after the result slices so spool
+                # and shm payloads line up.
                 payload = (
                     (lo,)
                     + tuple(np.array(view[lo:hi]) for view in shm_views)
-                    + (payload[1],)
+                    + tuple(payload[1:-1])
                 )
             if checkpoint is not None:
                 checkpoint.add(lo, payload[1:])
@@ -887,6 +932,7 @@ def _run_segmented_shards(
                         result.output_l1,
                         result.class_count_diff,
                         chain_to_array(result.segment_digests),
+                        _dispatch_vector(simulator, result),
                     ),
                     ticked=True,
                 )
@@ -964,13 +1010,25 @@ def parallel_detect_segmented(
         tuple(stimulus.chunks), bounds,
         extra=(
             f"segmented:drop={int(options[0])},div={int(options[1])},"
-            f"comp={int(options[2])},v=2"
+            f"comp={int(options[2])},v=3"
         ),
     )
     # The chain the parent expects every shard to report.  Computed before
     # any shm re-wrap of the stimulus: sharing the chunks moves their
     # storage, never their bytes, so both stimuli hash identically.
     expected_chain = chain_to_array(stimulus_chain(stimulus))
+    # Event-dispatch counter merging.  Every shard campaign scans the same
+    # stimulus, so the static sleep-segment census would be summed W times
+    # over; the parent takes its own census (also pre-shm-rewrap) and pins
+    # the merged counter to it afterwards.
+    layer_names = dispatch_layer_names(simulator.network.modules)
+    merged_stats = DispatchStats() if simulator.event_mode != "off" else None
+    sleep_census = 0
+    if merged_stats is not None:
+        for index in range(n_segments):
+            seg = stimulus.segment(index)
+            if seg.shape[0] and not seg[-1].any():
+                sleep_census += 1
     detected = np.zeros(n_faults, dtype=bool)
     output_l1 = np.zeros(n_faults)
     class_diff = np.zeros((n_faults, classes))
@@ -1009,7 +1067,8 @@ def parallel_detect_segmented(
             shm_views=shm_views,
         )
         try:
-            for lo, shard_detected, shard_l1, shard_diff, shard_chain in gen:
+            for payload in gen:
+                lo, shard_detected, shard_l1, shard_diff, shard_chain = payload[:5]
                 if not np.array_equal(np.asarray(shard_chain), expected_chain):
                     raise CheckpointError(
                         f"shard {lo} reported segment chain digests that do "
@@ -1020,11 +1079,18 @@ def parallel_detect_segmented(
                 detected[lo:hi] = shard_detected
                 output_l1[lo:hi] = shard_l1
                 class_diff[lo:hi] = shard_diff
+                shard_vec = payload[5]
+                if merged_stats is not None and np.asarray(shard_vec).size:
+                    merged_stats.merge(
+                        DispatchStats.from_vector(shard_vec, layer_names)
+                    )
         finally:
             gen.close()
     finally:
         if arena is not None:
             arena.close()
+    if merged_stats is not None:
+        merged_stats.set_sleep(sleep_census)
     return DetectionResult(
         faults=list(faults),
         detected=detected,
@@ -1036,6 +1102,7 @@ def parallel_detect_segmented(
         # From the pre-sharing chain: the shm-backed chunks are unmapped by
         # the arena close above and must not be touched again.
         segment_digests=chain_from_array(expected_chain),
+        dispatch=merged_stats.as_dict() if merged_stats is not None else None,
     )
 
 

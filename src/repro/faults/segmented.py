@@ -72,7 +72,17 @@ from repro.faults.simulator import (
     _synapse_entries,
     _window_pieces,
 )
-from repro.snn.layers import compute_dtype_context
+from repro.snn.events import (
+    EVENT_GUARD_MARGIN,
+    DispatchStats,
+    EventDispatch,
+    LazyMargin,
+)
+from repro.snn.layers import (
+    compute_dtype_context,
+    dispatch_layer_names,
+    event_dispatch_context,
+)
 from repro.snn.neuron import LIFState, SpikeMargin, lif_step_numpy
 
 
@@ -98,33 +108,60 @@ class GoldenSegmentRunner:
     snapshotting module entry states before each segment.
 
     ``fused=True`` routes every module through its fused fast path
-    (bit-identical in float64, pinned by the fused differential suite)."""
+    (bit-identical in float64, pinned by the fused differential suite).
 
-    def __init__(self, network, fused: bool = False) -> None:
+    ``events`` optionally attaches an event-driven dispatcher
+    (:class:`repro.snn.events.EventDispatch`) to the fused kernels for
+    the duration of each segment.  The golden pass is the campaign's
+    reference, so callers pass an ``exact_only`` dispatcher: sleep gaps
+    and other all-zero stretches of a segment skip their GEMMs outright
+    (a guaranteed bit-exact zero-current view feeds the membrane scan)
+    while everything else stays on the dense kernel."""
+
+    def __init__(self, network, fused: bool = False, events=None) -> None:
         self.network = network
         self.fused = fused
+        self.events = events
         self.states = network.init_states(1)
 
     def run_segment(self, seg: np.ndarray) -> _GoldenSegment:
         entry = [s.copy() if s is not None else None for s in self.states]
-        outputs = self.network.run_modules(seg, states=self.states, fused=self.fused)
+        with event_dispatch_context(self.network.modules, self.events):
+            outputs = self.network.run_modules(
+                seg, states=self.states, fused=self.fused
+            )
+        if self.events is not None and seg.shape[0] and not seg[-1].any():
+            # Trailing all-zero input step: this segment carries a sleep
+            # gap whose current blocks resolve through the zero tier.
+            self.events.stats.note_sleep()
         return _GoldenSegment(seg, outputs, entry)
 
     def skip_segments(self, stimulus, count: int) -> None:
         """Replay ``count`` segments without keeping outputs (deterministic
-        golden-state reconstruction on checkpoint resume)."""
-        for index in range(count):
-            self.network.run_modules(
-                stimulus.segment(index), states=self.states, fused=self.fused
+        golden-state reconstruction on checkpoint resume).
+
+        The replay still benefits from the exact zero-skip tiers, but on a
+        throwaway counter set: the skipped segments were already accounted
+        before the checkpoint, so re-counting them here would make resumed
+        stats diverge from an uninterrupted run's."""
+        events = None
+        if self.events is not None:
+            events = EventDispatch(
+                self.events.mode, self.events.threshold, exact_only=True
             )
+        with event_dispatch_context(self.network.modules, events):
+            for index in range(count):
+                self.network.run_modules(
+                    stimulus.segment(index), states=self.states, fused=self.fused
+                )
 
 
 class _PlainGoldenRunner:
     """Golden-runner adapter with the seek/run interface the campaign
     loop drives (the store-backed runner below shares it)."""
 
-    def __init__(self, network, fused: bool) -> None:
-        self.inner = GoldenSegmentRunner(network, fused=fused)
+    def __init__(self, network, fused: bool, events=None) -> None:
+        self.inner = GoldenSegmentRunner(network, fused=fused, events=events)
 
     def seek(self, stimulus, count: int) -> None:
         self.inner.skip_segments(stimulus, count)
@@ -146,9 +183,9 @@ class _SessionGoldenRunner:
     regardless of any float32 group gating around them.
     """
 
-    def __init__(self, session: StoreSession, network, fused: bool) -> None:
+    def __init__(self, session: StoreSession, network, fused: bool, events=None) -> None:
         self.session = session
-        self.inner = GoldenSegmentRunner(network, fused=fused)
+        self.inner = GoldenSegmentRunner(network, fused=fused, events=events)
 
     def seek(self, stimulus, count: int) -> None:
         if not count:
@@ -382,12 +419,15 @@ class _FaultGroup:
         )
         reset_mode = module.params.reset_mode
         traces = np.empty((steps, len(rows)))
+        guard = self.campaign.simulator._splice_guard(module)
         for a, b, in_window in _window_pieces(self.window, steps, offset):
             thr, leak, refr, mode = faulty if in_window else nominal
             for t in range(a, b):
                 traces[t] = lif_step_numpy(
                     currents[t], state, thr, leak, refr, mode, reset_mode
                 )[:, 0]
+                if guard is not None:
+                    guard.observe(state.potential, thr)
         self._store_state(rows, state)
         return self._splice_compare(gseg, idx, traces, steps)
 
@@ -438,12 +478,15 @@ class _FaultGroup:
         )
         reset_mode = module.params.reset_mode
         traces = np.empty((steps, len(rows)))
+        guard = self.campaign.simulator._splice_guard(module)
         for a, b, in_window in _window_pieces(self.window, steps, offset):
             currents = faulty if in_window else nominal_cur
             for t in range(a, b):
                 traces[t] = lif_step_numpy(
                     currents[t], state, *params, reset_mode=reset_mode
                 )[:, 0]
+                if guard is not None:
+                    guard.observe(state.potential, params[0])
         self._store_state(rows, state)
         return self._splice_compare(gseg, idx, traces, steps)
 
@@ -868,6 +911,21 @@ class SegmentedDetectionCampaign:
         )
         self.f32_groups = 0
         self.f32_fallbacks = 0
+        # Event-driven dispatch counters.  The shared set only accumulates
+        # faulty-row work — exactly once per (fault, segment) — plus the
+        # static sleep-segment census below; the per-group golden re-runs
+        # use throwaway counters so stats stay identical whether a group's
+        # golden pass ran, re-ran after a gate trip, was seeked over on
+        # resume, or was answered from the coverage store.
+        self.stats = (
+            DispatchStats() if simulator.event_mode != "off" else None
+        )
+        self.layer_names = dispatch_layer_names(simulator.network.modules)
+        if self.stats is not None:
+            for index in range(self.n_segments):
+                seg = stimulus.segment(index)
+                if seg.shape[0] and not seg[-1].any():
+                    self.stats.note_sleep()
         self.groups = self._build_groups()
         self._start_group = 0
         self._start_segment = 0
@@ -992,18 +1050,22 @@ class SegmentedDetectionCampaign:
             "l1": self.output_l1[idx].copy(),
             "counts": self.counts_delta[idx].copy(),
             "ticks": self.tracker.done,
+            "dispatch": self.stats.copy() if self.stats is not None else None,
         }
 
     def _rollback_group(self, group_index: int, saved: Dict[str, Any]) -> None:
-        """Undo a tripped float32 attempt: restore the group's slice of
-        every campaign accumulator, rewind the progress counter (re-fired
-        progress values are non-strictly monotone across the re-run), and
-        rebuild the group with fresh float64 state."""
+        """Undo a tripped float32/event attempt: restore the group's slice
+        of every campaign accumulator (dispatch counters included), rewind
+        the progress counter (re-fired progress values are non-strictly
+        monotone across the re-run), and rebuild the group with fresh
+        float64 state."""
         idx = saved["idx"]
         self.detected[idx] = saved["detected"]
         self.output_l1[idx] = saved["l1"]
         self.counts_delta[idx] = saved["counts"]
         self.tracker.done = saved["ticks"]
+        if saved.get("dispatch") is not None:
+            self.stats.restore(saved["dispatch"])
         old = self.groups[group_index]
         self.groups[group_index] = _FaultGroup(
             self, old.kind, old.module_index, old.indices, window=old.window
@@ -1072,32 +1134,78 @@ class SegmentedDetectionCampaign:
             and not self._resumed
         ):
             safe_from = self._dtype_probe()
+        stats = self.stats
+        # Guarded (gather-kernel) event attempts follow the float32
+        # carve-out: a checkpoint must never carry a half-finished guarded
+        # attempt that a resume could not re-gate, so hook/resumed
+        # campaigns keep only the bit-exact dispatch tiers.
+        event_guard_ok = (
+            stats is not None
+            and self.segment_hook is None
+            and not self._resumed
+        )
         session = self.session
         for group_index in range(self._start_group, len(self.groups)):
             group = self.groups[group_index]
             use_f32 = self._f32_eligible(group, safe_from)
+            use_event = event_guard_ok
             gdigest = session.group_digest(self, group) if session is not None else None
             ckpt_segment = 0
             if group_index == self._start_group and self._start_segment:
                 ckpt_segment = self._start_segment
             while True:
                 group.dtype = np.dtype(np.float32 if use_f32 else np.float64)
-                margin = SpikeMargin() if use_f32 else None
+                # Per-attempt guard wiring: a float32 attempt guards both
+                # relaxations with one real SpikeMargin (its 1e-4 band
+                # dominates the event gate's 1e-9); an event-only attempt
+                # uses a lazy margin that only observes once a guarded
+                # gather kernel has run; everything else gets the exact
+                # zero/dense tiers and needs no guard at all.
+                events = None
+                margin = None
+                if use_f32:
+                    margin = SpikeMargin()
+                    if stats is not None:
+                        events = EventDispatch(
+                            simulator.event_mode,
+                            simulator.event_threshold,
+                            stats=stats,
+                        )
+                elif use_event:
+                    events = EventDispatch(
+                        simulator.event_mode, simulator.event_threshold, stats=stats
+                    )
+                    margin = LazyMargin(events)
+                elif stats is not None:
+                    events = simulator._exact_dispatch(stats)
+                guarded = use_f32 or use_event
                 # Snapshot before any store hit is applied, so a tripped
-                # float32 gate rolls back to the pristine group and the
-                # float64 re-run starts from segment zero.
-                saved = self._snapshot_group(group) if use_f32 else None
+                # guard rolls back to the pristine group (counters
+                # included) and the exact re-run starts from segment zero.
+                saved = self._snapshot_group(group) if guarded else None
                 hit = None
                 if session is not None and ckpt_segment == 0:
                     hit = session.lookup_group(self, group, gdigest, str(group.dtype))
                 first_segment = ckpt_segment
                 if hit is not None:
                     first_segment = self._apply_hit(group, hit)
+                # The golden re-run is per (group, attempt), so it counts
+                # into a throwaway set — the shared counters only ever see
+                # each (fault, segment) once (resume/store stability).
+                golden_events = (
+                    simulator._exact_dispatch(DispatchStats())
+                    if stats is not None
+                    else None
+                )
                 if session is not None:
-                    golden = _SessionGoldenRunner(session, network, simulator.fused)
+                    golden = _SessionGoldenRunner(
+                        session, network, simulator.fused, golden_events
+                    )
                 else:
-                    golden = _PlainGoldenRunner(network, simulator.fused)
-                # Float32 attempts buffer their records until the gate
+                    golden = _PlainGoldenRunner(
+                        network, simulator.fused, golden_events
+                    )
+                # Guarded attempts buffer their records until the gate
                 # passes; a tripped attempt must leave no trace in the
                 # store (its results are discarded, not merely imprecise).
                 pending = []
@@ -1113,22 +1221,39 @@ class SegmentedDetectionCampaign:
                         # Only the faulty rows run in float32 — the golden
                         # runner above stays outside the dtype context.
                         with compute_dtype_context(modules, np.float32, margin):
-                            group.step(segment_index, gseg)
+                            with event_dispatch_context(modules, events):
+                                group.step(segment_index, gseg)
                         if margin.min < FLOAT32_GUARD_MARGIN:
                             break  # fail fast; rolled back below
                     else:
-                        group.step(segment_index, gseg)
+                        with event_dispatch_context(modules, events, margin=margin):
+                            group.step(segment_index, gseg)
+                        if (
+                            use_event
+                            and events.used_event
+                            and margin.min < EVENT_GUARD_MARGIN
+                        ):
+                            break  # fail fast; rolled back below
                     if session is not None:
                         staged = session.stage_group(self, group, gdigest, segment_index)
                         if staged is not None:
                             pending.append(staged)
                     if self.segment_hook is not None:
                         self.segment_hook(self, group_index, segment_index)
-                if use_f32 and margin.min < FLOAT32_GUARD_MARGIN:
+                tripped = (use_f32 and margin.min < FLOAT32_GUARD_MARGIN) or (
+                    use_event
+                    and events.used_event
+                    and margin.min < EVENT_GUARD_MARGIN
+                )
+                if tripped:
                     self._rollback_group(group_index, saved)
                     group = self.groups[group_index]
+                    if use_f32:
+                        self.f32_fallbacks += 1
+                    if stats is not None and events is not None and events.used_event:
+                        stats.note_fallback()
                     use_f32 = False
-                    self.f32_fallbacks += 1
+                    use_event = False
                     continue
                 if use_f32:
                     self.f32_groups += 1
@@ -1148,6 +1273,7 @@ class SegmentedDetectionCampaign:
             f32_groups=self.f32_groups,
             f32_fallbacks=self.f32_fallbacks,
             segment_digests=list(self.segment_digests),
+            dispatch=stats.as_dict() if stats is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -1165,6 +1291,8 @@ class SegmentedDetectionCampaign:
             "res.l1": self.output_l1,
             "res.counts": self.counts_delta,
         }
+        if self.stats is not None:
+            arrays["res.dispatch"] = self.stats.to_vector(self.layer_names)
         meta: Dict[str, Any] = {
             "group": group_index,
             "segment": segment_index,
@@ -1196,6 +1324,10 @@ class SegmentedDetectionCampaign:
                 f"segment checkpoint does not match this campaign: {exc}"
             ) from exc
         self.tracker.done = int(meta["ticks"])
+        if self.stats is not None and "res.dispatch" in arrays:
+            self.stats = DispatchStats.from_vector(
+                arrays["res.dispatch"], self.layer_names
+            )
         group_index = int(meta["group"])
         segment_index = int(meta["segment"])
         if segment_index + 1 >= self.n_segments:

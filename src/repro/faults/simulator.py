@@ -46,7 +46,19 @@ from repro.faults.model import (
     NeuronFaultKind,
     SynapseFault,
 )
-from repro.snn.layers import SpikingModule, compute_dtype_context
+from repro.snn.events import (
+    EVENT_GUARD_MARGIN,
+    DispatchStats,
+    EventDispatch,
+    LazyMargin,
+    resolve_event_mode,
+    resolve_event_threshold,
+)
+from repro.snn.layers import (
+    SpikingModule,
+    compute_dtype_context,
+    event_dispatch_context,
+)
 from repro.snn.network import SNN
 from repro.snn.neuron import (
     MODE_DEAD,
@@ -138,6 +150,10 @@ class DetectionResult:
     #: frontend cross-checks worker chains against the parent's, and the
     #: coverage store keys its records off them.
     segment_digests: Optional[List[str]] = None
+    #: Density/dispatch counters from the event-driven current engine
+    #: (:class:`repro.snn.events.DispatchStats` ``as_dict`` payload), or
+    #: ``None`` when the engine ran with ``REPRO_EVENT_DRIVEN=off``.
+    dispatch: Optional[Dict[str, object]] = None
 
     @property
     def detected_count(self) -> int:
@@ -445,6 +461,15 @@ class FaultSimulator:
         LIF state carried across block boundaries, bounding the size of
         the stacked current tensors (most relevant for conv im2col).
         ``None`` reads ``$REPRO_TIME_BLOCK`` (default: whole sequence).
+    event_driven:
+        Event-driven current engine mode (``auto`` | ``on`` | ``off``):
+        per (layer, time-block) the dispatcher measures spike occupancy
+        and routes through a gathered column-panel GEMM, a zero-current
+        skip, or the dense kernel (see :mod:`repro.snn.events`).  ``None``
+        reads ``$REPRO_EVENT_DRIVEN`` (default ``auto``).
+    event_threshold:
+        Column-occupancy crossover for the ``auto`` dispatcher; ``None``
+        reads ``$REPRO_EVENT_THRESHOLD`` (default 0.5).
     """
 
     def __init__(
@@ -457,6 +482,8 @@ class FaultSimulator:
         synapse_splice: bool = True,
         fused: Optional[bool] = None,
         time_block: Optional[int] = None,
+        event_driven: Optional[str] = None,
+        event_threshold: Optional[float] = None,
     ) -> None:
         self.network = network
         self.config = config or FaultModelConfig()
@@ -479,11 +506,44 @@ class FaultSimulator:
         if time_block is not None and time_block < 1:
             raise FaultModelError(f"time_block must be >= 1, got {time_block}")
         self.time_block = time_block
+        self.event_mode = resolve_event_mode(event_driven)
+        self.event_threshold = resolve_event_threshold(event_threshold)
         self.dtype = np.dtype(self.config.dtype)
         if self.dtype == np.float32 and not self.fused:
             raise FaultModelError(
                 "float32 campaigns require the fused path (REPRO_FUSED=0 set?)"
             )
+
+    # ------------------------------------------------------------------
+    def _exact_dispatch(self, stats: Optional[DispatchStats]) -> Optional[EventDispatch]:
+        """Dispatcher limited to the bit-exact tiers (zero skips + dense).
+
+        Used wherever the result must match the dense engine without a
+        guard: golden reference runs, classification, and post-trip
+        fallback re-runs.  ``None`` (a no-op context) when the engine is
+        off.
+        """
+        if stats is None:
+            return None
+        return EventDispatch(
+            self.event_mode, self.event_threshold, exact_only=True, stats=stats
+        )
+
+    @staticmethod
+    def _splice_guard(module):
+        """Margin observer for a splice mini-LIF loop, or ``None``.
+
+        The mini-LIF itself always runs in float64, but under a guarded
+        event-driven attempt its input currents may come off the gathered
+        panel kernel, so its firing decisions must feed the same margin
+        the fused scan reports to.  Exact-only dispatches (and the plain
+        float32 path with the engine off) keep the loop unobserved, so
+        pre-existing gate behaviour is unchanged.
+        """
+        events = module._events
+        if events is None or events.exact_only or module._margin is None:
+            return None
+        return module._margin
 
     # ------------------------------------------------------------------
     def _time_blocks(self, steps: int) -> List[tuple]:
@@ -662,12 +722,15 @@ class FaultSimulator:
         state = LIFState.zeros_numpy((k, s))
         traces = np.empty((steps, k, s))
         reset_mode = module.params.reset_mode
+        guard = self._splice_guard(module)
         for a, b, in_w in _window_pieces(window, steps):
             thr, lk, ref, md = faulty_params if in_w else nominal_params
             for t in range(a, b):
                 traces[t] = lif_step_numpy(
                     currents[t], state, thr, lk, ref, md, reset_mode
                 )
+                if guard is not None:
+                    guard.observe(state.potential, thr)
 
         return self._splice_downstream(module_index, neuron_idx, traces, golden_out)
 
@@ -746,12 +809,15 @@ class FaultSimulator:
         state = LIFState.zeros_numpy((k, s))
         traces = np.empty((steps, k, s))
         reset_mode = module.params.reset_mode
+        guard = self._splice_guard(module)
         for a, b, in_w in _window_pieces(window, steps):
             currents = faulty if in_w else nominal
             for t in range(a, b):
                 traces[t] = lif_step_numpy(
                     currents[t], state, threshold, leak, refractory, mode, reset_mode
                 )
+                if guard is not None:
+                    guard.observe(state.potential, threshold)
         return self._splice_downstream(module_index, neuron_idx, traces, golden_out)
 
     # ------------------------------------------------------------------
@@ -977,8 +1043,14 @@ class FaultSimulator:
                 f"stimulus must be (T, 1, *input_shape), got {stimulus.shape}"
             )
         start = time.perf_counter()
+        stats = DispatchStats() if self.event_mode != "off" else None
         if golden_modules is None:
-            golden_modules = self.network.run_modules(stimulus, fused=self.fused)
+            # The golden reference must stay bit-exact, so it only gets the
+            # exact dispatch tiers (zero-block skip, zero-slice skip).
+            with event_dispatch_context(
+                self.network.modules, self._exact_dispatch(stats)
+            ):
+                golden_modules = self.network.run_modules(stimulus, fused=self.fused)
         golden_out = golden_modules[-1].reshape(stimulus.shape[0], -1)  # (T, classes)
         golden_counts = golden_out.sum(axis=0)
 
@@ -1000,16 +1072,57 @@ class FaultSimulator:
         gate_stats = {"f32": 0, "fallback": 0}
 
         def gated(runner, module_index):
-            if safe_from is None or not safe_from[module_index]:
+            f32_ok = safe_from is not None and safe_from[module_index]
+            if f32_ok:
+                # Combined float32 + event-driven attempt: one real
+                # SpikeMargin guards both relaxations (its 1e-4 band
+                # dominates the event gate's 1e-9).
+                snapshot = stats.copy() if stats is not None else None
+                margin = SpikeMargin()
+                events = (
+                    EventDispatch(
+                        self.event_mode, self.event_threshold, stats=stats
+                    )
+                    if stats is not None
+                    else None
+                )
+                with compute_dtype_context(
+                    self.network.modules, np.float32, margin
+                ):
+                    with event_dispatch_context(self.network.modules, events):
+                        out = runner()
+                if margin.min >= FLOAT32_GUARD_MARGIN:
+                    gate_stats["f32"] += 1
+                    return out
+                gate_stats["fallback"] += 1
+                if stats is not None:
+                    stats.restore(snapshot)
+                    stats.note_fallback()
+            elif stats is not None:
+                # Event-only attempt under a lazy margin that starts
+                # observing once a guarded gather kernel has actually run;
+                # dispatches that never left the exact tiers need no guard.
+                snapshot = stats.copy()
+                events = EventDispatch(
+                    self.event_mode, self.event_threshold, stats=stats
+                )
+                margin = LazyMargin(events)
+                with event_dispatch_context(
+                    self.network.modules, events, margin=margin
+                ):
+                    out = runner()
+                if not events.used_event or margin.min >= EVENT_GUARD_MARGIN:
+                    return out
+                stats.restore(snapshot)
+                stats.note_fallback()
+            else:
                 return runner()
-            margin = SpikeMargin()
-            with compute_dtype_context(self.network.modules, np.float32, margin):
-                out = runner()
-            if margin.min >= FLOAT32_GUARD_MARGIN:
-                gate_stats["f32"] += 1
-                return out
-            gate_stats["fallback"] += 1
-            return runner()
+            # Guard tripped: exact reference re-run (float64, zero/dense
+            # dispatch tiers only).
+            with event_dispatch_context(
+                self.network.modules, self._exact_dispatch(stats)
+            ):
+                return runner()
 
         def record(idx: int, out: np.ndarray) -> None:
             # Spike trains are exact 0/1 values in either dtype, so the
@@ -1087,6 +1200,7 @@ class FaultSimulator:
             dtype=str(self.dtype),
             f32_groups=gate_stats["f32"],
             f32_fallbacks=gate_stats["fallback"],
+            dispatch=stats.as_dict() if stats is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -1202,7 +1316,29 @@ class FaultSimulator:
 
         ``golden_modules`` optionally supplies precomputed fault-free
         per-module outputs for ``inputs`` (see :meth:`detect`).
+
+        Classification has no margin/rollback machinery, so the
+        event-driven engine contributes only its bit-exact tiers here
+        (all-zero block and time-slice skips); the labels are identical
+        to the dense engine by construction.
         """
+        stats = DispatchStats() if self.event_mode != "off" else None
+        with event_dispatch_context(
+            self.network.modules, self._exact_dispatch(stats)
+        ):
+            return self._classify_impl(
+                inputs, labels, faults, progress, chunk_size, golden_modules
+            )
+
+    def _classify_impl(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        faults: Sequence[Fault],
+        progress: Optional[ProgressFn],
+        chunk_size: Optional[int],
+        golden_modules: Optional[List[np.ndarray]],
+    ) -> ClassificationResult:
         labels = np.asarray(labels)
         if inputs.ndim < 3 or inputs.shape[1] != labels.shape[0]:
             raise FaultModelError(

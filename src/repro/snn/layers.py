@@ -28,6 +28,7 @@ from repro.autograd import functional as F
 from repro.autograd import fused
 from repro.autograd.tensor import Tensor
 from repro.errors import ConfigurationError, ShapeError
+from repro.snn.events import EventDispatch
 from repro.snn.neuron import (
     LIFParameters,
     LIFState,
@@ -135,6 +136,10 @@ class SpikingModule(Module):
         self.compute_dtype = np.dtype(np.float64)
         self._cast_cache: dict = {}
         self._margin: Optional[SpikeMargin] = None
+        # Event-driven dispatcher (density-adaptive sparse currents),
+        # attached per run attempt through :func:`event_dispatch_context`.
+        # ``None`` (the default) runs the historical dense paths exactly.
+        self._events: Optional[EventDispatch] = None
 
     @property
     def neuron_count(self) -> int:
@@ -380,7 +385,10 @@ class DenseLIF(SpikingModule):
     def sequence_currents(self, seq: np.ndarray) -> np.ndarray:
         # One batched matmul for all T steps: (T, B, in) @ (in, out) runs
         # per-slice GEMMs identical to the per-step 2-D products.
-        return seq @ self._cast(self.weight.data, "w")
+        weight = self._cast(self.weight.data, "w")
+        if self._events is not None:
+            return self._events.dense_block(seq, weight, self.name or "dense")
+        return seq @ weight
 
     def run_sequence_kbatched_fused(
         self,
@@ -394,9 +402,16 @@ class DenseLIF(SpikingModule):
         s = batch // k
         if state is None:
             state = self._state_numpy(batch)
-        # (T, K, S, in) @ (K, in, out): one stacked call, per-(t, k) slices
-        # identical to the per-step broadcast GEMM.
-        currents = np.matmul(seq.reshape(steps, k, s, self.in_features), weight)
+        if self._events is not None:
+            currents = self._events.kbatched_block(
+                seq, weight, self.name or "dense"
+            )
+        else:
+            # (T, K, S, in) @ (K, in, out): one stacked call, per-(t, k)
+            # slices identical to the per-step broadcast GEMM.
+            currents = np.matmul(
+                seq.reshape(steps, k, s, self.in_features), weight
+            )
         return self._lif_scan(
             currents.reshape(steps, batch, self.out_features), state
         )
@@ -404,7 +419,10 @@ class DenseLIF(SpikingModule):
     def neuron_input_currents(
         self, seq: np.ndarray, neuron_indices: np.ndarray
     ) -> np.ndarray:
-        return seq @ self.weight.data[:, neuron_indices]
+        cols = self.weight.data[:, neuron_indices]
+        if self._events is not None:
+            return self._events.dense_block(seq, cols, self.name or "dense")
+        return seq @ cols
 
     def synapse_fault_targets(self, entries) -> np.ndarray:
         # Weight shape (in, out), row-major: flat index i*out + j hits
@@ -422,6 +440,8 @@ class DenseLIF(SpikingModule):
         cols = self.weight.data[:, self.synapse_fault_targets(entries)]
         for j, (_pidx, widx, value) in enumerate(entries):
             cols[widx // self.out_features, j] = value
+        if self._events is not None:
+            return self._events.dense_block(seq, cols, self.name or "dense")
         return seq @ cols
 
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
@@ -530,7 +550,11 @@ class RecurrentLIF(SpikingModule):
         # Feedforward currents for all T steps in one stacked matmul; the
         # state-dependent spike feedback stays a per-step GEMM, added in
         # the same order as the per-step path (ff first, feedback second).
-        ff = seq @ self._cast(self.weight.data, "w")
+        w_in = self._cast(self.weight.data, "w")
+        if self._events is not None:
+            ff = self._events.dense_block(seq, w_in, self.name or "recurrent")
+        else:
+            ff = seq @ w_in
         thr = self._cast(self.threshold, "thr")
         leak = self._cast(self.leak, "leak")
         out = np.empty_like(ff)
@@ -559,7 +583,12 @@ class RecurrentLIF(SpikingModule):
         if state is None:
             state = self._state_numpy(batch)
         # All T x K feedforward currents in one stacked GEMM.
-        ff = np.matmul(seq.reshape(steps, k, s, self.in_features), w_in)
+        if self._events is not None:
+            ff = self._events.kbatched_block(
+                seq, w_in, self.name or "recurrent"
+            ).reshape(steps, k, s, self.out_features)
+        else:
+            ff = np.matmul(seq.reshape(steps, k, s, self.in_features), w_in)
         thr = self._cast(self.threshold, "thr")
         leak = self._cast(self.leak, "leak")
         out = np.empty((steps, batch, self.out_features), dtype=seq.dtype)
@@ -724,10 +753,26 @@ class ConvLIF(SpikingModule):
         # slice multiplies the same operands as the per-step _conv_numpy
         # call, so the currents are bit-identical.
         steps, batch = seq.shape[:2]
-        flat = seq.reshape((steps * batch,) + seq.shape[2:])
-        cols = self._im2col(flat)
         w_mat = self._cast(self.weight.data, "w").reshape(self.out_channels, -1)
-        currents = np.matmul(w_mat, cols)
+
+        def compute(rows: np.ndarray) -> np.ndarray:
+            currents = np.matmul(w_mat, self._im2col(rows))
+            return currents.reshape((rows.shape[0],) + self.neuron_shape)
+
+        flat = seq.reshape((steps * batch,) + seq.shape[2:])
+        if self._events is not None:
+            # Conv currents have no gather kernel, but the folded GEMM is
+            # per-(t, b)-row independent: dispatch skips all-zero blocks
+            # and all-zero rows exactly, at row granularity.
+            currents = self._events.stacked_block(
+                flat,
+                compute,
+                self.neuron_shape,
+                np.result_type(seq.dtype, w_mat.dtype),
+                self.name or "conv",
+            )
+        else:
+            currents = compute(flat)
         return currents.reshape((steps, batch) + self.neuron_shape)
 
     def run_sequence_kbatched_fused(
@@ -743,15 +788,27 @@ class ConvLIF(SpikingModule):
         w_mats = weight.reshape(k, self.out_channels, -1)
         if state is None:
             state = self._state_numpy(batch)
-        flat = seq.reshape((steps * batch,) + seq.shape[2:])
-        cols = self._im2col(flat)  # (T*K*S, C*k*k, L)
-        cols = cols.reshape((steps, k, s) + cols.shape[1:])
-        # Broadcast GEMM per (t, instance, sample) slice — the same
-        # (F, C*k*k) @ (C*k*k, L) products as the per-step path.
-        currents = np.matmul(w_mats[None, :, None], cols)
-        return self._lif_scan(
-            currents.reshape((steps, batch) + self.neuron_shape), state
-        )
+
+        def compute(sub: np.ndarray) -> np.ndarray:
+            flat = sub.reshape((-1,) + sub.shape[2:])
+            cols = self._im2col(flat)  # (T'*K*S, C*k*k, L)
+            cols = cols.reshape((sub.shape[0], k, s) + cols.shape[1:])
+            # Broadcast GEMM per (t, instance, sample) slice — the same
+            # (F, C*k*k) @ (C*k*k, L) products as the per-step path.
+            currents = np.matmul(w_mats[None, :, None], cols)
+            return currents.reshape((sub.shape[0], batch) + self.neuron_shape)
+
+        if self._events is not None:
+            currents = self._events.stacked_block(
+                seq,
+                compute,
+                (batch,) + self.neuron_shape,
+                np.result_type(seq.dtype, w_mats.dtype),
+                self.name or "conv",
+            )
+        else:
+            currents = compute(seq)
+        return self._lif_scan(currents, state)
 
     def neuron_input_currents(
         self, seq: np.ndarray, neuron_indices: np.ndarray
@@ -766,13 +823,31 @@ class ConvLIF(SpikingModule):
         k, i, j = self._col_indices
         pad = self.padding
         steps, batch = seq.shape[:2]
-        x = seq.reshape((steps * batch,) + seq.shape[2:])
-        x_pad = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
-        # Gather only the K receptive fields instead of the full im2col
-        # (the channel index k is position-independent: shape (C*kh*kw, 1)).
-        patches = x_pad[:, k, i[:, positions], j[:, positions]]
+        i_sel, j_sel = i[:, positions], j[:, positions]
         w_sel = self.weight.data.reshape(self.out_channels, -1)[filters]  # (K, C*k*k)
-        currents = np.einsum("bkg,gk->bg", patches, w_sel)
+
+        def compute(rows: np.ndarray) -> np.ndarray:
+            x_pad = (
+                np.pad(rows, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+                if pad
+                else rows
+            )
+            # Gather only the K receptive fields instead of the full im2col
+            # (the channel index k is position-independent: (C*kh*kw, 1)).
+            patches = x_pad[:, k, i_sel, j_sel]
+            return np.einsum("bkg,gk->bg", patches, w_sel)
+
+        flat = seq.reshape((steps * batch,) + seq.shape[2:])
+        if self._events is not None:
+            currents = self._events.stacked_block(
+                flat,
+                compute,
+                (len(positions),),
+                np.result_type(seq.dtype, w_sel.dtype),
+                self.name or "conv",
+            )
+        else:
+            currents = compute(flat)
         return currents.reshape(steps, batch, len(positions))
 
     def forward_sequence(self, seq: List[Tensor]) -> List[Tensor]:
@@ -905,4 +980,54 @@ def compute_dtype_context(
     finally:
         for module, (prev_dtype, prev_margin) in zip(spiking, saved):
             module.compute_dtype = prev_dtype
+            module._margin = prev_margin
+
+
+def dispatch_layer_names(modules: Sequence[Module]) -> List[str]:
+    """Deterministic per-layer key order for dispatch-counter vectors.
+
+    Both ends of a worker payload or checkpoint derive the order from the
+    same network, so flattened counters always line up.
+    """
+    fallbacks = {DenseLIF: "dense", RecurrentLIF: "recurrent", ConvLIF: "conv"}
+    names: List[str] = []
+    for module in modules:
+        if isinstance(module, SpikingModule):
+            name = module.name or fallbacks.get(type(module), "spiking")
+            if name not in names:
+                names.append(name)
+    return names
+
+
+@contextmanager
+def event_dispatch_context(
+    modules: Sequence[Module],
+    dispatch: Optional[EventDispatch],
+    margin=None,
+):
+    """Attach an event-driven dispatcher to the given modules' fast paths.
+
+    Fused current computations inside the context route through
+    ``dispatch`` (density-adaptive zero/event/dense selection); ``margin``
+    optionally attaches a spike-decision guard — typically a
+    :class:`~repro.snn.events.LazyMargin` that only starts observing once
+    a guarded gather kernel has actually run, or nothing when a float32
+    :func:`compute_dtype_context` margin is already attached (its 1e-4
+    guard band dominates the event gate's).  ``dispatch=None`` makes the
+    context a no-op so call sites can wrap unconditionally.
+    """
+    if dispatch is None:
+        yield
+        return
+    spiking = [m for m in modules if isinstance(m, SpikingModule)]
+    saved = [(m._events, m._margin) for m in spiking]
+    for module in spiking:
+        module._events = dispatch
+        if margin is not None:
+            module._margin = margin
+    try:
+        yield
+    finally:
+        for module, (prev_events, prev_margin) in zip(spiking, saved):
+            module._events = prev_events
             module._margin = prev_margin

@@ -1,0 +1,434 @@
+"""Differential suite for the event-driven sparse spike kernels.
+
+The event path (:mod:`repro.snn.events`) gathers active spike columns per
+time block and runs index-gathered panel GEMMs instead of the full dense
+matmul.  Per-column gather + GEMM over the *same* float64 values is
+algebraically a sub-matrix of the dense product, but BLAS is free to
+reassociate, so the engine guards every event-using attempt with a spike
+margin and re-runs the group bit-exactly on a trip.  This suite pins the
+externally visible contract:
+
+- ``detected`` masks, ``output_l1`` and ``class_count_diff`` are
+  bit-identical to the dense engine (``REPRO_EVENT_DRIVEN=off``) across
+  density extremes — all-zero, all-ones, single-spike-per-step and
+  alternating bursts — for dense, conv and recurrent topologies, in the
+  flat, segmented, parallel and store-warmed engines;
+- a transient fault window straddling a fused time-block boundary stays
+  exact under event dispatch;
+- a tripped guard provably falls back to the dense path (``fallbacks``
+  counter increments, zero event blocks survive in the final counters,
+  result unchanged);
+- dispatch counters are stable under crash/resume: a campaign killed
+  mid-segment and resumed from its checkpoint reports the *same*
+  dispatch statistics as an uninterrupted checkpointed run.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.testset import TestStimulus
+from repro.faults.catalog import build_catalog
+from repro.faults.model import (
+    FaultModelConfig,
+    NeuronFault,
+    NeuronFaultKind,
+    SynapseFault,
+    SynapseFaultKind,
+)
+from repro.faults.parallel import (
+    fork_available,
+    parallel_detect,
+    parallel_detect_segmented,
+)
+from repro.faults.simulator import FaultSimulator
+from repro.faults.store import CoverageStore
+from repro.snn.builder import (
+    ConvSpec,
+    DenseSpec,
+    FlattenSpec,
+    NetworkSpec,
+    RecurrentSpec,
+    build_network,
+)
+from repro.snn.neuron import LIFParameters
+
+# ----------------------------------------------------------------------
+# Topologies and density-extreme stimuli
+# ----------------------------------------------------------------------
+_NETS = {
+    "dense": lambda: build_network(
+        NetworkSpec(
+            name="ev-dense",
+            input_shape=(8,),
+            layers=(DenseSpec(out_features=6), DenseSpec(out_features=3)),
+            lif=LIFParameters(leak=0.9, refractory_steps=1),
+        ),
+        np.random.default_rng(21),
+    ),
+    "conv": lambda: build_network(
+        NetworkSpec(
+            name="ev-conv",
+            input_shape=(1, 5, 5),
+            layers=(
+                ConvSpec(out_channels=2, kernel=3, padding=1),
+                FlattenSpec(),
+                DenseSpec(out_features=3),
+            ),
+            lif=LIFParameters(leak=0.9),
+        ),
+        np.random.default_rng(22),
+    ),
+    "recurrent": lambda: build_network(
+        NetworkSpec(
+            name="ev-rec",
+            input_shape=(8,),
+            layers=(RecurrentSpec(out_features=5), DenseSpec(out_features=3)),
+            lif=LIFParameters(leak=0.85, refractory_steps=1),
+        ),
+        np.random.default_rng(23),
+    ),
+}
+PATTERNS = ("zeros", "ones", "single", "bursts", "sparse")
+_CACHE = {}
+
+
+def _cached(kind):
+    if kind not in _CACHE:
+        net = _NETS[kind]()
+        config = FaultModelConfig()
+        catalog = build_catalog(net, config)
+        pool = catalog.neuron_faults + catalog.synapse_faults
+        faults = pool[:: max(1, len(pool) // 16)]
+        _CACHE[kind] = (net, config, faults)
+    return _CACHE[kind]
+
+
+def _pattern_stimulus(pattern, input_shape, chunk_durations, seed=0):
+    """Deterministic density-extreme stimuli, one spike layout per name."""
+    size = int(np.prod(input_shape))
+    rng = np.random.default_rng(seed)
+    chunks = []
+    t_abs = 0
+    for duration in chunk_durations:
+        block = np.zeros((duration, 1) + tuple(input_shape))
+        flat = block.reshape(duration, size)
+        if pattern == "ones":
+            flat[:] = 1.0
+        elif pattern == "single":
+            for t in range(duration):
+                flat[t, (t_abs + t) % size] = 1.0
+        elif pattern == "bursts":
+            flat[::2] = 1.0
+        elif pattern == "sparse":
+            flat[:] = (rng.random(flat.shape) < 0.08).astype(float)
+        t_abs += duration
+        chunks.append(block)
+    return TestStimulus(chunks=chunks, input_shape=tuple(input_shape))
+
+
+def _reference(kind, pattern, chunk_durations=(4, 3, 5)):
+    net, config, faults = _cached(kind)
+    stimulus = _pattern_stimulus(pattern, net.input_shape, chunk_durations)
+    off = FaultSimulator(net, config, event_driven="off")
+    return net, config, faults, stimulus, off.detect(stimulus.assembled(), faults)
+
+
+def _assert_exact(result, reference):
+    assert np.array_equal(result.detected, reference.detected)
+    assert np.array_equal(result.output_l1, reference.output_l1)
+    assert np.array_equal(result.class_count_diff, reference.class_count_diff)
+
+
+# ----------------------------------------------------------------------
+# Density extremes: flat and segmented engines, forced on and auto
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", sorted(_NETS))
+@pytest.mark.parametrize("pattern", PATTERNS)
+@pytest.mark.parametrize("mode", ["on", "auto"])
+def test_flat_event_matches_dense(kind, pattern, mode):
+    net, config, faults, stimulus, reference = _reference(kind, pattern)
+    simulator = FaultSimulator(net, config, event_driven=mode)
+    result = simulator.detect(stimulus.assembled(), faults)
+    _assert_exact(result, reference)
+    assert result.dispatch is not None
+    assert reference.dispatch is None  # off-mode runs carry no counters
+
+
+@pytest.mark.parametrize("kind", sorted(_NETS))
+@pytest.mark.parametrize("pattern", PATTERNS)
+@pytest.mark.parametrize("mode", ["on", "auto"])
+def test_segmented_event_matches_dense(kind, pattern, mode):
+    net, config, faults, stimulus, reference = _reference(kind, pattern)
+    simulator = FaultSimulator(net, config, event_driven=mode)
+    result = simulator.detect_segmented(stimulus, faults, drop_detected=False)
+    _assert_exact(result, reference)
+    assert result.dispatch is not None
+
+
+# ----------------------------------------------------------------------
+# Transient window straddling a fused time-block boundary
+# ----------------------------------------------------------------------
+STRADDLING = (5, 16)  # cuts through both segment boundaries of (4, 3, 5)
+
+
+def _straddling_faults(net):
+    last = int(net.spiking_indices[-1])
+    first = int(net.spiking_indices[0])
+    return [
+        NeuronFault(last, 0, NeuronFaultKind.DEAD, window=STRADDLING),
+        NeuronFault(last, 1, NeuronFaultKind.SATURATED, window=STRADDLING),
+        SynapseFault(first, 0, 0, SynapseFaultKind.DEAD, window=STRADDLING),
+    ]
+
+
+@pytest.mark.parametrize("mode", ["on", "auto"])
+@pytest.mark.parametrize("time_block", [3, 7])
+def test_transient_straddles_time_block_boundary(mode, time_block):
+    """A transient active across [5, 16) cuts through fused time blocks;
+    the event path gathers active columns *within* each block, so the
+    parameter swap mid-block must stay exact under event dispatch."""
+    net, config, _, stimulus, _ = _reference("dense", "sparse")
+    faults = _straddling_faults(net)
+    assembled = stimulus.assembled()
+    reference = FaultSimulator(
+        net, config, fused=True, time_block=time_block, event_driven="off"
+    ).detect(assembled, faults)
+    result = FaultSimulator(
+        net, config, fused=True, time_block=time_block, event_driven=mode
+    ).detect(assembled, faults)
+    _assert_exact(result, reference)
+
+
+# ----------------------------------------------------------------------
+# Parallel and store-warmed engines
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+@pytest.mark.parametrize("mode", ["on", "auto"])
+def test_parallel_event_matches_dense(mode):
+    net, config, faults, stimulus, reference = _reference("dense", "sparse")
+    simulator = FaultSimulator(net, config, event_driven=mode)
+    flat = parallel_detect(simulator, stimulus.assembled(), faults, workers=4)
+    _assert_exact(flat, reference)
+    assert flat.dispatch is not None
+    seg = parallel_detect_segmented(
+        simulator, stimulus, faults, workers=4, drop_detected=False
+    )
+    _assert_exact(seg, reference)
+    assert seg.dispatch is not None
+
+
+@pytest.mark.parametrize("mode", ["on", "auto"])
+def test_store_warm_event_matches_dense(tmp_path, mode):
+    net, config, faults, stimulus, reference = _reference("dense", "sparse")
+    simulator = FaultSimulator(net, config, event_driven=mode)
+    store = CoverageStore(tmp_path / f"ev-{mode}")
+    cold = simulator.detect_segmented(
+        stimulus, faults, drop_detected=False, store=store
+    )
+    warm = simulator.detect_segmented(
+        stimulus, faults, drop_detected=False, store=store
+    )
+    _assert_exact(cold, reference)
+    _assert_exact(warm, reference)
+
+
+# ----------------------------------------------------------------------
+# Dispatch counters
+# ----------------------------------------------------------------------
+def test_counters_pick_expected_tiers():
+    net, config, faults, stimulus, _ = _reference("dense", "sparse")
+    forced = FaultSimulator(net, config, event_driven="on").detect(
+        stimulus.assembled(), faults
+    )
+    assert forced.dispatch["event_blocks"] > 0, "mode=on must take the event path"
+    # These layers are far below MIN_EVENT_WORK, so auto always picks the
+    # dense tier — the crossover floor is load-bearing on tiny panels.
+    auto = FaultSimulator(net, config, event_driven="auto").detect(
+        stimulus.assembled(), faults
+    )
+    assert auto.dispatch["event_blocks"] == 0
+    assert auto.dispatch["dense_blocks"] > 0
+    assert 0.0 < auto.dispatch["density"] < 1.0
+    assert set(auto.dispatch["layers"]), "per-layer counters must be populated"
+
+
+def test_counters_zero_input_takes_zero_tier():
+    net, config, faults, stimulus, _ = _reference("dense", "zeros")
+    result = FaultSimulator(net, config, event_driven="on").detect(
+        stimulus.assembled(), faults
+    )
+    assert result.dispatch["zero_blocks"] > 0
+
+
+def test_counters_sleep_census_matches_stimulus():
+    net, config, faults, _, _ = _reference("dense", "sparse")
+    stimulus = _pattern_stimulus("sparse", net.input_shape, (4, 3, 5))
+    expected = sum(
+        1
+        for index in range(stimulus.num_segments)
+        if stimulus.segment(index).shape[0]
+        and not stimulus.segment(index)[-1].any()
+    )
+    assert expected > 0, "layout must contain sleep segments"
+    simulator = FaultSimulator(net, config, event_driven="auto")
+    serial = simulator.detect_segmented(stimulus, faults)
+    assert serial.dispatch["sleep_segments"] == expected
+    if fork_available():
+        shard = parallel_detect_segmented(simulator, stimulus, faults, workers=4)
+        assert shard.dispatch["sleep_segments"] == expected
+
+
+# ----------------------------------------------------------------------
+# Guard trip: provable dense fallback, result unchanged
+# ----------------------------------------------------------------------
+def test_flat_guard_trip_falls_back_to_dense(monkeypatch):
+    """With the guard margin forced to +inf every event attempt trips:
+    the counters must roll back (no surviving event blocks), ``fallbacks``
+    must record the re-runs, and the result must still equal dense."""
+    net, config, faults, stimulus, reference = _reference("dense", "sparse")
+    monkeypatch.setattr("repro.faults.simulator.EVENT_GUARD_MARGIN", float("inf"))
+    result = FaultSimulator(net, config, event_driven="on").detect(
+        stimulus.assembled(), faults
+    )
+    _assert_exact(result, reference)
+    assert result.dispatch["fallbacks"] > 0
+    assert result.dispatch["event_blocks"] == 0
+
+
+def test_segmented_guard_trip_falls_back_to_dense(monkeypatch):
+    net, config, faults, stimulus, reference = _reference("dense", "sparse")
+    monkeypatch.setattr("repro.faults.segmented.EVENT_GUARD_MARGIN", float("inf"))
+    result = FaultSimulator(net, config, event_driven="on").detect_segmented(
+        stimulus, faults, drop_detected=False
+    )
+    _assert_exact(result, reference)
+    assert result.dispatch["fallbacks"] > 0
+    assert result.dispatch["event_blocks"] == 0
+
+
+# ----------------------------------------------------------------------
+# Crash/resume: bit-identical results AND stable dispatch counters
+# ----------------------------------------------------------------------
+class _Boom(RuntimeError):
+    pass
+
+
+@pytest.mark.parametrize("mode", ["on", "auto"])
+def test_resumed_campaign_reports_identical_dispatch_stats(mode):
+    """Satellite regression: dispatch counters count each (fault, segment)
+    once.  A campaign killed mid-segment and resumed from the checkpoint
+    must report the *same* dispatch dict as an uninterrupted checkpointed
+    run — re-verified golden replays and resume seeks add nothing."""
+    net, config, faults, stimulus, reference = _reference("dense", "sparse")
+    simulator = FaultSimulator(net, config, event_driven=mode)
+
+    states = []
+
+    def recording_hook(campaign, group_index, segment_index):
+        # export_state returns live views (the real frontend serializes
+        # them to disk immediately); copy to model the disk round-trip.
+        arrays, meta = campaign.export_state(group_index, segment_index)
+        states.append(
+            ({key: np.array(value) for key, value in arrays.items()}, dict(meta))
+        )
+
+    uninterrupted = simulator.detect_segmented(
+        stimulus, faults, drop_detected=False, segment_hook=recording_hook
+    )
+    _assert_exact(uninterrupted, reference)
+    assert len(states) >= 4, "campaign too small to crash mid-way"
+
+    crash_at = len(states) // 2
+    calls = {"n": 0}
+
+    def crashing_hook(campaign, group_index, segment_index):
+        calls["n"] += 1
+        if calls["n"] == crash_at:
+            raise _Boom
+
+    with pytest.raises(_Boom):
+        simulator.detect_segmented(
+            stimulus, faults, drop_detected=False, segment_hook=crashing_hook
+        )
+
+    resumed = simulator.detect_segmented(
+        stimulus,
+        faults,
+        drop_detected=False,
+        segment_hook=lambda campaign, gi, si: None,
+        resume_state=states[crash_at - 1],
+    )
+    _assert_exact(resumed, uninterrupted)
+    assert resumed.dispatch == uninterrupted.dispatch
+
+
+@pytest.mark.parametrize("mode", ["on", "auto"])
+def test_chaos_crash_mid_segment_resumes_bit_identical(tmp_path, mode):
+    """Kill the checkpointed frontend right after a partial save with
+    event dispatch enabled; the resumed run must match dense bit-for-bit
+    and still carry a dispatch dict."""
+    from repro.errors import ChaosError
+    from repro.utils import chaos
+
+    net, config, faults, stimulus, reference = _reference("dense", "sparse")
+    simulator = FaultSimulator(net, config, event_driven=mode)
+    path = tmp_path / f"ev-{mode}.ckpt"
+    with chaos.installed(chaos.ChaosPolicy.parse("raise@segment:3")):
+        with pytest.raises(ChaosError):
+            parallel_detect_segmented(
+                simulator,
+                stimulus,
+                faults,
+                workers=1,
+                drop_detected=False,
+                checkpoint_path=str(path),
+                resume=False,
+            )
+    assert path.exists(), "partial checkpoint must survive the crash"
+    result = parallel_detect_segmented(
+        simulator,
+        stimulus,
+        faults,
+        workers=1,
+        drop_detected=False,
+        checkpoint_path=str(path),
+        resume=True,
+    )
+    _assert_exact(result, reference)
+    assert result.dispatch is not None
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random layouts and fault subsets across the engines
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    kind=st.sampled_from(sorted(_NETS)),
+    pattern=st.sampled_from(PATTERNS),
+    chunk_durations=st.lists(st.integers(1, 5), min_size=1, max_size=3),
+    seed=st.integers(0, 2**16),
+    n_faults=st.integers(1, 12),
+    mode=st.sampled_from(["on", "auto"]),
+    segmented=st.booleans(),
+)
+def test_property_event_matches_dense(
+    kind, pattern, chunk_durations, seed, n_faults, mode, segmented
+):
+    net, config, catalog_faults = _cached(kind)
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(
+        len(catalog_faults), size=min(n_faults, len(catalog_faults)), replace=False
+    )
+    faults = [catalog_faults[i] for i in sorted(picks)]
+    stimulus = _pattern_stimulus(pattern, net.input_shape, chunk_durations, seed=seed)
+    reference = FaultSimulator(net, config, event_driven="off").detect(
+        stimulus.assembled(), faults
+    )
+    simulator = FaultSimulator(net, config, event_driven=mode)
+    if segmented:
+        result = simulator.detect_segmented(stimulus, faults, drop_detected=False)
+    else:
+        result = simulator.detect(stimulus.assembled(), faults)
+    _assert_exact(result, reference)
